@@ -1,0 +1,273 @@
+//! Satisfying-assignment counting and cube enumeration.
+
+use crate::hash::FxHashMap;
+use crate::manager::Bdd;
+use crate::node::{Ref, Var};
+
+/// A partial assignment: variables on a BDD path with their values.
+/// Variables not mentioned are don't-cares.
+pub type Cube = Vec<(Var, bool)>;
+
+impl Bdd {
+    /// Number of satisfying assignments of `f` over all declared
+    /// variables, as `f64` (exact for counts below 2^53).
+    pub fn sat_count(&self, f: Ref) -> f64 {
+        let mut cache: FxHashMap<u32, f64> = FxHashMap::default();
+        let inner = self.sat_count_rec(f, &mut cache);
+        inner * 2f64.powi(self.level_or_end(f) as i32)
+    }
+
+    #[inline]
+    fn level_or_end(&self, f: Ref) -> u32 {
+        if f.is_const() {
+            self.var_count() as u32
+        } else {
+            self.level(f.0)
+        }
+    }
+
+    fn sat_count_rec(&self, f: Ref, cache: &mut FxHashMap<u32, f64>) -> f64 {
+        if f.is_false() {
+            return 0.0;
+        }
+        if f.is_true() {
+            return 1.0;
+        }
+        if let Some(&c) = cache.get(&f.0) {
+            return c;
+        }
+        let n = self.node(f.0);
+        let my_level = self.level(f.0);
+        let lo = Ref(n.lo);
+        let hi = Ref(n.hi);
+        let c_lo = self.sat_count_rec(lo, cache)
+            * 2f64.powi((self.level_or_end(lo) - my_level - 1) as i32);
+        let c_hi = self.sat_count_rec(hi, cache)
+            * 2f64.powi((self.level_or_end(hi) - my_level - 1) as i32);
+        let c = c_lo + c_hi;
+        cache.insert(f.0, c);
+        c
+    }
+
+    /// Fraction of the full Boolean space satisfying `f` (density).
+    pub fn density(&self, f: Ref) -> f64 {
+        self.sat_count(f) / 2f64.powi(self.var_count() as i32)
+    }
+
+    /// One satisfying partial assignment, or `None` if `f` is false.
+    pub fn pick_cube(&self, f: Ref) -> Option<Cube> {
+        if f.is_false() {
+            return None;
+        }
+        let mut cube = Cube::new();
+        let mut cur = f.0;
+        while cur > 1 {
+            let n = self.node(cur);
+            if n.lo != Ref::FALSE.0 {
+                cube.push((Var(n.var), false));
+                cur = n.lo;
+            } else {
+                cube.push((Var(n.var), true));
+                cur = n.hi;
+            }
+        }
+        Some(cube)
+    }
+
+    /// One satisfying *total* assignment over all declared variables
+    /// (don't-cares set to `false`), or `None` if `f` is false.
+    pub fn pick_assignment(&self, f: Ref) -> Option<Vec<bool>> {
+        let cube = self.pick_cube(f)?;
+        let mut assignment = vec![false; self.var_count()];
+        for (v, val) in cube {
+            assignment[v.index()] = val;
+        }
+        Some(assignment)
+    }
+
+    /// All path cubes of `f`, in DFS order, up to `limit` cubes.
+    ///
+    /// The cubes are disjoint and their union is exactly `f`.
+    pub fn cubes_limited(&self, f: Ref, limit: usize) -> Vec<Cube> {
+        let mut out = Vec::new();
+        let mut path = Cube::new();
+        self.cubes_rec(f, &mut path, &mut out, limit);
+        out
+    }
+
+    /// All path cubes of `f` (disjoint cover of the on-set).
+    pub fn cubes(&self, f: Ref) -> Vec<Cube> {
+        self.cubes_limited(f, usize::MAX)
+    }
+
+    fn cubes_rec(&self, f: Ref, path: &mut Cube, out: &mut Vec<Cube>, limit: usize) {
+        if out.len() >= limit {
+            return;
+        }
+        if f.is_false() {
+            return;
+        }
+        if f.is_true() {
+            out.push(path.clone());
+            return;
+        }
+        let n = self.node(f.0);
+        path.push((Var(n.var), false));
+        self.cubes_rec(Ref(n.lo), path, out, limit);
+        path.pop();
+        path.push((Var(n.var), true));
+        self.cubes_rec(Ref(n.hi), path, out, limit);
+        path.pop();
+    }
+
+    /// Expands `f` into explicit minterms over the given variable list
+    /// (other variables must not be in the support of `f`).
+    ///
+    /// Each minterm is a bit-vector aligned with `vars`. Intended for
+    /// small `vars` (≤ ~20) such as the worked examples in the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the support of `f` is not contained in `vars`.
+    pub fn minterms(&self, f: Ref, vars: &[Var]) -> Vec<Vec<bool>> {
+        let support = self.support(f);
+        for s in &support {
+            assert!(
+                vars.contains(s),
+                "support variable {s} not in the projection list"
+            );
+        }
+        let mut out = Vec::new();
+        let mut assignment = vec![false; self.var_count()];
+        self.minterms_rec(f, vars, 0, &mut assignment, &mut out);
+        out
+    }
+
+    fn minterms_rec(
+        &self,
+        f: Ref,
+        vars: &[Var],
+        i: usize,
+        assignment: &mut [bool],
+        out: &mut Vec<Vec<bool>>,
+    ) {
+        if i == vars.len() {
+            if self.eval(f, assignment) {
+                out.push(vars.iter().map(|v| assignment[v.index()]).collect());
+            }
+            return;
+        }
+        assignment[vars[i].index()] = false;
+        self.minterms_rec(f, vars, i + 1, assignment, out);
+        assignment[vars[i].index()] = true;
+        self.minterms_rec(f, vars, i + 1, assignment, out);
+        assignment[vars[i].index()] = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sat_count_simple() {
+        let mut bdd = Bdd::new();
+        let vs = bdd.fresh_vars(3);
+        let a = bdd.var(vs[0]);
+        let b = bdd.var(vs[1]);
+        let f = bdd.and(a, b); // 2 of 8
+        assert_eq!(bdd.sat_count(f), 2.0);
+        let g = bdd.or(a, b); // 6 of 8
+        assert_eq!(bdd.sat_count(g), 6.0);
+        assert_eq!(bdd.sat_count(Ref::TRUE), 8.0);
+        assert_eq!(bdd.sat_count(Ref::FALSE), 0.0);
+    }
+
+    #[test]
+    fn density_matches_count() {
+        let mut bdd = Bdd::new();
+        let vs = bdd.fresh_vars(4);
+        let a = bdd.var(vs[0]);
+        let b = bdd.var(vs[3]);
+        let f = bdd.xor(a, b);
+        assert!((bdd.density(f) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pick_cube_satisfies() {
+        let mut bdd = Bdd::new();
+        let vs = bdd.fresh_vars(4);
+        let a = bdd.var(vs[0]);
+        let b = bdd.var(vs[1]);
+        let c = bdd.var(vs[2]);
+        let nb = bdd.not(b);
+        let t = bdd.and(a, nb);
+        let f = bdd.and(t, c);
+        let assignment = bdd.pick_assignment(f).unwrap();
+        assert!(bdd.eval(f, &assignment));
+        assert!(bdd.pick_cube(Ref::FALSE).is_none());
+        assert_eq!(bdd.pick_cube(Ref::TRUE).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn cubes_partition_onset() {
+        let mut bdd = Bdd::new();
+        let vs = bdd.fresh_vars(3);
+        let a = bdd.var(vs[0]);
+        let b = bdd.var(vs[1]);
+        let c = bdd.var(vs[2]);
+        let ab = bdd.and(a, b);
+        let f = bdd.or(ab, c);
+        let cubes = bdd.cubes(f);
+        // Rebuild f from its cubes.
+        let mut rebuilt = Ref::FALSE;
+        for cube in &cubes {
+            let mut term = Ref::TRUE;
+            for &(v, val) in cube {
+                let lit = bdd.literal(v, val);
+                term = bdd.and(term, lit);
+            }
+            // Disjointness: no overlap with what we have so far.
+            assert!(bdd.and(rebuilt, term).is_false());
+            rebuilt = bdd.or(rebuilt, term);
+        }
+        assert_eq!(rebuilt, f);
+    }
+
+    #[test]
+    fn cubes_limited_caps_output() {
+        let mut bdd = Bdd::new();
+        let vs = bdd.fresh_vars(6);
+        let lits: Vec<Ref> = vs.iter().map(|&v| bdd.var(v)).collect();
+        let mut f = Ref::FALSE;
+        for l in lits {
+            f = bdd.xor(f, l);
+        }
+        let all = bdd.cubes(f);
+        assert!(all.len() > 3);
+        let some = bdd.cubes_limited(f, 3);
+        assert_eq!(some.len(), 3);
+    }
+
+    #[test]
+    fn minterms_enumeration() {
+        let mut bdd = Bdd::new();
+        let vs = bdd.fresh_vars(3);
+        let a = bdd.var(vs[0]);
+        let b = bdd.var(vs[1]);
+        let f = bdd.xor(a, b);
+        let ms = bdd.minterms(f, &[vs[0], vs[1]]);
+        assert_eq!(ms, vec![vec![false, true], vec![true, false]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "projection")]
+    fn minterms_rejects_missing_support() {
+        let mut bdd = Bdd::new();
+        let vs = bdd.fresh_vars(2);
+        let a = bdd.var(vs[0]);
+        let b = bdd.var(vs[1]);
+        let f = bdd.and(a, b);
+        let _ = bdd.minterms(f, &[vs[0]]);
+    }
+}

@@ -1,0 +1,81 @@
+//! Graphviz DOT export for debugging and documentation.
+
+use std::fmt::Write as _;
+
+use crate::hash::FxHashSet;
+use crate::manager::Bdd;
+use crate::node::Ref;
+
+impl Bdd {
+    /// Renders the diagrams rooted at `roots` as a Graphviz DOT string.
+    ///
+    /// `var_name` maps variable indices to display labels; pass
+    /// `|v| format!("x{v}")` if in doubt. Solid edges are the `hi` (1)
+    /// branches, dashed edges the `lo` (0) branches.
+    pub fn to_dot<F: Fn(usize) -> String>(&self, roots: &[(String, Ref)], var_name: F) -> String {
+        let mut out = String::from("digraph bdd {\n  rankdir=TB;\n");
+        out.push_str("  node [shape=circle];\n");
+        out.push_str("  f0 [label=\"0\", shape=box];\n");
+        out.push_str("  f1 [label=\"1\", shape=box];\n");
+        let mut seen = FxHashSet::default();
+        let mut stack = Vec::new();
+        for (name, r) in roots {
+            let _ = writeln!(
+                out,
+                "  root_{} [label=\"{}\", shape=plaintext];",
+                r.0, name
+            );
+            let _ = writeln!(out, "  root_{} -> {};", r.0, node_name(*r));
+            stack.push(r.0);
+        }
+        while let Some(i) = stack.pop() {
+            if i <= 1 || !seen.insert(i) {
+                continue;
+            }
+            let n = self.node(i);
+            let _ = writeln!(out, "  n{} [label=\"{}\"];", i, var_name(n.var as usize));
+            let _ = writeln!(out, "  n{} -> {} [style=dashed];", i, node_name(Ref(n.lo)));
+            let _ = writeln!(out, "  n{} -> {};", i, node_name(Ref(n.hi)));
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn node_name(r: Ref) -> String {
+    match r {
+        Ref::FALSE => "f0".to_string(),
+        Ref::TRUE => "f1".to_string(),
+        Ref(i) => format!("n{i}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_mentions_all_parts() {
+        let mut bdd = Bdd::new();
+        let x = bdd.fresh_var();
+        let y = bdd.fresh_var();
+        let fx = bdd.var(x);
+        let fy = bdd.var(y);
+        let f = bdd.and(fx, fy);
+        let dot = bdd.to_dot(&[("f".to_string(), f)], |v| format!("x{v}"));
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("x0"));
+        assert!(dot.contains("x1"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("root_"));
+    }
+
+    #[test]
+    fn dot_of_constant() {
+        let bdd = Bdd::new();
+        let dot = bdd.to_dot(&[("t".to_string(), Ref::TRUE)], |v| format!("x{v}"));
+        assert!(dot.contains("root_1 -> f1"));
+    }
+}

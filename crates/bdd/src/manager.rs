@@ -1,0 +1,809 @@
+//! The BDD manager: arena, unique table, ITE core and derived operators.
+
+use std::fmt;
+
+use crate::hash::FxHashMap;
+use crate::node::{Node, Ref, Var, TERMINAL_VAR};
+
+/// Error returned when an operation would exceed the configured node limit.
+///
+/// The paper's Table 1 reports `memory out` for the exact algorithm on
+/// large MCNC circuits; this error is how that condition surfaces here.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CapacityError {
+    /// The node limit that was in force when the operation failed.
+    pub limit: usize,
+}
+
+impl fmt::Display for CapacityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bdd node limit of {} nodes exceeded", self.limit)
+    }
+}
+
+impl std::error::Error for CapacityError {}
+
+/// Result alias for fallible BDD operations.
+pub type BddResult<T> = Result<T, CapacityError>;
+
+/// Keys for the persistent unary-operation cache. Quantification,
+/// restriction and composition use per-call caches instead (their
+/// auxiliary arguments vary), so only negation lives here.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub(crate) enum CacheOp {
+    Not,
+}
+
+/// A shared-node, reduced, ordered BDD manager.
+///
+/// All functions live in one arena; [`Ref`] handles index into it. Because
+/// the diagrams are reduced and ordered, equal handles ⇔ equal functions.
+///
+/// # Examples
+///
+/// ```
+/// use xrta_bdd::Bdd;
+///
+/// let mut bdd = Bdd::new();
+/// let x = bdd.fresh_var();
+/// let y = bdd.fresh_var();
+/// let fx = bdd.var(x);
+/// let fy = bdd.var(y);
+/// let f = bdd.and(fx, fy);
+/// let g = bdd.not(f);
+/// let h = bdd.nand(fx, fy);
+/// assert_eq!(g, h); // canonical: same function, same handle
+/// ```
+pub struct Bdd {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) unique: FxHashMap<(u32, u32, u32), u32>,
+    /// ITE computed table.
+    pub(crate) ite_cache: FxHashMap<(u32, u32, u32), u32>,
+    /// Cache for unary/auxiliary operations.
+    pub(crate) op_cache: FxHashMap<(CacheOp, u32, u32), u32>,
+    /// Variable index -> level (position in the order, 0 = topmost).
+    pub(crate) var2level: Vec<u32>,
+    /// Level -> variable index.
+    pub(crate) level2var: Vec<u32>,
+    /// Nodes ever created per variable (may contain stale entries; used by
+    /// reordering, which re-validates).
+    pub(crate) var_nodes: Vec<Vec<u32>>,
+    node_limit: usize,
+}
+
+impl Default for Bdd {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Bdd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Bdd")
+            .field("vars", &self.var2level.len())
+            .field("nodes", &self.nodes.len())
+            .field("node_limit", &self.node_limit)
+            .finish()
+    }
+}
+
+impl Bdd {
+    /// Creates an empty manager with a default node limit (64M nodes).
+    pub fn new() -> Self {
+        Self::with_node_limit(1 << 26)
+    }
+
+    /// Creates a manager that refuses to grow past `node_limit` nodes.
+    ///
+    /// Used to reproduce the paper's `memory out` rows deterministically.
+    pub fn with_node_limit(node_limit: usize) -> Self {
+        Bdd {
+            nodes: vec![Node::terminal(), Node::terminal()],
+            unique: FxHashMap::default(),
+            ite_cache: FxHashMap::default(),
+            op_cache: FxHashMap::default(),
+            var2level: Vec::new(),
+            level2var: Vec::new(),
+            var_nodes: Vec::new(),
+            node_limit,
+        }
+    }
+
+    /// The configured node limit.
+    pub fn node_limit(&self) -> usize {
+        self.node_limit
+    }
+
+    /// Changes the node limit (takes effect for future node creations).
+    pub fn set_node_limit(&mut self, node_limit: usize) {
+        self.node_limit = node_limit;
+    }
+
+    /// Number of nodes in the arena, including the two terminals and any
+    /// dead nodes not yet reclaimed by [`Bdd::collect_garbage`].
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of live nodes reachable from `roots` (including terminals).
+    pub fn live_node_count(&self, roots: &[Ref]) -> usize {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack: Vec<u32> = roots.iter().map(|r| r.0).collect();
+        let mut count = 0usize;
+        while let Some(i) = stack.pop() {
+            if seen[i as usize] {
+                continue;
+            }
+            seen[i as usize] = true;
+            count += 1;
+            let n = self.nodes[i as usize];
+            if !n.is_terminal() {
+                stack.push(n.lo);
+                stack.push(n.hi);
+            }
+        }
+        count
+    }
+
+    /// Number of decision nodes in the diagram rooted at `f` (excluding
+    /// terminals) — the conventional per-function size metric.
+    pub fn size_of(&self, f: Ref) -> usize {
+        let mut seen = crate::hash::FxHashSet::default();
+        let mut stack = vec![f.0];
+        let mut count = 0usize;
+        while let Some(i) = stack.pop() {
+            if i <= 1 || !seen.insert(i) {
+                continue;
+            }
+            count += 1;
+            let n = self.nodes[i as usize];
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        count
+    }
+
+    /// Number of declared variables.
+    pub fn var_count(&self) -> usize {
+        self.var2level.len()
+    }
+
+    /// Declares a new variable, placed at the bottom of the current order.
+    pub fn fresh_var(&mut self) -> Var {
+        let v = self.var2level.len() as u32;
+        self.var2level.push(v);
+        self.level2var.push(v);
+        self.var_nodes.push(Vec::new());
+        Var(v)
+    }
+
+    /// Declares `n` new variables.
+    pub fn fresh_vars(&mut self, n: usize) -> Vec<Var> {
+        (0..n).map(|_| self.fresh_var()).collect()
+    }
+
+    /// All declared variables in creation order.
+    pub fn vars(&self) -> Vec<Var> {
+        (0..self.var2level.len() as u32).map(Var).collect()
+    }
+
+    /// The current order, topmost level first.
+    pub fn variable_order(&self) -> Vec<Var> {
+        self.level2var.iter().map(|&v| Var(v)).collect()
+    }
+
+    /// Fallible form of [`Bdd::var`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapacityError`] if the node limit would be exceeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` was not created by this manager.
+    pub fn try_var(&mut self, v: Var) -> BddResult<Ref> {
+        assert!(
+            (v.0 as usize) < self.var2level.len(),
+            "variable {v} not declared on this manager"
+        );
+        self.mk(v.0, Ref::FALSE, Ref::TRUE)
+    }
+
+    /// Fallible form of [`Bdd::nvar`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapacityError`] if the node limit would be exceeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` was not created by this manager.
+    pub fn try_nvar(&mut self, v: Var) -> BddResult<Ref> {
+        assert!(
+            (v.0 as usize) < self.var2level.len(),
+            "variable {v} not declared on this manager"
+        );
+        self.mk(v.0, Ref::TRUE, Ref::FALSE)
+    }
+
+    /// The positive literal (single-variable function) for `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` was not created by this manager or the node limit is
+    /// exceeded.
+    pub fn var(&mut self, v: Var) -> Ref {
+        assert!(
+            (v.0 as usize) < self.var2level.len(),
+            "variable {v} not declared on this manager"
+        );
+        self.mk(v.0, Ref::FALSE, Ref::TRUE)
+            .expect("bdd node limit exceeded")
+    }
+
+    /// The negative literal `¬v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Bdd::var`].
+    pub fn nvar(&mut self, v: Var) -> Ref {
+        assert!(
+            (v.0 as usize) < self.var2level.len(),
+            "variable {v} not declared on this manager"
+        );
+        self.mk(v.0, Ref::TRUE, Ref::FALSE)
+            .expect("bdd node limit exceeded")
+    }
+
+    /// A literal: `v` if `positive`, else `¬v`.
+    pub fn literal(&mut self, v: Var, positive: bool) -> Ref {
+        if positive {
+            self.var(v)
+        } else {
+            self.nvar(v)
+        }
+    }
+
+    /// Constant function for `value`.
+    pub fn constant(&self, value: bool) -> Ref {
+        if value {
+            Ref::TRUE
+        } else {
+            Ref::FALSE
+        }
+    }
+
+    #[inline]
+    pub(crate) fn node(&self, r: u32) -> Node {
+        self.nodes[r as usize]
+    }
+
+    /// The decision variable at the root of `f`, if `f` is not constant.
+    pub fn root_var(&self, f: Ref) -> Option<Var> {
+        let n = self.node(f.0);
+        if n.is_terminal() {
+            None
+        } else {
+            Some(Var(n.var))
+        }
+    }
+
+    /// Level of the root of `f` (`u32::MAX` for constants).
+    #[inline]
+    pub(crate) fn level(&self, r: u32) -> u32 {
+        let n = self.nodes[r as usize];
+        if n.var == TERMINAL_VAR {
+            u32::MAX
+        } else {
+            self.var2level[n.var as usize]
+        }
+    }
+
+    /// Hash-consing constructor: `if var then hi else lo`.
+    pub(crate) fn mk(&mut self, var: u32, lo: Ref, hi: Ref) -> BddResult<Ref> {
+        if lo == hi {
+            return Ok(lo);
+        }
+        debug_assert!(self.level(lo.0) > self.var2level[var as usize]);
+        debug_assert!(self.level(hi.0) > self.var2level[var as usize]);
+        let key = (var, lo.0, hi.0);
+        if let Some(&idx) = self.unique.get(&key) {
+            return Ok(Ref(idx));
+        }
+        if self.nodes.len() >= self.node_limit {
+            return Err(CapacityError {
+                limit: self.node_limit,
+            });
+        }
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            var,
+            lo: lo.0,
+            hi: hi.0,
+        });
+        self.unique.insert(key, idx);
+        self.var_nodes[var as usize].push(idx);
+        Ok(Ref(idx))
+    }
+
+    /// Cofactors of `f` with respect to the variable at level `level`.
+    ///
+    /// If the root of `f` sits below `level`, both cofactors are `f`.
+    #[inline]
+    pub(crate) fn cofactors_at_level(&self, f: Ref, level: u32) -> (Ref, Ref) {
+        let n = self.node(f.0);
+        if n.var != TERMINAL_VAR && self.var2level[n.var as usize] == level {
+            (Ref(n.lo), Ref(n.hi))
+        } else {
+            (f, f)
+        }
+    }
+
+    /// If-then-else: `ite(f, g, h) = f·g + ¬f·h`. Fallible core.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapacityError`] if the node limit would be exceeded.
+    pub fn try_ite(&mut self, f: Ref, g: Ref, h: Ref) -> BddResult<Ref> {
+        // Terminal cases.
+        if f.is_true() {
+            return Ok(g);
+        }
+        if f.is_false() {
+            return Ok(h);
+        }
+        if g == h {
+            return Ok(g);
+        }
+        if g.is_true() && h.is_false() {
+            return Ok(f);
+        }
+        let key = (f.0, g.0, h.0);
+        if let Some(&r) = self.ite_cache.get(&key) {
+            return Ok(Ref(r));
+        }
+        let lf = self.level(f.0);
+        let lg = self.level(g.0);
+        let lh = self.level(h.0);
+        let top = lf.min(lg).min(lh);
+        let var = self.level2var[top as usize];
+        let (f0, f1) = self.cofactors_at_level(f, top);
+        let (g0, g1) = self.cofactors_at_level(g, top);
+        let (h0, h1) = self.cofactors_at_level(h, top);
+        let t = self.try_ite(f1, g1, h1)?;
+        let e = self.try_ite(f0, g0, h0)?;
+        let r = self.mk(var, e, t)?;
+        self.ite_cache.insert(key, r.0);
+        Ok(r)
+    }
+
+    /// If-then-else. See [`Bdd::try_ite`] for a non-panicking variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node limit is exceeded.
+    pub fn ite(&mut self, f: Ref, g: Ref, h: Ref) -> Ref {
+        self.try_ite(f, g, h).expect("bdd node limit exceeded")
+    }
+
+    /// Negation `¬f`. Fallible core.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapacityError`] if the node limit would be exceeded.
+    pub fn try_not(&mut self, f: Ref) -> BddResult<Ref> {
+        if f.is_true() {
+            return Ok(Ref::FALSE);
+        }
+        if f.is_false() {
+            return Ok(Ref::TRUE);
+        }
+        if let Some(&r) = self.op_cache.get(&(CacheOp::Not, f.0, 0)) {
+            return Ok(Ref(r));
+        }
+        let n = self.node(f.0);
+        let lo = self.try_not(Ref(n.lo))?;
+        let hi = self.try_not(Ref(n.hi))?;
+        let r = self.mk(n.var, lo, hi)?;
+        self.op_cache.insert((CacheOp::Not, f.0, 0), r.0);
+        Ok(r)
+    }
+
+    /// Negation `¬f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node limit is exceeded.
+    pub fn not(&mut self, f: Ref) -> Ref {
+        self.try_not(f).expect("bdd node limit exceeded")
+    }
+
+    /// Conjunction, fallible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapacityError`] if the node limit would be exceeded.
+    pub fn try_and(&mut self, f: Ref, g: Ref) -> BddResult<Ref> {
+        self.try_ite(f, g, Ref::FALSE)
+    }
+
+    /// Disjunction, fallible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapacityError`] if the node limit would be exceeded.
+    pub fn try_or(&mut self, f: Ref, g: Ref) -> BddResult<Ref> {
+        self.try_ite(f, Ref::TRUE, g)
+    }
+
+    /// Exclusive or, fallible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapacityError`] if the node limit would be exceeded.
+    pub fn try_xor(&mut self, f: Ref, g: Ref) -> BddResult<Ref> {
+        let ng = self.try_not(g)?;
+        self.try_ite(f, ng, g)
+    }
+
+    /// Conjunction `f·g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node limit is exceeded.
+    pub fn and(&mut self, f: Ref, g: Ref) -> Ref {
+        self.try_and(f, g).expect("bdd node limit exceeded")
+    }
+
+    /// Disjunction `f + g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node limit is exceeded.
+    pub fn or(&mut self, f: Ref, g: Ref) -> Ref {
+        self.try_or(f, g).expect("bdd node limit exceeded")
+    }
+
+    /// Exclusive or `f ⊕ g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node limit is exceeded.
+    pub fn xor(&mut self, f: Ref, g: Ref) -> Ref {
+        self.try_xor(f, g).expect("bdd node limit exceeded")
+    }
+
+    /// Equivalence `f ≡ g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node limit is exceeded.
+    pub fn iff(&mut self, f: Ref, g: Ref) -> Ref {
+        let ng = self.not(g);
+        self.ite(f, g, ng)
+    }
+
+    /// Implication `f → g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node limit is exceeded.
+    pub fn implies(&mut self, f: Ref, g: Ref) -> Ref {
+        self.ite(f, g, Ref::TRUE)
+    }
+
+    /// Negated conjunction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node limit is exceeded.
+    pub fn nand(&mut self, f: Ref, g: Ref) -> Ref {
+        let a = self.and(f, g);
+        self.not(a)
+    }
+
+    /// Negated disjunction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node limit is exceeded.
+    pub fn nor(&mut self, f: Ref, g: Ref) -> Ref {
+        let a = self.or(f, g);
+        self.not(a)
+    }
+
+    /// Exclusive nor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node limit is exceeded.
+    pub fn xnor(&mut self, f: Ref, g: Ref) -> Ref {
+        self.iff(f, g)
+    }
+
+    /// Conjunction of many functions (true for the empty set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node limit is exceeded.
+    pub fn and_all<I: IntoIterator<Item = Ref>>(&mut self, fs: I) -> Ref {
+        let mut acc = Ref::TRUE;
+        for f in fs {
+            acc = self.and(acc, f);
+            if acc.is_false() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Disjunction of many functions (false for the empty set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node limit is exceeded.
+    pub fn or_all<I: IntoIterator<Item = Ref>>(&mut self, fs: I) -> Ref {
+        let mut acc = Ref::FALSE;
+        for f in fs {
+            acc = self.or(acc, f);
+            if acc.is_true() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Is `f ⊆ g` as sets of satisfying assignments (i.e. `f → g` valid)?
+    pub fn is_subset(&mut self, f: Ref, g: Ref) -> bool {
+        let ng = self.not(g);
+        self.and(f, ng).is_false()
+    }
+
+    /// Evaluates `f` under a total assignment indexed by variable index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment` is shorter than the index of a variable
+    /// actually tested on the evaluation path.
+    pub fn eval(&self, f: Ref, assignment: &[bool]) -> bool {
+        let mut cur = f.0;
+        loop {
+            let n = self.nodes[cur as usize];
+            if n.is_terminal() {
+                return cur == Ref::TRUE.0;
+            }
+            cur = if assignment[n.var as usize] {
+                n.hi
+            } else {
+                n.lo
+            };
+        }
+    }
+
+    /// Clears the operation caches (the unique table is kept).
+    pub fn clear_caches(&mut self) {
+        self.ite_cache.clear();
+        self.op_cache.clear();
+    }
+
+    /// Reclaims nodes unreachable from `roots`, compacting the arena.
+    ///
+    /// Returns the re-mapped handles corresponding to `roots`, in order.
+    /// All other outstanding handles are invalidated.
+    pub fn collect_garbage(&mut self, roots: &[Ref]) -> Vec<Ref> {
+        let mut mark = vec![false; self.nodes.len()];
+        mark[0] = true;
+        mark[1] = true;
+        let mut stack: Vec<u32> = roots.iter().map(|r| r.0).collect();
+        while let Some(i) = stack.pop() {
+            if mark[i as usize] {
+                continue;
+            }
+            mark[i as usize] = true;
+            let n = self.nodes[i as usize];
+            if !n.is_terminal() {
+                stack.push(n.lo);
+                stack.push(n.hi);
+            }
+        }
+        let mut remap = vec![u32::MAX; self.nodes.len()];
+        let mut new_nodes = Vec::with_capacity(self.nodes.len());
+        for (i, node) in self.nodes.iter().enumerate() {
+            if mark[i] {
+                remap[i] = new_nodes.len() as u32;
+                new_nodes.push(*node);
+            }
+        }
+        for node in new_nodes.iter_mut().skip(2) {
+            node.lo = remap[node.lo as usize];
+            node.hi = remap[node.hi as usize];
+        }
+        self.nodes = new_nodes;
+        self.unique.clear();
+        for (i, node) in self.nodes.iter().enumerate().skip(2) {
+            self.unique.insert((node.var, node.lo, node.hi), i as u32);
+        }
+        for list in &mut self.var_nodes {
+            list.clear();
+        }
+        for (i, node) in self.nodes.iter().enumerate().skip(2) {
+            self.var_nodes[node.var as usize].push(i as u32);
+        }
+        self.clear_caches();
+        roots.iter().map(|r| Ref(remap[r.0 as usize])).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Bdd, Ref, Ref, Ref) {
+        let mut bdd = Bdd::new();
+        let x = bdd.fresh_var();
+        let y = bdd.fresh_var();
+        let z = bdd.fresh_var();
+        let (fx, fy, fz) = (bdd.var(x), bdd.var(y), bdd.var(z));
+        (bdd, fx, fy, fz)
+    }
+
+    #[test]
+    fn constants() {
+        let bdd = Bdd::new();
+        assert_eq!(bdd.constant(true), Ref::TRUE);
+        assert_eq!(bdd.constant(false), Ref::FALSE);
+    }
+
+    #[test]
+    fn canonical_hash_consing() {
+        let (mut bdd, x, y, _) = setup();
+        let a = bdd.and(x, y);
+        let b = bdd.and(y, x);
+        assert_eq!(a, b);
+        let c = bdd.ite(x, y, Ref::FALSE);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn de_morgan() {
+        let (mut bdd, x, y, _) = setup();
+        let a = bdd.and(x, y);
+        let na = bdd.not(a);
+        let nx = bdd.not(x);
+        let ny = bdd.not(y);
+        let b = bdd.or(nx, ny);
+        assert_eq!(na, b);
+    }
+
+    #[test]
+    fn double_negation() {
+        let (mut bdd, x, y, z) = setup();
+        let f = bdd.ite(x, y, z);
+        let nf = bdd.not(f);
+        let nnf = bdd.not(nf);
+        assert_eq!(f, nnf);
+    }
+
+    #[test]
+    fn xor_xnor_complementary() {
+        let (mut bdd, x, y, _) = setup();
+        let a = bdd.xor(x, y);
+        let b = bdd.xnor(x, y);
+        let na = bdd.not(a);
+        assert_eq!(na, b);
+    }
+
+    #[test]
+    fn implication_truth_table() {
+        let (mut bdd, x, y, _) = setup();
+        let f = bdd.implies(x, y);
+        assert!(bdd.eval(f, &[false, false, false]));
+        assert!(bdd.eval(f, &[false, true, false]));
+        assert!(!bdd.eval(f, &[true, false, false]));
+        assert!(bdd.eval(f, &[true, true, false]));
+    }
+
+    #[test]
+    fn eval_matches_semantics() {
+        let (mut bdd, x, y, z) = setup();
+        let f = bdd.ite(x, y, z); // x?y:z
+        for bits in 0..8u32 {
+            let a = [(bits & 1) != 0, (bits & 2) != 0, (bits & 4) != 0];
+            let expect = if a[0] { a[1] } else { a[2] };
+            assert_eq!(bdd.eval(f, &a), expect);
+        }
+    }
+
+    #[test]
+    fn and_or_all() {
+        let (mut bdd, x, y, z) = setup();
+        let f = bdd.and_all([x, y, z]);
+        let g = {
+            let t = bdd.and(x, y);
+            bdd.and(t, z)
+        };
+        assert_eq!(f, g);
+        let f = bdd.or_all([x, y, z]);
+        let g = {
+            let t = bdd.or(x, y);
+            bdd.or(t, z)
+        };
+        assert_eq!(f, g);
+        assert_eq!(bdd.and_all([]), Ref::TRUE);
+        assert_eq!(bdd.or_all([]), Ref::FALSE);
+    }
+
+    #[test]
+    fn subset_checks() {
+        let (mut bdd, x, y, _) = setup();
+        let a = bdd.and(x, y);
+        assert!(bdd.is_subset(a, x));
+        assert!(!bdd.is_subset(x, a));
+        assert!(bdd.is_subset(Ref::FALSE, a));
+        assert!(bdd.is_subset(a, Ref::TRUE));
+    }
+
+    #[test]
+    fn node_limit_enforced() {
+        let mut bdd = Bdd::with_node_limit(8);
+        let vars = bdd.fresh_vars(16);
+        let mut acc = Ref::TRUE;
+        let mut failed = false;
+        for v in vars {
+            let lit = match bdd.mk(v.0, Ref::FALSE, Ref::TRUE) {
+                Ok(l) => l,
+                Err(_) => {
+                    failed = true;
+                    break;
+                }
+            };
+            match bdd.try_and(acc, lit) {
+                Ok(r) => acc = r,
+                Err(e) => {
+                    assert_eq!(e.limit, 8);
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        assert!(failed, "tiny node limit must trip");
+    }
+
+    #[test]
+    fn garbage_collection_preserves_roots() {
+        let (mut bdd, x, y, z) = setup();
+        let keep = bdd.ite(x, y, z);
+        // Create garbage.
+        for _ in 0..10 {
+            let t = bdd.xor(x, z);
+            let _ = bdd.and(t, y);
+        }
+        let before_eval: Vec<bool> = (0..8u32)
+            .map(|b| bdd.eval(keep, &[(b & 1) != 0, (b & 2) != 0, (b & 4) != 0]))
+            .collect();
+        let total_before = bdd.node_count();
+        let remapped = bdd.collect_garbage(&[keep]);
+        assert!(bdd.node_count() <= total_before);
+        let keep2 = remapped[0];
+        let after_eval: Vec<bool> = (0..8u32)
+            .map(|b| bdd.eval(keep2, &[(b & 1) != 0, (b & 2) != 0, (b & 4) != 0]))
+            .collect();
+        assert_eq!(before_eval, after_eval);
+    }
+
+    #[test]
+    fn live_node_count_counts_reachable() {
+        let (mut bdd, x, y, _) = setup();
+        let f = bdd.and(x, y);
+        // f, x-node, y-node... reachable: f node, the y node below, 2 terminals.
+        let live = bdd.live_node_count(&[f]);
+        assert_eq!(live, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "not declared")]
+    fn foreign_var_panics() {
+        let mut bdd = Bdd::new();
+        let _ = bdd.var(Var::from_index(3));
+    }
+}

@@ -1,0 +1,272 @@
+//! Quantification and support computation.
+
+use crate::hash::{FxHashMap, FxHashSet};
+use crate::manager::{Bdd, BddResult};
+use crate::node::{Ref, Var};
+
+impl Bdd {
+    fn var_mask(&self, vars: &[Var]) -> Vec<bool> {
+        let mut mask = vec![false; self.var_count()];
+        for v in vars {
+            mask[v.index()] = true;
+        }
+        mask
+    }
+
+    /// Existential quantification `∃ vars . f`, fallible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CapacityError`] if the node limit would be
+    /// exceeded.
+    pub fn try_exists(&mut self, f: Ref, vars: &[Var]) -> BddResult<Ref> {
+        let mask = self.var_mask(vars);
+        let mut cache = FxHashMap::default();
+        self.quant_rec(f, &mask, true, &mut cache)
+    }
+
+    /// Universal quantification `∀ vars . f`, fallible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CapacityError`] if the node limit would be
+    /// exceeded.
+    pub fn try_forall(&mut self, f: Ref, vars: &[Var]) -> BddResult<Ref> {
+        let mask = self.var_mask(vars);
+        let mut cache = FxHashMap::default();
+        self.quant_rec(f, &mask, false, &mut cache)
+    }
+
+    /// Existential quantification `∃ vars . f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node limit is exceeded.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use xrta_bdd::Bdd;
+    /// let mut bdd = Bdd::new();
+    /// let x = bdd.fresh_var();
+    /// let y = bdd.fresh_var();
+    /// let fx = bdd.var(x);
+    /// let fy = bdd.var(y);
+    /// let f = bdd.and(fx, fy);
+    /// assert_eq!(bdd.exists(f, &[y]), fx);
+    /// ```
+    pub fn exists(&mut self, f: Ref, vars: &[Var]) -> Ref {
+        self.try_exists(f, vars).expect("bdd node limit exceeded")
+    }
+
+    /// Universal quantification `∀ vars . f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node limit is exceeded.
+    pub fn forall(&mut self, f: Ref, vars: &[Var]) -> Ref {
+        self.try_forall(f, vars).expect("bdd node limit exceeded")
+    }
+
+    fn quant_rec(
+        &mut self,
+        f: Ref,
+        mask: &[bool],
+        existential: bool,
+        cache: &mut FxHashMap<u32, u32>,
+    ) -> BddResult<Ref> {
+        if f.is_const() {
+            return Ok(f);
+        }
+        if let Some(&r) = cache.get(&f.0) {
+            return Ok(Ref(r));
+        }
+        let n = self.node(f.0);
+        let lo = self.quant_rec(Ref(n.lo), mask, existential, cache)?;
+        let hi = self.quant_rec(Ref(n.hi), mask, existential, cache)?;
+        let r = if mask[n.var as usize] {
+            if existential {
+                self.try_or(lo, hi)?
+            } else {
+                self.try_and(lo, hi)?
+            }
+        } else {
+            self.mk(n.var, lo, hi)?
+        };
+        cache.insert(f.0, r.0);
+        Ok(r)
+    }
+
+    /// Combined `∃ vars . (f · g)` without building the full conjunction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node limit is exceeded.
+    pub fn and_exists(&mut self, f: Ref, g: Ref, vars: &[Var]) -> Ref {
+        self.try_and_exists(f, g, vars)
+            .expect("bdd node limit exceeded")
+    }
+
+    /// Fallible form of [`Bdd::and_exists`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CapacityError`] if the node limit would be
+    /// exceeded.
+    pub fn try_and_exists(&mut self, f: Ref, g: Ref, vars: &[Var]) -> BddResult<Ref> {
+        let mask = self.var_mask(vars);
+        let mut cache = FxHashMap::default();
+        self.and_exists_rec(f, g, &mask, &mut cache)
+    }
+
+    fn and_exists_rec(
+        &mut self,
+        f: Ref,
+        g: Ref,
+        mask: &[bool],
+        cache: &mut FxHashMap<(u32, u32), u32>,
+    ) -> BddResult<Ref> {
+        if f.is_false() || g.is_false() {
+            return Ok(Ref::FALSE);
+        }
+        if f.is_true() && g.is_true() {
+            return Ok(Ref::TRUE);
+        }
+        if f.is_true() {
+            return self.quant_rec(g, mask, true, &mut FxHashMap::default());
+        }
+        if g.is_true() {
+            return self.quant_rec(f, mask, true, &mut FxHashMap::default());
+        }
+        let key = if f.0 <= g.0 { (f.0, g.0) } else { (g.0, f.0) };
+        if let Some(&r) = cache.get(&key) {
+            return Ok(Ref(r));
+        }
+        let lf = self.level(f.0);
+        let lg = self.level(g.0);
+        let top = lf.min(lg);
+        let var = self.level2var[top as usize];
+        let (f0, f1) = self.cofactors_at_level(f, top);
+        let (g0, g1) = self.cofactors_at_level(g, top);
+        let lo = self.and_exists_rec(f0, g0, mask, cache)?;
+        let r = if mask[var as usize] {
+            if lo.is_true() {
+                Ref::TRUE
+            } else {
+                let hi = self.and_exists_rec(f1, g1, mask, cache)?;
+                self.try_or(lo, hi)?
+            }
+        } else {
+            let hi = self.and_exists_rec(f1, g1, mask, cache)?;
+            self.mk(var, lo, hi)?
+        };
+        cache.insert(key, r.0);
+        Ok(r)
+    }
+
+    /// The set of variables `f` actually depends on, in index order.
+    pub fn support(&self, f: Ref) -> Vec<Var> {
+        let mut seen = FxHashSet::default();
+        let mut vars = FxHashSet::default();
+        let mut stack = vec![f.0];
+        while let Some(i) = stack.pop() {
+            if i <= 1 || !seen.insert(i) {
+                continue;
+            }
+            let n = self.node(i);
+            vars.insert(n.var);
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        let mut out: Vec<Var> = vars.into_iter().map(Var).collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exists_removes_var() {
+        let mut bdd = Bdd::new();
+        let x = bdd.fresh_var();
+        let y = bdd.fresh_var();
+        let fx = bdd.var(x);
+        let fy = bdd.var(y);
+        let f = bdd.and(fx, fy);
+        assert_eq!(bdd.exists(f, &[x]), fy);
+        assert_eq!(bdd.exists(f, &[x, y]), Ref::TRUE);
+        assert_eq!(bdd.exists(Ref::FALSE, &[x]), Ref::FALSE);
+    }
+
+    #[test]
+    fn forall_is_dual() {
+        let mut bdd = Bdd::new();
+        let x = bdd.fresh_var();
+        let y = bdd.fresh_var();
+        let fx = bdd.var(x);
+        let fy = bdd.var(y);
+        let f = bdd.or(fx, fy);
+        // ∀x. x+y = y
+        assert_eq!(bdd.forall(f, &[x]), fy);
+        // ∀x,y. x+y = false
+        assert_eq!(bdd.forall(f, &[x, y]), Ref::FALSE);
+        // duality: ∀v.f = ¬∃v.¬f
+        let nf = bdd.not(f);
+        let e = bdd.exists(nf, &[x]);
+        let dual = bdd.not(e);
+        let direct = bdd.forall(f, &[x]);
+        assert_eq!(dual, direct);
+    }
+
+    #[test]
+    fn and_exists_matches_composition() {
+        let mut bdd = Bdd::new();
+        let vs = bdd.fresh_vars(4);
+        let a = bdd.var(vs[0]);
+        let b = bdd.var(vs[1]);
+        let c = bdd.var(vs[2]);
+        let d = bdd.var(vs[3]);
+        let f = {
+            let t = bdd.xor(a, b);
+            bdd.or(t, c)
+        };
+        let g = {
+            let t = bdd.and(b, d);
+            bdd.or(t, a)
+        };
+        let direct = {
+            let t = bdd.and(f, g);
+            bdd.exists(t, &[vs[1], vs[3]])
+        };
+        let fused = bdd.and_exists(f, g, &[vs[1], vs[3]]);
+        assert_eq!(direct, fused);
+    }
+
+    #[test]
+    fn support_reports_dependencies() {
+        let mut bdd = Bdd::new();
+        let x = bdd.fresh_var();
+        let y = bdd.fresh_var();
+        let z = bdd.fresh_var();
+        let fx = bdd.var(x);
+        let fz = bdd.var(z);
+        let f = bdd.xor(fx, fz);
+        assert_eq!(bdd.support(f), vec![x, z]);
+        assert_eq!(bdd.support(Ref::TRUE), vec![]);
+        let fy = bdd.var(y);
+        assert_eq!(bdd.support(fy), vec![y]);
+    }
+
+    #[test]
+    fn quantifying_absent_var_is_identity() {
+        let mut bdd = Bdd::new();
+        let x = bdd.fresh_var();
+        let y = bdd.fresh_var();
+        let fx = bdd.var(x);
+        assert_eq!(bdd.exists(fx, &[y]), fx);
+        assert_eq!(bdd.forall(fx, &[y]), fx);
+    }
+}

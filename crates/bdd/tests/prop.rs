@@ -1,0 +1,255 @@
+//! Property tests: BDD operations against brute-force truth tables.
+
+use proptest::prelude::*;
+use xrta_bdd::{Bdd, Ref, Var};
+
+const NVARS: usize = 5;
+
+/// A random Boolean expression over `NVARS` variables.
+#[derive(Clone, Debug)]
+enum Expr {
+    Var(usize),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    Ite(Box<Expr>, Box<Expr>, Box<Expr>),
+    Const(bool),
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0..NVARS).prop_map(Expr::Var),
+        any::<bool>().prop_map(Expr::Const),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(a, b, c)| Expr::Ite(Box::new(a), Box::new(b), Box::new(c))),
+        ]
+    })
+}
+
+fn eval_expr(e: &Expr, a: &[bool]) -> bool {
+    match e {
+        Expr::Var(i) => a[*i],
+        Expr::Const(b) => *b,
+        Expr::Not(x) => !eval_expr(x, a),
+        Expr::And(x, y) => eval_expr(x, a) && eval_expr(y, a),
+        Expr::Or(x, y) => eval_expr(x, a) || eval_expr(y, a),
+        Expr::Xor(x, y) => eval_expr(x, a) ^ eval_expr(y, a),
+        Expr::Ite(c, t, f) => {
+            if eval_expr(c, a) {
+                eval_expr(t, a)
+            } else {
+                eval_expr(f, a)
+            }
+        }
+    }
+}
+
+fn build(bdd: &mut Bdd, vars: &[Var], e: &Expr) -> Ref {
+    match e {
+        Expr::Var(i) => bdd.var(vars[*i]),
+        Expr::Const(b) => bdd.constant(*b),
+        Expr::Not(x) => {
+            let fx = build(bdd, vars, x);
+            bdd.not(fx)
+        }
+        Expr::And(x, y) => {
+            let fx = build(bdd, vars, x);
+            let fy = build(bdd, vars, y);
+            bdd.and(fx, fy)
+        }
+        Expr::Or(x, y) => {
+            let fx = build(bdd, vars, x);
+            let fy = build(bdd, vars, y);
+            bdd.or(fx, fy)
+        }
+        Expr::Xor(x, y) => {
+            let fx = build(bdd, vars, x);
+            let fy = build(bdd, vars, y);
+            bdd.xor(fx, fy)
+        }
+        Expr::Ite(c, t, f) => {
+            let fc = build(bdd, vars, c);
+            let ft = build(bdd, vars, t);
+            let ff = build(bdd, vars, f);
+            bdd.ite(fc, ft, ff)
+        }
+    }
+}
+
+fn assignments() -> impl Iterator<Item = Vec<bool>> {
+    (0..1usize << NVARS).map(|m| (0..NVARS).map(|i| (m >> i) & 1 == 1).collect())
+}
+
+proptest! {
+    #[test]
+    fn build_matches_semantics(e in expr_strategy()) {
+        let mut bdd = Bdd::new();
+        let vars = bdd.fresh_vars(NVARS);
+        let f = build(&mut bdd, &vars, &e);
+        for a in assignments() {
+            prop_assert_eq!(bdd.eval(f, &a), eval_expr(&e, &a));
+        }
+    }
+
+    #[test]
+    fn sat_count_matches_enumeration(e in expr_strategy()) {
+        let mut bdd = Bdd::new();
+        let vars = bdd.fresh_vars(NVARS);
+        let f = build(&mut bdd, &vars, &e);
+        let expected = assignments().filter(|a| eval_expr(&e, a)).count() as f64;
+        prop_assert_eq!(bdd.sat_count(f), expected);
+    }
+
+    #[test]
+    fn exists_matches_enumeration(e in expr_strategy(), which in 0..NVARS) {
+        let mut bdd = Bdd::new();
+        let vars = bdd.fresh_vars(NVARS);
+        let f = build(&mut bdd, &vars, &e);
+        let q = bdd.exists(f, &[vars[which]]);
+        for mut a in assignments() {
+            a[which] = false;
+            let lo = eval_expr(&e, &a);
+            a[which] = true;
+            let hi = eval_expr(&e, &a);
+            prop_assert_eq!(bdd.eval(q, &a), lo || hi);
+        }
+    }
+
+    #[test]
+    fn forall_matches_enumeration(e in expr_strategy(), which in 0..NVARS) {
+        let mut bdd = Bdd::new();
+        let vars = bdd.fresh_vars(NVARS);
+        let f = build(&mut bdd, &vars, &e);
+        let q = bdd.forall(f, &[vars[which]]);
+        for mut a in assignments() {
+            a[which] = false;
+            let lo = eval_expr(&e, &a);
+            a[which] = true;
+            let hi = eval_expr(&e, &a);
+            prop_assert_eq!(bdd.eval(q, &a), lo && hi);
+        }
+    }
+
+    #[test]
+    fn cubes_cover_exactly(e in expr_strategy()) {
+        let mut bdd = Bdd::new();
+        let vars = bdd.fresh_vars(NVARS);
+        let f = build(&mut bdd, &vars, &e);
+        let cubes = bdd.cubes(f);
+        for a in assignments() {
+            let covered = cubes.iter().any(|cube| {
+                cube.iter().all(|&(v, val)| a[v.index()] == val)
+            });
+            prop_assert_eq!(covered, eval_expr(&e, &a));
+        }
+    }
+
+    #[test]
+    fn reorder_preserves_function(e in expr_strategy(), perm_seed in 0u64..1000) {
+        let mut bdd = Bdd::new();
+        let vars = bdd.fresh_vars(NVARS);
+        let f = build(&mut bdd, &vars, &e);
+        let before: Vec<bool> = assignments().map(|a| bdd.eval(f, &a)).collect();
+        // Derive a permutation from the seed.
+        let mut order: Vec<Var> = vars.clone();
+        let mut s = perm_seed;
+        for i in (1..order.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        bdd.set_order(&order);
+        prop_assert!(bdd.check_invariants());
+        let after: Vec<bool> = assignments().map(|a| bdd.eval(f, &a)).collect();
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn sifting_preserves_function(e in expr_strategy()) {
+        let mut bdd = Bdd::new();
+        let vars = bdd.fresh_vars(NVARS);
+        let f = build(&mut bdd, &vars, &e);
+        let before: Vec<bool> = assignments().map(|a| bdd.eval(f, &a)).collect();
+        let roots = bdd.reduce(&[f]);
+        prop_assert!(bdd.check_invariants());
+        let after: Vec<bool> = assignments().map(|a| bdd.eval(roots[0], &a)).collect();
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn minimal_elements_are_minimal_and_complete(e in expr_strategy()) {
+        let mut bdd = Bdd::new();
+        let vars = bdd.fresh_vars(NVARS);
+        let f = build(&mut bdd, &vars, &e);
+        // Use the first three variables as the lattice, the rest as
+        // parameters.
+        let lattice = &vars[..3];
+        let m = bdd.minimal_wrt(f, lattice);
+        let sat: Vec<Vec<bool>> = assignments().filter(|a| eval_expr(&e, a)).collect();
+        let leq = |x: &[bool], y: &[bool]| {
+            // y ≤ x on lattice vars, equal on parameters, y != x
+            let mut strict = false;
+            for i in 0..NVARS {
+                if i < 3 {
+                    if y[i] && !x[i] { return false; }
+                    if x[i] && !y[i] { strict = true; }
+                } else if x[i] != y[i] {
+                    return false;
+                }
+            }
+            strict
+        };
+        for a in assignments() {
+            let in_f = eval_expr(&e, &a);
+            let is_min = in_f && !sat.iter().any(|y| leq(&a, y));
+            prop_assert_eq!(bdd.eval(m, &a), is_min);
+        }
+    }
+
+    #[test]
+    fn upper_closure_is_dominating_set(e in expr_strategy()) {
+        let mut bdd = Bdd::new();
+        let vars = bdd.fresh_vars(NVARS);
+        let f = build(&mut bdd, &vars, &e);
+        let lattice = &vars[..3];
+        let up = bdd.upper_closure_wrt(f, lattice);
+        let sat: Vec<Vec<bool>> = assignments().filter(|a| eval_expr(&e, a)).collect();
+        let dominates = |x: &[bool], y: &[bool]| {
+            // x ≥ y on lattice, equal on params
+            (0..NVARS).all(|i| if i < 3 { x[i] || !y[i] } else { x[i] == y[i] })
+        };
+        for a in assignments() {
+            let expect = sat.iter().any(|y| dominates(&a, y));
+            prop_assert_eq!(bdd.eval(up, &a), expect);
+        }
+    }
+
+    #[test]
+    fn compose_matches_substitution(e in expr_strategy(), g in expr_strategy(), which in 0..NVARS) {
+        let mut bdd = Bdd::new();
+        let vars = bdd.fresh_vars(NVARS);
+        let f = build(&mut bdd, &vars, &e);
+        let gg = build(&mut bdd, &vars, &g);
+        let h = bdd.compose(f, vars[which], gg);
+        for mut a in assignments() {
+            let gval = eval_expr(&g, &a);
+            let expect = {
+                let saved = a[which];
+                a[which] = gval;
+                let r = eval_expr(&e, &a);
+                a[which] = saved;
+                r
+            };
+            prop_assert_eq!(bdd.eval(h, &a), expect);
+        }
+    }
+}

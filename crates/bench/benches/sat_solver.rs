@@ -1,0 +1,89 @@
+//! Micro-benchmarks for the CDCL solver: a structured UNSAT family
+//! (pigeonhole) and circuit-equivalence queries through the Tseitin
+//! bridge.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xrta_circuits::{carry_skip_adder, ripple_carry_adder};
+use xrta_network::NetworkCnf;
+use xrta_sat::{Cnf, SolveResult, Solver, Var};
+
+fn pigeonhole(n: usize) -> Solver {
+    let mut s = Solver::new();
+    let mut p = vec![vec![Var::from_index(0); n - 1]; n];
+    for row in &mut p {
+        for cell in row.iter_mut() {
+            *cell = s.new_var();
+        }
+    }
+    for row in &p {
+        s.add_clause(row.iter().map(|v| v.positive()));
+    }
+    for h in 0..n - 1 {
+        for i in 0..n {
+            for j in (i + 1)..n {
+                s.add_clause([p[i][h].negative(), p[j][h].negative()]);
+            }
+        }
+    }
+    s
+}
+
+fn bench_pigeonhole(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sat_pigeonhole");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [6usize, 7] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut s = pigeonhole(n);
+                assert_eq!(s.solve(), SolveResult::Unsat);
+                std::hint::black_box(s.stats().conflicts)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_equivalence(c: &mut Criterion) {
+    // Miter of ripple-carry vs carry-skip: UNSAT proves equivalence.
+    let mut g = c.benchmark_group("sat_equivalence");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for width in [6usize, 8] {
+        let a = ripple_carry_adder(width).expect("valid");
+        let b_net = carry_skip_adder(width, 3).expect("valid");
+        g.bench_with_input(
+            BenchmarkId::new("rca_vs_csk", width),
+            &width,
+            |bch, _| {
+                bch.iter(|| {
+                    let mut cnf = Cnf::new();
+                    let ea = NetworkCnf::encode(&mut cnf, &a);
+                    let eb = NetworkCnf::encode(&mut cnf, &b_net);
+                    // Tie the inputs together.
+                    for (&ia, &ib) in a.inputs().iter().zip(b_net.inputs()) {
+                        cnf.assert_equal(ea.of(ia), eb.of(ib));
+                    }
+                    // Some output differs?
+                    let diffs: Vec<_> = a
+                        .outputs()
+                        .iter()
+                        .zip(b_net.outputs())
+                        .map(|(&oa, &ob)| cnf.xor(ea.of(oa), eb.of(ob)))
+                        .collect();
+                    let any = cnf.or(diffs);
+                    cnf.assert_lit(any);
+                    let (r, _) = cnf.solve();
+                    assert_eq!(r, SolveResult::Unsat, "adders are equivalent");
+                    std::hint::black_box(r)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pigeonhole, bench_equivalence);
+criterion_main!(benches);

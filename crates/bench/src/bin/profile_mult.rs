@@ -1,0 +1,61 @@
+//! Diagnostic: where does the time go on the C6288-class multiplier?
+//! Times the leaf plan, one SAT stability query, and one full oracle
+//! call. Not part of the reproduction tables.
+
+use std::time::Instant;
+
+use xrta_chi::ChiSatEngine;
+use xrta_circuits::array_multiplier;
+use xrta_core::plan_leaves;
+use xrta_timing::{topological_delays, Time, UnitDelay};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let net = array_multiplier(n).expect("valid");
+    println!(
+        "mult{n}x{n}: {} gates, {} inputs, {} outputs",
+        net.gate_count(),
+        net.inputs().len(),
+        net.outputs().len()
+    );
+    let topo = topological_delays(&net, &UnitDelay);
+    let depth = topo.iter().max().unwrap();
+    println!("topological depth: {depth}");
+
+    let t0 = Instant::now();
+    let plan = plan_leaves(&net, &UnitDelay, &vec![Time::ZERO; net.outputs().len()], |_| true);
+    println!(
+        "plan: {} leaves in {:?}",
+        plan.leaf_count(),
+        t0.elapsed()
+    );
+
+    let t0 = Instant::now();
+    let mut eng = ChiSatEngine::new(&net, &UnitDelay, vec![Time::ZERO; net.inputs().len()]);
+    eng.set_conflict_budget(Some(20_000));
+    // Check the most significant product bit at its topological time.
+    let (hard_out, t_hard) = net
+        .outputs()
+        .iter()
+        .zip(&topo)
+        .max_by_key(|(_, t)| **t)
+        .map(|(&o, &t)| (o, t))
+        .unwrap();
+    let r = eng.check_stable(&net, hard_out, t_hard);
+    println!(
+        "one stability query (t = topo = {t_hard}): {r:?} in {:?}, stats {:?}",
+        t0.elapsed(),
+        eng.stats()
+    );
+
+    let t0 = Instant::now();
+    let r = eng.check_stable(&net, hard_out, t_hard - 1);
+    println!(
+        "query at topo-1: {r:?} in {:?}, stats {:?}",
+        t0.elapsed(),
+        eng.stats()
+    );
+}

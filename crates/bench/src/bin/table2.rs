@@ -1,0 +1,89 @@
+//! Reproduces the paper's **Table 2**: the second approximate algorithm
+//! (lattice climbing with a SAT timing oracle) on (surrogates of) the
+//! ISCAS-85 combinational benchmarks.
+//!
+//! Columns as in the paper: whether non-trivial required times were
+//! found, CPU time until the first `r ≠ r⊥`, and CPU time for the whole
+//! analysis (or `> budget`, standing in for the paper's `> 12 hours`).
+//!
+//! Usage:
+//!
+//! ```text
+//! table2 [--budget-secs S] [--rows C432,C6288,...]
+//! ```
+
+use std::time::Duration;
+
+use xrta_bench::{print_table, run_approx2, RunOutcome};
+use xrta_circuits::iscas_rows;
+
+fn main() {
+    let mut budget = Duration::from_secs(120);
+    let mut row_filter: Option<Vec<String>> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--budget-secs" => {
+                budget = Duration::from_secs(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--budget-secs needs a number"),
+                );
+            }
+            "--rows" => {
+                row_filter = Some(
+                    args.next()
+                        .expect("--rows needs a list")
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .collect(),
+                );
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!("Table 2: Required Time Computation — ISCAS (approx 2)");
+    println!("(surrogate circuits; unit delay; req(PO) = 0; see DESIGN.md §3)");
+    println!("per-row budget = {budget:?}\n");
+
+    let mut rows = Vec::new();
+    for row in iscas_rows() {
+        if let Some(f) = &row_filter {
+            if !f.iter().any(|n| n == row.name) {
+                continue;
+            }
+        }
+        eprintln!("running {} ...", row.name);
+        let net = row.build();
+        let rep = run_approx2(&net, budget);
+        let nontrivial = rep.outcome.nontrivial();
+        let first = rep
+            .first_nontrivial
+            .map(|d| format!("{:.2}", d.as_secs_f64()))
+            .unwrap_or_else(|| "-".to_string());
+        let total = match &rep.outcome {
+            RunOutcome::Done { elapsed, .. } => format!("{:.2}", elapsed.as_secs_f64()),
+            RunOutcome::OverBudget { .. } => "> budget".to_string(),
+            other => other.cell(),
+        };
+        rows.push(vec![
+            row.name.to_string(),
+            if nontrivial { "Yes" } else { "No" }.to_string(),
+            first,
+            total,
+        ]);
+    }
+    print_table(
+        &[
+            "circuit",
+            "Non-trivial required time?",
+            "CPU time first r != r_bot (s)",
+            "CPU time r_max (s)",
+        ],
+        &rows,
+    );
+}

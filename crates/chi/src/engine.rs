@@ -1,0 +1,321 @@
+//! The χ-function recursion over BDDs (§2.3 of the paper).
+//!
+//! `χ_{n,v}^t` is the characteristic function (over primary-input
+//! vectors) of the set of inputs that make node `n` stable at constant
+//! `v ∈ {0,1}` by time `t`, under the XBD0 model. The recursion:
+//!
+//! ```text
+//! χ_{n,v}^t = Σ_{p ∈ P_n^v} [ Π_{m∈p⁺} χ_{m,1}^{t-d_n} · Π_{m∈p⁻} χ_{m,0}^{t-d_n} ]
+//! ```
+//!
+//! where `P_n^1` / `P_n^0` are the primes of the node function and of its
+//! complement. Terminal cases at primary inputs are pluggable through
+//! [`LeafChi`]: the standard analysis uses known arrival times
+//! ([`KnownArrivalLeaves`]); the required-time analysis of `xrta-core`
+//! swaps in *unknown leaf variables* instead — the key move of §4.
+
+use xrta_bdd::{Bdd, BddResult, FxHashMap, Ref};
+use xrta_network::{Network, NodeId};
+use xrta_timing::{DelayModel, Time};
+
+/// Supplies the terminal χ values at primary inputs.
+pub trait LeafChi {
+    /// χ value for primary input `node` (position `input_pos` in
+    /// `net.inputs()`), constant `value`, time `t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`xrta_bdd::CapacityError`] if BDD construction hits the
+    /// node limit.
+    fn leaf(
+        &mut self,
+        bdd: &mut Bdd,
+        input_pos: usize,
+        node: NodeId,
+        value: bool,
+        t: Time,
+    ) -> BddResult<Ref>;
+}
+
+/// Standard terminal case: `χ_{x,1}^t = x` when `t ≥ arr(x)`, else ∅
+/// (and dually for value 0).
+#[derive(Debug, Clone)]
+pub struct KnownArrivalLeaves {
+    /// Arrival time per primary input (aligned with `net.inputs()`).
+    pub arrivals: Vec<Time>,
+    /// BDD variable per primary input (aligned with `net.inputs()`).
+    pub input_vars: Vec<xrta_bdd::Var>,
+}
+
+impl LeafChi for KnownArrivalLeaves {
+    fn leaf(
+        &mut self,
+        bdd: &mut Bdd,
+        input_pos: usize,
+        _node: NodeId,
+        value: bool,
+        t: Time,
+    ) -> BddResult<Ref> {
+        if t >= self.arrivals[input_pos] {
+            if value {
+                bdd.try_var(self.input_vars[input_pos])
+            } else {
+                bdd.try_nvar(self.input_vars[input_pos])
+            }
+        } else {
+            Ok(Ref::FALSE)
+        }
+    }
+}
+
+/// χ-function computer over a fixed network and delay model.
+///
+/// Memoizes on `(node, value, t)`; times are generated lazily by the
+/// backward need-driven recursion, so only the `t - Σ d` points that can
+/// actually occur are ever computed.
+pub struct ChiBddEngine<L> {
+    delays: Vec<i64>,
+    input_pos: Vec<Option<usize>>,
+    cache: FxHashMap<(u32, bool, Time), Ref>,
+    /// The pluggable terminal-case provider.
+    pub leaves: L,
+}
+
+impl<L: LeafChi> ChiBddEngine<L> {
+    /// Creates an engine for `net` under `model`.
+    pub fn new<D: DelayModel>(net: &Network, model: &D, leaves: L) -> Self {
+        let delays = net
+            .node_ids()
+            .map(|id| {
+                if net.node(id).is_input() {
+                    0
+                } else {
+                    model.delay(net, id)
+                }
+            })
+            .collect();
+        let mut input_pos = vec![None; net.node_count()];
+        for (i, &id) in net.inputs().iter().enumerate() {
+            input_pos[id.index()] = Some(i);
+        }
+        ChiBddEngine {
+            delays,
+            input_pos,
+            cache: FxHashMap::default(),
+            leaves,
+        }
+    }
+
+    /// Clears the memo table (required if the leaf provider's answers
+    /// change, e.g. new arrival times).
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// `χ_{node,value}^t` as a BDD over the leaf provider's variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`xrta_bdd::CapacityError`] on BDD node-limit exhaustion.
+    pub fn chi(
+        &mut self,
+        bdd: &mut Bdd,
+        net: &Network,
+        node: NodeId,
+        value: bool,
+        t: Time,
+    ) -> BddResult<Ref> {
+        let key = (node.index() as u32, value, t);
+        if let Some(&r) = self.cache.get(&key) {
+            return Ok(r);
+        }
+        let r = if let Some(pos) = self.input_pos[node.index()] {
+            self.leaves.leaf(bdd, pos, node, value, t)?
+        } else {
+            let n = net.node(node);
+            let primes = if value {
+                n.primes()
+            } else {
+                n.primes_of_complement()
+            };
+            let t_in = t - self.delays[node.index()];
+            let mut acc = Ref::FALSE;
+            for cube in primes {
+                let mut term = Ref::TRUE;
+                for (i, &fanin) in n.fanins.iter().enumerate() {
+                    let bit = 1u32 << i;
+                    if cube.pos & bit != 0 {
+                        let c = self.chi(bdd, net, fanin, true, t_in)?;
+                        term = bdd.try_and(term, c)?;
+                    } else if cube.neg & bit != 0 {
+                        let c = self.chi(bdd, net, fanin, false, t_in)?;
+                        term = bdd.try_and(term, c)?;
+                    }
+                    if term.is_false() {
+                        break;
+                    }
+                }
+                acc = bdd.try_or(acc, term)?;
+                if acc.is_true() {
+                    break;
+                }
+            }
+            acc
+        };
+        self.cache.insert(key, r);
+        Ok(r)
+    }
+
+    /// Stability function `χ̃_n^t = χ_{n,1}^t + χ_{n,0}^t`: the set of
+    /// input vectors under which the signal at `node` is settled (to
+    /// either constant) by `t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`xrta_bdd::CapacityError`] on node-limit exhaustion.
+    pub fn chi_stable(
+        &mut self,
+        bdd: &mut Bdd,
+        net: &Network,
+        node: NodeId,
+        t: Time,
+    ) -> BddResult<Ref> {
+        let one = self.chi(bdd, net, node, true, t)?;
+        let zero = self.chi(bdd, net, node, false, t)?;
+        bdd.try_or(one, zero)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrta_network::GateKind;
+    use xrta_timing::UnitDelay;
+
+    fn engine_for(
+        net: &Network,
+        bdd: &mut Bdd,
+        arrivals: Vec<Time>,
+    ) -> ChiBddEngine<KnownArrivalLeaves> {
+        let input_vars = net.inputs().iter().map(|_| bdd.fresh_var()).collect();
+        ChiBddEngine::new(
+            net,
+            &UnitDelay,
+            KnownArrivalLeaves {
+                arrivals,
+                input_vars,
+            },
+        )
+    }
+
+    /// The paper's own AND-gate example: χ²_{z,1} for z = x1·x2 via a
+    /// buffered x2 equals x1·x2 (both must be 1 early enough).
+    #[test]
+    fn fig4_chi_functions() {
+        let mut net = Network::new("fig4");
+        let x1 = net.add_input("x1").unwrap();
+        let x2 = net.add_input("x2").unwrap();
+        let b = net.add_gate("b", GateKind::Buf, &[x2]).unwrap();
+        let z = net.add_gate("z", GateKind::And, &[x1, b]).unwrap();
+        net.mark_output(z);
+        let mut bdd = Bdd::new();
+        let mut eng = engine_for(&net, &mut bdd, vec![Time::ZERO, Time::ZERO]);
+        let v1 = eng.leaves.input_vars[0];
+        let v2 = eng.leaves.input_vars[1];
+        // At t=2 the output is fully settled: χ1 = onset, χ0 = offset.
+        let chi1 = eng.chi(&mut bdd, &net, z, true, Time::new(2)).unwrap();
+        let chi0 = eng.chi(&mut bdd, &net, z, false, Time::new(2)).unwrap();
+        let (a, b_) = {
+            let fa = bdd.var(v1);
+            let fb = bdd.var(v2);
+            (fa, fb)
+        };
+        let onset = bdd.and(a, b_);
+        let offset = bdd.not(onset);
+        assert_eq!(chi1, onset);
+        assert_eq!(chi0, offset);
+        // At t=1: the AND can settle to 0 through the direct x1 path
+        // (x1=0 arrives at 0, AND delay 1) but the x2=0 path is too slow.
+        let chi0_t1 = eng.chi(&mut bdd, &net, z, false, Time::new(1)).unwrap();
+        let na = bdd.not(a);
+        assert_eq!(chi0_t1, na);
+        // χ1 at t=1 is empty: the x2 side cannot deliver a 1 in time.
+        let chi1_t1 = eng.chi(&mut bdd, &net, z, true, Time::new(1)).unwrap();
+        assert!(chi1_t1.is_false());
+        // At t=0 nothing is settled.
+        let s = eng.chi_stable(&mut bdd, &net, z, Time::ZERO).unwrap();
+        assert!(s.is_false());
+    }
+
+    #[test]
+    fn chi_monotone_in_time() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let c = net.add_input("c").unwrap();
+        let g1 = net.add_gate("g1", GateKind::Nand, &[a, b]).unwrap();
+        let g2 = net.add_gate("g2", GateKind::Xor, &[g1, c]).unwrap();
+        net.mark_output(g2);
+        let mut bdd = Bdd::new();
+        let mut eng = engine_for(&net, &mut bdd, vec![Time::ZERO; 3]);
+        let mut prev = Ref::FALSE;
+        for t in -1..5i64 {
+            let s = eng.chi_stable(&mut bdd, &net, g2, Time::new(t)).unwrap();
+            assert!(bdd.is_subset(prev, s), "χ̃ not monotone at t={t}");
+            prev = s;
+        }
+        assert!(prev.is_true(), "settled by topological delay");
+    }
+
+    #[test]
+    fn chi_respects_arrival_offsets() {
+        // A buffer from a late input: stable only after arr + 1.
+        let mut net = Network::new("t");
+        let a = net.add_input("a").unwrap();
+        let z = net.add_gate("z", GateKind::Buf, &[a]).unwrap();
+        net.mark_output(z);
+        let mut bdd = Bdd::new();
+        let mut eng = engine_for(&net, &mut bdd, vec![Time::new(5)]);
+        let s5 = eng.chi_stable(&mut bdd, &net, z, Time::new(5)).unwrap();
+        assert!(s5.is_false());
+        let s6 = eng.chi_stable(&mut bdd, &net, z, Time::new(6)).unwrap();
+        assert!(s6.is_true());
+    }
+
+    #[test]
+    fn false_path_settles_early() {
+        // Classic 2-way reconvergence: z = MUX(s, f(x), g(x)) where both
+        // data paths compute the same function — the longer path is
+        // false. Concretely: z = s·a + ¬s·a = a, one branch padded.
+        let mut net = Network::new("fp");
+        let s = net.add_input("s").unwrap();
+        let a = net.add_input("a").unwrap();
+        let b1 = net.add_gate("b1", GateKind::Buf, &[a]).unwrap();
+        let b2 = net.add_gate("b2", GateKind::Buf, &[b1]).unwrap();
+        let b3 = net.add_gate("b3", GateKind::Buf, &[b2]).unwrap(); // slow copy of a
+        let z = net.add_gate("z", GateKind::Mux, &[s, a, b3]).unwrap();
+        net.mark_output(z);
+        // Topological delay = 4 (a -> b1 -> b2 -> b3 -> z).
+        let mut bdd = Bdd::new();
+        let mut eng = engine_for(&net, &mut bdd, vec![Time::ZERO; 2]);
+        // At t=4 stable for every vector.
+        let s4 = eng.chi_stable(&mut bdd, &net, z, Time::new(4)).unwrap();
+        assert!(s4.is_true());
+        // Not stable for all vectors at t=1: when s=1 the slow path is
+        // selected... but the consensus prime d0·d1 lets a=1 settle z=1
+        // early. Check exact content instead of blanket falsity:
+        // at t=1, settled vectors are those where the fast path decides.
+        let s1 = eng.chi_stable(&mut bdd, &net, z, Time::new(1)).unwrap();
+        assert!(!s1.is_true());
+        let sa = bdd.var(eng.leaves.input_vars[0]);
+        let fa = bdd.var(eng.leaves.input_vars[1]);
+        let nsa = bdd.not(sa);
+        let fast_select = nsa; // s=0 selects the direct-a input
+        let settled_fast = bdd.and(fast_select, Ref::TRUE);
+        assert!(
+            bdd.is_subset(settled_fast, s1),
+            "s=0 vectors settle by t=1 regardless of a"
+        );
+        let _ = fa;
+    }
+}

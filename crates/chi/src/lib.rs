@@ -1,0 +1,43 @@
+//! # xrta-chi — functional (false-path) delay analysis under XBD0
+//!
+//! The sensitization substrate of the paper (§2): χ-function computation
+//! with both a BDD engine ([`ChiBddEngine`]) and an incremental SAT
+//! engine ([`ChiSatEngine`]), plus true-arrival-time computation by
+//! binary search over stability queries ([`FunctionalTiming`]).
+//!
+//! Under the extended bounded delay-0 (XBD0) model each gate exhibits any
+//! delay between 0 and its maximum; `χ_{n,v}^t` is the set of input
+//! vectors guaranteeing node `n` is settled at constant `v` by time `t`.
+//! Paths that are never sensitized ("false paths") let outputs settle
+//! before the topological delay — the effect the required-time analysis
+//! of `xrta-core` exploits in reverse.
+//!
+//! ## Example
+//!
+//! ```
+//! use xrta_network::{Network, GateKind};
+//! use xrta_timing::{Time, UnitDelay, topological_delays};
+//! use xrta_chi::{FunctionalTiming, EngineKind};
+//!
+//! // z = MUX(s, a, slow copy of a): the long path is false.
+//! let mut net = Network::new("fp");
+//! let s = net.add_input("s")?;
+//! let a = net.add_input("a")?;
+//! let b1 = net.add_gate("b1", GateKind::Buf, &[a])?;
+//! let b2 = net.add_gate("b2", GateKind::Buf, &[b1])?;
+//! let z = net.add_gate("z", GateKind::Mux, &[s, a, b2])?;
+//! net.mark_output(z);
+//!
+//! let topo = topological_delays(&net, &UnitDelay)[0];
+//! let ft = FunctionalTiming::new(&net, &UnitDelay, vec![Time::ZERO; 2], EngineKind::Bdd);
+//! assert!(ft.true_arrival(z) <= topo);
+//! # Ok::<(), xrta_network::NetworkError>(())
+//! ```
+
+mod engine;
+mod sat_engine;
+mod true_delay;
+
+pub use engine::{ChiBddEngine, KnownArrivalLeaves, LeafChi};
+pub use sat_engine::{ChiSatEngine, Stability};
+pub use true_delay::{EngineKind, FunctionalTiming};

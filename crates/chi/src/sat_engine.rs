@@ -1,0 +1,271 @@
+//! SAT-based χ analysis (the engine of reference [9] in the paper).
+//!
+//! Instead of building χ functions as BDDs, each `χ_{n,v}^t` becomes one
+//! literal of an incrementally grown CNF ("the χ network"); the question
+//! *"is output `z` stable by `t` for every input vector?"* becomes the
+//! unsatisfiability of `¬χ̃_z^t`. One [`Solver`] instance persists across
+//! queries, so later queries reuse both the encoded χ nodes and the
+//! learnt clauses.
+
+use xrta_bdd::FxHashMap;
+use xrta_network::{Network, NodeId};
+use xrta_sat::{Lit, SolveResult, Solver};
+use xrta_timing::{DelayModel, Time};
+
+/// Incremental SAT-based stability checker for one network under fixed
+/// input arrival times.
+pub struct ChiSatEngine {
+    solver: Solver,
+    /// One free variable per primary input (the input vector).
+    input_lits: Vec<Lit>,
+    arrivals: Vec<Time>,
+    delays: Vec<i64>,
+    input_pos: Vec<Option<usize>>,
+    chi_lit: FxHashMap<(u32, bool, Time), Lit>,
+    const_true: Lit,
+}
+
+/// Outcome of a budgeted stability query.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Stability {
+    /// Provably settled by the queried time for every input vector.
+    Stable,
+    /// A witness input vector keeps the node unsettled.
+    Unstable,
+    /// The conflict budget ran out before a verdict.
+    Unknown,
+}
+
+impl ChiSatEngine {
+    /// Creates an engine for `net` with the given per-input arrival
+    /// times (aligned with `net.inputs()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrivals.len() != net.inputs().len()`.
+    pub fn new<D: DelayModel>(net: &Network, model: &D, arrivals: Vec<Time>) -> Self {
+        assert_eq!(arrivals.len(), net.inputs().len());
+        let mut solver = Solver::new();
+        let input_lits: Vec<Lit> = net
+            .inputs()
+            .iter()
+            .map(|_| solver.new_var().positive())
+            .collect();
+        let const_true = solver.new_var().positive();
+        solver.add_clause([const_true]);
+        let delays = net
+            .node_ids()
+            .map(|id| {
+                if net.node(id).is_input() {
+                    0
+                } else {
+                    model.delay(net, id)
+                }
+            })
+            .collect();
+        let mut input_pos = vec![None; net.node_count()];
+        for (i, &id) in net.inputs().iter().enumerate() {
+            input_pos[id.index()] = Some(i);
+        }
+        ChiSatEngine {
+            solver,
+            input_lits,
+            arrivals,
+            delays,
+            input_pos,
+            chi_lit: FxHashMap::default(),
+            const_true,
+        }
+    }
+
+    /// The literal encoding `χ_{node,value}^t`, building clauses on
+    /// demand.
+    pub fn chi_lit(&mut self, net: &Network, node: NodeId, value: bool, t: Time) -> Lit {
+        let key = (node.index() as u32, value, t);
+        if let Some(&l) = self.chi_lit.get(&key) {
+            return l;
+        }
+        let lit = if let Some(pos) = self.input_pos[node.index()] {
+            if t >= self.arrivals[pos] {
+                if value {
+                    self.input_lits[pos]
+                } else {
+                    !self.input_lits[pos]
+                }
+            } else {
+                !self.const_true
+            }
+        } else {
+            let n = net.node(node);
+            let primes = if value {
+                n.primes()
+            } else {
+                n.primes_of_complement()
+            };
+            let fanins = n.fanins.clone();
+            let t_in = t - self.delays[node.index()];
+            let mut terms: Vec<Lit> = Vec::with_capacity(primes.len());
+            for cube in primes {
+                let mut conj: Vec<Lit> = Vec::new();
+                for (i, &fanin) in fanins.iter().enumerate() {
+                    let bit = 1u32 << i;
+                    if cube.pos & bit != 0 {
+                        conj.push(self.chi_lit(net, fanin, true, t_in));
+                    } else if cube.neg & bit != 0 {
+                        conj.push(self.chi_lit(net, fanin, false, t_in));
+                    }
+                }
+                terms.push(self.and_lit(&conj));
+            }
+            self.or_lit(&terms)
+        };
+        self.chi_lit.insert(key, lit);
+        lit
+    }
+
+    fn and_lit(&mut self, lits: &[Lit]) -> Lit {
+        match lits.len() {
+            0 => self.const_true,
+            1 => lits[0],
+            _ => {
+                let out = self.solver.new_var().positive();
+                for &l in lits {
+                    self.solver.add_clause([!out, l]);
+                }
+                let mut clause: Vec<Lit> = lits.iter().map(|&l| !l).collect();
+                clause.push(out);
+                self.solver.add_clause(clause);
+                out
+            }
+        }
+    }
+
+    fn or_lit(&mut self, lits: &[Lit]) -> Lit {
+        match lits.len() {
+            0 => !self.const_true,
+            1 => lits[0],
+            _ => {
+                let out = self.solver.new_var().positive();
+                for &l in lits {
+                    self.solver.add_clause([!l, out]);
+                }
+                let mut clause: Vec<Lit> = lits.to_vec();
+                clause.push(!out);
+                self.solver.add_clause(clause);
+                out
+            }
+        }
+    }
+
+    /// Limits the solver's conflicts per stability query; queries that
+    /// exhaust the budget report [`Stability::Unknown`].
+    pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
+        self.solver.set_conflict_budget(budget);
+    }
+
+    /// Limits unit propagations per stability query (a hard wall-clock
+    /// bound on huge χ networks); exhausted queries report
+    /// [`Stability::Unknown`].
+    pub fn set_propagation_budget(&mut self, budget: Option<u64>) {
+        self.solver.set_propagation_budget(budget);
+    }
+
+    /// Is `node` stable (settled to its final value) by `t` for **every**
+    /// input vector? One UNSAT query on `¬χ̃`.
+    pub fn stable_by(&mut self, net: &Network, node: NodeId, t: Time) -> bool {
+        self.check_stable(net, node, t) == Stability::Stable
+    }
+
+    /// Budget-aware form of [`ChiSatEngine::stable_by`].
+    pub fn check_stable(&mut self, net: &Network, node: NodeId, t: Time) -> Stability {
+        let one = self.chi_lit(net, node, true, t);
+        let zero = self.chi_lit(net, node, false, t);
+        let settled = self.or_lit(&[one, zero]);
+        match self.solver.solve_with_assumptions(&[!settled]) {
+            SolveResult::Unsat => Stability::Stable,
+            SolveResult::Sat => Stability::Unstable,
+            SolveResult::Unknown => Stability::Unknown,
+        }
+    }
+
+    /// A witness input vector for which `node` is *not* settled by `t`,
+    /// if any.
+    pub fn instability_witness(
+        &mut self,
+        net: &Network,
+        node: NodeId,
+        t: Time,
+    ) -> Option<Vec<bool>> {
+        let one = self.chi_lit(net, node, true, t);
+        let zero = self.chi_lit(net, node, false, t);
+        let settled = self.or_lit(&[one, zero]);
+        match self.solver.solve_with_assumptions(&[!settled]) {
+            SolveResult::Unsat => None,
+            SolveResult::Sat => Some(
+                self.input_lits
+                    .iter()
+                    .map(|&l| self.solver.model_lit(l).unwrap_or(false))
+                    .collect(),
+            ),
+            SolveResult::Unknown => unreachable!("no conflict budget configured"),
+        }
+    }
+
+    /// Accumulated solver statistics.
+    pub fn stats(&self) -> xrta_sat::SolverStats {
+        self.solver.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrta_network::GateKind;
+    use xrta_timing::UnitDelay;
+
+    #[test]
+    fn stability_thresholds_match_topology_without_false_paths() {
+        // A balanced XOR tree has no false paths: stable exactly at depth.
+        let mut net = Network::new("t");
+        let ins: Vec<_> = (0..4)
+            .map(|i| net.add_input(format!("i{i}")).unwrap())
+            .collect();
+        let a = net.add_gate("a", GateKind::Xor, &[ins[0], ins[1]]).unwrap();
+        let b = net.add_gate("b", GateKind::Xor, &[ins[2], ins[3]]).unwrap();
+        let z = net.add_gate("z", GateKind::Xor, &[a, b]).unwrap();
+        net.mark_output(z);
+        let mut eng = ChiSatEngine::new(&net, &UnitDelay, vec![Time::ZERO; 4]);
+        assert!(!eng.stable_by(&net, z, Time::new(1)));
+        assert!(!eng.stable_by(&net, z, Time::new(1)));
+        assert!(eng.stable_by(&net, z, Time::new(2)));
+        assert!(eng.stable_by(&net, z, Time::new(7)));
+    }
+
+    #[test]
+    fn witness_is_actually_unstable() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let g = net.add_gate("g", GateKind::And, &[a, b]).unwrap();
+        net.mark_output(g);
+        let mut eng = ChiSatEngine::new(&net, &UnitDelay, vec![Time::ZERO; 2]);
+        // At t=0 nothing has propagated; any vector is a witness.
+        assert!(eng.instability_witness(&net, g, Time::ZERO).is_some());
+        assert!(eng.instability_witness(&net, g, Time::new(1)).is_none());
+    }
+
+    #[test]
+    fn respects_late_arrivals() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let g = net.add_gate("g", GateKind::Or, &[a, b]).unwrap();
+        net.mark_output(g);
+        // b arrives at 3: the OR can still settle to 1 early via a=1,
+        // but full stability needs t ≥ 4.
+        let mut eng = ChiSatEngine::new(&net, &UnitDelay, vec![Time::ZERO, Time::new(3)]);
+        assert!(!eng.stable_by(&net, g, Time::new(1)));
+        assert!(!eng.stable_by(&net, g, Time::new(3)));
+        assert!(eng.stable_by(&net, g, Time::new(4)));
+    }
+}

@@ -1,0 +1,338 @@
+//! True (functional) arrival times via binary search over χ stability,
+//! and the stability oracle used by the paper's second approximation.
+
+use xrta_bdd::Bdd;
+use xrta_network::{Network, NodeId};
+use xrta_timing::{arrival_times, DelayModel, Time};
+
+use crate::engine::{ChiBddEngine, KnownArrivalLeaves};
+use crate::sat_engine::ChiSatEngine;
+
+/// Which decision engine performs stability checks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EngineKind {
+    /// χ functions as BDDs; stability is a canonicity check.
+    Bdd,
+    /// χ network in CNF; stability is an UNSAT query (the scalable
+    /// engine the paper uses for its ISCAS experiments).
+    Sat,
+}
+
+/// A functional-timing analyzer for one network, delay model and set of
+/// input arrival times.
+///
+/// The true arrival time of an output is the earliest `t` at which every
+/// input vector has the output settled — possibly earlier than the
+/// topological arrival when the long paths are false.
+pub struct FunctionalTiming<'n, D> {
+    net: &'n Network,
+    model: &'n D,
+    arrivals: Vec<Time>,
+    kind: EngineKind,
+    conflict_budget: Option<u64>,
+    propagation_budget: Option<u64>,
+}
+
+impl<'n, D: DelayModel> FunctionalTiming<'n, D> {
+    /// Creates an analyzer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrivals.len() != net.inputs().len()`.
+    pub fn new(net: &'n Network, model: &'n D, arrivals: Vec<Time>, kind: EngineKind) -> Self {
+        assert_eq!(arrivals.len(), net.inputs().len());
+        FunctionalTiming {
+            net,
+            model,
+            arrivals,
+            kind,
+            conflict_budget: None,
+            propagation_budget: None,
+        }
+    }
+
+    /// Limits SAT conflicts per stability query (SAT engine only).
+    /// Inconclusive queries are treated **conservatively** — as "not
+    /// provably stable" — so [`FunctionalTiming::meets`] never wrongly
+    /// accepts and [`FunctionalTiming::true_arrival`] can only err
+    /// towards later (topological) times.
+    pub fn with_conflict_budget(mut self, budget: Option<u64>) -> Self {
+        self.conflict_budget = budget;
+        self
+    }
+
+    /// Limits unit propagations per stability query (SAT engine only),
+    /// with the same conservative treatment of inconclusive answers as
+    /// [`FunctionalTiming::with_conflict_budget`].
+    pub fn with_propagation_budget(mut self, budget: Option<u64>) -> Self {
+        self.propagation_budget = budget;
+        self
+    }
+
+    fn sat_engine(&self) -> ChiSatEngine {
+        let mut eng = ChiSatEngine::new(self.net, self.model, self.arrivals.clone());
+        eng.set_conflict_budget(self.conflict_budget);
+        eng.set_propagation_budget(self.propagation_budget);
+        eng
+    }
+
+    /// Is `node` settled by `t` for all input vectors?
+    pub fn stable_by(&self, node: NodeId, t: Time) -> bool {
+        match self.kind {
+            EngineKind::Sat => {
+                let mut eng = self.sat_engine();
+                eng.stable_by(self.net, node, t)
+            }
+            EngineKind::Bdd => {
+                let mut bdd = Bdd::new();
+                let input_vars = self.net.inputs().iter().map(|_| bdd.fresh_var()).collect();
+                let mut eng = ChiBddEngine::new(
+                    self.net,
+                    self.model,
+                    KnownArrivalLeaves {
+                        arrivals: self.arrivals.clone(),
+                        input_vars,
+                    },
+                );
+                eng.chi_stable(&mut bdd, self.net, node, t)
+                    .expect("bdd node limit exceeded")
+                    .is_true()
+            }
+        }
+    }
+
+    /// Checks a whole required-time vector at once: is every primary
+    /// output settled by its required time (aligned with
+    /// `net.outputs()`)? This is the oracle query of §4.3: "perform
+    /// functional timing analysis … if the delay at the primary output is
+    /// less than or equal to its required time, r is a safe condition."
+    ///
+    /// # Panics
+    ///
+    /// Panics if `required.len() != net.outputs().len()`.
+    pub fn meets(&self, required: &[Time]) -> bool {
+        assert_eq!(required.len(), self.net.outputs().len());
+        match self.kind {
+            EngineKind::Sat => {
+                let mut eng = self.sat_engine();
+                self.net
+                    .outputs()
+                    .iter()
+                    .zip(required)
+                    .all(|(&o, &t)| t.is_inf() || eng.stable_by(self.net, o, t))
+            }
+            EngineKind::Bdd => {
+                let mut bdd = Bdd::new();
+                let input_vars = self.net.inputs().iter().map(|_| bdd.fresh_var()).collect();
+                let mut eng = ChiBddEngine::new(
+                    self.net,
+                    self.model,
+                    KnownArrivalLeaves {
+                        arrivals: self.arrivals.clone(),
+                        input_vars,
+                    },
+                );
+                self.net.outputs().iter().zip(required).all(|(&o, &t)| {
+                    t.is_inf()
+                        || eng
+                            .chi_stable(&mut bdd, self.net, o, t)
+                            .expect("bdd node limit exceeded")
+                            .is_true()
+                })
+            }
+        }
+    }
+
+    /// True arrival time of one output: the earliest `t` with the output
+    /// settled for all vectors. Returns `Time::NEG_INF` for outputs that
+    /// are stable regardless of inputs (constants).
+    pub fn true_arrival(&self, output: NodeId) -> Time {
+        let topo = arrival_times(self.net, self.model, &self.arrivals);
+        let hi = topo[output.index()];
+        if hi.is_neg_inf() {
+            return Time::NEG_INF;
+        }
+        // Shared engine across all probes of this search (both engines
+        // memoize heavily across nearby time points).
+        match self.kind {
+            EngineKind::Sat => {
+                let mut eng = self.sat_engine();
+                self.search(hi, |t| eng.stable_by(self.net, output, t))
+            }
+            EngineKind::Bdd => {
+                let mut bdd = Bdd::new();
+                let input_vars = self.net.inputs().iter().map(|_| bdd.fresh_var()).collect();
+                let mut eng = ChiBddEngine::new(
+                    self.net,
+                    self.model,
+                    KnownArrivalLeaves {
+                        arrivals: self.arrivals.clone(),
+                        input_vars,
+                    },
+                );
+                self.search(hi, |t| {
+                    eng.chi_stable(&mut bdd, self.net, output, t)
+                        .expect("bdd node limit exceeded")
+                        .is_true()
+                })
+            }
+        }
+    }
+
+    /// Binary search for the earliest stable time in `(lo_probe, hi]`.
+    fn search(&self, hi: Time, mut stable: impl FnMut(Time) -> bool) -> Time {
+        let min_arr = self
+            .arrivals
+            .iter()
+            .copied()
+            .filter(|a| a.is_finite())
+            .min()
+            .unwrap_or(Time::ZERO);
+        let lo_probe = min_arr - 1;
+        if stable(lo_probe) {
+            return Time::NEG_INF;
+        }
+        if hi.is_inf() {
+            // Some input never arrives and the output depends on it.
+            return Time::INF;
+        }
+        if !stable(hi) {
+            // Only possible under a conflict budget: fall back to the
+            // (always safe) topological arrival.
+            return hi;
+        }
+        let (mut lo, mut hi) = (lo_probe.ticks(), hi.ticks());
+        // Invariant: unstable at lo, stable at hi.
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if stable(Time::new(mid)) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Time::new(hi)
+    }
+
+    /// True arrival times of all outputs, aligned with `net.outputs()`.
+    pub fn true_arrivals(&self) -> Vec<Time> {
+        self.net
+            .outputs()
+            .iter()
+            .map(|&o| self.true_arrival(o))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrta_network::GateKind;
+    use xrta_timing::{topological_delays, UnitDelay};
+
+    /// The canonical two-MUX bypass false path: the topological longest
+    /// path `x → b1 → b2 → m1 → z` requires `s = 1` to sensitize the slow
+    /// data input of `m1` and `s = 0` to propagate `m1` through `z` — a
+    /// contradiction, so the path is false and the true delay is below
+    /// the topological delay of 4.
+    fn mux_false_path() -> Network {
+        let mut net = Network::new("fp");
+        let s = net.add_input("s").unwrap();
+        let x = net.add_input("x").unwrap();
+        let c = net.add_input("c").unwrap();
+        let b1 = net.add_gate("b1", GateKind::Buf, &[x]).unwrap();
+        let b2 = net.add_gate("b2", GateKind::Buf, &[b1]).unwrap();
+        let m1 = net.add_gate("m1", GateKind::Mux, &[s, x, b2]).unwrap();
+        let z = net.add_gate("z", GateKind::Mux, &[s, m1, c]).unwrap();
+        net.mark_output(z);
+        net
+    }
+
+    #[test]
+    fn true_delay_equals_topo_without_false_paths() {
+        let mut net = Network::new("tree");
+        let ins: Vec<_> = (0..4)
+            .map(|i| net.add_input(format!("i{i}")).unwrap())
+            .collect();
+        let a = net.add_gate("a", GateKind::Xor, &[ins[0], ins[1]]).unwrap();
+        let b = net.add_gate("b", GateKind::Xor, &[ins[2], ins[3]]).unwrap();
+        let z = net.add_gate("z", GateKind::Xor, &[a, b]).unwrap();
+        net.mark_output(z);
+        for kind in [EngineKind::Bdd, EngineKind::Sat] {
+            let ft = FunctionalTiming::new(&net, &UnitDelay, vec![Time::ZERO; 4], kind);
+            assert_eq!(ft.true_arrival(z), Time::new(2), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn true_delay_beats_topo_on_false_path() {
+        let net = mux_false_path();
+        let z = net.find("z").unwrap();
+        let topo = topological_delays(&net, &UnitDelay)[0];
+        assert_eq!(topo, Time::new(4));
+        for kind in [EngineKind::Bdd, EngineKind::Sat] {
+            let ft = FunctionalTiming::new(&net, &UnitDelay, vec![Time::ZERO; 3], kind);
+            let t = ft.true_arrival(z);
+            assert!(t < topo, "{kind:?}: true delay {t} not below topo {topo}");
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_true_delay() {
+        // A mixed circuit with reconvergence.
+        let mut net = Network::new("mix");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let c = net.add_input("c").unwrap();
+        let n1 = net.add_gate("n1", GateKind::Nand, &[a, b]).unwrap();
+        let n2 = net.add_gate("n2", GateKind::Nand, &[b, c]).unwrap();
+        let n3 = net.add_gate("n3", GateKind::Nand, &[n1, n2]).unwrap();
+        let n4 = net.add_gate("n4", GateKind::Or, &[n3, a]).unwrap();
+        net.mark_output(n4);
+        let ftb = FunctionalTiming::new(&net, &UnitDelay, vec![Time::ZERO; 3], EngineKind::Bdd);
+        let fts = FunctionalTiming::new(&net, &UnitDelay, vec![Time::ZERO; 3], EngineKind::Sat);
+        assert_eq!(ftb.true_arrivals(), fts.true_arrivals());
+    }
+
+    #[test]
+    fn constant_output_is_stable_forever() {
+        let mut net = Network::new("konst");
+        let a = net.add_input("a").unwrap();
+        let na = net.add_gate("na", GateKind::Not, &[a]).unwrap();
+        let z = net.add_gate("z", GateKind::Or, &[a, na]).unwrap();
+        net.mark_output(z);
+        // z ≡ 1 functionally, but stability still requires the signal to
+        // settle: under XBD0, before the input propagates the gate output
+        // may glitch, so the true arrival is positive, not -∞ — the OR
+        // needs χ from its fanins.
+        let ft = FunctionalTiming::new(&net, &UnitDelay, vec![Time::ZERO], EngineKind::Bdd);
+        let t = ft.true_arrival(z);
+        assert_eq!(t, Time::new(2));
+    }
+
+    #[test]
+    fn meets_required_vector() {
+        let net = mux_false_path();
+        let ft = FunctionalTiming::new(&net, &UnitDelay, vec![Time::ZERO; 3], EngineKind::Sat);
+        let z = net.find("z").unwrap();
+        let true_t = ft.true_arrival(z);
+        assert!(ft.meets(&[true_t]));
+        assert!(!ft.meets(&[true_t - 1]));
+        assert!(ft.meets(&[Time::INF]));
+    }
+
+    #[test]
+    fn late_arrivals_shift_true_delay() {
+        let net = mux_false_path();
+        let z = net.find("z").unwrap();
+        // Delay input x by 10: the s=0 vectors must wait for it.
+        let ft = FunctionalTiming::new(
+            &net,
+            &UnitDelay,
+            vec![Time::ZERO, Time::new(10), Time::ZERO],
+            EngineKind::Bdd,
+        );
+        let t = ft.true_arrival(z);
+        assert!(t >= Time::new(11), "got {t}");
+    }
+}

@@ -1,0 +1,244 @@
+//! Bypass chains, parity trees and comparator-style generators.
+
+use xrta_network::{GateKind, Network, NetworkError, NodeId};
+
+/// A cascade of `stages` bypassable delay blocks: each stage is a
+/// `depth`-deep buffer chain with a MUX that can skip it. All stages
+/// share one select input per stage; the all-skip and all-ripple
+/// configurations cannot be sensitized simultaneously, producing long
+/// false paths (a distilled carry-skip).
+///
+/// Inputs: `d` (data), `s0..s(stages-1)` (selects).
+/// Output: `y`.
+///
+/// # Errors
+///
+/// Returns [`NetworkError`] on construction failure.
+///
+/// # Panics
+///
+/// Panics if `stages == 0` or `depth == 0`.
+pub fn bypass_chain(stages: usize, depth: usize) -> Result<Network, NetworkError> {
+    assert!(stages > 0 && depth > 0);
+    let mut net = Network::new(format!("bypass{stages}x{depth}"));
+    let d = net.add_input("d")?;
+    let selects: Vec<NodeId> = (0..stages)
+        .map(|i| net.add_input(format!("s{i}")))
+        .collect::<Result<_, _>>()?;
+    let mut cur = d;
+    for (i, &s) in selects.iter().enumerate() {
+        let mut slow = cur;
+        for j in 0..depth {
+            slow = net.add_gate(format!("b{i}_{j}"), GateKind::Buf, &[slow])?;
+        }
+        // s=1 selects the slow branch, s=0 bypasses.
+        cur = net.add_gate(format!("m{i}"), GateKind::Mux, &[s, cur, slow])?;
+    }
+    let y = net.add_gate("y", GateKind::Buf, &[cur])?;
+    net.mark_output(y);
+    Ok(net)
+}
+
+/// A two-MUX shared-select bypass pair (the canonical minimal false
+/// path, used throughout the test-suites): `stages` copies in series,
+/// all sharing one select.
+///
+/// The topological longest path threads every slow branch, but each
+/// slow branch needs the shared select at 1 to enter and 0 to leave —
+/// false for `stages ≥ 1`.
+///
+/// # Errors
+///
+/// Returns [`NetworkError`] on construction failure.
+pub fn shared_select_bypass(stages: usize, depth: usize) -> Result<Network, NetworkError> {
+    assert!(stages > 0 && depth > 0);
+    let mut net = Network::new(format!("ssb{stages}x{depth}"));
+    let s = net.add_input("s")?;
+    let d = net.add_input("d")?;
+    let c = net.add_input("c")?;
+    let mut cur = d;
+    for i in 0..stages {
+        let mut slow = cur;
+        for j in 0..depth {
+            slow = net.add_gate(format!("b{i}_{j}"), GateKind::Buf, &[slow])?;
+        }
+        let m1 = net.add_gate(format!("m1_{i}"), GateKind::Mux, &[s, cur, slow])?;
+        cur = net.add_gate(format!("m2_{i}"), GateKind::Mux, &[s, m1, c])?;
+    }
+    net.mark_output(cur);
+    Ok(net)
+}
+
+/// A balanced XOR parity tree over `n` inputs — the anti-benchmark: no
+/// false paths at all (every path is sensitizable), so all analyses
+/// collapse to topological results, like the paper's C499/C1355 rows.
+///
+/// # Errors
+///
+/// Returns [`NetworkError`] on construction failure.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn parity_tree(n: usize) -> Result<Network, NetworkError> {
+    assert!(n > 0);
+    let mut net = Network::new(format!("parity{n}"));
+    let mut level: Vec<NodeId> = (0..n)
+        .map(|i| net.add_input(format!("i{i}")))
+        .collect::<Result<_, _>>()?;
+    let mut idx = 0;
+    while level.len() > 1 {
+        let mut next = Vec::new();
+        for pair in level.chunks(2) {
+            if pair.len() == 2 {
+                next.push(net.add_gate(format!("x{idx}"), GateKind::Xor, &[pair[0], pair[1]])?);
+                idx += 1;
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        level = next;
+    }
+    let out = level[0];
+    net.mark_output(out);
+    Ok(net)
+}
+
+/// An `n`-bit equality comparator `eq = (a == b)` as a NOR-of-XOR tree,
+/// followed by an `enable` AND: shallow, reconvergence-free.
+///
+/// # Errors
+///
+/// Returns [`NetworkError`] on construction failure.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn comparator(n: usize) -> Result<Network, NetworkError> {
+    assert!(n > 0);
+    let mut net = Network::new(format!("cmp{n}"));
+    let a: Vec<NodeId> = (0..n)
+        .map(|i| net.add_input(format!("a{i}")))
+        .collect::<Result<_, _>>()?;
+    let b: Vec<NodeId> = (0..n)
+        .map(|i| net.add_input(format!("b{i}")))
+        .collect::<Result<_, _>>()?;
+    let en = net.add_input("en")?;
+    let diffs: Vec<NodeId> = (0..n)
+        .map(|i| net.add_gate(format!("d{i}"), GateKind::Xor, &[a[i], b[i]]))
+        .collect::<Result<_, _>>()?;
+    let any = if diffs.len() == 1 {
+        diffs[0]
+    } else {
+        net.add_gate("any", GateKind::Or, &diffs[..diffs.len().min(16)])?
+    };
+    let eq = net.add_gate("eqraw", GateKind::Not, &[any])?;
+    let out = net.add_gate("eq", GateKind::And, &[eq, en])?;
+    net.mark_output(out);
+    Ok(net)
+}
+
+/// A priority encoder-ish AND-OR cascade with late-arriving enables —
+/// deep, with moderate false-path content via chained gating.
+///
+/// # Errors
+///
+/// Returns [`NetworkError`] on construction failure.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn priority_chain(n: usize) -> Result<Network, NetworkError> {
+    assert!(n > 0);
+    let mut net = Network::new(format!("prio{n}"));
+    let reqs: Vec<NodeId> = (0..n)
+        .map(|i| net.add_input(format!("r{i}")))
+        .collect::<Result<_, _>>()?;
+    let mut blocked = net.add_gate("k0", GateKind::Const0, &[])?;
+    for (i, &r) in reqs.iter().enumerate() {
+        let nb = net.add_gate(format!("nb{i}"), GateKind::Not, &[blocked])?;
+        let grant = net.add_gate(format!("g{i}"), GateKind::And, &[r, nb])?;
+        net.mark_output(grant);
+        blocked = net.add_gate(format!("blk{i}"), GateKind::Or, &[blocked, r])?;
+    }
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrta_chi::{EngineKind, FunctionalTiming};
+    use xrta_timing::{topological_delays, Time, UnitDelay};
+
+    #[test]
+    fn bypass_chain_semantics() {
+        let net = bypass_chain(2, 3).unwrap();
+        // y = d regardless of selects (the muxes always pass d through
+        // either branch).
+        for m in 0..8u32 {
+            let ins = [(m & 1) != 0, (m & 2) != 0, (m & 4) != 0];
+            assert_eq!(net.eval(&ins), vec![ins[0]]);
+        }
+    }
+
+    #[test]
+    fn shared_select_bypass_is_false_pathy() {
+        let net = shared_select_bypass(2, 2).unwrap();
+        let out = net.outputs()[0];
+        let topo = topological_delays(&net, &UnitDelay)
+            .into_iter()
+            .max()
+            .unwrap();
+        let ft = FunctionalTiming::new(
+            &net,
+            &UnitDelay,
+            vec![Time::ZERO; net.inputs().len()],
+            EngineKind::Sat,
+        );
+        assert!(ft.true_arrival(out) < topo);
+    }
+
+    #[test]
+    fn parity_tree_has_no_false_paths() {
+        let net = parity_tree(8).unwrap();
+        let out = net.outputs()[0];
+        let topo = topological_delays(&net, &UnitDelay)[0];
+        let ft = FunctionalTiming::new(
+            &net,
+            &UnitDelay,
+            vec![Time::ZERO; 8],
+            EngineKind::Sat,
+        );
+        assert_eq!(ft.true_arrival(out), topo);
+        // Semantics: parity.
+        for m in 0..256u32 {
+            let ins: Vec<bool> = (0..8).map(|i| (m >> i) & 1 == 1).collect();
+            assert_eq!(net.eval(&ins), vec![m.count_ones() % 2 == 1]);
+        }
+    }
+
+    #[test]
+    fn comparator_semantics() {
+        let net = comparator(3).unwrap();
+        for m in 0..128u32 {
+            let ins: Vec<bool> = (0..7).map(|i| (m >> i) & 1 == 1).collect();
+            let a = m & 7;
+            let b = (m >> 3) & 7;
+            let en = (m >> 6) & 1 == 1;
+            assert_eq!(net.eval(&ins), vec![a == b && en]);
+        }
+    }
+
+    #[test]
+    fn priority_chain_semantics() {
+        let net = priority_chain(4).unwrap();
+        for m in 0..16u32 {
+            let ins: Vec<bool> = (0..4).map(|i| (m >> i) & 1 == 1).collect();
+            let out = net.eval(&ins);
+            let first = (0..4).find(|&i| ins[i]);
+            for (i, &g) in out.iter().enumerate() {
+                assert_eq!(g, Some(i) == first, "grant {i} for {m:04b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! The paper's worked examples and other tiny reference circuits.
+
+use xrta_network::{parse_bench, GateKind, Network, NodeId};
+
+/// The paper's Figure 4 circuit: `z = AND(buf(x1), x2, buf(x2))` with
+/// unit delays intended, `req(z) = 2`.
+///
+/// Topological analysis requires both inputs at time 0; the exact
+/// relation relaxes this to the table of §4.1 (e.g. for `x1x2 = 00`,
+/// either `x1` by 0 or `x2` by 1 suffices).
+pub fn fig4() -> Network {
+    let mut net = Network::new("fig4");
+    let x1 = net.add_input("x1").expect("fresh network");
+    let x2 = net.add_input("x2").expect("fresh network");
+    let y1 = net.add_gate("y1", GateKind::Buf, &[x1]).expect("fresh");
+    let y2 = net.add_gate("y2", GateKind::Buf, &[x2]).expect("fresh");
+    let z = net
+        .add_gate("z", GateKind::And, &[y1, x2, y2])
+        .expect("fresh");
+    net.mark_output(z);
+    net
+}
+
+/// The paper's Figure 6 fanin network `N_FI` (up to gate-level
+/// isomorphism): `a = x2·x3`, `u1 = x1·a`, `u2 = x1 + a` with unit
+/// delays and zero arrivals. This realizes the paper's equations
+/// exactly:
+///
+/// * `χ̃¹_{u1} = ¬x1`, `χ̃²_{u1} = 1` — u1 settles at 1 when `x1 = 0`,
+///   else at 2;
+/// * `χ̃¹_{u2} = x1`,  `χ̃²_{u2} = 1` — mirrored;
+///
+/// and the folded arrival table, including the unreachable vector
+/// `u1u2 = 10` (the satisfiability don't-care row):
+///
+/// ```text
+/// u1u2 | arrivals            u1u2 | arrivals
+/// 00   | {(1,2)}             10   | {(∞,∞)}
+/// 01   | {(1,2),(2,1)}       11   | {(2,1)}
+/// ```
+///
+/// Returns the network and the `[u1, u2]` node ids.
+pub fn fig6() -> (Network, Vec<NodeId>) {
+    let mut net = Network::new("fig6");
+    let x1 = net.add_input("x1").expect("fresh network");
+    let x2 = net.add_input("x2").expect("fresh network");
+    let x3 = net.add_input("x3").expect("fresh network");
+    let a = net.add_gate("a", GateKind::And, &[x2, x3]).expect("fresh");
+    let u1 = net.add_gate("u1", GateKind::And, &[x1, a]).expect("fresh");
+    let u2 = net.add_gate("u2", GateKind::Or, &[x1, a]).expect("fresh");
+    net.mark_output(u1);
+    net.mark_output(u2);
+    (net, vec![u1, u2])
+}
+
+/// The canonical minimal false-path circuit (two MUXes sharing a
+/// select): topological delay 4, true delay 2.
+pub fn two_mux_bypass() -> Network {
+    let mut net = Network::new("two_mux_bypass");
+    let s = net.add_input("s").expect("fresh network");
+    let x = net.add_input("x").expect("fresh network");
+    let c = net.add_input("c").expect("fresh network");
+    let b1 = net.add_gate("b1", GateKind::Buf, &[x]).expect("fresh");
+    let b2 = net.add_gate("b2", GateKind::Buf, &[b1]).expect("fresh");
+    let m1 = net
+        .add_gate("m1", GateKind::Mux, &[s, x, b2])
+        .expect("fresh");
+    let z = net
+        .add_gate("z", GateKind::Mux, &[s, m1, c])
+        .expect("fresh");
+    net.mark_output(z);
+    net
+}
+
+/// ISCAS-85 C17, the smallest benchmark of the suite (6 NAND gates),
+/// embedded verbatim in `.bench` format.
+pub fn c17() -> Network {
+    parse_bench(
+        "# c17
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+",
+    )
+    .expect("embedded netlist is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_truth_table() {
+        let net = fig4();
+        for m in 0..4u32 {
+            let x1 = m & 1 == 1;
+            let x2 = m & 2 == 2;
+            assert_eq!(net.eval(&[x1, x2]), vec![x1 && x2]);
+        }
+    }
+
+    #[test]
+    fn fig6_functions() {
+        let (net, _) = fig6();
+        for m in 0..8u32 {
+            let ins = [(m & 1) != 0, (m & 2) != 0, (m & 4) != 0];
+            let out = net.eval(&ins);
+            let a = ins[1] && ins[2];
+            assert_eq!(out, vec![ins[0] && a, ins[0] || a]);
+        }
+    }
+
+    #[test]
+    fn c17_gate_count() {
+        let net = c17();
+        assert_eq!(net.inputs().len(), 5);
+        assert_eq!(net.outputs().len(), 2);
+        assert_eq!(net.gate_count(), 6);
+    }
+
+    #[test]
+    fn two_mux_bypass_functions() {
+        let net = two_mux_bypass();
+        for m in 0..8u32 {
+            let ins = [(m & 1) != 0, (m & 2) != 0, (m & 4) != 0];
+            let (s, x, c) = (ins[0], ins[1], ins[2]);
+            // s=0: z = m1 = x; s=1: z = c.
+            let expect = if s { c } else { x };
+            assert_eq!(net.eval(&ins), vec![expect]);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Array multiplier generator (the structure of ISCAS-85's C6288).
+
+use xrta_network::{GateKind, Network, NetworkError, NodeId};
+
+/// Builds an `n × n` carry-save array multiplier `p = a · b`
+/// (2n product bits). The diagonal carry chains create the massive
+/// reconvergence that makes C6288 the classic hard case for exact
+/// analyses — and a rich source of false paths.
+///
+/// # Errors
+///
+/// Returns [`NetworkError`] on construction failure.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn array_multiplier(n: usize) -> Result<Network, NetworkError> {
+    assert!(n > 0);
+    let mut net = Network::new(format!("mult{n}x{n}"));
+    let a: Vec<NodeId> = (0..n)
+        .map(|i| net.add_input(format!("a{i}")))
+        .collect::<Result<_, _>>()?;
+    let b: Vec<NodeId> = (0..n)
+        .map(|i| net.add_input(format!("b{i}")))
+        .collect::<Result<_, _>>()?;
+
+    // Partial products.
+    let mut pp = vec![vec![None; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            pp[i][j] = Some(net.add_gate(format!("pp{i}_{j}"), GateKind::And, &[a[i], b[j]])?);
+        }
+    }
+
+    // Row-by-row carry-save reduction with a full adder per cell.
+    let full_adder = |net: &mut Network,
+                          name: String,
+                          x: NodeId,
+                          y: NodeId,
+                          z: NodeId|
+     -> Result<(NodeId, NodeId), NetworkError> {
+        let t = net.add_gate(format!("{name}_t"), GateKind::Xor, &[x, y])?;
+        let s = net.add_gate(format!("{name}_s"), GateKind::Xor, &[t, z])?;
+        let c1 = net.add_gate(format!("{name}_c1"), GateKind::And, &[x, y])?;
+        let c2 = net.add_gate(format!("{name}_c2"), GateKind::And, &[t, z])?;
+        let c = net.add_gate(format!("{name}_c"), GateKind::Or, &[c1, c2])?;
+        Ok((s, c))
+    };
+
+    // sums[k]: current accumulated bit of weight k.
+    let mut sums: Vec<Option<NodeId>> = vec![None; 2 * n];
+    for (i, row) in pp.iter().enumerate() {
+        let mut carry: Option<NodeId> = None;
+        for (j, &cell) in row.iter().enumerate() {
+            let k = i + j;
+            let cell = cell.expect("filled");
+            let acc = sums[k];
+            match (acc, carry) {
+                (None, None) => {
+                    sums[k] = Some(cell);
+                }
+                (Some(s0), None) => {
+                    let half_s =
+                        net.add_gate(format!("hs{i}_{j}"), GateKind::Xor, &[s0, cell])?;
+                    let half_c =
+                        net.add_gate(format!("hc{i}_{j}"), GateKind::And, &[s0, cell])?;
+                    sums[k] = Some(half_s);
+                    carry = Some(half_c);
+                }
+                (None, Some(c0)) => {
+                    let half_s =
+                        net.add_gate(format!("hs{i}_{j}"), GateKind::Xor, &[c0, cell])?;
+                    let half_c =
+                        net.add_gate(format!("hc{i}_{j}"), GateKind::And, &[c0, cell])?;
+                    sums[k] = Some(half_s);
+                    carry = Some(half_c);
+                }
+                (Some(s0), Some(c0)) => {
+                    let (s, c) = full_adder(&mut net, format!("fa{i}_{j}"), s0, c0, cell)?;
+                    sums[k] = Some(s);
+                    carry = Some(c);
+                }
+            }
+        }
+        // Propagate the trailing carry into the next weight.
+        let mut k = i + n;
+        while let Some(c0) = carry {
+            match sums[k] {
+                None => {
+                    sums[k] = Some(c0);
+                    carry = None;
+                }
+                Some(s0) => {
+                    let s = net.add_gate(format!("ps{i}_{k}"), GateKind::Xor, &[s0, c0])?;
+                    let c = net.add_gate(format!("pc{i}_{k}"), GateKind::And, &[s0, c0])?;
+                    sums[k] = Some(s);
+                    carry = Some(c);
+                    k += 1;
+                }
+            }
+        }
+    }
+
+    for (k, s) in sums.iter().enumerate() {
+        match s {
+            Some(id) => net.mark_output(*id),
+            None => {
+                let zero = net.add_gate(format!("z{k}"), GateKind::Const0, &[])?;
+                net.mark_output(zero);
+            }
+        }
+    }
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_multipliers_correct() {
+        for n in [1usize, 2, 3, 4] {
+            let net = array_multiplier(n).unwrap();
+            assert_eq!(net.outputs().len(), 2 * n);
+            for a in 0..(1u64 << n) {
+                for b in 0..(1u64 << n) {
+                    let mut ins = Vec::new();
+                    for i in 0..n {
+                        ins.push((a >> i) & 1 == 1);
+                    }
+                    for i in 0..n {
+                        ins.push((b >> i) & 1 == 1);
+                    }
+                    let out = net.eval(&ins);
+                    let p = a * b;
+                    for (k, &bit) in out.iter().enumerate() {
+                        assert_eq!(bit, (p >> k) & 1 == 1, "{a}*{b} bit {k} (n={n})");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,584 @@
+//! Approximate approach 2 (§4.3): lattice climbing with a functional
+//! timing oracle.
+//!
+//! Candidate required times form the lattice `R = R₁ × … × R_n`; the
+//! bottom `r⊥` is topological analysis. A candidate `r` is *safe* when a
+//! full functional (false-path-aware) timing analysis under arrival
+//! times `r` still meets every output's required time. Safety is
+//! downward closed, so greedy coordinate raises find a maximal safe
+//! point; backtracking enumerates all of them.
+
+use std::time::{Duration, Instant};
+
+use xrta_bdd::FxHashMap;
+use xrta_chi::{EngineKind, FunctionalTiming};
+use xrta_network::Network;
+use xrta_timing::{required_times, DelayModel, Time};
+
+use crate::plan::plan_leaves;
+
+/// Options for the lattice-climbing analysis.
+#[derive(Clone, Copy, Debug)]
+pub struct Approx2Options {
+    /// Which χ engine validates candidates (the paper uses the SAT
+    /// engine for scalability).
+    pub engine: EngineKind,
+    /// Also try `∞` ("never arrives") as the top candidate per input.
+    pub allow_never: bool,
+    /// Stop after this many maximal points.
+    pub max_solutions: usize,
+    /// Stop after this many oracle invocations.
+    pub max_oracle_calls: usize,
+    /// Wall-clock budget (the paper's 12-hour cap, scaled down).
+    pub time_budget: Option<Duration>,
+    /// SAT-conflict budget per oracle query; inconclusive queries count
+    /// as unsafe (sound: a candidate is only accepted when provably
+    /// safe). `None` = unlimited.
+    pub oracle_conflict_budget: Option<u64>,
+    /// Unit-propagation budget per oracle query — a hard wall-clock
+    /// bound on multiplier-class χ networks. Same conservative
+    /// treatment as the conflict budget. `None` = unlimited.
+    pub oracle_propagation_budget: Option<u64>,
+    /// Candidate clustering stride (the paper's conclusion: "group
+    /// [required times] into clusters of neighboring required times
+    /// conservatively; controlling the number of clusters gives a
+    /// trade-off between accuracy and CPU time"). A stride of `k` keeps
+    /// every `k`-th candidate per input (always keeping the bottom and,
+    /// when enabled, the ∞ top). 1 = no clustering.
+    pub cluster_stride: usize,
+}
+
+impl Default for Approx2Options {
+    fn default() -> Self {
+        Approx2Options {
+            engine: EngineKind::Sat,
+            allow_never: true,
+            max_solutions: 8,
+            max_oracle_calls: 10_000,
+            time_budget: None,
+            oracle_conflict_budget: None,
+            oracle_propagation_budget: None,
+            cluster_stride: 1,
+        }
+    }
+}
+
+/// Result of the lattice-climbing analysis.
+#[derive(Clone, Debug)]
+pub struct Approx2Result {
+    /// The topological bottom `r⊥` (per input, aligned with
+    /// `net.inputs()`).
+    pub r_bottom: Vec<Time>,
+    /// Maximal safe points found (each dominates `r_bottom`).
+    pub maximal: Vec<Vec<Time>>,
+    /// Wall time until the first validated `r ≠ r⊥`, if any (the
+    /// "CPU time first r ≠ r⊥" column of the paper's Table 2).
+    pub first_nontrivial: Option<Duration>,
+    /// Total wall time of the search ("CPU time r_max").
+    pub total_time: Duration,
+    /// Oracle invocations (cache misses only).
+    pub oracle_calls: usize,
+    /// False when a budget cap stopped the enumeration early; the
+    /// `maximal` found so far are still valid safe points.
+    pub completed: bool,
+}
+
+impl Approx2Result {
+    /// Did the analysis find any required time looser than topological?
+    pub fn has_nontrivial_requirement(&self) -> bool {
+        self.maximal.iter().any(|r| r != &self.r_bottom)
+    }
+
+    /// The maximal points as [`RequiredTimeTuple`]s (uniform deadlines,
+    /// since this analysis is value-independent) — the same type the
+    /// exact and parametric analyses report, for uniform consumption.
+    pub fn maximal_conditions(&self) -> Vec<crate::types::RequiredTimeTuple> {
+        self.maximal
+            .iter()
+            .map(|r| crate::types::RequiredTimeTuple::uniform(r))
+            .collect()
+    }
+}
+
+struct Search<'n, D: DelayModel> {
+    net: &'n Network,
+    model: &'n D,
+    output_required: &'n [Time],
+    candidates: Vec<Vec<Time>>,
+    options: Approx2Options,
+    /// Whole-vector verdict cache.
+    oracle_cache: FxHashMap<Vec<Time>, bool>,
+    /// Per-output verdict cache keyed by the arrival projection onto the
+    /// output's input cone — a raise of one input only re-verifies the
+    /// outputs in its transitive fanout.
+    out_cache: FxHashMap<(usize, Vec<Time>), bool>,
+    /// Input positions in each output's cone.
+    cones: Vec<Vec<usize>>,
+    oracle_calls: usize,
+    started: Instant,
+    first_nontrivial: Option<Duration>,
+    out_of_budget: bool,
+}
+
+impl<'n, D: DelayModel> Search<'n, D> {
+    fn budget_exhausted(&self) -> bool {
+        self.oracle_calls >= self.options.max_oracle_calls
+            || self
+                .options
+                .time_budget
+                .is_some_and(|b| self.started.elapsed() >= b)
+    }
+
+    fn is_safe(&mut self, r: &[Time]) -> Option<bool> {
+        if let Some(&v) = self.oracle_cache.get(r) {
+            return Some(v);
+        }
+        let mut safe = true;
+        for (oi, &o) in self.net.outputs().iter().enumerate() {
+            let t = self.output_required[oi];
+            if t.is_inf() {
+                continue;
+            }
+            let proj: Vec<Time> = self.cones[oi].iter().map(|&p| r[p]).collect();
+            let ok = match self.out_cache.get(&(oi, proj.clone())) {
+                Some(&v) => v,
+                None => {
+                    if self.budget_exhausted() {
+                        self.out_of_budget = true;
+                        return None;
+                    }
+                    self.oracle_calls += 1;
+                    let ft = FunctionalTiming::new(
+                        self.net,
+                        self.model,
+                        r.to_vec(),
+                        self.options.engine,
+                    )
+                    .with_conflict_budget(self.options.oracle_conflict_budget)
+                    .with_propagation_budget(self.options.oracle_propagation_budget);
+                    let v = ft.stable_by(o, t);
+                    self.out_cache.insert((oi, proj), v);
+                    v
+                }
+            };
+            if !ok {
+                safe = false;
+                break;
+            }
+        }
+        self.oracle_cache.insert(r.to_vec(), safe);
+        if safe && self.first_nontrivial.is_none() {
+            // r⊥ itself doesn't count as non-trivial.
+            let bottom: Vec<Time> = self.candidates.iter().map(|c| c[0]).collect();
+            if r != bottom.as_slice() {
+                self.first_nontrivial = Some(self.started.elapsed());
+            }
+        }
+        Some(safe)
+    }
+
+    /// Raise coordinate `i` of `r` to its next candidate, if any.
+    fn raised(&self, r: &[Time], i: usize) -> Option<Vec<Time>> {
+        let cands = &self.candidates[i];
+        let pos = cands.iter().position(|&c| c == r[i]).expect("on lattice");
+        if pos + 1 < cands.len() {
+            let mut next = r.to_vec();
+            next[i] = cands[pos + 1];
+            Some(next)
+        } else {
+            None
+        }
+    }
+
+    /// Greedy ascent from `r` to one maximal safe point.
+    fn climb(&mut self, r: Vec<Time>) -> Vec<Time> {
+        self.climb_rotated(r, 0)
+    }
+
+    /// Bounded enumeration of maximal safe points (§4.3's backtracking
+    /// refinement, capped): up to `max_solutions` greedy climbs, each
+    /// visiting the coordinates in a different rotation so incomparable
+    /// maxima are found when the raise order matters. Exhaustive DFS over
+    /// the lattice is avoided — on wide circuits the number of
+    /// intermediate safe points is combinatorial.
+    fn enumerate(&mut self, bottom: Vec<Time>) -> Vec<Vec<Time>> {
+        let n = bottom.len().max(1);
+        let mut maximal: Vec<Vec<Time>> = Vec::new();
+        for attempt in 0..self.options.max_solutions {
+            if self.out_of_budget {
+                break;
+            }
+            let start = (attempt * n) / self.options.max_solutions.max(1);
+            let m = self.climb_rotated(bottom.clone(), start);
+            if !maximal.contains(&m) {
+                maximal.push(m);
+            }
+        }
+        maximal
+    }
+
+    /// Greedy ascent visiting coordinates starting from index `start`.
+    fn climb_rotated(&mut self, mut r: Vec<Time>, start: usize) -> Vec<Time> {
+        let n = r.len();
+        loop {
+            let mut progressed = false;
+            for k in 0..n {
+                let i = (start + k) % n;
+                while let Some(next) = self.raised(&r, i) {
+                    match self.is_safe(&next) {
+                        Some(true) => {
+                            r = next;
+                            progressed = true;
+                        }
+                        Some(false) | None => break,
+                    }
+                }
+                if self.out_of_budget {
+                    return r;
+                }
+            }
+            if !progressed {
+                return r;
+            }
+        }
+    }
+}
+
+/// Runs the lattice-climbing analysis of §4.3.
+///
+/// The candidate set per input is the merged leaf-time list of the
+/// planning pass (the times at which χ leaves are referenced), whose
+/// minimum is the topological required time; `∞` is appended when
+/// [`Approx2Options::allow_never`] is set.
+///
+/// # Panics
+///
+/// Panics if `output_required.len() != net.outputs().len()`.
+pub fn approx2_required_times<D: DelayModel>(
+    net: &Network,
+    model: &D,
+    output_required: &[Time],
+    options: Approx2Options,
+) -> Approx2Result {
+    assert_eq!(output_required.len(), net.outputs().len());
+    let started = Instant::now();
+    let plan = plan_leaves(net, model, output_required, |_| true);
+    let topo_net = required_times(net, model, output_required);
+    let r_bottom: Vec<Time> = net
+        .inputs()
+        .iter()
+        .map(|i| topo_net[i.index()])
+        .collect();
+    let candidates: Vec<Vec<Time>> = plan
+        .per_input
+        .iter()
+        .zip(&r_bottom)
+        .map(|(lt, &bot)| {
+            let mut c = lt.merged();
+            if c.is_empty() || c[0] != bot {
+                // Inputs outside every cone have no planned times; their
+                // bottom is ∞ already.
+                c.insert(0, bot);
+                c.dedup();
+            }
+            if options.cluster_stride > 1 && c.len() > 2 {
+                // Conservative coarsening: keep the bottom plus every
+                // stride-th candidate (dropping a candidate only removes
+                // an intermediate rung — the search stays sound, merely
+                // less precise).
+                let stride = options.cluster_stride;
+                let kept: Vec<Time> = c
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % stride == 0 || *i + 1 == c.len())
+                    .map(|(_, &t)| t)
+                    .collect();
+                c = kept;
+            }
+            if options.allow_never && *c.last().expect("non-empty") != Time::INF {
+                c.push(Time::INF);
+            }
+            c
+        })
+        .collect();
+
+    // Input positions in each output's transitive fanin cone.
+    let input_pos_of: FxHashMap<usize, usize> = net
+        .inputs()
+        .iter()
+        .enumerate()
+        .map(|(pos, id)| (id.index(), pos))
+        .collect();
+    let cones: Vec<Vec<usize>> = net
+        .outputs()
+        .iter()
+        .map(|&o| {
+            net.transitive_fanin(&[o])
+                .into_iter()
+                .filter_map(|n| input_pos_of.get(&n.index()).copied())
+                .collect()
+        })
+        .collect();
+
+    let mut search = Search {
+        net,
+        model,
+        output_required,
+        candidates,
+        options,
+        oracle_cache: FxHashMap::default(),
+        out_cache: FxHashMap::default(),
+        cones,
+        oracle_calls: 0,
+        started,
+        first_nontrivial: None,
+        out_of_budget: false,
+    };
+
+    // The bottom is safe by construction (topological analysis is
+    // conservative); seed the caches so a conflict budget cannot make
+    // the search reject its own starting point.
+    search.oracle_cache.insert(r_bottom.clone(), true);
+    for (oi, cone) in search.cones.iter().enumerate() {
+        let proj: Vec<Time> = cone.iter().map(|&p| r_bottom[p]).collect();
+        search.out_cache.insert((oi, proj), true);
+    }
+
+    let maximal = if options.max_solutions <= 1 {
+        vec![search.climb(r_bottom.clone())]
+    } else {
+        let mut m = search.enumerate(r_bottom.clone());
+        if m.is_empty() {
+            m.push(search.climb(r_bottom.clone()));
+        }
+        m
+    };
+
+    Approx2Result {
+        r_bottom,
+        maximal,
+        first_nontrivial: search.first_nontrivial,
+        total_time: started.elapsed(),
+        oracle_calls: search.oracle_calls,
+        completed: !search.out_of_budget,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrta_network::GateKind;
+    use xrta_timing::UnitDelay;
+
+    fn fig4() -> Network {
+        let mut net = Network::new("fig4");
+        let x1 = net.add_input("x1").unwrap();
+        let x2 = net.add_input("x2").unwrap();
+        let y1 = net.add_gate("y1", GateKind::Buf, &[x1]).unwrap();
+        let y2 = net.add_gate("y2", GateKind::Buf, &[x2]).unwrap();
+        let z = net.add_gate("z", GateKind::And, &[y1, x2, y2]).unwrap();
+        net.mark_output(z);
+        net
+    }
+
+    /// The canonical two-MUX bypass false path (see `xrta-chi`): the
+    /// slow input x can arrive later than topological analysis says.
+    fn mux_false_path() -> Network {
+        let mut net = Network::new("fp");
+        let s = net.add_input("s").unwrap();
+        let x = net.add_input("x").unwrap();
+        let c = net.add_input("c").unwrap();
+        let b1 = net.add_gate("b1", GateKind::Buf, &[x]).unwrap();
+        let b2 = net.add_gate("b2", GateKind::Buf, &[b1]).unwrap();
+        let m1 = net.add_gate("m1", GateKind::Mux, &[s, x, b2]).unwrap();
+        let z = net.add_gate("z", GateKind::Mux, &[s, m1, c]).unwrap();
+        net.mark_output(z);
+        net
+    }
+
+    #[test]
+    fn fig4_value_independent_search_is_trivial() {
+        // The §4.3 implementation searches value-independent times; for
+        // Figure 4 the looseness is value-dependent only, so the climb
+        // stays at r⊥ — matching the paper's observation that approx 1
+        // can beat approx 2 on such circuits.
+        let net = fig4();
+        let r = approx2_required_times(
+            &net,
+            &UnitDelay,
+            &[Time::new(2)],
+            Approx2Options::default(),
+        );
+        assert_eq!(r.r_bottom, vec![Time::new(0), Time::new(0)]);
+        assert!(!r.has_nontrivial_requirement());
+        assert!(r.completed);
+    }
+
+    #[test]
+    fn false_path_circuit_gives_loose_times() {
+        let net = mux_false_path();
+        let topo_req = Time::new(4);
+        let r = approx2_required_times(
+            &net,
+            &UnitDelay,
+            &[topo_req],
+            Approx2Options::default(),
+        );
+        // Topological: x must arrive by 4 − 4 = 0. The false path lets
+        // it arrive later in every maximal condition.
+        let x_pos = 1;
+        assert_eq!(r.r_bottom[x_pos], Time::new(0));
+        assert!(r.has_nontrivial_requirement());
+        // Several incomparable maximal points may exist (e.g. raising s
+        // instead of x); at least one must loosen x.
+        assert!(
+            r.maximal.iter().any(|m| m[x_pos] > Time::new(0)),
+            "x loosened in some maximal point: {:?}",
+            r.maximal
+        );
+        assert!(r.first_nontrivial.is_some());
+    }
+
+    #[test]
+    fn maximal_points_are_safe_and_unraisable() {
+        let net = mux_false_path();
+        let req = [Time::new(4)];
+        let opts = Approx2Options::default();
+        let r = approx2_required_times(&net, &UnitDelay, &req, opts);
+        for m in &r.maximal {
+            let ft = FunctionalTiming::new(&net, &UnitDelay, m.clone(), EngineKind::Bdd);
+            assert!(ft.meets(&req), "maximal point {m:?} must be safe");
+        }
+    }
+
+    #[test]
+    fn engines_agree() {
+        let net = mux_false_path();
+        let req = [Time::new(4)];
+        let sat = approx2_required_times(
+            &net,
+            &UnitDelay,
+            &req,
+            Approx2Options {
+                engine: EngineKind::Sat,
+                ..Approx2Options::default()
+            },
+        );
+        let bdd = approx2_required_times(
+            &net,
+            &UnitDelay,
+            &req,
+            Approx2Options {
+                engine: EngineKind::Bdd,
+                ..Approx2Options::default()
+            },
+        );
+        let norm = |mut v: Vec<Vec<Time>>| {
+            v.sort();
+            v
+        };
+        assert_eq!(norm(sat.maximal), norm(bdd.maximal));
+    }
+
+    #[test]
+    fn oracle_budget_respected() {
+        let net = mux_false_path();
+        let r = approx2_required_times(
+            &net,
+            &UnitDelay,
+            &[Time::new(4)],
+            Approx2Options {
+                max_oracle_calls: 2,
+                ..Approx2Options::default()
+            },
+        );
+        assert!(r.oracle_calls <= 2);
+        assert!(!r.completed);
+    }
+
+    #[test]
+    fn single_solution_mode_climbs_greedily() {
+        let net = mux_false_path();
+        let r = approx2_required_times(
+            &net,
+            &UnitDelay,
+            &[Time::new(4)],
+            Approx2Options {
+                max_solutions: 1,
+                ..Approx2Options::default()
+            },
+        );
+        assert_eq!(r.maximal.len(), 1);
+        let m = &r.maximal[0];
+        // Greedy result must dominate the bottom.
+        assert!(m
+            .iter()
+            .zip(&r.r_bottom)
+            .all(|(a, b)| a >= b));
+    }
+
+    #[test]
+    fn clustering_is_sound_but_coarser() {
+        let net = mux_false_path();
+        let req = [Time::new(4)];
+        let full = approx2_required_times(&net, &UnitDelay, &req, Approx2Options::default());
+        let clustered = approx2_required_times(
+            &net,
+            &UnitDelay,
+            &req,
+            Approx2Options {
+                cluster_stride: 2,
+                ..Approx2Options::default()
+            },
+        );
+        // Clustered results are still safe…
+        for m in &clustered.maximal {
+            let ft = FunctionalTiming::new(&net, &UnitDelay, m.clone(), EngineKind::Bdd);
+            assert!(ft.meets(&req));
+        }
+        // …and never use more oracle calls than the full lattice needs
+        // more rungs for.
+        assert!(clustered.oracle_calls <= full.oracle_calls + 2);
+    }
+
+    #[test]
+    fn table_delay_model_respected() {
+        use xrta_timing::TableDelay;
+        // Make the bypass buffers free: the "slow" branch stops being
+        // slow and the topological bottom shifts accordingly.
+        let net = mux_false_path();
+        let mut model = TableDelay::with_default(&net, 1);
+        for name in ["b1", "b2"] {
+            model.set(net.find(name).unwrap(), 0);
+        }
+        let r = approx2_required_times(&net, &model, &[Time::new(2)], Approx2Options::default());
+        // x's topological requirement: through m1 (delay 1) + z (1) with
+        // free buffers → req(x) = 0.
+        let x_pos = 1;
+        assert_eq!(r.r_bottom[x_pos], Time::new(0));
+        for m in &r.maximal {
+            let ft = FunctionalTiming::new(&net, &model, m.clone(), EngineKind::Bdd);
+            assert!(ft.meets(&[Time::new(2)]));
+        }
+    }
+
+    #[test]
+    fn never_candidate_found_for_unobserved_input() {
+        // An input that no output depends on can arrive at ∞.
+        let mut net = Network::new("t");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let bb = net.add_gate("bb", GateKind::Buf, &[b]).unwrap();
+        let z = net.add_gate("z", GateKind::Buf, &[a]).unwrap();
+        net.mark_output(z);
+        let _ = bb;
+        let r = approx2_required_times(
+            &net,
+            &UnitDelay,
+            &[Time::new(1)],
+            Approx2Options::default(),
+        );
+        let b_pos = 1;
+        assert!(r.maximal.iter().all(|m| m[b_pos].is_inf()));
+    }
+}

@@ -1,0 +1,696 @@
+//! Subcircuit timing flexibility (§5): mapping the top-level timing
+//! specification onto a subcircuit `N'` with inputs `U` and outputs `V`.
+//!
+//! * [`subcircuit_arrival_times`] — §5.1: value-dependent arrival times
+//!   at `U`, computed on the fanin cone `N_FI`, folded onto `B^|U|` with
+//!   dominated tuples dropped (Figure 6's table);
+//! * [`subcircuit_required_times`] — §5.2: required times at `V`,
+//!   computed on the cut network `N_FO` with leaf variables only at the
+//!   `V` inputs;
+//! * [`coupled_flexibility`] — §5.3: both sides kept in terms of the
+//!   primary inputs `X` for a tighter coupling when the subcircuit's
+//!   function is preserved.
+
+use xrta_bdd::{Bdd, CapacityError, Ref, Var};
+use xrta_chi::{ChiBddEngine, KnownArrivalLeaves};
+use xrta_network::{GlobalBdds, Network, NodeId};
+use xrta_timing::{arrival_times, DelayModel, Time};
+
+use crate::leaves::{LeafMode, PlannedLeaves};
+use crate::plan::plan_leaves;
+use crate::types::RequiredTimeTuple;
+
+/// Options for the §5.1 arrival analysis.
+#[derive(Clone, Copy, Debug)]
+pub struct ArrivalFlexOptions {
+    /// BDD node limit.
+    pub node_limit: usize,
+    /// Cap on distinct candidate arrival times per subcircuit input;
+    /// exceeding it keeps a conservative subsample (always including the
+    /// topological arrival).
+    pub max_times_per_input: usize,
+}
+
+impl Default for ArrivalFlexOptions {
+    fn default() -> Self {
+        ArrivalFlexOptions {
+            node_limit: 1 << 22,
+            max_times_per_input: 32,
+        }
+    }
+}
+
+/// One class of the refined partition of the input space: all vectors in
+/// `region` produce the same arrival-time tuple at `U`.
+#[derive(Clone, Debug)]
+pub struct ArrivalClass {
+    /// Characteristic function over the `X` variables.
+    pub region: Ref,
+    /// Arrival time per subcircuit input (aligned with the `u` list).
+    pub arrival: Vec<Time>,
+}
+
+/// §5.1 result: value-dependent arrival times at the subcircuit inputs.
+pub struct SubcircuitArrivals {
+    /// Manager holding the regions.
+    pub bdd: Bdd,
+    /// `X` variables (aligned with the cone's primary inputs).
+    pub x_vars: Vec<Var>,
+    /// Names of the cone's primary inputs, aligned with `x_vars`.
+    pub x_names: Vec<String>,
+    /// The refined partition (non-empty regions only).
+    pub classes: Vec<ArrivalClass>,
+    /// Folded view: for each `U` vector, the *maximal* arrival tuples
+    /// observable at it. An empty tuple list means the vector can never
+    /// occur (a satisfiability don't-care).
+    pub folded: Vec<(Vec<bool>, Vec<Vec<Time>>)>,
+}
+
+/// Computes value-dependent arrival times at the subcircuit inputs `u`
+/// (node ids of the *original* network `net`), per §5.1.
+///
+/// # Errors
+///
+/// Returns [`CapacityError`] on BDD node-limit exhaustion.
+///
+/// # Panics
+///
+/// Panics if `input_arrivals.len() != net.inputs().len()`, if `u` is
+/// empty, or if `u.len() > 12` (the folded table enumerates `B^|U|`).
+pub fn subcircuit_arrival_times<D: DelayModel>(
+    net: &Network,
+    model: &D,
+    input_arrivals: &[Time],
+    u: &[NodeId],
+    options: ArrivalFlexOptions,
+) -> Result<SubcircuitArrivals, CapacityError> {
+    assert_eq!(input_arrivals.len(), net.inputs().len());
+    assert!(!u.is_empty(), "need at least one subcircuit input");
+    assert!(u.len() <= 12, "folded table limited to 12 subcircuit inputs");
+
+    // N_FI: the fanin cone of U.
+    let (cone, map) = net.extract_cone(u);
+    let u_in_cone: Vec<NodeId> = u.iter().map(|n| map[n]).collect();
+    // Arrival times of the cone inputs (a subset of the original PIs).
+    let cone_arrivals: Vec<Time> = cone
+        .inputs()
+        .iter()
+        .map(|&ci| {
+            let name = &cone.node(ci).name;
+            let orig = net.find(name).expect("cone input exists in source");
+            let pos = net
+                .inputs()
+                .iter()
+                .position(|&p| p == orig)
+                .expect("cone input is a source PI");
+            input_arrivals[pos]
+        })
+        .collect();
+
+    // Candidate arrival-time lists per u_i: all path-delay sums.
+    let time_lists: Vec<Vec<Time>> =
+        candidate_arrival_times(&cone, model, &cone_arrivals, &u_in_cone, options);
+
+    let mut bdd = Bdd::with_node_limit(options.node_limit);
+    let x_vars: Vec<Var> = cone.inputs().iter().map(|_| bdd.fresh_var()).collect();
+    let x_names: Vec<String> = cone
+        .inputs()
+        .iter()
+        .map(|&ci| cone.node(ci).name.clone())
+        .collect();
+    let mut engine = ChiBddEngine::new(
+        &cone,
+        model,
+        KnownArrivalLeaves {
+            arrivals: cone_arrivals.clone(),
+            input_vars: x_vars.clone(),
+        },
+    );
+
+    // Per u_i: the partition S_1 … S_l of X by first-stable time.
+    let mut partitions: Vec<Vec<(Time, Ref)>> = Vec::with_capacity(u.len());
+    for (i, &ui) in u_in_cone.iter().enumerate() {
+        let mut classes = Vec::new();
+        let mut prev = Ref::FALSE;
+        for &t in &time_lists[i] {
+            let settled = engine.chi_stable(&mut bdd, &cone, ui, t)?;
+            let nprev = bdd.try_not(prev)?;
+            let fresh = bdd.try_and(settled, nprev)?;
+            if !fresh.is_false() {
+                classes.push((t, fresh));
+            }
+            prev = settled;
+        }
+        debug_assert!(prev.is_true(), "u_{i} settles by its topological arrival");
+        partitions.push(classes);
+    }
+
+    // Superimpose: product of the per-input partitions, pruning empties.
+    let mut classes: Vec<ArrivalClass> = Vec::new();
+    let mut stack: Vec<(usize, Ref, Vec<Time>)> = vec![(0, Ref::TRUE, Vec::new())];
+    while let Some((i, region, times)) = stack.pop() {
+        if i == partitions.len() {
+            classes.push(ArrivalClass {
+                region,
+                arrival: times,
+            });
+            continue;
+        }
+        for (t, s) in &partitions[i] {
+            let inter = bdd.try_and(region, *s)?;
+            if !inter.is_false() {
+                let mut ts = times.clone();
+                ts.push(*t);
+                stack.push((i + 1, inter, ts));
+            }
+        }
+    }
+
+    // Fold onto B^|U|: image of each region under the U functions.
+    let globals = GlobalBdds::build_with_vars(&mut bdd, &cone, &x_vars)?;
+    let u_fns: Vec<Ref> = u_in_cone.iter().map(|&ui| globals.of(ui)).collect();
+    let mut folded: Vec<(Vec<bool>, Vec<Vec<Time>>)> = Vec::new();
+    for vec_idx in 0..(1usize << u.len()) {
+        let u_vec: Vec<bool> = (0..u.len()).map(|b| (vec_idx >> b) & 1 == 1).collect();
+        // Characteristic function of X vectors driving this U vector.
+        let mut drives = Ref::TRUE;
+        for (b, &uf) in u_fns.iter().enumerate() {
+            let lit = if u_vec[b] { uf } else { bdd.try_not(uf)? };
+            drives = bdd.try_and(drives, lit)?;
+            if drives.is_false() {
+                break;
+            }
+        }
+        let mut tuples: Vec<Vec<Time>> = Vec::new();
+        if !drives.is_false() {
+            for c in &classes {
+                if !bdd.try_and(c.region, drives)?.is_false() {
+                    tuples.push(c.arrival.clone());
+                }
+            }
+        }
+        // Drop strictly-dominated (pointwise ≤ and ≠) tuples
+        // (footnote 11: synthesis must assume the worst case).
+        let maximal: Vec<Vec<Time>> = tuples
+            .iter()
+            .filter(|t| {
+                !tuples
+                    .iter()
+                    .any(|o| o != *t && t.iter().zip(o).all(|(a, b)| a <= b))
+            })
+            .cloned()
+            .collect();
+        let mut dedup = maximal;
+        dedup.sort();
+        dedup.dedup();
+        folded.push((u_vec, dedup));
+    }
+
+    Ok(SubcircuitArrivals {
+        bdd,
+        x_vars,
+        x_names,
+        classes,
+        folded,
+    })
+}
+
+/// All candidate arrival times per target node: path-delay sums from the
+/// cone inputs, subsampled conservatively if too many.
+fn candidate_arrival_times<D: DelayModel>(
+    cone: &Network,
+    model: &D,
+    cone_arrivals: &[Time],
+    targets: &[NodeId],
+    options: ArrivalFlexOptions,
+) -> Vec<Vec<Time>> {
+    use std::collections::BTreeSet;
+    let mut sets: Vec<BTreeSet<Time>> = vec![BTreeSet::new(); cone.node_count()];
+    for (i, &id) in cone.inputs().iter().enumerate() {
+        sets[id.index()].insert(cone_arrivals[i]);
+    }
+    for id in cone.node_ids() {
+        let node = cone.node(id);
+        if node.is_input() {
+            continue;
+        }
+        let d = model.delay(cone, id);
+        let mut mine = BTreeSet::new();
+        for f in &node.fanins {
+            for &t in &sets[f.index()] {
+                mine.insert(t + d);
+            }
+        }
+        // Conservative subsample: keep the largest (the topological
+        // arrival must stay) and spread the rest.
+        if mine.len() > options.max_times_per_input {
+            let all: Vec<Time> = mine.iter().copied().collect();
+            let mut kept = BTreeSet::new();
+            kept.insert(*all.last().expect("non-empty"));
+            let step = all.len() as f64 / (options.max_times_per_input - 1) as f64;
+            for k in 0..(options.max_times_per_input - 1) {
+                kept.insert(all[(k as f64 * step) as usize]);
+            }
+            mine = kept;
+        }
+        sets[id.index()] = mine;
+    }
+    // Guarantee the topological arrival is the last entry.
+    let topo = arrival_times(cone, model, cone_arrivals);
+    targets
+        .iter()
+        .map(|&t| {
+            let mut v: Vec<Time> = sets[t.index()].iter().copied().collect();
+            if v.last() != Some(&topo[t.index()]) {
+                v.push(topo[t.index()]);
+            }
+            v
+        })
+        .collect()
+}
+
+/// §5.2 result: latest required-time conditions at the subcircuit
+/// outputs `V`, as parametric primes over the cut network.
+pub struct SubcircuitRequired {
+    /// Names of the `V` nodes, in the order of the `v` argument.
+    pub v_names: Vec<String>,
+    /// Latest conditions; entry `per_input[i]` of each tuple refers to
+    /// `v_names[i]`.
+    pub conditions: Vec<RequiredTimeTuple>,
+    /// Topological required times at `V`, for comparison.
+    pub topo_required: Vec<Time>,
+}
+
+/// Computes required times at the subcircuit outputs `v` (node ids of
+/// `net`), per §5.2: the network is cut at `V`, known-arrival leaves are
+/// used for the original inputs `X`, and parametric (α/β) leaves for the
+/// `V` cut inputs.
+///
+/// # Errors
+///
+/// Returns [`CapacityError`] on BDD node-limit exhaustion.
+///
+/// # Panics
+///
+/// Panics on input/output length mismatches or if a `v` node is a
+/// primary input.
+pub fn subcircuit_required_times<D: DelayModel>(
+    net: &Network,
+    model: &D,
+    input_arrivals: &[Time],
+    output_required: &[Time],
+    v: &[NodeId],
+    node_limit: usize,
+) -> Result<SubcircuitRequired, CapacityError> {
+    assert_eq!(input_arrivals.len(), net.inputs().len());
+    assert_eq!(output_required.len(), net.outputs().len());
+    let (fo, map) = net.cut_at(v);
+    let v_names: Vec<String> = v.iter().map(|&n| net.node(n).name.clone()).collect();
+
+    // Mode per fo-input: Known for original PIs, parametric for V cuts.
+    let v_new: Vec<NodeId> = v.iter().map(|n| map[n]).collect();
+    let modes: Vec<LeafMode> = fo
+        .inputs()
+        .iter()
+        .map(|fi| {
+            if v_new.contains(fi) {
+                LeafMode::Parametric {
+                    value_independent: false,
+                }
+            } else {
+                let name = &fo.node(*fi).name;
+                let orig = net.find(name).expect("fo input from source");
+                let pos = net
+                    .inputs()
+                    .iter()
+                    .position(|&p| p == orig)
+                    .expect("non-cut fo input is a source PI");
+                LeafMode::Known(input_arrivals[pos])
+            }
+        })
+        .collect();
+
+    // The fo network keeps only outputs still reachable; align required
+    // times with them.
+    let fo_required: Vec<Time> = fo
+        .outputs()
+        .iter()
+        .map(|&o| {
+            let name = &fo.node(o).name;
+            let orig = net.find(name).expect("fo output from source");
+            let pos = net
+                .outputs()
+                .iter()
+                .position(|&p| p == orig)
+                .expect("fo output is a source PO");
+            output_required[pos]
+        })
+        .collect();
+
+    let mut bdd = Bdd::with_node_limit(node_limit);
+    let plan = plan_leaves(&fo, model, &fo_required, |pos| {
+        matches!(modes[pos], LeafMode::Parametric { .. })
+    });
+    let leaves = PlannedLeaves::new(&mut bdd, plan, modes);
+    let x_vars = leaves.x_vars.clone();
+    let globals = GlobalBdds::build_with_vars(&mut bdd, &fo, &x_vars)?;
+
+    let mut engine = ChiBddEngine::new(&fo, model, leaves);
+    let mut constraint = Ref::TRUE;
+    for (i, &z) in fo.outputs().iter().enumerate() {
+        let t = fo_required[i];
+        let chi1 = engine.chi(&mut bdd, &fo, z, true, t)?;
+        let chi0 = engine.chi(&mut bdd, &fo, z, false, t)?;
+        let gz = globals.of(z);
+        let ngz = bdd.try_not(gz)?;
+        let c1 = {
+            let x = bdd.try_xor(chi1, gz)?;
+            bdd.try_not(x)?
+        };
+        let c0 = {
+            let x = bdd.try_xor(chi0, ngz)?;
+            bdd.try_not(x)?
+        };
+        constraint = bdd.try_and(constraint, c1)?;
+        constraint = bdd.try_and(constraint, c0)?;
+    }
+    let leaves = engine.leaves;
+    let f = bdd.try_forall(constraint, &x_vars)?;
+    let params = leaves.param_var_list();
+    let primes = bdd.monotone_primes(f, &params);
+
+    // Re-index conditions onto the v order.
+    let fo_pos_of_v: Vec<usize> = v_new
+        .iter()
+        .map(|vn| {
+            fo.inputs()
+                .iter()
+                .position(|fi| fi == vn)
+                .expect("cut node is an fo input")
+        })
+        .collect();
+    let conditions: Vec<RequiredTimeTuple> = primes
+        .iter()
+        .map(|p| {
+            let full = leaves.interpret_prime(p);
+            RequiredTimeTuple {
+                per_input: fo_pos_of_v
+                    .iter()
+                    .map(|&pos| full.per_input[pos])
+                    .collect(),
+            }
+        })
+        .collect();
+
+    let topo = xrta_timing::required_times(&fo, model, &fo_required);
+    let topo_required = v_new.iter().map(|vn| topo[vn.index()]).collect();
+
+    Ok(SubcircuitRequired {
+        v_names,
+        conditions,
+        topo_required,
+    })
+}
+
+/// §5.3: couples the arrival and required sides through `X` when the
+/// subcircuit's functionality is preserved.
+///
+/// For each arrival class (over `X`) and each reachable `V` vector
+/// within it, reports the pairing. The `V` functions are evaluated on
+/// the original network.
+pub struct CoupledClass {
+    /// Arrival tuple at `U` for this class.
+    pub arrival: Vec<Time>,
+    /// Reachable `V` vectors inside the class region.
+    pub v_vectors: Vec<Vec<bool>>,
+}
+
+/// Computes the §5.3 coupled view (see [`CoupledClass`]).
+///
+/// # Errors
+///
+/// Returns [`CapacityError`] on BDD node-limit exhaustion.
+///
+/// # Panics
+///
+/// Panics if `u`/`v` are empty or longer than 12.
+pub fn coupled_flexibility<D: DelayModel>(
+    net: &Network,
+    model: &D,
+    input_arrivals: &[Time],
+    u: &[NodeId],
+    v: &[NodeId],
+    options: ArrivalFlexOptions,
+) -> Result<Vec<CoupledClass>, CapacityError> {
+    assert!(v.len() <= 12, "coupled view limited to 12 subcircuit outputs");
+    let arr = subcircuit_arrival_times(net, model, input_arrivals, u, options)?;
+    let mut bdd = arr.bdd;
+    // Globals of V over the same X variables: evaluate on the original
+    // network, mapping its PIs onto the cone's variable order by name.
+    let mut net_vars: Vec<Var> = Vec::with_capacity(net.inputs().len());
+    for &pi in net.inputs() {
+        let name = &net.node(pi).name;
+        match arr.x_names.iter().position(|n| n == name) {
+            Some(i) => net_vars.push(arr.x_vars[i]),
+            None => net_vars.push(bdd.fresh_var()), // PI outside the cone
+        }
+    }
+    let globals = GlobalBdds::build_with_vars(&mut bdd, net, &net_vars)?;
+    let v_fns: Vec<Ref> = v.iter().map(|&n| globals.of(n)).collect();
+
+    let mut out = Vec::new();
+    for class in &arr.classes {
+        let mut v_vectors = Vec::new();
+        for idx in 0..(1usize << v.len()) {
+            let v_vec: Vec<bool> = (0..v.len()).map(|b| (idx >> b) & 1 == 1).collect();
+            let mut drives = class.region;
+            for (b, &vf) in v_fns.iter().enumerate() {
+                let lit = if v_vec[b] { vf } else { bdd.try_not(vf)? };
+                drives = bdd.try_and(drives, lit)?;
+                if drives.is_false() {
+                    break;
+                }
+            }
+            if !drives.is_false() {
+                v_vectors.push(v_vec);
+            }
+        }
+        out.push(CoupledClass {
+            arrival: class.arrival.clone(),
+            v_vectors,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrta_network::GateKind;
+    use xrta_timing::UnitDelay;
+
+    /// The paper's Figure 6 fanin network: three inputs x1 x2 x3; with
+    /// unit delays and zero arrivals, u1 arrives at 1 when x1=0 else 2,
+    /// u2 arrives at 1 when x1=1 else 2.
+    ///
+    /// Construction: u1 = AND(NOT(x1), x2-side…) — we reproduce the
+    /// *behaviour* stated in the paper's equations:
+    ///   χ̃_{u1}^1 = ¬x1, χ̃_{u1}^2 = 1, χ̃_{u2}^1 = x1, χ̃_{u2}^2 = 1,
+    /// with functions u1 = x2·x3 gated so the example's folded table
+    /// matches: u1u2 = 00/01/11 reachable, 10 unreachable.
+    ///
+    /// The concrete netlist: n1 = NOT(x1); u1 = AND(n1? no…).
+    /// We use: u1 = AND(x2, x3) as a 2-level path whose short cut is
+    /// through ¬x1: u1 = MUX(x1, a1, a2) style. To stay faithful to the
+    /// table we build the circuit below and assert its behaviour rather
+    /// than guess the paper's exact gates.
+    fn fig6_like() -> (Network, Vec<NodeId>) {
+        // u1: x1=0 → fast path (arrives 1), x1=1 → slow (2).
+        //   u1 = AND(nx1_or_t, x2ish)… Simplest: u1 = MUX(x1, x2, b(x2))
+        //   where b is a buffer: when x1=0 select direct x2 (depth 1 via
+        //   mux only)… depth(mux)=1+max(0,0,1)=2 topologically, but the
+        //   x1=0 vectors settle at 1 only if the mux delay is counted…
+        // Use explicit structure:
+        //   p = BUF(x2)            (arrives 1)
+        //   u1 = MUX(x1, x2, p)    (x1=0: needs x2@0 + mux 1 → 1 … but
+        //                           topological 2)
+        let mut net = Network::new("fig6ish");
+        let x1 = net.add_input("x1").unwrap();
+        let x2 = net.add_input("x2").unwrap();
+        let x3 = net.add_input("x3").unwrap();
+        let p = net.add_gate("p", GateKind::Buf, &[x2]).unwrap();
+        let q = net.add_gate("q", GateKind::Buf, &[x3]).unwrap();
+        let u1 = net.add_gate("u1", GateKind::Mux, &[x1, x2, p]).unwrap();
+        let u2 = net.add_gate("u2", GateKind::Mux, &[x1, q, x3]).unwrap();
+        net.mark_output(u1);
+        net.mark_output(u2);
+        (net, vec![u1, u2])
+    }
+
+    #[test]
+    fn arrival_classes_are_value_dependent() {
+        let (net, u) = fig6_like();
+        let res = subcircuit_arrival_times(
+            &net,
+            &UnitDelay,
+            &[Time::ZERO; 3],
+            &u,
+            ArrivalFlexOptions::default(),
+        )
+        .unwrap();
+        // u1 = MUX(x1, x2, buf(x2)): for x1=0 the fast data path decides
+        // at 1; for x1=1 the buffered path needs 2. Expect at least two
+        // distinct arrival tuples across classes.
+        let mut tuples: Vec<Vec<Time>> = res.classes.iter().map(|c| c.arrival.clone()).collect();
+        tuples.sort();
+        tuples.dedup();
+        assert!(
+            tuples.len() >= 2,
+            "value-dependent arrivals expected, got {tuples:?}"
+        );
+        // Classes partition the space: pairwise disjoint, union = 1.
+        let mut bdd = res.bdd;
+        let mut union = Ref::FALSE;
+        for (i, a) in res.classes.iter().enumerate() {
+            for b in res.classes.iter().skip(i + 1) {
+                assert!(bdd.and(a.region, b.region).is_false(), "classes overlap");
+            }
+            union = bdd.or(union, a.region);
+        }
+        assert!(union.is_true(), "classes must cover the input space");
+    }
+
+    #[test]
+    fn folded_table_has_all_u_vectors() {
+        let (net, u) = fig6_like();
+        let res = subcircuit_arrival_times(
+            &net,
+            &UnitDelay,
+            &[Time::ZERO; 3],
+            &u,
+            ArrivalFlexOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(res.folded.len(), 4);
+        // Every reachable U vector gets at least one tuple; tuples are
+        // maximal (pairwise incomparable).
+        for (u_vec, tuples) in &res.folded {
+            for (i, a) in tuples.iter().enumerate() {
+                for b in tuples.iter().skip(i + 1) {
+                    let a_le_b = a.iter().zip(b).all(|(x, y)| x <= y);
+                    let b_le_a = b.iter().zip(a).all(|(x, y)| x <= y);
+                    assert!(
+                        !(a_le_b || b_le_a) || a == b,
+                        "dominated tuple kept at {u_vec:?}: {a:?} vs {b:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_vector_is_sdc() {
+        // u1 = a, u2 = NOT(a): vectors 00 and 11 unreachable.
+        let mut net = Network::new("sdc");
+        let a = net.add_input("a").unwrap();
+        let u1 = net.add_gate("u1", GateKind::Buf, &[a]).unwrap();
+        let u2 = net.add_gate("u2", GateKind::Not, &[a]).unwrap();
+        net.mark_output(u1);
+        net.mark_output(u2);
+        let res = subcircuit_arrival_times(
+            &net,
+            &UnitDelay,
+            &[Time::ZERO],
+            &[u1, u2],
+            ArrivalFlexOptions::default(),
+        )
+        .unwrap();
+        for (u_vec, tuples) in &res.folded {
+            let reachable = u_vec[0] != u_vec[1];
+            assert_eq!(
+                !tuples.is_empty(),
+                reachable,
+                "vector {u_vec:?} reachability"
+            );
+        }
+    }
+
+    #[test]
+    fn required_at_cut_matches_direct_analysis() {
+        // Cut right at the (only) path: N_FO of cutting at node g of
+        // x → g → z: required time at g equals req(z) − 1.
+        let mut net = Network::new("chain");
+        let x = net.add_input("x").unwrap();
+        let g = net.add_gate("g", GateKind::Buf, &[x]).unwrap();
+        let z = net.add_gate("z", GateKind::Buf, &[g]).unwrap();
+        net.mark_output(z);
+        let res = subcircuit_required_times(
+            &net,
+            &UnitDelay,
+            &[Time::ZERO],
+            &[Time::new(5)],
+            &[g],
+            1 << 20,
+        )
+        .unwrap();
+        assert_eq!(res.v_names, vec!["g".to_string()]);
+        assert_eq!(res.topo_required, vec![Time::new(4)]);
+        assert_eq!(res.conditions.len(), 1);
+        assert_eq!(res.conditions[0].per_input[0].value1, Time::new(4));
+        assert_eq!(res.conditions[0].per_input[0].value0, Time::new(4));
+    }
+
+    #[test]
+    fn required_at_cut_sees_downstream_false_path() {
+        // Figure 4's structure with the asymmetric input as an internal
+        // node v: z = AND(buf(x1), v, buf(v)), cut at v. The value-0
+        // deadline of v relaxes from the topological 0 to 1 (a single
+        // early 0 on any AND fanin settles z).
+        let mut net = Network::new("ds");
+        let x1 = net.add_input("x1").unwrap();
+        let a = net.add_input("a").unwrap();
+        let y1 = net.add_gate("y1", GateKind::Buf, &[x1]).unwrap();
+        let v = net.add_gate("v", GateKind::Buf, &[a]).unwrap();
+        let y2 = net.add_gate("y2", GateKind::Buf, &[v]).unwrap();
+        let z = net.add_gate("z", GateKind::And, &[y1, v, y2]).unwrap();
+        net.mark_output(z);
+        let res = subcircuit_required_times(
+            &net,
+            &UnitDelay,
+            &[Time::ZERO; 2],
+            &[Time::new(2)],
+            &[v],
+            1 << 20,
+        )
+        .unwrap();
+        assert_eq!(res.topo_required, vec![Time::new(0)]);
+        assert_eq!(res.conditions.len(), 1);
+        let c = &res.conditions[0];
+        assert_eq!(c.per_input[0].value1, Time::new(0));
+        assert_eq!(
+            c.per_input[0].value0,
+            Time::new(1),
+            "value-0 deadline relaxes past topological"
+        );
+    }
+
+    #[test]
+    fn coupled_classes_report_reachable_vectors() {
+        let (net, u) = fig6_like();
+        let v = vec![u[0]];
+        let classes = coupled_flexibility(
+            &net,
+            &UnitDelay,
+            &[Time::ZERO; 3],
+            &u,
+            &v,
+            ArrivalFlexOptions::default(),
+        )
+        .unwrap();
+        assert!(!classes.is_empty());
+        for c in &classes {
+            assert_eq!(c.arrival.len(), 2);
+            assert!(!c.v_vectors.is_empty(), "every class drives some V vector");
+        }
+    }
+}

@@ -1,0 +1,512 @@
+//! Leaf χ providers: the "only terminal cases change" modification of §4.
+//!
+//! Three modes per primary input:
+//!
+//! * **Known** — the standard false-path analysis terminal
+//!   (`χ_{x,v}^t = lit(x,v)` iff `t ≥ arr(x)`), used for the `X` inputs
+//!   of `N_FO` in §5.2 whose arrival times are known;
+//! * **Unknown** — a fresh BDD variable per `(value, time)` leaf, the
+//!   exact formulation of §4.1;
+//! * **Parametric** — the α/β encoding of §4.2:
+//!   `χ_{x,1}^{t_p} = x·α_1`, `χ_{x,1}^{t_{p-1}} = x·α_1α_2`, …, which
+//!   bakes the ordering constraints into the structure.
+
+use xrta_bdd::{Bdd, BddResult, FxHashMap, Ref, Var};
+use xrta_chi::LeafChi;
+use xrta_network::NodeId;
+use xrta_timing::Time;
+
+use crate::plan::LeafPlan;
+use crate::types::{RequiredTimeTuple, ValueTimes};
+
+/// Per-input leaf handling mode.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LeafMode {
+    /// Known arrival time: standard terminal case.
+    Known(Time),
+    /// Fresh variable per (value, time): exact formulation.
+    Unknown,
+    /// α/β chain encoding; `value_independent` merges the two values'
+    /// chains (footnote 6's more aggressive scheme).
+    Parametric {
+        /// Share one chain (and one merged time list) across both values.
+        value_independent: bool,
+    },
+}
+
+/// Identity of one unknown leaf variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LeafVarKey {
+    /// Position in `net.inputs()`.
+    pub input_pos: usize,
+    /// Stability value (1 or 0).
+    pub value: bool,
+    /// Time point.
+    pub time: Time,
+}
+
+/// Identity of one parametric (α/β) variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParamVarKey {
+    /// Position in `net.inputs()`.
+    pub input_pos: usize,
+    /// `true` for the α chain (value 1), `false` for β (value 0). In
+    /// value-independent mode only `true` chains exist.
+    pub value: bool,
+    /// Index within the chain (`α_1` is 0).
+    pub chain_index: usize,
+}
+
+/// The configurable leaf provider.
+///
+/// Allocate with [`PlannedLeaves::new`] *before* running the χ engine so
+/// the relative BDD variable order (inputs first, then leaves/parameters)
+/// is deterministic.
+pub struct PlannedLeaves {
+    /// One BDD variable per primary input (the `X` vector).
+    pub x_vars: Vec<Var>,
+    modes: Vec<LeafMode>,
+    plan: LeafPlan,
+    /// Unknown-mode leaf variables, in allocation order.
+    pub leaf_vars: Vec<(LeafVarKey, Var)>,
+    leaf_map: FxHashMap<(usize, bool, Time), Var>,
+    /// Parametric-mode variables, in allocation order.
+    pub param_vars: Vec<(ParamVarKey, Var)>,
+    /// Chains per (input, value): chain[0] is α_1.
+    chains: FxHashMap<(usize, bool), Vec<Var>>,
+}
+
+impl PlannedLeaves {
+    /// Allocates all variables, *interleaved*: each input's `X` variable
+    /// is immediately followed by that input's leaf or parameter
+    /// variables. Keeping related variables adjacent in the BDD order is
+    /// essential for block-structured circuits (an all-X-on-top order
+    /// multiplies sizes across blocks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modes.len() != plan.per_input.len()`.
+    pub fn new(bdd: &mut Bdd, plan: LeafPlan, modes: Vec<LeafMode>) -> Self {
+        assert_eq!(modes.len(), plan.per_input.len());
+        let mut x_vars: Vec<Var> = Vec::with_capacity(plan.per_input.len());
+        let mut leaf_vars = Vec::new();
+        let mut leaf_map = FxHashMap::default();
+        let mut param_vars = Vec::new();
+        let mut chains: FxHashMap<(usize, bool), Vec<Var>> = FxHashMap::default();
+        for (pos, mode) in modes.iter().enumerate() {
+            x_vars.push(bdd.fresh_var());
+            match mode {
+                LeafMode::Known(_) => {}
+                LeafMode::Unknown => {
+                    for value in [true, false] {
+                        for &t in plan.per_input[pos].for_value(value) {
+                            let v = bdd.fresh_var();
+                            leaf_vars.push((
+                                LeafVarKey {
+                                    input_pos: pos,
+                                    value,
+                                    time: t,
+                                },
+                                v,
+                            ));
+                            leaf_map.insert((pos, value, t), v);
+                        }
+                    }
+                }
+                LeafMode::Parametric { value_independent } => {
+                    if *value_independent {
+                        let times = plan.per_input[pos].merged();
+                        let chain: Vec<Var> = (0..times.len()).map(|_| bdd.fresh_var()).collect();
+                        for (ci, &v) in chain.iter().enumerate() {
+                            param_vars.push((
+                                ParamVarKey {
+                                    input_pos: pos,
+                                    value: true,
+                                    chain_index: ci,
+                                },
+                                v,
+                            ));
+                        }
+                        chains.insert((pos, true), chain.clone());
+                        chains.insert((pos, false), chain);
+                    } else {
+                        for value in [true, false] {
+                            let times = plan.per_input[pos].for_value(value);
+                            let chain: Vec<Var> =
+                                (0..times.len()).map(|_| bdd.fresh_var()).collect();
+                            for (ci, &v) in chain.iter().enumerate() {
+                                param_vars.push((
+                                    ParamVarKey {
+                                        input_pos: pos,
+                                        value,
+                                        chain_index: ci,
+                                    },
+                                    v,
+                                ));
+                            }
+                            chains.insert((pos, value), chain);
+                        }
+                    }
+                }
+            }
+        }
+        PlannedLeaves {
+            x_vars,
+            modes,
+            plan,
+            leaf_vars,
+            leaf_map,
+            param_vars,
+            chains,
+        }
+    }
+
+    /// The leaf plan this provider was built from.
+    pub fn plan(&self) -> &LeafPlan {
+        &self.plan
+    }
+
+    /// The mode of one input.
+    pub fn mode(&self, pos: usize) -> LeafMode {
+        self.modes[pos]
+    }
+
+    /// All unknown-leaf variables (exact mode), in allocation order.
+    pub fn leaf_var_list(&self) -> Vec<Var> {
+        self.leaf_vars.iter().map(|&(_, v)| v).collect()
+    }
+
+    /// All parameter variables (parametric mode), in allocation order.
+    pub fn param_var_list(&self) -> Vec<Var> {
+        self.param_vars.iter().map(|&(_, v)| v).collect()
+    }
+
+    /// The sorted time list used for `(input, value)` under the input's
+    /// mode (merged when value-independent).
+    pub fn times_for(&self, pos: usize, value: bool) -> Vec<Time> {
+        match self.modes[pos] {
+            LeafMode::Parametric {
+                value_independent: true,
+            } => self.plan.per_input[pos].merged(),
+            _ => self.plan.per_input[pos].for_value(value).to_vec(),
+        }
+    }
+
+    /// Ordering-and-bound constraint for the exact (Unknown) leaves:
+    ///
+    /// `∅ ⊆ χ^{t_1} ⊆ … ⊆ χ^{t_p} ⊆ lit(x, v)` per input and value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`xrta_bdd::CapacityError`] on node-limit exhaustion.
+    pub fn ordering_constraint(&self, bdd: &mut Bdd) -> BddResult<Ref> {
+        let mut acc = Ref::TRUE;
+        for (pos, mode) in self.modes.iter().enumerate() {
+            if !matches!(mode, LeafMode::Unknown) {
+                continue;
+            }
+            for value in [true, false] {
+                let times = self.plan.per_input[pos].for_value(value);
+                let mut prev: Option<Var> = None;
+                for &t in times {
+                    let cur = self.leaf_map[&(pos, value, t)];
+                    if let Some(p) = prev {
+                        // χ^{earlier} → χ^{later}
+                        let pv = bdd.try_var(p)?;
+                        let cv = bdd.try_var(cur)?;
+                        let ncv = bdd.try_not(cv)?;
+                        let bad = bdd.try_and(pv, ncv)?;
+                        let ok = bdd.try_not(bad)?;
+                        acc = bdd.try_and(acc, ok)?;
+                    }
+                    prev = Some(cur);
+                }
+                if let Some(last) = prev {
+                    let lv = bdd.try_var(last)?;
+                    let bound = if value {
+                        bdd.try_var(self.x_vars[pos])?
+                    } else {
+                        bdd.try_nvar(self.x_vars[pos])?
+                    };
+                    let nb = bdd.try_not(bound)?;
+                    let bad = bdd.try_and(lv, nb)?;
+                    let ok = bdd.try_not(bad)?;
+                    acc = bdd.try_and(acc, ok)?;
+                }
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Interprets an assignment of the unknown leaf variables as a
+    /// required-time tuple: per input and value, the earliest planned
+    /// time whose leaf bit is 1 (∞ when none).
+    ///
+    /// Inputs in other modes report `∞` (unconstrained here).
+    pub fn interpret_leaf_assignment(
+        &self,
+        assignment: impl Fn(Var) -> bool,
+    ) -> RequiredTimeTuple {
+        let per_input = (0..self.modes.len())
+            .map(|pos| {
+                if !matches!(self.modes[pos], LeafMode::Unknown) {
+                    return ValueTimes::uniform(Time::INF);
+                }
+                let earliest = |value: bool| {
+                    self.plan.per_input[pos]
+                        .for_value(value)
+                        .iter()
+                        .copied()
+                        .find(|&t| assignment(self.leaf_map[&(pos, value, t)]))
+                        .unwrap_or(Time::INF)
+                };
+                ValueTimes {
+                    value1: earliest(true),
+                    value0: earliest(false),
+                }
+            })
+            .collect();
+        RequiredTimeTuple { per_input }
+    }
+
+    /// Interprets a prime of the monotone `F(α, β)` (a set of parameter
+    /// variables forced to 1) as a required-time tuple: for each chain
+    /// the prefix length `k` of consecutive present variables yields the
+    /// deadline `t_{p−k+1}` (`∞` when `k = 0`).
+    pub fn interpret_prime(&self, prime: &[Var]) -> RequiredTimeTuple {
+        let in_prime = |v: Var| prime.contains(&v);
+        let per_input = (0..self.modes.len())
+            .map(|pos| {
+                if !matches!(self.modes[pos], LeafMode::Parametric { .. }) {
+                    return ValueTimes::uniform(Time::INF);
+                }
+                let deadline = |value: bool| {
+                    let chain = &self.chains[&(pos, value)];
+                    let times = self.times_for(pos, value);
+                    let mut k = 0;
+                    while k < chain.len() && in_prime(chain[k]) {
+                        k += 1;
+                    }
+                    if k == 0 {
+                        Time::INF
+                    } else {
+                        // χ^{t_{p-k+1}} = lit·α_1…α_k is forced on.
+                        times[times.len() - k]
+                    }
+                };
+                ValueTimes {
+                    value1: deadline(true),
+                    value0: deadline(false),
+                }
+            })
+            .collect();
+        RequiredTimeTuple { per_input }
+    }
+}
+
+impl LeafChi for PlannedLeaves {
+    fn leaf(
+        &mut self,
+        bdd: &mut Bdd,
+        input_pos: usize,
+        _node: NodeId,
+        value: bool,
+        t: Time,
+    ) -> BddResult<Ref> {
+        match self.modes[input_pos] {
+            LeafMode::Known(arr) => {
+                if t >= arr {
+                    if value {
+                        bdd.try_var(self.x_vars[input_pos])
+                    } else {
+                        bdd.try_nvar(self.x_vars[input_pos])
+                    }
+                } else {
+                    Ok(Ref::FALSE)
+                }
+            }
+            LeafMode::Unknown => {
+                let v = *self
+                    .leaf_map
+                    .get(&(input_pos, value, t))
+                    .unwrap_or_else(|| {
+                        panic!("leaf (input {input_pos}, value {value}, t {t}) not planned")
+                    });
+                bdd.try_var(v)
+            }
+            LeafMode::Parametric { .. } => {
+                let times = self.times_for(input_pos, value);
+                let idx = times
+                    .iter()
+                    .position(|&pt| pt == t)
+                    .unwrap_or_else(|| {
+                        panic!("leaf (input {input_pos}, value {value}, t {t}) not planned")
+                    });
+                let chain = self.chains[&(input_pos, value)].clone();
+                let factors = times.len() - idx; // t_p → 1 factor … t_1 → p
+                let mut acc = if value {
+                    bdd.try_var(self.x_vars[input_pos])?
+                } else {
+                    bdd.try_nvar(self.x_vars[input_pos])?
+                };
+                for &alpha in chain.iter().take(factors) {
+                    let av = bdd.try_var(alpha)?;
+                    acc = bdd.try_and(acc, av)?;
+                }
+                Ok(acc)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::plan_leaves;
+    use xrta_network::{GateKind, Network};
+    use xrta_timing::UnitDelay;
+
+    fn fig4() -> Network {
+        let mut net = Network::new("fig4");
+        let x1 = net.add_input("x1").unwrap();
+        let x2 = net.add_input("x2").unwrap();
+        let y1 = net.add_gate("y1", GateKind::Buf, &[x1]).unwrap();
+        let y2 = net.add_gate("y2", GateKind::Buf, &[x2]).unwrap();
+        let z = net.add_gate("z", GateKind::And, &[y1, x2, y2]).unwrap();
+        net.mark_output(z);
+        net
+    }
+
+    #[test]
+    fn unknown_mode_allocates_planned_leaves() {
+        let net = fig4();
+        let plan = plan_leaves(&net, &UnitDelay, &[Time::new(2)], |_| true);
+        let mut bdd = Bdd::new();
+        let leaves = PlannedLeaves::new(&mut bdd, plan, vec![LeafMode::Unknown; 2]);
+        assert_eq!(leaves.x_vars.len(), 2);
+        assert_eq!(leaves.leaf_vars.len(), 6, "paper's six leaf variables");
+        assert!(leaves.param_vars.is_empty());
+    }
+
+    #[test]
+    fn parametric_mode_allocates_chains() {
+        let net = fig4();
+        let plan = plan_leaves(&net, &UnitDelay, &[Time::new(2)], |_| true);
+        let mut bdd = Bdd::new();
+        let leaves = PlannedLeaves::new(
+            &mut bdd,
+            plan.clone(),
+            vec![
+                LeafMode::Parametric {
+                    value_independent: false,
+                };
+                2
+            ],
+        );
+        // α: x1 has 1, x2 has 2; β likewise → 6 parameters, like the
+        // paper's α₁^{x1} α₁^{x2} α₂^{x2} β₁^{x1} β₁^{x2} β₂^{x2}.
+        assert_eq!(leaves.param_vars.len(), 6);
+        let mut bdd2 = Bdd::new();
+        let vi = PlannedLeaves::new(
+            &mut bdd2,
+            plan,
+            vec![
+                LeafMode::Parametric {
+                    value_independent: true,
+                };
+                2
+            ],
+        );
+        assert_eq!(vi.param_vars.len(), 3, "merged chains halve the count");
+    }
+
+    #[test]
+    fn ordering_constraint_enforces_chain() {
+        let net = fig4();
+        let plan = plan_leaves(&net, &UnitDelay, &[Time::new(2)], |_| true);
+        let mut bdd = Bdd::new();
+        let leaves = PlannedLeaves::new(&mut bdd, plan, vec![LeafMode::Unknown; 2]);
+        let ord = leaves.ordering_constraint(&mut bdd).unwrap();
+        // Find χ_{x2,1}^0 and χ_{x2,1}^1.
+        let find = |value: bool, t: i64| {
+            leaves
+                .leaf_vars
+                .iter()
+                .find(|(k, _)| k.input_pos == 1 && k.value == value && k.time == Time::new(t))
+                .map(|&(_, v)| v)
+                .unwrap()
+        };
+        let early = find(true, 0);
+        let late = find(true, 1);
+        // early=1, late=0 violates χ^0 ⊆ χ^1.
+        let e = bdd.var(early);
+        let nl = bdd.nvar(late);
+        let viol = bdd.and(e, nl);
+        assert!(bdd.and(ord, viol).is_false());
+        // early=1, late=1, x2=1 is fine.
+        let l = bdd.var(late);
+        let x2 = bdd.var(leaves.x_vars[1]);
+        let both = bdd.and(e, l);
+        let ok = bdd.and(both, x2);
+        assert!(!bdd.and(ord, ok).is_false());
+        // late=1 with x2=0 violates the bound χ ⊆ x.
+        let nx2 = bdd.nvar(leaves.x_vars[1]);
+        let bad = bdd.and(l, nx2);
+        assert!(bdd.and(ord, bad).is_false());
+    }
+
+    #[test]
+    fn prime_interpretation_prefixes() {
+        let net = fig4();
+        let plan = plan_leaves(&net, &UnitDelay, &[Time::new(2)], |_| true);
+        let mut bdd = Bdd::new();
+        let leaves = PlannedLeaves::new(
+            &mut bdd,
+            plan,
+            vec![
+                LeafMode::Parametric {
+                    value_independent: false,
+                };
+                2
+            ],
+        );
+        // Full assignment = topological times.
+        let all: Vec<Var> = leaves.param_var_list();
+        let t = leaves.interpret_prime(&all);
+        assert_eq!(t.per_input[0].value1, Time::new(0));
+        assert_eq!(t.per_input[1].value1, Time::new(0));
+        // Only α₁ of x2 (prefix length 1) → deadline is the latest time.
+        let x2_alpha1 = leaves
+            .param_vars
+            .iter()
+            .find(|(k, _)| k.input_pos == 1 && k.value && k.chain_index == 0)
+            .map(|&(_, v)| v)
+            .unwrap();
+        let t = leaves.interpret_prime(&[x2_alpha1]);
+        assert_eq!(t.per_input[1].value1, Time::new(1));
+        assert_eq!(t.per_input[1].value0, Time::INF);
+        assert_eq!(t.per_input[0].value1, Time::INF);
+        // Empty prime → all ∞.
+        let t = leaves.interpret_prime(&[]);
+        assert!(t.per_input.iter().all(|vt| vt.value1.is_inf() && vt.value0.is_inf()));
+    }
+
+    #[test]
+    fn leaf_assignment_interpretation() {
+        let net = fig4();
+        let plan = plan_leaves(&net, &UnitDelay, &[Time::new(2)], |_| true);
+        let mut bdd = Bdd::new();
+        let leaves = PlannedLeaves::new(&mut bdd, plan, vec![LeafMode::Unknown; 2]);
+        // Set only χ_{x2,0}^1: x2 required to settle to 0 by time 1.
+        let target = leaves
+            .leaf_vars
+            .iter()
+            .find(|(k, _)| k.input_pos == 1 && !k.value && k.time == Time::new(1))
+            .map(|&(_, v)| v)
+            .unwrap();
+        let t = leaves.interpret_leaf_assignment(|v| v == target);
+        assert_eq!(t.per_input[1].value0, Time::new(1));
+        assert_eq!(t.per_input[1].value1, Time::INF);
+        assert_eq!(t.per_input[0].value1, Time::INF);
+    }
+}

@@ -1,0 +1,225 @@
+//! Planning pass: which leaf χ variables are needed?
+//!
+//! Before building any BDDs, the backward recursion is traversed
+//! symbolically to enumerate every `(primary input, value, time)` triple
+//! the χ construction will request — the `t_1 < … < t_{p_x}` (value 1)
+//! and `t'_1 < … < t'_{q_x}` (value 0) lists of §4.
+
+use std::collections::BTreeSet;
+
+use xrta_bdd::FxHashSet;
+use xrta_network::{Network, NodeId};
+use xrta_timing::{DelayModel, Time};
+
+/// The set of leaf χ time points per primary input, per value.
+#[derive(Clone, Debug, Default)]
+pub struct LeafTimes {
+    /// Sorted times at which `χ_{x,1}` is referenced.
+    pub value1: Vec<Time>,
+    /// Sorted times at which `χ_{x,0}` is referenced.
+    pub value0: Vec<Time>,
+}
+
+impl LeafTimes {
+    /// The times for one value.
+    pub fn for_value(&self, value: bool) -> &[Time] {
+        if value {
+            &self.value1
+        } else {
+            &self.value0
+        }
+    }
+
+    /// Union of both value lists, sorted and deduplicated.
+    pub fn merged(&self) -> Vec<Time> {
+        let mut set: BTreeSet<Time> = self.value1.iter().copied().collect();
+        set.extend(self.value0.iter().copied());
+        set.into_iter().collect()
+    }
+}
+
+/// The full leaf plan: per primary input (aligned with `net.inputs()`),
+/// which `(value, time)` leaves the recursion will touch.
+#[derive(Clone, Debug)]
+pub struct LeafPlan {
+    /// Per-input leaf time lists.
+    pub per_input: Vec<LeafTimes>,
+}
+
+impl LeafPlan {
+    /// Total number of leaf variables (`Σ (p_x + q_x)`).
+    pub fn leaf_count(&self) -> usize {
+        self.per_input
+            .iter()
+            .map(|lt| lt.value1.len() + lt.value0.len())
+            .sum()
+    }
+
+    /// Total number of leaf variables when values are merged
+    /// (value-independent schemes).
+    pub fn merged_leaf_count(&self) -> usize {
+        self.per_input.iter().map(|lt| lt.merged().len()).sum()
+    }
+}
+
+/// Enumerates the leaf χ variables needed to express the stability of
+/// each primary output at its required time (aligned with
+/// `net.outputs()`).
+///
+/// `is_leaf_input` selects which primary inputs get *unknown* leaves;
+/// inputs where it returns `false` are treated as known-arrival inputs
+/// (§5.2: the `X` inputs of `N_FO` keep their arrival times and need no
+/// variables) and are not planned.
+///
+/// # Panics
+///
+/// Panics if `output_required.len() != net.outputs().len()`.
+pub fn plan_leaves<D: DelayModel>(
+    net: &Network,
+    model: &D,
+    output_required: &[Time],
+    mut is_leaf_input: impl FnMut(usize) -> bool,
+) -> LeafPlan {
+    assert_eq!(output_required.len(), net.outputs().len());
+    let mut input_pos = vec![None; net.node_count()];
+    for (i, &id) in net.inputs().iter().enumerate() {
+        input_pos[id.index()] = Some(i);
+    }
+    let delays: Vec<i64> = net
+        .node_ids()
+        .map(|id| {
+            if net.node(id).is_input() {
+                0
+            } else {
+                model.delay(net, id)
+            }
+        })
+        .collect();
+
+    let mut sets: Vec<(BTreeSet<Time>, BTreeSet<Time>)> =
+        vec![(BTreeSet::new(), BTreeSet::new()); net.inputs().len()];
+    let mut visited: FxHashSet<(u32, bool, Time)> = FxHashSet::default();
+    let mut stack: Vec<(NodeId, bool, Time)> = Vec::new();
+    for (i, &z) in net.outputs().iter().enumerate() {
+        for v in [true, false] {
+            stack.push((z, v, output_required[i]));
+        }
+    }
+    while let Some((node, value, t)) = stack.pop() {
+        if !visited.insert((node.index() as u32, value, t)) {
+            continue;
+        }
+        if let Some(pos) = input_pos[node.index()] {
+            if is_leaf_input(pos) {
+                if value {
+                    sets[pos].0.insert(t);
+                } else {
+                    sets[pos].1.insert(t);
+                }
+            }
+            continue;
+        }
+        let n = net.node(node);
+        let primes = if value {
+            n.primes()
+        } else {
+            n.primes_of_complement()
+        };
+        let t_in = t - delays[node.index()];
+        for cube in primes {
+            for (i, &fanin) in n.fanins.iter().enumerate() {
+                let bit = 1u32 << i;
+                if cube.pos & bit != 0 {
+                    stack.push((fanin, true, t_in));
+                } else if cube.neg & bit != 0 {
+                    stack.push((fanin, false, t_in));
+                }
+            }
+        }
+    }
+
+    LeafPlan {
+        per_input: sets
+            .into_iter()
+            .map(|(v1, v0)| LeafTimes {
+                value1: v1.into_iter().collect(),
+                value0: v0.into_iter().collect(),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrta_network::GateKind;
+    use xrta_timing::UnitDelay;
+
+    /// The paper's Figure 4: z = AND(buf(x1), x2, buf(x2)) with unit
+    /// delays and req(z) = 2. The χ functions are
+    /// `χ²_{z,1} = χ⁰_{x1,1}·χ⁰_{x2,1}·χ¹_{x2,1}` and
+    /// `χ²_{z,0} = χ⁰_{x1,0} + χ⁰_{x2,0} + χ¹_{x2,0}`, i.e. six leaf
+    /// variables: x1 at time 0 (both values), x2 at times 0 and 1 (both
+    /// values).
+    #[test]
+    fn fig4_plan_matches_paper() {
+        let mut net = Network::new("fig4");
+        let x1 = net.add_input("x1").unwrap();
+        let x2 = net.add_input("x2").unwrap();
+        let y1 = net.add_gate("y1", GateKind::Buf, &[x1]).unwrap();
+        let y2 = net.add_gate("y2", GateKind::Buf, &[x2]).unwrap();
+        let z = net.add_gate("z", GateKind::And, &[y1, x2, y2]).unwrap();
+        net.mark_output(z);
+        let plan = plan_leaves(&net, &UnitDelay, &[Time::new(2)], |_| true);
+        assert_eq!(plan.per_input[0].value1, vec![Time::new(0)]);
+        assert_eq!(plan.per_input[0].value0, vec![Time::new(0)]);
+        assert_eq!(plan.per_input[1].value1, vec![Time::new(0), Time::new(1)]);
+        assert_eq!(plan.per_input[1].value0, vec![Time::new(0), Time::new(1)]);
+        assert_eq!(plan.leaf_count(), 6);
+    }
+
+    /// Reconvergent fanout produces multiple time points per input.
+    #[test]
+    fn reconvergence_gives_multiple_times() {
+        let mut net = Network::new("rc");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let buf = net.add_gate("buf", GateKind::Buf, &[b]).unwrap();
+        let z = net.add_gate("z", GateKind::And, &[b, buf, a]).unwrap();
+        net.mark_output(z);
+        let _ = a;
+        let plan = plan_leaves(&net, &UnitDelay, &[Time::new(2)], |_| true);
+        // b reaches z directly (t=1) and through the buffer (t=0).
+        assert_eq!(plan.per_input[1].value1, vec![Time::new(0), Time::new(1)]);
+        assert_eq!(plan.per_input[1].merged(), vec![Time::new(0), Time::new(1)]);
+        assert_eq!(plan.per_input[0].value1, vec![Time::new(1)]);
+    }
+
+    #[test]
+    fn excluded_inputs_not_planned() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let z = net.add_gate("z", GateKind::Or, &[a, b]).unwrap();
+        net.mark_output(z);
+        let plan = plan_leaves(&net, &UnitDelay, &[Time::ZERO], |pos| pos == 1);
+        assert!(plan.per_input[0].value1.is_empty());
+        assert!(plan.per_input[0].value0.is_empty());
+        assert_eq!(plan.per_input[1].value1.len(), 1);
+        assert_eq!(plan.merged_leaf_count(), 1);
+    }
+
+    #[test]
+    fn xor_requests_both_polarities() {
+        let mut net = Network::new("x");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let z = net.add_gate("z", GateKind::Xor, &[a, b]).unwrap();
+        net.mark_output(z);
+        let plan = plan_leaves(&net, &UnitDelay, &[Time::new(1)], |_| true);
+        for lt in &plan.per_input {
+            assert_eq!(lt.value1, vec![Time::new(0)]);
+            assert_eq!(lt.value0, vec![Time::new(0)]);
+        }
+    }
+}

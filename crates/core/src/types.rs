@@ -1,0 +1,138 @@
+//! Result types shared by the exact and approximate analyses.
+
+use std::fmt;
+
+use xrta_timing::Time;
+
+/// Required deadlines for one primary input, split by settled value
+/// (the paper distinguishes the time by which a signal must settle *to
+/// 1* from the time to settle *to 0*).
+///
+/// `Time::INF` means "never required" — the signal may arrive arbitrarily
+/// late (or not at all) without violating the output required times.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ValueTimes {
+    /// Deadline for settling to 1.
+    pub value1: Time,
+    /// Deadline for settling to 0.
+    pub value0: Time,
+}
+
+impl ValueTimes {
+    /// Both values share one deadline.
+    pub fn uniform(t: Time) -> Self {
+        ValueTimes {
+            value1: t,
+            value0: t,
+        }
+    }
+
+    /// The stricter (earlier) of the two deadlines.
+    pub fn earliest(self) -> Time {
+        self.value1.min(self.value0)
+    }
+
+    /// The looser (later) of the two deadlines.
+    pub fn latest(self) -> Time {
+        self.value1.max(self.value0)
+    }
+}
+
+impl fmt::Display for ValueTimes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.value1 == self.value0 {
+            write!(f, "{}", self.value1)
+        } else {
+            write!(f, "1@{}/0@{}", self.value1, self.value0)
+        }
+    }
+}
+
+/// One *maximal* (latest) required-time condition: a deadline pair per
+/// primary input. Several incomparable conditions can coexist (§4.1:
+/// "there may be more than one latest required time").
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RequiredTimeTuple {
+    /// Per-input deadlines, aligned with `net.inputs()`.
+    pub per_input: Vec<ValueTimes>,
+}
+
+impl RequiredTimeTuple {
+    /// Uniform tuple from a single per-input deadline list.
+    pub fn uniform(times: &[Time]) -> Self {
+        RequiredTimeTuple {
+            per_input: times.iter().map(|&t| ValueTimes::uniform(t)).collect(),
+        }
+    }
+
+    /// Is every deadline of `self` at least as late as in `other`
+    /// (pointwise looser-or-equal)?
+    pub fn dominates(&self, other: &RequiredTimeTuple) -> bool {
+        self.per_input.len() == other.per_input.len()
+            && self
+                .per_input
+                .iter()
+                .zip(&other.per_input)
+                .all(|(a, b)| a.value1 >= b.value1 && a.value0 >= b.value0)
+    }
+
+    /// Is some deadline strictly later than in `other` while none is
+    /// earlier (strictly looser)?
+    pub fn strictly_looser_than(&self, other: &RequiredTimeTuple) -> bool {
+        self.dominates(other) && self != other
+    }
+}
+
+impl fmt::Display for RequiredTimeTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, vt) in self.per_input.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{vt}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_and_extremes() {
+        let vt = ValueTimes::uniform(Time::new(3));
+        assert_eq!(vt.earliest(), Time::new(3));
+        assert_eq!(vt.latest(), Time::new(3));
+        let vt = ValueTimes {
+            value1: Time::new(1),
+            value0: Time::INF,
+        };
+        assert_eq!(vt.earliest(), Time::new(1));
+        assert_eq!(vt.latest(), Time::INF);
+    }
+
+    #[test]
+    fn dominance() {
+        let base = RequiredTimeTuple::uniform(&[Time::ZERO, Time::ZERO]);
+        let looser = RequiredTimeTuple::uniform(&[Time::ZERO, Time::new(1)]);
+        assert!(looser.dominates(&base));
+        assert!(looser.strictly_looser_than(&base));
+        assert!(!base.strictly_looser_than(&base));
+        let incomparable = RequiredTimeTuple::uniform(&[Time::new(1), Time::new(-1)]);
+        assert!(!incomparable.dominates(&base));
+        assert!(!base.dominates(&incomparable));
+    }
+
+    #[test]
+    fn display_forms() {
+        let vt = ValueTimes {
+            value1: Time::new(2),
+            value0: Time::INF,
+        };
+        assert_eq!(vt.to_string(), "1@2/0@∞");
+        let t = RequiredTimeTuple::uniform(&[Time::ZERO, Time::INF]);
+        assert_eq!(t.to_string(), "(0, ∞)");
+    }
+}

@@ -1,0 +1,149 @@
+//! Building global BDDs for network nodes.
+
+use std::collections::HashMap;
+
+use xrta_bdd::{Bdd, BddResult, Ref, Var};
+
+use crate::network::{Network, NodeFunc, NodeId};
+
+/// Global (primary-input-level) BDDs for a network.
+///
+/// Each primary input is bound to a BDD variable; every node's function
+/// is expressed over those variables.
+#[derive(Debug)]
+pub struct GlobalBdds {
+    /// BDD variable per primary input, aligned with `Network::inputs()`.
+    pub input_vars: Vec<Var>,
+    /// Function per node, indexed by node id.
+    pub node_fn: Vec<Ref>,
+}
+
+impl GlobalBdds {
+    /// Builds global BDDs for every node of `net` inside `bdd`,
+    /// allocating one fresh variable per primary input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`xrta_bdd::CapacityError`] if the manager's node limit is
+    /// exceeded (the paper's `memory out` condition).
+    pub fn build(bdd: &mut Bdd, net: &Network) -> BddResult<GlobalBdds> {
+        let input_vars: Vec<Var> = net.inputs().iter().map(|_| bdd.fresh_var()).collect();
+        Self::build_with_vars(bdd, net, &input_vars)
+    }
+
+    /// Builds global BDDs using caller-supplied input variables (aligned
+    /// with `net.inputs()`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`xrta_bdd::CapacityError`] on node-limit exhaustion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_vars.len() != net.inputs().len()`.
+    pub fn build_with_vars(
+        bdd: &mut Bdd,
+        net: &Network,
+        input_vars: &[Var],
+    ) -> BddResult<GlobalBdds> {
+        assert_eq!(input_vars.len(), net.inputs().len());
+        let var_of: HashMap<NodeId, Var> = net
+            .inputs()
+            .iter()
+            .copied()
+            .zip(input_vars.iter().copied())
+            .collect();
+        let mut node_fn = vec![Ref::FALSE; net.node_count()];
+        for id in net.node_ids() {
+            let node = net.node(id);
+            match &node.func {
+                NodeFunc::Input => {
+                    let v = var_of[&id];
+                    node_fn[id.index()] = bdd.try_var(v)?;
+                }
+                NodeFunc::Gate { table, .. } => {
+                    // Shannon-style build from the truth table over fanin
+                    // functions: iterate minterm cubes of the on-set via
+                    // primes for compactness.
+                    let fanin_fns: Vec<Ref> =
+                        node.fanins.iter().map(|f| node_fn[f.index()]).collect();
+                    let mut acc = Ref::FALSE;
+                    for cube in node.primes() {
+                        let mut term = Ref::TRUE;
+                        for (i, &ff) in fanin_fns.iter().enumerate() {
+                            let bit = 1u32 << i;
+                            if cube.pos & bit != 0 {
+                                term = bdd.try_and(term, ff)?;
+                            } else if cube.neg & bit != 0 {
+                                let nf = bdd.try_not(ff)?;
+                                term = bdd.try_and(term, nf)?;
+                            }
+                        }
+                        acc = bdd.try_or(acc, term)?;
+                    }
+                    let _ = table;
+                    node_fn[id.index()] = acc;
+                }
+            }
+        }
+        Ok(GlobalBdds {
+            input_vars: input_vars.to_vec(),
+            node_fn,
+        })
+    }
+
+    /// The global function of a node.
+    pub fn of(&self, id: NodeId) -> Ref {
+        self.node_fn[id.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateKind;
+
+    #[test]
+    fn global_bdds_match_simulation() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let c = net.add_input("c").unwrap();
+        let x = net.add_gate("x", GateKind::Xor, &[a, b]).unwrap();
+        let y = net.add_gate("y", GateKind::Mux, &[c, x, a]).unwrap();
+        net.mark_output(y);
+        let mut bdd = Bdd::new();
+        let g = GlobalBdds::build(&mut bdd, &net).unwrap();
+        for m in 0..8u32 {
+            let ins: Vec<bool> = (0..3).map(|i| (m >> i) & 1 == 1).collect();
+            let vals = net.eval_all(&ins);
+            let assignment: Vec<bool> = ins.clone();
+            for id in net.node_ids() {
+                assert_eq!(
+                    bdd.eval(g.of(id), &assignment),
+                    vals[id.index()],
+                    "node {} minterm {m}",
+                    net.node(id).name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_error_propagates() {
+        let mut net = Network::new("t");
+        let mut prev = Vec::new();
+        for i in 0..12 {
+            prev.push(net.add_input(format!("i{i}")).unwrap());
+        }
+        let mut acc = net.add_gate("g0", GateKind::Xor, &[prev[0], prev[1]]).unwrap();
+        for (i, p) in prev.iter().enumerate().skip(2) {
+            acc = net
+                .add_gate(format!("g{}", i - 1), GateKind::Xor, &[acc, *p])
+                .unwrap();
+        }
+        net.mark_output(acc);
+        let mut bdd = Bdd::with_node_limit(10);
+        assert!(GlobalBdds::build(&mut bdd, &net).is_err());
+    }
+}

@@ -1,0 +1,480 @@
+//! BLIF (Berkeley Logic Interchange Format) reading and writing.
+//!
+//! Supports the combinational subset used by SIS-era benchmarks:
+//! `.model`, `.inputs`, `.outputs`, `.names` with SOP covers, `.latch`
+//! (treated as a register *cut*: the latch output becomes a primary
+//! input, the latch input a primary output — exactly the edge-triggered
+//! handling described in §3 of the paper), and `.end`. Line continuations
+//! with `\` are handled.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::network::{Network, NetworkError, NodeFunc, NodeId};
+use crate::truth::TruthTable;
+
+/// Error produced when BLIF parsing fails.
+#[derive(Debug)]
+pub enum ParseBlifError {
+    /// Syntax problem with a line.
+    Syntax(usize, String),
+    /// Construction failed (duplicate names, arity, …).
+    Network(NetworkError),
+    /// A signal is used but never defined.
+    Undefined(String),
+    /// Too many inputs on one `.names` for a truth table.
+    TooWide(String, usize),
+}
+
+impl fmt::Display for ParseBlifError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseBlifError::Syntax(line, what) => write!(f, "blif syntax at line {line}: {what}"),
+            ParseBlifError::Network(e) => write!(f, "blif network error: {e}"),
+            ParseBlifError::Undefined(n) => write!(f, "blif signal {n:?} used but never defined"),
+            ParseBlifError::TooWide(n, k) => {
+                write!(f, "blif node {n:?} has {k} inputs, beyond the supported width")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseBlifError {}
+
+impl From<NetworkError> for ParseBlifError {
+    fn from(e: NetworkError) -> Self {
+        ParseBlifError::Network(e)
+    }
+}
+
+struct RawNames {
+    output: String,
+    inputs: Vec<String>,
+    cover: Vec<(String, char)>, // (input pattern, output value)
+}
+
+/// Parses a BLIF document into a [`Network`].
+///
+/// Latches are cut: each `.latch in out` adds `out` to the primary
+/// inputs and `in` to the primary outputs.
+///
+/// # Errors
+///
+/// Returns [`ParseBlifError`] on malformed input.
+///
+/// # Examples
+///
+/// ```
+/// use xrta_network::parse_blif;
+/// let net = parse_blif(r"
+/// .model and2
+/// .inputs a b
+/// .outputs y
+/// .names a b y
+/// 11 1
+/// .end
+/// ")?;
+/// assert_eq!(net.eval(&[true, true]), vec![true]);
+/// assert_eq!(net.eval(&[true, false]), vec![false]);
+/// # Ok::<(), xrta_network::ParseBlifError>(())
+/// ```
+pub fn parse_blif(text: &str) -> Result<Network, ParseBlifError> {
+    // Join continuation lines and strip comments.
+    let mut logical_lines: Vec<(usize, String)> = Vec::new();
+    let mut pending = String::new();
+    let mut pending_line = 0usize;
+    for (lineno, raw) in text.lines().enumerate() {
+        let raw = match raw.find('#') {
+            Some(i) => &raw[..i],
+            None => raw,
+        };
+        let trimmed = raw.trim_end();
+        if pending.is_empty() {
+            pending_line = lineno + 1;
+        }
+        if let Some(stripped) = trimmed.strip_suffix('\\') {
+            pending.push_str(stripped);
+            pending.push(' ');
+            continue;
+        }
+        pending.push_str(trimmed);
+        let complete = std::mem::take(&mut pending);
+        if !complete.trim().is_empty() {
+            logical_lines.push((pending_line, complete));
+        }
+    }
+
+    let mut model_name = String::from("unnamed");
+    let mut input_names: Vec<String> = Vec::new();
+    let mut output_names: Vec<String> = Vec::new();
+    let mut names_blocks: Vec<RawNames> = Vec::new();
+    let mut latch_cuts: Vec<(String, String)> = Vec::new(); // (input, output)
+    let mut current: Option<RawNames> = None;
+
+    for (lineno, line) in &logical_lines {
+        let line = line.trim();
+        let mut tokens = line.split_whitespace();
+        let first = tokens.next().unwrap_or("");
+        if first.starts_with('.') {
+            if let Some(block) = current.take() {
+                names_blocks.push(block);
+            }
+            match first {
+                ".model" => {
+                    if let Some(n) = tokens.next() {
+                        model_name = n.to_string();
+                    }
+                }
+                ".inputs" => input_names.extend(tokens.map(String::from)),
+                ".outputs" => output_names.extend(tokens.map(String::from)),
+                ".names" => {
+                    let mut signals: Vec<String> = tokens.map(String::from).collect();
+                    let output = signals.pop().ok_or_else(|| {
+                        ParseBlifError::Syntax(*lineno, ".names needs at least an output".into())
+                    })?;
+                    current = Some(RawNames {
+                        output,
+                        inputs: signals,
+                        cover: Vec::new(),
+                    });
+                }
+                ".latch" => {
+                    let input = tokens.next().ok_or_else(|| {
+                        ParseBlifError::Syntax(*lineno, ".latch needs input".into())
+                    })?;
+                    let output = tokens.next().ok_or_else(|| {
+                        ParseBlifError::Syntax(*lineno, ".latch needs output".into())
+                    })?;
+                    latch_cuts.push((input.to_string(), output.to_string()));
+                }
+                ".end" => break,
+                ".exdc" => break, // don't-care network: ignored
+                _ => {
+                    // Unknown directives (.clock, .area, …) are skipped.
+                }
+            }
+        } else if let Some(block) = current.as_mut() {
+            // Cover line: "<pattern> <value>" or just "<value>" for
+            // constant nodes.
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            match parts.len() {
+                1 => {
+                    let v = parts[0].chars().next().ok_or_else(|| {
+                        ParseBlifError::Syntax(*lineno, "empty cover line".into())
+                    })?;
+                    block.cover.push((String::new(), v));
+                }
+                2 => {
+                    let v = parts[1].chars().next().ok_or_else(|| {
+                        ParseBlifError::Syntax(*lineno, "empty output value".into())
+                    })?;
+                    block.cover.push((parts[0].to_string(), v));
+                }
+                _ => {
+                    return Err(ParseBlifError::Syntax(
+                        *lineno,
+                        format!("unexpected cover line {line:?}"),
+                    ))
+                }
+            }
+        } else {
+            return Err(ParseBlifError::Syntax(
+                *lineno,
+                format!("unexpected line {line:?}"),
+            ));
+        }
+    }
+    if let Some(block) = current.take() {
+        names_blocks.push(block);
+    }
+
+    // Latch outputs become primary inputs, latch inputs primary outputs.
+    for (li, lo) in &latch_cuts {
+        input_names.push(lo.clone());
+        output_names.push(li.clone());
+    }
+
+    // Build the network: inputs first, then .names blocks in dependency
+    // order (BLIF allows any order, so sort topologically by name).
+    let mut net = Network::new(model_name);
+    let mut ids: HashMap<String, NodeId> = HashMap::new();
+    for n in &input_names {
+        let id = net.add_input(n.clone())?;
+        ids.insert(n.clone(), id);
+    }
+
+    let index_of: HashMap<&str, usize> = names_blocks
+        .iter()
+        .enumerate()
+        .map(|(i, b)| (b.output.as_str(), i))
+        .collect();
+    let mut placed = vec![false; names_blocks.len()];
+    let mut order: Vec<usize> = Vec::with_capacity(names_blocks.len());
+    // Iterative DFS for dependency order with cycle detection.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let mut marks = vec![Mark::White; names_blocks.len()];
+    for start in 0..names_blocks.len() {
+        if marks[start] != Mark::White {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        marks[start] = Mark::Grey;
+        while let Some(&(b, child)) = stack.last() {
+            let block = &names_blocks[b];
+            if child < block.inputs.len() {
+                stack.last_mut().expect("non-empty").1 += 1;
+                let dep_name = &block.inputs[child];
+                if ids.contains_key(dep_name) {
+                    continue; // primary input or already-built node name
+                }
+                match index_of.get(dep_name.as_str()) {
+                    None => return Err(ParseBlifError::Undefined(dep_name.clone())),
+                    Some(&d) => match marks[d] {
+                        Mark::White => {
+                            marks[d] = Mark::Grey;
+                            stack.push((d, 0));
+                        }
+                        Mark::Grey => {
+                            return Err(ParseBlifError::Network(NetworkError::Cyclic(
+                                dep_name.clone(),
+                            )))
+                        }
+                        Mark::Black => {}
+                    },
+                }
+            } else {
+                marks[b] = Mark::Black;
+                if !placed[b] {
+                    placed[b] = true;
+                    order.push(b);
+                }
+                stack.pop();
+            }
+        }
+    }
+
+    for &bi in &order {
+        let block = &names_blocks[bi];
+        let k = block.inputs.len();
+        if k > TruthTable::MAX_VARS {
+            return Err(ParseBlifError::TooWide(block.output.clone(), k));
+        }
+        let fanins: Vec<NodeId> = block
+            .inputs
+            .iter()
+            .map(|n| {
+                ids.get(n)
+                    .copied()
+                    .ok_or_else(|| ParseBlifError::Undefined(n.clone()))
+            })
+            .collect::<Result<_, _>>()?;
+        let table = cover_to_table(k, &block.cover)?;
+        let id = net.add_table(block.output.clone(), table, &fanins)?;
+        ids.insert(block.output.clone(), id);
+    }
+
+    for n in &output_names {
+        let id = ids
+            .get(n)
+            .copied()
+            .ok_or_else(|| ParseBlifError::Undefined(n.clone()))?;
+        net.mark_output(id);
+    }
+    Ok(net)
+}
+
+fn cover_to_table(k: usize, cover: &[(String, char)]) -> Result<TruthTable, ParseBlifError> {
+    // The output polarity of a .names cover is uniform; a cover listing
+    // '0' rows specifies the off-set.
+    let on_polarity = cover.first().map(|&(_, v)| v != '0').unwrap_or(true);
+    let mut table = TruthTable::constant(k, !on_polarity);
+    for (pattern, _) in cover {
+        if pattern.len() != k {
+            return Err(ParseBlifError::Syntax(
+                0,
+                format!("pattern {pattern:?} does not match arity {k}"),
+            ));
+        }
+        // Expand '-' don't-cares.
+        let mut minterms = vec![0usize];
+        for (i, ch) in pattern.chars().enumerate() {
+            match ch {
+                '0' => {}
+                '1' => {
+                    for m in &mut minterms {
+                        *m |= 1 << i;
+                    }
+                }
+                '-' => {
+                    let with_bit: Vec<usize> = minterms.iter().map(|m| m | (1 << i)).collect();
+                    minterms.extend(with_bit);
+                }
+                other => {
+                    return Err(ParseBlifError::Syntax(
+                        0,
+                        format!("bad pattern character {other:?}"),
+                    ))
+                }
+            }
+        }
+        for m in minterms {
+            table.set_bit(m, on_polarity);
+        }
+    }
+    Ok(table)
+}
+
+/// Serializes a network as BLIF.
+pub fn write_blif(net: &Network) -> String {
+    let mut out = format!(".model {}\n.inputs", net.name());
+    for &i in net.inputs() {
+        out.push(' ');
+        out.push_str(&net.node(i).name);
+    }
+    out.push_str("\n.outputs");
+    for &o in net.outputs() {
+        out.push(' ');
+        out.push_str(&net.node(o).name);
+    }
+    out.push('\n');
+    for id in net.node_ids() {
+        let n = net.node(id);
+        if let NodeFunc::Gate { table, .. } = &n.func {
+            out.push_str(".names");
+            for f in &n.fanins {
+                out.push(' ');
+                out.push_str(&net.node(*f).name);
+            }
+            out.push(' ');
+            out.push_str(&n.name);
+            out.push('\n');
+            // Emit the on-set as prime cubes for compactness.
+            for cube in table.primes() {
+                let mut pattern = String::with_capacity(n.fanins.len());
+                for i in 0..n.fanins.len() {
+                    let bit = 1u32 << i;
+                    if cube.pos & bit != 0 {
+                        pattern.push('1');
+                    } else if cube.neg & bit != 0 {
+                        pattern.push('0');
+                    } else {
+                        pattern.push('-');
+                    }
+                }
+                out.push_str(&pattern);
+                if !pattern.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str("1\n");
+            }
+        }
+    }
+    out.push_str(".end\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_and() {
+        let net = parse_blif(".model m\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n")
+            .unwrap();
+        assert_eq!(net.inputs().len(), 2);
+        assert_eq!(net.outputs().len(), 1);
+        assert_eq!(net.eval(&[true, true]), vec![true]);
+        assert_eq!(net.eval(&[false, true]), vec![false]);
+    }
+
+    #[test]
+    fn parse_dont_cares_and_offset_cover() {
+        // y = a + b via don't-cares; z defined by its off-set.
+        let net = parse_blif(
+            ".model m\n.inputs a b\n.outputs y z\n.names a b y\n1- 1\n-1 1\n.names a b z\n00 0\n.end\n",
+        )
+        .unwrap();
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            let out = net.eval(&[a, b]);
+            assert_eq!(out[0], a || b, "y at {a}{b}");
+            assert_eq!(out[1], a || b, "z (offset cover) at {a}{b}");
+        }
+    }
+
+    #[test]
+    fn parse_out_of_order_names() {
+        // y depends on t, but t is defined after y in the file.
+        let net = parse_blif(
+            ".model m\n.inputs a b\n.outputs y\n.names t y\n1 1\n.names a b t\n11 1\n.end\n",
+        )
+        .unwrap();
+        assert_eq!(net.eval(&[true, true]), vec![true]);
+        assert_eq!(net.eval(&[true, false]), vec![false]);
+    }
+
+    #[test]
+    fn parse_constant_nodes() {
+        let net = parse_blif(".model m\n.inputs a\n.outputs k\n.names k\n1\n.end\n").unwrap();
+        assert_eq!(net.eval(&[false]), vec![true]);
+        let net = parse_blif(".model m\n.inputs a\n.outputs k\n.names k\n.end\n").unwrap();
+        assert_eq!(net.eval(&[false]), vec![false], "empty cover is constant 0");
+    }
+
+    #[test]
+    fn latch_is_cut() {
+        let net = parse_blif(
+            ".model m\n.inputs a\n.outputs y\n.latch d q 0\n.names a q d\n11 1\n.names q y\n1 1\n.end\n",
+        )
+        .unwrap();
+        // q becomes a PI; d a PO. Inputs: a, q. Outputs: y, d.
+        assert_eq!(net.inputs().len(), 2);
+        assert_eq!(net.outputs().len(), 2);
+        let out = net.eval(&[true, true]); // a=1, q=1
+        assert_eq!(out, vec![true, true]); // y=q=1, d=a·q=1
+    }
+
+    #[test]
+    fn undefined_signal_rejected() {
+        assert!(matches!(
+            parse_blif(".model m\n.inputs a\n.outputs y\n.names a ghost y\n11 1\n.end\n"),
+            Err(ParseBlifError::Undefined(_))
+        ));
+    }
+
+    #[test]
+    fn cyclic_definition_rejected() {
+        assert!(matches!(
+            parse_blif(
+                ".model m\n.inputs a\n.outputs y\n.names y2 y\n1 1\n.names y y2\n1 1\n.end\n"
+            ),
+            Err(ParseBlifError::Network(NetworkError::Cyclic(_)))
+        ));
+    }
+
+    #[test]
+    fn comments_and_continuations() {
+        let net = parse_blif(
+            ".model m # model line\n.inputs a \\\nb\n.outputs y\n.names a b y # gate\n11 1\n.end\n",
+        )
+        .unwrap();
+        assert_eq!(net.inputs().len(), 2);
+        assert_eq!(net.eval(&[true, true]), vec![true]);
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let src = ".model rt\n.inputs a b c\n.outputs y z\n.names a b t\n10 1\n01 1\n.names t c y\n11 1\n.names a c z\n00 1\n11 1\n.end\n";
+        let net = parse_blif(src).unwrap();
+        let written = write_blif(&net);
+        let reparsed = parse_blif(&written).unwrap();
+        for m in 0..8u32 {
+            let ins = [(m & 1) != 0, (m & 2) != 0, (m & 4) != 0];
+            assert_eq!(net.eval(&ins), reparsed.eval(&ins), "minterm {m}");
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Tseitin encoding of a network into CNF.
+
+use xrta_sat::{Cnf, Lit};
+
+use crate::network::{Network, NodeFunc, NodeId};
+
+/// CNF encoding of a network: a literal per node, constrained to equal
+/// the node's function of the primary-input literals.
+#[derive(Debug)]
+pub struct NetworkCnf {
+    /// Literal per node, indexed by node id.
+    pub node_lit: Vec<Lit>,
+}
+
+impl NetworkCnf {
+    /// Encodes every node of `net` into `cnf`.
+    ///
+    /// Primary inputs get fresh variables; each gate output literal is
+    /// constrained via its prime cover (SOP Tseitin encoding).
+    pub fn encode(cnf: &mut Cnf, net: &Network) -> NetworkCnf {
+        let mut node_lit: Vec<Option<Lit>> = vec![None; net.node_count()];
+        for id in net.node_ids() {
+            let node = net.node(id);
+            let lit = match &node.func {
+                NodeFunc::Input => cnf.new_var().positive(),
+                NodeFunc::Gate { .. } => {
+                    let fanin_lits: Vec<Lit> = node
+                        .fanins
+                        .iter()
+                        .map(|f| node_lit[f.index()].expect("topological order"))
+                        .collect();
+                    let primes = node.primes();
+                    let mut terms: Vec<Lit> = Vec::with_capacity(primes.len());
+                    for cube in primes {
+                        let mut lits = Vec::new();
+                        for (i, &fl) in fanin_lits.iter().enumerate() {
+                            let bit = 1u32 << i;
+                            if cube.pos & bit != 0 {
+                                lits.push(fl);
+                            } else if cube.neg & bit != 0 {
+                                lits.push(!fl);
+                            }
+                        }
+                        match lits.len() {
+                            0 => terms.push(cnf.and([])), // constant-true term
+                            1 => terms.push(lits[0]),
+                            _ => terms.push(cnf.and(lits)),
+                        }
+                    }
+                    match terms.len() {
+                        0 => cnf.or([]), // constant false
+                        1 => terms[0],
+                        _ => cnf.or(terms),
+                    }
+                }
+            };
+            node_lit[id.index()] = Some(lit);
+        }
+        NetworkCnf {
+            node_lit: node_lit.into_iter().map(|l| l.expect("all set")).collect(),
+        }
+    }
+
+    /// The literal of a node.
+    pub fn of(&self, id: NodeId) -> Lit {
+        self.node_lit[id.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateKind;
+    use xrta_sat::SolveResult;
+
+    #[test]
+    fn encoding_matches_simulation() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let c = net.add_input("c").unwrap();
+        let x = net.add_gate("x", GateKind::Nand, &[a, b]).unwrap();
+        let y = net.add_gate("y", GateKind::Xor, &[x, c]).unwrap();
+        let z = net.add_gate("z", GateKind::Nor, &[y, a]).unwrap();
+        net.mark_output(z);
+        let mut cnf = Cnf::new();
+        let enc = NetworkCnf::encode(&mut cnf, &net);
+        let mut solver = cnf.into_solver();
+        for m in 0..8u32 {
+            let ins: Vec<bool> = (0..3).map(|i| (m >> i) & 1 == 1).collect();
+            let vals = net.eval_all(&ins);
+            let assumptions: Vec<Lit> = [a, b, c]
+                .iter()
+                .zip(&ins)
+                .map(|(&id, &v)| {
+                    let l = enc.of(id);
+                    if v {
+                        l
+                    } else {
+                        !l
+                    }
+                })
+                .collect();
+            assert_eq!(
+                solver.solve_with_assumptions(&assumptions),
+                SolveResult::Sat
+            );
+            for id in net.node_ids() {
+                assert_eq!(
+                    solver.model_lit(enc.of(id)),
+                    Some(vals[id.index()]),
+                    "node {} at minterm {m}",
+                    net.node(id).name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tautology_check_via_sat() {
+        // z = a OR NOT a must be constantly true: ¬z unsatisfiable.
+        let mut net = Network::new("t");
+        let a = net.add_input("a").unwrap();
+        let na = net.add_gate("na", GateKind::Not, &[a]).unwrap();
+        let z = net.add_gate("z", GateKind::Or, &[a, na]).unwrap();
+        net.mark_output(z);
+        let mut cnf = Cnf::new();
+        let enc = NetworkCnf::encode(&mut cnf, &net);
+        cnf.assert_lit(!enc.of(z));
+        let (r, _) = cnf.solve();
+        assert_eq!(r, SolveResult::Unsat);
+    }
+}

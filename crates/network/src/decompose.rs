@@ -1,0 +1,229 @@
+//! Decomposition of arbitrary-table nodes into two-level library-gate
+//! logic, and SAT-based equivalence checking between networks.
+
+use std::collections::HashMap;
+
+use xrta_sat::{Cnf, SolveResult};
+
+use crate::cnf_bridge::NetworkCnf;
+use crate::gate::GateKind;
+use crate::network::{Network, NodeFunc, NodeId};
+
+/// Rewrites every table-only node (no library [`GateKind`]) as a
+/// two-level AND-OR structure over its prime cover, inserting inverters
+/// for complemented literals. The result contains only library gates, so
+/// it can be written in `.bench` format.
+///
+/// Returns the new network and the old→new id mapping.
+pub fn decompose_to_gates(net: &Network) -> (Network, HashMap<NodeId, NodeId>) {
+    let mut out = Network::new(net.name().to_string());
+    let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+    // Memoized inverters per (new) node.
+    let mut inverters: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut fresh = 0usize;
+
+    for id in net.node_ids() {
+        let n = net.node(id);
+        let new_id = match &n.func {
+            NodeFunc::Input => out.add_input(n.name.clone()).expect("unique names"),
+            NodeFunc::Gate { kind: Some(k), .. } => {
+                let fanins: Vec<NodeId> = n.fanins.iter().map(|f| map[f]).collect();
+                out.add_gate(n.name.clone(), *k, &fanins).expect("valid")
+            }
+            NodeFunc::Gate { kind: None, table } => {
+                let fanins: Vec<NodeId> = n.fanins.iter().map(|f| map[f]).collect();
+                if table.is_constant(false) {
+                    out.add_gate(n.name.clone(), GateKind::Const0, &[]).expect("valid")
+                } else if table.is_constant(true) {
+                    out.add_gate(n.name.clone(), GateKind::Const1, &[]).expect("valid")
+                } else {
+                    let primes = n.primes();
+                    let mut terms: Vec<NodeId> = Vec::with_capacity(primes.len());
+                    for cube in &primes {
+                        let mut lits: Vec<NodeId> = Vec::new();
+                        for (i, &f) in fanins.iter().enumerate() {
+                            let bit = 1u32 << i;
+                            if cube.pos & bit != 0 {
+                                lits.push(f);
+                            } else if cube.neg & bit != 0 {
+                                let inv = *inverters.entry(f).or_insert_with(|| {
+                                    fresh += 1;
+                                    out.add_gate(
+                                        format!("_inv{fresh}_{}", out.node(f).name),
+                                        GateKind::Not,
+                                        &[f],
+                                    )
+                                    .expect("valid")
+                                });
+                                lits.push(inv);
+                            }
+                        }
+                        let term = match lits.len() {
+                            0 => {
+                                fresh += 1;
+                                out.add_gate(format!("_one{fresh}"), GateKind::Const1, &[])
+                                    .expect("valid")
+                            }
+                            1 => lits[0],
+                            _ => {
+                                fresh += 1;
+                                out.add_gate(format!("_and{fresh}"), GateKind::And, &lits)
+                                    .expect("valid")
+                            }
+                        };
+                        terms.push(term);
+                    }
+                    match terms.len() {
+                        1 => out
+                            .add_gate(n.name.clone(), GateKind::Buf, &[terms[0]])
+                            .expect("valid"),
+                        _ => out
+                            .add_gate(n.name.clone(), GateKind::Or, &terms)
+                            .expect("valid"),
+                    }
+                }
+            }
+        };
+        map.insert(id, new_id);
+    }
+    for o in net.outputs() {
+        out.mark_output(map[o]);
+    }
+    (out, map)
+}
+
+/// Outcome of a combinational equivalence check.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Equivalence {
+    /// The networks compute identical functions input-for-input.
+    Equivalent,
+    /// A counterexample input assignment (aligned with `a.inputs()`)
+    /// on which some output pair differs.
+    Differs(Vec<bool>),
+}
+
+/// SAT-based combinational equivalence check (a miter): networks must
+/// have the same input and output counts; inputs are identified
+/// positionally.
+///
+/// # Panics
+///
+/// Panics if the interface sizes differ.
+pub fn check_equivalence(a: &Network, b: &Network) -> Equivalence {
+    assert_eq!(a.inputs().len(), b.inputs().len(), "input count mismatch");
+    assert_eq!(a.outputs().len(), b.outputs().len(), "output count mismatch");
+    let mut cnf = Cnf::new();
+    let ea = NetworkCnf::encode(&mut cnf, a);
+    let eb = NetworkCnf::encode(&mut cnf, b);
+    for (&ia, &ib) in a.inputs().iter().zip(b.inputs()) {
+        cnf.assert_equal(ea.of(ia), eb.of(ib));
+    }
+    let diffs: Vec<_> = a
+        .outputs()
+        .iter()
+        .zip(b.outputs())
+        .map(|(&oa, &ob)| cnf.xor(ea.of(oa), eb.of(ob)))
+        .collect();
+    let any = cnf.or(diffs);
+    cnf.assert_lit(any);
+    let input_lits: Vec<_> = a.inputs().iter().map(|&i| ea.of(i)).collect();
+    let mut solver = cnf.into_solver();
+    match solver.solve() {
+        SolveResult::Unsat => Equivalence::Equivalent,
+        SolveResult::Sat => Equivalence::Differs(
+            input_lits
+                .iter()
+                .map(|&l| solver.model_lit(l).unwrap_or(false))
+                .collect(),
+        ),
+        SolveResult::Unknown => unreachable!("no budget configured"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blif::parse_blif;
+    use crate::bench_fmt::{parse_bench, write_bench};
+
+    #[test]
+    fn decompose_preserves_function() {
+        // A BLIF with table nodes (no library kinds).
+        let net = parse_blif(
+            ".model t\n.inputs a b c\n.outputs y z\n.names a b c y\n1-0 1\n01- 1\n.names a c z\n00 1\n11 1\n.end\n",
+        )
+        .unwrap();
+        let (gates, _) = decompose_to_gates(&net);
+        assert_eq!(check_equivalence(&net, &gates), Equivalence::Equivalent);
+        // And the result round-trips through the bench format (library
+        // gates only).
+        let text = write_bench(&gates);
+        assert!(!text.contains("non-library"), "{text}");
+        let reparsed = parse_bench(&text).unwrap();
+        assert_eq!(check_equivalence(&net, &reparsed), Equivalence::Equivalent);
+    }
+
+    #[test]
+    fn decompose_handles_constants() {
+        let net = parse_blif(".model k\n.inputs a\n.outputs y\n.names y\n1\n.end\n").unwrap();
+        let (gates, _) = decompose_to_gates(&net);
+        assert_eq!(gates.eval(&[false]), vec![true]);
+        assert_eq!(check_equivalence(&net, &gates), Equivalence::Equivalent);
+    }
+
+    #[test]
+    fn equivalence_finds_counterexample() {
+        let a = parse_blif(".model a\n.inputs x y\n.outputs o\n.names x y o\n11 1\n.end\n")
+            .unwrap();
+        let b = parse_blif(".model b\n.inputs x y\n.outputs o\n.names x y o\n1- 1\n-1 1\n.end\n")
+            .unwrap();
+        match check_equivalence(&a, &b) {
+            Equivalence::Differs(cex) => {
+                // The witness must actually distinguish them.
+                assert_ne!(a.eval(&cex), b.eval(&cex), "cex {cex:?}");
+            }
+            Equivalence::Equivalent => panic!("AND vs OR must differ"),
+        }
+    }
+
+    #[test]
+    fn equivalence_of_adder_architectures() {
+        let a = super::test_adders::ripple(4);
+        let mut b = super::test_adders::ripple(4);
+        assert_eq!(check_equivalence(&a, &b), Equivalence::Equivalent);
+        // Perturb one gate: must now differ.
+        b.unmark_output(b.find("c4").unwrap());
+        let wrong = b.add_gate("cbad", GateKind::Nand, &[b.find("c3").unwrap(), b.find("p3").unwrap()]).unwrap();
+        b.mark_output(wrong);
+        assert!(matches!(check_equivalence(&a, &b), Equivalence::Differs(_)));
+    }
+}
+
+/// Tiny in-crate adder builders for tests (the full generators live in
+/// `xrta-circuits`, which depends on this crate).
+#[cfg(test)]
+pub(crate) mod test_adders {
+    use crate::gate::GateKind;
+    use crate::network::{Network, NodeId};
+
+    pub fn ripple(n: usize) -> Network {
+        let mut net = Network::new(format!("rca{n}"));
+        let a: Vec<NodeId> = (0..n)
+            .map(|i| net.add_input(format!("a{i}")).unwrap())
+            .collect();
+        let b: Vec<NodeId> = (0..n)
+            .map(|i| net.add_input(format!("b{i}")).unwrap())
+            .collect();
+        let mut carry = net.add_input("cin").unwrap();
+        for i in 0..n {
+            let p = net.add_gate(format!("p{i}"), GateKind::Xor, &[a[i], b[i]]).unwrap();
+            let s = net.add_gate(format!("s{i}"), GateKind::Xor, &[p, carry]).unwrap();
+            let g1 = net.add_gate(format!("g1_{i}"), GateKind::And, &[a[i], b[i]]).unwrap();
+            let g2 = net.add_gate(format!("g2_{i}"), GateKind::And, &[p, carry]).unwrap();
+            carry = net.add_gate(format!("c{}", i + 1), GateKind::Or, &[g1, g2]).unwrap();
+            net.mark_output(s);
+        }
+        net.mark_output(carry);
+        net
+    }
+}

@@ -1,0 +1,44 @@
+//! # xrta-network — combinational Boolean networks
+//!
+//! The circuit substrate for the required-time analysis reproduction:
+//! a DAG of gates with local truth-table functions, prime-implicant
+//! generation for the χ recursion (`P_n^1` / `P_n^0` of the paper),
+//! BLIF and ISCAS `.bench` parsing/writing, cone extraction (`N_FI`),
+//! cutting (`N_FO`), and bridges into BDDs ([`GlobalBdds`]) and CNF
+//! ([`NetworkCnf`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use xrta_network::{Network, GateKind};
+//!
+//! let mut net = Network::new("mux_demo");
+//! let s = net.add_input("s")?;
+//! let a = net.add_input("a")?;
+//! let b = net.add_input("b")?;
+//! let y = net.add_gate("y", GateKind::Mux, &[s, a, b])?;
+//! net.mark_output(y);
+//! assert_eq!(net.eval(&[false, true, false]), vec![true]);
+//! assert_eq!(net.eval(&[true, true, false]), vec![false]);
+//! # Ok::<(), xrta_network::NetworkError>(())
+//! ```
+
+mod bdd_bridge;
+mod bench_fmt;
+mod blif;
+mod cnf_bridge;
+mod decompose;
+mod gate;
+mod network;
+mod transform;
+mod truth;
+
+pub use bdd_bridge::GlobalBdds;
+pub use bench_fmt::{parse_bench, write_bench, ParseBenchError};
+pub use blif::{parse_blif, write_blif, ParseBlifError};
+pub use cnf_bridge::NetworkCnf;
+pub use decompose::{check_equivalence, decompose_to_gates, Equivalence};
+pub use gate::GateKind;
+pub use network::{Network, NetworkError, Node, NodeFunc, NodeId};
+pub use transform::{propagate_constants, stats, sweep, to_dot, NetworkStats};
+pub use truth::{Cube, TruthTable};

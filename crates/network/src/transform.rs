@@ -1,0 +1,293 @@
+//! Network transformations: constant propagation, dangling-logic sweep,
+//! and structural statistics.
+
+use std::collections::HashMap;
+
+use crate::gate::GateKind;
+use crate::network::{Network, NodeFunc, NodeId};
+use crate::truth::TruthTable;
+
+/// Structural statistics of a network.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct NetworkStats {
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Gate (non-input) nodes.
+    pub gates: usize,
+    /// Maximum fanin over all gates.
+    pub max_fanin: usize,
+    /// Longest input-to-output path in gate counts.
+    pub depth: usize,
+    /// Nodes with more than one fanout (reconvergence sources).
+    pub multi_fanout: usize,
+}
+
+/// Computes [`NetworkStats`].
+pub fn stats(net: &Network) -> NetworkStats {
+    let mut level = vec![0usize; net.node_count()];
+    let mut max_fanin = 0;
+    for id in net.node_ids() {
+        let n = net.node(id);
+        if n.is_input() {
+            continue;
+        }
+        max_fanin = max_fanin.max(n.fanins.len());
+        level[id.index()] = n
+            .fanins
+            .iter()
+            .map(|f| level[f.index()])
+            .max()
+            .unwrap_or(0)
+            + 1;
+    }
+    let depth = net
+        .outputs()
+        .iter()
+        .map(|o| level[o.index()])
+        .max()
+        .unwrap_or(0);
+    let fanouts = net.fanouts();
+    let multi_fanout = fanouts.iter().filter(|f| f.len() > 1).count();
+    NetworkStats {
+        inputs: net.inputs().len(),
+        outputs: net.outputs().len(),
+        gates: net.gate_count(),
+        max_fanin,
+        depth,
+        multi_fanout,
+    }
+}
+
+/// Removes logic not reachable from any primary output, returning the
+/// swept network and the old→new id mapping for surviving nodes.
+///
+/// Primary inputs are always kept (the interface is preserved).
+pub fn sweep(net: &Network) -> (Network, HashMap<NodeId, NodeId>) {
+    let mut needed = vec![false; net.node_count()];
+    let mut stack: Vec<NodeId> = net.outputs().to_vec();
+    while let Some(id) = stack.pop() {
+        if needed[id.index()] {
+            continue;
+        }
+        needed[id.index()] = true;
+        for f in &net.node(id).fanins {
+            stack.push(*f);
+        }
+    }
+    let mut out = Network::new(net.name().to_string());
+    let mut map = HashMap::new();
+    for id in net.node_ids() {
+        let n = net.node(id);
+        if n.is_input() {
+            let new = out.add_input(n.name.clone()).expect("unique names");
+            map.insert(id, new);
+        } else if needed[id.index()] {
+            let fanins: Vec<NodeId> = n.fanins.iter().map(|f| map[f]).collect();
+            let new = match &n.func {
+                NodeFunc::Gate { table, kind } => match kind {
+                    Some(k) => out
+                        .add_gate(n.name.clone(), *k, &fanins)
+                        .expect("valid gate"),
+                    None => out
+                        .add_table(n.name.clone(), table.clone(), &fanins)
+                        .expect("valid table"),
+                },
+                NodeFunc::Input => unreachable!("inputs handled above"),
+            };
+            map.insert(id, new);
+        }
+    }
+    for o in net.outputs() {
+        out.mark_output(map[o]);
+    }
+    (out, map)
+}
+
+/// Propagates constant gates (`Const0`/`Const1` and gates whose tables
+/// are constant) through the network, simplifying downstream tables by
+/// cofactoring. Returns the simplified network and the id mapping.
+///
+/// The interface (inputs/outputs) is preserved; an output that becomes
+/// constant is realized by a constant gate.
+pub fn propagate_constants(net: &Network) -> (Network, HashMap<NodeId, NodeId>) {
+    // const_val[i] = Some(v) when node i is constant v.
+    let mut const_val: Vec<Option<bool>> = vec![None; net.node_count()];
+    let mut out = Network::new(net.name().to_string());
+    let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+
+    for id in net.node_ids() {
+        let n = net.node(id);
+        match &n.func {
+            NodeFunc::Input => {
+                let new = out.add_input(n.name.clone()).expect("unique names");
+                map.insert(id, new);
+            }
+            NodeFunc::Gate { table, .. } => {
+                // Cofactor the table against constant fanins.
+                let mut live_fanins: Vec<NodeId> = Vec::new();
+                let mut t = table.clone();
+                // Process from the highest index so cofactoring keeps
+                // earlier indices stable.
+                let k = n.fanins.len();
+                let mut keep = vec![true; k];
+                for (i, f) in n.fanins.iter().enumerate() {
+                    if const_val[f.index()].is_some() {
+                        keep[i] = false;
+                    }
+                }
+                // Build the shrunk table by explicit re-evaluation.
+                let live_idx: Vec<usize> =
+                    (0..k).filter(|&i| keep[i]).collect();
+                if live_idx.len() != k {
+                    let mut bits = Vec::with_capacity(1 << live_idx.len());
+                    for m in 0..(1usize << live_idx.len()) {
+                        let mut full = vec![false; k];
+                        for (j, &i) in live_idx.iter().enumerate() {
+                            full[i] = (m >> j) & 1 == 1;
+                        }
+                        for (i, f) in n.fanins.iter().enumerate() {
+                            if let Some(v) = const_val[f.index()] {
+                                full[i] = v;
+                            }
+                        }
+                        bits.push(table.eval(&full));
+                    }
+                    t = TruthTable::from_bits(live_idx.len(), &bits);
+                }
+                for &i in &live_idx {
+                    live_fanins.push(map[&n.fanins[i]]);
+                }
+
+                if t.is_constant(false) || t.is_constant(true) {
+                    let v = t.is_constant(true);
+                    const_val[id.index()] = Some(v);
+                    let kind = if v { GateKind::Const1 } else { GateKind::Const0 };
+                    let new = out
+                        .add_gate(n.name.clone(), kind, &[])
+                        .expect("unique names");
+                    map.insert(id, new);
+                } else {
+                    let new = out
+                        .add_table(n.name.clone(), t, &live_fanins)
+                        .expect("valid table");
+                    map.insert(id, new);
+                }
+            }
+        }
+    }
+    for o in net.outputs() {
+        out.mark_output(map[o]);
+    }
+    (out, map)
+}
+
+/// Graphviz DOT rendering of the network structure.
+pub fn to_dot(net: &Network) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("digraph network {\n  rankdir=LR;\n");
+    for id in net.node_ids() {
+        let n = net.node(id);
+        let shape = if n.is_input() {
+            "invtriangle"
+        } else if net.outputs().contains(&id) {
+            "doublecircle"
+        } else {
+            "circle"
+        };
+        let label = match &n.func {
+            NodeFunc::Input => n.name.clone(),
+            NodeFunc::Gate { kind: Some(k), .. } => format!("{}\\n{k}", n.name),
+            NodeFunc::Gate { kind: None, .. } => format!("{}\\nTT", n.name),
+        };
+        let _ = writeln!(out, "  n{} [label=\"{}\", shape={}];", id.index(), label, shape);
+        for f in &n.fanins {
+            let _ = writeln!(out, "  n{} -> n{};", f.index(), id.index());
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Network {
+        let mut net = Network::new("demo");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let k1 = net.add_gate("k1", GateKind::Const1, &[]).unwrap();
+        let g = net.add_gate("g", GateKind::And, &[a, k1]).unwrap(); // == a
+        let dead = net.add_gate("dead", GateKind::Not, &[b]).unwrap();
+        let z = net.add_gate("z", GateKind::Or, &[g, b]).unwrap();
+        net.mark_output(z);
+        let _ = dead;
+        net
+    }
+
+    #[test]
+    fn stats_reports_structure() {
+        let net = demo();
+        let s = stats(&net);
+        assert_eq!(s.inputs, 2);
+        assert_eq!(s.outputs, 1);
+        assert_eq!(s.gates, 4);
+        assert_eq!(s.depth, 3); // k1 -> g -> z
+        assert!(s.max_fanin >= 2);
+    }
+
+    #[test]
+    fn sweep_removes_dead_logic() {
+        let net = demo();
+        let (swept, map) = sweep(&net);
+        assert!(swept.find("dead").is_none());
+        assert!(swept.find("z").is_some());
+        assert_eq!(swept.inputs().len(), 2, "interface preserved");
+        // Equivalence on the surviving outputs.
+        for m in 0..4u32 {
+            let ins = [(m & 1) != 0, (m & 2) != 0];
+            assert_eq!(net.eval(&ins), swept.eval(&ins));
+        }
+        assert!(map.contains_key(&net.find("z").unwrap()));
+    }
+
+    #[test]
+    fn constant_propagation_simplifies() {
+        let net = demo();
+        let (simplified, _) = propagate_constants(&net);
+        // g = AND(a, 1) must have collapsed to depend on a only.
+        let g = simplified.find("g").unwrap();
+        assert_eq!(simplified.node(g).fanins.len(), 1);
+        for m in 0..4u32 {
+            let ins = [(m & 1) != 0, (m & 2) != 0];
+            assert_eq!(net.eval(&ins), simplified.eval(&ins));
+        }
+    }
+
+    #[test]
+    fn constant_output_realized() {
+        let mut net = Network::new("konst");
+        let a = net.add_input("a").unwrap();
+        let na = net.add_gate("na", GateKind::Not, &[a]).unwrap();
+        let k0 = net.add_gate("k0", GateKind::Const0, &[]).unwrap();
+        let z = net.add_gate("z", GateKind::And, &[na, k0]).unwrap();
+        net.mark_output(z);
+        let (simplified, _) = propagate_constants(&net);
+        assert_eq!(simplified.eval(&[false]), vec![false]);
+        assert_eq!(simplified.eval(&[true]), vec![false]);
+        // z is now a constant gate with no fanins.
+        let z2 = simplified.find("z").unwrap();
+        assert!(simplified.node(z2).fanins.is_empty());
+    }
+
+    #[test]
+    fn dot_mentions_nodes() {
+        let net = demo();
+        let dot = to_dot(&net);
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("\"z\\nOR\""));
+        assert!(dot.contains("invtriangle"));
+    }
+}

@@ -1,0 +1,507 @@
+//! Truth tables for local node functions.
+//!
+//! A node in a Boolean network has a small number of fanins (bounded by
+//! [`TruthTable::MAX_VARS`]); its local function is stored bit-packed:
+//! bit `m` of the table is the function value on the minterm whose `j`-th
+//! input equals bit `j` of `m`.
+
+use std::fmt;
+
+/// A bit-packed truth table over up to [`TruthTable::MAX_VARS`] inputs.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct TruthTable {
+    nvars: usize,
+    words: Vec<u64>,
+}
+
+impl TruthTable {
+    /// Maximum supported number of inputs.
+    pub const MAX_VARS: usize = 16;
+
+    fn word_count(nvars: usize) -> usize {
+        if nvars <= 6 {
+            1
+        } else {
+            1 << (nvars - 6)
+        }
+    }
+
+    fn bit_count(nvars: usize) -> usize {
+        1 << nvars
+    }
+
+    /// Mask of valid bits in the last word.
+    fn tail_mask(nvars: usize) -> u64 {
+        if nvars >= 6 {
+            u64::MAX
+        } else {
+            (1u64 << (1 << nvars)) - 1
+        }
+    }
+
+    /// The constant function over `nvars` inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nvars > Self::MAX_VARS`.
+    pub fn constant(nvars: usize, value: bool) -> Self {
+        assert!(nvars <= Self::MAX_VARS, "too many inputs: {nvars}");
+        let fill = if value { u64::MAX } else { 0 };
+        let mut words = vec![fill; Self::word_count(nvars)];
+        if value {
+            let last = words.len() - 1;
+            words[last] &= Self::tail_mask(nvars);
+            if nvars < 6 {
+                words[0] = fill & Self::tail_mask(nvars);
+            }
+        }
+        TruthTable { nvars, words }
+    }
+
+    /// The projection onto input `index` over `nvars` inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= nvars` or `nvars > Self::MAX_VARS`.
+    pub fn var(nvars: usize, index: usize) -> Self {
+        assert!(index < nvars, "input index {index} out of {nvars}");
+        let mut tt = Self::constant(nvars, false);
+        for m in 0..Self::bit_count(nvars) {
+            if (m >> index) & 1 == 1 {
+                tt.set_bit(m, true);
+            }
+        }
+        tt
+    }
+
+    /// Builds a table from explicit output bits, LSB = minterm 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != 2^nvars`.
+    pub fn from_bits(nvars: usize, bits: &[bool]) -> Self {
+        assert_eq!(bits.len(), Self::bit_count(nvars));
+        let mut tt = Self::constant(nvars, false);
+        for (m, &b) in bits.iter().enumerate() {
+            tt.set_bit(m, b);
+        }
+        tt
+    }
+
+    /// Number of inputs.
+    pub fn var_count(&self) -> usize {
+        self.nvars
+    }
+
+    /// Function value on a minterm index.
+    #[inline]
+    pub fn bit(&self, minterm: usize) -> bool {
+        (self.words[minterm >> 6] >> (minterm & 63)) & 1 == 1
+    }
+
+    /// Sets the function value on a minterm index.
+    #[inline]
+    pub fn set_bit(&mut self, minterm: usize, value: bool) {
+        let w = minterm >> 6;
+        let b = minterm & 63;
+        if value {
+            self.words[w] |= 1u64 << b;
+        } else {
+            self.words[w] &= !(1u64 << b);
+        }
+    }
+
+    /// Evaluates on a slice of input values (length `nvars`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.var_count()`.
+    pub fn eval(&self, inputs: &[bool]) -> bool {
+        assert_eq!(inputs.len(), self.nvars);
+        let mut m = 0usize;
+        for (j, &b) in inputs.iter().enumerate() {
+            if b {
+                m |= 1 << j;
+            }
+        }
+        self.bit(m)
+    }
+
+    /// Pointwise complement.
+    pub fn complement(&self) -> Self {
+        let mut out = self.clone();
+        for w in &mut out.words {
+            *w = !*w;
+        }
+        let last = out.words.len() - 1;
+        out.words[last] &= Self::tail_mask(self.nvars);
+        if self.nvars < 6 {
+            out.words[0] &= Self::tail_mask(self.nvars);
+        }
+        out
+    }
+
+    fn zip(&self, other: &Self, op: impl Fn(u64, u64) -> u64) -> Self {
+        assert_eq!(self.nvars, other.nvars, "arity mismatch");
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(&a, &b)| op(a, b))
+            .collect();
+        let mut out = TruthTable {
+            nvars: self.nvars,
+            words,
+        };
+        let last = out.words.len() - 1;
+        out.words[last] &= Self::tail_mask(self.nvars);
+        out
+    }
+
+    /// Pointwise conjunction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    pub fn and(&self, other: &Self) -> Self {
+        self.zip(other, |a, b| a & b)
+    }
+
+    /// Pointwise disjunction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    pub fn or(&self, other: &Self) -> Self {
+        self.zip(other, |a, b| a | b)
+    }
+
+    /// Pointwise exclusive or.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    pub fn xor(&self, other: &Self) -> Self {
+        self.zip(other, |a, b| a ^ b)
+    }
+
+    /// Is this the constant `value` function?
+    pub fn is_constant(&self, value: bool) -> bool {
+        *self == Self::constant(self.nvars, value)
+    }
+
+    /// Does the function depend on input `index`?
+    pub fn depends_on(&self, index: usize) -> bool {
+        let n = Self::bit_count(self.nvars);
+        for m in 0..n {
+            if (m >> index) & 1 == 0 && self.bit(m) != self.bit(m | (1 << index)) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// All minterm indices in the on-set.
+    pub fn on_set(&self) -> Vec<usize> {
+        (0..Self::bit_count(self.nvars))
+            .filter(|&m| self.bit(m))
+            .collect()
+    }
+}
+
+impl fmt::Display for TruthTable {
+    /// Hex string, most significant minterm first.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'", self.nvars)?;
+        for w in self.words.iter().rev() {
+            write!(f, "{w:016x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A cube (product term) over the local inputs of a node: bitmask of
+/// positive literals and bitmask of negative literals.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Cube {
+    /// Inputs appearing positively.
+    pub pos: u32,
+    /// Inputs appearing negatively.
+    pub neg: u32,
+}
+
+impl Cube {
+    /// The universal cube (no literals).
+    pub const UNIVERSE: Cube = Cube { pos: 0, neg: 0 };
+
+    /// Number of literals.
+    pub fn literal_count(self) -> u32 {
+        (self.pos | self.neg).count_ones()
+    }
+
+    /// Does the cube contain the given minterm?
+    pub fn contains_minterm(self, m: usize) -> bool {
+        let m = m as u32;
+        (m & self.pos) == self.pos && (!m & self.neg) == self.neg
+    }
+
+    /// Renders with letters a, b, c … for inputs 0, 1, 2 …
+    pub fn to_expr_string(self) -> String {
+        if self.pos == 0 && self.neg == 0 {
+            return "1".to_string();
+        }
+        let mut s = String::new();
+        for i in 0..32 {
+            let name = |i: u32| {
+                char::from_u32('a' as u32 + i).map(String::from).unwrap_or(format!("i{i}"))
+            };
+            if (self.pos >> i) & 1 == 1 {
+                s.push_str(&name(i));
+            }
+            if (self.neg >> i) & 1 == 1 {
+                s.push_str(&name(i));
+                s.push('\'');
+            }
+        }
+        s
+    }
+}
+
+impl TruthTable {
+    /// All prime implicants of the function (Quine–McCluskey).
+    ///
+    /// Intended for the small local functions of network nodes; cost is
+    /// exponential in `var_count`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var_count() > 14` (use structural decomposition for
+    /// wider gates).
+    pub fn primes(&self) -> Vec<Cube> {
+        assert!(
+            self.nvars <= 14,
+            "prime generation limited to 14 inputs, got {}",
+            self.nvars
+        );
+        if self.is_constant(false) {
+            return Vec::new();
+        }
+        if self.is_constant(true) {
+            return vec![Cube::UNIVERSE];
+        }
+        // Implicant = (values, mask); mask bits are the cared inputs.
+        let full_mask = ((1u64 << self.nvars) - 1) as u32;
+        let mut current: Vec<(u32, u32)> = self
+            .on_set()
+            .into_iter()
+            .map(|m| (m as u32, full_mask))
+            .collect();
+        let mut primes: Vec<(u32, u32)> = Vec::new();
+        while !current.is_empty() {
+            let mut combined = vec![false; current.len()];
+            let mut next: Vec<(u32, u32)> = Vec::new();
+            for i in 0..current.len() {
+                for j in (i + 1)..current.len() {
+                    let (vi, mi) = current[i];
+                    let (vj, mj) = current[j];
+                    if mi != mj {
+                        continue;
+                    }
+                    let diff = vi ^ vj;
+                    if diff.count_ones() == 1 && (diff & mi) == diff {
+                        combined[i] = true;
+                        combined[j] = true;
+                        next.push((vi & !diff, mi & !diff));
+                    }
+                }
+            }
+            for (i, &(v, m)) in current.iter().enumerate() {
+                if !combined[i] {
+                    primes.push((v, m));
+                }
+            }
+            next.sort_unstable();
+            next.dedup();
+            current = next;
+        }
+        primes.sort_unstable();
+        primes.dedup();
+        primes
+            .into_iter()
+            .map(|(v, m)| Cube {
+                pos: v & m,
+                neg: !v & m,
+            })
+            .collect()
+    }
+
+    /// Prime implicants of the complement (the `P_n^0` set of the paper's
+    /// χ recursion).
+    pub fn primes_of_complement(&self) -> Vec<Cube> {
+        self.complement().primes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        for n in 0..=8 {
+            let t = TruthTable::constant(n, true);
+            let f = TruthTable::constant(n, false);
+            assert!(t.is_constant(true));
+            assert!(f.is_constant(false));
+            assert!(!t.is_constant(false));
+        }
+    }
+
+    #[test]
+    fn var_projection() {
+        let tt = TruthTable::var(3, 1);
+        for m in 0..8usize {
+            assert_eq!(tt.bit(m), (m >> 1) & 1 == 1);
+        }
+    }
+
+    #[test]
+    fn boolean_ops() {
+        let a = TruthTable::var(2, 0);
+        let b = TruthTable::var(2, 1);
+        let and = a.and(&b);
+        assert_eq!(and.on_set(), vec![3]);
+        let or = a.or(&b);
+        assert_eq!(or.on_set(), vec![1, 2, 3]);
+        let xor = a.xor(&b);
+        assert_eq!(xor.on_set(), vec![1, 2]);
+        let na = a.complement();
+        assert_eq!(na.on_set(), vec![0, 2]);
+    }
+
+    #[test]
+    fn eval_matches_bits() {
+        let a = TruthTable::var(3, 0);
+        let c = TruthTable::var(3, 2);
+        let f = a.xor(&c);
+        assert!(f.eval(&[true, false, false]));
+        assert!(!f.eval(&[true, true, true]));
+        assert!(f.eval(&[false, false, true]));
+    }
+
+    #[test]
+    fn depends_on_detects_support() {
+        let a = TruthTable::var(3, 0);
+        let b = TruthTable::var(3, 1);
+        let f = a.or(&b);
+        assert!(f.depends_on(0));
+        assert!(f.depends_on(1));
+        assert!(!f.depends_on(2));
+    }
+
+    #[test]
+    fn wide_tables() {
+        let n = 8;
+        let a = TruthTable::var(n, 0);
+        let h = TruthTable::var(n, 7);
+        let f = a.and(&h);
+        for m in 0..(1usize << n) {
+            assert_eq!(f.bit(m), (m & 1 == 1) && (m >> 7) & 1 == 1);
+        }
+    }
+
+    #[test]
+    fn primes_of_and() {
+        let a = TruthTable::var(2, 0);
+        let b = TruthTable::var(2, 1);
+        let f = a.and(&b);
+        assert_eq!(f.primes(), vec![Cube { pos: 0b11, neg: 0 }]);
+        // Complement of AND: ¬a + ¬b
+        let mut pc = f.primes_of_complement();
+        pc.sort();
+        assert_eq!(
+            pc,
+            vec![Cube { pos: 0, neg: 0b01 }, Cube { pos: 0, neg: 0b10 }]
+        );
+    }
+
+    #[test]
+    fn primes_of_xor() {
+        let a = TruthTable::var(2, 0);
+        let b = TruthTable::var(2, 1);
+        let f = a.xor(&b);
+        let mut p = f.primes();
+        p.sort();
+        assert_eq!(
+            p,
+            vec![
+                Cube { pos: 0b01, neg: 0b10 },
+                Cube { pos: 0b10, neg: 0b01 },
+            ]
+        );
+    }
+
+    #[test]
+    fn primes_cover_exactly() {
+        // Random-ish function: check primes cover exactly the on-set.
+        let f = TruthTable::from_bits(
+            4,
+            &(0..16)
+                .map(|m: u32| (m.wrapping_mul(2654435761) >> 28) & 1 == 1)
+                .collect::<Vec<bool>>(),
+        );
+        let primes = f.primes();
+        for m in 0..16usize {
+            let covered = primes.iter().any(|c| c.contains_minterm(m));
+            assert_eq!(covered, f.bit(m), "minterm {m}");
+        }
+        // Each prime is an implicant: all its minterms are in the on-set.
+        for c in &primes {
+            for m in 0..16usize {
+                if c.contains_minterm(m) {
+                    assert!(f.bit(m));
+                }
+            }
+        }
+        // Each prime is prime: dropping any literal breaks implication.
+        for c in &primes {
+            for i in 0..4 {
+                let bit = 1u32 << i;
+                if c.pos & bit == 0 && c.neg & bit == 0 {
+                    continue;
+                }
+                let weaker = Cube {
+                    pos: c.pos & !bit,
+                    neg: c.neg & !bit,
+                };
+                let still_implies = (0..16usize)
+                    .filter(|&m| weaker.contains_minterm(m))
+                    .all(|m| f.bit(m));
+                assert!(!still_implies, "cube {c:?} not prime at literal {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn primes_constant_cases() {
+        let t = TruthTable::constant(3, true);
+        assert_eq!(t.primes(), vec![Cube::UNIVERSE]);
+        let f = TruthTable::constant(3, false);
+        assert!(f.primes().is_empty());
+    }
+
+    #[test]
+    fn cube_string_rendering() {
+        assert_eq!(Cube::UNIVERSE.to_expr_string(), "1");
+        let c = Cube { pos: 0b01, neg: 0b10 };
+        assert_eq!(c.to_expr_string(), "ab'");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn op_arity_mismatch_panics() {
+        let a = TruthTable::var(2, 0);
+        let b = TruthTable::var(3, 0);
+        let _ = a.and(&b);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests for the network crate: format roundtrips, transform
+//! equivalence, and prime covers on random circuits.
+
+use proptest::prelude::*;
+use xrta_network::{
+    parse_bench, parse_blif, propagate_constants, stats, sweep, write_bench, write_blif,
+    GateKind, Network, NodeId,
+};
+
+/// A compact recipe for a random library-gate circuit.
+#[derive(Clone, Debug)]
+struct Recipe {
+    inputs: usize,
+    gates: Vec<(u8, Vec<usize>)>, // (kind selector, fanin picks)
+    outputs: Vec<usize>,
+}
+
+fn recipe_strategy() -> impl Strategy<Value = Recipe> {
+    (2usize..6)
+        .prop_flat_map(|inputs| {
+            let gates = prop::collection::vec(
+                (0u8..6, prop::collection::vec(0usize..64, 1..4)),
+                1..12,
+            );
+            (Just(inputs), gates)
+        })
+        .prop_flat_map(|(inputs, gates)| {
+            let n = gates.len();
+            let outputs = prop::collection::vec(0usize..(inputs + n), 1..4);
+            (Just(inputs), Just(gates), outputs)
+                .prop_map(|(inputs, gates, outputs)| Recipe {
+                    inputs,
+                    gates,
+                    outputs,
+                })
+        })
+}
+
+fn build(recipe: &Recipe) -> Network {
+    let mut net = Network::new("prop");
+    let mut pool: Vec<NodeId> = (0..recipe.inputs)
+        .map(|i| net.add_input(format!("x{i}")).expect("fresh"))
+        .collect();
+    for (gi, (kind_sel, picks)) in recipe.gates.iter().enumerate() {
+        let kind = match kind_sel % 6 {
+            0 => GateKind::And,
+            1 => GateKind::Or,
+            2 => GateKind::Nand,
+            3 => GateKind::Nor,
+            4 => GateKind::Xor,
+            _ => GateKind::Not,
+        };
+        let arity = if kind == GateKind::Not { 1 } else { picks.len().max(2) };
+        let fanins: Vec<NodeId> = (0..arity)
+            .map(|j| pool[picks[j % picks.len()] % pool.len()])
+            .collect();
+        let id = net
+            .add_gate(format!("g{gi}"), kind, &fanins)
+            .expect("valid gate");
+        pool.push(id);
+    }
+    for (k, &o) in recipe.outputs.iter().enumerate() {
+        let _ = k;
+        net.mark_output(pool[o % pool.len()]);
+    }
+    net
+}
+
+fn truth_vector(net: &Network) -> Vec<Vec<bool>> {
+    let n = net.inputs().len();
+    (0..1usize << n)
+        .map(|m| {
+            let ins: Vec<bool> = (0..n).map(|i| (m >> i) & 1 == 1).collect();
+            net.eval(&ins)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn blif_roundtrip_preserves_function(recipe in recipe_strategy()) {
+        let net = build(&recipe);
+        let text = write_blif(&net);
+        let reparsed = parse_blif(&text).expect("self-written blif parses");
+        prop_assert_eq!(truth_vector(&net), truth_vector(&reparsed));
+    }
+
+    #[test]
+    fn bench_roundtrip_preserves_function(recipe in recipe_strategy()) {
+        let net = build(&recipe);
+        let text = write_bench(&net);
+        let reparsed = parse_bench(&text).expect("self-written bench parses");
+        prop_assert_eq!(truth_vector(&net), truth_vector(&reparsed));
+    }
+
+    #[test]
+    fn sweep_preserves_function(recipe in recipe_strategy()) {
+        let net = build(&recipe);
+        let (swept, _) = sweep(&net);
+        prop_assert_eq!(truth_vector(&net), truth_vector(&swept));
+        prop_assert!(swept.node_count() <= net.node_count());
+    }
+
+    #[test]
+    fn constant_propagation_preserves_function(recipe in recipe_strategy()) {
+        let net = build(&recipe);
+        let (simplified, _) = propagate_constants(&net);
+        prop_assert_eq!(truth_vector(&net), truth_vector(&simplified));
+    }
+
+    #[test]
+    fn primes_cover_local_functions(recipe in recipe_strategy()) {
+        let net = build(&recipe);
+        for id in net.node_ids() {
+            let node = net.node(id);
+            if node.is_input() {
+                continue;
+            }
+            let table = node.table().expect("gate has a table");
+            let primes = node.primes();
+            let k = node.fanins.len();
+            for m in 0..(1usize << k) {
+                let covered = primes.iter().any(|c| c.contains_minterm(m));
+                prop_assert_eq!(covered, table.bit(m), "node {} minterm {}", node.name, m);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_are_consistent(recipe in recipe_strategy()) {
+        let net = build(&recipe);
+        let s = stats(&net);
+        prop_assert_eq!(s.inputs, net.inputs().len());
+        prop_assert_eq!(s.outputs, net.outputs().len());
+        prop_assert_eq!(s.gates, net.gate_count());
+        prop_assert!(s.depth <= s.gates);
+    }
+}

@@ -1,0 +1,263 @@
+//! CNF formula container and Tseitin-style circuit encoding helpers.
+
+use crate::lit::{Lit, Var};
+use crate::solver::{SolveResult, Solver};
+
+/// A CNF formula under construction: a variable pool plus clauses.
+///
+/// This is the bridge between circuit-shaped structures (Boolean
+/// networks, χ-networks) and the [`Solver`]. Gate encodings follow the
+/// standard Tseitin transformation.
+///
+/// # Examples
+///
+/// ```
+/// use xrta_sat::{Cnf, SolveResult};
+///
+/// let mut cnf = Cnf::new();
+/// let a = cnf.new_var();
+/// let b = cnf.new_var();
+/// let ab = cnf.and([a.positive(), b.positive()]);
+/// cnf.assert_lit(ab);
+/// let mut solver = cnf.clone().into_solver();
+/// assert_eq!(solver.solve(), SolveResult::Sat);
+/// assert_eq!(solver.model_value(a), Some(true));
+/// assert_eq!(solver.model_value(b), Some(true));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Cnf {
+    nvars: usize,
+    clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Creates an empty formula.
+    pub fn new() -> Self {
+        Cnf::default()
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::from_index(self.nvars);
+        self.nvars += 1;
+        v
+    }
+
+    /// Allocates `n` fresh variables.
+    pub fn new_vars(&mut self, n: usize) -> Vec<Var> {
+        (0..n).map(|_| self.new_var()).collect()
+    }
+
+    /// Number of variables allocated so far.
+    pub fn var_count(&self) -> usize {
+        self.nvars
+    }
+
+    /// Number of clauses so far.
+    pub fn clause_count(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// The clauses, for inspection and DIMACS export.
+    pub fn clauses(&self) -> &[Vec<Lit>] {
+        &self.clauses
+    }
+
+    /// Adds a raw clause.
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) {
+        self.clauses.push(lits.into_iter().collect());
+    }
+
+    /// Asserts that a literal holds (unit clause).
+    pub fn assert_lit(&mut self, l: Lit) {
+        self.add_clause([l]);
+    }
+
+    /// Fresh literal constrained to `l₁ ∧ l₂ ∧ …` (Tseitin AND).
+    pub fn and<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> Lit {
+        let inputs: Vec<Lit> = lits.into_iter().collect();
+        let out = self.new_var().positive();
+        // out -> each input
+        for &l in &inputs {
+            self.add_clause([!out, l]);
+        }
+        // all inputs -> out
+        let mut clause: Vec<Lit> = inputs.iter().map(|&l| !l).collect();
+        clause.push(out);
+        self.add_clause(clause);
+        out
+    }
+
+    /// Fresh literal constrained to `l₁ ∨ l₂ ∨ …` (Tseitin OR).
+    pub fn or<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> Lit {
+        let inputs: Vec<Lit> = lits.into_iter().collect();
+        let out = self.new_var().positive();
+        for &l in &inputs {
+            self.add_clause([!l, out]);
+        }
+        let mut clause = inputs;
+        clause.push(!out);
+        self.add_clause(clause);
+        out
+    }
+
+    /// Fresh literal constrained to `a ⊕ b`.
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let out = self.new_var().positive();
+        self.add_clause([!out, a, b]);
+        self.add_clause([!out, !a, !b]);
+        self.add_clause([out, !a, b]);
+        self.add_clause([out, a, !b]);
+        out
+    }
+
+    /// Fresh literal constrained to `c ? t : e`.
+    pub fn ite(&mut self, c: Lit, t: Lit, e: Lit) -> Lit {
+        let out = self.new_var().positive();
+        self.add_clause([!c, !t, out]);
+        self.add_clause([!c, t, !out]);
+        self.add_clause([c, !e, out]);
+        self.add_clause([c, e, !out]);
+        out
+    }
+
+    /// Fresh literal constrained to `a ≡ b`.
+    pub fn iff(&mut self, a: Lit, b: Lit) -> Lit {
+        let x = self.xor(a, b);
+        !x
+    }
+
+    /// Asserts `a ≡ b` directly (no auxiliary variable).
+    pub fn assert_equal(&mut self, a: Lit, b: Lit) {
+        self.add_clause([!a, b]);
+        self.add_clause([a, !b]);
+    }
+
+    /// Moves the formula into a ready-to-solve [`Solver`].
+    pub fn into_solver(self) -> Solver {
+        let mut solver = Solver::new();
+        solver.new_vars(self.nvars);
+        for clause in self.clauses {
+            solver.add_clause(clause);
+        }
+        solver
+    }
+
+    /// Convenience: solve the formula, returning the result and (if SAT)
+    /// the model restricted to the first `self.var_count()` variables.
+    pub fn solve(self) -> (SolveResult, Option<Vec<bool>>) {
+        let n = self.var_count();
+        let mut solver = self.into_solver();
+        match solver.solve() {
+            SolveResult::Sat => {
+                let model = (0..n)
+                    .map(|i| solver.model_value(Var::from_index(i)).unwrap_or(false))
+                    .collect();
+                (SolveResult::Sat, Some(model))
+            }
+            r => (r, None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_models(nvars: usize) -> impl Iterator<Item = Vec<bool>> {
+        (0..1usize << nvars).map(move |m| (0..nvars).map(|i| (m >> i) & 1 == 1).collect())
+    }
+
+    /// Check a gate encoding exhaustively by forcing each input pattern
+    /// with assumptions and reading the output.
+    fn check_gate<F, G>(n: usize, encode: F, semantics: G)
+    where
+        F: Fn(&mut Cnf, &[Lit]) -> Lit,
+        G: Fn(&[bool]) -> bool,
+    {
+        let mut cnf = Cnf::new();
+        let vars = cnf.new_vars(n);
+        let lits: Vec<Lit> = vars.iter().map(|v| v.positive()).collect();
+        let out = encode(&mut cnf, &lits);
+        let mut solver = cnf.into_solver();
+        for m in all_models(n) {
+            let assumptions: Vec<Lit> = vars.iter().zip(&m).map(|(v, &b)| v.lit(b)).collect();
+            assert_eq!(
+                solver.solve_with_assumptions(&assumptions),
+                SolveResult::Sat
+            );
+            assert_eq!(
+                solver.model_lit(out),
+                Some(semantics(&m)),
+                "inputs {m:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn and_gate_encoding() {
+        check_gate(
+            3,
+            |c, lits| c.and(lits.iter().copied()),
+            |m| m.iter().all(|&b| b),
+        );
+    }
+
+    #[test]
+    fn or_gate_encoding() {
+        check_gate(
+            3,
+            |c, lits| c.or(lits.iter().copied()),
+            |m| m.iter().any(|&b| b),
+        );
+    }
+
+    #[test]
+    fn xor_gate_encoding() {
+        check_gate(2, |c, lits| c.xor(lits[0], lits[1]), |m| m[0] ^ m[1]);
+    }
+
+    #[test]
+    fn ite_gate_encoding() {
+        check_gate(
+            3,
+            |c, lits| c.ite(lits[0], lits[1], lits[2]),
+            |m| if m[0] { m[1] } else { m[2] },
+        );
+    }
+
+    #[test]
+    fn iff_gate_encoding() {
+        check_gate(2, |c, lits| c.iff(lits[0], lits[1]), |m| m[0] == m[1]);
+    }
+
+    #[test]
+    fn assert_equal_constrains() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        cnf.assert_equal(a.positive(), b.negative());
+        cnf.assert_lit(a.positive());
+        let (r, model) = cnf.solve();
+        assert_eq!(r, SolveResult::Sat);
+        let m = model.unwrap();
+        assert!(m[0]);
+        assert!(!m[1]);
+    }
+
+    #[test]
+    fn empty_and_is_true_empty_or_is_false() {
+        let mut cnf = Cnf::new();
+        let t = cnf.and([]);
+        let f = cnf.or([]);
+        cnf.assert_lit(t);
+        cnf.assert_lit(!f);
+        let (r, _) = cnf.solve();
+        assert_eq!(r, SolveResult::Sat);
+        let mut cnf = Cnf::new();
+        let f = cnf.or([]);
+        cnf.assert_lit(f);
+        let (r, _) = cnf.solve();
+        assert_eq!(r, SolveResult::Unsat);
+    }
+}

@@ -1,0 +1,162 @@
+//! DIMACS CNF reading and writing.
+
+use std::fmt;
+use std::num::ParseIntError;
+
+use crate::cnf::Cnf;
+use crate::lit::Lit;
+
+/// Error produced when parsing a DIMACS file fails.
+#[derive(Debug)]
+pub enum ParseDimacsError {
+    /// The `p cnf <vars> <clauses>` header is missing or malformed.
+    BadHeader(String),
+    /// A literal token could not be parsed.
+    BadLiteral(String, ParseIntError),
+    /// A literal references a variable beyond the declared count.
+    VarOutOfRange(i64, usize),
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseDimacsError::BadHeader(line) => write!(f, "bad dimacs header: {line:?}"),
+            ParseDimacsError::BadLiteral(tok, _) => write!(f, "bad dimacs literal: {tok:?}"),
+            ParseDimacsError::VarOutOfRange(lit, n) => {
+                write!(f, "literal {lit} out of range for {n} declared variables")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseDimacsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseDimacsError::BadLiteral(_, e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a DIMACS CNF document.
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] on malformed headers or literals.
+///
+/// # Examples
+///
+/// ```
+/// use xrta_sat::{parse_dimacs, SolveResult};
+/// let cnf = parse_dimacs("p cnf 2 2\n1 2 0\n-1 0\n")?;
+/// let (result, model) = cnf.solve();
+/// assert_eq!(result, SolveResult::Sat);
+/// assert_eq!(model.unwrap(), vec![false, true]);
+/// # Ok::<(), xrta_sat::ParseDimacsError>(())
+/// ```
+pub fn parse_dimacs(text: &str) -> Result<Cnf, ParseDimacsError> {
+    let mut cnf = Cnf::new();
+    let mut declared_vars = None;
+    let mut current: Vec<Lit> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') || line.starts_with('%') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            if parts.len() != 3 || parts[0] != "cnf" {
+                return Err(ParseDimacsError::BadHeader(line.to_string()));
+            }
+            let nv: usize = parts[1]
+                .parse()
+                .map_err(|e| ParseDimacsError::BadLiteral(parts[1].to_string(), e))?;
+            declared_vars = Some(nv);
+            cnf.new_vars(nv);
+            continue;
+        }
+        for tok in line.split_whitespace() {
+            let value: i64 = tok
+                .parse()
+                .map_err(|e| ParseDimacsError::BadLiteral(tok.to_string(), e))?;
+            if value == 0 {
+                cnf.add_clause(current.drain(..));
+            } else {
+                let nv = declared_vars.unwrap_or(0);
+                if value.unsigned_abs() as usize > nv {
+                    return Err(ParseDimacsError::VarOutOfRange(value, nv));
+                }
+                current.push(Lit::from_dimacs(value));
+            }
+        }
+    }
+    if !current.is_empty() {
+        cnf.add_clause(current);
+    }
+    Ok(cnf)
+}
+
+/// Serializes a formula as DIMACS CNF.
+pub fn write_dimacs(cnf: &Cnf) -> String {
+    let mut out = format!("p cnf {} {}\n", cnf.var_count(), cnf.clause_count());
+    for clause in cnf.clauses() {
+        for lit in clause {
+            out.push_str(&lit.to_dimacs().to_string());
+            out.push(' ');
+        }
+        out.push_str("0\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SolveResult;
+
+    #[test]
+    fn parse_and_solve() {
+        let cnf = parse_dimacs("c comment\np cnf 3 3\n1 2 0\n-1 3 0\n-2 -3 0\n").unwrap();
+        assert_eq!(cnf.var_count(), 3);
+        assert_eq!(cnf.clause_count(), 3);
+        let (r, m) = cnf.solve();
+        assert_eq!(r, SolveResult::Sat);
+        let m = m.unwrap();
+        assert!(m[0] || m[1]);
+        assert!(!m[0] || m[2]);
+        assert!(!m[1] || !m[2]);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let text = "p cnf 2 2\n1 -2 0\n2 0\n";
+        let cnf = parse_dimacs(text).unwrap();
+        let written = write_dimacs(&cnf);
+        let reparsed = parse_dimacs(&written).unwrap();
+        assert_eq!(reparsed.clauses(), cnf.clauses());
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(matches!(
+            parse_dimacs("p dnf 1 1\n1 0\n"),
+            Err(ParseDimacsError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(matches!(
+            parse_dimacs("p cnf 1 1\n2 0\n"),
+            Err(ParseDimacsError::VarOutOfRange(2, 1))
+        ));
+    }
+
+    #[test]
+    fn rejects_garbage_literal() {
+        assert!(matches!(
+            parse_dimacs("p cnf 1 1\nxyz 0\n"),
+            Err(ParseDimacsError::BadLiteral(_, _))
+        ));
+    }
+}

@@ -1,0 +1,38 @@
+//! # xrta-sat — a CDCL SAT solver
+//!
+//! Conflict-driven clause learning solver in the MiniSat lineage, built as
+//! the decision engine for the SAT-based functional timing analysis of
+//! McGeer–Saldanha–Brayton–Sangiovanni-Vincentelli (the oracle inside the
+//! paper's second approximate required-time algorithm, §4.3).
+//!
+//! Features: two-watched-literal propagation, first-UIP clause learning
+//! with single-step minimization, VSIDS-style activity branching with an
+//! indexed max-heap, phase saving, Luby restarts, activity-based learnt
+//! clause deletion, incremental solving under assumptions, conflict
+//! budgets, and DIMACS input/output.
+//!
+//! ## Example
+//!
+//! ```
+//! use xrta_sat::{Solver, SolveResult};
+//!
+//! let mut solver = Solver::new();
+//! let a = solver.new_var();
+//! let b = solver.new_var();
+//! let c = solver.new_var();
+//! solver.add_clause([a.positive(), b.positive()]);
+//! solver.add_clause([a.negative(), c.positive()]);
+//! solver.add_clause([b.negative(), c.positive()]);
+//! assert_eq!(solver.solve(), SolveResult::Sat);
+//! assert_eq!(solver.model_value(c), Some(true));
+//! ```
+
+mod cnf;
+mod dimacs;
+mod lit;
+mod solver;
+
+pub use cnf::Cnf;
+pub use dimacs::{parse_dimacs, write_dimacs, ParseDimacsError};
+pub use lit::{LBool, Lit, Var};
+pub use solver::{SolveResult, Solver, SolverStats};

@@ -1,0 +1,219 @@
+//! Variables, literals and three-valued assignments.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable, densely indexed from 0.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// Dense index of this variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a variable from a raw index (must have been allocated by
+    /// the solver this is used with).
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        Var(index as u32)
+    }
+
+    /// The positive literal of this variable.
+    #[inline]
+    pub fn positive(self) -> Lit {
+        Lit(self.0 << 1)
+    }
+
+    /// The negative literal of this variable.
+    #[inline]
+    pub fn negative(self) -> Lit {
+        Lit(self.0 << 1 | 1)
+    }
+
+    /// A literal of this variable with the given polarity.
+    #[inline]
+    pub fn lit(self, positive: bool) -> Lit {
+        if positive {
+            self.positive()
+        } else {
+            self.negative()
+        }
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation, packed as `var << 1 | sign`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Lit(pub(crate) u32);
+
+impl Lit {
+    /// The literal's variable.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Is this a positive (non-negated) literal?
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Packed code, usable as a dense index.
+    #[inline]
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Inverse of [`Lit::code`].
+    #[inline]
+    pub fn from_code(code: usize) -> Self {
+        Lit(code as u32)
+    }
+
+    /// DIMACS form: 1-based, negative when negated.
+    pub fn to_dimacs(self) -> i64 {
+        let v = i64::from(self.0 >> 1) + 1;
+        if self.is_positive() {
+            v
+        } else {
+            -v
+        }
+    }
+
+    /// Parses a DIMACS literal (non-zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is zero.
+    pub fn from_dimacs(value: i64) -> Self {
+        assert!(value != 0, "dimacs literal must be non-zero");
+        let var = (value.unsigned_abs() - 1) as u32;
+        Var(var).lit(value > 0)
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "{}", self.var())
+        } else {
+            write!(f, "¬{}", self.var())
+        }
+    }
+}
+
+/// Three-valued assignment state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LBool {
+    /// Assigned true.
+    True,
+    /// Assigned false.
+    False,
+    /// Not assigned.
+    #[default]
+    Undef,
+}
+
+impl LBool {
+    /// Truth value of a literal whose variable has this state.
+    #[inline]
+    pub fn of_lit(self, lit: Lit) -> LBool {
+        match self {
+            LBool::Undef => LBool::Undef,
+            LBool::True => {
+                if lit.is_positive() {
+                    LBool::True
+                } else {
+                    LBool::False
+                }
+            }
+            LBool::False => {
+                if lit.is_positive() {
+                    LBool::False
+                } else {
+                    LBool::True
+                }
+            }
+        }
+    }
+
+    /// Converts to `bool`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `Undef`.
+    #[inline]
+    pub fn as_bool(self) -> bool {
+        match self {
+            LBool::True => true,
+            LBool::False => false,
+            LBool::Undef => panic!("undefined lbool"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_packing_roundtrip() {
+        let v = Var::from_index(5);
+        let p = v.positive();
+        let n = v.negative();
+        assert_eq!(p.var(), v);
+        assert_eq!(n.var(), v);
+        assert!(p.is_positive());
+        assert!(!n.is_positive());
+        assert_eq!(!p, n);
+        assert_eq!(!!p, p);
+        assert_eq!(Lit::from_code(p.code()), p);
+    }
+
+    #[test]
+    fn dimacs_roundtrip() {
+        for raw in [1i64, -1, 7, -42] {
+            assert_eq!(Lit::from_dimacs(raw).to_dimacs(), raw);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn dimacs_zero_rejected() {
+        let _ = Lit::from_dimacs(0);
+    }
+
+    #[test]
+    fn lbool_of_lit() {
+        let v = Var::from_index(0);
+        assert_eq!(LBool::True.of_lit(v.positive()), LBool::True);
+        assert_eq!(LBool::True.of_lit(v.negative()), LBool::False);
+        assert_eq!(LBool::False.of_lit(v.positive()), LBool::False);
+        assert_eq!(LBool::Undef.of_lit(v.positive()), LBool::Undef);
+    }
+
+    #[test]
+    fn display_forms() {
+        let v = Var::from_index(3);
+        assert_eq!(v.positive().to_string(), "x3");
+        assert_eq!(v.negative().to_string(), "¬x3");
+    }
+}

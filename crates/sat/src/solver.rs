@@ -1,0 +1,949 @@
+//! A CDCL SAT solver in the MiniSat lineage: two watched literals, first
+//! unique implication point learning, VSIDS-style branching, phase saving
+//! and Luby restarts.
+
+use crate::lit::{LBool, Lit, Var};
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SolveResult {
+    /// A satisfying assignment was found (read it with [`Solver::model_value`]).
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+    /// The conflict budget was exhausted before a verdict.
+    Unknown,
+}
+
+#[derive(Clone, Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    activity: f64,
+}
+
+/// Solver statistics, for reporting and benchmarks.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolverStats {
+    /// Decisions taken.
+    pub decisions: u64,
+    /// Unit propagations performed.
+    pub propagations: u64,
+    /// Conflicts analysed.
+    pub conflicts: u64,
+    /// Restarts executed.
+    pub restarts: u64,
+    /// Learnt clauses currently stored.
+    pub learnts: u64,
+}
+
+/// A CDCL SAT solver.
+///
+/// # Examples
+///
+/// ```
+/// use xrta_sat::{Solver, SolveResult};
+///
+/// let mut solver = Solver::new();
+/// let a = solver.new_var();
+/// let b = solver.new_var();
+/// solver.add_clause([a.positive(), b.positive()]);
+/// solver.add_clause([a.negative()]);
+/// assert_eq!(solver.solve(), SolveResult::Sat);
+/// assert_eq!(solver.model_value(b), Some(true));
+/// ```
+#[derive(Debug)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    /// watches[lit.code()]: clauses to inspect when `lit` becomes true
+    /// (they watch `¬lit`).
+    watches: Vec<Vec<u32>>,
+    assign: Vec<LBool>,
+    level: Vec<u32>,
+    reason: Vec<Option<u32>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    heap: Vec<Var>,
+    heap_pos: Vec<usize>,
+    phase: Vec<bool>,
+    seen: Vec<bool>,
+    ok: bool,
+    stats: SolverStats,
+    conflict_budget: Option<u64>,
+    propagation_budget: Option<u64>,
+    prop_deadline: u64,
+    prop_exceeded: bool,
+    num_original: usize,
+}
+
+const VAR_DECAY: f64 = 1.0 / 0.95;
+const CLA_DECAY: f64 = 1.0 / 0.999;
+const RESCALE: f64 = 1e100;
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            heap: Vec::new(),
+            heap_pos: Vec::new(),
+            phase: Vec::new(),
+            seen: Vec::new(),
+            ok: true,
+            stats: SolverStats::default(),
+            conflict_budget: None,
+            propagation_budget: None,
+            prop_deadline: u64::MAX,
+            prop_exceeded: false,
+            num_original: 0,
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assign.len() as u32);
+        self.assign.push(LBool::Undef);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap_pos.push(usize::MAX);
+        self.heap_insert(v);
+        v
+    }
+
+    /// Allocates `n` fresh variables.
+    pub fn new_vars(&mut self, n: usize) -> Vec<Var> {
+        (0..n).map(|_| self.new_var()).collect()
+    }
+
+    /// Number of variables allocated.
+    pub fn var_count(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of original (non-learnt) clauses.
+    pub fn clause_count(&self) -> usize {
+        self.num_original
+    }
+
+    /// Solver statistics so far.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Limits the number of conflicts for subsequent solves (`None` for
+    /// unlimited). When the budget is exhausted, [`SolveResult::Unknown`]
+    /// is returned.
+    pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
+        self.conflict_budget = budget;
+    }
+
+    /// Limits the number of unit propagations for subsequent solves
+    /// (`None` for unlimited). Exceeding the budget mid-search yields
+    /// [`SolveResult::Unknown`]. This bounds wall-clock time on huge
+    /// instances where few conflicts occur but each costs millions of
+    /// propagations.
+    pub fn set_propagation_budget(&mut self, budget: Option<u64>) {
+        self.propagation_budget = budget;
+    }
+
+    /// Adds a clause (a disjunction of literals).
+    ///
+    /// Returns `false` if the solver is already known to be
+    /// unsatisfiable (adding is then a no-op).
+    ///
+    /// Adding a clause after a SAT answer invalidates the previously
+    /// retrievable model (the solver backtracks to decision level 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal references a variable not allocated with
+    /// [`Solver::new_var`].
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> bool {
+        self.cancel_until(0);
+        if !self.ok {
+            return false;
+        }
+        let mut lits: Vec<Lit> = lits.into_iter().collect();
+        for l in &lits {
+            assert!(
+                l.var().index() < self.var_count(),
+                "literal {l} references an unallocated variable"
+            );
+        }
+        lits.sort();
+        lits.dedup();
+        // Tautology / satisfied-at-root / falsified-literal handling.
+        let mut simplified = Vec::with_capacity(lits.len());
+        let mut i = 0;
+        while i < lits.len() {
+            let l = lits[i];
+            if i + 1 < lits.len() && lits[i + 1] == !l {
+                return true; // tautology: l and ¬l both present
+            }
+            match self.assign[l.var().index()].of_lit(l) {
+                LBool::True => return true, // already satisfied at root
+                LBool::False => {}          // drop falsified literal
+                LBool::Undef => simplified.push(l),
+            }
+            i += 1;
+        }
+        match simplified.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(simplified[0], None);
+                self.ok = self.propagate().is_none();
+                self.ok
+            }
+            _ => {
+                self.attach_clause(simplified, false);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
+        debug_assert!(lits.len() >= 2);
+        let idx = self.clauses.len() as u32;
+        self.watches[(!lits[0]).code()].push(idx);
+        self.watches[(!lits[1]).code()].push(idx);
+        if !learnt {
+            self.num_original += 1;
+        } else {
+            self.stats.learnts += 1;
+        }
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            activity: 0.0,
+        });
+        idx
+    }
+
+    #[inline]
+    fn value(&self, l: Lit) -> LBool {
+        self.assign[l.var().index()].of_lit(l)
+    }
+
+    /// Value of `v` in the last model (after [`SolveResult::Sat`]).
+    pub fn model_value(&self, v: Var) -> Option<bool> {
+        match self.assign[v.index()] {
+            LBool::True => Some(true),
+            LBool::False => Some(false),
+            LBool::Undef => None,
+        }
+    }
+
+    /// Truth of `l` in the last model.
+    pub fn model_lit(&self, l: Lit) -> Option<bool> {
+        self.model_value(l.var())
+            .map(|b| if l.is_positive() { b } else { !b })
+    }
+
+    // ----- binary-heap variable order (max-activity at the root) -----
+
+    fn heap_less(&self, a: Var, b: Var) -> bool {
+        self.activity[a.index()] > self.activity[b.index()]
+    }
+
+    fn heap_insert(&mut self, v: Var) {
+        if self.heap_pos[v.index()] != usize::MAX {
+            return;
+        }
+        self.heap_pos[v.index()] = self.heap.len();
+        self.heap.push(v);
+        self.heap_up(self.heap.len() - 1);
+    }
+
+    fn heap_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap_less(self.heap[i], self.heap[parent]) {
+                self.heap_swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn heap_down(&mut self, mut i: usize) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && self.heap_less(self.heap[l], self.heap[best]) {
+                best = l;
+            }
+            if r < self.heap.len() && self.heap_less(self.heap[r], self.heap[best]) {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.heap_swap(i, best);
+            i = best;
+        }
+    }
+
+    fn heap_swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.heap_pos[self.heap[i].index()] = i;
+        self.heap_pos[self.heap[j].index()] = j;
+    }
+
+    fn heap_pop(&mut self) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        self.heap_pos[top.index()] = usize::MAX;
+        let last = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.heap_pos[last.index()] = 0;
+            self.heap_down(0);
+        }
+        Some(top)
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > RESCALE {
+            for a in &mut self.activity {
+                *a /= RESCALE;
+            }
+            self.var_inc /= RESCALE;
+        }
+        let pos = self.heap_pos[v.index()];
+        if pos != usize::MAX {
+            self.heap_up(pos);
+        }
+    }
+
+    fn bump_clause(&mut self, c: u32) {
+        let cl = &mut self.clauses[c as usize];
+        cl.activity += self.cla_inc;
+        if cl.activity > RESCALE {
+            for cl in &mut self.clauses {
+                cl.activity /= RESCALE;
+            }
+            self.cla_inc /= RESCALE;
+        }
+    }
+
+    // ----- trail -----
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn unchecked_enqueue(&mut self, l: Lit, from: Option<u32>) {
+        debug_assert_eq!(self.value(l), LBool::Undef);
+        let v = l.var();
+        self.assign[v.index()] = if l.is_positive() {
+            LBool::True
+        } else {
+            LBool::False
+        };
+        self.level[v.index()] = self.decision_level();
+        self.reason[v.index()] = from;
+        self.trail.push(l);
+    }
+
+    fn new_decision_level(&mut self) {
+        self.trail_lim.push(self.trail.len());
+    }
+
+    fn cancel_until(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let bound = self.trail_lim[level as usize];
+        while self.trail.len() > bound {
+            let l = self.trail.pop().expect("trail non-empty");
+            let v = l.var();
+            self.phase[v.index()] = l.is_positive();
+            self.assign[v.index()] = LBool::Undef;
+            self.reason[v.index()] = None;
+            self.heap_insert(v);
+        }
+        self.trail_lim.truncate(level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    // ----- propagation -----
+
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            if self.stats.propagations >= self.prop_deadline {
+                self.prop_exceeded = true;
+                return None;
+            }
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let mut i = 0;
+            let mut watch_list = std::mem::take(&mut self.watches[p.code()]);
+            while i < watch_list.len() {
+                let ci = watch_list[i];
+                let false_lit = !p;
+                // Normalize: watched literal being falsified at index 1.
+                {
+                    let c = &mut self.clauses[ci as usize];
+                    if c.lits[0] == false_lit {
+                        c.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(c.lits[1], false_lit);
+                }
+                let first = self.clauses[ci as usize].lits[0];
+                if self.value(first) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let mut moved = false;
+                let len = self.clauses[ci as usize].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[ci as usize].lits[k];
+                    if self.value(lk) != LBool::False {
+                        self.clauses[ci as usize].lits.swap(1, k);
+                        self.watches[(!lk).code()].push(ci);
+                        watch_list.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Clause is unit or conflicting.
+                if self.value(first) == LBool::False {
+                    // Conflict: restore remaining watches.
+                    self.watches[p.code()] = watch_list;
+                    self.qhead = self.trail.len();
+                    return Some(ci);
+                }
+                self.unchecked_enqueue(first, Some(ci));
+                i += 1;
+            }
+            self.watches[p.code()] = watch_list;
+        }
+        None
+    }
+
+    // ----- conflict analysis (first UIP) -----
+
+    fn analyze(&mut self, confl: u32) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // placeholder for the asserting literal
+        let mut counter = 0u32;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut confl = confl;
+
+        loop {
+            self.bump_clause(confl);
+            let lits: Vec<Lit> = self.clauses[confl as usize].lits.clone();
+            let start = if p.is_some() { 1 } else { 0 };
+            for &q in &lits[start..] {
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.level[v.index()] >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Find the next seen literal on the trail.
+            loop {
+                index -= 1;
+                let l = self.trail[index];
+                if self.seen[l.var().index()] {
+                    p = Some(l);
+                    break;
+                }
+            }
+            let pv = p.expect("found").var();
+            self.seen[pv.index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !p.expect("found");
+                break;
+            }
+            confl = self.reason[pv.index()].expect("non-decision has a reason");
+        }
+
+        // Conflict-clause minimization: drop literals implied by the rest.
+        let keep: Vec<bool> = learnt
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| i == 0 || !self.redundant(l, &learnt))
+            .collect();
+        let mut minimized: Vec<Lit> = learnt
+            .iter()
+            .zip(&keep)
+            .filter(|&(_, &k)| k)
+            .map(|(&l, _)| l)
+            .collect();
+
+        for l in &minimized {
+            self.seen[l.var().index()] = false;
+        }
+        // Also clear any remaining seen flags from dropped literals.
+        for l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+
+        // Compute the backjump level: second-highest level in the clause.
+        let backjump = if minimized.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..minimized.len() {
+                if self.level[minimized[i].var().index()]
+                    > self.level[minimized[max_i].var().index()]
+                {
+                    max_i = i;
+                }
+            }
+            minimized.swap(1, max_i);
+            self.level[minimized[1].var().index()]
+        };
+        (minimized, backjump)
+    }
+
+    /// A learnt literal is redundant if its reason clause's literals are
+    /// all already in the learnt clause or themselves at level 0 (a
+    /// single-step version of MiniSat's recursive minimization).
+    fn redundant(&self, l: Lit, learnt: &[Lit]) -> bool {
+        match self.reason[l.var().index()] {
+            None => false,
+            Some(ci) => self.clauses[ci as usize].lits.iter().all(|&q| {
+                q == !l
+                    || self.level[q.var().index()] == 0
+                    || learnt.contains(&q)
+            }),
+        }
+    }
+
+    // ----- learnt clause DB reduction -----
+
+    fn reduce_db(&mut self) {
+        // Remove roughly half of the learnt clauses with the lowest
+        // activity, keeping reasons of current assignments ("locked").
+        let mut learnt_idx: Vec<u32> = (0..self.clauses.len() as u32)
+            .filter(|&i| self.clauses[i as usize].learnt)
+            .collect();
+        if learnt_idx.len() < 100 {
+            return;
+        }
+        learnt_idx.sort_by(|&a, &b| {
+            self.clauses[a as usize]
+                .activity
+                .partial_cmp(&self.clauses[b as usize].activity)
+                .expect("activities are finite")
+        });
+        let locked: Vec<bool> = (0..self.clauses.len())
+            .map(|ci| {
+                let c = &self.clauses[ci];
+                !c.lits.is_empty()
+                    && self.value(c.lits[0]) == LBool::True
+                    && self.reason[c.lits[0].var().index()] == Some(ci as u32)
+            })
+            .collect();
+        let to_remove: Vec<u32> = learnt_idx[..learnt_idx.len() / 2]
+            .iter()
+            .copied()
+            .filter(|&i| !locked[i as usize] && self.clauses[i as usize].lits.len() > 2)
+            .collect();
+        if to_remove.is_empty() {
+            return;
+        }
+        let removed: std::collections::HashSet<u32> = to_remove.iter().copied().collect();
+        // Detach from watch lists by emptying the clause; watch traversal
+        // skips via the tombstone check below. Simplest correct scheme:
+        // rebuild all watch lists.
+        for w in &mut self.watches {
+            w.clear();
+        }
+        let mut remap: Vec<u32> = Vec::with_capacity(self.clauses.len());
+        let mut kept: Vec<Clause> = Vec::with_capacity(self.clauses.len() - removed.len());
+        for (i, c) in self.clauses.drain(..).enumerate() {
+            if removed.contains(&(i as u32)) {
+                remap.push(u32::MAX);
+                self.stats.learnts -= 1;
+            } else {
+                remap.push(kept.len() as u32);
+                kept.push(c);
+            }
+        }
+        self.clauses = kept;
+        for (i, c) in self.clauses.iter().enumerate() {
+            self.watches[(!c.lits[0]).code()].push(i as u32);
+            self.watches[(!c.lits[1]).code()].push(i as u32);
+        }
+        for r in &mut self.reason {
+            if let Some(ci) = *r {
+                *r = match remap[ci as usize] {
+                    u32::MAX => None,
+                    new => Some(new),
+                };
+            }
+        }
+    }
+
+    // ----- main search -----
+
+    /// Solves the current formula.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves under the given assumptions (temporary unit constraints).
+    ///
+    /// The solver state (learnt clauses, activities) persists across
+    /// calls, making repeated incremental queries cheap — this is what
+    /// the repeated-timing-analysis loop of the paper's second
+    /// approximation relies on.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.prop_deadline = self
+            .propagation_budget
+            .map_or(u64::MAX, |b| self.stats.propagations.saturating_add(b));
+        self.prop_exceeded = false;
+        let r = self.solve_inner(assumptions);
+        self.prop_deadline = u64::MAX;
+        self.prop_exceeded = false;
+        r
+    }
+
+    fn solve_inner(&mut self, assumptions: &[Lit]) -> SolveResult {
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        self.cancel_until(0);
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SolveResult::Unsat;
+        }
+        if self.prop_exceeded {
+            self.cancel_until(0);
+            return SolveResult::Unknown;
+        }
+
+        let mut conflicts_this_call = 0u64;
+        let mut restart_idx = 1u64;
+        let mut restart_budget = 100 * luby(restart_idx);
+
+        loop {
+            let confl = self.propagate();
+            if self.prop_exceeded {
+                self.cancel_until(0);
+                return SolveResult::Unknown;
+            }
+            if let Some(confl) = confl {
+                self.stats.conflicts += 1;
+                conflicts_this_call += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SolveResult::Unsat;
+                }
+                // All-assumption conflicts: if the conflict only depends
+                // on assumption levels, analyze() still yields a valid
+                // clause; if it backjumps above the assumptions we will
+                // re-assume below.
+                let (learnt, backjump) = self.analyze(confl);
+                self.cancel_until(backjump);
+                if learnt.len() == 1 {
+                    self.cancel_until(0);
+                    if self.value(learnt[0]) == LBool::False {
+                        self.ok = false;
+                        return SolveResult::Unsat;
+                    }
+                    if self.value(learnt[0]) == LBool::Undef {
+                        self.unchecked_enqueue(learnt[0], None);
+                    }
+                } else {
+                    let ci = self.attach_clause(learnt.clone(), true);
+                    self.unchecked_enqueue(learnt[0], Some(ci));
+                }
+                self.var_inc *= VAR_DECAY;
+                self.cla_inc *= CLA_DECAY;
+                if let Some(budget) = self.conflict_budget {
+                    if conflicts_this_call >= budget {
+                        self.cancel_until(0);
+                        return SolveResult::Unknown;
+                    }
+                }
+                if conflicts_this_call >= restart_budget {
+                    restart_idx += 1;
+                    restart_budget = conflicts_this_call + 100 * luby(restart_idx);
+                    self.stats.restarts += 1;
+                    self.cancel_until(0);
+                }
+                if self.stats.learnts as usize > 2 * self.num_original + 1000 {
+                    self.reduce_db();
+                }
+            } else {
+                // Re-establish assumptions that are not yet on the trail.
+                let mut all_assumed = true;
+                for &a in assumptions {
+                    match self.value(a) {
+                        LBool::True => continue,
+                        LBool::False => {
+                            // Conflicts with current (level-0 or earlier
+                            // assumption) trail: unsat under assumptions.
+                            self.cancel_until(0);
+                            return SolveResult::Unsat;
+                        }
+                        LBool::Undef => {
+                            self.new_decision_level();
+                            self.unchecked_enqueue(a, None);
+                            all_assumed = false;
+                            break;
+                        }
+                    }
+                }
+                if !all_assumed {
+                    continue;
+                }
+                // Pick a branching variable.
+                let next = loop {
+                    match self.heap_pop() {
+                        None => break None,
+                        Some(v) => {
+                            if self.assign[v.index()] == LBool::Undef {
+                                break Some(v);
+                            }
+                        }
+                    }
+                };
+                match next {
+                    None => return SolveResult::Sat,
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        self.new_decision_level();
+                        let lit = v.lit(self.phase[v.index()]);
+                        self.unchecked_enqueue(lit, None);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The Luby restart sequence: 1,1,2,1,1,2,4,...
+fn luby(mut i: u64) -> u64 {
+    let mut k = 1u32;
+    while (1u64 << k) - 1 < i {
+        k += 1;
+    }
+    loop {
+        if (1u64 << k) - 1 == i {
+            return 1u64 << (k - 1);
+        }
+        i -= (1u64 << (k - 1)) - 1;
+        k = 1;
+        while (1u64 << k) - 1 < i {
+            k += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn luby_prefix() {
+        let got: Vec<u64> = (1..=15).map(luby).collect();
+        assert_eq!(got, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause([a.positive()]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.model_value(a), Some(true));
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause([a.positive()]);
+        s.add_clause([a.negative()]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        let _ = s.new_vars(3);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        let mut s = Solver::new();
+        let vs = s.new_vars(5);
+        for w in vs.windows(2) {
+            s.add_clause([w[0].negative(), w[1].positive()]); // v[i] -> v[i+1]
+        }
+        s.add_clause([vs[0].positive()]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        for v in vs {
+            assert_eq!(s.model_value(v), Some(true));
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // 3 pigeons, 2 holes: p[i][h] pigeon i in hole h.
+        let mut s = Solver::new();
+        let mut p = [[Var(0); 2]; 3];
+        for row in &mut p {
+            for cell in row.iter_mut() {
+                *cell = s.new_var();
+            }
+        }
+        for row in &p {
+            s.add_clause([row[0].positive(), row[1].positive()]);
+        }
+        for h in 0..2 {
+            for i in 0..3 {
+                for j in (i + 1)..3 {
+                    s.add_clause([p[i][h].negative(), p[j][h].negative()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions_flip_outcomes() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([a.negative(), b.positive()]); // a -> b
+        assert_eq!(s.solve_with_assumptions(&[a.positive()]), SolveResult::Sat);
+        assert_eq!(s.model_value(b), Some(true));
+        assert_eq!(
+            s.solve_with_assumptions(&[a.positive(), b.negative()]),
+            SolveResult::Unsat
+        );
+        // Solver is still usable afterwards.
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn tautology_ignored() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        assert!(s.add_clause([a.positive(), a.negative()]));
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn xor_chain_sat_model_is_consistent() {
+        // x1 ^ x2 = 1, x2 ^ x3 = 1, x1 ^ x3 = 0 is satisfiable.
+        let mut s = Solver::new();
+        let v = s.new_vars(3);
+        let xor_true = |s: &mut Solver, a: Var, b: Var| {
+            s.add_clause([a.positive(), b.positive()]);
+            s.add_clause([a.negative(), b.negative()]);
+        };
+        let xor_false = |s: &mut Solver, a: Var, b: Var| {
+            s.add_clause([a.positive(), b.negative()]);
+            s.add_clause([a.negative(), b.positive()]);
+        };
+        xor_true(&mut s, v[0], v[1]);
+        xor_true(&mut s, v[1], v[2]);
+        xor_false(&mut s, v[0], v[2]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let m: Vec<bool> = v.iter().map(|&x| s.model_value(x).unwrap()).collect();
+        assert!(m[0] ^ m[1]);
+        assert!(m[1] ^ m[2]);
+        assert!(!(m[0] ^ m[2]));
+    }
+
+    #[test]
+    fn xor_chain_contradiction_unsat() {
+        // x1^x2=1, x2^x3=1, x1^x3=1 is unsatisfiable (odd cycle).
+        let mut s = Solver::new();
+        let v = s.new_vars(3);
+        for (a, b) in [(0, 1), (1, 2), (0, 2)] {
+            s.add_clause([v[a].positive(), v[b].positive()]);
+            s.add_clause([v[a].negative(), v[b].negative()]);
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn conflict_budget_reports_unknown() {
+        // A hard instance: pigeonhole 6 into 5 with a tiny budget.
+        let n = 6usize;
+        let mut s = Solver::new();
+        let mut p = vec![vec![Var(0); n - 1]; n];
+        for row in &mut p {
+            for cell in row.iter_mut() {
+                *cell = s.new_var();
+            }
+        }
+        for row in &p {
+            s.add_clause(row.iter().map(|v| v.positive()));
+        }
+        for h in 0..n - 1 {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    s.add_clause([p[i][h].negative(), p[j][h].negative()]);
+                }
+            }
+        }
+        s.set_conflict_budget(Some(5));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        s.set_conflict_budget(None);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn add_clause_after_unsat_is_noop() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause([a.positive()]);
+        s.add_clause([a.negative()]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(!s.add_clause([a.positive()]));
+    }
+}

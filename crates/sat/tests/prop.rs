@@ -1,0 +1,96 @@
+//! Property tests: the CDCL solver against brute-force enumeration on
+//! random small CNF instances.
+
+use proptest::prelude::*;
+use xrta_sat::{SolveResult, Solver, Var};
+
+const NVARS: usize = 6;
+
+fn clause_strategy() -> impl Strategy<Value = Vec<(usize, bool)>> {
+    prop::collection::vec(((0..NVARS), any::<bool>()), 1..4)
+}
+
+fn formula_strategy() -> impl Strategy<Value = Vec<Vec<(usize, bool)>>> {
+    prop::collection::vec(clause_strategy(), 0..24)
+}
+
+fn brute_force_sat(formula: &[Vec<(usize, bool)>]) -> Option<Vec<bool>> {
+    (0..1usize << NVARS)
+        .map(|m| (0..NVARS).map(|i| (m >> i) & 1 == 1).collect::<Vec<bool>>())
+        .find(|a| {
+            formula
+                .iter()
+                .all(|cl| cl.iter().any(|&(v, pos)| a[v] == pos))
+        })
+}
+
+fn run_solver(formula: &[Vec<(usize, bool)>]) -> (SolveResult, Option<Vec<bool>>) {
+    let mut s = Solver::new();
+    let vars = s.new_vars(NVARS);
+    for cl in formula {
+        s.add_clause(cl.iter().map(|&(v, pos)| vars[v].lit(pos)));
+    }
+    match s.solve() {
+        SolveResult::Sat => {
+            let model = (0..NVARS)
+                .map(|i| s.model_value(Var::from_index(i)).unwrap_or(false))
+                .collect();
+            (SolveResult::Sat, Some(model))
+        }
+        r => (r, None),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn solver_agrees_with_brute_force(formula in formula_strategy()) {
+        let expected = brute_force_sat(&formula);
+        let (result, model) = run_solver(&formula);
+        match expected {
+            Some(_) => {
+                prop_assert_eq!(result, SolveResult::Sat);
+                // The model must actually satisfy the formula.
+                let m = model.unwrap();
+                for cl in &formula {
+                    prop_assert!(
+                        cl.iter().any(|&(v, pos)| m[v] == pos),
+                        "model {:?} falsifies {:?}", m, cl
+                    );
+                }
+            }
+            None => prop_assert_eq!(result, SolveResult::Unsat),
+        }
+    }
+
+    #[test]
+    fn assumptions_match_added_units(formula in formula_strategy(), pattern in 0usize..(1 << 3)) {
+        // Solving with assumptions a subset of vars fixed must agree with
+        // solving a formula where those units are added as clauses.
+        let mut s1 = Solver::new();
+        let v1 = s1.new_vars(NVARS);
+        let mut s2 = Solver::new();
+        let v2 = s2.new_vars(NVARS);
+        for cl in &formula {
+            s1.add_clause(cl.iter().map(|&(v, pos)| v1[v].lit(pos)));
+            s2.add_clause(cl.iter().map(|&(v, pos)| v2[v].lit(pos)));
+        }
+        let assumptions: Vec<_> = (0..3).map(|i| v1[i].lit((pattern >> i) & 1 == 1)).collect();
+        for (i, v) in v2.iter().take(3).enumerate() {
+            s2.add_clause([v.lit((pattern >> i) & 1 == 1)]);
+        }
+        let r1 = s1.solve_with_assumptions(&assumptions);
+        let r2 = s2.solve();
+        prop_assert_eq!(r1, r2);
+        // s1 must remain reusable: solve unconstrained afterwards agrees
+        // with brute force.
+        let r = s1.solve();
+        let expected = if brute_force_sat(&formula).is_some() {
+            SolveResult::Sat
+        } else {
+            SolveResult::Unsat
+        };
+        prop_assert_eq!(r, expected);
+    }
+}

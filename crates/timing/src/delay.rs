@@ -1,0 +1,119 @@
+//! Gate delay models (XBD0: max delay per gate, min delay zero).
+
+use xrta_network::{Network, NodeId};
+
+/// A delay model assigns each gate a **maximum** delay in ticks; under
+/// the XBD0 model of the paper every gate may exhibit any delay between
+/// zero and this maximum.
+pub trait DelayModel {
+    /// Maximum delay of the gate at `node` (ignored for primary inputs).
+    fn delay(&self, net: &Network, node: NodeId) -> i64;
+}
+
+/// The unit delay model used in all the paper's experiments: every gate
+/// takes exactly 1 tick as its maximum delay.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UnitDelay;
+
+impl DelayModel for UnitDelay {
+    fn delay(&self, _net: &Network, _node: NodeId) -> i64 {
+        1
+    }
+}
+
+/// Per-node delays from an explicit table (ticks), with a default for
+/// nodes not listed.
+#[derive(Clone, Debug)]
+pub struct TableDelay {
+    delays: Vec<i64>,
+    default: i64,
+}
+
+impl TableDelay {
+    /// Builds a table where every node starts at `default` ticks.
+    pub fn with_default(net: &Network, default: i64) -> Self {
+        TableDelay {
+            delays: vec![default; net.node_count()],
+            default,
+        }
+    }
+
+    /// Sets the delay of one node.
+    pub fn set(&mut self, node: NodeId, ticks: i64) {
+        if node.index() >= self.delays.len() {
+            self.delays.resize(node.index() + 1, self.default);
+        }
+        self.delays[node.index()] = ticks;
+    }
+}
+
+impl DelayModel for TableDelay {
+    fn delay(&self, _net: &Network, node: NodeId) -> i64 {
+        self.delays
+            .get(node.index())
+            .copied()
+            .unwrap_or(self.default)
+    }
+}
+
+/// Delay grows with fanin count: `base + per_fanin · (fanins - 1)`.
+/// A crude stand-in for load-dependent library delays.
+#[derive(Clone, Copy, Debug)]
+pub struct FaninDelay {
+    /// Delay of a 1-input gate.
+    pub base: i64,
+    /// Extra ticks per additional fanin.
+    pub per_fanin: i64,
+}
+
+impl DelayModel for FaninDelay {
+    fn delay(&self, net: &Network, node: NodeId) -> i64 {
+        let k = net.node(node).fanins.len().max(1) as i64;
+        self.base + self.per_fanin * (k - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrta_network::GateKind;
+
+    fn tiny() -> (Network, NodeId, NodeId) {
+        let mut net = Network::new("t");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let c = net.add_input("c").unwrap();
+        let g2 = net.add_gate("g2", GateKind::And, &[a, b]).unwrap();
+        let g3 = net.add_gate("g3", GateKind::Or, &[a, b, c]).unwrap();
+        net.mark_output(g2);
+        net.mark_output(g3);
+        (net, g2, g3)
+    }
+
+    #[test]
+    fn unit_delay_is_one() {
+        let (net, g2, g3) = tiny();
+        assert_eq!(UnitDelay.delay(&net, g2), 1);
+        assert_eq!(UnitDelay.delay(&net, g3), 1);
+    }
+
+    #[test]
+    fn table_delay_overrides() {
+        let (net, g2, g3) = tiny();
+        let mut t = TableDelay::with_default(&net, 2);
+        t.set(g3, 7);
+        assert_eq!(t.delay(&net, g2), 2);
+        assert_eq!(t.delay(&net, g3), 7);
+    }
+
+    #[test]
+    fn fanin_delay_scales() {
+        let (net, g2, g3) = tiny();
+        let m = FaninDelay {
+            base: 1,
+            per_fanin: 2,
+        };
+        assert_eq!(m.delay(&net, g2), 3); // 2 fanins
+        assert_eq!(m.delay(&net, g3), 5); // 3 fanins
+    }
+}

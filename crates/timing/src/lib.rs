@@ -1,0 +1,36 @@
+//! # xrta-timing — topological timing analysis
+//!
+//! Classical (false-path-oblivious) timing for Boolean networks: delay
+//! models under the XBD0 assumption (max delay per gate, min zero),
+//! arrival-time sweeps, the backward required-time propagation of the
+//! paper's Figure 3, slack, and critical-path enumeration.
+//!
+//! These are the *baselines* the paper improves on: the required times
+//! computed here are the most pessimistic point `r⊥` of the exact
+//! relation computed by `xrta-core`.
+//!
+//! ## Example
+//!
+//! ```
+//! use xrta_network::{Network, GateKind};
+//! use xrta_timing::{analyze, Time, UnitDelay};
+//!
+//! let mut net = Network::new("demo");
+//! let a = net.add_input("a")?;
+//! let b = net.add_input("b")?;
+//! let z = net.add_gate("z", GateKind::And, &[a, b])?;
+//! net.mark_output(z);
+//! let t = analyze(&net, &UnitDelay, &[Time::ZERO, Time::ZERO], &[Time::new(3)]);
+//! assert_eq!(t.slack(z), Time::new(2));
+//! # Ok::<(), xrta_network::NetworkError>(())
+//! ```
+
+mod delay;
+mod time;
+mod topo;
+
+pub use delay::{DelayModel, FaninDelay, TableDelay, UnitDelay};
+pub use time::Time;
+pub use topo::{
+    analyze, arrival_times, critical_paths, required_times, topological_delays, Path, TopoTiming,
+};

@@ -1,0 +1,181 @@
+//! Discrete time values with symbolic ±∞.
+//!
+//! All delays in the reproduction are integer ticks (the paper's
+//! experiments use the unit delay model); `±∞` arise naturally as the
+//! initial values of required/arrival sweeps and as the "never required /
+//! never arrives" values of the generalized required-time relations.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A time point or duration in integer ticks, with `-∞` and `+∞`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Time(i64);
+
+const INF_RAW: i64 = i64::MAX / 4;
+
+impl Time {
+    /// Positive infinity (e.g. "never required").
+    pub const INF: Time = Time(INF_RAW);
+    /// Negative infinity (e.g. "stable before any input arrives").
+    pub const NEG_INF: Time = Time(-INF_RAW);
+    /// Zero.
+    pub const ZERO: Time = Time(0);
+
+    /// A finite time of `ticks`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ticks` is in the reserved infinity range.
+    pub fn new(ticks: i64) -> Self {
+        assert!(
+            ticks.abs() < INF_RAW / 2,
+            "tick value {ticks} too large for Time"
+        );
+        Time(ticks)
+    }
+
+    /// Is this `+∞`?
+    pub fn is_inf(self) -> bool {
+        self.0 >= INF_RAW / 2
+    }
+
+    /// Is this `-∞`?
+    pub fn is_neg_inf(self) -> bool {
+        self.0 <= -INF_RAW / 2
+    }
+
+    /// Is this a finite value?
+    pub fn is_finite(self) -> bool {
+        !self.is_inf() && !self.is_neg_inf()
+    }
+
+    /// The raw tick count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is infinite.
+    pub fn ticks(self) -> i64 {
+        assert!(self.is_finite(), "ticks() on infinite time");
+        self.0
+    }
+
+    /// Saturating addition that preserves infinities.
+    fn plus(self, rhs: i64) -> Time {
+        if self.is_inf() {
+            Time::INF
+        } else if self.is_neg_inf() {
+            Time::NEG_INF
+        } else {
+            let v = self.0 + rhs;
+            if v >= INF_RAW / 2 {
+                Time::INF
+            } else if v <= -INF_RAW / 2 {
+                Time::NEG_INF
+            } else {
+                Time(v)
+            }
+        }
+    }
+
+    /// The larger of two times.
+    pub fn max(self, other: Time) -> Time {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two times.
+    pub fn min(self, other: Time) -> Time {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<i64> for Time {
+    type Output = Time;
+
+    fn add(self, rhs: i64) -> Time {
+        self.plus(rhs)
+    }
+}
+
+impl Sub<i64> for Time {
+    type Output = Time;
+
+    fn sub(self, rhs: i64) -> Time {
+        self.plus(-rhs)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Route through `pad` so alignment/width format specifiers work.
+        if self.is_inf() {
+            f.pad("∞")
+        } else if self.is_neg_inf() {
+            f.pad("-∞")
+        } else {
+            f.pad(&self.0.to_string())
+        }
+    }
+}
+
+impl From<i64> for Time {
+    fn from(ticks: i64) -> Self {
+        Time::new(ticks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering() {
+        assert!(Time::NEG_INF < Time::new(-5));
+        assert!(Time::new(-5) < Time::ZERO);
+        assert!(Time::ZERO < Time::new(7));
+        assert!(Time::new(7) < Time::INF);
+    }
+
+    #[test]
+    fn arithmetic_preserves_infinities() {
+        assert_eq!(Time::INF + 5, Time::INF);
+        assert_eq!(Time::INF - 5, Time::INF);
+        assert_eq!(Time::NEG_INF + 5, Time::NEG_INF);
+        assert_eq!(Time::new(3) + 4, Time::new(7));
+        assert_eq!(Time::new(3) - 4, Time::new(-1));
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(Time::new(3).max(Time::new(5)), Time::new(5));
+        assert_eq!(Time::new(3).min(Time::INF), Time::new(3));
+        assert_eq!(Time::NEG_INF.max(Time::new(0)), Time::new(0));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Time::INF.to_string(), "∞");
+        assert_eq!(Time::NEG_INF.to_string(), "-∞");
+        assert_eq!(Time::new(42).to_string(), "42");
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn overflow_guard() {
+        let _ = Time::new(i64::MAX / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "infinite")]
+    fn ticks_of_infinity_panics() {
+        let _ = Time::INF.ticks();
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests for topological timing on random DAGs.
+
+use proptest::prelude::*;
+use xrta_timing::{analyze, arrival_times, required_times, DelayModel, TableDelay, Time};
+use xrta_network::{GateKind, Network, NodeId};
+
+#[derive(Clone, Debug)]
+struct Dag {
+    inputs: usize,
+    gates: Vec<Vec<usize>>, // fanin picks per gate
+    delays: Vec<i64>,
+}
+
+fn dag_strategy() -> impl Strategy<Value = Dag> {
+    (2usize..6)
+        .prop_flat_map(|inputs| {
+            let gates = prop::collection::vec(prop::collection::vec(0usize..64, 1..4), 1..10);
+            (Just(inputs), gates)
+        })
+        .prop_flat_map(|(inputs, gates)| {
+            let n = gates.len();
+            let delays = prop::collection::vec(1i64..5, n);
+            (Just(inputs), Just(gates), delays).prop_map(|(inputs, gates, delays)| Dag {
+                inputs,
+                gates,
+                delays,
+            })
+        })
+}
+
+fn build(dag: &Dag) -> (Network, TableDelay) {
+    let mut net = Network::new("dag");
+    let mut pool: Vec<NodeId> = (0..dag.inputs)
+        .map(|i| net.add_input(format!("x{i}")).expect("fresh"))
+        .collect();
+    for (gi, picks) in dag.gates.iter().enumerate() {
+        let fanins: Vec<NodeId> = picks
+            .iter()
+            .map(|&p| pool[p % pool.len()])
+            .collect();
+        let kind = if fanins.len() == 1 {
+            GateKind::Buf
+        } else {
+            GateKind::And
+        };
+        let id = net.add_gate(format!("g{gi}"), kind, &fanins).expect("ok");
+        pool.push(id);
+    }
+    // Last few nodes as outputs.
+    for &id in pool.iter().rev().take(2) {
+        net.mark_output(id);
+    }
+    let mut table = TableDelay::with_default(&net, 1);
+    for (gi, &d) in dag.delays.iter().enumerate() {
+        if let Some(id) = net.find(&format!("g{gi}")) {
+            table.set(id, d);
+        }
+    }
+    (net, table)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn arrival_is_max_over_fanins(dag in dag_strategy()) {
+        let (net, model) = build(&dag);
+        let arr = arrival_times(&net, &model, &vec![Time::ZERO; net.inputs().len()]);
+        for id in net.node_ids() {
+            let n = net.node(id);
+            if n.is_input() {
+                prop_assert_eq!(arr[id.index()], Time::ZERO);
+            } else {
+                let expect = n
+                    .fanins
+                    .iter()
+                    .map(|f| arr[f.index()])
+                    .max()
+                    .unwrap()
+                    + model.delay(&net, id);
+                prop_assert_eq!(arr[id.index()], expect);
+            }
+        }
+    }
+
+    #[test]
+    fn required_is_min_over_fanouts(dag in dag_strategy()) {
+        let (net, model) = build(&dag);
+        let req = required_times(&net, &model, &vec![Time::ZERO; net.outputs().len()]);
+        let fanouts = net.fanouts();
+        for id in net.node_ids() {
+            let mut bound = if net.outputs().contains(&id) {
+                Time::ZERO
+            } else {
+                Time::INF
+            };
+            for &fo in &fanouts[id.index()] {
+                let d = model.delay(&net, fo);
+                bound = bound.min(req[fo.index()] - d);
+            }
+            prop_assert_eq!(req[id.index()], bound, "node {}", net.node(id).name);
+        }
+    }
+
+    #[test]
+    fn zero_slack_nodes_form_a_path(dag in dag_strategy()) {
+        // With required(output) = arrival(output), every output with the
+        // worst arrival has slack 0, and some input has slack 0 too.
+        let (net, model) = build(&dag);
+        let zeros = vec![Time::ZERO; net.inputs().len()];
+        let arr = arrival_times(&net, &model, &zeros);
+        let req_at_outputs: Vec<Time> =
+            net.outputs().iter().map(|o| arr[o.index()]).collect();
+        let t = analyze(&net, &model, &zeros, &req_at_outputs);
+        let zero_slack_input = net
+            .inputs()
+            .iter()
+            .any(|&i| t.slack(i) == Time::ZERO);
+        prop_assert!(zero_slack_input, "a critical path starts at some input");
+        for id in net.node_ids() {
+            prop_assert!(
+                t.slack(id) >= Time::ZERO,
+                "non-negative slack under self-derived requirements"
+            );
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Quickstart: the paper's Figure 4 worked example, end to end.
+//!
+//! Builds `z = AND(buf(x1), x2, buf(x2))` with unit delays and
+//! `req(z) = 2`, then prints:
+//!
+//! 1. the topological required times (Figure 3 — the baseline),
+//! 2. the exact permissible relation and its latest sub-relation
+//!    (§4.1 — reproduces the paper's two tables verbatim),
+//! 3. the parametric analysis' unique prime (§4.2).
+//!
+//! Run with `cargo run --example quickstart`.
+
+use xrta::prelude::*;
+use xrta_core::LeafVarKey;
+
+fn main() {
+    let net = xrta::circuits::fig4();
+    let req = [Time::new(2)];
+
+    println!("=== Figure 4: z = AND(buf(x1), x2, buf(x2)), req(z) = 2 ===\n");
+
+    // 1. Topological baseline (the paper's Figure 3 algorithm).
+    let topo = required_times(&net, &UnitDelay, &req);
+    println!("Topological required times (the pessimistic baseline):");
+    for (&pi, name) in net.inputs().iter().zip(["x1", "x2"]) {
+        println!("  req({name}) = {}", topo[pi.index()]);
+    }
+
+    // 2. The exact relation.
+    let mut exact = exact_required_times(&net, &UnitDelay, &req, ExactOptions::default())
+        .expect("small example fits any node limit");
+    println!("\nExact permissible relation (§4.1), leaf vector columns:");
+    let header: Vec<String> = exact
+        .leaf_vars
+        .iter()
+        .map(|(k, _): &(LeafVarKey, _)| {
+            format!(
+                "χ^{}_{{x{},{}}}",
+                k.time,
+                k.input_pos + 1,
+                if k.value { 1 } else { 0 }
+            )
+        })
+        .collect();
+    println!("  x1x2 | {}", header.join(" "));
+    for m in 0..4u32 {
+        let x = [(m & 1) != 0, (m & 2) != 0];
+        let rows: Vec<String> = exact
+            .permissible_vectors(&x)
+            .iter()
+            .map(|bits| {
+                bits.iter()
+                    .map(|&b| if b { '1' } else { '0' })
+                    .collect::<String>()
+            })
+            .collect();
+        println!(
+            "  {}{}   | {{{}}}",
+            u8::from(x[0]),
+            u8::from(x[1]),
+            rows.join(", ")
+        );
+    }
+
+    println!("\nLatest (minimal) sub-relation and its required-time reading:");
+    for m in 0..4u32 {
+        let x = [(m & 1) != 0, (m & 2) != 0];
+        let tuples: Vec<String> = exact
+            .latest_tuples(&x)
+            .iter()
+            .map(|t| {
+                let r1 = if x[0] {
+                    t.per_input[0].value1
+                } else {
+                    t.per_input[0].value0
+                };
+                let r2 = if x[1] {
+                    t.per_input[1].value1
+                } else {
+                    t.per_input[1].value0
+                };
+                format!("(req(x1)={r1}, req(x2)={r2})")
+            })
+            .collect();
+        println!(
+            "  x1x2={}{} : {}",
+            u8::from(x[0]),
+            u8::from(x[1]),
+            tuples.join("  or  ")
+        );
+    }
+
+    // 3. The parametric analysis.
+    let approx = approx1_required_times(&net, &UnitDelay, &req, Approx1Options::default())
+        .expect("small example fits any node limit");
+    println!("\nParametric analysis (§4.2): F(α,β) has {} prime(s)", approx.primes.len());
+    for cond in &approx.conditions {
+        println!("  condition: x1 {} | x2 {}", cond.per_input[0], cond.per_input[1]);
+    }
+    println!(
+        "  non-trivial vs topological: {}",
+        approx.has_nontrivial_requirement()
+    );
+}

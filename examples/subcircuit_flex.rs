@@ -1,0 +1,78 @@
+//! Subcircuit timing flexibility (§5): value-dependent arrival times at
+//! subcircuit inputs, folded onto the subcircuit's input space as in the
+//! paper's Figure 6 table — including the satisfiability-don't-care row
+//! — plus required times at a subcircuit output via the cut network.
+//!
+//! Run with `cargo run --example subcircuit_flex`.
+
+use xrta::prelude::*;
+
+fn main() {
+    // The Figure-6-like fanin network: u1/u2 arrive at 1 or 2 depending
+    // on the value of x1.
+    let (net, u) = xrta::circuits::fig6();
+    println!("=== §5.1: arrival times at subcircuit inputs (Figure 6) ===\n");
+    let res = subcircuit_arrival_times(
+        &net,
+        &UnitDelay,
+        &[Time::ZERO; 3],
+        &u,
+        ArrivalFlexOptions::default(),
+    )
+    .expect("small example");
+
+    println!("refined partition of the primary-input space:");
+    for class in &res.classes {
+        let times: Vec<String> = class.arrival.iter().map(|t| t.to_string()).collect();
+        println!("  some X class -> (arr(u1), arr(u2)) = ({})", times.join(", "));
+    }
+
+    println!("\nfolded onto the subcircuit inputs (the paper's table):");
+    println!("  u1u2 | arrival tuples");
+    for (u_vec, tuples) in &res.folded {
+        let label: String = u_vec.iter().map(|&b| if b { '1' } else { '0' }).collect();
+        if tuples.is_empty() {
+            println!("  {label}   | {{(∞,∞)}}   (vector never occurs: SDC)");
+        } else {
+            let ts: Vec<String> = tuples
+                .iter()
+                .map(|t| {
+                    let inner: Vec<String> = t.iter().map(|x| x.to_string()).collect();
+                    format!("({})", inner.join(","))
+                })
+                .collect();
+            println!("  {label}   | {{{}}}", ts.join(", "));
+        }
+    }
+
+    // §5.2: required times at an internal cut.
+    println!("\n=== §5.2: required times at a subcircuit output ===\n");
+    let mut net2 = Network::new("resynth");
+    let x1 = net2.add_input("x1").expect("fresh");
+    let a = net2.add_input("a").expect("fresh");
+    let y1 = net2.add_gate("y1", GateKind::Buf, &[x1]).expect("fresh");
+    let v = net2.add_gate("v", GateKind::Buf, &[a]).expect("fresh");
+    let y2 = net2.add_gate("y2", GateKind::Buf, &[v]).expect("fresh");
+    let z = net2
+        .add_gate("z", GateKind::And, &[y1, v, y2])
+        .expect("fresh");
+    net2.mark_output(z);
+    println!("network: z = AND(buf(x1), v, buf(v)) with v the subcircuit output, req(z)=2");
+    let req = subcircuit_required_times(
+        &net2,
+        &UnitDelay,
+        &[Time::ZERO; 2],
+        &[Time::new(2)],
+        &[v],
+        1 << 22,
+    )
+    .expect("small example");
+    println!("topological required time at v: {}", req.topo_required[0]);
+    for cond in &req.conditions {
+        println!(
+            "false-path-aware condition at v: settle-to-1 by {}, settle-to-0 by {}",
+            cond.per_input[0].value1, cond.per_input[0].value0
+        );
+    }
+    println!("(the settle-to-0 deadline relaxes: one early 0 on any AND fanin suffices)");
+}

@@ -1,0 +1,234 @@
+//! `xrta` — command-line front end for the required-time analyses.
+//!
+//! ```text
+//! xrta stats     <netlist>                     structural statistics
+//! xrta topo      <netlist> [--req T]           topological arrival/required/slack
+//! xrta truedelay <netlist> [--engine bdd|sat]  functional (false-path) delays
+//! xrta reqtime   <netlist> --algo exact|approx1|approx2 [--req T]
+//! xrta slack     <netlist> --node NAME [--req T]
+//! xrta macro     <netlist> [--engine bdd|sat]  pin-to-pin macro-model
+//! ```
+//!
+//! Netlists are BLIF (`.blif`) or ISCAS bench (`.bench`) files; all
+//! analyses use the unit delay model, arrival 0 at every input, and a
+//! shared required time (default: the topological delay) at every
+//! output — the paper's experimental protocol, with `--req` to override.
+
+use std::process::ExitCode;
+
+use xrta::core::{macro_model, report};
+use xrta::network::{parse_bench, parse_blif, stats};
+use xrta::prelude::*;
+
+struct Args {
+    command: String,
+    path: String,
+    req: Option<i64>,
+    engine: EngineKind,
+    algo: String,
+    node: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut it = std::env::args().skip(1);
+    let command = it.next().ok_or("missing command")?;
+    let path = it.next().ok_or("missing netlist path")?;
+    let mut args = Args {
+        command,
+        path,
+        req: None,
+        engine: EngineKind::Sat,
+        algo: "approx2".to_string(),
+        node: None,
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--req" => {
+                args.req = Some(
+                    it.next()
+                        .ok_or("--req needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --req: {e}"))?,
+                )
+            }
+            "--engine" => {
+                args.engine = match it.next().as_deref() {
+                    Some("bdd") => EngineKind::Bdd,
+                    Some("sat") => EngineKind::Sat,
+                    other => return Err(format!("bad --engine {other:?}")),
+                }
+            }
+            "--algo" => args.algo = it.next().ok_or("--algo needs a value")?,
+            "--node" => args.node = Some(it.next().ok_or("--node needs a value")?),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn load(path: &str) -> Result<Network, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    if path.ends_with(".bench") {
+        parse_bench(&text).map_err(|e| e.to_string())
+    } else if path.ends_with(".blif") {
+        parse_blif(&text).map_err(|e| e.to_string())
+    } else {
+        // Sniff: BLIF starts with a dot directive.
+        if text.lines().any(|l| l.trim_start().starts_with(".model")) {
+            parse_blif(&text).map_err(|e| e.to_string())
+        } else {
+            parse_bench(&text).map_err(|e| e.to_string())
+        }
+    }
+}
+
+fn required_vector(net: &Network, req: Option<i64>) -> Vec<Time> {
+    match req {
+        Some(t) => vec![Time::new(t); net.outputs().len()],
+        None => topological_delays(net, &UnitDelay),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let net = load(&args.path)?;
+    let zeros = vec![Time::ZERO; net.inputs().len()];
+    match args.command.as_str() {
+        "stats" => {
+            let s = stats(&net);
+            println!("name        : {}", net.name());
+            println!("inputs      : {}", s.inputs);
+            println!("outputs     : {}", s.outputs);
+            println!("gates       : {}", s.gates);
+            println!("max fanin   : {}", s.max_fanin);
+            println!("depth       : {}", s.depth);
+            println!("multi-fanout: {}", s.multi_fanout);
+        }
+        "topo" => {
+            let req = required_vector(&net, args.req);
+            let t = analyze(&net, &UnitDelay, &zeros, &req);
+            println!("node | arrival | required | slack");
+            for id in net.node_ids() {
+                println!(
+                    "{:<12} | {:>7} | {:>8} | {:>5}",
+                    net.node(id).name,
+                    t.arrival[id.index()],
+                    t.required[id.index()],
+                    t.slack(id)
+                );
+            }
+        }
+        "truedelay" => {
+            let ft = FunctionalTiming::new(&net, &UnitDelay, zeros, args.engine);
+            let topo = topological_delays(&net, &UnitDelay);
+            println!("output | topological | true");
+            for ((&o, topo_t), true_t) in net
+                .outputs()
+                .iter()
+                .zip(&topo)
+                .zip(ft.true_arrivals())
+            {
+                let marker = if true_t < *topo_t { "  <-- false paths" } else { "" };
+                println!(
+                    "{:<12} | {:>11} | {:>4}{}",
+                    net.node(o).name,
+                    topo_t,
+                    true_t,
+                    marker
+                );
+            }
+        }
+        "reqtime" => {
+            let req = required_vector(&net, args.req);
+            match args.algo.as_str() {
+                "exact" => {
+                    let a = exact_required_times(&net, &UnitDelay, &req, ExactOptions::default())
+                        .map_err(|e| e.to_string())?;
+                    let mut a = a;
+                    println!(
+                        "exact relation over {} leaf variables; non-trivial: {}",
+                        a.leaf_count(),
+                        a.has_nontrivial_requirement()
+                    );
+                    if net.inputs().len() <= 6 {
+                        for m in 0..(1usize << net.inputs().len()) {
+                            let x: Vec<bool> =
+                                (0..net.inputs().len()).map(|i| (m >> i) & 1 == 1).collect();
+                            print!("{}", report::render_exact_minterm(&net, &mut a, &x));
+                        }
+                    } else {
+                        println!("(per-minterm tables suppressed beyond 6 inputs)");
+                    }
+                }
+                "approx1" => {
+                    let a =
+                        approx1_required_times(&net, &UnitDelay, &req, Approx1Options::default())
+                            .map_err(|e| e.to_string())?;
+                    print!("{}", report::render_approx1(&net, &a));
+                }
+                "approx2" => {
+                    let r = approx2_required_times(
+                        &net,
+                        &UnitDelay,
+                        &req,
+                        Approx2Options {
+                            engine: args.engine,
+                            ..Approx2Options::default()
+                        },
+                    );
+                    print!("{}", report::render_approx2(&net, &r));
+                }
+                other => return Err(format!("unknown --algo {other:?}")),
+            }
+        }
+        "slack" => {
+            let name = args.node.ok_or("slack needs --node NAME")?;
+            let node = net
+                .find(&name)
+                .ok_or_else(|| format!("no node named {name:?}"))?;
+            let req = required_vector(&net, args.req);
+            let s = true_slack(&net, &UnitDelay, &zeros, &req, node, args.engine);
+            println!("node      : {name}");
+            println!("arrival   : {} (true)", s.arrival);
+            println!("required  : {} (false-path-aware)", s.required);
+            println!("slack     : {} (topological: {})", s.slack, s.topo_slack);
+        }
+        "macro" => {
+            let m = macro_model(&net, &UnitDelay, args.engine);
+            println!("pin-to-pin true delays ('d<t' = tightened vs topological):");
+            print!("{:>10}", "");
+            for o in &m.output_names {
+                print!("{o:>10}");
+            }
+            println!();
+            for (i, iname) in m.input_names.iter().enumerate() {
+                print!("{iname:>10}");
+                for o in 0..m.output_names.len() {
+                    match (m.delay[i][o], m.topological[i][o]) {
+                        (Some(d), Some(t)) if d < t => print!("{:>10}", format!("{d}<{t}")),
+                        (Some(d), _) => print!("{d:>10}"),
+                        (None, _) => print!("{:>10}", "·"),
+                    }
+                }
+                println!();
+            }
+            println!("tightened pairs: {}", m.tightened_pairs());
+        }
+        other => return Err(format!("unknown command {other:?}")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("xrta: {e}");
+            eprintln!(
+                "usage: xrta <stats|topo|truedelay|reqtime|slack|macro> <netlist> \
+                 [--req T] [--engine bdd|sat] [--algo exact|approx1|approx2] [--node NAME]"
+            );
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Smoke tests for the `xrta` command-line binary against the bundled
+//! netlists.
+
+use std::process::Command;
+
+fn xrta(args: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_xrta"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+fn netlist(name: &str) -> String {
+    format!("{}/netlists/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn stats_on_c17() {
+    let (ok, text) = xrta(&["stats", &netlist("c17.bench")]);
+    assert!(ok, "{text}");
+    assert!(text.contains("inputs      : 5"), "{text}");
+    assert!(text.contains("gates       : 6"), "{text}");
+}
+
+#[test]
+fn truedelay_flags_false_paths() {
+    let (ok, text) = xrta(&["truedelay", &netlist("bypass.bench")]);
+    assert!(ok, "{text}");
+    assert!(text.contains("false paths"), "{text}");
+}
+
+#[test]
+fn reqtime_approx1_on_fig4() {
+    let (ok, text) = xrta(&[
+        "reqtime",
+        &netlist("fig4.blif"),
+        "--algo",
+        "approx1",
+        "--req",
+        "2",
+    ]);
+    assert!(ok, "{text}");
+    assert!(text.contains("non-trivial: true"), "{text}");
+    assert!(text.contains("1@0/0@1"), "x2's split deadline shown: {text}");
+}
+
+#[test]
+fn reqtime_exact_on_fig4_prints_minterm_tables() {
+    let (ok, text) = xrta(&[
+        "reqtime",
+        &netlist("fig4.blif"),
+        "--algo",
+        "exact",
+        "--req",
+        "2",
+    ]);
+    assert!(ok, "{text}");
+    assert!(text.contains("x = 00"), "{text}");
+    assert!(text.contains("∞"), "{text}");
+}
+
+#[test]
+fn reqtime_approx2_on_bypass() {
+    let (ok, text) = xrta(&["reqtime", &netlist("bypass.bench"), "--algo", "approx2"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("maximal point"), "{text}");
+    assert!(text.contains("topological"), "{text}");
+}
+
+#[test]
+fn slack_on_named_node() {
+    let (ok, text) = xrta(&[
+        "slack",
+        &netlist("bypass.bench"),
+        "--node",
+        "b1",
+        "--engine",
+        "bdd",
+    ]);
+    assert!(ok, "{text}");
+    assert!(text.contains("slack"), "{text}");
+}
+
+#[test]
+fn macro_model_table() {
+    let (ok, text) = xrta(&["macro", &netlist("bypass.bench"), "--engine", "bdd"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("tightened pairs: 2"), "{text}");
+}
+
+#[test]
+fn bad_usage_reports_error() {
+    let (ok, text) = xrta(&["frobnicate", &netlist("c17.bench")]);
+    assert!(!ok);
+    assert!(text.contains("usage"), "{text}");
+    let (ok, text) = xrta(&["stats", "/nonexistent/path.blif"]);
+    assert!(!ok);
+    assert!(text.contains("reading"), "{text}");
+}

@@ -1,0 +1,174 @@
+//! End-to-end integration tests: parse → analyze → cross-validate
+//! across all the workspace crates.
+
+use xrta::circuits::{c17, carry_skip_adder, fig4, parity_tree, two_mux_bypass};
+use xrta::network::{parse_blif, write_blif};
+use xrta::prelude::*;
+
+#[test]
+fn fig4_survives_blif_roundtrip_and_reanalysis() {
+    let net = fig4();
+    let text = write_blif(&net);
+    let reparsed = parse_blif(&text).expect("self-written blif parses");
+    // Same functions…
+    for m in 0..4u32 {
+        let ins = [(m & 1) != 0, (m & 2) != 0];
+        assert_eq!(net.eval(&ins), reparsed.eval(&ins));
+    }
+    // …and the same required-time analysis results.
+    let a = approx1_required_times(&net, &UnitDelay, &[Time::new(2)], Approx1Options::default())
+        .expect("fits");
+    let b = approx1_required_times(
+        &reparsed,
+        &UnitDelay,
+        &[Time::new(2)],
+        Approx1Options::default(),
+    )
+    .expect("fits");
+    assert_eq!(a.conditions.len(), b.conditions.len());
+    assert_eq!(
+        a.has_nontrivial_requirement(),
+        b.has_nontrivial_requirement()
+    );
+}
+
+#[test]
+fn c17_all_three_algorithms_agree_on_triviality() {
+    // c17 is small enough for everything, including the exact relation.
+    let net = c17();
+    let req = vec![Time::ZERO; net.outputs().len()];
+    let mut exact =
+        exact_required_times(&net, &UnitDelay, &req, ExactOptions::default()).expect("fits");
+    let a1 = approx1_required_times(&net, &UnitDelay, &req, Approx1Options::default())
+        .expect("fits");
+    let a2 = approx2_required_times(&net, &UnitDelay, &req, Approx2Options::default());
+    // Approximation hierarchy: approx 2 (value-independent) finds
+    // looseness only if approx 1 does; approx 1 only if exact does.
+    if a2.has_nontrivial_requirement() {
+        assert!(a1.has_nontrivial_requirement());
+    }
+    if a1.has_nontrivial_requirement() {
+        assert!(exact.has_nontrivial_requirement());
+    }
+}
+
+#[test]
+fn c17_approx2_points_validated_by_bdd_oracle() {
+    let net = c17();
+    let req = vec![Time::ZERO; net.outputs().len()];
+    let r = approx2_required_times(&net, &UnitDelay, &req, Approx2Options::default());
+    assert!(r.completed);
+    for m in &r.maximal {
+        let ft = FunctionalTiming::new(&net, &UnitDelay, m.clone(), EngineKind::Bdd);
+        assert!(ft.meets(&req), "maximal point {m:?} must be safe");
+        // Pointwise dominance of the bottom.
+        assert!(m.iter().zip(&r.r_bottom).all(|(a, b)| a >= b));
+    }
+}
+
+#[test]
+fn carry_skip_has_looseness_parity_does_not() {
+    let skip = carry_skip_adder(6, 3).expect("valid");
+    let req = vec![Time::ZERO; skip.outputs().len()];
+    let r = approx2_required_times(&skip, &UnitDelay, &req, Approx2Options::default());
+    assert!(
+        r.has_nontrivial_requirement(),
+        "carry-skip adders have false paths"
+    );
+
+    let parity = parity_tree(8).expect("valid");
+    let req = vec![Time::ZERO; parity.outputs().len()];
+    let r = approx2_required_times(&parity, &UnitDelay, &req, Approx2Options::default());
+    assert!(
+        !r.has_nontrivial_requirement(),
+        "parity trees have no false paths"
+    );
+    let a1 = approx1_required_times(&parity, &UnitDelay, &req, Approx1Options::default())
+        .expect("fits");
+    assert!(!a1.has_nontrivial_requirement());
+}
+
+#[test]
+fn approx1_conditions_validated_by_sat_oracle() {
+    let net = two_mux_bypass();
+    let req = [Time::new(2)];
+    let a1 = approx1_required_times(&net, &UnitDelay, &req, Approx1Options::default())
+        .expect("fits");
+    assert!(!a1.conditions.is_empty());
+    for cond in &a1.conditions {
+        let arrivals: Vec<Time> = cond.per_input.iter().map(|vt| vt.earliest()).collect();
+        let ft = FunctionalTiming::new(&net, &UnitDelay, arrivals, EngineKind::Sat);
+        assert!(ft.meets(&req), "condition {cond} must be safe");
+    }
+}
+
+#[test]
+fn subcircuit_pipeline_fig6_table() {
+    let (net, u) = xrta::circuits::fig6();
+    let res = subcircuit_arrival_times(
+        &net,
+        &UnitDelay,
+        &[Time::ZERO; 3],
+        &u,
+        ArrivalFlexOptions::default(),
+    )
+    .expect("fits");
+    let table: Vec<(Vec<bool>, Vec<Vec<Time>>)> = res.folded;
+    let find = |bits: [bool; 2]| {
+        table
+            .iter()
+            .find(|(v, _)| v.as_slice() == bits)
+            .map(|(_, t)| t.clone())
+            .expect("all vectors listed")
+    };
+    assert_eq!(find([false, false]), vec![vec![Time::new(1), Time::new(2)]]);
+    assert_eq!(
+        find([false, true]),
+        vec![
+            vec![Time::new(1), Time::new(2)],
+            vec![Time::new(2), Time::new(1)]
+        ]
+    );
+    assert_eq!(find([true, false]), Vec::<Vec<Time>>::new(), "SDC row");
+    assert_eq!(find([true, true]), vec![vec![Time::new(2), Time::new(1)]]);
+}
+
+#[test]
+fn true_slack_consistent_with_topology_bounds() {
+    // On any circuit, true slack ≥ topological slack for internal nodes.
+    let net = carry_skip_adder(6, 3).expect("valid");
+    let zeros = vec![Time::ZERO; net.inputs().len()];
+    let topo = topological_delays(&net, &UnitDelay);
+    let worst = topo.iter().copied().max().expect("outputs");
+    let req = vec![worst; net.outputs().len()];
+    for name in ["c1", "c3", "c5", "skip0"] {
+        let Some(node) = net.find(name) else { continue };
+        let s = true_slack(&net, &UnitDelay, &zeros, &req, node, EngineKind::Sat);
+        assert!(
+            s.slack >= s.topo_slack,
+            "{name}: true slack {} < topological {}",
+            s.slack,
+            s.topo_slack
+        );
+        assert!(s.arrival <= worst);
+    }
+}
+
+#[test]
+fn paper_protocol_runs_on_every_suite_row_cheaply() {
+    // A smoke pass over the surrogate suite with tiny budgets: builds
+    // must succeed and the planner must handle every row.
+    use xrta::core::plan_leaves;
+    for row in xrta::circuits::mcnc_rows()
+        .iter()
+        .chain(&xrta::circuits::iscas_rows())
+    {
+        if row.name == "C6288" {
+            continue; // multiplier planning alone is heavy; covered elsewhere
+        }
+        let net = row.build();
+        let req = vec![Time::ZERO; net.outputs().len()];
+        let plan = plan_leaves(&net, &UnitDelay, &req, |_| true);
+        assert!(plan.leaf_count() > 0, "{} has leaves", row.name);
+    }
+}
