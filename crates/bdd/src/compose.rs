@@ -159,7 +159,11 @@ impl Bdd {
         let mut targets: Vec<Var> = pairs.iter().map(|&(_, n)| n).collect();
         targets.sort();
         targets.dedup();
-        assert_eq!(targets.len(), pairs.len(), "rename targets must be distinct");
+        assert_eq!(
+            targets.len(),
+            pairs.len(),
+            "rename targets must be distinct"
+        );
         let subst: Vec<(Var, Ref)> = pairs
             .iter()
             .map(|&(old, new)| {

@@ -20,11 +20,7 @@ impl Bdd {
         let mut seen = FxHashSet::default();
         let mut stack = Vec::new();
         for (name, r) in roots {
-            let _ = writeln!(
-                out,
-                "  root_{} [label=\"{}\", shape=plaintext];",
-                r.0, name
-            );
+            let _ = writeln!(out, "  root_{} [label=\"{}\", shape=plaintext];", r.0, name);
             let _ = writeln!(out, "  root_{} -> {};", r.0, node_name(*r));
             stack.push(r.0);
         }

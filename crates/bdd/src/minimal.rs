@@ -484,7 +484,11 @@ mod tests {
         let mut bdd = Bdd::new();
         let vs = bdd.fresh_vars(3);
         let primes = bdd.monotone_primes(Ref::TRUE, &vs);
-        assert_eq!(primes, vec![Vec::<Var>::new()], "tautology has the empty prime");
+        assert_eq!(
+            primes,
+            vec![Vec::<Var>::new()],
+            "tautology has the empty prime"
+        );
         let primes = bdd.monotone_primes(Ref::FALSE, &vs);
         assert!(primes.is_empty());
     }

@@ -1,7 +1,9 @@
-//! Property tests: BDD operations against brute-force truth tables.
+//! Randomized tests: BDD operations against brute-force truth tables,
+//! driven by a deterministic seeded generator (the workspace builds
+//! offline, so `proptest` is replaced by explicit seed loops).
 
-use proptest::prelude::*;
 use xrta_bdd::{Bdd, Ref, Var};
+use xrta_rng::Rng;
 
 const NVARS: usize = 5;
 
@@ -17,22 +19,35 @@ enum Expr {
     Const(bool),
 }
 
-fn expr_strategy() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (0..NVARS).prop_map(Expr::Var),
-        any::<bool>().prop_map(Expr::Const),
-    ];
-    leaf.prop_recursive(4, 24, 3, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(a, b, c)| Expr::Ite(Box::new(a), Box::new(b), Box::new(c))),
-        ]
-    })
+/// Generates a random expression of bounded depth.
+fn gen_expr(rng: &mut Rng, depth: usize) -> Expr {
+    if depth == 0 || rng.percent(25) {
+        return if rng.percent(80) {
+            Expr::Var(rng.range(0, NVARS))
+        } else {
+            Expr::Const(rng.bool())
+        };
+    }
+    match rng.range(0, 5) {
+        0 => Expr::Not(Box::new(gen_expr(rng, depth - 1))),
+        1 => Expr::And(
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+        ),
+        2 => Expr::Or(
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+        ),
+        3 => Expr::Xor(
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+        ),
+        _ => Expr::Ite(
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+        ),
+    }
 }
 
 fn eval_expr(e: &Expr, a: &[bool]) -> bool {
@@ -89,119 +104,134 @@ fn assignments() -> impl Iterator<Item = Vec<bool>> {
     (0..1usize << NVARS).map(|m| (0..NVARS).map(|i| (m >> i) & 1 == 1).collect())
 }
 
-proptest! {
-    #[test]
-    fn build_matches_semantics(e in expr_strategy()) {
+/// Runs `check` on a fresh BDD + random expression per seed.
+fn for_random_exprs(cases: u64, mut check: impl FnMut(&mut Bdd, &[Var], &Expr)) {
+    for seed in 0..cases {
+        let mut rng = Rng::seed_from_u64(0xB0D5 + seed);
+        let e = gen_expr(&mut rng, 4);
         let mut bdd = Bdd::new();
         let vars = bdd.fresh_vars(NVARS);
-        let f = build(&mut bdd, &vars, &e);
+        check(&mut bdd, &vars, &e);
+    }
+}
+
+#[test]
+fn build_matches_semantics() {
+    for_random_exprs(64, |bdd, vars, e| {
+        let f = build(bdd, vars, e);
         for a in assignments() {
-            prop_assert_eq!(bdd.eval(f, &a), eval_expr(&e, &a));
+            assert_eq!(bdd.eval(f, &a), eval_expr(e, &a), "{e:?} at {a:?}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn sat_count_matches_enumeration(e in expr_strategy()) {
-        let mut bdd = Bdd::new();
-        let vars = bdd.fresh_vars(NVARS);
-        let f = build(&mut bdd, &vars, &e);
-        let expected = assignments().filter(|a| eval_expr(&e, a)).count() as f64;
-        prop_assert_eq!(bdd.sat_count(f), expected);
-    }
+#[test]
+fn sat_count_matches_enumeration() {
+    for_random_exprs(64, |bdd, vars, e| {
+        let f = build(bdd, vars, e);
+        let expected = assignments().filter(|a| eval_expr(e, a)).count() as f64;
+        assert_eq!(bdd.sat_count(f), expected, "{e:?}");
+    });
+}
 
-    #[test]
-    fn exists_matches_enumeration(e in expr_strategy(), which in 0..NVARS) {
-        let mut bdd = Bdd::new();
-        let vars = bdd.fresh_vars(NVARS);
-        let f = build(&mut bdd, &vars, &e);
-        let q = bdd.exists(f, &[vars[which]]);
-        for mut a in assignments() {
-            a[which] = false;
-            let lo = eval_expr(&e, &a);
-            a[which] = true;
-            let hi = eval_expr(&e, &a);
-            prop_assert_eq!(bdd.eval(q, &a), lo || hi);
+#[test]
+fn exists_matches_enumeration() {
+    for_random_exprs(32, |bdd, vars, e| {
+        for which in 0..NVARS {
+            let f = build(bdd, vars, e);
+            let q = bdd.exists(f, &[vars[which]]);
+            for mut a in assignments() {
+                a[which] = false;
+                let lo = eval_expr(e, &a);
+                a[which] = true;
+                let hi = eval_expr(e, &a);
+                assert_eq!(bdd.eval(q, &a), lo || hi, "{e:?} var {which}");
+            }
         }
-    }
+    });
+}
 
-    #[test]
-    fn forall_matches_enumeration(e in expr_strategy(), which in 0..NVARS) {
-        let mut bdd = Bdd::new();
-        let vars = bdd.fresh_vars(NVARS);
-        let f = build(&mut bdd, &vars, &e);
-        let q = bdd.forall(f, &[vars[which]]);
-        for mut a in assignments() {
-            a[which] = false;
-            let lo = eval_expr(&e, &a);
-            a[which] = true;
-            let hi = eval_expr(&e, &a);
-            prop_assert_eq!(bdd.eval(q, &a), lo && hi);
+#[test]
+fn forall_matches_enumeration() {
+    for_random_exprs(32, |bdd, vars, e| {
+        for which in 0..NVARS {
+            let f = build(bdd, vars, e);
+            let q = bdd.forall(f, &[vars[which]]);
+            for mut a in assignments() {
+                a[which] = false;
+                let lo = eval_expr(e, &a);
+                a[which] = true;
+                let hi = eval_expr(e, &a);
+                assert_eq!(bdd.eval(q, &a), lo && hi, "{e:?} var {which}");
+            }
         }
-    }
+    });
+}
 
-    #[test]
-    fn cubes_cover_exactly(e in expr_strategy()) {
-        let mut bdd = Bdd::new();
-        let vars = bdd.fresh_vars(NVARS);
-        let f = build(&mut bdd, &vars, &e);
+#[test]
+fn cubes_cover_exactly() {
+    for_random_exprs(64, |bdd, vars, e| {
+        let f = build(bdd, vars, e);
         let cubes = bdd.cubes(f);
         for a in assignments() {
-            let covered = cubes.iter().any(|cube| {
-                cube.iter().all(|&(v, val)| a[v.index()] == val)
-            });
-            prop_assert_eq!(covered, eval_expr(&e, &a));
+            let covered = cubes
+                .iter()
+                .any(|cube| cube.iter().all(|&(v, val)| a[v.index()] == val));
+            assert_eq!(covered, eval_expr(e, &a), "{e:?} at {a:?}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn reorder_preserves_function(e in expr_strategy(), perm_seed in 0u64..1000) {
+#[test]
+fn reorder_preserves_function() {
+    for seed in 0..32u64 {
+        let mut rng = Rng::seed_from_u64(0x0EDE + seed);
+        let e = gen_expr(&mut rng, 4);
         let mut bdd = Bdd::new();
         let vars = bdd.fresh_vars(NVARS);
         let f = build(&mut bdd, &vars, &e);
         let before: Vec<bool> = assignments().map(|a| bdd.eval(f, &a)).collect();
-        // Derive a permutation from the seed.
         let mut order: Vec<Var> = vars.clone();
-        let mut s = perm_seed;
-        for i in (1..order.len()).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            let j = (s >> 33) as usize % (i + 1);
-            order.swap(i, j);
-        }
+        rng.shuffle(&mut order);
         bdd.set_order(&order);
-        prop_assert!(bdd.check_invariants());
+        assert!(bdd.check_invariants());
         let after: Vec<bool> = assignments().map(|a| bdd.eval(f, &a)).collect();
-        prop_assert_eq!(before, after);
+        assert_eq!(before, after, "{e:?} under {order:?}");
     }
+}
 
-    #[test]
-    fn sifting_preserves_function(e in expr_strategy()) {
-        let mut bdd = Bdd::new();
-        let vars = bdd.fresh_vars(NVARS);
-        let f = build(&mut bdd, &vars, &e);
+#[test]
+fn sifting_preserves_function() {
+    for_random_exprs(32, |bdd, vars, e| {
+        let f = build(bdd, vars, e);
         let before: Vec<bool> = assignments().map(|a| bdd.eval(f, &a)).collect();
         let roots = bdd.reduce(&[f]);
-        prop_assert!(bdd.check_invariants());
+        assert!(bdd.check_invariants());
         let after: Vec<bool> = assignments().map(|a| bdd.eval(roots[0], &a)).collect();
-        prop_assert_eq!(before, after);
-    }
+        assert_eq!(before, after, "{e:?}");
+    });
+}
 
-    #[test]
-    fn minimal_elements_are_minimal_and_complete(e in expr_strategy()) {
-        let mut bdd = Bdd::new();
-        let vars = bdd.fresh_vars(NVARS);
-        let f = build(&mut bdd, &vars, &e);
+#[test]
+fn minimal_elements_are_minimal_and_complete() {
+    for_random_exprs(32, |bdd, vars, e| {
+        let f = build(bdd, vars, e);
         // Use the first three variables as the lattice, the rest as
         // parameters.
         let lattice = &vars[..3];
         let m = bdd.minimal_wrt(f, lattice);
-        let sat: Vec<Vec<bool>> = assignments().filter(|a| eval_expr(&e, a)).collect();
+        let sat: Vec<Vec<bool>> = assignments().filter(|a| eval_expr(e, a)).collect();
         let leq = |x: &[bool], y: &[bool]| {
             // y ≤ x on lattice vars, equal on parameters, y != x
             let mut strict = false;
             for i in 0..NVARS {
                 if i < 3 {
-                    if y[i] && !x[i] { return false; }
-                    if x[i] && !y[i] { strict = true; }
+                    if y[i] && !x[i] {
+                        return false;
+                    }
+                    if x[i] && !y[i] {
+                        strict = true;
+                    }
                 } else if x[i] != y[i] {
                     return false;
                 }
@@ -209,32 +239,38 @@ proptest! {
             strict
         };
         for a in assignments() {
-            let in_f = eval_expr(&e, &a);
+            let in_f = eval_expr(e, &a);
             let is_min = in_f && !sat.iter().any(|y| leq(&a, y));
-            prop_assert_eq!(bdd.eval(m, &a), is_min);
+            assert_eq!(bdd.eval(m, &a), is_min, "{e:?} at {a:?}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn upper_closure_is_dominating_set(e in expr_strategy()) {
-        let mut bdd = Bdd::new();
-        let vars = bdd.fresh_vars(NVARS);
-        let f = build(&mut bdd, &vars, &e);
+#[test]
+fn upper_closure_is_dominating_set() {
+    for_random_exprs(32, |bdd, vars, e| {
+        let f = build(bdd, vars, e);
         let lattice = &vars[..3];
         let up = bdd.upper_closure_wrt(f, lattice);
-        let sat: Vec<Vec<bool>> = assignments().filter(|a| eval_expr(&e, a)).collect();
+        let sat: Vec<Vec<bool>> = assignments().filter(|a| eval_expr(e, a)).collect();
         let dominates = |x: &[bool], y: &[bool]| {
             // x ≥ y on lattice, equal on params
             (0..NVARS).all(|i| if i < 3 { x[i] || !y[i] } else { x[i] == y[i] })
         };
         for a in assignments() {
             let expect = sat.iter().any(|y| dominates(&a, y));
-            prop_assert_eq!(bdd.eval(up, &a), expect);
+            assert_eq!(bdd.eval(up, &a), expect, "{e:?} at {a:?}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn compose_matches_substitution(e in expr_strategy(), g in expr_strategy(), which in 0..NVARS) {
+#[test]
+fn compose_matches_substitution() {
+    for seed in 0..32u64 {
+        let mut rng = Rng::seed_from_u64(0xC0405E + seed);
+        let e = gen_expr(&mut rng, 4);
+        let g = gen_expr(&mut rng, 3);
+        let which = rng.range(0, NVARS);
         let mut bdd = Bdd::new();
         let vars = bdd.fresh_vars(NVARS);
         let f = build(&mut bdd, &vars, &e);
@@ -249,7 +285,7 @@ proptest! {
                 a[which] = saved;
                 r
             };
-            prop_assert_eq!(bdd.eval(h, &a), expect);
+            assert_eq!(bdd.eval(h, &a), expect, "{e:?} o {g:?} @ var {which}");
         }
     }
 }

@@ -1,78 +1,55 @@
 //! Micro-benchmarks for the BDD substrate: global-function construction,
 //! sifting reorder, and the minimal-elements operator that powers the
-//! exact analysis.
+//! exact analysis. Plain std-timer benches (`cargo bench -p xrta-bench
+//! --bench bdd_ops`); the workspace builds offline, so `criterion` is
+//! not available.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use xrta_bdd::Bdd;
+use xrta_bench::microbench;
 use xrta_circuits::{array_multiplier, carry_skip_adder};
 use xrta_network::GlobalBdds;
 
-fn bench_global_build(c: &mut Criterion) {
-    let mut g = c.benchmark_group("bdd_global_build");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(3));
-    g.warm_up_time(std::time::Duration::from_millis(500));
+fn bench_global_build() {
     for width in [8usize, 16] {
         let net = carry_skip_adder(width, 4).expect("valid adder");
-        g.bench_with_input(
-            BenchmarkId::new("carry_skip", width),
-            &net,
-            |b, net| {
-                b.iter(|| {
-                    let mut bdd = Bdd::new();
-                    let g = GlobalBdds::build(&mut bdd, net).expect("within limit");
-                    std::hint::black_box(g.node_fn.len())
-                })
-            },
-        );
+        microbench(&format!("bdd_global_build/carry_skip/{width}"), 10, || {
+            let mut bdd = Bdd::new();
+            let g = GlobalBdds::build(&mut bdd, &net).expect("within limit");
+            g.node_fn.len()
+        });
     }
     let mult = array_multiplier(5).expect("valid multiplier");
-    g.bench_function("mult5x5", |b| {
-        b.iter(|| {
-            let mut bdd = Bdd::new();
-            let g = GlobalBdds::build(&mut bdd, &mult).expect("within limit");
-            std::hint::black_box(g.node_fn.len())
-        })
+    microbench("bdd_global_build/mult5x5", 10, || {
+        let mut bdd = Bdd::new();
+        let g = GlobalBdds::build(&mut bdd, &mult).expect("within limit");
+        g.node_fn.len()
     });
-    g.finish();
 }
 
-fn bench_sifting(c: &mut Criterion) {
-    let mut g = c.benchmark_group("bdd_sifting");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(3));
-    g.warm_up_time(std::time::Duration::from_millis(500));
+fn bench_sifting() {
     let net = carry_skip_adder(10, 4).expect("valid adder");
-    g.bench_function("reduce_carry_skip10", |b| {
-        b.iter(|| {
-            let mut bdd = Bdd::new();
-            let gl = GlobalBdds::build(&mut bdd, &net).expect("within limit");
-            let roots: Vec<_> = net.outputs().iter().map(|&o| gl.of(o)).collect();
-            let reduced = bdd.reduce(&roots);
-            std::hint::black_box((bdd.node_count(), reduced.len()))
-        })
-    });
-    g.finish();
-}
-
-fn bench_minimal(c: &mut Criterion) {
-    let mut g = c.benchmark_group("bdd_minimal_elements");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(3));
-    g.warm_up_time(std::time::Duration::from_millis(500));
-    let net = carry_skip_adder(8, 4).expect("valid adder");
-    g.bench_function("minimal_wrt_cout", |b| {
+    microbench("bdd_sifting/reduce_carry_skip10", 10, || {
         let mut bdd = Bdd::new();
         let gl = GlobalBdds::build(&mut bdd, &net).expect("within limit");
-        let cout = gl.of(*net.outputs().last().expect("has outputs"));
-        let vars = bdd.vars();
-        b.iter(|| {
-            let m = bdd.minimal_wrt(cout, &vars);
-            std::hint::black_box(m)
-        })
+        let roots: Vec<_> = net.outputs().iter().map(|&o| gl.of(o)).collect();
+        let reduced = bdd.reduce(&roots);
+        (bdd.node_count(), reduced.len())
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_global_build, bench_sifting, bench_minimal);
-criterion_main!(benches);
+fn bench_minimal() {
+    let net = carry_skip_adder(8, 4).expect("valid adder");
+    let mut bdd = Bdd::new();
+    let gl = GlobalBdds::build(&mut bdd, &net).expect("within limit");
+    let cout = gl.of(*net.outputs().last().expect("has outputs"));
+    let vars = bdd.vars();
+    microbench("bdd_minimal_elements/minimal_wrt_cout", 10, || {
+        bdd.minimal_wrt(cout, &vars)
+    });
+}
+
+fn main() {
+    bench_global_build();
+    bench_sifting();
+    bench_minimal();
+}

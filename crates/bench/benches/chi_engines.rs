@@ -1,69 +1,47 @@
 //! Ablation: BDD vs SAT χ engines for true-arrival-time computation
 //! (the engine choice DESIGN.md calls out — the paper uses BDDs for the
-//! exact/parametric analyses and SAT for the scalable one).
+//! exact/parametric analyses and SAT for the scalable one). Plain
+//! std-timer benches; the workspace builds offline, so `criterion` is
+//! not available.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xrta_bench::microbench;
 use xrta_chi::{EngineKind, FunctionalTiming};
 use xrta_circuits::carry_skip_adder;
 use xrta_timing::{Time, UnitDelay};
 
-fn bench_true_arrival(c: &mut Criterion) {
-    let mut g = c.benchmark_group("chi_true_arrival");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(3));
-    g.warm_up_time(std::time::Duration::from_millis(500));
+fn bench_true_arrival() {
     for width in [8usize, 12] {
         let net = carry_skip_adder(width, 4).expect("valid adder");
         let cout = *net.outputs().last().expect("has outputs");
         for kind in [EngineKind::Bdd, EngineKind::Sat] {
-            g.bench_with_input(
-                BenchmarkId::new(format!("{kind:?}"), width),
-                &net,
-                |b, net| {
-                    b.iter(|| {
-                        let ft = FunctionalTiming::new(
-                            net,
-                            &UnitDelay,
-                            vec![Time::ZERO; net.inputs().len()],
-                            kind,
-                        );
-                        std::hint::black_box(ft.true_arrival(cout))
-                    })
-                },
-            );
+            microbench(&format!("chi_true_arrival/{kind:?}/{width}"), 10, || {
+                let ft = FunctionalTiming::new(
+                    &net,
+                    &UnitDelay,
+                    vec![Time::ZERO; net.inputs().len()],
+                    kind,
+                );
+                ft.true_arrival(cout)
+            });
         }
     }
-    g.finish();
 }
 
-fn bench_stability_query(c: &mut Criterion) {
+fn bench_stability_query() {
     // A single stability check at the topological delay: the oracle
     // query approx-2 issues repeatedly.
-    let mut g = c.benchmark_group("chi_stability_query");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(3));
-    g.warm_up_time(std::time::Duration::from_millis(500));
     let net = carry_skip_adder(12, 4).expect("valid adder");
     let req = vec![Time::new(20); net.outputs().len()];
     for kind in [EngineKind::Bdd, EngineKind::Sat] {
-        g.bench_with_input(
-            BenchmarkId::new("meets", format!("{kind:?}")),
-            &net,
-            |b, net| {
-                b.iter(|| {
-                    let ft = FunctionalTiming::new(
-                        net,
-                        &UnitDelay,
-                        vec![Time::ZERO; net.inputs().len()],
-                        kind,
-                    );
-                    std::hint::black_box(ft.meets(&req))
-                })
-            },
-        );
+        microbench(&format!("chi_stability_query/meets/{kind:?}"), 10, || {
+            let ft =
+                FunctionalTiming::new(&net, &UnitDelay, vec![Time::ZERO; net.inputs().len()], kind);
+            ft.meets(&req)
+        });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_true_arrival, bench_stability_query);
-criterion_main!(benches);
+fn main() {
+    bench_true_arrival();
+    bench_stability_query();
+}

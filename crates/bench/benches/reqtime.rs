@@ -1,8 +1,10 @@
 //! Benchmarks of the three required-time algorithms and the ablations
 //! DESIGN.md calls out: value-dependent vs value-independent parametric
-//! chains (footnote 6) and the ∞-candidate in the lattice climb.
+//! chains (footnote 6) and the ∞-candidate in the lattice climb. Plain
+//! std-timer benches; the workspace builds offline, so `criterion` is
+//! not available.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xrta_bench::microbench;
 use xrta_chi::EngineKind;
 use xrta_circuits::{carry_skip_adder, fig4, shared_select_bypass, two_mux_bypass};
 use xrta_core::{
@@ -11,115 +13,84 @@ use xrta_core::{
 };
 use xrta_timing::{Time, UnitDelay};
 
-fn bench_exact(c: &mut Criterion) {
-    let mut g = c.benchmark_group("reqtime_exact");
-    g.sample_size(10);
-    g.bench_function("fig4", |b| {
-        let net = fig4();
-        b.iter(|| {
-            let a = exact_required_times(
-                &net,
-                &UnitDelay,
-                &[Time::new(2)],
-                ExactOptions::default(),
-            )
+fn bench_exact() {
+    let net = fig4();
+    microbench("reqtime_exact/fig4", 10, || {
+        let a = exact_required_times(&net, &UnitDelay, &[Time::new(2)], ExactOptions::default())
             .expect("within limit");
-            std::hint::black_box(a.leaf_count())
-        })
+        a.leaf_count()
     });
     for stages in [1usize, 2] {
         let net = shared_select_bypass(stages, 2).expect("valid");
-        g.bench_with_input(
-            BenchmarkId::new("bypass", stages),
-            &net,
-            |b, net| {
-                let req = vec![Time::ZERO; net.outputs().len()];
-                b.iter(|| {
-                    let a =
-                        exact_required_times(net, &UnitDelay, &req, ExactOptions::default())
-                            .expect("within limit");
-                    std::hint::black_box(a.leaf_count())
-                })
-            },
-        );
+        let req = vec![Time::ZERO; net.outputs().len()];
+        microbench(&format!("reqtime_exact/bypass/{stages}"), 10, || {
+            let a = exact_required_times(&net, &UnitDelay, &req, ExactOptions::default())
+                .expect("within limit");
+            a.leaf_count()
+        });
     }
-    g.finish();
 }
 
-fn bench_approx1(c: &mut Criterion) {
-    let mut g = c.benchmark_group("reqtime_approx1");
-    g.sample_size(10);
+fn bench_approx1() {
     // A 4-bit carry-skip: large enough to exercise the machinery, small
     // enough that the parametric BDD stays within the default node cap.
     let net = carry_skip_adder(4, 2).expect("valid adder");
     let req = vec![Time::ZERO; net.outputs().len()];
     for (label, vi) in [("value_dependent", false), ("value_independent", true)] {
-        g.bench_with_input(BenchmarkId::new(label, 4), &net, |b, net| {
-            b.iter(|| {
-                let a = approx1_required_times(
-                    net,
-                    &UnitDelay,
-                    &req,
-                    Approx1Options {
-                        value_independent: vi,
-                        node_limit: 1 << 24,
-                        ..Approx1Options::default()
-                    },
-                )
-                .expect("within limit");
-                std::hint::black_box(a.primes.len())
-            })
+        microbench(&format!("reqtime_approx1/{label}/4"), 10, || {
+            let a = approx1_required_times(
+                &net,
+                &UnitDelay,
+                &req,
+                Approx1Options {
+                    value_independent: vi,
+                    node_limit: 1 << 24,
+                    ..Approx1Options::default()
+                },
+            )
+            .expect("within limit");
+            a.primes.len()
         });
     }
-    g.finish();
 }
 
-fn bench_approx2(c: &mut Criterion) {
-    let mut g = c.benchmark_group("reqtime_approx2");
-    g.sample_size(10);
+fn bench_approx2() {
     for (name, net) in [
         ("two_mux", two_mux_bypass()),
         ("carry_skip6", carry_skip_adder(6, 3).expect("valid")),
     ] {
         let req = vec![Time::ZERO; net.outputs().len()];
         for (label, allow_never) in [("with_inf", true), ("no_inf", false)] {
-            g.bench_with_input(
-                BenchmarkId::new(format!("{name}_{label}"), 1),
-                &net,
-                |b, net| {
-                    b.iter(|| {
-                        let r = approx2_required_times(
-                            net,
-                            &UnitDelay,
-                            &req,
-                            Approx2Options {
-                                engine: EngineKind::Sat,
-                                allow_never,
-                                max_solutions: 1,
-                                ..Approx2Options::default()
-                            },
-                        );
-                        std::hint::black_box(r.oracle_calls)
-                    })
-                },
-            );
+            microbench(&format!("reqtime_approx2/{name}_{label}"), 10, || {
+                let r = approx2_required_times(
+                    &net,
+                    &UnitDelay,
+                    &req,
+                    Approx2Options {
+                        engine: EngineKind::Sat,
+                        allow_never,
+                        max_solutions: 1,
+                        ..Approx2Options::default()
+                    },
+                );
+                r.oracle_calls
+            });
         }
     }
-    g.finish();
 }
 
-fn bench_clustering(c: &mut Criterion) {
+fn bench_clustering() {
     // The paper's proposed accuracy/CPU trade-off: cluster neighbouring
     // candidate times (conclusion of §7).
-    let mut g = c.benchmark_group("reqtime_approx2_clustering");
-    g.sample_size(10);
     let net = carry_skip_adder(8, 4).expect("valid adder");
     let req = vec![Time::ZERO; net.outputs().len()];
     for stride in [1usize, 2, 4] {
-        g.bench_with_input(BenchmarkId::new("stride", stride), &net, |b, net| {
-            b.iter(|| {
+        microbench(
+            &format!("reqtime_approx2_clustering/stride/{stride}"),
+            10,
+            || {
                 let r = approx2_required_times(
-                    net,
+                    &net,
                     &UnitDelay,
                     &req,
                     Approx2Options {
@@ -129,18 +100,15 @@ fn bench_clustering(c: &mut Criterion) {
                         ..Approx2Options::default()
                     },
                 );
-                std::hint::black_box(r.oracle_calls)
-            })
-        });
+                r.oracle_calls
+            },
+        );
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_exact,
-    bench_approx1,
-    bench_approx2,
-    bench_clustering
-);
-criterion_main!(benches);
+fn main() {
+    bench_exact();
+    bench_approx1();
+    bench_approx2();
+    bench_clustering();
+}

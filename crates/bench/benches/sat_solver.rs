@@ -1,8 +1,9 @@
 //! Micro-benchmarks for the CDCL solver: a structured UNSAT family
 //! (pigeonhole) and circuit-equivalence queries through the Tseitin
-//! bridge.
+//! bridge. Plain std-timer benches; the workspace builds offline, so
+//! `criterion` is not available.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xrta_bench::microbench;
 use xrta_circuits::{carry_skip_adder, ripple_carry_adder};
 use xrta_network::NetworkCnf;
 use xrta_sat::{Cnf, SolveResult, Solver, Var};
@@ -18,72 +19,56 @@ fn pigeonhole(n: usize) -> Solver {
     for row in &p {
         s.add_clause(row.iter().map(|v| v.positive()));
     }
-    for h in 0..n - 1 {
-        for i in 0..n {
-            for j in (i + 1)..n {
-                s.add_clause([p[i][h].negative(), p[j][h].negative()]);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            for (a, b) in p[i].iter().zip(&p[j]) {
+                s.add_clause([a.negative(), b.negative()]);
             }
         }
     }
     s
 }
 
-fn bench_pigeonhole(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sat_pigeonhole");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(3));
-    g.warm_up_time(std::time::Duration::from_millis(500));
+fn bench_pigeonhole() {
     for n in [6usize, 7] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let mut s = pigeonhole(n);
-                assert_eq!(s.solve(), SolveResult::Unsat);
-                std::hint::black_box(s.stats().conflicts)
-            })
+        microbench(&format!("sat_pigeonhole/{n}"), 10, || {
+            let mut s = pigeonhole(n);
+            assert_eq!(s.solve(), SolveResult::Unsat);
+            s.stats().conflicts
         });
     }
-    g.finish();
 }
 
-fn bench_equivalence(c: &mut Criterion) {
+fn bench_equivalence() {
     // Miter of ripple-carry vs carry-skip: UNSAT proves equivalence.
-    let mut g = c.benchmark_group("sat_equivalence");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(3));
-    g.warm_up_time(std::time::Duration::from_millis(500));
     for width in [6usize, 8] {
         let a = ripple_carry_adder(width).expect("valid");
         let b_net = carry_skip_adder(width, 3).expect("valid");
-        g.bench_with_input(
-            BenchmarkId::new("rca_vs_csk", width),
-            &width,
-            |bch, _| {
-                bch.iter(|| {
-                    let mut cnf = Cnf::new();
-                    let ea = NetworkCnf::encode(&mut cnf, &a);
-                    let eb = NetworkCnf::encode(&mut cnf, &b_net);
-                    // Tie the inputs together.
-                    for (&ia, &ib) in a.inputs().iter().zip(b_net.inputs()) {
-                        cnf.assert_equal(ea.of(ia), eb.of(ib));
-                    }
-                    // Some output differs?
-                    let diffs: Vec<_> = a
-                        .outputs()
-                        .iter()
-                        .zip(b_net.outputs())
-                        .map(|(&oa, &ob)| cnf.xor(ea.of(oa), eb.of(ob)))
-                        .collect();
-                    let any = cnf.or(diffs);
-                    cnf.assert_lit(any);
-                    let (r, _) = cnf.solve();
-                    assert_eq!(r, SolveResult::Unsat, "adders are equivalent");
-                    std::hint::black_box(r)
-                })
-            },
-        );
+        microbench(&format!("sat_equivalence/rca_vs_csk/{width}"), 10, || {
+            let mut cnf = Cnf::new();
+            let ea = NetworkCnf::encode(&mut cnf, &a);
+            let eb = NetworkCnf::encode(&mut cnf, &b_net);
+            // Tie the inputs together.
+            for (&ia, &ib) in a.inputs().iter().zip(b_net.inputs()) {
+                cnf.assert_equal(ea.of(ia), eb.of(ib));
+            }
+            // Some output differs?
+            let diffs: Vec<_> = a
+                .outputs()
+                .iter()
+                .zip(b_net.outputs())
+                .map(|(&oa, &ob)| cnf.xor(ea.of(oa), eb.of(ob)))
+                .collect();
+            let any = cnf.or(diffs);
+            cnf.assert_lit(any);
+            let (r, _) = cnf.solve();
+            assert_eq!(r, SolveResult::Unsat, "adders are equivalent");
+            r
+        });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_pigeonhole, bench_equivalence);
-criterion_main!(benches);
+fn main() {
+    bench_pigeonhole();
+    bench_equivalence();
+}

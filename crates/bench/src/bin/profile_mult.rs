@@ -26,12 +26,13 @@ fn main() {
     println!("topological depth: {depth}");
 
     let t0 = Instant::now();
-    let plan = plan_leaves(&net, &UnitDelay, &vec![Time::ZERO; net.outputs().len()], |_| true);
-    println!(
-        "plan: {} leaves in {:?}",
-        plan.leaf_count(),
-        t0.elapsed()
+    let plan = plan_leaves(
+        &net,
+        &UnitDelay,
+        &vec![Time::ZERO; net.outputs().len()],
+        |_| true,
     );
+    println!("plan: {} leaves in {:?}", plan.leaf_count(), t0.elapsed());
 
     let t0 = Instant::now();
     let mut eng = ChiSatEngine::new(&net, &UnitDelay, vec![Time::ZERO; net.inputs().len()]);

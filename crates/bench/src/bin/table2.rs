@@ -4,22 +4,113 @@
 //!
 //! Columns as in the paper: whether non-trivial required times were
 //! found, CPU time until the first `r ≠ r⊥`, and CPU time for the whole
-//! analysis (or `> budget`, standing in for the paper's `> 12 hours`).
+//! analysis (or `> budget`, standing in for the paper's `> 12 hours`) —
+//! plus the oracle-call and cache statistics of the cone-parallel
+//! oracle.
+//!
+//! Rows run concurrently (`--jobs`, default: available parallelism);
+//! `--compare` additionally runs each row under the exact-key cache at
+//! one thread (the original behaviour), the dominance cache at one
+//! thread, and the dominance cache at `--threads` — the two axes the
+//! oracle rework added. Every run is appended to a machine-readable
+//! JSON report (`--json`, default `BENCH_reqtime.json`).
 //!
 //! Usage:
 //!
 //! ```text
-//! table2 [--budget-secs S] [--rows C432,C6288,...]
+//! table2 [--budget-secs S] [--rows C432,C6288,...] [--jobs J]
+//!        [--threads T] [--compare] [--json PATH]
 //! ```
 
+use std::fmt::Write as _;
 use std::time::Duration;
 
-use xrta_bench::{print_table, run_approx2, RunOutcome};
+use xrta_bench::{print_table, run_approx2_with, RunOutcome};
 use xrta_circuits::iscas_rows;
+use xrta_core::CacheStrategy;
+
+/// One (circuit, configuration) run for the table and the JSON report.
+struct Record {
+    circuit: String,
+    config: &'static str,
+    cache: CacheStrategy,
+    threads: usize,
+    nontrivial: bool,
+    completed: bool,
+    first_s: Option<f64>,
+    wall_s: f64,
+    oracle_calls: usize,
+    cache_hits: usize,
+    cache_hit_rate: f64,
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn render_json(budget: Duration, records: &[Record]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"reqtime_table2\",");
+    let _ = writeln!(out, "  \"budget_secs\": {},", budget.as_secs_f64());
+    let _ = writeln!(
+        out,
+        "  \"host_parallelism\": {},",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+    let _ = writeln!(out, "  \"rows\": [");
+    for (k, r) in records.iter().enumerate() {
+        let first = r
+            .first_s
+            .map(|s| format!("{s:.4}"))
+            .unwrap_or_else(|| "null".to_string());
+        let _ = writeln!(
+            out,
+            "    {{\"circuit\": \"{}\", \"config\": \"{}\", \"cache\": \"{}\", \
+             \"threads\": {}, \"nontrivial\": {}, \"completed\": {}, \
+             \"first_nontrivial_secs\": {}, \"wall_secs\": {:.4}, \
+             \"oracle_calls\": {}, \"cache_hits\": {}, \"cache_hit_rate\": {:.4}}}{}",
+            json_escape(&r.circuit),
+            r.config,
+            match r.cache {
+                CacheStrategy::Exact => "exact",
+                CacheStrategy::Dominance => "dominance",
+            },
+            r.threads,
+            r.nontrivial,
+            r.completed,
+            first,
+            r.wall_s,
+            r.oracle_calls,
+            r.cache_hits,
+            r.cache_hit_rate,
+            if k + 1 == records.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
 
 fn main() {
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut budget = Duration::from_secs(120);
     let mut row_filter: Option<Vec<String>> = None;
+    let mut jobs = host;
+    let mut threads = host;
+    let mut compare = false;
+    let mut json_path = "BENCH_reqtime.json".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -39,51 +130,146 @@ fn main() {
                         .collect(),
                 );
             }
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--jobs needs a number");
+            }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a number");
+            }
+            "--compare" => compare = true,
+            "--json" => {
+                json_path = args.next().expect("--json needs a path");
+            }
             other => {
                 eprintln!("unknown argument {other:?}");
                 std::process::exit(2);
             }
         }
     }
+    let jobs = jobs.max(1);
+    let threads = threads.max(1);
 
     println!("Table 2: Required Time Computation — ISCAS (approx 2)");
     println!("(surrogate circuits; unit delay; req(PO) = 0; see DESIGN.md §3)");
-    println!("per-row budget = {budget:?}\n");
+    println!("per-row budget = {budget:?}, row jobs = {jobs}, oracle threads = {threads}\n");
 
-    let mut rows = Vec::new();
-    for row in iscas_rows() {
-        if let Some(f) = &row_filter {
-            if !f.iter().any(|n| n == row.name) {
-                continue;
+    // Configurations per row: the comparison axes of the oracle rework,
+    // or just the default (dominance cache, `--threads` workers).
+    let configs: Vec<(&'static str, usize, CacheStrategy)> = if compare {
+        vec![
+            ("exact@1", 1, CacheStrategy::Exact),
+            ("dominance@1", 1, CacheStrategy::Dominance),
+            ("dominance@N", threads, CacheStrategy::Dominance),
+        ]
+    } else {
+        vec![("dominance@N", threads, CacheStrategy::Dominance)]
+    };
+
+    let work: Vec<(String, &'static str, usize, CacheStrategy)> = iscas_rows()
+        .iter()
+        .filter(|row| {
+            row_filter
+                .as_ref()
+                .is_none_or(|f| f.iter().any(|n| n == row.name))
+        })
+        .flat_map(|row| {
+            configs
+                .iter()
+                .map(|&(label, t, cache)| (row.name.to_string(), label, t, cache))
+        })
+        .collect();
+
+    // Run the (circuit, config) items concurrently across `jobs`
+    // workers; results land by index so the table stays in row order.
+    let mut records: Vec<Option<Record>> = Vec::new();
+    records.resize_with(work.len(), || None);
+    let workers = jobs.min(work.len()).max(1);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let work = &work;
+                s.spawn(move || {
+                    let mut done = Vec::new();
+                    for (k, (name, label, t, cache)) in work.iter().enumerate() {
+                        if k % workers != w {
+                            continue;
+                        }
+                        eprintln!("running {name} [{label}] ...");
+                        let row = iscas_rows()
+                            .into_iter()
+                            .find(|r| r.name == name)
+                            .expect("known row");
+                        let net = row.build();
+                        let rep = run_approx2_with(&net, budget, *t, *cache);
+                        done.push((
+                            k,
+                            Record {
+                                circuit: name.clone(),
+                                config: label,
+                                cache: *cache,
+                                threads: rep.threads_used,
+                                nontrivial: rep.outcome.nontrivial(),
+                                completed: matches!(rep.outcome, RunOutcome::Done { .. }),
+                                first_s: rep.first_nontrivial.map(|d| d.as_secs_f64()),
+                                wall_s: rep.total.as_secs_f64(),
+                                oracle_calls: rep.oracle_calls,
+                                cache_hits: rep.cache_hits,
+                                cache_hit_rate: rep.cache_hit_rate,
+                            },
+                        ));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for h in handles {
+            for (k, rec) in h.join().expect("table2 worker panicked") {
+                records[k] = Some(rec);
             }
         }
-        eprintln!("running {} ...", row.name);
-        let net = row.build();
-        let rep = run_approx2(&net, budget);
-        let nontrivial = rep.outcome.nontrivial();
-        let first = rep
-            .first_nontrivial
-            .map(|d| format!("{:.2}", d.as_secs_f64()))
-            .unwrap_or_else(|| "-".to_string());
-        let total = match &rep.outcome {
-            RunOutcome::Done { elapsed, .. } => format!("{:.2}", elapsed.as_secs_f64()),
-            RunOutcome::OverBudget { .. } => "> budget".to_string(),
-            other => other.cell(),
-        };
-        rows.push(vec![
-            row.name.to_string(),
-            if nontrivial { "Yes" } else { "No" }.to_string(),
-            first,
-            total,
-        ]);
-    }
+    });
+    let records: Vec<Record> = records.into_iter().flatten().collect();
+
+    let rows: Vec<Vec<String>> = records
+        .iter()
+        .map(|r| {
+            vec![
+                r.circuit.clone(),
+                r.config.to_string(),
+                if r.nontrivial { "Yes" } else { "No" }.to_string(),
+                r.first_s
+                    .map(|s| format!("{s:.2}"))
+                    .unwrap_or_else(|| "-".to_string()),
+                if r.completed {
+                    format!("{:.2}", r.wall_s)
+                } else {
+                    "> budget".to_string()
+                },
+                r.oracle_calls.to_string(),
+                format!("{} ({:.0}%)", r.cache_hits, 100.0 * r.cache_hit_rate),
+            ]
+        })
+        .collect();
     print_table(
         &[
             "circuit",
+            "config",
             "Non-trivial required time?",
             "CPU time first r != r_bot (s)",
             "CPU time r_max (s)",
+            "oracle calls",
+            "cache hits",
         ],
         &rows,
     );
+
+    let json = render_json(budget, &records);
+    std::fs::write(&json_path, json).expect("write JSON report");
+    println!("\nwrote {json_path}");
 }

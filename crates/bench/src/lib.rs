@@ -13,7 +13,7 @@ use std::time::{Duration, Instant};
 
 use xrta_core::{
     approx1_required_times, approx2_required_times, exact_required_times, Approx1Options,
-    Approx2Options, ExactOptions,
+    Approx2Options, CacheStrategy, ExactOptions,
 };
 use xrta_network::Network;
 use xrta_timing::{Time, UnitDelay};
@@ -141,10 +141,29 @@ pub struct Approx2Report {
     pub total: Duration,
     /// Oracle calls performed.
     pub oracle_calls: usize,
+    /// Safety queries answered from the verdict caches.
+    pub cache_hits: usize,
+    /// Fraction of safety queries answered without a χ-engine run.
+    pub cache_hit_rate: f64,
+    /// Worker threads the search used.
+    pub threads_used: usize,
 }
 
-/// Runs the lattice-climbing algorithm (§4.3) under a wall-clock budget.
+/// Runs the lattice-climbing algorithm (§4.3) under a wall-clock budget
+/// with the default oracle configuration (dominance cache, automatic
+/// thread count).
 pub fn run_approx2(net: &Network, budget: Duration) -> Approx2Report {
+    run_approx2_with(net, budget, 0, CacheStrategy::Dominance)
+}
+
+/// Like [`run_approx2`] with an explicit thread count and verdict-cache
+/// strategy — the axes the Table-2 harness compares.
+pub fn run_approx2_with(
+    net: &Network,
+    budget: Duration,
+    threads: usize,
+    cache: CacheStrategy,
+) -> Approx2Report {
     let req = zero_required(net);
     let r = approx2_required_times(
         net,
@@ -159,6 +178,8 @@ pub fn run_approx2(net: &Network, budget: Duration) -> Approx2Report {
             // (~20M propagations ≈ a few seconds).
             oracle_conflict_budget: Some(100_000),
             oracle_propagation_budget: Some(20_000_000),
+            threads,
+            cache,
             ..Approx2Options::default()
         },
     );
@@ -179,7 +200,32 @@ pub fn run_approx2(net: &Network, budget: Duration) -> Approx2Report {
         first_nontrivial: r.first_nontrivial,
         total: r.total_time,
         oracle_calls: r.oracle_calls,
+        cache_hits: r.cache_hits,
+        cache_hit_rate: r.cache_hit_rate(),
+        threads_used: r.threads_used,
     }
+}
+
+/// Minimal std-timer micro-benchmark runner (the workspace builds
+/// offline, so `criterion` is not available). Runs one warm-up
+/// iteration, then `iters` timed iterations, and prints min / mean /
+/// max wall time on a single line.
+pub fn microbench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    assert!(iters > 0);
+    std::hint::black_box(f());
+    let mut times = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        times.push(start.elapsed());
+    }
+    let min = times.iter().min().copied().unwrap_or_default();
+    let max = times.iter().max().copied().unwrap_or_default();
+    let mean = times.iter().sum::<Duration>() / iters;
+    println!(
+        "{name:<40} min {:>10.3?}  mean {:>10.3?}  max {:>10.3?}  ({iters} iters)",
+        min, mean, max
+    );
 }
 
 /// Simple fixed-width table printer.

@@ -141,11 +141,7 @@ pub fn carry_select_adder(n: usize, block: usize) -> Result<Network, NetworkErro
         }
         // Select on the incoming carry.
         for (j, (s0, s1)) in sums0.iter().zip(&sums1).enumerate() {
-            let s = net.add_gate(
-                format!("s{}", i + j),
-                GateKind::Mux,
-                &[carry, *s0, *s1],
-            )?;
+            let s = net.add_gate(format!("s{}", i + j), GateKind::Mux, &[carry, *s0, *s1])?;
             net.mark_output(s);
         }
         carry = net.add_gate(format!("c{blk}"), GateKind::Mux, &[carry, c0, c1])?;

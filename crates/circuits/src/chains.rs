@@ -203,12 +203,7 @@ mod tests {
         let net = parity_tree(8).unwrap();
         let out = net.outputs()[0];
         let topo = topological_delays(&net, &UnitDelay)[0];
-        let ft = FunctionalTiming::new(
-            &net,
-            &UnitDelay,
-            vec![Time::ZERO; 8],
-            EngineKind::Sat,
-        );
+        let ft = FunctionalTiming::new(&net, &UnitDelay, vec![Time::ZERO; 8], EngineKind::Sat);
         assert_eq!(ft.true_arrival(out), topo);
         // Semantics: parity.
         for m in 0..256u32 {

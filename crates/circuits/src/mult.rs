@@ -34,10 +34,10 @@ pub fn array_multiplier(n: usize) -> Result<Network, NetworkError> {
 
     // Row-by-row carry-save reduction with a full adder per cell.
     let full_adder = |net: &mut Network,
-                          name: String,
-                          x: NodeId,
-                          y: NodeId,
-                          z: NodeId|
+                      name: String,
+                      x: NodeId,
+                      y: NodeId,
+                      z: NodeId|
      -> Result<(NodeId, NodeId), NetworkError> {
         let t = net.add_gate(format!("{name}_t"), GateKind::Xor, &[x, y])?;
         let s = net.add_gate(format!("{name}_s"), GateKind::Xor, &[t, z])?;
@@ -60,18 +60,14 @@ pub fn array_multiplier(n: usize) -> Result<Network, NetworkError> {
                     sums[k] = Some(cell);
                 }
                 (Some(s0), None) => {
-                    let half_s =
-                        net.add_gate(format!("hs{i}_{j}"), GateKind::Xor, &[s0, cell])?;
-                    let half_c =
-                        net.add_gate(format!("hc{i}_{j}"), GateKind::And, &[s0, cell])?;
+                    let half_s = net.add_gate(format!("hs{i}_{j}"), GateKind::Xor, &[s0, cell])?;
+                    let half_c = net.add_gate(format!("hc{i}_{j}"), GateKind::And, &[s0, cell])?;
                     sums[k] = Some(half_s);
                     carry = Some(half_c);
                 }
                 (None, Some(c0)) => {
-                    let half_s =
-                        net.add_gate(format!("hs{i}_{j}"), GateKind::Xor, &[c0, cell])?;
-                    let half_c =
-                        net.add_gate(format!("hc{i}_{j}"), GateKind::And, &[c0, cell])?;
+                    let half_s = net.add_gate(format!("hs{i}_{j}"), GateKind::Xor, &[c0, cell])?;
+                    let half_c = net.add_gate(format!("hc{i}_{j}"), GateKind::And, &[c0, cell])?;
                     sums[k] = Some(half_s);
                     carry = Some(half_c);
                 }

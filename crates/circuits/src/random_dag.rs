@@ -1,8 +1,7 @@
 //! Seeded random DAG circuits with tunable reconvergence.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use xrta_network::{GateKind, Network, NetworkError, NodeId};
+use xrta_rng::Rng;
 
 /// Parameters for [`random_circuit`].
 #[derive(Clone, Copy, Debug)]
@@ -58,33 +57,33 @@ pub fn random_circuit(spec: RandomCircuitSpec) -> Result<Network, NetworkError> 
     assert!(spec.inputs > 0 && spec.gates > 0, "degenerate spec");
     assert!(spec.gates >= spec.outputs, "more outputs than gates");
     assert!(spec.max_fanin >= 2, "max_fanin must be at least 2");
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = Rng::seed_from_u64(spec.seed);
     let mut net = Network::new(format!("rand_{:x}", spec.seed));
     let mut pool: Vec<NodeId> = (0..spec.inputs)
         .map(|i| net.add_input(format!("x{i}")))
         .collect::<Result<_, _>>()?;
 
     for g in 0..spec.gates {
-        let kind = GATE_POOL[rng.random_range(0..GATE_POOL.len())];
+        let kind = *rng.pick(&GATE_POOL);
         let arity = match kind {
             GateKind::Mux => 3,
             GateKind::Xor => 2,
-            _ => rng.random_range(2..=spec.max_fanin.max(2)),
+            _ => rng.range(2, spec.max_fanin.max(2) + 1),
         };
         let mut fanins = Vec::with_capacity(arity);
         for _ in 0..arity {
-            let pick = if rng.random_range(0..100) < spec.locality && pool.len() > spec.inputs {
+            let pick = if rng.percent(spec.locality) && pool.len() > spec.inputs {
                 // Recent node: biases towards depth.
                 let lo = pool.len().saturating_sub(8);
-                rng.random_range(lo..pool.len())
+                rng.range(lo, pool.len())
             } else {
-                rng.random_range(0..pool.len())
+                rng.range(0, pool.len())
             };
             fanins.push(pool[pick]);
         }
         // MUX with identical data inputs degenerates; nudge apart.
         if kind == GateKind::Mux && fanins[1] == fanins[2] {
-            fanins[2] = pool[rng.random_range(0..pool.len())];
+            fanins[2] = pool[rng.range(0, pool.len())];
         }
         let id = net.add_gate(format!("g{g}"), kind, &fanins)?;
         pool.push(id);
@@ -108,11 +107,7 @@ mod tests {
         assert_eq!(a.node_count(), b.node_count());
         let ins = vec![true; a.inputs().len()];
         assert_eq!(a.eval(&ins), b.eval(&ins));
-        let c = random_circuit(RandomCircuitSpec {
-            seed: 99,
-            ..spec
-        })
-        .unwrap();
+        let c = random_circuit(RandomCircuitSpec { seed: 99, ..spec }).unwrap();
         // Different seed almost surely differs somewhere.
         let differs = (0..64u64).any(|m| {
             let ins: Vec<bool> = (0..a.inputs().len())

@@ -159,7 +159,7 @@ pub fn block_circuit(name: &str, n_pi: usize, n_po: usize, style: BlockStyle) ->
         .collect();
 
     // Window geometry: cover all inputs across the blocks.
-    let window = ((n_pi + n_po - 1) / n_po).clamp(3, 6);
+    let window = n_pi.div_ceil(n_po).clamp(3, 6);
     let step = if n_po == 1 {
         0
     } else {
@@ -190,11 +190,7 @@ pub fn block_circuit(name: &str, n_pi: usize, n_po: usize, style: BlockStyle) ->
     // Blocks might miss some inputs when n_po·window < n_pi; fold the
     // stragglers into the first output with a final gate layer.
     let used = net.transitive_fanin(&outputs);
-    let missing: Vec<NodeId> = pis
-        .iter()
-        .copied()
-        .filter(|p| !used.contains(p))
-        .collect();
+    let missing: Vec<NodeId> = pis.iter().copied().filter(|p| !used.contains(p)).collect();
     if !missing.is_empty() {
         // Combine stragglers into a tree and mix into output 0. OR
         // folding adds at most exact-level flexibility (no uniform or
@@ -346,7 +342,7 @@ mod tests {
     fn every_input_reaches_some_output() {
         for r in mcnc_rows().iter().chain(&iscas_rows()) {
             let net = r.build();
-            let cone = net.transitive_fanin(&net.outputs().to_vec());
+            let cone = net.transitive_fanin(net.outputs());
             for &pi in net.inputs() {
                 assert!(
                     cone.contains(&pi),

@@ -215,13 +215,9 @@ mod tests {
         let t = net.add_gate("t", GateKind::Xor, &[a, b]).unwrap();
         let z = net.add_gate("z", GateKind::Xor, &[t, c]).unwrap();
         net.mark_output(z);
-        let an = approx1_required_times(
-            &net,
-            &UnitDelay,
-            &[Time::new(2)],
-            Approx1Options::default(),
-        )
-        .unwrap();
+        let an =
+            approx1_required_times(&net, &UnitDelay, &[Time::new(2)], Approx1Options::default())
+                .unwrap();
         assert_eq!(an.primes.len(), 1);
         assert!(!an.has_nontrivial_requirement());
     }
@@ -233,13 +229,9 @@ mod tests {
         // independent functional-timing oracle).
         use xrta_chi::{EngineKind, FunctionalTiming};
         let net = fig4();
-        let a = approx1_required_times(
-            &net,
-            &UnitDelay,
-            &[Time::new(2)],
-            Approx1Options::default(),
-        )
-        .unwrap();
+        let a =
+            approx1_required_times(&net, &UnitDelay, &[Time::new(2)], Approx1Options::default())
+                .unwrap();
         for cond in &a.conditions {
             // Use the stricter of the two value deadlines as a plain
             // arrival time (a conservative reading of the condition).

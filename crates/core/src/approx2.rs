@@ -7,14 +7,39 @@
 //! times `r` still meets every output's required time. Safety is
 //! downward closed, so greedy coordinate raises find a maximal safe
 //! point; backtracking enumerates all of them.
+//!
+//! ## Oracle architecture
+//!
+//! The safety oracle is decomposed per output cone: each primary output
+//! gets its own standalone cone network ([`Network::extract_cone`]) with
+//! its own delay table, so each stability check builds a private χ
+//! engine over just that cone. This buys three things:
+//!
+//! - **Parallel validation** — cone checks are independent pure
+//!   functions of `(cone, projected arrivals)`, so they fan out across
+//!   [`std::thread::scope`] threads ([`Approx2Options::threads`]).
+//!   Verdicts do not depend on evaluation order, so the search result is
+//!   identical for every thread count (when no per-query conflict or
+//!   propagation budget can truncate a verdict).
+//! - **Incremental re-checks** — raising coordinate `i` only re-runs
+//!   cones whose transitive input support contains `i` (precomputed
+//!   [`Network::output_support_masks`]); every other cone inherits its
+//!   verdict from the current safe point.
+//! - **Dominance pruning** — safety is monotone decreasing in the
+//!   pointwise order, so verdict caches can answer by dominance instead
+//!   of exact key ([`CacheStrategy::Dominance`], the default), and the
+//!   per-coordinate climb can gallop: probe the next rung, then the top
+//!   rung, then binary-search the frontier in between instead of
+//!   walking every rung.
 
 use std::time::{Duration, Instant};
 
 use xrta_bdd::FxHashMap;
 use xrta_chi::{EngineKind, FunctionalTiming};
-use xrta_network::Network;
-use xrta_timing::{required_times, DelayModel, Time};
+use xrta_network::{Network, NodeId};
+use xrta_timing::{required_times, DelayModel, TableDelay, Time};
 
+use crate::dominance::{CacheStrategy, DominanceCache};
 use crate::plan::plan_leaves;
 
 /// Options for the lattice-climbing analysis.
@@ -46,6 +71,13 @@ pub struct Approx2Options {
     /// every `k`-th candidate per input (always keeping the bottom and,
     /// when enabled, the ∞ top). 1 = no clustering.
     pub cluster_stride: usize,
+    /// Worker threads for cone validation (and, with
+    /// [`CacheStrategy::Dominance`], speculative ladder probes).
+    /// `0` = use [`std::thread::available_parallelism`]; `1` = fully
+    /// sequential. Any value produces the same maximal points.
+    pub threads: usize,
+    /// Verdict-cache strategy; see [`CacheStrategy`].
+    pub cache: CacheStrategy,
 }
 
 impl Default for Approx2Options {
@@ -59,6 +91,22 @@ impl Default for Approx2Options {
             oracle_conflict_budget: None,
             oracle_propagation_budget: None,
             cluster_stride: 1,
+            threads: 0,
+            cache: CacheStrategy::Dominance,
+        }
+    }
+}
+
+impl Approx2Options {
+    /// Resolves [`Approx2Options::threads`] (`0` → available
+    /// parallelism).
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
         }
     }
 }
@@ -71,13 +119,21 @@ pub struct Approx2Result {
     pub r_bottom: Vec<Time>,
     /// Maximal safe points found (each dominates `r_bottom`).
     pub maximal: Vec<Vec<Time>>,
+    /// The candidate rungs per input the climb searched over (aligned
+    /// with `net.inputs()`; each starts at the bottom, increasing).
+    pub candidates: Vec<Vec<Time>>,
     /// Wall time until the first validated `r ≠ r⊥`, if any (the
     /// "CPU time first r ≠ r⊥" column of the paper's Table 2).
     pub first_nontrivial: Option<Duration>,
     /// Total wall time of the search ("CPU time r_max").
     pub total_time: Duration,
-    /// Oracle invocations (cache misses only).
+    /// Oracle invocations (χ-engine runs; cache hits excluded).
     pub oracle_calls: usize,
+    /// Safety queries answered from the verdict caches (whole-vector
+    /// and per-cone combined) without running a χ engine.
+    pub cache_hits: usize,
+    /// Worker threads the search actually used.
+    pub threads_used: usize,
     /// False when a budget cap stopped the enumeration early; the
     /// `maximal` found so far are still valid safe points.
     pub completed: bool,
@@ -87,6 +143,16 @@ impl Approx2Result {
     /// Did the analysis find any required time looser than topological?
     pub fn has_nontrivial_requirement(&self) -> bool {
         self.maximal.iter().any(|r| r != &self.r_bottom)
+    }
+
+    /// Fraction of safety queries answered without a χ-engine run.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.oracle_calls;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
     }
 
     /// The maximal points as [`RequiredTimeTuple`]s (uniform deadlines,
@@ -100,94 +166,361 @@ impl Approx2Result {
     }
 }
 
-struct Search<'n, D: DelayModel> {
-    net: &'n Network,
-    model: &'n D,
-    output_required: &'n [Time],
+/// One output's standalone validation cone: a private network, delay
+/// table and support mask, so the cone's χ engine can run on any thread
+/// without touching shared state.
+struct Cone {
+    /// The cone as its own network (inputs = the original PIs feeding
+    /// it).
+    net: Network,
+    /// The root output inside `net`.
+    out: NodeId,
+    /// Delays copied from the caller's model (cone node ids).
+    delays: TableDelay,
+    /// Original input positions, in `net.inputs()` order.
+    input_pos: Vec<usize>,
+    /// Support bitmask over original input positions.
+    mask: Vec<u64>,
+    /// Required time at this output.
+    required: Time,
+}
+
+impl Cone {
+    fn supports(&self, input_pos: usize) -> bool {
+        (self.mask[input_pos / 64] >> (input_pos % 64)) & 1 == 1
+    }
+}
+
+/// One pending oracle query: validate cone `cone` under the projected
+/// arrivals `proj`.
+struct ConeQuery {
+    cone: usize,
+    proj: Vec<Time>,
+}
+
+struct Search<'n> {
     candidates: Vec<Vec<Time>>,
     options: Approx2Options,
-    /// Whole-vector verdict cache.
-    oracle_cache: FxHashMap<Vec<Time>, bool>,
-    /// Per-output verdict cache keyed by the arrival projection onto the
-    /// output's input cone — a raise of one input only re-verifies the
-    /// outputs in its transitive fanout.
-    out_cache: FxHashMap<(usize, Vec<Time>), bool>,
-    /// Input positions in each output's cone.
-    cones: Vec<Vec<usize>>,
+    cones: &'n [Cone],
+    r_bottom: Vec<Time>,
+    /// Exact-key caches ([`CacheStrategy::Exact`]).
+    exact_full: FxHashMap<Vec<Time>, bool>,
+    exact_out: FxHashMap<(usize, Vec<Time>), bool>,
+    /// Dominance caches ([`CacheStrategy::Dominance`]): whole-vector
+    /// plus one per cone over its projections.
+    dom_full: DominanceCache,
+    dom_out: Vec<DominanceCache>,
     oracle_calls: usize,
+    cache_hits: usize,
     started: Instant,
     first_nontrivial: Option<Duration>,
     out_of_budget: bool,
 }
 
-impl<'n, D: DelayModel> Search<'n, D> {
-    fn budget_exhausted(&self) -> bool {
-        self.oracle_calls >= self.options.max_oracle_calls
-            || self
-                .options
-                .time_budget
-                .is_some_and(|b| self.started.elapsed() >= b)
+impl<'n> Search<'n> {
+    fn time_exhausted(&self) -> bool {
+        self.options
+            .time_budget
+            .is_some_and(|b| self.started.elapsed() >= b)
     }
 
-    fn is_safe(&mut self, r: &[Time]) -> Option<bool> {
-        if let Some(&v) = self.oracle_cache.get(r) {
-            return Some(v);
+    fn project(&self, cone: usize, r: &[Time]) -> Vec<Time> {
+        self.cones[cone].input_pos.iter().map(|&p| r[p]).collect()
+    }
+
+    fn query_full(&mut self, r: &[Time]) -> Option<bool> {
+        match self.options.cache {
+            CacheStrategy::Exact => self.exact_full.get(r).copied(),
+            CacheStrategy::Dominance => self.dom_full.query(r),
         }
-        let mut safe = true;
-        for (oi, &o) in self.net.outputs().iter().enumerate() {
-            let t = self.output_required[oi];
-            if t.is_inf() {
+    }
+
+    fn record_full(&mut self, r: &[Time], safe: bool) {
+        match self.options.cache {
+            CacheStrategy::Exact => {
+                self.exact_full.insert(r.to_vec(), safe);
+            }
+            CacheStrategy::Dominance => self.dom_full.insert(r, safe),
+        }
+        if safe && self.first_nontrivial.is_none() && r != self.r_bottom.as_slice() {
+            self.first_nontrivial = Some(self.started.elapsed());
+        }
+    }
+
+    fn query_out(&mut self, cone: usize, proj: &[Time]) -> Option<bool> {
+        match self.options.cache {
+            CacheStrategy::Exact => self.exact_out.get(&(cone, proj.to_vec())).copied(),
+            CacheStrategy::Dominance => self.dom_out[cone].query(proj),
+        }
+    }
+
+    fn record_out(&mut self, cone: usize, proj: &[Time], safe: bool) {
+        match self.options.cache {
+            CacheStrategy::Exact => {
+                self.exact_out.insert((cone, proj.to_vec()), safe);
+            }
+            CacheStrategy::Dominance => self.dom_out[cone].insert(proj, safe),
+        }
+    }
+
+    /// Runs one χ engine on one cone. Pure: the verdict depends only on
+    /// the query (plus the per-query budgets), never on search state.
+    fn eval_one(cones: &[Cone], options: &Approx2Options, q: &ConeQuery) -> bool {
+        let cone = &cones[q.cone];
+        let ft = FunctionalTiming::new(&cone.net, &cone.delays, q.proj.clone(), options.engine)
+            .with_conflict_budget(options.oracle_conflict_budget)
+            .with_propagation_budget(options.oracle_propagation_budget);
+        ft.stable_by(cone.out, cone.required)
+    }
+
+    /// Evaluates a batch of cone queries, fanning across worker threads
+    /// when more than one query is pending. Returns `None` (after
+    /// evaluating and caching what the budget still allowed) when an
+    /// oracle-call or wall-clock budget cuts the batch short.
+    fn evaluate_queries(&mut self, queries: &[ConeQuery]) -> Option<Vec<bool>> {
+        if queries.is_empty() {
+            return Some(Vec::new());
+        }
+        if self.time_exhausted() {
+            self.out_of_budget = true;
+            return None;
+        }
+        let remaining = self
+            .options
+            .max_oracle_calls
+            .saturating_sub(self.oracle_calls);
+        let truncated = queries.len() > remaining;
+        let run = if truncated {
+            &queries[..remaining]
+        } else {
+            queries
+        };
+        self.oracle_calls += run.len();
+        let threads = self.options.effective_threads().min(run.len());
+        let verdicts: Vec<bool> = if threads <= 1 {
+            run.iter()
+                .map(|q| Self::eval_one(self.cones, &self.options, q))
+                .collect()
+        } else {
+            let cones = self.cones;
+            let options = &self.options;
+            std::thread::scope(|s| {
+                // Round-robin assignment keeps chunks balanced without
+                // reordering; verdicts land by index.
+                let handles: Vec<_> = (0..threads)
+                    .map(|w| {
+                        let work: Vec<(usize, &ConeQuery)> = run
+                            .iter()
+                            .enumerate()
+                            .filter(|(k, _)| k % threads == w)
+                            .collect();
+                        s.spawn(move || {
+                            work.into_iter()
+                                .map(|(k, q)| (k, Self::eval_one(cones, options, q)))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                let mut out = vec![false; run.len()];
+                for h in handles {
+                    for (k, v) in h.join().expect("oracle worker panicked") {
+                        out[k] = v;
+                    }
+                }
+                out
+            })
+        };
+        for (q, &v) in run.iter().zip(&verdicts) {
+            self.record_out(q.cone, &q.proj, v);
+        }
+        if truncated {
+            self.out_of_budget = true;
+            return None;
+        }
+        Some(verdicts)
+    }
+
+    /// Safety verdicts for raising coordinate `i` of the **safe** point
+    /// `base` to each value in `rungs`. Only cones whose support
+    /// contains `i` are re-validated; every other cone inherits its
+    /// verdict from `base` (the incremental re-check). Returns `None`
+    /// when a budget stops evaluation.
+    fn probe_rungs(&mut self, base: &[Time], i: usize, rungs: &[Time]) -> Option<Vec<bool>> {
+        let relevant: Vec<usize> = (0..self.cones.len())
+            .filter(|&c| self.cones[c].supports(i))
+            .collect();
+        // Per rung: Some(verdict) once known, else the cones still
+        // needing an oracle run.
+        let mut verdicts: Vec<Option<bool>> = Vec::with_capacity(rungs.len());
+        let mut pending: Vec<(usize, ConeQuery)> = Vec::new();
+        for (k, &rung) in rungs.iter().enumerate() {
+            let mut v = base.to_vec();
+            v[i] = rung;
+            if let Some(known) = self.query_full(&v) {
+                self.cache_hits += 1;
+                verdicts.push(Some(known));
                 continue;
             }
-            let proj: Vec<Time> = self.cones[oi].iter().map(|&p| r[p]).collect();
-            let ok = match self.out_cache.get(&(oi, proj.clone())) {
-                Some(&v) => v,
-                None => {
-                    if self.budget_exhausted() {
-                        self.out_of_budget = true;
-                        return None;
+            let mut unresolved = Vec::new();
+            let mut known_unsafe = false;
+            for &c in &relevant {
+                let proj = self.project(c, &v);
+                match self.query_out(c, &proj) {
+                    Some(true) => self.cache_hits += 1,
+                    Some(false) => {
+                        self.cache_hits += 1;
+                        known_unsafe = true;
+                        break;
                     }
-                    self.oracle_calls += 1;
-                    let ft = FunctionalTiming::new(
-                        self.net,
-                        self.model,
-                        r.to_vec(),
-                        self.options.engine,
-                    )
-                    .with_conflict_budget(self.options.oracle_conflict_budget)
-                    .with_propagation_budget(self.options.oracle_propagation_budget);
-                    let v = ft.stable_by(o, t);
-                    self.out_cache.insert((oi, proj), v);
-                    v
+                    None => unresolved.push((c, proj)),
                 }
+            }
+            if known_unsafe {
+                verdicts.push(Some(false));
+                self.record_full(&v, false);
+            } else if unresolved.is_empty() {
+                verdicts.push(Some(true));
+                self.record_full(&v, true);
+            } else {
+                verdicts.push(None);
+                pending.extend(
+                    unresolved
+                        .into_iter()
+                        .map(|(cone, proj)| (k, ConeQuery { cone, proj })),
+                );
+            }
+        }
+        if !pending.is_empty() {
+            let parallel = self.options.effective_threads() > 1 && pending.len() > 1;
+            let mut failed: Vec<bool> = vec![false; rungs.len()];
+            if parallel {
+                // Speculative: evaluate everything at once.
+                let queries: Vec<ConeQuery> = pending
+                    .iter()
+                    .map(|(_, q)| ConeQuery {
+                        cone: q.cone,
+                        proj: q.proj.clone(),
+                    })
+                    .collect();
+                let res = self.evaluate_queries(&queries)?;
+                for ((k, _), v) in pending.iter().zip(res) {
+                    if !v {
+                        failed[*k] = true;
+                    }
+                }
+            } else {
+                // Sequential: evaluate in rung order, skipping the rest
+                // of a rung's cones after its first unsafe verdict.
+                for (k, q) in &pending {
+                    if failed[*k] {
+                        continue;
+                    }
+                    let res = self.evaluate_queries(std::slice::from_ref(q))?;
+                    if !res[0] {
+                        failed[*k] = true;
+                    }
+                }
+            }
+            for (k, verdict) in verdicts.iter_mut().enumerate() {
+                if verdict.is_none() {
+                    let safe = !failed[k];
+                    let mut v = base.to_vec();
+                    v[i] = rungs[k];
+                    self.record_full(&v, safe);
+                    *verdict = Some(safe);
+                }
+            }
+        }
+        Some(verdicts.into_iter().map(|v| v.expect("resolved")).collect())
+    }
+
+    /// Raises coordinate `i` of the safe point `r` as far as it goes.
+    /// Returns whether it moved.
+    fn ascend(&mut self, r: &mut [Time], i: usize) -> bool {
+        let cands = self.candidates[i].clone();
+        let pos = cands.iter().position(|&c| c == r[i]).expect("on lattice");
+        if pos + 1 >= cands.len() {
+            return false;
+        }
+        match self.options.cache {
+            CacheStrategy::Exact => self.ascend_linear(r, i, &cands, pos),
+            CacheStrategy::Dominance => self.ascend_ladder(r, i, &cands, pos),
+        }
+    }
+
+    /// Rung-by-rung ascent (the original exact-key behaviour).
+    fn ascend_linear(&mut self, r: &mut [Time], i: usize, cands: &[Time], pos: usize) -> bool {
+        let mut cur = pos;
+        while cur + 1 < cands.len() {
+            match self.probe_rungs(r, i, &cands[cur + 1..cur + 2]) {
+                Some(v) if v[0] => {
+                    cur += 1;
+                    r[i] = cands[cur];
+                }
+                _ => break,
+            }
+        }
+        cur > pos
+    }
+
+    /// Galloping ascent exploiting monotonicity: next rung, then top
+    /// rung, then a binary search of the frontier in between. With
+    /// multiple worker threads each bisection round probes several
+    /// evenly spaced rungs speculatively; verdicts are pure, so the
+    /// frontier found is the same as sequential bisection.
+    fn ascend_ladder(&mut self, r: &mut [Time], i: usize, cands: &[Time], pos: usize) -> bool {
+        // Step 1: the immediate next rung (cheap "cannot move" exit —
+        // the common case on tight coordinates).
+        match self.probe_rungs(r, i, &cands[pos + 1..pos + 2]) {
+            Some(v) if v[0] => r[i] = cands[pos + 1],
+            _ => return false,
+        }
+        let mut lo = pos + 1; // highest rung verified safe
+        let top = cands.len() - 1;
+        if lo == top {
+            return true;
+        }
+        // Step 2: the top rung (∞ when allow_never) — one probe jumps
+        // the whole ladder when the coordinate is unconstrained.
+        match self.probe_rungs(r, i, &cands[top..top + 1]) {
+            Some(v) if v[0] => {
+                r[i] = cands[top];
+                return true;
+            }
+            Some(_) => {}
+            None => {
+                r[i] = cands[lo];
+                return true;
+            }
+        }
+        let mut hi = top; // lowest rung verified unsafe
+                          // Step 3: bisect (lo, hi); with t threads probe up to t rungs
+                          // per round.
+        while hi - lo > 1 {
+            let k = self.options.effective_threads().min(hi - lo - 1).max(1);
+            let mut picks: Vec<usize> = (1..=k)
+                .map(|j| (lo + j * (hi - lo) / (k + 1)).clamp(lo + 1, hi - 1))
+                .collect();
+            picks.dedup();
+            let rungs: Vec<Time> = picks.iter().map(|&ix| cands[ix]).collect();
+            let Some(verdicts) = self.probe_rungs(r, i, &rungs) else {
+                break;
             };
-            if !ok {
-                safe = false;
+            for (&ix, &safe) in picks.iter().zip(&verdicts) {
+                if safe {
+                    lo = lo.max(ix);
+                } else {
+                    hi = hi.min(ix);
+                }
+            }
+            if lo >= hi {
+                // Only possible when per-query budgets made verdicts
+                // non-monotone; `lo` itself was verified safe, stop here.
                 break;
             }
         }
-        self.oracle_cache.insert(r.to_vec(), safe);
-        if safe && self.first_nontrivial.is_none() {
-            // r⊥ itself doesn't count as non-trivial.
-            let bottom: Vec<Time> = self.candidates.iter().map(|c| c[0]).collect();
-            if r != bottom.as_slice() {
-                self.first_nontrivial = Some(self.started.elapsed());
-            }
-        }
-        Some(safe)
-    }
-
-    /// Raise coordinate `i` of `r` to its next candidate, if any.
-    fn raised(&self, r: &[Time], i: usize) -> Option<Vec<Time>> {
-        let cands = &self.candidates[i];
-        let pos = cands.iter().position(|&c| c == r[i]).expect("on lattice");
-        if pos + 1 < cands.len() {
-            let mut next = r.to_vec();
-            next[i] = cands[pos + 1];
-            Some(next)
-        } else {
-            None
-        }
+        r[i] = cands[lo];
+        true
     }
 
     /// Greedy ascent from `r` to one maximal safe point.
@@ -224,14 +557,8 @@ impl<'n, D: DelayModel> Search<'n, D> {
             let mut progressed = false;
             for k in 0..n {
                 let i = (start + k) % n;
-                while let Some(next) = self.raised(&r, i) {
-                    match self.is_safe(&next) {
-                        Some(true) => {
-                            r = next;
-                            progressed = true;
-                        }
-                        Some(false) | None => break,
-                    }
+                if self.ascend(&mut r, i) {
+                    progressed = true;
                 }
                 if self.out_of_budget {
                     return r;
@@ -249,7 +576,9 @@ impl<'n, D: DelayModel> Search<'n, D> {
 /// The candidate set per input is the merged leaf-time list of the
 /// planning pass (the times at which χ leaves are referenced), whose
 /// minimum is the topological required time; `∞` is appended when
-/// [`Approx2Options::allow_never`] is set.
+/// [`Approx2Options::allow_never`] is set. See the module docs for the
+/// oracle architecture (per-cone engines, worker threads, dominance
+/// cache).
 ///
 /// # Panics
 ///
@@ -264,11 +593,7 @@ pub fn approx2_required_times<D: DelayModel>(
     let started = Instant::now();
     let plan = plan_leaves(net, model, output_required, |_| true);
     let topo_net = required_times(net, model, output_required);
-    let r_bottom: Vec<Time> = net
-        .inputs()
-        .iter()
-        .map(|i| topo_net[i.index()])
-        .collect();
+    let r_bottom: Vec<Time> = net.inputs().iter().map(|i| topo_net[i.index()]).collect();
     let candidates: Vec<Vec<Time>> = plan
         .per_input
         .iter()
@@ -309,27 +634,52 @@ pub fn approx2_required_times<D: DelayModel>(
         .enumerate()
         .map(|(pos, id)| (id.index(), pos))
         .collect();
-    let cones: Vec<Vec<usize>> = net
+    let masks = net.output_support_masks();
+    // One standalone validation cone per finite-required output
+    // (∞-required outputs constrain nothing).
+    let cones: Vec<Cone> = net
         .outputs()
         .iter()
-        .map(|&o| {
-            net.transitive_fanin(&[o])
-                .into_iter()
-                .filter_map(|n| input_pos_of.get(&n.index()).copied())
-                .collect()
+        .enumerate()
+        .filter(|&(oi, _)| !output_required[oi].is_inf())
+        .map(|(oi, &o)| {
+            let (cnet, map) = net.extract_cone(&[o]);
+            let rev: FxHashMap<usize, usize> = map
+                .iter()
+                .map(|(old, new)| (new.index(), old.index()))
+                .collect();
+            let input_pos: Vec<usize> = cnet
+                .inputs()
+                .iter()
+                .map(|nid| input_pos_of[&rev[&nid.index()]])
+                .collect();
+            let mut delays = TableDelay::with_default(&cnet, 0);
+            for (old, new) in &map {
+                delays.set(*new, model.delay(net, *old));
+            }
+            Cone {
+                out: map[&o],
+                net: cnet,
+                delays,
+                input_pos,
+                mask: masks[oi].clone(),
+                required: output_required[oi],
+            }
         })
         .collect();
 
+    let n_cones = cones.len();
     let mut search = Search {
-        net,
-        model,
-        output_required,
         candidates,
         options,
-        oracle_cache: FxHashMap::default(),
-        out_cache: FxHashMap::default(),
-        cones,
+        cones: &cones,
+        r_bottom: r_bottom.clone(),
+        exact_full: FxHashMap::default(),
+        exact_out: FxHashMap::default(),
+        dom_full: DominanceCache::new(),
+        dom_out: (0..n_cones).map(|_| DominanceCache::new()).collect(),
         oracle_calls: 0,
+        cache_hits: 0,
         started,
         first_nontrivial: None,
         out_of_budget: false,
@@ -338,10 +688,10 @@ pub fn approx2_required_times<D: DelayModel>(
     // The bottom is safe by construction (topological analysis is
     // conservative); seed the caches so a conflict budget cannot make
     // the search reject its own starting point.
-    search.oracle_cache.insert(r_bottom.clone(), true);
-    for (oi, cone) in search.cones.iter().enumerate() {
-        let proj: Vec<Time> = cone.iter().map(|&p| r_bottom[p]).collect();
-        search.out_cache.insert((oi, proj), true);
+    search.record_full(&r_bottom, true);
+    for c in 0..n_cones {
+        let proj = search.project(c, &r_bottom);
+        search.record_out(c, &proj, true);
     }
 
     let maximal = if options.max_solutions <= 1 {
@@ -357,9 +707,12 @@ pub fn approx2_required_times<D: DelayModel>(
     Approx2Result {
         r_bottom,
         maximal,
+        candidates: search.candidates,
         first_nontrivial: search.first_nontrivial,
         total_time: started.elapsed(),
         oracle_calls: search.oracle_calls,
+        cache_hits: search.cache_hits,
+        threads_used: options.effective_threads(),
         completed: !search.out_of_budget,
     }
 }
@@ -403,12 +756,8 @@ mod tests {
         // stays at r⊥ — matching the paper's observation that approx 1
         // can beat approx 2 on such circuits.
         let net = fig4();
-        let r = approx2_required_times(
-            &net,
-            &UnitDelay,
-            &[Time::new(2)],
-            Approx2Options::default(),
-        );
+        let r =
+            approx2_required_times(&net, &UnitDelay, &[Time::new(2)], Approx2Options::default());
         assert_eq!(r.r_bottom, vec![Time::new(0), Time::new(0)]);
         assert!(!r.has_nontrivial_requirement());
         assert!(r.completed);
@@ -418,12 +767,7 @@ mod tests {
     fn false_path_circuit_gives_loose_times() {
         let net = mux_false_path();
         let topo_req = Time::new(4);
-        let r = approx2_required_times(
-            &net,
-            &UnitDelay,
-            &[topo_req],
-            Approx2Options::default(),
-        );
+        let r = approx2_required_times(&net, &UnitDelay, &[topo_req], Approx2Options::default());
         // Topological: x must arrive by 4 − 4 = 0. The false path lets
         // it arrive later in every maximal condition.
         let x_pos = 1;
@@ -448,6 +792,17 @@ mod tests {
         for m in &r.maximal {
             let ft = FunctionalTiming::new(&net, &UnitDelay, m.clone(), EngineKind::Bdd);
             assert!(ft.meets(&req), "maximal point {m:?} must be safe");
+            // Unraisable: the next candidate rung of every coordinate is
+            // unsafe.
+            for (i, cands) in r.candidates.iter().enumerate() {
+                let pos = cands.iter().position(|&c| c == m[i]).expect("on lattice");
+                if pos + 1 < cands.len() {
+                    let mut up = m.clone();
+                    up[i] = cands[pos + 1];
+                    let ft = FunctionalTiming::new(&net, &UnitDelay, up, EngineKind::Bdd);
+                    assert!(!ft.meets(&req), "raise of coord {i} from {m:?} still safe");
+                }
+            }
         }
     }
 
@@ -481,6 +836,65 @@ mod tests {
     }
 
     #[test]
+    fn cache_strategies_find_identical_maximal_sets() {
+        for threads in [1usize, 3] {
+            let net = mux_false_path();
+            let req = [Time::new(4)];
+            let exact = approx2_required_times(
+                &net,
+                &UnitDelay,
+                &req,
+                Approx2Options {
+                    cache: CacheStrategy::Exact,
+                    threads,
+                    ..Approx2Options::default()
+                },
+            );
+            let dom = approx2_required_times(
+                &net,
+                &UnitDelay,
+                &req,
+                Approx2Options {
+                    cache: CacheStrategy::Dominance,
+                    threads,
+                    ..Approx2Options::default()
+                },
+            );
+            assert_eq!(exact.maximal, dom.maximal, "threads = {threads}");
+            // The dominance cache must not need more oracle runs than the
+            // exact-key baseline.
+            assert!(
+                dom.oracle_calls <= exact.oracle_calls,
+                "dominance {} vs exact {} oracle calls",
+                dom.oracle_calls,
+                exact.oracle_calls
+            );
+        }
+    }
+
+    #[test]
+    fn thread_counts_agree() {
+        let net = mux_false_path();
+        let req = [Time::new(4)];
+        let run = |threads| {
+            approx2_required_times(
+                &net,
+                &UnitDelay,
+                &req,
+                Approx2Options {
+                    threads,
+                    ..Approx2Options::default()
+                },
+            )
+        };
+        let seq = run(1);
+        let par = run(4);
+        assert_eq!(seq.maximal, par.maximal);
+        assert_eq!(seq.r_bottom, par.r_bottom);
+        assert_eq!(par.threads_used, 4);
+    }
+
+    #[test]
     fn oracle_budget_respected() {
         let net = mux_false_path();
         let r = approx2_required_times(
@@ -511,10 +925,7 @@ mod tests {
         assert_eq!(r.maximal.len(), 1);
         let m = &r.maximal[0];
         // Greedy result must dominate the bottom.
-        assert!(m
-            .iter()
-            .zip(&r.r_bottom)
-            .all(|(a, b)| a >= b));
+        assert!(m.iter().zip(&r.r_bottom).all(|(a, b)| a >= b));
     }
 
     #[test]
@@ -572,13 +983,20 @@ mod tests {
         let z = net.add_gate("z", GateKind::Buf, &[a]).unwrap();
         net.mark_output(z);
         let _ = bb;
-        let r = approx2_required_times(
-            &net,
-            &UnitDelay,
-            &[Time::new(1)],
-            Approx2Options::default(),
-        );
+        let r =
+            approx2_required_times(&net, &UnitDelay, &[Time::new(1)], Approx2Options::default());
         let b_pos = 1;
         assert!(r.maximal.iter().all(|m| m[b_pos].is_inf()));
+    }
+
+    #[test]
+    fn dominance_reports_cache_hits() {
+        let net = mux_false_path();
+        let r =
+            approx2_required_times(&net, &UnitDelay, &[Time::new(4)], Approx2Options::default());
+        // Rotated restarts re-traverse the region below the first
+        // maximal point — the dominance cache must absorb some of it.
+        assert!(r.cache_hits > 0);
+        assert!(r.cache_hit_rate() > 0.0 && r.cache_hit_rate() < 1.0);
     }
 }

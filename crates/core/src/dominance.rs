@@ -1,0 +1,201 @@
+//! Dominance (monotone-lattice) verdict cache for the §4.3 safety
+//! oracle.
+//!
+//! Safety of a required-time vector is monotone *decreasing* in the
+//! pointwise order: loosening any coordinate can only turn a safe
+//! vector unsafe, never the reverse. Two consequences drive this cache:
+//!
+//! - `r ≤ s` pointwise and `s` known safe ⇒ `r` safe;
+//! - `r ≥ u` pointwise and `u` known unsafe ⇒ `r` unsafe.
+//!
+//! The cache therefore stores two antichains — the maximal known-safe
+//! points and the minimal known-unsafe points — and answers any
+//! dominated/dominating query without touching a χ engine. Incomparable
+//! queries miss. Compare with an exact-key map, which only ever answers
+//! the *identical* vector: on rotated lattice climbs, where restarts
+//! re-traverse the region below an already-discovered maximal point,
+//! dominance converts nearly the whole re-climb into cache hits.
+
+use xrta_timing::Time;
+
+/// Which verdict cache backs the §4.3 oracle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheStrategy {
+    /// Exact-key maps: a cached verdict answers only the identical
+    /// vector (the original behaviour; kept as a measurable baseline).
+    Exact,
+    /// Dominance frontiers: a verdict answers every vector it dominates
+    /// (safe) or is dominated by (unsafe), plus frontier-guided ladder
+    /// jumps in the climb.
+    Dominance,
+}
+
+/// Soft cap per frontier; beyond it the oldest entries are dropped.
+/// Dropping is always sound — a lost entry is just a future cache miss
+/// — and keeps the linear frontier scans bounded.
+const MAX_FRONTIER: usize = 1024;
+
+/// A two-antichain verdict cache over `Vec<Time>` points ordered
+/// pointwise (see the module docs).
+#[derive(Clone, Debug, Default)]
+pub struct DominanceCache {
+    /// Maximal known-safe points (an antichain).
+    safe: Vec<Vec<Time>>,
+    /// Minimal known-unsafe points (an antichain).
+    unsafe_: Vec<Vec<Time>>,
+    hits: usize,
+    misses: usize,
+}
+
+fn le(a: &[Time], b: &[Time]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x <= y)
+}
+
+impl DominanceCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Answers `r` by dominance, or `None` when `r` is incomparable to
+    /// every stored point. Updates hit/miss statistics.
+    pub fn query(&mut self, r: &[Time]) -> Option<bool> {
+        let verdict = self.peek(r);
+        match verdict {
+            Some(_) => self.hits += 1,
+            None => self.misses += 1,
+        }
+        verdict
+    }
+
+    /// Like [`DominanceCache::query`] without touching the statistics.
+    pub fn peek(&self, r: &[Time]) -> Option<bool> {
+        if self.safe.iter().any(|s| le(r, s)) {
+            return Some(true);
+        }
+        if self.unsafe_.iter().any(|u| le(u, r)) {
+            return Some(false);
+        }
+        None
+    }
+
+    /// Records an oracle verdict, keeping both frontiers antichains:
+    /// a new safe point evicts safe points it dominates; a new unsafe
+    /// point evicts unsafe points dominating it. Points already implied
+    /// by the frontier are not stored.
+    pub fn insert(&mut self, r: &[Time], safe: bool) {
+        if safe {
+            if self.safe.iter().any(|s| le(r, s)) {
+                return;
+            }
+            self.safe.retain(|s| !le(s, r));
+            if self.safe.len() >= MAX_FRONTIER {
+                self.safe.remove(0);
+            }
+            self.safe.push(r.to_vec());
+        } else {
+            if self.unsafe_.iter().any(|u| le(u, r)) {
+                return;
+            }
+            self.unsafe_.retain(|u| !le(r, u));
+            if self.unsafe_.len() >= MAX_FRONTIER {
+                self.unsafe_.remove(0);
+            }
+            self.unsafe_.push(r.to_vec());
+        }
+    }
+
+    /// Queries answered by dominance.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Queries that fell through to the oracle.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Stored frontier sizes `(safe, unsafe)`.
+    pub fn frontier_sizes(&self) -> (usize, usize) {
+        (self.safe.len(), self.unsafe_.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[i64]) -> Vec<Time> {
+        v.iter().map(|&x| Time::new(x)).collect()
+    }
+
+    #[test]
+    fn dominated_by_safe_point_answers_without_oracle() {
+        let mut c = DominanceCache::new();
+        c.insert(&t(&[3, 5, 2]), true);
+        // The point itself, and anything pointwise below it.
+        assert_eq!(c.query(&t(&[3, 5, 2])), Some(true));
+        assert_eq!(c.query(&t(&[0, 0, 0])), Some(true));
+        assert_eq!(c.query(&t(&[3, 4, 2])), Some(true));
+        assert_eq!(c.hits(), 3);
+        assert_eq!(c.misses(), 0);
+    }
+
+    #[test]
+    fn dominating_an_unsafe_point_answers_without_oracle() {
+        let mut c = DominanceCache::new();
+        c.insert(&t(&[2, 2]), false);
+        assert_eq!(c.query(&t(&[2, 2])), Some(false));
+        assert_eq!(c.query(&t(&[5, 2])), Some(false));
+        assert_eq!(c.query(&t(&[2, 9])), Some(false));
+        assert_eq!(c.hits(), 3);
+    }
+
+    #[test]
+    fn incomparable_points_are_never_answered() {
+        let mut c = DominanceCache::new();
+        c.insert(&t(&[3, 0]), true);
+        c.insert(&t(&[0, 4]), false);
+        // Above the safe point in one coordinate, below the unsafe point
+        // in the other: incomparable to both ⇒ must go to the oracle.
+        assert_eq!(c.query(&t(&[4, 0])), None);
+        assert_eq!(c.query(&t(&[1, 1])), None);
+        assert_eq!(c.misses(), 2);
+        assert_eq!(c.hits(), 0);
+    }
+
+    #[test]
+    fn infinity_participates_in_the_order() {
+        let mut c = DominanceCache::new();
+        c.insert(&t(&[1]).iter().map(|_| Time::INF).collect::<Vec<_>>(), true);
+        assert_eq!(c.query(&t(&[1_000_000])), Some(true));
+    }
+
+    #[test]
+    fn frontiers_stay_antichains() {
+        let mut c = DominanceCache::new();
+        c.insert(&t(&[1, 1]), true);
+        c.insert(&t(&[2, 2]), true); // dominates the first → evicts it
+        assert_eq!(c.frontier_sizes().0, 1);
+        c.insert(&t(&[1, 3]), true); // incomparable → kept
+        assert_eq!(c.frontier_sizes().0, 2);
+        c.insert(&t(&[0, 0]), true); // implied → not stored
+        assert_eq!(c.frontier_sizes().0, 2);
+
+        c.insert(&t(&[9, 9]), false);
+        c.insert(&t(&[8, 8]), false); // dominated by (9,9)? no: (8,8) ≤ (9,9) evicts it
+        assert_eq!(c.frontier_sizes().1, 1);
+        c.insert(&t(&[10, 10]), false); // implied → not stored
+        assert_eq!(c.frontier_sizes().1, 1);
+    }
+
+    #[test]
+    fn conflicting_reinsert_prefers_first_verdict_region() {
+        // Not a supported state (the oracle is deterministic), but the
+        // cache must at least not panic and keep answering.
+        let mut c = DominanceCache::new();
+        c.insert(&t(&[1, 1]), true);
+        c.insert(&t(&[1, 1]), false);
+        assert!(c.peek(&t(&[1, 1])).is_some());
+    }
+}

@@ -214,12 +214,7 @@ impl ExactAnalysis {
         for pos in 0..self.x_vars.len() {
             let rbot = self.topo_required[pos];
             for value in [true, false] {
-                let times: Vec<Time> = self
-                    .leaves
-                    .plan()
-                    .per_input[pos]
-                    .for_value(value)
-                    .to_vec();
+                let times: Vec<Time> = self.leaves.plan().per_input[pos].for_value(value).to_vec();
                 let xlit = if value {
                     self.bdd.var(self.x_vars[pos])
                 } else {
@@ -241,9 +236,7 @@ impl ExactAnalysis {
                         let leaf = self
                             .leaf_vars
                             .iter()
-                            .find(|(k, _)| {
-                                k.input_pos == pos && k.value == value && k.time == t1
-                            })
+                            .find(|(k, _)| k.input_pos == pos && k.value == value && k.time == t1)
                             .map(|&(_, v)| v)
                             .expect("planned leaf exists");
                         let nleaf = self.bdd.nvar(leaf);
@@ -423,13 +416,9 @@ mod tests {
         let b = net.add_input("b").unwrap();
         let z = net.add_gate("z", GateKind::Xor, &[a, b]).unwrap();
         net.mark_output(z);
-        let mut an = exact_required_times(
-            &net,
-            &UnitDelay,
-            &[Time::new(1)],
-            ExactOptions::default(),
-        )
-        .unwrap();
+        let mut an =
+            exact_required_times(&net, &UnitDelay, &[Time::new(1)], ExactOptions::default())
+                .unwrap();
         assert!(!an.has_nontrivial_requirement());
     }
 
@@ -484,7 +473,13 @@ mod tests {
             let topo: Vec<bool> = a
                 .leaf_vars
                 .iter()
-                .map(|(k, _)| if k.value { x[k.input_pos] } else { !x[k.input_pos] })
+                .map(|(k, _)| {
+                    if k.value {
+                        x[k.input_pos]
+                    } else {
+                        !x[k.input_pos]
+                    }
+                })
                 .collect();
             assert!(
                 vectors.contains(&topo),

@@ -86,7 +86,10 @@ pub fn subcircuit_arrival_times<D: DelayModel>(
 ) -> Result<SubcircuitArrivals, CapacityError> {
     assert_eq!(input_arrivals.len(), net.inputs().len());
     assert!(!u.is_empty(), "need at least one subcircuit input");
-    assert!(u.len() <= 12, "folded table limited to 12 subcircuit inputs");
+    assert!(
+        u.len() <= 12,
+        "folded table limited to 12 subcircuit inputs"
+    );
 
     // N_FI: the fanin cone of U.
     let (cone, map) = net.extract_cone(u);
@@ -394,10 +397,7 @@ pub fn subcircuit_required_times<D: DelayModel>(
         .map(|p| {
             let full = leaves.interpret_prime(p);
             RequiredTimeTuple {
-                per_input: fo_pos_of_v
-                    .iter()
-                    .map(|&pos| full.per_input[pos])
-                    .collect(),
+                per_input: fo_pos_of_v.iter().map(|&pos| full.per_input[pos]).collect(),
             }
         })
         .collect();
@@ -442,7 +442,10 @@ pub fn coupled_flexibility<D: DelayModel>(
     v: &[NodeId],
     options: ArrivalFlexOptions,
 ) -> Result<Vec<CoupledClass>, CapacityError> {
-    assert!(v.len() <= 12, "coupled view limited to 12 subcircuit outputs");
+    assert!(
+        v.len() <= 12,
+        "coupled view limited to 12 subcircuit outputs"
+    );
     let arr = subcircuit_arrival_times(net, model, input_arrivals, u, options)?;
     let mut bdd = arr.bdd;
     // Globals of V over the same X variables: evaluate on the original

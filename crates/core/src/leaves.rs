@@ -243,10 +243,7 @@ impl PlannedLeaves {
     /// time whose leaf bit is 1 (∞ when none).
     ///
     /// Inputs in other modes report `∞` (unconstrained here).
-    pub fn interpret_leaf_assignment(
-        &self,
-        assignment: impl Fn(Var) -> bool,
-    ) -> RequiredTimeTuple {
+    pub fn interpret_leaf_assignment(&self, assignment: impl Fn(Var) -> bool) -> RequiredTimeTuple {
         let per_input = (0..self.modes.len())
             .map(|pos| {
                 if !matches!(self.modes[pos], LeafMode::Unknown) {
@@ -336,12 +333,9 @@ impl LeafChi for PlannedLeaves {
             }
             LeafMode::Parametric { .. } => {
                 let times = self.times_for(input_pos, value);
-                let idx = times
-                    .iter()
-                    .position(|&pt| pt == t)
-                    .unwrap_or_else(|| {
-                        panic!("leaf (input {input_pos}, value {value}, t {t}) not planned")
-                    });
+                let idx = times.iter().position(|&pt| pt == t).unwrap_or_else(|| {
+                    panic!("leaf (input {input_pos}, value {value}, t {t}) not planned")
+                });
                 let chain = self.chains[&(input_pos, value)].clone();
                 let factors = times.len() - idx; // t_p → 1 factor … t_1 → p
                 let mut acc = if value {
@@ -488,7 +482,10 @@ mod tests {
         assert_eq!(t.per_input[0].value1, Time::INF);
         // Empty prime → all ∞.
         let t = leaves.interpret_prime(&[]);
-        assert!(t.per_input.iter().all(|vt| vt.value1.is_inf() && vt.value0.is_inf()));
+        assert!(t
+            .per_input
+            .iter()
+            .all(|vt| vt.value1.is_inf() && vt.value0.is_inf()));
     }
 
     #[test]

@@ -57,6 +57,7 @@
 
 mod approx1;
 mod approx2;
+pub mod dominance;
 mod exact;
 mod flex;
 mod leaves;
@@ -68,6 +69,7 @@ mod types;
 
 pub use approx1::{approx1_required_times, Approx1Analysis, Approx1Options};
 pub use approx2::{approx2_required_times, Approx2Options, Approx2Result};
+pub use dominance::{CacheStrategy, DominanceCache};
 pub use exact::{exact_required_times, ExactAnalysis, ExactOptions};
 pub use flex::{
     coupled_flexibility, subcircuit_arrival_times, subcircuit_required_times, ArrivalClass,

@@ -6,9 +6,9 @@ use xrta_network::Network;
 use xrta_timing::Time;
 
 use crate::approx1::Approx1Analysis;
-use crate::flex::SubcircuitArrivals;
 use crate::approx2::Approx2Result;
 use crate::exact::ExactAnalysis;
+use crate::flex::SubcircuitArrivals;
 use crate::types::RequiredTimeTuple;
 
 /// Renders a set of latest required-time conditions as a table with one
@@ -72,18 +72,18 @@ pub fn render_approx2(net: &Network, result: &Approx2Result) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "lattice climb: {} maximal point(s), {} oracle call(s), complete: {}",
+        "lattice climb: {} maximal point(s), {} oracle call(s), \
+         {} cache hit(s) ({:.1}% hit rate), {} thread(s), complete: {}",
         result.maximal.len(),
         result.oracle_calls,
+        result.cache_hits,
+        100.0 * result.cache_hit_rate(),
+        result.threads_used,
         result.completed
     );
     let _ = writeln!(out, "input | topological | maximal points");
     for (pos, &pi) in net.inputs().iter().enumerate() {
-        let points: Vec<String> = result
-            .maximal
-            .iter()
-            .map(|m| m[pos].to_string())
-            .collect();
+        let points: Vec<String> = result.maximal.iter().map(|m| m[pos].to_string()).collect();
         let _ = writeln!(
             out,
             "{:<5} | {:<11} | {}",
@@ -134,8 +134,7 @@ mod tests {
     fn renders_are_nonempty_and_mention_inputs() {
         let net = fig4();
         let req = [Time::new(2)];
-        let a1 = approx1_required_times(&net, &UnitDelay, &req, Approx1Options::default())
-            .unwrap();
+        let a1 = approx1_required_times(&net, &UnitDelay, &req, Approx1Options::default()).unwrap();
         let s = render_approx1(&net, &a1);
         assert!(s.contains("x1"));
         assert!(s.contains("prime"));
@@ -145,8 +144,7 @@ mod tests {
         assert!(s.contains("topological"));
         assert!(s.contains("x2"));
 
-        let mut ex = exact_required_times(&net, &UnitDelay, &req, ExactOptions::default())
-            .unwrap();
+        let mut ex = exact_required_times(&net, &UnitDelay, &req, ExactOptions::default()).unwrap();
         let s = render_exact_minterm(&net, &mut ex, &[false, false]);
         assert!(s.contains("x = 00"));
         assert!(s.contains("∞"), "infinite deadlines rendered: {s}");
@@ -172,12 +170,8 @@ mod tests {
     #[test]
     fn approx2_conditions_are_uniform_tuples() {
         let net = fig4();
-        let r = approx2_required_times(
-            &net,
-            &UnitDelay,
-            &[Time::new(2)],
-            Approx2Options::default(),
-        );
+        let r =
+            approx2_required_times(&net, &UnitDelay, &[Time::new(2)], Approx2Options::default());
         let conds = r.maximal_conditions();
         assert_eq!(conds.len(), r.maximal.len());
         for (c, m) in conds.iter().zip(&r.maximal) {

@@ -136,7 +136,9 @@ mod tests {
         for i in 0..12 {
             prev.push(net.add_input(format!("i{i}")).unwrap());
         }
-        let mut acc = net.add_gate("g0", GateKind::Xor, &[prev[0], prev[1]]).unwrap();
+        let mut acc = net
+            .add_gate("g0", GateKind::Xor, &[prev[0], prev[1]])
+            .unwrap();
         for (i, p) in prev.iter().enumerate().skip(2) {
             acc = net
                 .add_gate(format!("g{}", i - 1), GateKind::Xor, &[acc, *p])

@@ -185,9 +185,7 @@ pub fn parse_bench(text: &str) -> Result<Network, ParseBenchError> {
                             stack.push((d, 0));
                         }
                         Mark::Grey => {
-                            return Err(ParseBenchError::Network(NetworkError::Cyclic(
-                                dep.clone(),
-                            )))
+                            return Err(ParseBenchError::Network(NetworkError::Cyclic(dep.clone())))
                         }
                         Mark::Black => {}
                     },
@@ -269,7 +267,11 @@ pub fn write_bench(net: &Network) -> String {
     for id in net.node_ids() {
         let n = net.node(id);
         if let NodeFunc::Gate { kind, .. } = &n.func {
-            let args: Vec<&str> = n.fanins.iter().map(|f| net.node(*f).name.as_str()).collect();
+            let args: Vec<&str> = n
+                .fanins
+                .iter()
+                .map(|f| net.node(*f).name.as_str())
+                .collect();
             match kind {
                 Some(k) => out.push_str(&format!("{} = {}({})\n", n.name, k, args.join(", "))),
                 None => out.push_str(&format!("# {} has a non-library function\n", n.name)),
@@ -331,8 +333,8 @@ OUTPUT(23)
 
     #[test]
     fn dff_is_cut() {
-        let net = parse_bench("INPUT(a)\nOUTPUT(y)\nq = DFF(d)\nd = AND(a, q)\ny = NOT(q)\n")
-            .unwrap();
+        let net =
+            parse_bench("INPUT(a)\nOUTPUT(y)\nq = DFF(d)\nd = AND(a, q)\ny = NOT(q)\n").unwrap();
         // q becomes an input, d an output.
         assert_eq!(net.inputs().len(), 2);
         assert_eq!(net.outputs().len(), 2);

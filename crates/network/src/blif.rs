@@ -33,7 +33,10 @@ impl fmt::Display for ParseBlifError {
             ParseBlifError::Network(e) => write!(f, "blif network error: {e}"),
             ParseBlifError::Undefined(n) => write!(f, "blif signal {n:?} used but never defined"),
             ParseBlifError::TooWide(n, k) => {
-                write!(f, "blif node {n:?} has {k} inputs, beyond the supported width")
+                write!(
+                    f,
+                    "blif node {n:?} has {k} inputs, beyond the supported width"
+                )
             }
         }
     }
@@ -384,8 +387,8 @@ mod tests {
 
     #[test]
     fn parse_simple_and() {
-        let net = parse_blif(".model m\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n")
-            .unwrap();
+        let net =
+            parse_blif(".model m\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n").unwrap();
         assert_eq!(net.inputs().len(), 2);
         assert_eq!(net.outputs().len(), 1);
         assert_eq!(net.eval(&[true, true]), vec![true]);

@@ -33,9 +33,11 @@ pub fn decompose_to_gates(net: &Network) -> (Network, HashMap<NodeId, NodeId>) {
             NodeFunc::Gate { kind: None, table } => {
                 let fanins: Vec<NodeId> = n.fanins.iter().map(|f| map[f]).collect();
                 if table.is_constant(false) {
-                    out.add_gate(n.name.clone(), GateKind::Const0, &[]).expect("valid")
+                    out.add_gate(n.name.clone(), GateKind::Const0, &[])
+                        .expect("valid")
                 } else if table.is_constant(true) {
-                    out.add_gate(n.name.clone(), GateKind::Const1, &[]).expect("valid")
+                    out.add_gate(n.name.clone(), GateKind::Const1, &[])
+                        .expect("valid")
                 } else {
                     let primes = n.primes();
                     let mut terms: Vec<NodeId> = Vec::with_capacity(primes.len());
@@ -111,7 +113,11 @@ pub enum Equivalence {
 /// Panics if the interface sizes differ.
 pub fn check_equivalence(a: &Network, b: &Network) -> Equivalence {
     assert_eq!(a.inputs().len(), b.inputs().len(), "input count mismatch");
-    assert_eq!(a.outputs().len(), b.outputs().len(), "output count mismatch");
+    assert_eq!(
+        a.outputs().len(),
+        b.outputs().len(),
+        "output count mismatch"
+    );
     let mut cnf = Cnf::new();
     let ea = NetworkCnf::encode(&mut cnf, a);
     let eb = NetworkCnf::encode(&mut cnf, b);
@@ -143,8 +149,8 @@ pub fn check_equivalence(a: &Network, b: &Network) -> Equivalence {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::blif::parse_blif;
     use crate::bench_fmt::{parse_bench, write_bench};
+    use crate::blif::parse_blif;
 
     #[test]
     fn decompose_preserves_function() {
@@ -173,8 +179,8 @@ mod tests {
 
     #[test]
     fn equivalence_finds_counterexample() {
-        let a = parse_blif(".model a\n.inputs x y\n.outputs o\n.names x y o\n11 1\n.end\n")
-            .unwrap();
+        let a =
+            parse_blif(".model a\n.inputs x y\n.outputs o\n.names x y o\n11 1\n.end\n").unwrap();
         let b = parse_blif(".model b\n.inputs x y\n.outputs o\n.names x y o\n1- 1\n-1 1\n.end\n")
             .unwrap();
         match check_equivalence(&a, &b) {
@@ -193,7 +199,13 @@ mod tests {
         assert_eq!(check_equivalence(&a, &b), Equivalence::Equivalent);
         // Perturb one gate: must now differ.
         b.unmark_output(b.find("c4").unwrap());
-        let wrong = b.add_gate("cbad", GateKind::Nand, &[b.find("c3").unwrap(), b.find("p3").unwrap()]).unwrap();
+        let wrong = b
+            .add_gate(
+                "cbad",
+                GateKind::Nand,
+                &[b.find("c3").unwrap(), b.find("p3").unwrap()],
+            )
+            .unwrap();
         b.mark_output(wrong);
         assert!(matches!(check_equivalence(&a, &b), Equivalence::Differs(_)));
     }
@@ -216,11 +228,21 @@ pub(crate) mod test_adders {
             .collect();
         let mut carry = net.add_input("cin").unwrap();
         for i in 0..n {
-            let p = net.add_gate(format!("p{i}"), GateKind::Xor, &[a[i], b[i]]).unwrap();
-            let s = net.add_gate(format!("s{i}"), GateKind::Xor, &[p, carry]).unwrap();
-            let g1 = net.add_gate(format!("g1_{i}"), GateKind::And, &[a[i], b[i]]).unwrap();
-            let g2 = net.add_gate(format!("g2_{i}"), GateKind::And, &[p, carry]).unwrap();
-            carry = net.add_gate(format!("c{}", i + 1), GateKind::Or, &[g1, g2]).unwrap();
+            let p = net
+                .add_gate(format!("p{i}"), GateKind::Xor, &[a[i], b[i]])
+                .unwrap();
+            let s = net
+                .add_gate(format!("s{i}"), GateKind::Xor, &[p, carry])
+                .unwrap();
+            let g1 = net
+                .add_gate(format!("g1_{i}"), GateKind::And, &[a[i], b[i]])
+                .unwrap();
+            let g2 = net
+                .add_gate(format!("g2_{i}"), GateKind::And, &[p, carry])
+                .unwrap();
+            carry = net
+                .add_gate(format!("c{}", i + 1), GateKind::Or, &[g1, g2])
+                .unwrap();
             net.mark_output(s);
         }
         net.mark_output(carry);

@@ -95,7 +95,7 @@ impl GateKind {
             GateKind::Buf | GateKind::Not => arity == 1,
             GateKind::Mux => arity == 3,
             GateKind::Const0 | GateKind::Const1 => arity == 0,
-            _ => arity >= 1 && arity <= TruthTable::MAX_VARS,
+            _ => (1..=TruthTable::MAX_VARS).contains(&arity),
         };
         assert!(ok, "illegal arity {arity} for {self:?}");
     }
@@ -127,7 +127,10 @@ impl GateKind {
             GateKind::Mux => vec![
                 // s·d1, ¬s·d0, d0·d1 (the consensus term is also prime)
                 Cube { pos: 0b101, neg: 0 },
-                Cube { pos: 0b010, neg: 0b001 },
+                Cube {
+                    pos: 0b010,
+                    neg: 0b001,
+                },
                 Cube { pos: 0b110, neg: 0 },
             ],
         }
@@ -147,7 +150,10 @@ impl GateKind {
             GateKind::Const0 => GateKind::Const1.primes(arity),
             GateKind::Const1 => GateKind::Const0.primes(arity),
             GateKind::Mux => vec![
-                Cube { pos: 0b001, neg: 0b100 },
+                Cube {
+                    pos: 0b001,
+                    neg: 0b100,
+                },
                 Cube { pos: 0, neg: 0b011 },
                 Cube { pos: 0, neg: 0b110 },
             ],

@@ -34,13 +34,7 @@ pub fn stats(net: &Network) -> NetworkStats {
             continue;
         }
         max_fanin = max_fanin.max(n.fanins.len());
-        level[id.index()] = n
-            .fanins
-            .iter()
-            .map(|f| level[f.index()])
-            .max()
-            .unwrap_or(0)
-            + 1;
+        level[id.index()] = n.fanins.iter().map(|f| level[f.index()]).max().unwrap_or(0) + 1;
     }
     let depth = net
         .outputs()
@@ -138,8 +132,7 @@ pub fn propagate_constants(net: &Network) -> (Network, HashMap<NodeId, NodeId>) 
                     }
                 }
                 // Build the shrunk table by explicit re-evaluation.
-                let live_idx: Vec<usize> =
-                    (0..k).filter(|&i| keep[i]).collect();
+                let live_idx: Vec<usize> = (0..k).filter(|&i| keep[i]).collect();
                 if live_idx.len() != k {
                     let mut bits = Vec::with_capacity(1 << live_idx.len());
                     for m in 0..(1usize << live_idx.len()) {
@@ -163,7 +156,11 @@ pub fn propagate_constants(net: &Network) -> (Network, HashMap<NodeId, NodeId>) 
                 if t.is_constant(false) || t.is_constant(true) {
                     let v = t.is_constant(true);
                     const_val[id.index()] = Some(v);
-                    let kind = if v { GateKind::Const1 } else { GateKind::Const0 };
+                    let kind = if v {
+                        GateKind::Const1
+                    } else {
+                        GateKind::Const0
+                    };
                     let new = out
                         .add_gate(n.name.clone(), kind, &[])
                         .expect("unique names");
@@ -201,7 +198,13 @@ pub fn to_dot(net: &Network) -> String {
             NodeFunc::Gate { kind: Some(k), .. } => format!("{}\\n{k}", n.name),
             NodeFunc::Gate { kind: None, .. } => format!("{}\\nTT", n.name),
         };
-        let _ = writeln!(out, "  n{} [label=\"{}\", shape={}];", id.index(), label, shape);
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\", shape={}];",
+            id.index(),
+            label,
+            shape
+        );
         for f in &n.fanins {
             let _ = writeln!(out, "  n{} -> n{};", f.index(), id.index());
         }

@@ -253,7 +253,9 @@ impl Cube {
         let mut s = String::new();
         for i in 0..32 {
             let name = |i: u32| {
-                char::from_u32('a' as u32 + i).map(String::from).unwrap_or(format!("i{i}"))
+                char::from_u32('a' as u32 + i)
+                    .map(String::from)
+                    .unwrap_or(format!("i{i}"))
             };
             if (self.pos >> i) & 1 == 1 {
                 s.push_str(&name(i));
@@ -435,8 +437,14 @@ mod tests {
         assert_eq!(
             p,
             vec![
-                Cube { pos: 0b01, neg: 0b10 },
-                Cube { pos: 0b10, neg: 0b01 },
+                Cube {
+                    pos: 0b01,
+                    neg: 0b10
+                },
+                Cube {
+                    pos: 0b10,
+                    neg: 0b01
+                },
             ]
         );
     }
@@ -493,7 +501,10 @@ mod tests {
     #[test]
     fn cube_string_rendering() {
         assert_eq!(Cube::UNIVERSE.to_expr_string(), "1");
-        let c = Cube { pos: 0b01, neg: 0b10 };
+        let c = Cube {
+            pos: 0b01,
+            neg: 0b10,
+        };
         assert_eq!(c.to_expr_string(), "ab'");
     }
 

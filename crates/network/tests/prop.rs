@@ -1,11 +1,13 @@
-//! Property tests for the network crate: format roundtrips, transform
-//! equivalence, and prime covers on random circuits.
+//! Randomized tests for the network crate: format roundtrips, transform
+//! equivalence, and prime covers on random circuits, driven by a
+//! deterministic seeded generator (the workspace builds offline, so
+//! `proptest` is replaced by explicit seed loops).
 
-use proptest::prelude::*;
 use xrta_network::{
-    parse_bench, parse_blif, propagate_constants, stats, sweep, write_bench, write_blif,
-    GateKind, Network, NodeId,
+    parse_bench, parse_blif, propagate_constants, stats, sweep, write_bench, write_blif, GateKind,
+    Network, NodeId,
 };
+use xrta_rng::Rng;
 
 /// A compact recipe for a random library-gate circuit.
 #[derive(Clone, Debug)]
@@ -15,25 +17,24 @@ struct Recipe {
     outputs: Vec<usize>,
 }
 
-fn recipe_strategy() -> impl Strategy<Value = Recipe> {
-    (2usize..6)
-        .prop_flat_map(|inputs| {
-            let gates = prop::collection::vec(
-                (0u8..6, prop::collection::vec(0usize..64, 1..4)),
-                1..12,
-            );
-            (Just(inputs), gates)
+fn gen_recipe(rng: &mut Rng) -> Recipe {
+    let inputs = rng.range(2, 6);
+    let ngates = rng.range(1, 12);
+    let gates = (0..ngates)
+        .map(|_| {
+            let kind_sel = rng.range(0, 6) as u8;
+            let npicks = rng.range(1, 4);
+            let picks = (0..npicks).map(|_| rng.range(0, 64)).collect();
+            (kind_sel, picks)
         })
-        .prop_flat_map(|(inputs, gates)| {
-            let n = gates.len();
-            let outputs = prop::collection::vec(0usize..(inputs + n), 1..4);
-            (Just(inputs), Just(gates), outputs)
-                .prop_map(|(inputs, gates, outputs)| Recipe {
-                    inputs,
-                    gates,
-                    outputs,
-                })
-        })
+        .collect::<Vec<_>>();
+    let nouts = rng.range(1, 4);
+    let outputs = (0..nouts).map(|_| rng.range(0, inputs + ngates)).collect();
+    Recipe {
+        inputs,
+        gates,
+        outputs,
+    }
 }
 
 fn build(recipe: &Recipe) -> Network {
@@ -50,7 +51,11 @@ fn build(recipe: &Recipe) -> Network {
             4 => GateKind::Xor,
             _ => GateKind::Not,
         };
-        let arity = if kind == GateKind::Not { 1 } else { picks.len().max(2) };
+        let arity = if kind == GateKind::Not {
+            1
+        } else {
+            picks.len().max(2)
+        };
         let fanins: Vec<NodeId> = (0..arity)
             .map(|j| pool[picks[j % picks.len()] % pool.len()])
             .collect();
@@ -76,43 +81,53 @@ fn truth_vector(net: &Network) -> Vec<Vec<bool>> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn blif_roundtrip_preserves_function(recipe in recipe_strategy()) {
+fn for_random_nets(cases: u64, salt: u64, mut check: impl FnMut(&Recipe, &Network)) {
+    for seed in 0..cases {
+        let mut rng = Rng::seed_from_u64(salt + seed);
+        let recipe = gen_recipe(&mut rng);
         let net = build(&recipe);
-        let text = write_blif(&net);
+        check(&recipe, &net);
+    }
+}
+
+#[test]
+fn blif_roundtrip_preserves_function() {
+    for_random_nets(64, 0xB11F, |recipe, net| {
+        let text = write_blif(net);
         let reparsed = parse_blif(&text).expect("self-written blif parses");
-        prop_assert_eq!(truth_vector(&net), truth_vector(&reparsed));
-    }
+        assert_eq!(truth_vector(net), truth_vector(&reparsed), "{recipe:?}");
+    });
+}
 
-    #[test]
-    fn bench_roundtrip_preserves_function(recipe in recipe_strategy()) {
-        let net = build(&recipe);
-        let text = write_bench(&net);
+#[test]
+fn bench_roundtrip_preserves_function() {
+    for_random_nets(64, 0xBE4C, |recipe, net| {
+        let text = write_bench(net);
         let reparsed = parse_bench(&text).expect("self-written bench parses");
-        prop_assert_eq!(truth_vector(&net), truth_vector(&reparsed));
-    }
+        assert_eq!(truth_vector(net), truth_vector(&reparsed), "{recipe:?}");
+    });
+}
 
-    #[test]
-    fn sweep_preserves_function(recipe in recipe_strategy()) {
-        let net = build(&recipe);
-        let (swept, _) = sweep(&net);
-        prop_assert_eq!(truth_vector(&net), truth_vector(&swept));
-        prop_assert!(swept.node_count() <= net.node_count());
-    }
+#[test]
+fn sweep_preserves_function() {
+    for_random_nets(64, 0x53EE, |recipe, net| {
+        let (swept, _) = sweep(net);
+        assert_eq!(truth_vector(net), truth_vector(&swept), "{recipe:?}");
+        assert!(swept.node_count() <= net.node_count(), "{recipe:?}");
+    });
+}
 
-    #[test]
-    fn constant_propagation_preserves_function(recipe in recipe_strategy()) {
-        let net = build(&recipe);
-        let (simplified, _) = propagate_constants(&net);
-        prop_assert_eq!(truth_vector(&net), truth_vector(&simplified));
-    }
+#[test]
+fn constant_propagation_preserves_function() {
+    for_random_nets(64, 0xC057, |recipe, net| {
+        let (simplified, _) = propagate_constants(net);
+        assert_eq!(truth_vector(net), truth_vector(&simplified), "{recipe:?}");
+    });
+}
 
-    #[test]
-    fn primes_cover_local_functions(recipe in recipe_strategy()) {
-        let net = build(&recipe);
+#[test]
+fn primes_cover_local_functions() {
+    for_random_nets(64, 0x9419, |_, net| {
         for id in net.node_ids() {
             let node = net.node(id);
             if node.is_input() {
@@ -123,18 +138,19 @@ proptest! {
             let k = node.fanins.len();
             for m in 0..(1usize << k) {
                 let covered = primes.iter().any(|c| c.contains_minterm(m));
-                prop_assert_eq!(covered, table.bit(m), "node {} minterm {}", node.name, m);
+                assert_eq!(covered, table.bit(m), "node {} minterm {}", node.name, m);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn stats_are_consistent(recipe in recipe_strategy()) {
-        let net = build(&recipe);
-        let s = stats(&net);
-        prop_assert_eq!(s.inputs, net.inputs().len());
-        prop_assert_eq!(s.outputs, net.outputs().len());
-        prop_assert_eq!(s.gates, net.gate_count());
-        prop_assert!(s.depth <= s.gates);
-    }
+#[test]
+fn stats_are_consistent() {
+    for_random_nets(64, 0x57A7, |recipe, net| {
+        let s = stats(net);
+        assert_eq!(s.inputs, net.inputs().len(), "{recipe:?}");
+        assert_eq!(s.outputs, net.outputs().len(), "{recipe:?}");
+        assert_eq!(s.gates, net.gate_count(), "{recipe:?}");
+        assert!(s.depth <= s.gates, "{recipe:?}");
+    });
 }

@@ -186,11 +186,7 @@ mod tests {
                 solver.solve_with_assumptions(&assumptions),
                 SolveResult::Sat
             );
-            assert_eq!(
-                solver.model_lit(out),
-                Some(semantics(&m)),
-                "inputs {m:?}"
-            );
+            assert_eq!(solver.model_lit(out), Some(semantics(&m)), "inputs {m:?}");
         }
     }
 

@@ -548,11 +548,10 @@ impl Solver {
     fn redundant(&self, l: Lit, learnt: &[Lit]) -> bool {
         match self.reason[l.var().index()] {
             None => false,
-            Some(ci) => self.clauses[ci as usize].lits.iter().all(|&q| {
-                q == !l
-                    || self.level[q.var().index()] == 0
-                    || learnt.contains(&q)
-            }),
+            Some(ci) => self.clauses[ci as usize]
+                .lits
+                .iter()
+                .all(|&q| q == !l || self.level[q.var().index()] == 0 || learnt.contains(&q)),
         }
     }
 
@@ -841,10 +840,10 @@ mod tests {
         for row in &p {
             s.add_clause([row[0].positive(), row[1].positive()]);
         }
-        for h in 0..2 {
-            for i in 0..3 {
-                for j in (i + 1)..3 {
-                    s.add_clause([p[i][h].negative(), p[j][h].negative()]);
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                for (a, b) in p[i].iter().zip(&p[j]) {
+                    s.add_clause([a.negative(), b.negative()]);
                 }
             }
         }
@@ -924,10 +923,10 @@ mod tests {
         for row in &p {
             s.add_clause(row.iter().map(|v| v.positive()));
         }
-        for h in 0..n - 1 {
-            for i in 0..n {
-                for j in (i + 1)..n {
-                    s.add_clause([p[i][h].negative(), p[j][h].negative()]);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                for (a, b) in p[i].iter().zip(&p[j]) {
+                    s.add_clause([a.negative(), b.negative()]);
                 }
             }
         }

@@ -1,17 +1,23 @@
-//! Property tests: the CDCL solver against brute-force enumeration on
-//! random small CNF instances.
+//! Randomized tests: the CDCL solver against brute-force enumeration on
+//! random small CNF instances, driven by a deterministic seeded
+//! generator (the workspace builds offline, so `proptest` is replaced
+//! by explicit seed loops).
 
-use proptest::prelude::*;
+use xrta_rng::Rng;
 use xrta_sat::{SolveResult, Solver, Var};
 
 const NVARS: usize = 6;
 
-fn clause_strategy() -> impl Strategy<Value = Vec<(usize, bool)>> {
-    prop::collection::vec(((0..NVARS), any::<bool>()), 1..4)
+fn gen_clause(rng: &mut Rng) -> Vec<(usize, bool)> {
+    let len = rng.range(1, 4);
+    (0..len)
+        .map(|_| (rng.range(0, NVARS), rng.bool()))
+        .collect()
 }
 
-fn formula_strategy() -> impl Strategy<Value = Vec<Vec<(usize, bool)>>> {
-    prop::collection::vec(clause_strategy(), 0..24)
+fn gen_formula(rng: &mut Rng) -> Vec<Vec<(usize, bool)>> {
+    let len = rng.range(0, 24);
+    (0..len).map(|_| gen_clause(rng)).collect()
 }
 
 fn brute_force_sat(formula: &[Vec<(usize, bool)>]) -> Option<Vec<bool>> {
@@ -41,31 +47,36 @@ fn run_solver(formula: &[Vec<(usize, bool)>]) -> (SolveResult, Option<Vec<bool>>
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    #[test]
-    fn solver_agrees_with_brute_force(formula in formula_strategy()) {
+#[test]
+fn solver_agrees_with_brute_force() {
+    for seed in 0..512u64 {
+        let mut rng = Rng::seed_from_u64(0x5A7 + seed);
+        let formula = gen_formula(&mut rng);
         let expected = brute_force_sat(&formula);
         let (result, model) = run_solver(&formula);
         match expected {
             Some(_) => {
-                prop_assert_eq!(result, SolveResult::Sat);
+                assert_eq!(result, SolveResult::Sat, "{formula:?}");
                 // The model must actually satisfy the formula.
                 let m = model.unwrap();
                 for cl in &formula {
-                    prop_assert!(
+                    assert!(
                         cl.iter().any(|&(v, pos)| m[v] == pos),
-                        "model {:?} falsifies {:?}", m, cl
+                        "model {m:?} falsifies {cl:?}"
                     );
                 }
             }
-            None => prop_assert_eq!(result, SolveResult::Unsat),
+            None => assert_eq!(result, SolveResult::Unsat, "{formula:?}"),
         }
     }
+}
 
-    #[test]
-    fn assumptions_match_added_units(formula in formula_strategy(), pattern in 0usize..(1 << 3)) {
+#[test]
+fn assumptions_match_added_units() {
+    for seed in 0..256u64 {
+        let mut rng = Rng::seed_from_u64(0xA55 + seed);
+        let formula = gen_formula(&mut rng);
+        let pattern = rng.range(0, 1 << 3);
         // Solving with assumptions a subset of vars fixed must agree with
         // solving a formula where those units are added as clauses.
         let mut s1 = Solver::new();
@@ -82,7 +93,7 @@ proptest! {
         }
         let r1 = s1.solve_with_assumptions(&assumptions);
         let r2 = s2.solve();
-        prop_assert_eq!(r1, r2);
+        assert_eq!(r1, r2, "{formula:?} pattern {pattern:#b}");
         // s1 must remain reusable: solve unconstrained afterwards agrees
         // with brute force.
         let r = s1.solve();
@@ -91,6 +102,6 @@ proptest! {
         } else {
             SolveResult::Unsat
         };
-        prop_assert_eq!(r, expected);
+        assert_eq!(r, expected, "{formula:?}");
     }
 }

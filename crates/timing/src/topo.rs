@@ -21,9 +21,7 @@ impl TopoTiming {
     pub fn slack(&self, node: NodeId) -> Time {
         let r = self.required[node.index()];
         let a = self.arrival[node.index()];
-        if r.is_inf() {
-            Time::INF
-        } else if a.is_neg_inf() {
+        if r.is_inf() || a.is_neg_inf() {
             Time::INF
         } else if r.is_neg_inf() || a.is_inf() {
             Time::NEG_INF
@@ -248,12 +246,7 @@ mod tests {
     #[test]
     fn slack_computation() {
         let net = fig4();
-        let t = analyze(
-            &net,
-            &UnitDelay,
-            &[Time::ZERO, Time::ZERO],
-            &[Time::new(3)],
-        );
+        let t = analyze(&net, &UnitDelay, &[Time::ZERO, Time::ZERO], &[Time::new(3)]);
         let x1 = net.find("x1").unwrap();
         let x2 = net.find("x2").unwrap();
         let z = net.find("z").unwrap();
@@ -281,7 +274,9 @@ mod tests {
         let a = net.add_input("a").unwrap();
         let mut cur = a;
         for i in 0..5 {
-            cur = net.add_gate(format!("g{i}"), GateKind::Buf, &[cur]).unwrap();
+            cur = net
+                .add_gate(format!("g{i}"), GateKind::Buf, &[cur])
+                .unwrap();
         }
         net.mark_output(cur);
         assert_eq!(topological_delays(&net, &UnitDelay), vec![Time::new(5)]);

@@ -1,8 +1,10 @@
-//! Property tests for topological timing on random DAGs.
+//! Randomized tests for topological timing on random DAGs, driven by a
+//! deterministic seeded generator (the workspace builds offline, so
+//! `proptest` is replaced by explicit seed loops).
 
-use proptest::prelude::*;
-use xrta_timing::{analyze, arrival_times, required_times, DelayModel, TableDelay, Time};
 use xrta_network::{GateKind, Network, NodeId};
+use xrta_rng::Rng;
+use xrta_timing::{analyze, arrival_times, required_times, DelayModel, TableDelay, Time};
 
 #[derive(Clone, Debug)]
 struct Dag {
@@ -11,21 +13,21 @@ struct Dag {
     delays: Vec<i64>,
 }
 
-fn dag_strategy() -> impl Strategy<Value = Dag> {
-    (2usize..6)
-        .prop_flat_map(|inputs| {
-            let gates = prop::collection::vec(prop::collection::vec(0usize..64, 1..4), 1..10);
-            (Just(inputs), gates)
+fn gen_dag(rng: &mut Rng) -> Dag {
+    let inputs = rng.range(2, 6);
+    let ngates = rng.range(1, 10);
+    let gates = (0..ngates)
+        .map(|_| {
+            let npicks = rng.range(1, 4);
+            (0..npicks).map(|_| rng.range(0, 64)).collect()
         })
-        .prop_flat_map(|(inputs, gates)| {
-            let n = gates.len();
-            let delays = prop::collection::vec(1i64..5, n);
-            (Just(inputs), Just(gates), delays).prop_map(|(inputs, gates, delays)| Dag {
-                inputs,
-                gates,
-                delays,
-            })
-        })
+        .collect();
+    let delays = (0..ngates).map(|_| rng.range_i64(1, 4)).collect();
+    Dag {
+        inputs,
+        gates,
+        delays,
+    }
 }
 
 fn build(dag: &Dag) -> (Network, TableDelay) {
@@ -34,10 +36,7 @@ fn build(dag: &Dag) -> (Network, TableDelay) {
         .map(|i| net.add_input(format!("x{i}")).expect("fresh"))
         .collect();
     for (gi, picks) in dag.gates.iter().enumerate() {
-        let fanins: Vec<NodeId> = picks
-            .iter()
-            .map(|&p| pool[p % pool.len()])
-            .collect();
+        let fanins: Vec<NodeId> = picks.iter().map(|&p| pool[p % pool.len()]).collect();
         let kind = if fanins.len() == 1 {
             GateKind::Buf
         } else {
@@ -59,34 +58,36 @@ fn build(dag: &Dag) -> (Network, TableDelay) {
     (net, table)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn arrival_is_max_over_fanins(dag in dag_strategy()) {
+fn for_random_dags(cases: u64, salt: u64, mut check: impl FnMut(&Dag, &Network, &TableDelay)) {
+    for seed in 0..cases {
+        let mut rng = Rng::seed_from_u64(salt + seed);
+        let dag = gen_dag(&mut rng);
         let (net, model) = build(&dag);
-        let arr = arrival_times(&net, &model, &vec![Time::ZERO; net.inputs().len()]);
+        check(&dag, &net, &model);
+    }
+}
+
+#[test]
+fn arrival_is_max_over_fanins() {
+    for_random_dags(128, 0xA441, |dag, net, model| {
+        let arr = arrival_times(net, model, &vec![Time::ZERO; net.inputs().len()]);
         for id in net.node_ids() {
             let n = net.node(id);
             if n.is_input() {
-                prop_assert_eq!(arr[id.index()], Time::ZERO);
+                assert_eq!(arr[id.index()], Time::ZERO, "{dag:?}");
             } else {
-                let expect = n
-                    .fanins
-                    .iter()
-                    .map(|f| arr[f.index()])
-                    .max()
-                    .unwrap()
-                    + model.delay(&net, id);
-                prop_assert_eq!(arr[id.index()], expect);
+                let expect =
+                    n.fanins.iter().map(|f| arr[f.index()]).max().unwrap() + model.delay(net, id);
+                assert_eq!(arr[id.index()], expect, "{dag:?}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn required_is_min_over_fanouts(dag in dag_strategy()) {
-        let (net, model) = build(&dag);
-        let req = required_times(&net, &model, &vec![Time::ZERO; net.outputs().len()]);
+#[test]
+fn required_is_min_over_fanouts() {
+    for_random_dags(128, 0x4E41, |dag, net, model| {
+        let req = required_times(net, model, &vec![Time::ZERO; net.outputs().len()]);
         let fanouts = net.fanouts();
         for id in net.node_ids() {
             let mut bound = if net.outputs().contains(&id) {
@@ -95,33 +96,33 @@ proptest! {
                 Time::INF
             };
             for &fo in &fanouts[id.index()] {
-                let d = model.delay(&net, fo);
+                let d = model.delay(net, fo);
                 bound = bound.min(req[fo.index()] - d);
             }
-            prop_assert_eq!(req[id.index()], bound, "node {}", net.node(id).name);
+            assert_eq!(req[id.index()], bound, "node {} {dag:?}", net.node(id).name);
         }
-    }
+    });
+}
 
-    #[test]
-    fn zero_slack_nodes_form_a_path(dag in dag_strategy()) {
-        // With required(output) = arrival(output), every output with the
-        // worst arrival has slack 0, and some input has slack 0 too.
-        let (net, model) = build(&dag);
+#[test]
+fn zero_slack_nodes_form_a_path() {
+    // With required(output) = arrival(output), every output with the
+    // worst arrival has slack 0, and some input has slack 0 too.
+    for_random_dags(128, 0x51AC, |dag, net, model| {
         let zeros = vec![Time::ZERO; net.inputs().len()];
-        let arr = arrival_times(&net, &model, &zeros);
-        let req_at_outputs: Vec<Time> =
-            net.outputs().iter().map(|o| arr[o.index()]).collect();
-        let t = analyze(&net, &model, &zeros, &req_at_outputs);
-        let zero_slack_input = net
-            .inputs()
-            .iter()
-            .any(|&i| t.slack(i) == Time::ZERO);
-        prop_assert!(zero_slack_input, "a critical path starts at some input");
+        let arr = arrival_times(net, model, &zeros);
+        let req_at_outputs: Vec<Time> = net.outputs().iter().map(|o| arr[o.index()]).collect();
+        let t = analyze(net, model, &zeros, &req_at_outputs);
+        let zero_slack_input = net.inputs().iter().any(|&i| t.slack(i) == Time::ZERO);
+        assert!(
+            zero_slack_input,
+            "a critical path starts at some input: {dag:?}"
+        );
         for id in net.node_ids() {
-            prop_assert!(
+            assert!(
                 t.slack(id) >= Time::ZERO,
-                "non-negative slack under self-derived requirements"
+                "non-negative slack under self-derived requirements: {dag:?}"
             );
         }
-    }
+    });
 }

@@ -12,10 +12,7 @@ fn main() {
     let width = 8;
     let block = 4;
     let net = carry_skip_adder(width, block).expect("valid adder");
-    println!(
-        "=== {}-bit carry-skip adder (blocks of {block}) ===",
-        width
-    );
+    println!("=== {}-bit carry-skip adder (blocks of {block}) ===", width);
 
     let zeros = vec![Time::ZERO; net.inputs().len()];
     let topo = topological_delays(&net, &UnitDelay);
@@ -45,7 +42,9 @@ fn main() {
     println!("  node        arrival  required  true-slack  topo-slack");
     for i in 1..=width {
         let name = format!("c{i}");
-        let Some(node) = net.find(&name) else { continue };
+        let Some(node) = net.find(&name) else {
+            continue;
+        };
         let s = true_slack(&net, &UnitDelay, &zeros, &req, node, EngineKind::Sat);
         println!(
             "  {:<10}  {:>7}  {:>8}  {:>10}  {:>10}{}",
@@ -54,7 +53,11 @@ fn main() {
             s.required,
             s.slack,
             s.topo_slack,
-            if s.slack > s.topo_slack { "   <-- gained" } else { "" }
+            if s.slack > s.topo_slack {
+                "   <-- gained"
+            } else {
+                ""
+            }
         );
     }
 

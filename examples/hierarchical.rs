@@ -75,7 +75,10 @@ fn main() {
     // Boundary signals arrive from the left component; the latch output
     // q arrives at the clock edge (0). For the backward mapping we ask:
     // by when must each boundary signal arrive? (§4 on the cut network.)
-    println!("\ncycle time {cycle}, setup {setup} → req(d) = {}", cycle - setup);
+    println!(
+        "\ncycle time {cycle}, setup {setup} → req(d) = {}",
+        cycle - setup
+    );
 
     // Topological mapping (what a naive flow would hand the left
     // component):

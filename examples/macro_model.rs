@@ -56,11 +56,7 @@ fn main() {
     println!(
         "\n{} of {} dependent pin pairs tightened",
         m.tightened_pairs(),
-        m.delay
-            .iter()
-            .flatten()
-            .filter(|d| d.is_some())
-            .count()
+        m.delay.iter().flatten().filter(|d| d.is_some()).count()
     );
 
     // Composition demo: the abstraction stays safe for shifted arrivals.
@@ -78,7 +74,11 @@ fn main() {
     }
     println!(
         "macro-model output arrivals upper-bound the monolithic analysis: {}",
-        if safe { "yes (safe abstraction)" } else { "VIOLATION" }
+        if safe {
+            "yes (safe abstraction)"
+        } else {
+            "VIOLATION"
+        }
     );
 
     // Show the report module on the bypass circuit, for good measure.

@@ -93,9 +93,15 @@ fn main() {
     // 3. The parametric analysis.
     let approx = approx1_required_times(&net, &UnitDelay, &req, Approx1Options::default())
         .expect("small example fits any node limit");
-    println!("\nParametric analysis (§4.2): F(α,β) has {} prime(s)", approx.primes.len());
+    println!(
+        "\nParametric analysis (§4.2): F(α,β) has {} prime(s)",
+        approx.primes.len()
+    );
     for cond in &approx.conditions {
-        println!("  condition: x1 {} | x2 {}", cond.per_input[0], cond.per_input[1]);
+        println!(
+            "  condition: x1 {} | x2 {}",
+            cond.per_input[0], cond.per_input[1]
+        );
     }
     println!(
         "  non-trivial vs topological: {}",

@@ -24,7 +24,10 @@ fn main() {
     println!("refined partition of the primary-input space:");
     for class in &res.classes {
         let times: Vec<String> = class.arrival.iter().map(|t| t.to_string()).collect();
-        println!("  some X class -> (arr(u1), arr(u2)) = ({})", times.join(", "));
+        println!(
+            "  some X class -> (arr(u1), arr(u2)) = ({})",
+            times.join(", ")
+        );
     }
 
     println!("\nfolded onto the subcircuit inputs (the paper's table):");

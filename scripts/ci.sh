@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Repo CI gate: formatting, lints, and the full test suite.
+#
+#   scripts/ci.sh          # run everything
+#
+# Mirrors what reviewers run locally; keep it green before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "CI OK"

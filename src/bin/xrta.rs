@@ -122,13 +122,12 @@ fn run() -> Result<(), String> {
             let ft = FunctionalTiming::new(&net, &UnitDelay, zeros, args.engine);
             let topo = topological_delays(&net, &UnitDelay);
             println!("output | topological | true");
-            for ((&o, topo_t), true_t) in net
-                .outputs()
-                .iter()
-                .zip(&topo)
-                .zip(ft.true_arrivals())
-            {
-                let marker = if true_t < *topo_t { "  <-- false paths" } else { "" };
+            for ((&o, topo_t), true_t) in net.outputs().iter().zip(&topo).zip(ft.true_arrivals()) {
+                let marker = if true_t < *topo_t {
+                    "  <-- false paths"
+                } else {
+                    ""
+                };
                 println!(
                     "{:<12} | {:>11} | {:>4}{}",
                     net.node(o).name,

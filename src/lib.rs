@@ -42,7 +42,8 @@ pub mod prelude {
     pub use xrta_core::{
         approx1_required_times, approx2_required_times, exact_required_times,
         subcircuit_arrival_times, subcircuit_required_times, true_slack, Approx1Options,
-        Approx2Options, ArrivalFlexOptions, ExactOptions, RequiredTimeTuple, ValueTimes,
+        Approx2Options, ArrivalFlexOptions, CacheStrategy, ExactOptions, RequiredTimeTuple,
+        ValueTimes,
     };
     pub use xrta_network::{GateKind, Network, NodeId};
     pub use xrta_timing::{

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bdd_ops-b8426acc66050015.d: crates/bench/benches/bdd_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbdd_ops-b8426acc66050015.rmeta: crates/bench/benches/bdd_ops.rs Cargo.toml
+
+crates/bench/benches/bdd_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chi_engines-72bb0b9bcaeb8c1b.d: crates/bench/benches/chi_engines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchi_engines-72bb0b9bcaeb8c1b.rmeta: crates/bench/benches/chi_engines.rs Cargo.toml
+
+crates/bench/benches/chi_engines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

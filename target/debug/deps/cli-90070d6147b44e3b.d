@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cli-90070d6147b44e3b.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-90070d6147b44e3b: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_xrta=/root/repo/target/debug/xrta
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cli-b54574a6a2a27f60.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-b54574a6a2a27f60.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_xrta=placeholder:xrta
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

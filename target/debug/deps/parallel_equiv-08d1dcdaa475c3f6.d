@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_equiv-08d1dcdaa475c3f6.d: tests/parallel_equiv.rs
+
+/root/repo/target/debug/deps/parallel_equiv-08d1dcdaa475c3f6: tests/parallel_equiv.rs
+
+tests/parallel_equiv.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_equiv-526ac9484c56aa25.d: tests/parallel_equiv.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_equiv-526ac9484c56aa25.rmeta: tests/parallel_equiv.rs Cargo.toml
+
+tests/parallel_equiv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

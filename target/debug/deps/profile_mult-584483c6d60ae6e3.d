@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/profile_mult-584483c6d60ae6e3.d: crates/bench/src/bin/profile_mult.rs
+
+/root/repo/target/debug/deps/profile_mult-584483c6d60ae6e3: crates/bench/src/bin/profile_mult.rs
+
+crates/bench/src/bin/profile_mult.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/profile_mult-630f10ab83440998.d: crates/bench/src/bin/profile_mult.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprofile_mult-630f10ab83440998.rmeta: crates/bench/src/bin/profile_mult.rs Cargo.toml
+
+crates/bench/src/bin/profile_mult.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-20e34289db6a95f1.d: crates/sat/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-20e34289db6a95f1.rmeta: crates/sat/tests/prop.rs Cargo.toml
+
+crates/sat/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-574d42aea5201de7.d: crates/timing/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-574d42aea5201de7.rmeta: crates/timing/tests/prop.rs Cargo.toml
+
+crates/timing/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-848d08c163c41aae.d: crates/network/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-848d08c163c41aae.rmeta: crates/network/tests/prop.rs Cargo.toml
+
+crates/network/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

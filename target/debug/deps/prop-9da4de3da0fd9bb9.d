@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-9da4de3da0fd9bb9.d: crates/timing/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-9da4de3da0fd9bb9: crates/timing/tests/prop.rs
+
+crates/timing/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-d1dbc29e70c8b340.d: crates/sat/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-d1dbc29e70c8b340: crates/sat/tests/prop.rs
+
+crates/sat/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-f6d12927de67831a.d: crates/bdd/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-f6d12927de67831a: crates/bdd/tests/prop.rs
+
+crates/bdd/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-fe40b0b8d0489a3c.d: crates/network/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-fe40b0b8d0489a3c: crates/network/tests/prop.rs
+
+crates/network/tests/prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reqtime-677392eab12e6639.d: crates/bench/benches/reqtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreqtime-677392eab12e6639.rmeta: crates/bench/benches/reqtime.rs Cargo.toml
+
+crates/bench/benches/reqtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

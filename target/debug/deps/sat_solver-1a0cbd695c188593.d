@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sat_solver-1a0cbd695c188593.d: crates/bench/benches/sat_solver.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsat_solver-1a0cbd695c188593.rmeta: crates/bench/benches/sat_solver.rs Cargo.toml
+
+crates/bench/benches/sat_solver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

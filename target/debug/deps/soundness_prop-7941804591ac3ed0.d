@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soundness_prop-7941804591ac3ed0.d: tests/soundness_prop.rs
+
+/root/repo/target/debug/deps/soundness_prop-7941804591ac3ed0: tests/soundness_prop.rs
+
+tests/soundness_prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/soundness_prop-805f31343dee764f.d: tests/soundness_prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoundness_prop-805f31343dee764f.rmeta: tests/soundness_prop.rs Cargo.toml
+
+tests/soundness_prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

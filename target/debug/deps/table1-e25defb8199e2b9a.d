@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-e25defb8199e2b9a.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-e25defb8199e2b9a: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-0cd6c407c192f10b.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-0cd6c407c192f10b: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xrta-17300e2bbe149104.d: src/lib.rs
+
+/root/repo/target/debug/deps/libxrta-17300e2bbe149104.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libxrta-17300e2bbe149104.rmeta: src/lib.rs
+
+src/lib.rs:

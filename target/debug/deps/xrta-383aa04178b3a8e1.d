@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xrta-383aa04178b3a8e1.d: src/bin/xrta.rs
+
+/root/repo/target/debug/deps/xrta-383aa04178b3a8e1: src/bin/xrta.rs
+
+src/bin/xrta.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xrta-51855c29f7154ae1.d: src/lib.rs
+
+/root/repo/target/debug/deps/xrta-51855c29f7154ae1: src/lib.rs
+
+src/lib.rs:

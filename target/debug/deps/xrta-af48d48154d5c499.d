@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xrta-af48d48154d5c499.d: src/bin/xrta.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxrta-af48d48154d5c499.rmeta: src/bin/xrta.rs Cargo.toml
+
+src/bin/xrta.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xrta-c62be92bd94a0cfd.d: src/bin/xrta.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxrta-c62be92bd94a0cfd.rmeta: src/bin/xrta.rs Cargo.toml
+
+src/bin/xrta.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

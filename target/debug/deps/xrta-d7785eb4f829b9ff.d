@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xrta-d7785eb4f829b9ff.d: src/bin/xrta.rs
+
+/root/repo/target/debug/deps/xrta-d7785eb4f829b9ff: src/bin/xrta.rs
+
+src/bin/xrta.rs:

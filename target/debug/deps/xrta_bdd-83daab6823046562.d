@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/xrta_bdd-83daab6823046562.d: crates/bdd/src/lib.rs crates/bdd/src/compose.rs crates/bdd/src/count.rs crates/bdd/src/dot.rs crates/bdd/src/hash.rs crates/bdd/src/isop.rs crates/bdd/src/manager.rs crates/bdd/src/minimal.rs crates/bdd/src/node.rs crates/bdd/src/quant.rs crates/bdd/src/reorder.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxrta_bdd-83daab6823046562.rmeta: crates/bdd/src/lib.rs crates/bdd/src/compose.rs crates/bdd/src/count.rs crates/bdd/src/dot.rs crates/bdd/src/hash.rs crates/bdd/src/isop.rs crates/bdd/src/manager.rs crates/bdd/src/minimal.rs crates/bdd/src/node.rs crates/bdd/src/quant.rs crates/bdd/src/reorder.rs Cargo.toml
+
+crates/bdd/src/lib.rs:
+crates/bdd/src/compose.rs:
+crates/bdd/src/count.rs:
+crates/bdd/src/dot.rs:
+crates/bdd/src/hash.rs:
+crates/bdd/src/isop.rs:
+crates/bdd/src/manager.rs:
+crates/bdd/src/minimal.rs:
+crates/bdd/src/node.rs:
+crates/bdd/src/quant.rs:
+crates/bdd/src/reorder.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

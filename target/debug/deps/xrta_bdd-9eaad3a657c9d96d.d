@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/xrta_bdd-9eaad3a657c9d96d.d: crates/bdd/src/lib.rs crates/bdd/src/compose.rs crates/bdd/src/count.rs crates/bdd/src/dot.rs crates/bdd/src/hash.rs crates/bdd/src/isop.rs crates/bdd/src/manager.rs crates/bdd/src/minimal.rs crates/bdd/src/node.rs crates/bdd/src/quant.rs crates/bdd/src/reorder.rs
+
+/root/repo/target/debug/deps/libxrta_bdd-9eaad3a657c9d96d.rlib: crates/bdd/src/lib.rs crates/bdd/src/compose.rs crates/bdd/src/count.rs crates/bdd/src/dot.rs crates/bdd/src/hash.rs crates/bdd/src/isop.rs crates/bdd/src/manager.rs crates/bdd/src/minimal.rs crates/bdd/src/node.rs crates/bdd/src/quant.rs crates/bdd/src/reorder.rs
+
+/root/repo/target/debug/deps/libxrta_bdd-9eaad3a657c9d96d.rmeta: crates/bdd/src/lib.rs crates/bdd/src/compose.rs crates/bdd/src/count.rs crates/bdd/src/dot.rs crates/bdd/src/hash.rs crates/bdd/src/isop.rs crates/bdd/src/manager.rs crates/bdd/src/minimal.rs crates/bdd/src/node.rs crates/bdd/src/quant.rs crates/bdd/src/reorder.rs
+
+crates/bdd/src/lib.rs:
+crates/bdd/src/compose.rs:
+crates/bdd/src/count.rs:
+crates/bdd/src/dot.rs:
+crates/bdd/src/hash.rs:
+crates/bdd/src/isop.rs:
+crates/bdd/src/manager.rs:
+crates/bdd/src/minimal.rs:
+crates/bdd/src/node.rs:
+crates/bdd/src/quant.rs:
+crates/bdd/src/reorder.rs:

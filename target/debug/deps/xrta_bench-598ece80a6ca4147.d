@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xrta_bench-598ece80a6ca4147.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/xrta_bench-598ece80a6ca4147: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

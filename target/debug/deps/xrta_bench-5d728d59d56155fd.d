@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xrta_bench-5d728d59d56155fd.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxrta_bench-5d728d59d56155fd.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

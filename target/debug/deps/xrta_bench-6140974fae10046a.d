@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xrta_bench-6140974fae10046a.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxrta_bench-6140974fae10046a.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

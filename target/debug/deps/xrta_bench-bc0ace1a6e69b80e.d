@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xrta_bench-bc0ace1a6e69b80e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libxrta_bench-bc0ace1a6e69b80e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libxrta_bench-bc0ace1a6e69b80e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/xrta_chi-681429cc365bcadd.d: crates/chi/src/lib.rs crates/chi/src/engine.rs crates/chi/src/sat_engine.rs crates/chi/src/true_delay.rs
+
+/root/repo/target/debug/deps/libxrta_chi-681429cc365bcadd.rlib: crates/chi/src/lib.rs crates/chi/src/engine.rs crates/chi/src/sat_engine.rs crates/chi/src/true_delay.rs
+
+/root/repo/target/debug/deps/libxrta_chi-681429cc365bcadd.rmeta: crates/chi/src/lib.rs crates/chi/src/engine.rs crates/chi/src/sat_engine.rs crates/chi/src/true_delay.rs
+
+crates/chi/src/lib.rs:
+crates/chi/src/engine.rs:
+crates/chi/src/sat_engine.rs:
+crates/chi/src/true_delay.rs:

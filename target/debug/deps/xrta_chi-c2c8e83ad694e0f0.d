@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/xrta_chi-c2c8e83ad694e0f0.d: crates/chi/src/lib.rs crates/chi/src/engine.rs crates/chi/src/sat_engine.rs crates/chi/src/true_delay.rs
+
+/root/repo/target/debug/deps/xrta_chi-c2c8e83ad694e0f0: crates/chi/src/lib.rs crates/chi/src/engine.rs crates/chi/src/sat_engine.rs crates/chi/src/true_delay.rs
+
+crates/chi/src/lib.rs:
+crates/chi/src/engine.rs:
+crates/chi/src/sat_engine.rs:
+crates/chi/src/true_delay.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/xrta_chi-cbee1462a33795c5.d: crates/chi/src/lib.rs crates/chi/src/engine.rs crates/chi/src/sat_engine.rs crates/chi/src/true_delay.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxrta_chi-cbee1462a33795c5.rmeta: crates/chi/src/lib.rs crates/chi/src/engine.rs crates/chi/src/sat_engine.rs crates/chi/src/true_delay.rs Cargo.toml
+
+crates/chi/src/lib.rs:
+crates/chi/src/engine.rs:
+crates/chi/src/sat_engine.rs:
+crates/chi/src/true_delay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/xrta_circuits-22e22224ccd9dcf0.d: crates/circuits/src/lib.rs crates/circuits/src/adders.rs crates/circuits/src/chains.rs crates/circuits/src/examples.rs crates/circuits/src/mult.rs crates/circuits/src/random_dag.rs crates/circuits/src/suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxrta_circuits-22e22224ccd9dcf0.rmeta: crates/circuits/src/lib.rs crates/circuits/src/adders.rs crates/circuits/src/chains.rs crates/circuits/src/examples.rs crates/circuits/src/mult.rs crates/circuits/src/random_dag.rs crates/circuits/src/suite.rs Cargo.toml
+
+crates/circuits/src/lib.rs:
+crates/circuits/src/adders.rs:
+crates/circuits/src/chains.rs:
+crates/circuits/src/examples.rs:
+crates/circuits/src/mult.rs:
+crates/circuits/src/random_dag.rs:
+crates/circuits/src/suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

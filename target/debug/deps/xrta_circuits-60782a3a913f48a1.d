@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/xrta_circuits-60782a3a913f48a1.d: crates/circuits/src/lib.rs crates/circuits/src/adders.rs crates/circuits/src/chains.rs crates/circuits/src/examples.rs crates/circuits/src/mult.rs crates/circuits/src/random_dag.rs crates/circuits/src/suite.rs
+
+/root/repo/target/debug/deps/libxrta_circuits-60782a3a913f48a1.rlib: crates/circuits/src/lib.rs crates/circuits/src/adders.rs crates/circuits/src/chains.rs crates/circuits/src/examples.rs crates/circuits/src/mult.rs crates/circuits/src/random_dag.rs crates/circuits/src/suite.rs
+
+/root/repo/target/debug/deps/libxrta_circuits-60782a3a913f48a1.rmeta: crates/circuits/src/lib.rs crates/circuits/src/adders.rs crates/circuits/src/chains.rs crates/circuits/src/examples.rs crates/circuits/src/mult.rs crates/circuits/src/random_dag.rs crates/circuits/src/suite.rs
+
+crates/circuits/src/lib.rs:
+crates/circuits/src/adders.rs:
+crates/circuits/src/chains.rs:
+crates/circuits/src/examples.rs:
+crates/circuits/src/mult.rs:
+crates/circuits/src/random_dag.rs:
+crates/circuits/src/suite.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/xrta_core-c03da87fae5ab601.d: crates/core/src/lib.rs crates/core/src/approx1.rs crates/core/src/approx2.rs crates/core/src/dominance.rs crates/core/src/exact.rs crates/core/src/flex.rs crates/core/src/leaves.rs crates/core/src/macro_model.rs crates/core/src/plan.rs crates/core/src/report.rs crates/core/src/slack.rs crates/core/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxrta_core-c03da87fae5ab601.rmeta: crates/core/src/lib.rs crates/core/src/approx1.rs crates/core/src/approx2.rs crates/core/src/dominance.rs crates/core/src/exact.rs crates/core/src/flex.rs crates/core/src/leaves.rs crates/core/src/macro_model.rs crates/core/src/plan.rs crates/core/src/report.rs crates/core/src/slack.rs crates/core/src/types.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/approx1.rs:
+crates/core/src/approx2.rs:
+crates/core/src/dominance.rs:
+crates/core/src/exact.rs:
+crates/core/src/flex.rs:
+crates/core/src/leaves.rs:
+crates/core/src/macro_model.rs:
+crates/core/src/plan.rs:
+crates/core/src/report.rs:
+crates/core/src/slack.rs:
+crates/core/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/xrta_network-9e4a6f6da637d387.d: crates/network/src/lib.rs crates/network/src/bdd_bridge.rs crates/network/src/bench_fmt.rs crates/network/src/blif.rs crates/network/src/cnf_bridge.rs crates/network/src/decompose.rs crates/network/src/gate.rs crates/network/src/network.rs crates/network/src/transform.rs crates/network/src/truth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxrta_network-9e4a6f6da637d387.rmeta: crates/network/src/lib.rs crates/network/src/bdd_bridge.rs crates/network/src/bench_fmt.rs crates/network/src/blif.rs crates/network/src/cnf_bridge.rs crates/network/src/decompose.rs crates/network/src/gate.rs crates/network/src/network.rs crates/network/src/transform.rs crates/network/src/truth.rs Cargo.toml
+
+crates/network/src/lib.rs:
+crates/network/src/bdd_bridge.rs:
+crates/network/src/bench_fmt.rs:
+crates/network/src/blif.rs:
+crates/network/src/cnf_bridge.rs:
+crates/network/src/decompose.rs:
+crates/network/src/gate.rs:
+crates/network/src/network.rs:
+crates/network/src/transform.rs:
+crates/network/src/truth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xrta_rng-5b0da7ac2eccf3b8.d: crates/rng/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxrta_rng-5b0da7ac2eccf3b8.rmeta: crates/rng/src/lib.rs Cargo.toml
+
+crates/rng/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

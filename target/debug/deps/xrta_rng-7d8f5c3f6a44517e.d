@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xrta_rng-7d8f5c3f6a44517e.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/xrta_rng-7d8f5c3f6a44517e: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xrta_rng-e5d272b666928ede.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libxrta_rng-e5d272b666928ede.rlib: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libxrta_rng-e5d272b666928ede.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xrta_sat-3e969b610b6c8499.d: crates/sat/src/lib.rs crates/sat/src/cnf.rs crates/sat/src/dimacs.rs crates/sat/src/lit.rs crates/sat/src/solver.rs
+
+/root/repo/target/debug/deps/libxrta_sat-3e969b610b6c8499.rlib: crates/sat/src/lib.rs crates/sat/src/cnf.rs crates/sat/src/dimacs.rs crates/sat/src/lit.rs crates/sat/src/solver.rs
+
+/root/repo/target/debug/deps/libxrta_sat-3e969b610b6c8499.rmeta: crates/sat/src/lib.rs crates/sat/src/cnf.rs crates/sat/src/dimacs.rs crates/sat/src/lit.rs crates/sat/src/solver.rs
+
+crates/sat/src/lib.rs:
+crates/sat/src/cnf.rs:
+crates/sat/src/dimacs.rs:
+crates/sat/src/lit.rs:
+crates/sat/src/solver.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xrta_sat-fd5704be707c7ad4.d: crates/sat/src/lib.rs crates/sat/src/cnf.rs crates/sat/src/dimacs.rs crates/sat/src/lit.rs crates/sat/src/solver.rs
+
+/root/repo/target/debug/deps/xrta_sat-fd5704be707c7ad4: crates/sat/src/lib.rs crates/sat/src/cnf.rs crates/sat/src/dimacs.rs crates/sat/src/lit.rs crates/sat/src/solver.rs
+
+crates/sat/src/lib.rs:
+crates/sat/src/cnf.rs:
+crates/sat/src/dimacs.rs:
+crates/sat/src/lit.rs:
+crates/sat/src/solver.rs:

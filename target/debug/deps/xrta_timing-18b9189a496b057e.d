@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/xrta_timing-18b9189a496b057e.d: crates/timing/src/lib.rs crates/timing/src/delay.rs crates/timing/src/time.rs crates/timing/src/topo.rs
+
+/root/repo/target/debug/deps/libxrta_timing-18b9189a496b057e.rlib: crates/timing/src/lib.rs crates/timing/src/delay.rs crates/timing/src/time.rs crates/timing/src/topo.rs
+
+/root/repo/target/debug/deps/libxrta_timing-18b9189a496b057e.rmeta: crates/timing/src/lib.rs crates/timing/src/delay.rs crates/timing/src/time.rs crates/timing/src/topo.rs
+
+crates/timing/src/lib.rs:
+crates/timing/src/delay.rs:
+crates/timing/src/time.rs:
+crates/timing/src/topo.rs:

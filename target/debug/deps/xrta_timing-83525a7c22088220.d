@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/xrta_timing-83525a7c22088220.d: crates/timing/src/lib.rs crates/timing/src/delay.rs crates/timing/src/time.rs crates/timing/src/topo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxrta_timing-83525a7c22088220.rmeta: crates/timing/src/lib.rs crates/timing/src/delay.rs crates/timing/src/time.rs crates/timing/src/topo.rs Cargo.toml
+
+crates/timing/src/lib.rs:
+crates/timing/src/delay.rs:
+crates/timing/src/time.rs:
+crates/timing/src/topo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

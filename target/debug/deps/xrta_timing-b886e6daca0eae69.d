@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/xrta_timing-b886e6daca0eae69.d: crates/timing/src/lib.rs crates/timing/src/delay.rs crates/timing/src/time.rs crates/timing/src/topo.rs
+
+/root/repo/target/debug/deps/xrta_timing-b886e6daca0eae69: crates/timing/src/lib.rs crates/timing/src/delay.rs crates/timing/src/time.rs crates/timing/src/topo.rs
+
+crates/timing/src/lib.rs:
+crates/timing/src/delay.rs:
+crates/timing/src/time.rs:
+crates/timing/src/topo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/false_path_slack-00424c24282a2173.d: examples/false_path_slack.rs
+
+/root/repo/target/debug/examples/false_path_slack-00424c24282a2173: examples/false_path_slack.rs
+
+examples/false_path_slack.rs:

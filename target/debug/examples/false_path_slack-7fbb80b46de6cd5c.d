@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/false_path_slack-7fbb80b46de6cd5c.d: examples/false_path_slack.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfalse_path_slack-7fbb80b46de6cd5c.rmeta: examples/false_path_slack.rs Cargo.toml
+
+examples/false_path_slack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

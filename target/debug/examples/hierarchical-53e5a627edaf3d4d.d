@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hierarchical-53e5a627edaf3d4d.d: examples/hierarchical.rs
+
+/root/repo/target/debug/examples/hierarchical-53e5a627edaf3d4d: examples/hierarchical.rs
+
+examples/hierarchical.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/macro_model-cc8f4e800bfad842.d: examples/macro_model.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmacro_model-cc8f4e800bfad842.rmeta: examples/macro_model.rs Cargo.toml
+
+examples/macro_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

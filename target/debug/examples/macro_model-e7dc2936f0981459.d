@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/macro_model-e7dc2936f0981459.d: examples/macro_model.rs
+
+/root/repo/target/debug/examples/macro_model-e7dc2936f0981459: examples/macro_model.rs
+
+examples/macro_model.rs:

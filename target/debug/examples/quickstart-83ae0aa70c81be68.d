@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-83ae0aa70c81be68.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-83ae0aa70c81be68: examples/quickstart.rs
+
+examples/quickstart.rs:

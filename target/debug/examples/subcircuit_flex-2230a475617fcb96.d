@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/subcircuit_flex-2230a475617fcb96.d: examples/subcircuit_flex.rs
+
+/root/repo/target/debug/examples/subcircuit_flex-2230a475617fcb96: examples/subcircuit_flex.rs
+
+examples/subcircuit_flex.rs:

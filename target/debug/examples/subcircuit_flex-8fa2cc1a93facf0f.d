@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/subcircuit_flex-8fa2cc1a93facf0f.d: examples/subcircuit_flex.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsubcircuit_flex-8fa2cc1a93facf0f.rmeta: examples/subcircuit_flex.rs Cargo.toml
+
+examples/subcircuit_flex.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

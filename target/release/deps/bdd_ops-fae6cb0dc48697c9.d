@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bdd_ops-fae6cb0dc48697c9.d: crates/bench/benches/bdd_ops.rs
+
+/root/repo/target/release/deps/bdd_ops-fae6cb0dc48697c9: crates/bench/benches/bdd_ops.rs
+
+crates/bench/benches/bdd_ops.rs:

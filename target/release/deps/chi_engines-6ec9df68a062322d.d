@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chi_engines-6ec9df68a062322d.d: crates/bench/benches/chi_engines.rs
+
+/root/repo/target/release/deps/chi_engines-6ec9df68a062322d: crates/bench/benches/chi_engines.rs
+
+crates/bench/benches/chi_engines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/profile_mult-0b17cc690d65dc69.d: crates/bench/src/bin/profile_mult.rs
+
+/root/repo/target/release/deps/profile_mult-0b17cc690d65dc69: crates/bench/src/bin/profile_mult.rs
+
+crates/bench/src/bin/profile_mult.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/profile_mult-ef24ee3b209e7280.d: crates/bench/src/bin/profile_mult.rs
+
+/root/repo/target/release/deps/profile_mult-ef24ee3b209e7280: crates/bench/src/bin/profile_mult.rs
+
+crates/bench/src/bin/profile_mult.rs:

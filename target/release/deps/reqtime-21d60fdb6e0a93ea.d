@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reqtime-21d60fdb6e0a93ea.d: crates/bench/benches/reqtime.rs
+
+/root/repo/target/release/deps/reqtime-21d60fdb6e0a93ea: crates/bench/benches/reqtime.rs
+
+crates/bench/benches/reqtime.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sat_solver-69efcbc6643bb5a7.d: crates/bench/benches/sat_solver.rs
+
+/root/repo/target/release/deps/sat_solver-69efcbc6643bb5a7: crates/bench/benches/sat_solver.rs
+
+crates/bench/benches/sat_solver.rs:

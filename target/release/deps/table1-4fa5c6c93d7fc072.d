@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-4fa5c6c93d7fc072.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-4fa5c6c93d7fc072: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

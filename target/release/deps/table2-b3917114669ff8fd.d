@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-b3917114669ff8fd.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-b3917114669ff8fd: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/xrta-0c88255070feb962.d: src/lib.rs
+
+/root/repo/target/release/deps/libxrta-0c88255070feb962.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libxrta-0c88255070feb962.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/xrta-18c3b7c2e585c880.d: src/bin/xrta.rs
+
+/root/repo/target/release/deps/xrta-18c3b7c2e585c880: src/bin/xrta.rs
+
+src/bin/xrta.rs:

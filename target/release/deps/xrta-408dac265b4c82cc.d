@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/xrta-408dac265b4c82cc.d: src/bin/xrta.rs
+
+/root/repo/target/release/deps/xrta-408dac265b4c82cc: src/bin/xrta.rs
+
+src/bin/xrta.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/xrta-54ca48ea9c3fa646.d: src/lib.rs
+
+/root/repo/target/release/deps/xrta-54ca48ea9c3fa646: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/xrta_bdd-25042d3300c202e0.d: crates/bdd/src/lib.rs crates/bdd/src/compose.rs crates/bdd/src/count.rs crates/bdd/src/dot.rs crates/bdd/src/hash.rs crates/bdd/src/isop.rs crates/bdd/src/manager.rs crates/bdd/src/minimal.rs crates/bdd/src/node.rs crates/bdd/src/quant.rs crates/bdd/src/reorder.rs
+
+/root/repo/target/release/deps/libxrta_bdd-25042d3300c202e0.rlib: crates/bdd/src/lib.rs crates/bdd/src/compose.rs crates/bdd/src/count.rs crates/bdd/src/dot.rs crates/bdd/src/hash.rs crates/bdd/src/isop.rs crates/bdd/src/manager.rs crates/bdd/src/minimal.rs crates/bdd/src/node.rs crates/bdd/src/quant.rs crates/bdd/src/reorder.rs
+
+/root/repo/target/release/deps/libxrta_bdd-25042d3300c202e0.rmeta: crates/bdd/src/lib.rs crates/bdd/src/compose.rs crates/bdd/src/count.rs crates/bdd/src/dot.rs crates/bdd/src/hash.rs crates/bdd/src/isop.rs crates/bdd/src/manager.rs crates/bdd/src/minimal.rs crates/bdd/src/node.rs crates/bdd/src/quant.rs crates/bdd/src/reorder.rs
+
+crates/bdd/src/lib.rs:
+crates/bdd/src/compose.rs:
+crates/bdd/src/count.rs:
+crates/bdd/src/dot.rs:
+crates/bdd/src/hash.rs:
+crates/bdd/src/isop.rs:
+crates/bdd/src/manager.rs:
+crates/bdd/src/minimal.rs:
+crates/bdd/src/node.rs:
+crates/bdd/src/quant.rs:
+crates/bdd/src/reorder.rs:

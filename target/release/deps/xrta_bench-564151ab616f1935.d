@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/xrta_bench-564151ab616f1935.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/xrta_bench-564151ab616f1935: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/xrta_bench-c461b9b70e1a979f.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libxrta_bench-c461b9b70e1a979f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libxrta_bench-c461b9b70e1a979f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/xrta_chi-3f447b8b8e9d64cb.d: crates/chi/src/lib.rs crates/chi/src/engine.rs crates/chi/src/sat_engine.rs crates/chi/src/true_delay.rs
+
+/root/repo/target/release/deps/xrta_chi-3f447b8b8e9d64cb: crates/chi/src/lib.rs crates/chi/src/engine.rs crates/chi/src/sat_engine.rs crates/chi/src/true_delay.rs
+
+crates/chi/src/lib.rs:
+crates/chi/src/engine.rs:
+crates/chi/src/sat_engine.rs:
+crates/chi/src/true_delay.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/xrta_chi-e1c7eb260ec1ef6d.d: crates/chi/src/lib.rs crates/chi/src/engine.rs crates/chi/src/sat_engine.rs crates/chi/src/true_delay.rs
+
+/root/repo/target/release/deps/libxrta_chi-e1c7eb260ec1ef6d.rlib: crates/chi/src/lib.rs crates/chi/src/engine.rs crates/chi/src/sat_engine.rs crates/chi/src/true_delay.rs
+
+/root/repo/target/release/deps/libxrta_chi-e1c7eb260ec1ef6d.rmeta: crates/chi/src/lib.rs crates/chi/src/engine.rs crates/chi/src/sat_engine.rs crates/chi/src/true_delay.rs
+
+crates/chi/src/lib.rs:
+crates/chi/src/engine.rs:
+crates/chi/src/sat_engine.rs:
+crates/chi/src/true_delay.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/xrta_circuits-163b005f00f33893.d: crates/circuits/src/lib.rs crates/circuits/src/adders.rs crates/circuits/src/chains.rs crates/circuits/src/examples.rs crates/circuits/src/mult.rs crates/circuits/src/random_dag.rs crates/circuits/src/suite.rs
+
+/root/repo/target/release/deps/xrta_circuits-163b005f00f33893: crates/circuits/src/lib.rs crates/circuits/src/adders.rs crates/circuits/src/chains.rs crates/circuits/src/examples.rs crates/circuits/src/mult.rs crates/circuits/src/random_dag.rs crates/circuits/src/suite.rs
+
+crates/circuits/src/lib.rs:
+crates/circuits/src/adders.rs:
+crates/circuits/src/chains.rs:
+crates/circuits/src/examples.rs:
+crates/circuits/src/mult.rs:
+crates/circuits/src/random_dag.rs:
+crates/circuits/src/suite.rs:

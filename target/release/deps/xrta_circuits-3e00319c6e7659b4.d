@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/xrta_circuits-3e00319c6e7659b4.d: crates/circuits/src/lib.rs crates/circuits/src/adders.rs crates/circuits/src/chains.rs crates/circuits/src/examples.rs crates/circuits/src/mult.rs crates/circuits/src/random_dag.rs crates/circuits/src/suite.rs
+
+/root/repo/target/release/deps/libxrta_circuits-3e00319c6e7659b4.rlib: crates/circuits/src/lib.rs crates/circuits/src/adders.rs crates/circuits/src/chains.rs crates/circuits/src/examples.rs crates/circuits/src/mult.rs crates/circuits/src/random_dag.rs crates/circuits/src/suite.rs
+
+/root/repo/target/release/deps/libxrta_circuits-3e00319c6e7659b4.rmeta: crates/circuits/src/lib.rs crates/circuits/src/adders.rs crates/circuits/src/chains.rs crates/circuits/src/examples.rs crates/circuits/src/mult.rs crates/circuits/src/random_dag.rs crates/circuits/src/suite.rs
+
+crates/circuits/src/lib.rs:
+crates/circuits/src/adders.rs:
+crates/circuits/src/chains.rs:
+crates/circuits/src/examples.rs:
+crates/circuits/src/mult.rs:
+crates/circuits/src/random_dag.rs:
+crates/circuits/src/suite.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/xrta_core-952d3326b1a32b58.d: crates/core/src/lib.rs crates/core/src/approx1.rs crates/core/src/approx2.rs crates/core/src/exact.rs crates/core/src/flex.rs crates/core/src/leaves.rs crates/core/src/macro_model.rs crates/core/src/plan.rs crates/core/src/report.rs crates/core/src/slack.rs crates/core/src/types.rs
+
+/root/repo/target/release/deps/xrta_core-952d3326b1a32b58: crates/core/src/lib.rs crates/core/src/approx1.rs crates/core/src/approx2.rs crates/core/src/exact.rs crates/core/src/flex.rs crates/core/src/leaves.rs crates/core/src/macro_model.rs crates/core/src/plan.rs crates/core/src/report.rs crates/core/src/slack.rs crates/core/src/types.rs
+
+crates/core/src/lib.rs:
+crates/core/src/approx1.rs:
+crates/core/src/approx2.rs:
+crates/core/src/exact.rs:
+crates/core/src/flex.rs:
+crates/core/src/leaves.rs:
+crates/core/src/macro_model.rs:
+crates/core/src/plan.rs:
+crates/core/src/report.rs:
+crates/core/src/slack.rs:
+crates/core/src/types.rs:

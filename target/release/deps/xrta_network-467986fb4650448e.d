@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/xrta_network-467986fb4650448e.d: crates/network/src/lib.rs crates/network/src/bdd_bridge.rs crates/network/src/bench_fmt.rs crates/network/src/blif.rs crates/network/src/cnf_bridge.rs crates/network/src/decompose.rs crates/network/src/gate.rs crates/network/src/network.rs crates/network/src/transform.rs crates/network/src/truth.rs
+
+/root/repo/target/release/deps/libxrta_network-467986fb4650448e.rlib: crates/network/src/lib.rs crates/network/src/bdd_bridge.rs crates/network/src/bench_fmt.rs crates/network/src/blif.rs crates/network/src/cnf_bridge.rs crates/network/src/decompose.rs crates/network/src/gate.rs crates/network/src/network.rs crates/network/src/transform.rs crates/network/src/truth.rs
+
+/root/repo/target/release/deps/libxrta_network-467986fb4650448e.rmeta: crates/network/src/lib.rs crates/network/src/bdd_bridge.rs crates/network/src/bench_fmt.rs crates/network/src/blif.rs crates/network/src/cnf_bridge.rs crates/network/src/decompose.rs crates/network/src/gate.rs crates/network/src/network.rs crates/network/src/transform.rs crates/network/src/truth.rs
+
+crates/network/src/lib.rs:
+crates/network/src/bdd_bridge.rs:
+crates/network/src/bench_fmt.rs:
+crates/network/src/blif.rs:
+crates/network/src/cnf_bridge.rs:
+crates/network/src/decompose.rs:
+crates/network/src/gate.rs:
+crates/network/src/network.rs:
+crates/network/src/transform.rs:
+crates/network/src/truth.rs:

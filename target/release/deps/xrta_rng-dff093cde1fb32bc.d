@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/xrta_rng-dff093cde1fb32bc.d: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/xrta_rng-dff093cde1fb32bc: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/xrta_rng-ef45619c453be7d0.d: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/libxrta_rng-ef45619c453be7d0.rlib: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/libxrta_rng-ef45619c453be7d0.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/xrta_sat-5cb62515aaf03c8a.d: crates/sat/src/lib.rs crates/sat/src/cnf.rs crates/sat/src/dimacs.rs crates/sat/src/lit.rs crates/sat/src/solver.rs
+
+/root/repo/target/release/deps/xrta_sat-5cb62515aaf03c8a: crates/sat/src/lib.rs crates/sat/src/cnf.rs crates/sat/src/dimacs.rs crates/sat/src/lit.rs crates/sat/src/solver.rs
+
+crates/sat/src/lib.rs:
+crates/sat/src/cnf.rs:
+crates/sat/src/dimacs.rs:
+crates/sat/src/lit.rs:
+crates/sat/src/solver.rs:

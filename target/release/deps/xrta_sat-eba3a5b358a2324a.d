@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/xrta_sat-eba3a5b358a2324a.d: crates/sat/src/lib.rs crates/sat/src/cnf.rs crates/sat/src/dimacs.rs crates/sat/src/lit.rs crates/sat/src/solver.rs
+
+/root/repo/target/release/deps/libxrta_sat-eba3a5b358a2324a.rlib: crates/sat/src/lib.rs crates/sat/src/cnf.rs crates/sat/src/dimacs.rs crates/sat/src/lit.rs crates/sat/src/solver.rs
+
+/root/repo/target/release/deps/libxrta_sat-eba3a5b358a2324a.rmeta: crates/sat/src/lib.rs crates/sat/src/cnf.rs crates/sat/src/dimacs.rs crates/sat/src/lit.rs crates/sat/src/solver.rs
+
+crates/sat/src/lib.rs:
+crates/sat/src/cnf.rs:
+crates/sat/src/dimacs.rs:
+crates/sat/src/lit.rs:
+crates/sat/src/solver.rs:

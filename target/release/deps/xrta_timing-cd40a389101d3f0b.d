@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/xrta_timing-cd40a389101d3f0b.d: crates/timing/src/lib.rs crates/timing/src/delay.rs crates/timing/src/time.rs crates/timing/src/topo.rs
+
+/root/repo/target/release/deps/libxrta_timing-cd40a389101d3f0b.rlib: crates/timing/src/lib.rs crates/timing/src/delay.rs crates/timing/src/time.rs crates/timing/src/topo.rs
+
+/root/repo/target/release/deps/libxrta_timing-cd40a389101d3f0b.rmeta: crates/timing/src/lib.rs crates/timing/src/delay.rs crates/timing/src/time.rs crates/timing/src/topo.rs
+
+crates/timing/src/lib.rs:
+crates/timing/src/delay.rs:
+crates/timing/src/time.rs:
+crates/timing/src/topo.rs:

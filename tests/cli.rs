@@ -47,7 +47,10 @@ fn reqtime_approx1_on_fig4() {
     ]);
     assert!(ok, "{text}");
     assert!(text.contains("non-trivial: true"), "{text}");
-    assert!(text.contains("1@0/0@1"), "x2's split deadline shown: {text}");
+    assert!(
+        text.contains("1@0/0@1"),
+        "x2's split deadline shown: {text}"
+    );
 }
 
 #[test]

@@ -39,8 +39,8 @@ fn c17_all_three_algorithms_agree_on_triviality() {
     let req = vec![Time::ZERO; net.outputs().len()];
     let mut exact =
         exact_required_times(&net, &UnitDelay, &req, ExactOptions::default()).expect("fits");
-    let a1 = approx1_required_times(&net, &UnitDelay, &req, Approx1Options::default())
-        .expect("fits");
+    let a1 =
+        approx1_required_times(&net, &UnitDelay, &req, Approx1Options::default()).expect("fits");
     let a2 = approx2_required_times(&net, &UnitDelay, &req, Approx2Options::default());
     // Approximation hierarchy: approx 2 (value-independent) finds
     // looseness only if approx 1 does; approx 1 only if exact does.
@@ -83,8 +83,8 @@ fn carry_skip_has_looseness_parity_does_not() {
         !r.has_nontrivial_requirement(),
         "parity trees have no false paths"
     );
-    let a1 = approx1_required_times(&parity, &UnitDelay, &req, Approx1Options::default())
-        .expect("fits");
+    let a1 =
+        approx1_required_times(&parity, &UnitDelay, &req, Approx1Options::default()).expect("fits");
     assert!(!a1.has_nontrivial_requirement());
 }
 
@@ -92,8 +92,8 @@ fn carry_skip_has_looseness_parity_does_not() {
 fn approx1_conditions_validated_by_sat_oracle() {
     let net = two_mux_bypass();
     let req = [Time::new(2)];
-    let a1 = approx1_required_times(&net, &UnitDelay, &req, Approx1Options::default())
-        .expect("fits");
+    let a1 =
+        approx1_required_times(&net, &UnitDelay, &req, Approx1Options::default()).expect("fits");
     assert!(!a1.conditions.is_empty());
     for cond in &a1.conditions {
         let arrivals: Vec<Time> = cond.per_input.iter().map(|vt| vt.earliest()).collect();
