@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bdd_ops-eac1359d8d40a446.d: crates/bench/benches/bdd_ops.rs
+
+/root/repo/target/debug/deps/libbdd_ops-eac1359d8d40a446.rmeta: crates/bench/benches/bdd_ops.rs
+
+crates/bench/benches/bdd_ops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chi_engines-ad3b66a856c43849.d: crates/bench/benches/chi_engines.rs
+
+/root/repo/target/debug/deps/libchi_engines-ad3b66a856c43849.rmeta: crates/bench/benches/chi_engines.rs
+
+crates/bench/benches/chi_engines.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cli-6149f36de1ca33be.d: tests/cli.rs
+
+/root/repo/target/debug/deps/libcli-6149f36de1ca33be.rmeta: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_xrta=placeholder:xrta
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

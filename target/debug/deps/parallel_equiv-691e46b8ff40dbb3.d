@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_equiv-691e46b8ff40dbb3.d: tests/parallel_equiv.rs
+
+/root/repo/target/debug/deps/libparallel_equiv-691e46b8ff40dbb3.rmeta: tests/parallel_equiv.rs
+
+tests/parallel_equiv.rs:

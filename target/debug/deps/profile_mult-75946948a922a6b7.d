@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/profile_mult-75946948a922a6b7.d: crates/bench/src/bin/profile_mult.rs
+
+/root/repo/target/debug/deps/libprofile_mult-75946948a922a6b7.rmeta: crates/bench/src/bin/profile_mult.rs
+
+crates/bench/src/bin/profile_mult.rs:

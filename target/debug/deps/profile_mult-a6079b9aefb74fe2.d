@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/profile_mult-a6079b9aefb74fe2.d: crates/bench/src/bin/profile_mult.rs
+
+/root/repo/target/debug/deps/libprofile_mult-a6079b9aefb74fe2.rmeta: crates/bench/src/bin/profile_mult.rs
+
+crates/bench/src/bin/profile_mult.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-92547c904d4343f8.d: crates/timing/tests/prop.rs
+
+/root/repo/target/debug/deps/libprop-92547c904d4343f8.rmeta: crates/timing/tests/prop.rs
+
+crates/timing/tests/prop.rs:

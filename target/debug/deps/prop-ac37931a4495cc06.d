@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-ac37931a4495cc06.d: crates/sat/tests/prop.rs
+
+/root/repo/target/debug/deps/libprop-ac37931a4495cc06.rmeta: crates/sat/tests/prop.rs
+
+crates/sat/tests/prop.rs:

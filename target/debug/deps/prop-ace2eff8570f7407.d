@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-ace2eff8570f7407.d: crates/network/tests/prop.rs
+
+/root/repo/target/debug/deps/libprop-ace2eff8570f7407.rmeta: crates/network/tests/prop.rs
+
+crates/network/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-c2cf68c4437bf448.d: crates/bdd/tests/prop.rs
+
+/root/repo/target/debug/deps/libprop-c2cf68c4437bf448.rmeta: crates/bdd/tests/prop.rs
+
+crates/bdd/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reqtime-2ec9da523a3cc4f7.d: crates/bench/benches/reqtime.rs
+
+/root/repo/target/debug/deps/libreqtime-2ec9da523a3cc4f7.rmeta: crates/bench/benches/reqtime.rs
+
+crates/bench/benches/reqtime.rs:

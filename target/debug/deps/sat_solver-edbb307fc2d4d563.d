@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sat_solver-edbb307fc2d4d563.d: crates/bench/benches/sat_solver.rs
+
+/root/repo/target/debug/deps/libsat_solver-edbb307fc2d4d563.rmeta: crates/bench/benches/sat_solver.rs
+
+crates/bench/benches/sat_solver.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soundness_prop-d724259de416e650.d: tests/soundness_prop.rs
+
+/root/repo/target/debug/deps/libsoundness_prop-d724259de416e650.rmeta: tests/soundness_prop.rs
+
+tests/soundness_prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-0db61d9f734c4f17.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-0db61d9f734c4f17.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

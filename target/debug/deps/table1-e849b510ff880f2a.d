@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-e849b510ff880f2a.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-e849b510ff880f2a.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-2bf3a14c018d6947.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/libtable2-2bf3a14c018d6947.rmeta: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-ebd6be19730466ba.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/libtable2-ebd6be19730466ba.rmeta: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

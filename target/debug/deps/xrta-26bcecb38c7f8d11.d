@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xrta-26bcecb38c7f8d11.d: src/bin/xrta.rs
+
+/root/repo/target/debug/deps/libxrta-26bcecb38c7f8d11.rmeta: src/bin/xrta.rs
+
+src/bin/xrta.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xrta-6003e0b20c1995a3.d: src/lib.rs
+
+/root/repo/target/debug/deps/libxrta-6003e0b20c1995a3.rmeta: src/lib.rs
+
+src/lib.rs:

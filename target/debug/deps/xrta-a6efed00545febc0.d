@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xrta-a6efed00545febc0.d: src/lib.rs
+
+/root/repo/target/debug/deps/libxrta-a6efed00545febc0.rmeta: src/lib.rs
+
+src/lib.rs:

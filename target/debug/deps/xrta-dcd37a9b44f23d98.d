@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xrta-dcd37a9b44f23d98.d: src/bin/xrta.rs
+
+/root/repo/target/debug/deps/libxrta-dcd37a9b44f23d98.rmeta: src/bin/xrta.rs
+
+src/bin/xrta.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/xrta_bdd-5d8b219adc979a21.d: crates/bdd/src/lib.rs crates/bdd/src/compose.rs crates/bdd/src/count.rs crates/bdd/src/dot.rs crates/bdd/src/hash.rs crates/bdd/src/isop.rs crates/bdd/src/manager.rs crates/bdd/src/minimal.rs crates/bdd/src/node.rs crates/bdd/src/quant.rs crates/bdd/src/reorder.rs
+
+/root/repo/target/debug/deps/libxrta_bdd-5d8b219adc979a21.rmeta: crates/bdd/src/lib.rs crates/bdd/src/compose.rs crates/bdd/src/count.rs crates/bdd/src/dot.rs crates/bdd/src/hash.rs crates/bdd/src/isop.rs crates/bdd/src/manager.rs crates/bdd/src/minimal.rs crates/bdd/src/node.rs crates/bdd/src/quant.rs crates/bdd/src/reorder.rs
+
+crates/bdd/src/lib.rs:
+crates/bdd/src/compose.rs:
+crates/bdd/src/count.rs:
+crates/bdd/src/dot.rs:
+crates/bdd/src/hash.rs:
+crates/bdd/src/isop.rs:
+crates/bdd/src/manager.rs:
+crates/bdd/src/minimal.rs:
+crates/bdd/src/node.rs:
+crates/bdd/src/quant.rs:
+crates/bdd/src/reorder.rs:

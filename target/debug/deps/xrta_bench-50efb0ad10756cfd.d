@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xrta_bench-50efb0ad10756cfd.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libxrta_bench-50efb0ad10756cfd.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xrta_bench-785d1172f7e7a5e5.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libxrta_bench-785d1172f7e7a5e5.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/xrta_chi-830035c8514f94af.d: crates/chi/src/lib.rs crates/chi/src/engine.rs crates/chi/src/sat_engine.rs crates/chi/src/true_delay.rs
+
+/root/repo/target/debug/deps/libxrta_chi-830035c8514f94af.rmeta: crates/chi/src/lib.rs crates/chi/src/engine.rs crates/chi/src/sat_engine.rs crates/chi/src/true_delay.rs
+
+crates/chi/src/lib.rs:
+crates/chi/src/engine.rs:
+crates/chi/src/sat_engine.rs:
+crates/chi/src/true_delay.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xrta_circuits-7b6b662e1f443270.d: crates/circuits/src/lib.rs crates/circuits/src/adders.rs crates/circuits/src/chains.rs crates/circuits/src/examples.rs crates/circuits/src/mult.rs crates/circuits/src/random_dag.rs crates/circuits/src/suite.rs
+
+/root/repo/target/debug/deps/libxrta_circuits-7b6b662e1f443270.rmeta: crates/circuits/src/lib.rs crates/circuits/src/adders.rs crates/circuits/src/chains.rs crates/circuits/src/examples.rs crates/circuits/src/mult.rs crates/circuits/src/random_dag.rs crates/circuits/src/suite.rs
+
+crates/circuits/src/lib.rs:
+crates/circuits/src/adders.rs:
+crates/circuits/src/chains.rs:
+crates/circuits/src/examples.rs:
+crates/circuits/src/mult.rs:
+crates/circuits/src/random_dag.rs:
+crates/circuits/src/suite.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/xrta_core-8c28ac3d4a63f5ed.d: crates/core/src/lib.rs crates/core/src/approx1.rs crates/core/src/approx2.rs crates/core/src/dominance.rs crates/core/src/exact.rs crates/core/src/flex.rs crates/core/src/leaves.rs crates/core/src/macro_model.rs crates/core/src/plan.rs crates/core/src/report.rs crates/core/src/slack.rs crates/core/src/types.rs
+
+/root/repo/target/debug/deps/libxrta_core-8c28ac3d4a63f5ed.rmeta: crates/core/src/lib.rs crates/core/src/approx1.rs crates/core/src/approx2.rs crates/core/src/dominance.rs crates/core/src/exact.rs crates/core/src/flex.rs crates/core/src/leaves.rs crates/core/src/macro_model.rs crates/core/src/plan.rs crates/core/src/report.rs crates/core/src/slack.rs crates/core/src/types.rs
+
+crates/core/src/lib.rs:
+crates/core/src/approx1.rs:
+crates/core/src/approx2.rs:
+crates/core/src/dominance.rs:
+crates/core/src/exact.rs:
+crates/core/src/flex.rs:
+crates/core/src/leaves.rs:
+crates/core/src/macro_model.rs:
+crates/core/src/plan.rs:
+crates/core/src/report.rs:
+crates/core/src/slack.rs:
+crates/core/src/types.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/xrta_network-b246fd8b91f76c6d.d: crates/network/src/lib.rs crates/network/src/bdd_bridge.rs crates/network/src/bench_fmt.rs crates/network/src/blif.rs crates/network/src/cnf_bridge.rs crates/network/src/decompose.rs crates/network/src/gate.rs crates/network/src/network.rs crates/network/src/transform.rs crates/network/src/truth.rs
+
+/root/repo/target/debug/deps/libxrta_network-b246fd8b91f76c6d.rmeta: crates/network/src/lib.rs crates/network/src/bdd_bridge.rs crates/network/src/bench_fmt.rs crates/network/src/blif.rs crates/network/src/cnf_bridge.rs crates/network/src/decompose.rs crates/network/src/gate.rs crates/network/src/network.rs crates/network/src/transform.rs crates/network/src/truth.rs
+
+crates/network/src/lib.rs:
+crates/network/src/bdd_bridge.rs:
+crates/network/src/bench_fmt.rs:
+crates/network/src/blif.rs:
+crates/network/src/cnf_bridge.rs:
+crates/network/src/decompose.rs:
+crates/network/src/gate.rs:
+crates/network/src/network.rs:
+crates/network/src/transform.rs:
+crates/network/src/truth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xrta_rng-70fe4861f0a0f312.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libxrta_rng-70fe4861f0a0f312.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xrta_rng-e38fc2a6f503c48e.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libxrta_rng-e38fc2a6f503c48e.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/xrta_timing-4adaf76a09ad082c.d: crates/timing/src/lib.rs crates/timing/src/delay.rs crates/timing/src/time.rs crates/timing/src/topo.rs
+
+/root/repo/target/debug/deps/libxrta_timing-4adaf76a09ad082c.rmeta: crates/timing/src/lib.rs crates/timing/src/delay.rs crates/timing/src/time.rs crates/timing/src/topo.rs
+
+crates/timing/src/lib.rs:
+crates/timing/src/delay.rs:
+crates/timing/src/time.rs:
+crates/timing/src/topo.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/xrta_timing-fef8c94dbdf8ca92.d: crates/timing/src/lib.rs crates/timing/src/delay.rs crates/timing/src/time.rs crates/timing/src/topo.rs
+
+/root/repo/target/debug/deps/libxrta_timing-fef8c94dbdf8ca92.rmeta: crates/timing/src/lib.rs crates/timing/src/delay.rs crates/timing/src/time.rs crates/timing/src/topo.rs
+
+crates/timing/src/lib.rs:
+crates/timing/src/delay.rs:
+crates/timing/src/time.rs:
+crates/timing/src/topo.rs:

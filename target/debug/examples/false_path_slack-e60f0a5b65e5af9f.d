@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/false_path_slack-e60f0a5b65e5af9f.d: examples/false_path_slack.rs
+
+/root/repo/target/debug/examples/libfalse_path_slack-e60f0a5b65e5af9f.rmeta: examples/false_path_slack.rs
+
+examples/false_path_slack.rs:

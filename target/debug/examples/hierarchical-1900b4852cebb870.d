@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hierarchical-1900b4852cebb870.d: examples/hierarchical.rs
+
+/root/repo/target/debug/examples/libhierarchical-1900b4852cebb870.rmeta: examples/hierarchical.rs
+
+examples/hierarchical.rs:

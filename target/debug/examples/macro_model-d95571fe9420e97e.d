@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/macro_model-d95571fe9420e97e.d: examples/macro_model.rs
+
+/root/repo/target/debug/examples/libmacro_model-d95571fe9420e97e.rmeta: examples/macro_model.rs
+
+examples/macro_model.rs:

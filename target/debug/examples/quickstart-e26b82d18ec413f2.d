@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e26b82d18ec413f2.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-e26b82d18ec413f2.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/subcircuit_flex-84fc847f97bf1919.d: examples/subcircuit_flex.rs
+
+/root/repo/target/debug/examples/libsubcircuit_flex-84fc847f97bf1919.rmeta: examples/subcircuit_flex.rs
+
+examples/subcircuit_flex.rs:
