@@ -9,7 +9,7 @@ impl Bdd {
     ///
     /// # Errors
     ///
-    /// Returns [`crate::CapacityError`] if the node limit would be
+    /// Returns [`crate::BddError`] if the node limit would be
     /// exceeded.
     pub fn try_restrict(&mut self, f: Ref, v: Var, value: bool) -> BddResult<Ref> {
         let mut cache = FxHashMap::default();
@@ -118,7 +118,7 @@ impl Bdd {
     ///
     /// # Errors
     ///
-    /// Returns [`crate::CapacityError`] if the node limit would be
+    /// Returns [`crate::BddError`] if the node limit would be
     /// exceeded.
     pub fn try_compose_many(&mut self, f: Ref, subst: &FxHashMap<u32, Ref>) -> BddResult<Ref> {
         let mut cache = FxHashMap::default();

@@ -26,7 +26,7 @@ impl Bdd {
     ///
     /// # Errors
     ///
-    /// Returns [`crate::CapacityError`] if the node limit would be
+    /// Returns [`crate::BddError`] if the node limit would be
     /// exceeded.
     ///
     /// # Panics

@@ -51,5 +51,5 @@ mod reorder;
 
 pub use count::Cube;
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
-pub use manager::{Bdd, BddResult, CapacityError};
+pub use manager::{Bdd, BddError, BddResult};
 pub use node::{Ref, Var};

@@ -1,30 +1,55 @@
 //! The BDD manager: arena, unique table, ITE core and derived operators.
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 use crate::hash::FxHashMap;
 use crate::node::{Node, Ref, Var, TERMINAL_VAR};
 
-/// Error returned when an operation would exceed the configured node limit.
+/// Error returned when a BDD operation cannot complete within its
+/// resource envelope.
 ///
-/// The paper's Table 1 reports `memory out` for the exact algorithm on
-/// large MCNC circuits; this error is how that condition surfaces here.
+/// [`BddError::Capacity`] is the paper's `memory out`: Table 1 reports
+/// it for the exact algorithm on large MCNC circuits. The other two
+/// variants come from the cooperative governor ([`Bdd::set_deadline`],
+/// [`Bdd::set_cancel_flag`]): node construction polls the wall-clock
+/// deadline and the shared cancel flag and aborts with a clean error
+/// instead of running away.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub struct CapacityError {
-    /// The node limit that was in force when the operation failed.
-    pub limit: usize,
+pub enum BddError {
+    /// The configured node limit would be exceeded.
+    Capacity {
+        /// The node limit that was in force when the operation failed.
+        limit: usize,
+    },
+    /// The wall-clock deadline passed during construction.
+    Deadline,
+    /// The shared cancel flag was raised during construction.
+    Cancelled,
 }
 
-impl fmt::Display for CapacityError {
+impl fmt::Display for BddError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "bdd node limit of {} nodes exceeded", self.limit)
+        match self {
+            BddError::Capacity { limit } => {
+                write!(f, "bdd node limit of {limit} nodes exceeded")
+            }
+            BddError::Deadline => write!(f, "bdd construction deadline exceeded"),
+            BddError::Cancelled => write!(f, "bdd construction cancelled"),
+        }
     }
 }
 
-impl std::error::Error for CapacityError {}
+impl std::error::Error for BddError {}
 
 /// Result alias for fallible BDD operations.
-pub type BddResult<T> = Result<T, CapacityError>;
+pub type BddResult<T> = Result<T, BddError>;
+
+/// How many node creations happen between governor polls: deadline and
+/// cancel-flag checks are amortized so the hot path stays branch-cheap.
+const GOVERNOR_POLL_INTERVAL: u32 = 1024;
 
 /// Keys for the persistent unary-operation cache. Quantification,
 /// restriction and composition use per-call caches instead (their
@@ -69,6 +94,15 @@ pub struct Bdd {
     /// reordering, which re-validates).
     pub(crate) var_nodes: Vec<Vec<u32>>,
     node_limit: usize,
+    /// Wall-clock deadline after which node creation fails with
+    /// [`BddError::Deadline`].
+    deadline: Option<Instant>,
+    /// Shared cooperative cancel flag; when raised, node creation fails
+    /// with [`BddError::Cancelled`].
+    cancel: Option<Arc<AtomicBool>>,
+    /// Countdown to the next governor poll (see
+    /// [`GOVERNOR_POLL_INTERVAL`]).
+    poll_countdown: u32,
 }
 
 impl Default for Bdd {
@@ -106,6 +140,9 @@ impl Bdd {
             level2var: Vec::new(),
             var_nodes: Vec::new(),
             node_limit,
+            deadline: None,
+            cancel: None,
+            poll_countdown: GOVERNOR_POLL_INTERVAL,
         }
     }
 
@@ -117,6 +154,45 @@ impl Bdd {
     /// Changes the node limit (takes effect for future node creations).
     pub fn set_node_limit(&mut self, node_limit: usize) {
         self.node_limit = node_limit;
+    }
+
+    /// Arms (or disarms, with `None`) a wall-clock deadline: node
+    /// creation past the deadline fails with [`BddError::Deadline`].
+    /// Polled every [`GOVERNOR_POLL_INTERVAL`] node creations, so
+    /// overshoot is bounded by one poll interval of work.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+        self.poll_countdown = 0; // re-poll immediately with the new setting
+    }
+
+    /// Arms (or disarms, with `None`) a shared cooperative cancel flag:
+    /// once the flag is raised, node creation fails with
+    /// [`BddError::Cancelled`]. Same amortized polling as
+    /// [`Bdd::set_deadline`].
+    pub fn set_cancel_flag(&mut self, cancel: Option<Arc<AtomicBool>>) {
+        self.cancel = cancel;
+        self.poll_countdown = 0;
+    }
+
+    /// Amortized governor check, called on the node-creation path.
+    #[inline]
+    fn poll_governor(&mut self) -> BddResult<()> {
+        if self.poll_countdown > 0 {
+            self.poll_countdown -= 1;
+            return Ok(());
+        }
+        self.poll_countdown = GOVERNOR_POLL_INTERVAL;
+        if let Some(flag) = &self.cancel {
+            if flag.load(Ordering::Relaxed) {
+                return Err(BddError::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(BddError::Deadline);
+            }
+        }
+        Ok(())
     }
 
     /// Number of nodes in the arena, including the two terminals and any
@@ -196,7 +272,7 @@ impl Bdd {
     ///
     /// # Errors
     ///
-    /// Returns [`CapacityError`] if the node limit would be exceeded.
+    /// Returns [`BddError::Capacity`] if the node limit would be exceeded.
     ///
     /// # Panics
     ///
@@ -213,7 +289,7 @@ impl Bdd {
     ///
     /// # Errors
     ///
-    /// Returns [`CapacityError`] if the node limit would be exceeded.
+    /// Returns [`BddError::Capacity`] if the node limit would be exceeded.
     ///
     /// # Panics
     ///
@@ -310,8 +386,9 @@ impl Bdd {
         if let Some(&idx) = self.unique.get(&key) {
             return Ok(Ref(idx));
         }
+        self.poll_governor()?;
         if self.nodes.len() >= self.node_limit {
-            return Err(CapacityError {
+            return Err(BddError::Capacity {
                 limit: self.node_limit,
             });
         }
@@ -343,7 +420,7 @@ impl Bdd {
     ///
     /// # Errors
     ///
-    /// Returns [`CapacityError`] if the node limit would be exceeded.
+    /// Returns [`BddError::Capacity`] if the node limit would be exceeded.
     pub fn try_ite(&mut self, f: Ref, g: Ref, h: Ref) -> BddResult<Ref> {
         // Terminal cases.
         if f.is_true() {
@@ -390,7 +467,7 @@ impl Bdd {
     ///
     /// # Errors
     ///
-    /// Returns [`CapacityError`] if the node limit would be exceeded.
+    /// Returns [`BddError::Capacity`] if the node limit would be exceeded.
     pub fn try_not(&mut self, f: Ref) -> BddResult<Ref> {
         if f.is_true() {
             return Ok(Ref::FALSE);
@@ -422,7 +499,7 @@ impl Bdd {
     ///
     /// # Errors
     ///
-    /// Returns [`CapacityError`] if the node limit would be exceeded.
+    /// Returns [`BddError::Capacity`] if the node limit would be exceeded.
     pub fn try_and(&mut self, f: Ref, g: Ref) -> BddResult<Ref> {
         self.try_ite(f, g, Ref::FALSE)
     }
@@ -431,7 +508,7 @@ impl Bdd {
     ///
     /// # Errors
     ///
-    /// Returns [`CapacityError`] if the node limit would be exceeded.
+    /// Returns [`BddError::Capacity`] if the node limit would be exceeded.
     pub fn try_or(&mut self, f: Ref, g: Ref) -> BddResult<Ref> {
         self.try_ite(f, Ref::TRUE, g)
     }
@@ -440,7 +517,7 @@ impl Bdd {
     ///
     /// # Errors
     ///
-    /// Returns [`CapacityError`] if the node limit would be exceeded.
+    /// Returns [`BddError::Capacity`] if the node limit would be exceeded.
     pub fn try_xor(&mut self, f: Ref, g: Ref) -> BddResult<Ref> {
         let ng = self.try_not(g)?;
         self.try_ite(f, ng, g)
@@ -760,13 +837,59 @@ mod tests {
             match bdd.try_and(acc, lit) {
                 Ok(r) => acc = r,
                 Err(e) => {
-                    assert_eq!(e.limit, 8);
+                    assert_eq!(e, BddError::Capacity { limit: 8 });
                     failed = true;
                     break;
                 }
             }
         }
         assert!(failed, "tiny node limit must trip");
+    }
+
+    #[test]
+    fn governor_deadline_stops_construction() {
+        let mut bdd = Bdd::new();
+        let vars = bdd.fresh_vars(24);
+        bdd.set_deadline(Some(std::time::Instant::now()));
+        let mut err = None;
+        let mut acc = Ref::TRUE;
+        for v in vars {
+            let step = bdd.try_var(v).and_then(|l| bdd.try_xor(acc, l));
+            match step {
+                Ok(r) => acc = r,
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        assert_eq!(err, Some(BddError::Deadline));
+        // Disarming the deadline makes the manager usable again.
+        bdd.set_deadline(None);
+        let v = bdd.fresh_var();
+        assert!(bdd.try_var(v).is_ok());
+    }
+
+    #[test]
+    fn governor_cancel_flag_stops_construction() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let mut bdd = Bdd::new();
+        let vars = bdd.fresh_vars(8);
+        let flag = Arc::new(AtomicBool::new(false));
+        bdd.set_cancel_flag(Some(flag.clone()));
+        // Not raised yet: construction proceeds.
+        let a = bdd.try_var(vars[0]).unwrap();
+        let b = bdd.try_var(vars[1]).unwrap();
+        assert!(bdd.try_and(a, b).is_ok());
+        // Raise the flag: the next fresh node creation fails.
+        flag.store(true, Ordering::Relaxed);
+        bdd.set_cancel_flag(Some(flag)); // reset the poll countdown
+        let r = bdd.try_var(vars[2]).and_then(|c| {
+            let na = bdd.try_not(a)?;
+            bdd.try_and(na, c)
+        });
+        assert_eq!(r, Err(BddError::Cancelled));
     }
 
     #[test]

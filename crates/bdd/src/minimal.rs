@@ -82,7 +82,7 @@ impl Bdd {
     ///
     /// # Errors
     ///
-    /// Returns [`crate::CapacityError`] if the node limit would be
+    /// Returns [`crate::BddError`] if the node limit would be
     /// exceeded.
     pub fn try_minimal_wrt(&mut self, f: Ref, vars: &[Var]) -> BddResult<Ref> {
         let ctx = self.lattice_ctx(vars);
@@ -107,7 +107,7 @@ impl Bdd {
     ///
     /// # Errors
     ///
-    /// Returns [`crate::CapacityError`] if the node limit would be
+    /// Returns [`crate::BddError`] if the node limit would be
     /// exceeded.
     pub fn try_upper_closure_wrt(&mut self, f: Ref, vars: &[Var]) -> BddResult<Ref> {
         let ctx = self.lattice_ctx(vars);
@@ -130,7 +130,7 @@ impl Bdd {
     ///
     /// # Errors
     ///
-    /// Returns [`crate::CapacityError`] if the node limit would be
+    /// Returns [`crate::BddError`] if the node limit would be
     /// exceeded.
     pub fn try_maximal_wrt(&mut self, f: Ref, vars: &[Var]) -> BddResult<Ref> {
         let ctx = self.lattice_ctx(vars);

@@ -17,7 +17,7 @@ impl Bdd {
     ///
     /// # Errors
     ///
-    /// Returns [`crate::CapacityError`] if the node limit would be
+    /// Returns [`crate::BddError`] if the node limit would be
     /// exceeded.
     pub fn try_exists(&mut self, f: Ref, vars: &[Var]) -> BddResult<Ref> {
         let mask = self.var_mask(vars);
@@ -29,7 +29,7 @@ impl Bdd {
     ///
     /// # Errors
     ///
-    /// Returns [`crate::CapacityError`] if the node limit would be
+    /// Returns [`crate::BddError`] if the node limit would be
     /// exceeded.
     pub fn try_forall(&mut self, f: Ref, vars: &[Var]) -> BddResult<Ref> {
         let mask = self.var_mask(vars);
@@ -111,7 +111,7 @@ impl Bdd {
     ///
     /// # Errors
     ///
-    /// Returns [`crate::CapacityError`] if the node limit would be
+    /// Returns [`crate::BddError`] if the node limit would be
     /// exceeded.
     pub fn try_and_exists(&mut self, f: Ref, g: Ref, vars: &[Var]) -> BddResult<Ref> {
         let mask = self.var_mask(vars);

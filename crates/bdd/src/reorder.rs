@@ -18,7 +18,7 @@ impl Bdd {
     ///
     /// # Errors
     ///
-    /// Returns [`crate::CapacityError`] if the node limit would be
+    /// Returns [`crate::BddError`] if the node limit would be
     /// exceeded while rebuilding affected nodes.
     ///
     /// # Panics
@@ -107,7 +107,7 @@ impl Bdd {
     ///
     /// # Errors
     ///
-    /// Returns [`crate::CapacityError`] if the node limit would be
+    /// Returns [`crate::BddError`] if the node limit would be
     /// exceeded.
     pub fn try_reduce(&mut self, roots: &[Ref]) -> BddResult<Vec<Ref>> {
         let mut roots = self.collect_garbage(roots);

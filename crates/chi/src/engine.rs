@@ -25,7 +25,7 @@ pub trait LeafChi {
     ///
     /// # Errors
     ///
-    /// Returns [`xrta_bdd::CapacityError`] if BDD construction hits the
+    /// Returns [`xrta_bdd::BddError`] if BDD construction hits the
     /// node limit.
     fn leaf(
         &mut self,
@@ -116,7 +116,7 @@ impl<L: LeafChi> ChiBddEngine<L> {
     ///
     /// # Errors
     ///
-    /// Returns [`xrta_bdd::CapacityError`] on BDD node-limit exhaustion.
+    /// Returns [`xrta_bdd::BddError`] on BDD node-limit exhaustion.
     pub fn chi(
         &mut self,
         bdd: &mut Bdd,
@@ -172,7 +172,7 @@ impl<L: LeafChi> ChiBddEngine<L> {
     ///
     /// # Errors
     ///
-    /// Returns [`xrta_bdd::CapacityError`] on node-limit exhaustion.
+    /// Returns [`xrta_bdd::BddError`] on node-limit exhaustion.
     pub fn chi_stable(
         &mut self,
         bdd: &mut Bdd,

@@ -7,9 +7,13 @@
 //! queries, so later queries reuse both the encoded χ nodes and the
 //! learnt clauses.
 
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Instant;
+
 use xrta_bdd::FxHashMap;
 use xrta_network::{Network, NodeId};
-use xrta_sat::{Lit, SolveResult, Solver};
+use xrta_sat::{Lit, SolveResult, Solver, StopReason};
 use xrta_timing::{DelayModel, Time};
 
 /// Incremental SAT-based stability checker for one network under fixed
@@ -170,6 +174,26 @@ impl ChiSatEngine {
         self.solver.set_propagation_budget(budget);
     }
 
+    /// Sets a wall-clock deadline for stability queries (`None` for
+    /// unlimited); queries interrupted mid-search report
+    /// [`Stability::Unknown`] with [`StopReason::Deadline`].
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.solver.set_deadline(deadline);
+    }
+
+    /// Installs a cooperative cancel flag polled during stability
+    /// queries; raised flags yield [`Stability::Unknown`] with
+    /// [`StopReason::Cancelled`].
+    pub fn set_cancel_flag(&mut self, cancel: Option<Arc<AtomicBool>>) {
+        self.solver.set_cancel_flag(cancel);
+    }
+
+    /// Why the most recent query reported [`Stability::Unknown`];
+    /// `None` after a conclusive answer.
+    pub fn last_stop_reason(&self) -> Option<StopReason> {
+        self.solver.last_stop_reason()
+    }
+
     /// Is `node` stable (settled to its final value) by `t` for **every**
     /// input vector? One UNSAT query on `¬χ̃`.
     pub fn stable_by(&mut self, net: &Network, node: NodeId, t: Time) -> bool {
@@ -189,25 +213,30 @@ impl ChiSatEngine {
     }
 
     /// A witness input vector for which `node` is *not* settled by `t`,
-    /// if any.
+    /// if any. An inconclusive search (conflict/propagation budget,
+    /// deadline, or cancellation) reports the exhausted resource as
+    /// `Err` rather than wrongly claiming stability.
     pub fn instability_witness(
         &mut self,
         net: &Network,
         node: NodeId,
         t: Time,
-    ) -> Option<Vec<bool>> {
+    ) -> Result<Option<Vec<bool>>, StopReason> {
         let one = self.chi_lit(net, node, true, t);
         let zero = self.chi_lit(net, node, false, t);
         let settled = self.or_lit(&[one, zero]);
         match self.solver.solve_with_assumptions(&[!settled]) {
-            SolveResult::Unsat => None,
-            SolveResult::Sat => Some(
+            SolveResult::Unsat => Ok(None),
+            SolveResult::Sat => Ok(Some(
                 self.input_lits
                     .iter()
                     .map(|&l| self.solver.model_lit(l).unwrap_or(false))
                     .collect(),
-            ),
-            SolveResult::Unknown => unreachable!("no conflict budget configured"),
+            )),
+            SolveResult::Unknown => Err(self
+                .solver
+                .last_stop_reason()
+                .unwrap_or(StopReason::Conflicts)),
         }
     }
 
@@ -250,8 +279,34 @@ mod tests {
         net.mark_output(g);
         let mut eng = ChiSatEngine::new(&net, &UnitDelay, vec![Time::ZERO; 2]);
         // At t=0 nothing has propagated; any vector is a witness.
-        assert!(eng.instability_witness(&net, g, Time::ZERO).is_some());
-        assert!(eng.instability_witness(&net, g, Time::new(1)).is_none());
+        assert!(eng
+            .instability_witness(&net, g, Time::ZERO)
+            .unwrap()
+            .is_some());
+        assert!(eng
+            .instability_witness(&net, g, Time::new(1))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn exhausted_witness_budget_reports_stop_reason_not_panic() {
+        // A circuit hard enough that zero propagations settle nothing.
+        let mut net = Network::new("t");
+        let ins: Vec<_> = (0..6)
+            .map(|i| net.add_input(format!("i{i}")).unwrap())
+            .collect();
+        let mut acc = ins[0];
+        for (k, &i) in ins.iter().enumerate().skip(1) {
+            acc = net
+                .add_gate(format!("x{k}"), GateKind::Xor, &[acc, i])
+                .unwrap();
+        }
+        net.mark_output(acc);
+        let mut eng = ChiSatEngine::new(&net, &UnitDelay, vec![Time::ZERO; 6]);
+        eng.set_propagation_budget(Some(0));
+        let r = eng.instability_witness(&net, acc, Time::new(3));
+        assert_eq!(r, Err(xrta_sat::StopReason::Propagations));
     }
 
     #[test]

@@ -1,12 +1,17 @@
 //! True (functional) arrival times via binary search over χ stability,
 //! and the stability oracle used by the paper's second approximation.
 
-use xrta_bdd::Bdd;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Instant;
+
+use xrta_bdd::{Bdd, BddError, BddResult};
 use xrta_network::{Network, NodeId};
+use xrta_sat::StopReason;
 use xrta_timing::{arrival_times, DelayModel, Time};
 
 use crate::engine::{ChiBddEngine, KnownArrivalLeaves};
-use crate::sat_engine::ChiSatEngine;
+use crate::sat_engine::{ChiSatEngine, Stability};
 
 /// Which decision engine performs stability checks.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -31,6 +36,9 @@ pub struct FunctionalTiming<'n, D> {
     kind: EngineKind,
     conflict_budget: Option<u64>,
     propagation_budget: Option<u64>,
+    node_limit: Option<usize>,
+    deadline: Option<Instant>,
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 impl<'n, D: DelayModel> FunctionalTiming<'n, D> {
@@ -48,6 +56,9 @@ impl<'n, D: DelayModel> FunctionalTiming<'n, D> {
             kind,
             conflict_budget: None,
             propagation_budget: None,
+            node_limit: None,
+            deadline: None,
+            cancel: None,
         }
     }
 
@@ -69,22 +80,85 @@ impl<'n, D: DelayModel> FunctionalTiming<'n, D> {
         self
     }
 
+    /// Limits BDD nodes (BDD engine only); exceeding the limit makes
+    /// the `try_*` queries return [`BddError::Capacity`].
+    pub fn with_node_limit(mut self, limit: Option<usize>) -> Self {
+        self.node_limit = limit;
+        self
+    }
+
+    /// Sets a wall-clock deadline for queries (`None` for unlimited);
+    /// passing it makes the `try_*` queries return
+    /// [`BddError::Deadline`], whichever engine is active.
+    pub fn with_deadline(mut self, deadline: Option<Instant>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Installs a cooperative cancel flag polled during queries;
+    /// raising it makes the `try_*` queries return
+    /// [`BddError::Cancelled`], whichever engine is active.
+    pub fn with_cancel_flag(mut self, cancel: Option<Arc<AtomicBool>>) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
     fn sat_engine(&self) -> ChiSatEngine {
         let mut eng = ChiSatEngine::new(self.net, self.model, self.arrivals.clone());
         eng.set_conflict_budget(self.conflict_budget);
         eng.set_propagation_budget(self.propagation_budget);
+        eng.set_deadline(self.deadline);
+        eng.set_cancel_flag(self.cancel.clone());
         eng
     }
 
+    fn governed_bdd(&self) -> Bdd {
+        let mut bdd = match self.node_limit {
+            Some(limit) => Bdd::with_node_limit(limit),
+            None => Bdd::new(),
+        };
+        bdd.set_deadline(self.deadline);
+        bdd.set_cancel_flag(self.cancel.clone());
+        bdd
+    }
+
+    /// Maps a SAT stability verdict into the shared error space:
+    /// deadline/cancel interrupts abort, while exhausted conflict or
+    /// propagation budgets conservatively read "not provably stable"
+    /// (sound for every caller — it can only delay accepted times).
+    fn sat_verdict(eng: &ChiSatEngine, s: Stability) -> BddResult<bool> {
+        match s {
+            Stability::Stable => Ok(true),
+            Stability::Unstable => Ok(false),
+            Stability::Unknown => match eng.last_stop_reason() {
+                Some(StopReason::Deadline) => Err(BddError::Deadline),
+                Some(StopReason::Cancelled) => Err(BddError::Cancelled),
+                _ => Ok(false),
+            },
+        }
+    }
+
     /// Is `node` settled by `t` for all input vectors?
+    ///
+    /// # Panics
+    ///
+    /// Panics if a deadline, cancel flag or node limit interrupts the
+    /// query; use [`FunctionalTiming::try_stable_by`] under budgets.
     pub fn stable_by(&self, node: NodeId, t: Time) -> bool {
+        self.try_stable_by(node, t)
+            .expect("ungoverned stability query interrupted")
+    }
+
+    /// Budget-aware form of [`FunctionalTiming::stable_by`].
+    pub fn try_stable_by(&self, node: NodeId, t: Time) -> BddResult<bool> {
         match self.kind {
             EngineKind::Sat => {
                 let mut eng = self.sat_engine();
-                eng.stable_by(self.net, node, t)
+                let s = eng.check_stable(self.net, node, t);
+                Self::sat_verdict(&eng, s)
             }
             EngineKind::Bdd => {
-                let mut bdd = Bdd::new();
+                let mut bdd = self.governed_bdd();
                 let input_vars = self.net.inputs().iter().map(|_| bdd.fresh_var()).collect();
                 let mut eng = ChiBddEngine::new(
                     self.net,
@@ -94,9 +168,7 @@ impl<'n, D: DelayModel> FunctionalTiming<'n, D> {
                         input_vars,
                     },
                 );
-                eng.chi_stable(&mut bdd, self.net, node, t)
-                    .expect("bdd node limit exceeded")
-                    .is_true()
+                Ok(eng.chi_stable(&mut bdd, self.net, node, t)?.is_true())
             }
         }
     }
@@ -109,20 +181,35 @@ impl<'n, D: DelayModel> FunctionalTiming<'n, D> {
     ///
     /// # Panics
     ///
-    /// Panics if `required.len() != net.outputs().len()`.
+    /// Panics if `required.len() != net.outputs().len()`, or if a
+    /// deadline, cancel flag or node limit interrupts the query; use
+    /// [`FunctionalTiming::try_meets`] under budgets.
     pub fn meets(&self, required: &[Time]) -> bool {
+        self.try_meets(required)
+            .expect("ungoverned oracle query interrupted")
+    }
+
+    /// Budget-aware form of [`FunctionalTiming::meets`]. Exhausted SAT
+    /// conflict/propagation budgets read conservatively as "does not
+    /// meet"; deadline/cancel/node-limit interrupts return `Err`.
+    pub fn try_meets(&self, required: &[Time]) -> BddResult<bool> {
         assert_eq!(required.len(), self.net.outputs().len());
         match self.kind {
             EngineKind::Sat => {
                 let mut eng = self.sat_engine();
-                self.net
-                    .outputs()
-                    .iter()
-                    .zip(required)
-                    .all(|(&o, &t)| t.is_inf() || eng.stable_by(self.net, o, t))
+                for (&o, &t) in self.net.outputs().iter().zip(required) {
+                    if t.is_inf() {
+                        continue;
+                    }
+                    let s = eng.check_stable(self.net, o, t);
+                    if !Self::sat_verdict(&eng, s)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
             }
             EngineKind::Bdd => {
-                let mut bdd = Bdd::new();
+                let mut bdd = self.governed_bdd();
                 let input_vars = self.net.inputs().iter().map(|_| bdd.fresh_var()).collect();
                 let mut eng = ChiBddEngine::new(
                     self.net,
@@ -132,13 +219,15 @@ impl<'n, D: DelayModel> FunctionalTiming<'n, D> {
                         input_vars,
                     },
                 );
-                self.net.outputs().iter().zip(required).all(|(&o, &t)| {
-                    t.is_inf()
-                        || eng
-                            .chi_stable(&mut bdd, self.net, o, t)
-                            .expect("bdd node limit exceeded")
-                            .is_true()
-                })
+                for (&o, &t) in self.net.outputs().iter().zip(required) {
+                    if t.is_inf() {
+                        continue;
+                    }
+                    if !eng.chi_stable(&mut bdd, self.net, o, t)?.is_true() {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
             }
         }
     }
@@ -146,21 +235,35 @@ impl<'n, D: DelayModel> FunctionalTiming<'n, D> {
     /// True arrival time of one output: the earliest `t` with the output
     /// settled for all vectors. Returns `Time::NEG_INF` for outputs that
     /// are stable regardless of inputs (constants).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a deadline, cancel flag or node limit interrupts the
+    /// search; use [`FunctionalTiming::try_true_arrival`] under budgets.
     pub fn true_arrival(&self, output: NodeId) -> Time {
+        self.try_true_arrival(output)
+            .expect("ungoverned true-arrival search interrupted")
+    }
+
+    /// Budget-aware form of [`FunctionalTiming::true_arrival`].
+    pub fn try_true_arrival(&self, output: NodeId) -> BddResult<Time> {
         let topo = arrival_times(self.net, self.model, &self.arrivals);
         let hi = topo[output.index()];
         if hi.is_neg_inf() {
-            return Time::NEG_INF;
+            return Ok(Time::NEG_INF);
         }
         // Shared engine across all probes of this search (both engines
         // memoize heavily across nearby time points).
         match self.kind {
             EngineKind::Sat => {
                 let mut eng = self.sat_engine();
-                self.search(hi, |t| eng.stable_by(self.net, output, t))
+                self.search(hi, |t| {
+                    let s = eng.check_stable(self.net, output, t);
+                    Self::sat_verdict(&eng, s)
+                })
             }
             EngineKind::Bdd => {
-                let mut bdd = Bdd::new();
+                let mut bdd = self.governed_bdd();
                 let input_vars = self.net.inputs().iter().map(|_| bdd.fresh_var()).collect();
                 let mut eng = ChiBddEngine::new(
                     self.net,
@@ -171,16 +274,14 @@ impl<'n, D: DelayModel> FunctionalTiming<'n, D> {
                     },
                 );
                 self.search(hi, |t| {
-                    eng.chi_stable(&mut bdd, self.net, output, t)
-                        .expect("bdd node limit exceeded")
-                        .is_true()
+                    Ok(eng.chi_stable(&mut bdd, self.net, output, t)?.is_true())
                 })
             }
         }
     }
 
     /// Binary search for the earliest stable time in `(lo_probe, hi]`.
-    fn search(&self, hi: Time, mut stable: impl FnMut(Time) -> bool) -> Time {
+    fn search(&self, hi: Time, mut stable: impl FnMut(Time) -> BddResult<bool>) -> BddResult<Time> {
         let min_arr = self
             .arrivals
             .iter()
@@ -189,29 +290,29 @@ impl<'n, D: DelayModel> FunctionalTiming<'n, D> {
             .min()
             .unwrap_or(Time::ZERO);
         let lo_probe = min_arr - 1;
-        if stable(lo_probe) {
-            return Time::NEG_INF;
+        if stable(lo_probe)? {
+            return Ok(Time::NEG_INF);
         }
         if hi.is_inf() {
             // Some input never arrives and the output depends on it.
-            return Time::INF;
+            return Ok(Time::INF);
         }
-        if !stable(hi) {
+        if !stable(hi)? {
             // Only possible under a conflict budget: fall back to the
             // (always safe) topological arrival.
-            return hi;
+            return Ok(hi);
         }
         let (mut lo, mut hi) = (lo_probe.ticks(), hi.ticks());
         // Invariant: unstable at lo, stable at hi.
         while hi - lo > 1 {
             let mid = lo + (hi - lo) / 2;
-            if stable(Time::new(mid)) {
+            if stable(Time::new(mid))? {
                 hi = mid;
             } else {
                 lo = mid;
             }
         }
-        Time::new(hi)
+        Ok(Time::new(hi))
     }
 
     /// True arrival times of all outputs, aligned with `net.outputs()`.
@@ -220,6 +321,15 @@ impl<'n, D: DelayModel> FunctionalTiming<'n, D> {
             .outputs()
             .iter()
             .map(|&o| self.true_arrival(o))
+            .collect()
+    }
+
+    /// Budget-aware form of [`FunctionalTiming::true_arrivals`].
+    pub fn try_true_arrivals(&self) -> BddResult<Vec<Time>> {
+        self.net
+            .outputs()
+            .iter()
+            .map(|&o| self.try_true_arrival(o))
             .collect()
     }
 }

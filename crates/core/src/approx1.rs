@@ -5,11 +5,12 @@
 //! yields `F(α, β)`, a **monotone increasing** function whose primes are
 //! exactly the latest required-time conditions (Theorem 1).
 
-use xrta_bdd::{Bdd, CapacityError, Ref, Var};
+use xrta_bdd::{Bdd, Ref, Var};
 use xrta_chi::ChiBddEngine;
 use xrta_network::{GlobalBdds, Network};
 use xrta_timing::{required_times, DelayModel, Time};
 
+use crate::governor::{AnalysisError, Budget};
 use crate::leaves::{LeafMode, ParamVarKey, PlannedLeaves};
 use crate::plan::plan_leaves;
 use crate::types::RequiredTimeTuple;
@@ -71,7 +72,8 @@ impl Approx1Analysis {
 ///
 /// # Errors
 ///
-/// Returns [`CapacityError`] when the BDD node limit is exceeded.
+/// Returns [`AnalysisError::Capacity`] when the BDD node limit is
+/// exceeded.
 ///
 /// # Panics
 ///
@@ -81,9 +83,27 @@ pub fn approx1_required_times<D: DelayModel>(
     model: &D,
     output_required: &[Time],
     options: Approx1Options,
-) -> Result<Approx1Analysis, CapacityError> {
+) -> Result<Approx1Analysis, AnalysisError> {
+    approx1_required_times_governed(net, model, output_required, options, &Budget::unlimited())
+}
+
+/// Budget-governed form of [`approx1_required_times`]: honours the
+/// budget's deadline, cancel flag and node limit on top of the options.
+///
+/// # Panics
+///
+/// Panics if `output_required.len() != net.outputs().len()`.
+pub fn approx1_required_times_governed<D: DelayModel>(
+    net: &Network,
+    model: &D,
+    output_required: &[Time],
+    options: Approx1Options,
+    budget: &Budget,
+) -> Result<Approx1Analysis, AnalysisError> {
     assert_eq!(output_required.len(), net.outputs().len());
-    let mut bdd = Bdd::with_node_limit(options.node_limit);
+    let mut bdd = Bdd::with_node_limit(budget.effective_node_limit(options.node_limit));
+    bdd.set_deadline(budget.deadline());
+    bdd.set_cancel_flag(Some(budget.cancel_flag()));
     let plan = plan_leaves(net, model, output_required, |_| true);
     let mode = LeafMode::Parametric {
         value_independent: options.value_independent,
@@ -118,6 +138,12 @@ pub fn approx1_required_times<D: DelayModel>(
         let roots = bdd.try_reduce(&[f])?;
         f = roots[0];
     }
+
+    // `F(α,β)` exists: disarm the governor so prime enumeration (which
+    // uses the panicking BDD operations) runs to completion instead of
+    // tripping over a deadline that passes after the hard work is done.
+    bdd.set_deadline(None);
+    bdd.set_cancel_flag(None);
 
     let params = leaves.param_var_list();
     let mut primes = bdd.monotone_primes(f, &params);

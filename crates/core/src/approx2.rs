@@ -32,14 +32,18 @@
 //!   rung, then binary-search the frontier in between instead of
 //!   walking every rung.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use xrta_bdd::FxHashMap;
+use xrta_bdd::{BddError, FxHashMap};
 use xrta_chi::{EngineKind, FunctionalTiming};
 use xrta_network::{Network, NodeId};
 use xrta_timing::{required_times, DelayModel, TableDelay, Time};
 
 use crate::dominance::{CacheStrategy, DominanceCache};
+use crate::governor::{AnalysisError, Budget};
 use crate::plan::plan_leaves;
 
 /// Options for the lattice-climbing analysis.
@@ -137,6 +141,13 @@ pub struct Approx2Result {
     /// False when a budget cap stopped the enumeration early; the
     /// `maximal` found so far are still valid safe points.
     pub completed: bool,
+    /// The governor cause that truncated the search, when a
+    /// [`Budget`] deadline (rather than the options' own caps)
+    /// stopped it. The partial `maximal` remain sound.
+    pub stopped_by: Option<AnalysisError>,
+    /// Cone validations that panicked; each read conservatively as
+    /// "unsafe", so one poisoned cone cannot take down the session.
+    pub worker_panics: usize,
 }
 
 impl Approx2Result {
@@ -198,6 +209,25 @@ struct ConeQuery {
     proj: Vec<Time>,
 }
 
+/// Governor state shared with every cone validation.
+#[derive(Clone, Default)]
+struct OracleGovernor {
+    deadline: Option<Instant>,
+    cancel: Option<Arc<AtomicBool>>,
+    node_limit: Option<usize>,
+}
+
+/// Outcome of one cone validation.
+#[derive(Clone, Copy)]
+struct ConeVerdict {
+    /// Provably safe? Conservative `false` on any inconclusive run.
+    safe: bool,
+    /// Governor interrupt that must stop the whole search, if any.
+    stop: Option<AnalysisError>,
+    /// Did the validation panic (poisoned cone)?
+    panicked: bool,
+}
+
 struct Search<'n> {
     candidates: Vec<Vec<Time>>,
     options: Approx2Options,
@@ -215,6 +245,9 @@ struct Search<'n> {
     started: Instant,
     first_nontrivial: Option<Duration>,
     out_of_budget: bool,
+    gov: OracleGovernor,
+    interrupted: Option<AnalysisError>,
+    worker_panics: usize,
 }
 
 impl<'n> Search<'n> {
@@ -222,6 +255,21 @@ impl<'n> Search<'n> {
         self.options
             .time_budget
             .is_some_and(|b| self.started.elapsed() >= b)
+    }
+
+    /// Budget interrupt pending? Polled between validation batches.
+    fn governor_stop(&self) -> Option<AnalysisError> {
+        if let Some(flag) = &self.gov.cancel {
+            if flag.load(std::sync::atomic::Ordering::Relaxed) {
+                return Some(AnalysisError::Interrupted);
+            }
+        }
+        if let Some(d) = self.gov.deadline {
+            if Instant::now() >= d {
+                return Some(AnalysisError::DeadlineExceeded);
+            }
+        }
+        None
     }
 
     fn project(&self, cone: usize, r: &[Time]) -> Vec<Time> {
@@ -265,21 +313,63 @@ impl<'n> Search<'n> {
 
     /// Runs one χ engine on one cone. Pure: the verdict depends only on
     /// the query (plus the per-query budgets), never on search state.
-    fn eval_one(cones: &[Cone], options: &Approx2Options, q: &ConeQuery) -> bool {
+    /// Panics are caught (one poisoned cone must not take down the
+    /// session) and read conservatively as "unsafe".
+    fn eval_one(
+        cones: &[Cone],
+        options: &Approx2Options,
+        gov: &OracleGovernor,
+        q: &ConeQuery,
+    ) -> ConeVerdict {
         let cone = &cones[q.cone];
-        let ft = FunctionalTiming::new(&cone.net, &cone.delays, q.proj.clone(), options.engine)
-            .with_conflict_budget(options.oracle_conflict_budget)
-            .with_propagation_budget(options.oracle_propagation_budget);
-        ft.stable_by(cone.out, cone.required)
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            let ft = FunctionalTiming::new(&cone.net, &cone.delays, q.proj.clone(), options.engine)
+                .with_conflict_budget(options.oracle_conflict_budget)
+                .with_propagation_budget(options.oracle_propagation_budget)
+                .with_node_limit(gov.node_limit)
+                .with_deadline(gov.deadline)
+                .with_cancel_flag(gov.cancel.clone());
+            ft.try_stable_by(cone.out, cone.required)
+        }));
+        match run {
+            Ok(Ok(safe)) => ConeVerdict {
+                safe,
+                stop: None,
+                panicked: false,
+            },
+            // Node budget: this cone alone is too big for the BDD
+            // oracle — conservatively unsafe, but keep searching (other
+            // cones may still answer).
+            Ok(Err(BddError::Capacity { .. })) => ConeVerdict {
+                safe: false,
+                stop: None,
+                panicked: false,
+            },
+            Ok(Err(e)) => ConeVerdict {
+                safe: false,
+                stop: Some(e.into()),
+                panicked: false,
+            },
+            Err(_) => ConeVerdict {
+                safe: false,
+                stop: None,
+                panicked: true,
+            },
+        }
     }
 
     /// Evaluates a batch of cone queries, fanning across worker threads
     /// when more than one query is pending. Returns `None` (after
     /// evaluating and caching what the budget still allowed) when an
-    /// oracle-call or wall-clock budget cuts the batch short.
+    /// oracle-call, wall-clock or governor budget cuts the batch short.
     fn evaluate_queries(&mut self, queries: &[ConeQuery]) -> Option<Vec<bool>> {
         if queries.is_empty() {
             return Some(Vec::new());
+        }
+        if let Some(e) = self.governor_stop() {
+            self.interrupted.get_or_insert(e);
+            self.out_of_budget = true;
+            return None;
         }
         if self.time_exhausted() {
             self.out_of_budget = true;
@@ -297,13 +387,14 @@ impl<'n> Search<'n> {
         };
         self.oracle_calls += run.len();
         let threads = self.options.effective_threads().min(run.len());
-        let verdicts: Vec<bool> = if threads <= 1 {
+        let verdicts: Vec<ConeVerdict> = if threads <= 1 {
             run.iter()
-                .map(|q| Self::eval_one(self.cones, &self.options, q))
+                .map(|q| Self::eval_one(self.cones, &self.options, &self.gov, q))
                 .collect()
         } else {
             let cones = self.cones;
             let options = &self.options;
+            let gov = &self.gov;
             std::thread::scope(|s| {
                 // Round-robin assignment keeps chunks balanced without
                 // reordering; verdicts land by index.
@@ -316,28 +407,54 @@ impl<'n> Search<'n> {
                             .collect();
                         s.spawn(move || {
                             work.into_iter()
-                                .map(|(k, q)| (k, Self::eval_one(cones, options, q)))
+                                .map(|(k, q)| (k, Self::eval_one(cones, options, gov, q)))
                                 .collect::<Vec<_>>()
                         })
                     })
                     .collect();
-                let mut out = vec![false; run.len()];
+                // Slots left untouched by a worker that died outside
+                // eval_one's catch_unwind stay at the conservative
+                // panicked/unsafe default.
+                let mut out = vec![
+                    ConeVerdict {
+                        safe: false,
+                        stop: None,
+                        panicked: true,
+                    };
+                    run.len()
+                ];
                 for h in handles {
-                    for (k, v) in h.join().expect("oracle worker panicked") {
-                        out[k] = v;
+                    if let Ok(items) = h.join() {
+                        for (k, v) in items {
+                            out[k] = v;
+                        }
                     }
                 }
                 out
             })
         };
-        for (q, &v) in run.iter().zip(&verdicts) {
-            self.record_out(q.cone, &q.proj, v);
+        for (q, v) in run.iter().zip(&verdicts) {
+            if v.panicked {
+                self.worker_panics += 1;
+            }
+            if let Some(e) = v.stop {
+                // A deadline/cancel interrupt inside an engine: its
+                // verdict is an artifact of the interrupt, not a fact
+                // about the cone — do not cache it.
+                self.interrupted.get_or_insert(e);
+                self.out_of_budget = true;
+            } else {
+                self.record_out(q.cone, &q.proj, v.safe);
+            }
+        }
+        if self.interrupted.is_some() {
+            return None;
         }
         if truncated {
             self.out_of_budget = true;
             return None;
         }
-        Some(verdicts)
+        Some(verdicts.into_iter().map(|v| v.safe).collect())
     }
 
     /// Safety verdicts for raising coordinate `i` of the **safe** point
@@ -589,7 +706,37 @@ pub fn approx2_required_times<D: DelayModel>(
     output_required: &[Time],
     options: Approx2Options,
 ) -> Approx2Result {
+    approx2_required_times_governed(net, model, output_required, options, &Budget::unlimited())
+        .expect("ungoverned analysis cannot be interrupted")
+}
+
+/// Budget-governed form of [`approx2_required_times`]. The budget's
+/// deadline and cancel flag are polled between validation batches *and*
+/// inside the per-cone engines; its SAT conflict budget tightens
+/// [`Approx2Options::oracle_conflict_budget`] and its node limit bounds
+/// the BDD oracle. A deadline yields `Ok` with the sound partial result
+/// (provenance in [`Approx2Result::stopped_by`]); cancellation yields
+/// [`AnalysisError::Interrupted`].
+///
+/// # Panics
+///
+/// Panics if `output_required.len() != net.outputs().len()`.
+pub fn approx2_required_times_governed<D: DelayModel>(
+    net: &Network,
+    model: &D,
+    output_required: &[Time],
+    mut options: Approx2Options,
+    budget: &Budget,
+) -> Result<Approx2Result, AnalysisError> {
     assert_eq!(output_required.len(), net.outputs().len());
+    if budget.is_cancelled() {
+        return Err(AnalysisError::Interrupted);
+    }
+    options.oracle_conflict_budget = match (options.oracle_conflict_budget, budget.sat_conflicts())
+    {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    };
     let started = Instant::now();
     let plan = plan_leaves(net, model, output_required, |_| true);
     let topo_net = required_times(net, model, output_required);
@@ -683,6 +830,13 @@ pub fn approx2_required_times<D: DelayModel>(
         started,
         first_nontrivial: None,
         out_of_budget: false,
+        gov: OracleGovernor {
+            deadline: budget.deadline(),
+            cancel: Some(budget.cancel_flag()),
+            node_limit: budget.node_limit(),
+        },
+        interrupted: None,
+        worker_panics: 0,
     };
 
     // The bottom is safe by construction (topological analysis is
@@ -704,7 +858,14 @@ pub fn approx2_required_times<D: DelayModel>(
         m
     };
 
-    Approx2Result {
+    if search.interrupted == Some(AnalysisError::Interrupted) {
+        // Cancellation means "stop, the caller no longer wants an
+        // answer" — unlike a deadline, there is no one left to use a
+        // partial result.
+        return Err(AnalysisError::Interrupted);
+    }
+
+    Ok(Approx2Result {
         r_bottom,
         maximal,
         candidates: search.candidates,
@@ -714,7 +875,9 @@ pub fn approx2_required_times<D: DelayModel>(
         cache_hits: search.cache_hits,
         threads_used: options.effective_threads(),
         completed: !search.out_of_budget,
-    }
+        stopped_by: search.interrupted,
+        worker_panics: search.worker_panics,
+    })
 }
 
 #[cfg(test)]

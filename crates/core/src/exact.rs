@@ -11,11 +11,12 @@
 //! minimal elements per input minterm (w.r.t. the leaf variables) are the
 //! *latest* required-time conditions.
 
-use xrta_bdd::{Bdd, CapacityError, Ref, Var};
+use xrta_bdd::{Bdd, Ref, Var};
 use xrta_chi::ChiBddEngine;
 use xrta_network::{GlobalBdds, Network};
 use xrta_timing::{required_times, DelayModel, Time};
 
+use crate::governor::{AnalysisError, Budget};
 use crate::leaves::{LeafMode, LeafVarKey, PlannedLeaves};
 use crate::plan::plan_leaves;
 use crate::types::RequiredTimeTuple;
@@ -23,8 +24,8 @@ use crate::types::RequiredTimeTuple;
 /// Options for the exact analysis.
 #[derive(Clone, Copy, Debug)]
 pub struct ExactOptions {
-    /// BDD node limit; exceeding it aborts with [`CapacityError`]
-    /// (the paper's `memory out` rows).
+    /// BDD node limit; exceeding it aborts with
+    /// [`AnalysisError::Capacity`] (the paper's `memory out` rows).
     pub node_limit: usize,
     /// Run sifting reorder after construction (the paper enables dynamic
     /// reordering for its exact runs).
@@ -62,8 +63,9 @@ pub struct ExactAnalysis {
 ///
 /// # Errors
 ///
-/// Returns [`CapacityError`] when the BDD node limit is exceeded — the
-/// behaviour the paper reports as `memory out` on larger MCNC circuits.
+/// Returns [`AnalysisError::Capacity`] when the BDD node limit is
+/// exceeded — the behaviour the paper reports as `memory out` on larger
+/// MCNC circuits.
 ///
 /// # Panics
 ///
@@ -73,9 +75,29 @@ pub fn exact_required_times<D: DelayModel>(
     model: &D,
     output_required: &[Time],
     options: ExactOptions,
-) -> Result<ExactAnalysis, CapacityError> {
+) -> Result<ExactAnalysis, AnalysisError> {
+    exact_required_times_governed(net, model, output_required, options, &Budget::unlimited())
+}
+
+/// Budget-governed form of [`exact_required_times`]: the BDD manager
+/// additionally honours the budget's deadline, cancel flag and (the
+/// tighter of the two) node limits, failing with the matching
+/// [`AnalysisError`] instead of running away.
+///
+/// # Panics
+///
+/// Panics if `output_required.len() != net.outputs().len()`.
+pub fn exact_required_times_governed<D: DelayModel>(
+    net: &Network,
+    model: &D,
+    output_required: &[Time],
+    options: ExactOptions,
+    budget: &Budget,
+) -> Result<ExactAnalysis, AnalysisError> {
     assert_eq!(output_required.len(), net.outputs().len());
-    let mut bdd = Bdd::with_node_limit(options.node_limit);
+    let mut bdd = Bdd::with_node_limit(budget.effective_node_limit(options.node_limit));
+    bdd.set_deadline(budget.deadline());
+    bdd.set_cancel_flag(Some(budget.cancel_flag()));
     let plan = plan_leaves(net, model, output_required, |_| true);
     let leaves = PlannedLeaves::new(&mut bdd, plan, vec![LeafMode::Unknown; net.inputs().len()]);
     let x_vars = leaves.x_vars.clone();
@@ -119,6 +141,12 @@ pub fn exact_required_times<D: DelayModel>(
         .iter()
         .map(|i| topo_net_required[i.index()])
         .collect();
+
+    // Construction is done: disarm the governor so post-hoc accessors
+    // (which use the panicking BDD operations) cannot trip over a
+    // deadline that passes after the answer already exists.
+    bdd.set_deadline(None);
+    bdd.set_cancel_flag(None);
 
     Ok(ExactAnalysis {
         x_vars,

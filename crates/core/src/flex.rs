@@ -11,11 +11,12 @@
 //!   primary inputs `X` for a tighter coupling when the subcircuit's
 //!   function is preserved.
 
-use xrta_bdd::{Bdd, CapacityError, Ref, Var};
+use xrta_bdd::{Bdd, Ref, Var};
 use xrta_chi::{ChiBddEngine, KnownArrivalLeaves};
 use xrta_network::{GlobalBdds, Network, NodeId};
 use xrta_timing::{arrival_times, DelayModel, Time};
 
+use crate::governor::AnalysisError;
 use crate::leaves::{LeafMode, PlannedLeaves};
 use crate::plan::plan_leaves;
 use crate::types::RequiredTimeTuple;
@@ -71,7 +72,7 @@ pub struct SubcircuitArrivals {
 ///
 /// # Errors
 ///
-/// Returns [`CapacityError`] on BDD node-limit exhaustion.
+/// Returns [`AnalysisError::Capacity`] on BDD node-limit exhaustion.
 ///
 /// # Panics
 ///
@@ -83,7 +84,7 @@ pub fn subcircuit_arrival_times<D: DelayModel>(
     input_arrivals: &[Time],
     u: &[NodeId],
     options: ArrivalFlexOptions,
-) -> Result<SubcircuitArrivals, CapacityError> {
+) -> Result<SubcircuitArrivals, AnalysisError> {
     assert_eq!(input_arrivals.len(), net.inputs().len());
     assert!(!u.is_empty(), "need at least one subcircuit input");
     assert!(
@@ -291,7 +292,7 @@ pub struct SubcircuitRequired {
 ///
 /// # Errors
 ///
-/// Returns [`CapacityError`] on BDD node-limit exhaustion.
+/// Returns [`AnalysisError::Capacity`] on BDD node-limit exhaustion.
 ///
 /// # Panics
 ///
@@ -304,7 +305,7 @@ pub fn subcircuit_required_times<D: DelayModel>(
     output_required: &[Time],
     v: &[NodeId],
     node_limit: usize,
-) -> Result<SubcircuitRequired, CapacityError> {
+) -> Result<SubcircuitRequired, AnalysisError> {
     assert_eq!(input_arrivals.len(), net.inputs().len());
     assert_eq!(output_required.len(), net.outputs().len());
     let (fo, map) = net.cut_at(v);
@@ -429,7 +430,7 @@ pub struct CoupledClass {
 ///
 /// # Errors
 ///
-/// Returns [`CapacityError`] on BDD node-limit exhaustion.
+/// Returns [`AnalysisError::Capacity`] on BDD node-limit exhaustion.
 ///
 /// # Panics
 ///
@@ -441,7 +442,7 @@ pub fn coupled_flexibility<D: DelayModel>(
     u: &[NodeId],
     v: &[NodeId],
     options: ArrivalFlexOptions,
-) -> Result<Vec<CoupledClass>, CapacityError> {
+) -> Result<Vec<CoupledClass>, AnalysisError> {
     assert!(
         v.len() <= 12,
         "coupled view limited to 12 subcircuit outputs"

@@ -1,0 +1,249 @@
+//! Resource governance for analysis sessions.
+//!
+//! The paper's own experiments (Tables 1–2) show the exact and
+//! parametric relations blowing up on mid-size benchmarks ("memory
+//! out" / "never finished" rows). A [`Budget`] bounds every analysis
+//! run — wall-clock deadline, BDD node budget, SAT conflict budget and
+//! a cooperative cancel flag — so a query returns a structured
+//! [`AnalysisError`] instead of running away or panicking, and the
+//! session layer ([`crate::session::run_with_fallback`]) can degrade
+//! toward the always-sound topological baseline.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use xrta_bdd::BddError;
+
+/// Unified error type for governed analyses: every way a run can stop
+/// short of an answer, as data rather than a panic.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AnalysisError {
+    /// The BDD node budget was exhausted (the paper's "memory out").
+    Capacity {
+        /// The node limit that was hit.
+        limit: usize,
+    },
+    /// The wall-clock deadline passed mid-analysis.
+    DeadlineExceeded,
+    /// The SAT conflict budget was exhausted without a usable verdict.
+    SatBudget,
+    /// A worker thread panicked (poisoned cone); the rest of the
+    /// session survived.
+    WorkerPanic,
+    /// The cooperative cancel flag was raised.
+    Interrupted,
+}
+
+impl std::fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalysisError::Capacity { limit } => {
+                write!(f, "bdd node budget of {limit} nodes exhausted")
+            }
+            AnalysisError::DeadlineExceeded => write!(f, "wall-clock deadline exceeded"),
+            AnalysisError::SatBudget => write!(f, "sat conflict budget exhausted"),
+            AnalysisError::WorkerPanic => write!(f, "analysis worker panicked"),
+            AnalysisError::Interrupted => write!(f, "analysis cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+impl From<BddError> for AnalysisError {
+    fn from(e: BddError) -> Self {
+        match e {
+            BddError::Capacity { limit } => AnalysisError::Capacity { limit },
+            BddError::Deadline => AnalysisError::DeadlineExceeded,
+            BddError::Cancelled => AnalysisError::Interrupted,
+        }
+    }
+}
+
+impl From<xrta_sat::StopReason> for AnalysisError {
+    fn from(r: xrta_sat::StopReason) -> Self {
+        match r {
+            xrta_sat::StopReason::Conflicts | xrta_sat::StopReason::Propagations => {
+                AnalysisError::SatBudget
+            }
+            xrta_sat::StopReason::Deadline => AnalysisError::DeadlineExceeded,
+            xrta_sat::StopReason::Cancelled => AnalysisError::Interrupted,
+        }
+    }
+}
+
+/// A resource budget for one analysis run.
+///
+/// Cloning shares the cancel flag (so a clone handed to another thread
+/// can stop the run) but copies the static limits. The default budget
+/// is unlimited: every limit off, matching the ungoverned entry points.
+#[derive(Clone, Debug)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    node_limit: Option<usize>,
+    sat_conflicts: Option<u64>,
+    cancel: Arc<AtomicBool>,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+impl Budget {
+    /// A budget with no limits (and a fresh, unraised cancel flag).
+    pub fn unlimited() -> Self {
+        Budget {
+            deadline: None,
+            node_limit: None,
+            sat_conflicts: None,
+            cancel: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Sets the wall-clock deadline to `timeout` from now.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// Sets (or clears) an absolute wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Option<Instant>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Sets (or clears) the BDD node budget.
+    pub fn with_node_limit(mut self, limit: Option<usize>) -> Self {
+        self.node_limit = limit;
+        self
+    }
+
+    /// Sets (or clears) the SAT conflict budget (per oracle query).
+    pub fn with_sat_conflicts(mut self, conflicts: Option<u64>) -> Self {
+        self.sat_conflicts = conflicts;
+        self
+    }
+
+    /// Shares an existing cancel flag (e.g. one hooked to a signal
+    /// handler) instead of this budget's own.
+    pub fn with_cancel_flag(mut self, cancel: Arc<AtomicBool>) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// The absolute deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// The BDD node budget, if any.
+    pub fn node_limit(&self) -> Option<usize> {
+        self.node_limit
+    }
+
+    /// The SAT conflict budget, if any.
+    pub fn sat_conflicts(&self) -> Option<u64> {
+        self.sat_conflicts
+    }
+
+    /// The shared cancel flag, for handing to engines and workers.
+    pub fn cancel_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.cancel)
+    }
+
+    /// Raises the cancel flag: every engine polling this budget stops
+    /// cooperatively at its next poll point.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Has the cancel flag been raised?
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+
+    /// Time left until the deadline (`None` when no deadline is set;
+    /// zero once it has passed).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Cooperative check: `Err` as soon as the budget is cancelled or
+    /// past its deadline.
+    pub fn check(&self) -> Result<(), AnalysisError> {
+        if self.is_cancelled() {
+            return Err(AnalysisError::Interrupted);
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return Err(AnalysisError::DeadlineExceeded);
+            }
+        }
+        Ok(())
+    }
+
+    /// The effective BDD node limit when an options struct also carries
+    /// one: the tighter of the two.
+    pub fn effective_node_limit(&self, options_limit: usize) -> usize {
+        match self.node_limit {
+            Some(l) => l.min(options_limit),
+            None => options_limit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_always_passes() {
+        let b = Budget::unlimited();
+        assert!(b.check().is_ok());
+        assert!(b.remaining().is_none());
+        assert_eq!(b.effective_node_limit(100), 100);
+    }
+
+    #[test]
+    fn cancel_is_shared_across_clones() {
+        let b = Budget::unlimited();
+        let c = b.clone();
+        c.cancel();
+        assert!(b.is_cancelled());
+        assert_eq!(b.check(), Err(AnalysisError::Interrupted));
+    }
+
+    #[test]
+    fn expired_deadline_fails_check() {
+        let b = Budget::unlimited().with_timeout(Duration::ZERO);
+        assert_eq!(b.check(), Err(AnalysisError::DeadlineExceeded));
+        assert_eq!(b.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn node_limits_take_the_tighter_bound() {
+        let b = Budget::unlimited().with_node_limit(Some(50));
+        assert_eq!(b.effective_node_limit(100), 50);
+        assert_eq!(b.effective_node_limit(20), 20);
+    }
+
+    #[test]
+    fn bdd_errors_map_into_analysis_errors() {
+        assert_eq!(
+            AnalysisError::from(BddError::Capacity { limit: 7 }),
+            AnalysisError::Capacity { limit: 7 }
+        );
+        assert_eq!(
+            AnalysisError::from(BddError::Deadline),
+            AnalysisError::DeadlineExceeded
+        );
+        assert_eq!(
+            AnalysisError::from(BddError::Cancelled),
+            AnalysisError::Interrupted
+        );
+    }
+}

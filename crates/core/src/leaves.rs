@@ -198,7 +198,7 @@ impl PlannedLeaves {
     ///
     /// # Errors
     ///
-    /// Returns [`xrta_bdd::CapacityError`] on node-limit exhaustion.
+    /// Returns [`crate::AnalysisError::Capacity`] on node-limit exhaustion.
     pub fn ordering_constraint(&self, bdd: &mut Bdd) -> BddResult<Ref> {
         let mut acc = Ref::TRUE;
         for (pos, mode) in self.modes.iter().enumerate() {

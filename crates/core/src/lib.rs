@@ -60,23 +60,33 @@ mod approx2;
 pub mod dominance;
 mod exact;
 mod flex;
+pub mod governor;
 mod leaves;
 mod macro_model;
 mod plan;
 pub mod report;
+pub mod session;
 mod slack;
 mod types;
 
-pub use approx1::{approx1_required_times, Approx1Analysis, Approx1Options};
-pub use approx2::{approx2_required_times, Approx2Options, Approx2Result};
+pub use approx1::{
+    approx1_required_times, approx1_required_times_governed, Approx1Analysis, Approx1Options,
+};
+pub use approx2::{
+    approx2_required_times, approx2_required_times_governed, Approx2Options, Approx2Result,
+};
 pub use dominance::{CacheStrategy, DominanceCache};
-pub use exact::{exact_required_times, ExactAnalysis, ExactOptions};
+pub use exact::{exact_required_times, exact_required_times_governed, ExactAnalysis, ExactOptions};
 pub use flex::{
     coupled_flexibility, subcircuit_arrival_times, subcircuit_required_times, ArrivalClass,
     ArrivalFlexOptions, CoupledClass, SubcircuitArrivals, SubcircuitRequired,
 };
+pub use governor::{AnalysisError, Budget};
 pub use leaves::{LeafMode, LeafVarKey, ParamVarKey, PlannedLeaves};
 pub use macro_model::{macro_model, MacroModel};
 pub use plan::{plan_leaves, LeafPlan, LeafTimes};
+pub use session::{
+    run_with_fallback, RungAttempt, SessionAnswer, SessionOptions, SessionReport, Verdict,
+};
 pub use slack::{true_slack, TrueSlack};
 pub use types::{RequiredTimeTuple, ValueTimes};

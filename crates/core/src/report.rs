@@ -9,6 +9,7 @@ use crate::approx1::Approx1Analysis;
 use crate::approx2::Approx2Result;
 use crate::exact::ExactAnalysis;
 use crate::flex::SubcircuitArrivals;
+use crate::session::SessionReport;
 use crate::types::RequiredTimeTuple;
 
 /// Renders a set of latest required-time conditions as a table with one
@@ -95,6 +96,33 @@ pub fn render_approx2(net: &Network, result: &Approx2Result) -> String {
     out
 }
 
+/// Renders a session's provenance: requested vs answering rung and the
+/// per-rung resource spend of every attempt.
+pub fn render_session_provenance(report: &SessionReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "session: requested {}, answered {}{}",
+        report.requested,
+        report.verdict,
+        if report.degraded() { " (degraded)" } else { "" }
+    );
+    for a in &report.attempts {
+        let outcome = match a.error {
+            None => "ok".to_string(),
+            Some(e) => e.to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "  rung {:<11} | {:>8.1?} | {}",
+            a.rung.to_string(),
+            a.wall,
+            outcome
+        );
+    }
+    out
+}
+
 /// Renders the exact latest relation for one input minterm like the
 /// paper's §4.1 right-hand table.
 pub fn render_exact_minterm(net: &Network, analysis: &mut ExactAnalysis, x: &[bool]) -> String {
@@ -165,6 +193,24 @@ mod tests {
         let s = render_folded_arrivals(&res);
         assert!(s.contains("SDC"), "{s}");
         assert!(s.contains("(1,2)"), "{s}");
+    }
+
+    #[test]
+    fn session_provenance_names_rungs_and_exhaustion() {
+        use crate::governor::Budget;
+        use crate::session::{run_with_fallback, SessionOptions, Verdict};
+        let net = fig4();
+        let opts = SessionOptions {
+            budget: Budget::unlimited().with_node_limit(Some(8)),
+            fallback: true,
+            ..SessionOptions::default()
+        };
+        let r =
+            run_with_fallback(&net, &UnitDelay, &[Time::new(2)], Verdict::Exact, &opts).unwrap();
+        let s = render_session_provenance(&r);
+        assert!(s.contains("requested exact"), "{s}");
+        assert!(s.contains("degraded"), "{s}");
+        assert!(s.contains("node budget"), "{s}");
     }
 
     #[test]

@@ -24,7 +24,7 @@ impl GlobalBdds {
     ///
     /// # Errors
     ///
-    /// Returns [`xrta_bdd::CapacityError`] if the manager's node limit is
+    /// Returns [`xrta_bdd::BddError`] if the manager's node limit is
     /// exceeded (the paper's `memory out` condition).
     pub fn build(bdd: &mut Bdd, net: &Network) -> BddResult<GlobalBdds> {
         let input_vars: Vec<Var> = net.inputs().iter().map(|_| bdd.fresh_var()).collect();
@@ -36,7 +36,7 @@ impl GlobalBdds {
     ///
     /// # Errors
     ///
-    /// Returns [`xrta_bdd::CapacityError`] on node-limit exhaustion.
+    /// Returns [`xrta_bdd::BddError`] on node-limit exhaustion.
     ///
     /// # Panics
     ///

@@ -35,4 +35,4 @@ mod solver;
 pub use cnf::Cnf;
 pub use dimacs::{parse_dimacs, write_dimacs, ParseDimacsError};
 pub use lit::{LBool, Lit, Var};
-pub use solver::{SolveResult, Solver, SolverStats};
+pub use solver::{SolveResult, Solver, SolverStats, StopReason};

@@ -2,6 +2,10 @@
 //! unique implication point learning, VSIDS-style branching, phase saving
 //! and Luby restarts.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
 use crate::lit::{LBool, Lit, Var};
 
 /// Outcome of a [`Solver::solve`] call.
@@ -11,9 +15,27 @@ pub enum SolveResult {
     Sat,
     /// The formula (under the given assumptions) is unsatisfiable.
     Unsat,
-    /// The conflict budget was exhausted before a verdict.
+    /// A resource budget ran out before a verdict; see
+    /// [`Solver::last_stop_reason`].
     Unknown,
 }
+
+/// Why the most recent solve call returned [`SolveResult::Unknown`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StopReason {
+    /// The conflict budget was exhausted.
+    Conflicts,
+    /// The propagation budget was exhausted.
+    Propagations,
+    /// The wall-clock deadline passed mid-search.
+    Deadline,
+    /// The cooperative cancel flag was raised mid-search.
+    Cancelled,
+}
+
+/// Deadline/cancel checks happen once per this many search-loop
+/// iterations, keeping `Instant::now` off the hot path.
+const GOVERNOR_POLL_INTERVAL: u32 = 256;
 
 #[derive(Clone, Debug)]
 struct Clause {
@@ -77,6 +99,9 @@ pub struct Solver {
     propagation_budget: Option<u64>,
     prop_deadline: u64,
     prop_exceeded: bool,
+    deadline: Option<Instant>,
+    cancel: Option<Arc<AtomicBool>>,
+    stop_reason: Option<StopReason>,
     num_original: usize,
 }
 
@@ -115,6 +140,9 @@ impl Solver {
             propagation_budget: None,
             prop_deadline: u64::MAX,
             prop_exceeded: false,
+            deadline: None,
+            cancel: None,
+            stop_reason: None,
             num_original: 0,
         }
     }
@@ -169,6 +197,26 @@ impl Solver {
     /// propagations.
     pub fn set_propagation_budget(&mut self, budget: Option<u64>) {
         self.propagation_budget = budget;
+    }
+
+    /// Sets a wall-clock deadline for subsequent solves (`None` for
+    /// unlimited). Passing the deadline mid-search yields
+    /// [`SolveResult::Unknown`] with [`StopReason::Deadline`].
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+    }
+
+    /// Installs a cooperative cancel flag polled during search (`None`
+    /// to remove). Raising the flag makes an in-flight solve return
+    /// [`SolveResult::Unknown`] with [`StopReason::Cancelled`].
+    pub fn set_cancel_flag(&mut self, cancel: Option<Arc<AtomicBool>>) {
+        self.cancel = cancel;
+    }
+
+    /// Why the most recent solve returned [`SolveResult::Unknown`];
+    /// `None` after a conclusive `Sat`/`Unsat` answer.
+    pub fn last_stop_reason(&self) -> Option<StopReason> {
+        self.stop_reason
     }
 
     /// Adds a clause (a disjunction of literals).
@@ -639,6 +687,7 @@ impl Solver {
             .propagation_budget
             .map_or(u64::MAX, |b| self.stats.propagations.saturating_add(b));
         self.prop_exceeded = false;
+        self.stop_reason = None;
         let r = self.solve_inner(assumptions);
         self.prop_deadline = u64::MAX;
         self.prop_exceeded = false;
@@ -656,17 +705,41 @@ impl Solver {
         }
         if self.prop_exceeded {
             self.cancel_until(0);
+            self.stop_reason = Some(StopReason::Propagations);
             return SolveResult::Unknown;
         }
 
         let mut conflicts_this_call = 0u64;
         let mut restart_idx = 1u64;
         let mut restart_budget = 100 * luby(restart_idx);
+        let mut poll_countdown = 0u32;
 
         loop {
+            // Cooperative governor: deadline and cancel-flag checks,
+            // amortized so `Instant::now` stays off the hot path.
+            if poll_countdown == 0 {
+                poll_countdown = GOVERNOR_POLL_INTERVAL;
+                if let Some(flag) = &self.cancel {
+                    if flag.load(Ordering::Relaxed) {
+                        self.cancel_until(0);
+                        self.stop_reason = Some(StopReason::Cancelled);
+                        return SolveResult::Unknown;
+                    }
+                }
+                if let Some(deadline) = self.deadline {
+                    if Instant::now() >= deadline {
+                        self.cancel_until(0);
+                        self.stop_reason = Some(StopReason::Deadline);
+                        return SolveResult::Unknown;
+                    }
+                }
+            } else {
+                poll_countdown -= 1;
+            }
             let confl = self.propagate();
             if self.prop_exceeded {
                 self.cancel_until(0);
+                self.stop_reason = Some(StopReason::Propagations);
                 return SolveResult::Unknown;
             }
             if let Some(confl) = confl {
@@ -700,6 +773,7 @@ impl Solver {
                 if let Some(budget) = self.conflict_budget {
                     if conflicts_this_call >= budget {
                         self.cancel_until(0);
+                        self.stop_reason = Some(StopReason::Conflicts);
                         return SolveResult::Unknown;
                     }
                 }

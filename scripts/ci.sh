@@ -7,6 +7,13 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> no build artifacts tracked in git"
+if git ls-files | grep -q '^target/'; then
+    echo "error: build artifacts under target/ are tracked; run: git rm -r --cached target/" >&2
+    git ls-files | grep '^target/' | head >&2
+    exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
@@ -18,5 +25,10 @@ cargo build --release
 
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
+
+# The degradation suite exists to prove budgets terminate runs; a hang
+# here is itself a bug, so give the step a hard wall-clock cap.
+echo "==> budget/degradation tests under step timeout"
+timeout 300 cargo test -q --test degradation
 
 echo "CI OK"

@@ -4,7 +4,9 @@
 //! xrta stats     <netlist>                     structural statistics
 //! xrta topo      <netlist> [--req T]           topological arrival/required/slack
 //! xrta truedelay <netlist> [--engine bdd|sat]  functional (false-path) delays
-//! xrta reqtime   <netlist> --algo exact|approx1|approx2 [--req T]
+//! xrta reqtime   <netlist> --algo exact|approx1|approx2|topological [--req T]
+//!                [--timeout SECS] [--node-limit N] [--sat-conflicts N]
+//!                [--fallback on|off]
 //! xrta slack     <netlist> --node NAME [--req T]
 //! xrta macro     <netlist> [--engine bdd|sat]  pin-to-pin macro-model
 //! ```
@@ -13,12 +15,31 @@
 //! analyses use the unit delay model, arrival 0 at every input, and a
 //! shared required time (default: the topological delay) at every
 //! output — the paper's experimental protocol, with `--req` to override.
+//!
+//! `reqtime` runs as a resource-governed session: `--timeout` gives each
+//! rung a wall-clock allowance, `--node-limit` caps BDD nodes,
+//! `--sat-conflicts` caps SAT conflicts per oracle query, and with
+//! `--fallback on` (the default) an exhausted budget degrades down the
+//! ladder exact → approx1 → approx2 → topological instead of failing.
+//!
+//! Exit codes: `0` answered at the requested rung, `3` answered at a
+//! lower rung (a one-line notice goes to stderr), `1` analysis failed
+//! (budget exhausted with `--fallback off`, or cancelled), `2` usage or
+//! netlist-loading error.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use xrta::core::{macro_model, report};
 use xrta::network::{parse_bench, parse_blif, stats};
 use xrta::prelude::*;
+
+enum Failure {
+    /// Bad invocation or unreadable/unparsable netlist: exit 2.
+    Usage(String),
+    /// The analysis itself stopped short of an answer: exit 1.
+    Analysis(AnalysisError),
+}
 
 struct Args {
     command: String,
@@ -27,6 +48,10 @@ struct Args {
     engine: EngineKind,
     algo: String,
     node: Option<String>,
+    timeout: Option<Duration>,
+    node_limit: Option<usize>,
+    sat_conflicts: Option<u64>,
+    fallback: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -40,6 +65,10 @@ fn parse_args() -> Result<Args, String> {
         engine: EngineKind::Sat,
         algo: "approx2".to_string(),
         node: None,
+        timeout: None,
+        node_limit: None,
+        sat_conflicts: None,
+        fallback: true,
     };
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -60,6 +89,40 @@ fn parse_args() -> Result<Args, String> {
             }
             "--algo" => args.algo = it.next().ok_or("--algo needs a value")?,
             "--node" => args.node = Some(it.next().ok_or("--node needs a value")?),
+            "--timeout" => {
+                let secs: f64 = it
+                    .next()
+                    .ok_or("--timeout needs a value (seconds)")?
+                    .parse()
+                    .map_err(|e| format!("bad --timeout: {e}"))?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err(format!("bad --timeout: {secs} is not a duration"));
+                }
+                args.timeout = Some(Duration::from_secs_f64(secs));
+            }
+            "--node-limit" => {
+                args.node_limit = Some(
+                    it.next()
+                        .ok_or("--node-limit needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --node-limit: {e}"))?,
+                )
+            }
+            "--sat-conflicts" => {
+                args.sat_conflicts = Some(
+                    it.next()
+                        .ok_or("--sat-conflicts needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --sat-conflicts: {e}"))?,
+                )
+            }
+            "--fallback" => {
+                args.fallback = match it.next().as_deref() {
+                    Some("on") => true,
+                    Some("off") => false,
+                    other => return Err(format!("bad --fallback {other:?} (want on|off)")),
+                }
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -69,17 +132,23 @@ fn parse_args() -> Result<Args, String> {
 fn load(path: &str) -> Result<Network, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     if path.ends_with(".bench") {
-        parse_bench(&text).map_err(|e| e.to_string())
-    } else if path.ends_with(".blif") {
-        parse_blif(&text).map_err(|e| e.to_string())
-    } else {
-        // Sniff: BLIF starts with a dot directive.
-        if text.lines().any(|l| l.trim_start().starts_with(".model")) {
-            parse_blif(&text).map_err(|e| e.to_string())
-        } else {
-            parse_bench(&text).map_err(|e| e.to_string())
-        }
+        return parse_bench(&text).map_err(|e| format!("parsing {path} as bench: {e}"));
     }
+    if path.ends_with(".blif") {
+        return parse_blif(&text).map_err(|e| format!("parsing {path} as blif: {e}"));
+    }
+    // Unknown extension: sniff (BLIF starts with a dot directive), try
+    // the likelier parser first, fall back to the other, and report
+    // both diagnoses when neither fits.
+    let blif_first = text.lines().any(|l| l.trim_start().starts_with(".model"));
+    let as_blif = parse_blif(&text).map_err(|e| format!("as blif: {e}"));
+    let as_bench = parse_bench(&text).map_err(|e| format!("as bench: {e}"));
+    let (first, second) = if blif_first {
+        (as_blif, as_bench)
+    } else {
+        (as_bench, as_blif)
+    };
+    first.or_else(|e1| second.map_err(|e2| format!("parsing {path} failed {e1} and {e2}")))
 }
 
 fn required_vector(net: &Network, req: Option<i64>) -> Vec<Time> {
@@ -89,9 +158,9 @@ fn required_vector(net: &Network, req: Option<i64>) -> Vec<Time> {
     }
 }
 
-fn run() -> Result<(), String> {
-    let args = parse_args()?;
-    let net = load(&args.path)?;
+fn run() -> Result<ExitCode, Failure> {
+    let args = parse_args().map_err(Failure::Usage)?;
+    let net = load(&args.path).map_err(Failure::Usage)?;
     let zeros = vec![Time::ZERO; net.inputs().len()];
     match args.command.as_str() {
         "stats" => {
@@ -139,11 +208,29 @@ fn run() -> Result<(), String> {
         }
         "reqtime" => {
             let req = required_vector(&net, args.req);
-            match args.algo.as_str() {
-                "exact" => {
-                    let a = exact_required_times(&net, &UnitDelay, &req, ExactOptions::default())
-                        .map_err(|e| e.to_string())?;
-                    let mut a = a;
+            let requested = match args.algo.as_str() {
+                "exact" => Verdict::Exact,
+                "approx1" => Verdict::Approx1,
+                "approx2" => Verdict::Approx2,
+                "topological" | "topo" => Verdict::Topological,
+                other => return Err(Failure::Usage(format!("unknown --algo {other:?}"))),
+            };
+            let opts = SessionOptions {
+                budget: Budget::unlimited()
+                    .with_node_limit(args.node_limit)
+                    .with_sat_conflicts(args.sat_conflicts),
+                timeout: args.timeout,
+                fallback: args.fallback,
+                approx2: Approx2Options {
+                    engine: args.engine,
+                    ..Approx2Options::default()
+                },
+                ..SessionOptions::default()
+            };
+            let mut session = run_with_fallback(&net, &UnitDelay, &req, requested, &opts)
+                .map_err(Failure::Analysis)?;
+            match &mut session.answer {
+                SessionAnswer::Exact(a) => {
                     println!(
                         "exact relation over {} leaf variables; non-trivial: {}",
                         a.leaf_count(),
@@ -153,38 +240,41 @@ fn run() -> Result<(), String> {
                         for m in 0..(1usize << net.inputs().len()) {
                             let x: Vec<bool> =
                                 (0..net.inputs().len()).map(|i| (m >> i) & 1 == 1).collect();
-                            print!("{}", report::render_exact_minterm(&net, &mut a, &x));
+                            print!("{}", report::render_exact_minterm(&net, a, &x));
                         }
                     } else {
                         println!("(per-minterm tables suppressed beyond 6 inputs)");
                     }
                 }
-                "approx1" => {
-                    let a =
-                        approx1_required_times(&net, &UnitDelay, &req, Approx1Options::default())
-                            .map_err(|e| e.to_string())?;
-                    print!("{}", report::render_approx1(&net, &a));
+                SessionAnswer::Approx1(a) => print!("{}", report::render_approx1(&net, a)),
+                SessionAnswer::Approx2(r) => print!("{}", report::render_approx2(&net, r)),
+                SessionAnswer::Topological(at_inputs) => {
+                    println!("input | topological required");
+                    for (&pi, t) in net.inputs().iter().zip(at_inputs.iter()) {
+                        println!("{:<12} | {}", net.node(pi).name, t);
+                    }
                 }
-                "approx2" => {
-                    let r = approx2_required_times(
-                        &net,
-                        &UnitDelay,
-                        &req,
-                        Approx2Options {
-                            engine: args.engine,
-                            ..Approx2Options::default()
-                        },
-                    );
-                    print!("{}", report::render_approx2(&net, &r));
-                }
-                other => return Err(format!("unknown --algo {other:?}")),
+            }
+            if session.degraded() {
+                print!("{}", report::render_session_provenance(&session));
+                let reason = session
+                    .exhaustion_reason()
+                    .map(|e| e.to_string())
+                    .unwrap_or_else(|| "budget exhausted".to_string());
+                eprintln!(
+                    "xrta: degraded: requested {}, answered {} ({reason})",
+                    session.requested, session.verdict
+                );
+                return Ok(ExitCode::from(3));
             }
         }
         "slack" => {
-            let name = args.node.ok_or("slack needs --node NAME")?;
+            let name = args
+                .node
+                .ok_or_else(|| Failure::Usage("slack needs --node NAME".into()))?;
             let node = net
                 .find(&name)
-                .ok_or_else(|| format!("no node named {name:?}"))?;
+                .ok_or_else(|| Failure::Usage(format!("no node named {name:?}")))?;
             let req = required_vector(&net, args.req);
             let s = true_slack(&net, &UnitDelay, &zeros, &req, node, args.engine);
             println!("node      : {name}");
@@ -213,21 +303,31 @@ fn run() -> Result<(), String> {
             }
             println!("tightened pairs: {}", m.tightened_pairs());
         }
-        other => return Err(format!("unknown command {other:?}")),
+        other => return Err(Failure::Usage(format!("unknown command {other:?}"))),
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 fn main() -> ExitCode {
-    match run() {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+    match std::panic::catch_unwind(run) {
+        Ok(Ok(code)) => code,
+        Ok(Err(Failure::Usage(e))) => {
             eprintln!("xrta: {e}");
             eprintln!(
                 "usage: xrta <stats|topo|truedelay|reqtime|slack|macro> <netlist> \
-                 [--req T] [--engine bdd|sat] [--algo exact|approx1|approx2] [--node NAME]"
+                 [--req T] [--engine bdd|sat] [--algo exact|approx1|approx2|topological] \
+                 [--node NAME] [--timeout SECS] [--node-limit N] [--sat-conflicts N] \
+                 [--fallback on|off]"
             );
             ExitCode::from(2)
+        }
+        Ok(Err(Failure::Analysis(e))) => {
+            eprintln!("xrta: analysis failed: {e}");
+            ExitCode::from(1)
+        }
+        Err(_) => {
+            eprintln!("xrta: internal error: analysis panicked");
+            ExitCode::from(1)
         }
     }
 }

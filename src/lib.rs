@@ -40,10 +40,10 @@ pub use xrta_timing as timing;
 pub mod prelude {
     pub use xrta_chi::{EngineKind, FunctionalTiming};
     pub use xrta_core::{
-        approx1_required_times, approx2_required_times, exact_required_times,
-        subcircuit_arrival_times, subcircuit_required_times, true_slack, Approx1Options,
-        Approx2Options, ArrivalFlexOptions, CacheStrategy, ExactOptions, RequiredTimeTuple,
-        ValueTimes,
+        approx1_required_times, approx2_required_times, exact_required_times, run_with_fallback,
+        subcircuit_arrival_times, subcircuit_required_times, true_slack, AnalysisError,
+        Approx1Options, Approx2Options, ArrivalFlexOptions, Budget, CacheStrategy, ExactOptions,
+        RequiredTimeTuple, SessionAnswer, SessionOptions, SessionReport, ValueTimes, Verdict,
     };
     pub use xrta_network::{GateKind, Network, NodeId};
     pub use xrta_timing::{

@@ -4,6 +4,13 @@
 use std::process::Command;
 
 fn xrta(args: &[&str]) -> (bool, String) {
+    let (code, text) = xrta_code(args);
+    (code == Some(0), text)
+}
+
+/// Like [`xrta`] but exposes the exact exit code (degradation protocol:
+/// 0 answered as requested, 3 degraded, 1 analysis failed, 2 usage).
+fn xrta_code(args: &[&str]) -> (Option<i32>, String) {
     let out = Command::new(env!("CARGO_BIN_EXE_xrta"))
         .args(args)
         .output()
@@ -13,7 +20,7 @@ fn xrta(args: &[&str]) -> (bool, String) {
         String::from_utf8_lossy(&out.stdout),
         String::from_utf8_lossy(&out.stderr)
     );
-    (out.status.success(), text)
+    (out.status.code(), text)
 }
 
 fn netlist(name: &str) -> String {
@@ -99,10 +106,68 @@ fn macro_model_table() {
 
 #[test]
 fn bad_usage_reports_error() {
-    let (ok, text) = xrta(&["frobnicate", &netlist("c17.bench")]);
-    assert!(!ok);
+    let (code, text) = xrta_code(&["frobnicate", &netlist("c17.bench")]);
+    assert_eq!(code, Some(2), "{text}");
     assert!(text.contains("usage"), "{text}");
-    let (ok, text) = xrta(&["stats", "/nonexistent/path.blif"]);
-    assert!(!ok);
+    let (code, text) = xrta_code(&["stats", "/nonexistent/path.blif"]);
+    assert_eq!(code, Some(2), "{text}");
     assert!(text.contains("reading"), "{text}");
+}
+
+#[test]
+fn unknown_extension_double_failure_reports_both_parsers() {
+    let path = std::env::temp_dir().join("xrta_cli_garbage.netlist");
+    std::fs::write(&path, "this is neither blif nor bench =(\n").expect("tmp write");
+    let (code, text) = xrta_code(&["stats", path.to_str().expect("utf8 path")]);
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(code, Some(2), "{text}");
+    assert!(text.contains("as bench"), "{text}");
+    assert!(text.contains("as blif"), "{text}");
+}
+
+#[test]
+fn reqtime_timeout_degrades_with_exit_code_3() {
+    let (code, text) = xrta_code(&[
+        "reqtime",
+        &netlist("mult4.bench"),
+        "--algo",
+        "exact",
+        "--timeout",
+        "0.02",
+        "--fallback",
+        "on",
+    ]);
+    assert_eq!(code, Some(3), "{text}");
+    assert!(text.contains("degraded"), "{text}");
+    assert!(text.contains("requested exact"), "{text}");
+    // Whatever rung answered printed a table (every renderer mentions a
+    // deadline column header or condition row).
+    assert!(
+        text.contains("topological") || text.contains("condition") || text.contains("x ="),
+        "{text}"
+    );
+}
+
+#[test]
+fn reqtime_timeout_without_fallback_fails_with_exit_code_1() {
+    let (code, text) = xrta_code(&[
+        "reqtime",
+        &netlist("mult4.bench"),
+        "--algo",
+        "exact",
+        "--timeout",
+        "0.02",
+        "--fallback",
+        "off",
+    ]);
+    assert_eq!(code, Some(1), "{text}");
+    assert!(text.contains("analysis failed"), "{text}");
+    assert!(text.contains("deadline"), "{text}");
+}
+
+#[test]
+fn reqtime_topological_rung_directly() {
+    let (code, text) = xrta_code(&["reqtime", &netlist("c17.bench"), "--algo", "topological"]);
+    assert_eq!(code, Some(0), "{text}");
+    assert!(text.contains("topological required"), "{text}");
 }
