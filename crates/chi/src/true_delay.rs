@@ -248,16 +248,34 @@ impl<'n, D: DelayModel> FunctionalTiming<'n, D> {
     /// Budget-aware form of [`FunctionalTiming::true_arrival`].
     pub fn try_true_arrival(&self, output: NodeId) -> BddResult<Time> {
         let topo = arrival_times(self.net, self.model, &self.arrivals);
-        let hi = topo[output.index()];
+        let mut hi = topo[output.index()];
         if hi.is_neg_inf() {
             return Ok(Time::NEG_INF);
+        }
+        // A topological arrival of ∞ means some never-arriving input
+        // reaches the output *structurally*, but the paths through it may
+        // all be false (e.g. the output is forced by a side input), in
+        // which case the true arrival is finite. χ breakpoints only occur
+        // at `arrival + path delay` for finite-arrival inputs, so the
+        // topological arrival with ∞ arrivals clamped to the latest
+        // finite one bounds every breakpoint: stability at any finite
+        // time is equivalent to stability at that horizon, and
+        // instability there is a genuine ∞ (not a budget fallback).
+        let mut open_ended = false;
+        if hi.is_inf() {
+            hi = self.finite_horizon(output);
+            open_ended = true;
+            if !hi.is_finite() {
+                // No finite-arrival path reaches the output at all.
+                return Ok(Time::INF);
+            }
         }
         // Shared engine across all probes of this search (both engines
         // memoize heavily across nearby time points).
         match self.kind {
             EngineKind::Sat => {
                 let mut eng = self.sat_engine();
-                self.search(hi, |t| {
+                self.search(hi, open_ended, |t| {
                     let s = eng.check_stable(self.net, output, t);
                     Self::sat_verdict(&eng, s)
                 })
@@ -273,15 +291,42 @@ impl<'n, D: DelayModel> FunctionalTiming<'n, D> {
                         input_vars,
                     },
                 );
-                self.search(hi, |t| {
+                self.search(hi, open_ended, |t| {
                     Ok(eng.chi_stable(&mut bdd, self.net, output, t)?.is_true())
                 })
             }
         }
     }
 
+    /// Topological arrival of `output` with never-arriving inputs clamped
+    /// to the latest finite arrival — a finite upper bound on every χ
+    /// breakpoint of the output.
+    fn finite_horizon(&self, output: NodeId) -> Time {
+        let clamp = self
+            .arrivals
+            .iter()
+            .copied()
+            .filter(|a| a.is_finite())
+            .max()
+            .unwrap_or(Time::ZERO);
+        let clamped: Vec<Time> = self
+            .arrivals
+            .iter()
+            .map(|&a| if a.is_inf() { clamp } else { a })
+            .collect();
+        arrival_times(self.net, self.model, &clamped)[output.index()]
+    }
+
     /// Binary search for the earliest stable time in `(lo_probe, hi]`.
-    fn search(&self, hi: Time, mut stable: impl FnMut(Time) -> BddResult<bool>) -> BddResult<Time> {
+    /// With `open_ended`, `hi` is a breakpoint horizon rather than a
+    /// guaranteed-stable topological arrival, and instability at `hi`
+    /// means the output never settles.
+    fn search(
+        &self,
+        hi: Time,
+        open_ended: bool,
+        mut stable: impl FnMut(Time) -> BddResult<bool>,
+    ) -> BddResult<Time> {
         let min_arr = self
             .arrivals
             .iter()
@@ -293,14 +338,12 @@ impl<'n, D: DelayModel> FunctionalTiming<'n, D> {
         if stable(lo_probe)? {
             return Ok(Time::NEG_INF);
         }
-        if hi.is_inf() {
-            // Some input never arrives and the output depends on it.
-            return Ok(Time::INF);
-        }
         if !stable(hi)? {
-            // Only possible under a conflict budget: fall back to the
-            // (always safe) topological arrival.
-            return Ok(hi);
+            // Open-ended: no χ breakpoint lies beyond `hi`, so the output
+            // never settles. Closed: only possible under a conflict
+            // budget — fall back to the (always safe) topological
+            // arrival.
+            return Ok(if open_ended { Time::INF } else { hi });
         }
         let (mut lo, mut hi) = (lo_probe.ticks(), hi.ticks());
         // Invariant: unstable at lo, stable at hi.
@@ -429,6 +472,39 @@ mod tests {
         assert!(ft.meets(&[true_t]));
         assert!(!ft.meets(&[true_t - 1]));
         assert!(ft.meets(&[Time::INF]));
+    }
+
+    #[test]
+    fn never_arriving_input_on_false_path_keeps_true_delay_finite() {
+        // Shrunk fuzzer reproducer: g15 = XOR(x1, x1) is constant 0, so
+        // g17 = AND(x0, x0, g15) is forced to 0 once g15 settles — the
+        // structural dependence on the never-arriving x0 is a false path.
+        let mut net = Network::new("inf_false_path");
+        let x0 = net.add_input("x0").unwrap();
+        let x1 = net.add_input("x1").unwrap();
+        let g15 = net.add_gate("g15", GateKind::Xor, &[x1, x1]).unwrap();
+        let g17 = net.add_gate("g17", GateKind::And, &[x0, x0, g15]).unwrap();
+        net.mark_output(g17);
+        for kind in [EngineKind::Bdd, EngineKind::Sat] {
+            let ft = FunctionalTiming::new(&net, &UnitDelay, vec![Time::INF, Time::new(1)], kind);
+            // x1 settles at 1, g15 at 2, g17 forced to 0 at 3.
+            assert_eq!(ft.true_arrival(g17), Time::new(3), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn genuinely_needed_inf_arrival_stays_inf() {
+        // Same shape but the side input is not constant: the AND output
+        // really needs x0 on the vector where g15 = 1.
+        let mut net = Network::new("inf_true_path");
+        let x0 = net.add_input("x0").unwrap();
+        let x1 = net.add_input("x1").unwrap();
+        let z = net.add_gate("z", GateKind::And, &[x0, x1]).unwrap();
+        net.mark_output(z);
+        for kind in [EngineKind::Bdd, EngineKind::Sat] {
+            let ft = FunctionalTiming::new(&net, &UnitDelay, vec![Time::INF, Time::new(1)], kind);
+            assert_eq!(ft.true_arrival(z), Time::INF, "{kind:?}");
+        }
     }
 
     #[test]

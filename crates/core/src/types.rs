@@ -36,6 +36,15 @@ impl ValueTimes {
     pub fn latest(self) -> Time {
         self.value1.max(self.value0)
     }
+
+    /// The deadline for settling to `value`.
+    pub fn for_value(self, value: bool) -> Time {
+        if value {
+            self.value1
+        } else {
+            self.value0
+        }
+    }
 }
 
 impl fmt::Display for ValueTimes {
@@ -80,6 +89,24 @@ impl RequiredTimeTuple {
     /// earlier (strictly looser)?
     pub fn strictly_looser_than(&self, other: &RequiredTimeTuple) -> bool {
         self.dominates(other) && self != other
+    }
+
+    /// Projects the tuple onto one input minterm: per input, the
+    /// deadline of the value it actually settles to under `x` (the
+    /// other value's deadline is vacuous there). This is the quantity
+    /// the paper tabulates per minterm in §4.1, and what differential
+    /// comparisons between the rungs operate on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.per_input.len()`.
+    pub fn active_projection(&self, x: &[bool]) -> Vec<Time> {
+        assert_eq!(x.len(), self.per_input.len());
+        self.per_input
+            .iter()
+            .zip(x)
+            .map(|(vt, &v)| vt.for_value(v))
+            .collect()
     }
 }
 

@@ -1,0 +1,38 @@
+//! # xrta-verify — differential verification for the analysis engines
+//!
+//! The paper's claims are only as good as the engines implementing
+//! them. This crate checks those engines against something much
+//! dumber and therefore much more trustworthy:
+//!
+//! * [`oracle`] — an exhaustive XBD0 oracle. For circuits with a
+//!   handful of primary inputs it enumerates every input minterm and
+//!   simulates guaranteed settle times directly — no BDDs, no SAT,
+//!   no χ-functions — giving ground truth for true arrival times,
+//!   condition safety and per-minterm maximal required-time tuples.
+//! * [`harness`] — the differential matrix: functional timing (BDD and
+//!   SAT backends), `approx2` (both backends, serial/threaded,
+//!   governed/ungoverned), `approx1` and `exact`, each validated
+//!   against the oracle and against the ordering lattice
+//!   `exact ⊒ approx1 ⊒ approx2 ⊒ topological`. Includes the seeded
+//!   [`harness::fuzz`] driver and deliberate [`harness::Fault`]
+//!   injection to prove the checks have teeth.
+//! * [`shrink`] — greedy netlist minimisation (drop outputs, bypass
+//!   gates, ground inputs) that turns a failing random DAG into a
+//!   readable reproducer.
+//! * [`corpus`] — `.bench`-based persistence for shrunk failures in
+//!   `netlists/corpus/`, replayed by the integration tests.
+
+pub mod corpus;
+pub mod harness;
+pub mod oracle;
+pub mod shrink;
+
+pub use corpus::{load_dir, parse_entry, save, to_bench, CorpusEntry};
+pub use harness::{
+    check_case, check_network, fuzz, CheckOptions, Failure, Fault, FuzzOptions, FuzzReport,
+};
+pub use oracle::{
+    condition_safe, condition_safe_at, exhaustive_true_arrivals, point_safe, settle_times,
+    settle_times_cond, MAX_ORACLE_INPUTS,
+};
+pub use shrink::{shrink, TestCase};

@@ -1,0 +1,434 @@
+//! Exhaustive XBD0 oracle: ground truth by timed-waveform simulation.
+//!
+//! The engines under test (`xrta-chi`, `xrta-core`) all reason about
+//! the χ-functions of the paper symbolically, through BDDs or SAT. This
+//! module recomputes the same quantities by brute force, one input
+//! minterm at a time, with nothing but the netlist, the delay model and
+//! saturating [`Time`] arithmetic — so a bug shared by the symbolic
+//! encodings cannot hide here.
+//!
+//! ## Settle times under XBD0
+//!
+//! Under the XBD0 model a gate with maximum delay `d` may exhibit *any*
+//! delay in `[0, d]`, so before a node is known to have settled its
+//! value is arbitrary. Fix an input minterm `x` and per-input settle
+//! deadlines. The earliest time a gate `n` with final value `v` is
+//! *guaranteed* settled is
+//!
+//! ```text
+//! settle(n) = d_n + min { t : the fanins settled by t force n to v }
+//! ```
+//!
+//! where a set of settled fanins *forces* `v` when every completion of
+//! the unsettled fanins evaluates the local table to `v`. Because the
+//! forcing property only grows as more fanins settle, it suffices to
+//! scan the distinct fanin settle times in ascending order and stop at
+//! the first forcing front — exactly the per-minterm specialisation of
+//! the χ recursion (§4), computed without any symbolic machinery.
+//!
+//! A constant local function is forced by the empty set, giving
+//! `settle = -∞ + d = -∞`; an input that never arrives (`+∞`) poisons
+//! every path that genuinely needs it and nothing else.
+
+use xrta_core::{RequiredTimeTuple, ValueTimes};
+use xrta_network::Network;
+use xrta_timing::{DelayModel, Time};
+
+/// Hard ceiling on primary inputs for the exhaustive entry points
+/// (`2^n` minterms are enumerated).
+pub const MAX_ORACLE_INPUTS: usize = 16;
+
+/// The input minterm with bit `i` of `m` assigned to input `i`.
+pub fn minterm(input_count: usize, m: usize) -> Vec<bool> {
+    (0..input_count).map(|i| (m >> i) & 1 == 1).collect()
+}
+
+/// Does the set of settled fanins (`known` bitmask) force the local
+/// table to `v`, whatever the unsettled fanins do?
+fn forced(table: &xrta_network::TruthTable, fan_values: &[bool], known: u32, v: bool) -> bool {
+    let unknown: Vec<usize> = (0..fan_values.len())
+        .filter(|i| known & (1u32 << i) == 0)
+        .collect();
+    let mut assign = fan_values.to_vec();
+    for m in 0..(1usize << unknown.len()) {
+        for (j, &i) in unknown.iter().enumerate() {
+            assign[i] = (m >> j) & 1 == 1;
+        }
+        if table.eval(&assign) != v {
+            return false;
+        }
+    }
+    true
+}
+
+/// Per-node guaranteed settle times for one input minterm, with the
+/// arrival of input `i` supplied by `arrival(i, x[i])`.
+///
+/// # Panics
+///
+/// Panics if `x.len() != net.inputs().len()`.
+pub fn settle_times_with<D: DelayModel>(
+    net: &Network,
+    model: &D,
+    x: &[bool],
+    mut arrival: impl FnMut(usize, bool) -> Time,
+) -> Vec<Time> {
+    assert_eq!(x.len(), net.inputs().len(), "minterm width");
+    let values = net.eval_all(x);
+    let mut input_pos = vec![usize::MAX; net.node_count()];
+    for (i, &id) in net.inputs().iter().enumerate() {
+        input_pos[id.index()] = i;
+    }
+    let mut settle = vec![Time::NEG_INF; net.node_count()];
+    for id in net.topological_order() {
+        let n = net.node(id);
+        if n.is_input() {
+            let pos = input_pos[id.index()];
+            settle[id.index()] = arrival(pos, x[pos]);
+            continue;
+        }
+        let table = n.table().expect("gate nodes carry a truth table");
+        let v = values[id.index()];
+        let d = model.delay(net, id);
+        let fan_settle: Vec<Time> = n.fanins.iter().map(|f| settle[f.index()]).collect();
+        let fan_values: Vec<bool> = n.fanins.iter().map(|f| values[f.index()]).collect();
+        // Candidate forcing fronts: -∞ (constant tables) plus each
+        // distinct fanin settle time, ascending.
+        let mut fronts = fan_settle.clone();
+        fronts.push(Time::NEG_INF);
+        fronts.sort();
+        fronts.dedup();
+        let mut out = Time::INF;
+        for &t in &fronts {
+            let mut known = 0u32;
+            for (i, &s) in fan_settle.iter().enumerate() {
+                if s <= t {
+                    known |= 1u32 << i;
+                }
+            }
+            if forced(table, &fan_values, known, v) {
+                out = t + d;
+                break;
+            }
+        }
+        settle[id.index()] = out;
+    }
+    settle
+}
+
+/// Settle times with fixed (value-independent) input arrival times.
+pub fn settle_times<D: DelayModel>(
+    net: &Network,
+    model: &D,
+    x: &[bool],
+    arrivals: &[Time],
+) -> Vec<Time> {
+    assert_eq!(arrivals.len(), net.inputs().len(), "arrival width");
+    settle_times_with(net, model, x, |i, _| arrivals[i])
+}
+
+/// Settle times when each input meets the value-dependent deadlines of
+/// `cond` (the worst case: input `i` settles to its final value exactly
+/// at the deadline for that value).
+pub fn settle_times_cond<D: DelayModel>(
+    net: &Network,
+    model: &D,
+    x: &[bool],
+    cond: &RequiredTimeTuple,
+) -> Vec<Time> {
+    assert_eq!(cond.per_input.len(), net.inputs().len(), "condition width");
+    settle_times_with(net, model, x, |i, v| {
+        if v {
+            cond.per_input[i].value1
+        } else {
+            cond.per_input[i].value0
+        }
+    })
+}
+
+/// Ground-truth true arrival time of every primary output: the maximum
+/// over all `2^n` input minterms of the per-minterm settle time.
+///
+/// This is the quantity `FunctionalTiming::true_arrivals` computes by
+/// binary search over symbolic χ-stability.
+///
+/// # Panics
+///
+/// Panics beyond [`MAX_ORACLE_INPUTS`] primary inputs.
+pub fn exhaustive_true_arrivals<D: DelayModel>(
+    net: &Network,
+    model: &D,
+    arrivals: &[Time],
+) -> Vec<Time> {
+    let n = net.inputs().len();
+    assert!(n <= MAX_ORACLE_INPUTS, "{n} inputs is beyond the oracle");
+    let mut worst = vec![Time::NEG_INF; net.outputs().len()];
+    for m in 0..(1usize << n) {
+        let x = minterm(n, m);
+        let settle = settle_times(net, model, &x, arrivals);
+        for (w, &o) in worst.iter_mut().zip(net.outputs()) {
+            *w = (*w).max(settle[o.index()]);
+        }
+    }
+    worst
+}
+
+/// Is `cond` safe *at one minterm*: with every input meeting its
+/// deadlines, does every output settle by its required time?
+pub fn condition_safe_at<D: DelayModel>(
+    net: &Network,
+    model: &D,
+    req: &[Time],
+    x: &[bool],
+    cond: &RequiredTimeTuple,
+) -> bool {
+    assert_eq!(req.len(), net.outputs().len(), "required width");
+    let settle = settle_times_cond(net, model, x, cond);
+    net.outputs()
+        .iter()
+        .zip(req)
+        .all(|(&o, &r)| settle[o.index()] <= r)
+}
+
+/// Is `cond` safe over the whole input space?
+///
+/// # Panics
+///
+/// Panics beyond [`MAX_ORACLE_INPUTS`] primary inputs.
+pub fn condition_safe<D: DelayModel>(
+    net: &Network,
+    model: &D,
+    req: &[Time],
+    cond: &RequiredTimeTuple,
+) -> bool {
+    let n = net.inputs().len();
+    assert!(n <= MAX_ORACLE_INPUTS, "{n} inputs is beyond the oracle");
+    (0..(1usize << n)).all(|m| condition_safe_at(net, model, req, &minterm(n, m), cond))
+}
+
+/// Is the uniform (value-independent) deadline vector `point` safe?
+pub fn point_safe<D: DelayModel>(net: &Network, model: &D, req: &[Time], point: &[Time]) -> bool {
+    condition_safe(net, model, req, &RequiredTimeTuple::uniform(point))
+}
+
+/// Ground-truth *maximal* safe active-deadline vectors at one minterm.
+///
+/// At a fixed minterm only the deadline of the value each input
+/// actually settles to matters; a vector assigns one such deadline per
+/// input. Safety is monotone-decreasing in the deadlines and piecewise
+/// constant between the planned χ time points, so the unique maximal
+/// antichain lives on the grid `lists[i] ∪ {∞}` — `lists[i]` being the
+/// planned time list of input `i` for its active value. Returns `None`
+/// when the grid exceeds `grid_limit` points.
+pub fn maximal_safe_at<D: DelayModel>(
+    net: &Network,
+    model: &D,
+    req: &[Time],
+    x: &[bool],
+    lists: &[Vec<Time>],
+    grid_limit: usize,
+) -> Option<Vec<Vec<Time>>> {
+    assert_eq!(lists.len(), net.inputs().len(), "one time list per input");
+    let axes: Vec<Vec<Time>> = lists
+        .iter()
+        .map(|l| {
+            let mut axis = l.clone();
+            axis.push(Time::INF);
+            axis.dedup();
+            axis
+        })
+        .collect();
+    let mut size = 1usize;
+    for a in &axes {
+        size = size.checked_mul(a.len())?;
+        if size > grid_limit {
+            return None;
+        }
+    }
+    let mut safe_points: Vec<Vec<Time>> = Vec::new();
+    let mut idx = vec![0usize; axes.len()];
+    loop {
+        let point: Vec<Time> = idx.iter().zip(&axes).map(|(&i, a)| a[i]).collect();
+        let cond = RequiredTimeTuple {
+            per_input: x
+                .iter()
+                .zip(&point)
+                .map(|(&v, &t)| {
+                    // Inactive value: never asserted at this minterm.
+                    if v {
+                        ValueTimes {
+                            value1: t,
+                            value0: Time::INF,
+                        }
+                    } else {
+                        ValueTimes {
+                            value1: Time::INF,
+                            value0: t,
+                        }
+                    }
+                })
+                .collect(),
+        };
+        if condition_safe_at(net, model, req, x, &cond) {
+            safe_points.push(point);
+        }
+        // Odometer.
+        let mut k = 0;
+        loop {
+            if k == axes.len() {
+                let maximal: Vec<Vec<Time>> = safe_points
+                    .iter()
+                    .filter(|p| {
+                        !safe_points
+                            .iter()
+                            .any(|q| q.iter().zip(p.iter()).all(|(a, b)| a >= b) && q != *p)
+                    })
+                    .cloned()
+                    .collect();
+                return Some(maximal);
+            }
+            idx[k] += 1;
+            if idx[k] < axes[k].len() {
+                break;
+            }
+            idx[k] = 0;
+            k += 1;
+        }
+    }
+}
+
+/// Rounds a deadline to its canonical representative in the planned
+/// time list: the earliest listed time `≥ t`, or `∞` when the deadline
+/// outlives every referenced χ time point (all such deadlines are
+/// semantically equivalent to "never").
+pub fn canon(t: Time, list: &[Time]) -> Time {
+    list.iter().copied().find(|&l| l >= t).unwrap_or(Time::INF)
+}
+
+/// Is deadline `a` at least as loose as `b`, modulo the planned-time
+/// equivalence of [`canon`]? Strict numeric comparison would flag e.g.
+/// `0 < 2` as a violation even when no χ time point lies in `(0, 2]`.
+pub fn semantically_ge(a: Time, b: Time, list: &[Time]) -> bool {
+    canon(a, list) >= canon(b, list)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrta_circuits::{c17, fig4, two_mux_bypass};
+    use xrta_network::GateKind;
+    use xrta_timing::{topological_delays, UnitDelay};
+
+    #[test]
+    fn fig4_settle_matches_hand_analysis() {
+        // z = AND(buf(x1), x2, buf(x2)), unit delays, arrivals 0.
+        let net = fig4();
+        let zeros = vec![Time::ZERO; 2];
+        // x = 00: z = 0, forced as soon as any AND fanin settles to 0 —
+        // x2 directly at 0, so z settles at 1.
+        let s = settle_times(&net, &UnitDelay, &[false, false], &zeros);
+        let z = net.outputs()[0];
+        assert_eq!(s[z.index()], Time::new(1));
+        // x = 11: z = 1, needs all three fanins; the buffered x2 path
+        // settles at 1, z at 2.
+        let s = settle_times(&net, &UnitDelay, &[true, true], &zeros);
+        assert_eq!(s[z.index()], Time::new(2));
+    }
+
+    #[test]
+    fn constant_function_settles_before_time_begins() {
+        // z = OR(a, NOT a) is constant 1 but *not* locally forced: the
+        // OR needs a settled fanin, so z settles at 2, not -∞.
+        let mut net = Network::new("t");
+        let a = net.add_input("a").unwrap();
+        let na = net.add_gate("na", GateKind::Not, &[a]).unwrap();
+        let z = net.add_gate("z", GateKind::Or, &[a, na]).unwrap();
+        net.mark_output(z);
+        let s = settle_times(&net, &UnitDelay, &[false], &[Time::ZERO]);
+        assert_eq!(s[z.index()], Time::new(2));
+        // A genuinely constant local table is forced by the empty set.
+        let mut net = Network::new("k");
+        net.add_input("a").unwrap();
+        let c = net.add_gate("c", GateKind::Const1, &[]).unwrap();
+        net.mark_output(c);
+        let s = settle_times(&net, &UnitDelay, &[true], &[Time::ZERO]);
+        assert!(s[c.index()].is_neg_inf());
+    }
+
+    #[test]
+    fn infinite_arrival_poisons_only_dependent_paths() {
+        // MUX(s, a, b) with s=0 selects a; b may never arrive.
+        let net = two_mux_bypass();
+        let n = net.inputs().len();
+        // With all inputs at 0 the outputs settle; push one input to ∞
+        // and outputs not depending on its settled value stay finite.
+        let mut arr = vec![Time::ZERO; n];
+        arr[0] = Time::INF;
+        let x = vec![false; n];
+        let s = settle_times(&net, &UnitDelay, &x, &arr);
+        assert!(net.outputs().iter().any(|o| s[o.index()].is_finite()));
+    }
+
+    #[test]
+    fn exhaustive_true_arrivals_match_functional_timing_on_examples() {
+        for net in [fig4(), c17(), two_mux_bypass()] {
+            let zeros = vec![Time::ZERO; net.inputs().len()];
+            let want = xrta_chi::FunctionalTiming::new(
+                &net,
+                &UnitDelay,
+                zeros.clone(),
+                xrta_chi::EngineKind::Bdd,
+            )
+            .true_arrivals();
+            let got = exhaustive_true_arrivals(&net, &UnitDelay, &zeros);
+            assert_eq!(got, want, "{}", net.name());
+        }
+    }
+
+    #[test]
+    fn fig4_ground_truth_matches_paper_table() {
+        let net = fig4();
+        let req = [Time::new(2)];
+        // Planned active lists: x1 at {0}, x2 at {0, 1} for both values.
+        let lists = vec![vec![Time::new(0)], vec![Time::new(0), Time::new(1)]];
+        let at = |x1: bool, x2: bool| {
+            let mut m = maximal_safe_at(&net, &UnitDelay, &req, &[x1, x2], &lists, 1024).unwrap();
+            m.sort();
+            m
+        };
+        assert_eq!(
+            at(false, false),
+            vec![vec![Time::new(0), Time::INF], vec![Time::INF, Time::new(1)]]
+        );
+        assert_eq!(at(true, false), vec![vec![Time::INF, Time::new(1)]]);
+        assert_eq!(at(false, true), vec![vec![Time::new(0), Time::INF]]);
+        assert_eq!(at(true, true), vec![vec![Time::new(0), Time::new(0)]]);
+    }
+
+    #[test]
+    fn topological_requirement_is_always_safe() {
+        for net in [fig4(), c17(), two_mux_bypass()] {
+            let req = topological_delays(&net, &UnitDelay);
+            let all = xrta_timing::required_times(&net, &UnitDelay, &req);
+            let at_inputs: Vec<Time> = net.inputs().iter().map(|i| all[i.index()]).collect();
+            assert!(
+                point_safe(&net, &UnitDelay, &req, &at_inputs),
+                "{}",
+                net.name()
+            );
+        }
+    }
+
+    #[test]
+    fn canon_and_semantic_order() {
+        let list = [Time::new(0), Time::new(3)];
+        assert_eq!(canon(Time::new(-5), &list), Time::new(0));
+        assert_eq!(canon(Time::new(0), &list), Time::new(0));
+        assert_eq!(canon(Time::new(2), &list), Time::new(3));
+        assert_eq!(canon(Time::new(4), &list), Time::INF);
+        assert_eq!(canon(Time::INF, &list), Time::INF);
+        assert!(semantically_ge(Time::new(0), Time::new(-7), &list));
+        assert!(!semantically_ge(Time::new(0), Time::new(1), &list));
+        assert!(semantically_ge(Time::new(4), Time::INF, &list));
+    }
+}

@@ -31,4 +31,18 @@ cargo test -q --workspace
 echo "==> budget/degradation tests under step timeout"
 timeout 300 cargo test -q --test degradation
 
+# Replay the regression corpus: every shrunk reproducer in
+# netlists/corpus/ must stay clean through the full check matrix.
+echo "==> regression corpus replay"
+timeout 300 cargo test -q --release --test corpus
+
+# Differential fuzz smoke: random circuits through every engine
+# configuration against the exhaustive oracle. The time cap keeps the
+# step bounded on slow machines; the exit code is 1 on any oracle
+# disagreement.
+echo "==> xrta fuzz smoke"
+./target/release/xrta fuzz --seeds 64 --max-inputs 6 --time-cap 120 \
+    --corpus /tmp/xrta-ci-corpus-$$
+rm -rf "/tmp/xrta-ci-corpus-$$"
+
 echo "CI OK"

@@ -9,6 +9,8 @@
 //!                [--fallback on|off]
 //! xrta slack     <netlist> --node NAME [--req T]
 //! xrta macro     <netlist> [--engine bdd|sat]  pin-to-pin macro-model
+//! xrta fuzz      [--seeds N] [--max-inputs K] [--time-cap S]
+//!                [--corpus DIR] [--base-seed B]
 //! ```
 //!
 //! Netlists are BLIF (`.blif`) or ISCAS bench (`.bench`) files; all
@@ -22,10 +24,17 @@
 //! `--fallback on` (the default) an exhausted budget degrades down the
 //! ladder exact → approx1 → approx2 → topological instead of failing.
 //!
+//! `fuzz` needs no netlist: it runs the differential verification
+//! harness (`xrta-verify`) over `--seeds` random circuits with at most
+//! `--max-inputs` primary inputs, checking every engine against the
+//! exhaustive oracle. Failures are shrunk and filed as `.bench`
+//! reproducers under `--corpus` (default `netlists/corpus`), and the
+//! run exits `1`. `--time-cap` bounds the wall clock for CI.
+//!
 //! Exit codes: `0` answered at the requested rung, `3` answered at a
 //! lower rung (a one-line notice goes to stderr), `1` analysis failed
-//! (budget exhausted with `--fallback off`, or cancelled), `2` usage or
-//! netlist-loading error.
+//! (budget exhausted with `--fallback off`, or cancelled) or the fuzzer
+//! found a failure, `2` usage or netlist-loading error.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -33,6 +42,7 @@ use std::time::Duration;
 use xrta::core::{macro_model, report};
 use xrta::network::{parse_bench, parse_blif, stats};
 use xrta::prelude::*;
+use xrta::verify;
 
 enum Failure {
     /// Bad invocation or unreadable/unparsable netlist: exit 2.
@@ -43,7 +53,7 @@ enum Failure {
 
 struct Args {
     command: String,
-    path: String,
+    path: Option<String>,
     req: Option<i64>,
     engine: EngineKind,
     algo: String,
@@ -52,12 +62,23 @@ struct Args {
     node_limit: Option<usize>,
     sat_conflicts: Option<u64>,
     fallback: bool,
+    seeds: usize,
+    max_inputs: usize,
+    time_cap: Option<Duration>,
+    corpus: Option<String>,
+    base_seed: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut it = std::env::args().skip(1);
     let command = it.next().ok_or("missing command")?;
-    let path = it.next().ok_or("missing netlist path")?;
+    // `fuzz` generates its own circuits; every other command analyses
+    // a netlist given as the second positional argument.
+    let path = if command == "fuzz" {
+        None
+    } else {
+        Some(it.next().ok_or("missing netlist path")?)
+    };
     let mut args = Args {
         command,
         path,
@@ -69,6 +90,11 @@ fn parse_args() -> Result<Args, String> {
         node_limit: None,
         sat_conflicts: None,
         fallback: true,
+        seeds: 100,
+        max_inputs: 8,
+        time_cap: None,
+        corpus: None,
+        base_seed: 0xF0CC,
     };
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -123,6 +149,46 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("bad --fallback {other:?} (want on|off)")),
                 }
             }
+            "--seeds" => {
+                args.seeds = it
+                    .next()
+                    .ok_or("--seeds needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seeds: {e}"))?
+            }
+            "--max-inputs" => {
+                let k: usize = it
+                    .next()
+                    .ok_or("--max-inputs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-inputs: {e}"))?;
+                if !(2..=xrta::verify::MAX_ORACLE_INPUTS).contains(&k) {
+                    return Err(format!(
+                        "bad --max-inputs: {k} not in 2..={}",
+                        xrta::verify::MAX_ORACLE_INPUTS
+                    ));
+                }
+                args.max_inputs = k;
+            }
+            "--time-cap" => {
+                let secs: f64 = it
+                    .next()
+                    .ok_or("--time-cap needs a value (seconds)")?
+                    .parse()
+                    .map_err(|e| format!("bad --time-cap: {e}"))?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err(format!("bad --time-cap: {secs} is not a duration"));
+                }
+                args.time_cap = Some(Duration::from_secs_f64(secs));
+            }
+            "--corpus" => args.corpus = Some(it.next().ok_or("--corpus needs a value")?),
+            "--base-seed" => {
+                args.base_seed = it
+                    .next()
+                    .ok_or("--base-seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --base-seed: {e}"))?
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -160,7 +226,11 @@ fn required_vector(net: &Network, req: Option<i64>) -> Vec<Time> {
 
 fn run() -> Result<ExitCode, Failure> {
     let args = parse_args().map_err(Failure::Usage)?;
-    let net = load(&args.path).map_err(Failure::Usage)?;
+    if args.command == "fuzz" {
+        return run_fuzz(&args);
+    }
+    let net = load(args.path.as_deref().expect("non-fuzz commands have a path"))
+        .map_err(Failure::Usage)?;
     let zeros = vec![Time::ZERO; net.inputs().len()];
     match args.command.as_str() {
         "stats" => {
@@ -308,6 +378,52 @@ fn run() -> Result<ExitCode, Failure> {
     Ok(ExitCode::SUCCESS)
 }
 
+fn run_fuzz(args: &Args) -> Result<ExitCode, Failure> {
+    let corpus_dir = args
+        .corpus
+        .clone()
+        .unwrap_or_else(|| "netlists/corpus".to_string());
+    let opts = verify::FuzzOptions {
+        seeds: args.seeds,
+        base_seed: args.base_seed,
+        max_inputs: args.max_inputs,
+        time_cap: args.time_cap,
+        corpus_dir: Some(std::path::PathBuf::from(&corpus_dir)),
+        check: verify::CheckOptions::default(),
+    };
+    let report = verify::fuzz(&opts, |line| eprintln!("xrta: fuzz: {line}"));
+    println!(
+        "fuzz: {} of {} seeds run{} | base seed {:#x} | max inputs {} | {} failure(s)",
+        report.seeds_run,
+        args.seeds,
+        if report.time_capped {
+            " (time-capped)"
+        } else {
+            ""
+        },
+        args.base_seed,
+        args.max_inputs,
+        report.failures.len()
+    );
+    for f in &report.failures {
+        println!(
+            "failure at seed {}: {} | shrunk to {} gates{}",
+            f.index,
+            f.failures[0],
+            f.shrunk.net.gate_count(),
+            match &f.corpus_path {
+                Some(p) => format!(" | filed {}", p.display()),
+                None => String::new(),
+            }
+        );
+    }
+    if report.failures.is_empty() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::from(1))
+    }
+}
+
 fn main() -> ExitCode {
     match std::panic::catch_unwind(run) {
         Ok(Ok(code)) => code,
@@ -317,7 +433,9 @@ fn main() -> ExitCode {
                 "usage: xrta <stats|topo|truedelay|reqtime|slack|macro> <netlist> \
                  [--req T] [--engine bdd|sat] [--algo exact|approx1|approx2|topological] \
                  [--node NAME] [--timeout SECS] [--node-limit N] [--sat-conflicts N] \
-                 [--fallback on|off]"
+                 [--fallback on|off]\n       \
+                 xrta fuzz [--seeds N] [--max-inputs K] [--time-cap S] [--corpus DIR] \
+                 [--base-seed B]"
             );
             ExitCode::from(2)
         }

@@ -13,6 +13,7 @@
 //! | [`chi`] | `xrta-chi` | XBD0 χ-function analysis, BDD + SAT engines |
 //! | [`core`] | `xrta-core` | the paper's §4 algorithms and §5 subcircuit flexibility |
 //! | [`circuits`] | `xrta-circuits` | generators, worked examples, surrogate suite |
+//! | [`verify`] | `xrta-verify` | exhaustive oracle, differential fuzzing, shrinking, corpus |
 //!
 //! ## Quickstart: the paper's Figure 4
 //!
@@ -35,6 +36,7 @@ pub use xrta_core as core;
 pub use xrta_network as network;
 pub use xrta_sat as sat;
 pub use xrta_timing as timing;
+pub use xrta_verify as verify;
 
 /// Convenient glob import for applications.
 pub mod prelude {

@@ -166,6 +166,64 @@ fn reqtime_timeout_without_fallback_fails_with_exit_code_1() {
 }
 
 #[test]
+fn reqtime_zero_node_limit_degrades_with_exit_code_3() {
+    let (code, text) = xrta_code(&[
+        "reqtime",
+        &netlist("c17.bench"),
+        "--algo",
+        "exact",
+        "--node-limit",
+        "0",
+        "--fallback",
+        "on",
+    ]);
+    assert_eq!(code, Some(3), "{text}");
+    assert!(text.contains("degraded"), "{text}");
+}
+
+#[test]
+fn reqtime_zero_node_limit_without_fallback_fails_with_exit_code_1() {
+    let (code, text) = xrta_code(&[
+        "reqtime",
+        &netlist("c17.bench"),
+        "--algo",
+        "exact",
+        "--node-limit",
+        "0",
+        "--fallback",
+        "off",
+    ]);
+    assert_eq!(code, Some(1), "{text}");
+    assert!(text.contains("analysis failed"), "{text}");
+}
+
+#[test]
+fn fuzz_smoke_exits_cleanly() {
+    let dir = std::env::temp_dir().join(format!("xrta_cli_fuzz_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (code, text) = xrta_code(&[
+        "fuzz",
+        "--seeds",
+        "2",
+        "--max-inputs",
+        "4",
+        "--corpus",
+        dir.to_str().expect("utf8 path"),
+    ]);
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(code, Some(0), "{text}");
+    assert!(text.contains("2 of 2 seeds run"), "{text}");
+    assert!(text.contains("0 failure(s)"), "{text}");
+}
+
+#[test]
+fn fuzz_rejects_oversized_max_inputs() {
+    let (code, text) = xrta_code(&["fuzz", "--seeds", "1", "--max-inputs", "99"]);
+    assert_eq!(code, Some(2), "{text}");
+    assert!(text.contains("max-inputs"), "{text}");
+}
+
+#[test]
 fn reqtime_topological_rung_directly() {
     let (code, text) = xrta_code(&["reqtime", &netlist("c17.bench"), "--algo", "topological"]);
     assert_eq!(code, Some(0), "{text}");

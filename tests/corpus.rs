@@ -1,0 +1,39 @@
+//! Regression-corpus replay: every shrunk reproducer filed under
+//! `netlists/corpus/` must pass the full differential check matrix.
+//! A failure here means a previously fixed engine bug has come back.
+
+use std::path::Path;
+
+use xrta::verify::{check_case, load_dir, CheckOptions};
+
+fn corpus_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("netlists/corpus")
+}
+
+#[test]
+fn corpus_is_seeded() {
+    let entries = load_dir(&corpus_dir()).expect("corpus loads");
+    assert!(
+        entries.len() >= 3,
+        "netlists/corpus/ ships at least the fig4, bypass and c17 seeds"
+    );
+}
+
+#[test]
+fn corpus_replays_clean() {
+    let entries = load_dir(&corpus_dir()).expect("corpus loads");
+    for (path, entry) in entries {
+        let failures = check_case(&entry.case, &CheckOptions::default());
+        assert!(
+            failures.is_empty(),
+            "{} ({}) regressed:\n{}",
+            path.display(),
+            entry.origin,
+            failures
+                .iter()
+                .map(|f| format!("  {f}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

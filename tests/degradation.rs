@@ -123,6 +123,44 @@ fn near_zero_deadline_lands_on_sound_rung() {
 }
 
 #[test]
+fn zero_budgets_degrade_without_panicking() {
+    for net in suite() {
+        let req = topological_delays(&net, &UnitDelay);
+        // A zero node limit starves every BDD rung outright; a zero SAT
+        // conflict budget makes every oracle query inconclusive. Both
+        // must walk the ladder to a sound answer — never panic, never
+        // report an unsafe point.
+        let budgets = [
+            Budget::unlimited().with_node_limit(Some(0)),
+            Budget::unlimited().with_sat_conflicts(Some(0)),
+            Budget::unlimited()
+                .with_node_limit(Some(0))
+                .with_sat_conflicts(Some(0)),
+        ];
+        for (k, budget) in budgets.into_iter().enumerate() {
+            let zero_nodes = k != 1;
+            let opts = SessionOptions {
+                budget,
+                fallback: true,
+                ..SessionOptions::default()
+            };
+            let report = run_with_fallback(&net, &UnitDelay, &req, Verdict::Exact, &opts)
+                .unwrap_or_else(|e| {
+                    panic!("{} budget {k} must degrade, not fail: {e}", net.name())
+                });
+            if zero_nodes {
+                assert!(
+                    report.degraded(),
+                    "{}: zero BDD nodes cannot satisfy the exact rung",
+                    net.name()
+                );
+            }
+            assert_sound(&net, &req, &report);
+        }
+    }
+}
+
+#[test]
 fn fallback_off_returns_structured_errors() {
     let net = circuits::carry_skip_adder(4, 2).expect("valid adder");
     let req = topological_delays(&net, &UnitDelay);

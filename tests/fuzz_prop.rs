@@ -1,0 +1,76 @@
+//! End-to-end differential fuzzing as an integration test: random
+//! circuits through every engine/backend/threading/governor
+//! configuration, validated against the exhaustive oracle — plus a
+//! fault-injection run proving the harness catches and shrinks real
+//! disagreements.
+
+use xrta::verify::harness::FuzzFailure;
+use xrta::verify::{fuzz, CheckOptions, Fault, FuzzOptions};
+
+/// Debug builds keep the differential sweep snappy; release builds
+/// (CI's `cargo test --release`) widen it.
+#[cfg(debug_assertions)]
+const CLEAN_SEEDS: usize = 8;
+#[cfg(not(debug_assertions))]
+const CLEAN_SEEDS: usize = 64;
+
+fn render(failures: &[FuzzFailure]) -> String {
+    failures
+        .iter()
+        .flat_map(|f| {
+            f.failures
+                .iter()
+                .map(move |c| format!("  seed {}: {c}", f.index))
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn differential_fuzz_runs_clean() {
+    let opts = FuzzOptions {
+        seeds: CLEAN_SEEDS,
+        max_inputs: 6,
+        corpus_dir: None,
+        ..FuzzOptions::default()
+    };
+    let report = fuzz(&opts, |_| {});
+    assert_eq!(report.seeds_run, CLEAN_SEEDS);
+    assert!(
+        report.failures.is_empty(),
+        "engines disagree with the oracle:\n{}",
+        render(&report.failures)
+    );
+}
+
+#[test]
+fn injected_fault_is_caught_and_shrunk_small() {
+    let dir = std::env::temp_dir().join(format!("xrta_fuzz_prop_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = FuzzOptions {
+        seeds: 4,
+        max_inputs: 5,
+        corpus_dir: Some(dir.clone()),
+        check: CheckOptions {
+            fault: Some(Fault::LoosenApprox2),
+            ..CheckOptions::default()
+        },
+        ..FuzzOptions::default()
+    };
+    let report = fuzz(&opts, |_| {});
+    assert!(
+        !report.failures.is_empty(),
+        "a loosened approx2 must be caught"
+    );
+    for f in &report.failures {
+        let gates = f.shrunk.net.node_count() - f.shrunk.net.inputs().len();
+        assert!(
+            gates <= 8,
+            "seed {} shrunk to {gates} gates, want ≤ 8",
+            f.index
+        );
+        let path = f.corpus_path.as_ref().expect("corpus entry written");
+        assert!(path.exists(), "{} missing", path.display());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,205 @@
+//! Metamorphic properties: transformations of the *instance* with a
+//! known effect on the *answer*. These need no oracle — the engine is
+//! checked against itself under delay scaling, input renaming and
+//! output duplication.
+
+use std::collections::HashMap;
+
+use xrta::circuits::{c17, fig4, random_circuit, two_mux_bypass, RandomCircuitSpec};
+use xrta::network::NodeFunc;
+use xrta::prelude::*;
+use xrta::timing::TableDelay;
+
+fn scale_time(t: Time, k: i64) -> Time {
+    if t.is_finite() {
+        Time::new(t.ticks() * k)
+    } else {
+        t
+    }
+}
+
+/// Sorted maximal point set of approx2 — the per-PI required times.
+fn maximal_set(
+    net: &Network,
+    model: &impl xrta::timing::DelayModel,
+    req: &[Time],
+) -> Vec<Vec<Time>> {
+    let mut m = approx2_required_times(net, model, req, Approx2Options::default()).maximal;
+    m.sort();
+    m
+}
+
+fn subject_circuits() -> Vec<Network> {
+    let mut nets = vec![fig4(), two_mux_bypass(), c17()];
+    for seed in [11u64, 23, 37] {
+        nets.push(
+            random_circuit(RandomCircuitSpec {
+                inputs: 4,
+                gates: 9,
+                outputs: 2,
+                max_fanin: 3,
+                locality: 60,
+                seed,
+            })
+            .expect("valid spec"),
+        );
+    }
+    nets
+}
+
+/// Scaling every gate delay by `k` (and the required times with them)
+/// scales the whole required-time relation by `k`: all χ breakpoints
+/// are sums of gate delays, so the candidate lattice, the safe set and
+/// the maximal points scale linearly.
+#[test]
+fn uniform_delay_scaling_scales_required_times() {
+    const K: i64 = 3;
+    for net in subject_circuits() {
+        let req = topological_delays(&net, &UnitDelay);
+        let scaled_model = TableDelay::with_default(&net, K);
+        let scaled_req: Vec<Time> = req.iter().map(|&t| scale_time(t, K)).collect();
+
+        let base = maximal_set(&net, &UnitDelay, &req);
+        let scaled = maximal_set(&net, &scaled_model, &scaled_req);
+        let expect: Vec<Vec<Time>> = base
+            .iter()
+            .map(|p| p.iter().map(|&t| scale_time(t, K)).collect())
+            .collect();
+        assert_eq!(scaled, expect, "maximal points of {}", net.name());
+
+        // True arrivals (zero input arrivals) scale the same way.
+        let zeros = vec![Time::ZERO; net.inputs().len()];
+        let ft1 = FunctionalTiming::new(&net, &UnitDelay, zeros.clone(), EngineKind::Sat);
+        let ftk = FunctionalTiming::new(&net, &scaled_model, zeros, EngineKind::Sat);
+        let expect: Vec<Time> = ft1
+            .true_arrivals()
+            .into_iter()
+            .map(|t| scale_time(t, K))
+            .collect();
+        assert_eq!(
+            ftk.true_arrivals(),
+            expect,
+            "true arrivals of {}",
+            net.name()
+        );
+    }
+}
+
+/// Rebuilds `net` with its primary inputs declared in the order
+/// `perm[new_pos] = old_pos`; gates, tables and outputs are unchanged.
+fn with_permuted_inputs(net: &Network, perm: &[usize]) -> Network {
+    assert_eq!(perm.len(), net.inputs().len());
+    let mut out = Network::new(format!("{}_perm", net.name()));
+    let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+    for &old_pos in perm {
+        let id = net.inputs()[old_pos];
+        let new = out.add_input(net.node(id).name.clone()).unwrap();
+        map.insert(id, new);
+    }
+    for id in net.node_ids() {
+        let n = net.node(id);
+        if let NodeFunc::Gate { table, kind } = &n.func {
+            let fanins: Vec<NodeId> = n.fanins.iter().map(|f| map[f]).collect();
+            let new = match kind {
+                Some(k) => out.add_gate(n.name.clone(), *k, &fanins).unwrap(),
+                None => out
+                    .add_table(n.name.clone(), table.clone(), &fanins)
+                    .unwrap(),
+            };
+            map.insert(id, new);
+        }
+    }
+    for o in net.outputs() {
+        out.mark_output(map[o]);
+    }
+    out
+}
+
+/// Renaming (reordering) the primary inputs permutes the required-time
+/// relation coordinatewise and changes nothing else.
+#[test]
+fn pi_renaming_permutes_the_relation() {
+    for net in subject_circuits() {
+        let n = net.inputs().len();
+        // A rotation touches every position.
+        let perm: Vec<usize> = (0..n).map(|i| (i + 1) % n).collect();
+        let permuted = with_permuted_inputs(&net, &perm);
+        let req = topological_delays(&net, &UnitDelay);
+        assert_eq!(req, topological_delays(&permuted, &UnitDelay));
+
+        let base = maximal_set(&net, &UnitDelay, &req);
+        let mut expect: Vec<Vec<Time>> = base
+            .iter()
+            .map(|p| perm.iter().map(|&old| p[old]).collect())
+            .collect();
+        expect.sort();
+        assert_eq!(
+            maximal_set(&permuted, &UnitDelay, &req),
+            expect,
+            "maximal points of {}",
+            net.name()
+        );
+
+        // True arrivals under distinct input arrivals permute with them.
+        let arr: Vec<Time> = (0..n as i64).map(Time::new).collect();
+        let perm_arr: Vec<Time> = perm.iter().map(|&old| arr[old]).collect();
+        let ft = FunctionalTiming::new(&net, &UnitDelay, arr, EngineKind::Sat);
+        let ftp = FunctionalTiming::new(&permuted, &UnitDelay, perm_arr, EngineKind::Sat);
+        assert_eq!(ft.true_arrivals(), ftp.true_arrivals(), "{}", net.name());
+    }
+}
+
+/// Rebuilds `net` with a zero-delay buffer duplicating output `which`,
+/// marked as an extra primary output. Returns the network and the
+/// buffer's node id.
+fn with_duplicated_output(net: &Network, which: usize) -> (Network, NodeId) {
+    let mut out = Network::new(format!("{}_dup", net.name()));
+    let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+    for id in net.node_ids() {
+        let n = net.node(id);
+        let new = match &n.func {
+            NodeFunc::Input => out.add_input(n.name.clone()).unwrap(),
+            NodeFunc::Gate { table, kind } => {
+                let fanins: Vec<NodeId> = n.fanins.iter().map(|f| map[f]).collect();
+                match kind {
+                    Some(k) => out.add_gate(n.name.clone(), *k, &fanins).unwrap(),
+                    None => out
+                        .add_table(n.name.clone(), table.clone(), &fanins)
+                        .unwrap(),
+                }
+            }
+        };
+        map.insert(id, new);
+    }
+    let dup = out
+        .add_gate("dup_po", GateKind::Buf, &[map[&net.outputs()[which]]])
+        .unwrap();
+    for o in net.outputs() {
+        out.mark_output(map[o]);
+    }
+    out.mark_output(dup);
+    (out, dup)
+}
+
+/// Duplicating a primary output through a zero-delay buffer (with the
+/// same required time) adds a constraint identical to an existing one,
+/// so the per-PI required times are unchanged.
+#[test]
+fn po_duplication_leaves_pi_required_times_unchanged() {
+    for net in subject_circuits() {
+        let req = topological_delays(&net, &UnitDelay);
+        let base = maximal_set(&net, &UnitDelay, &req);
+
+        let (dup_net, dup) = with_duplicated_output(&net, 0);
+        let mut model = TableDelay::with_default(&dup_net, 1);
+        model.set(dup, 0);
+        let mut dup_req = req.clone();
+        dup_req.push(req[0]);
+        assert_eq!(
+            maximal_set(&dup_net, &model, &dup_req),
+            base,
+            "maximal points of {}",
+            net.name()
+        );
+    }
+}

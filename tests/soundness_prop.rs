@@ -17,10 +17,26 @@ fn small_spec(seed: u64) -> RandomCircuitSpec {
     }
 }
 
-/// Ten deterministic circuit seeds per property — spread out so the
-/// properties do not all see the same circuits.
+/// Seeds per property: debug builds keep the loops snappy, release
+/// builds (CI's `cargo test --release`) widen the net.
+#[cfg(debug_assertions)]
+const SEEDS_PER_PROPERTY: u64 = 10;
+#[cfg(not(debug_assertions))]
+const SEEDS_PER_PROPERTY: u64 = 25;
+
+/// Deterministic circuit seeds per property. The salt/index pair is
+/// packed into disjoint ranges and pushed through a splitmix64-style
+/// bijection, so distinct salts provably yield disjoint seed sets (the
+/// old linear formula let salts collide) while the mixing decorrelates
+/// consecutive indices.
 fn seeds(salt: u64) -> impl Iterator<Item = u64> {
-    (0..10u64).map(move |i| salt.wrapping_mul(2654435761).wrapping_add(i * 487))
+    fn mix64(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+    (0..SEEDS_PER_PROPERTY).map(move |i| mix64((salt << 32) | i))
 }
 
 /// Tight search options so the randomized tests stay fast: a couple of
