@@ -1,0 +1,140 @@
+//! Failure classification: which job failures are worth retrying.
+//!
+//! The split follows the nature of each exhaustion, not its severity:
+//!
+//! * **Permanent** — deterministic failures that would recur on an
+//!   identical retry: a BDD capacity wall ([`AnalysisError::Capacity`]
+//!   — the node count does not depend on the clock), an exhausted SAT
+//!   conflict budget, or an unloadable/unparsable netlist.
+//! * **Transient** — failures shaped by timing, scheduling or
+//!   environment, where a retry under a fresh deadline can genuinely
+//!   succeed: wall-clock deadline misses, worker panics (including a
+//!   panic that escaped the whole attempt).
+//!
+//! [`AnalysisError::Interrupted`] is *neither*: the cooperative cancel
+//! flag stops the whole run, leaving the journal resumable. The runner
+//! intercepts it before classification; the mapping here is the
+//! conservative answer for any other caller.
+
+use xrta_core::AnalysisError;
+
+/// Whether a failed attempt should be retried.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureClass {
+    /// Retry (with backoff) may succeed.
+    Transient,
+    /// Retrying deterministically reproduces the failure; fail now.
+    Permanent,
+}
+
+impl std::fmt::Display for FailureClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureClass::Transient => write!(f, "transient"),
+            FailureClass::Permanent => write!(f, "permanent"),
+        }
+    }
+}
+
+/// Classifies a governed-analysis error.
+pub fn classify(e: &AnalysisError) -> FailureClass {
+    match e {
+        AnalysisError::Capacity { .. } => FailureClass::Permanent,
+        AnalysisError::SatBudget => FailureClass::Permanent,
+        AnalysisError::DeadlineExceeded => FailureClass::Transient,
+        AnalysisError::WorkerPanic => FailureClass::Transient,
+        // Interpreted as a run-level stop by the runner; conservative
+        // retryable mapping for anyone else.
+        AnalysisError::Interrupted => FailureClass::Transient,
+    }
+}
+
+/// Everything that can end one job attempt unsuccessfully.
+#[derive(Clone, Debug)]
+pub enum JobError {
+    /// The netlist could not be read or parsed.
+    Load(String),
+    /// The governed analysis exhausted a budget.
+    Analysis(AnalysisError),
+    /// The attempt panicked and was caught at the job boundary.
+    Panicked,
+}
+
+impl JobError {
+    /// The retry decision for this failure.
+    pub fn class(&self) -> FailureClass {
+        match self {
+            JobError::Load(_) => FailureClass::Permanent,
+            JobError::Analysis(e) => classify(e),
+            JobError::Panicked => FailureClass::Transient,
+        }
+    }
+}
+
+impl std::fmt::Display for JobError {
+    /// Stable, journal-friendly renderings: identical failures encode
+    /// to identical strings, so resumed and uninterrupted runs journal
+    /// the same bytes.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Load(e) => write!(f, "load: {e}"),
+            JobError::Analysis(AnalysisError::Capacity { limit }) => write!(f, "capacity({limit})"),
+            JobError::Analysis(AnalysisError::DeadlineExceeded) => write!(f, "deadline"),
+            JobError::Analysis(AnalysisError::SatBudget) => write!(f, "sat-budget"),
+            JobError::Analysis(AnalysisError::WorkerPanic) => write!(f, "worker-panic"),
+            JobError::Analysis(AnalysisError::Interrupted) => write!(f, "interrupted"),
+            JobError::Panicked => write!(f, "panic"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analysis_errors_map_to_their_intended_class() {
+        assert_eq!(
+            classify(&AnalysisError::Capacity { limit: 1000 }),
+            FailureClass::Permanent,
+            "capacity exhaustion is deterministic"
+        );
+        assert_eq!(
+            classify(&AnalysisError::SatBudget),
+            FailureClass::Permanent,
+            "a conflict budget burns out identically every time"
+        );
+        assert_eq!(
+            classify(&AnalysisError::DeadlineExceeded),
+            FailureClass::Transient,
+            "a fresh deadline can succeed"
+        );
+        assert_eq!(
+            classify(&AnalysisError::WorkerPanic),
+            FailureClass::Transient,
+            "a poisoned cone may not recur"
+        );
+        assert_eq!(
+            classify(&AnalysisError::Interrupted),
+            FailureClass::Transient
+        );
+    }
+
+    #[test]
+    fn job_errors_classify_and_render_stably() {
+        let load = JobError::Load("parsing x.bench failed".to_string());
+        assert_eq!(load.class(), FailureClass::Permanent);
+        assert_eq!(load.to_string(), "load: parsing x.bench failed");
+
+        assert_eq!(JobError::Panicked.class(), FailureClass::Transient);
+        assert_eq!(JobError::Panicked.to_string(), "panic");
+
+        let cap = JobError::Analysis(AnalysisError::Capacity { limit: 42 });
+        assert_eq!(cap.class(), FailureClass::Permanent);
+        assert_eq!(cap.to_string(), "capacity(42)");
+
+        let dl = JobError::Analysis(AnalysisError::DeadlineExceeded);
+        assert_eq!(dl.class(), FailureClass::Transient);
+        assert_eq!(dl.to_string(), "deadline");
+    }
+}

@@ -1,0 +1,35 @@
+//! Crash-resilient batch analysis.
+//!
+//! `xrta batch <manifest>` analyses a whole suite of netlists under
+//! per-job budgets, surviving the failures a long unattended run
+//! actually meets: panics (isolated per attempt), budget exhaustions
+//! (classified transient/permanent, retried with capped jittered
+//! backoff), an approaching aggregate deadline (jobs shed, not
+//! failed) and outright process death (`SIGKILL`, OOM-kill, power
+//! loss).
+//!
+//! The crash story rests on one structure: an append-only JSONL
+//! journal ([`xrta_robust::journal`]) that records every state
+//! transition *before* the runner acts on it. Each line carries a
+//! CRC-32 so a torn final write is recognised and dropped;
+//! `--resume` replays the valid prefix, re-runs the at-most-one
+//! dangling attempt under its original attempt number, and finishes
+//! the rest. Because the journal holds only deterministic fields and
+//! the final report is rendered from the journal alone, a run that is
+//! killed and resumed produces a **byte-identical** report to one
+//! that was never interrupted — the property the chaos tests pin.
+//!
+//! Fault injection ([`xrta_core::failpoint`]) plugs in per attempt:
+//! each `(job, attempt)` pair derives its own schedule seed from the
+//! run seed, so a chaos run is reproducible end-to-end from a single
+//! integer.
+
+pub mod classify;
+pub mod manifest;
+pub mod record;
+pub mod runner;
+
+pub use classify::{classify, FailureClass, JobError};
+pub use manifest::{parse_manifest, JobSpec};
+pub use record::{DoneRecord, Event};
+pub use runner::{run_batch, BatchConfig, BatchError, BatchOptions, BatchSummary};

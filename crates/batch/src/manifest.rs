@@ -1,0 +1,176 @@
+//! Batch manifests: one analysis job per line.
+//!
+//! ```text
+//! # comment; blank lines ignored
+//! netlists/c17.bench
+//! netlists/mult4.bench algo=exact req=6 timeout=2.5 node-limit=20000
+//! netlists/bypass.bench algo=approx2 sat-conflicts=5000 cost=1.5
+//! ```
+//!
+//! The first whitespace-separated token is the netlist path (paths
+//! with spaces are not supported); the rest are `key=value` options:
+//!
+//! | key | meaning |
+//! |---|---|
+//! | `algo` | `exact`, `approx1`, `approx2` (default) or `topological` |
+//! | `req` | shared required time at every output (default: topological delay) |
+//! | `timeout` | per-rung wall-clock allowance, seconds |
+//! | `node-limit` | BDD node budget |
+//! | `sat-conflicts` | SAT conflict budget per oracle query |
+//! | `cost` | estimated cost in seconds, for admission control (default: `timeout`) |
+
+use std::time::Duration;
+
+use xrta_core::Verdict;
+
+/// One job: a netlist to analyse under per-job budgets.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Netlist path, as written in the manifest (resolved relative to
+    /// the process working directory).
+    pub path: String,
+    /// Requested rung of the degradation ladder.
+    pub algo: Verdict,
+    /// Shared required time at every output; `None` uses the
+    /// topological delay (the experimental protocol everywhere else).
+    pub req: Option<i64>,
+    /// Per-rung wall-clock allowance.
+    pub timeout: Option<Duration>,
+    /// BDD node budget.
+    pub node_limit: Option<usize>,
+    /// SAT conflict budget per oracle query.
+    pub sat_conflicts: Option<u64>,
+    /// Estimated cost for admission control; defaults to `timeout`.
+    pub cost: Option<Duration>,
+}
+
+impl JobSpec {
+    /// The cost estimate used for admission control near the
+    /// aggregate deadline.
+    pub fn estimated_cost(&self) -> Option<Duration> {
+        self.cost.or(self.timeout)
+    }
+}
+
+fn parse_secs(key: &str, value: &str) -> Result<Duration, String> {
+    let secs: f64 = value
+        .parse()
+        .map_err(|e| format!("bad {key}={value}: {e}"))?;
+    if !secs.is_finite() || secs < 0.0 {
+        return Err(format!("bad {key}={value}: not a duration"));
+    }
+    Ok(Duration::from_secs_f64(secs))
+}
+
+/// Parses manifest text into job specs. Errors carry the 1-based line
+/// number.
+pub fn parse_manifest(text: &str) -> Result<Vec<JobSpec>, String> {
+    let mut jobs = Vec::new();
+    for (k, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let path = tokens.next().expect("non-empty line has a token");
+        let mut spec = JobSpec {
+            path: path.to_string(),
+            algo: Verdict::Approx2,
+            req: None,
+            timeout: None,
+            node_limit: None,
+            sat_conflicts: None,
+            cost: None,
+        };
+        for tok in tokens {
+            let (key, value) = tok
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: option {tok:?} is not key=value", k + 1))?;
+            let at = |e: String| format!("line {}: {e}", k + 1);
+            match key {
+                "algo" => {
+                    spec.algo = match value {
+                        "exact" => Verdict::Exact,
+                        "approx1" => Verdict::Approx1,
+                        "approx2" => Verdict::Approx2,
+                        "topological" | "topo" => Verdict::Topological,
+                        other => return Err(at(format!("unknown algo {other:?}"))),
+                    }
+                }
+                "req" => {
+                    spec.req = Some(
+                        value
+                            .parse()
+                            .map_err(|e| at(format!("bad req={value}: {e}")))?,
+                    )
+                }
+                "timeout" => spec.timeout = Some(parse_secs(key, value).map_err(at)?),
+                "cost" => spec.cost = Some(parse_secs(key, value).map_err(at)?),
+                "node-limit" => {
+                    spec.node_limit = Some(
+                        value
+                            .parse()
+                            .map_err(|e| at(format!("bad node-limit={value}: {e}")))?,
+                    )
+                }
+                "sat-conflicts" => {
+                    spec.sat_conflicts = Some(
+                        value
+                            .parse()
+                            .map_err(|e| at(format!("bad sat-conflicts={value}: {e}")))?,
+                    )
+                }
+                other => return Err(at(format!("unknown option {other:?}"))),
+            }
+        }
+        jobs.push(spec);
+    }
+    Ok(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paths_options_and_comments() {
+        let text = "\
+# a comment
+netlists/c17.bench
+
+netlists/mult4.bench algo=exact req=6 timeout=2.5 node-limit=20000
+x.bench algo=topo sat-conflicts=100 cost=0.5
+";
+        let jobs = parse_manifest(text).unwrap();
+        assert_eq!(jobs.len(), 3);
+        assert_eq!(jobs[0].path, "netlists/c17.bench");
+        assert_eq!(jobs[0].algo, Verdict::Approx2);
+        assert_eq!(jobs[0].estimated_cost(), None);
+        assert_eq!(jobs[1].algo, Verdict::Exact);
+        assert_eq!(jobs[1].req, Some(6));
+        assert_eq!(jobs[1].timeout, Some(Duration::from_millis(2500)));
+        assert_eq!(jobs[1].node_limit, Some(20000));
+        assert_eq!(
+            jobs[1].estimated_cost(),
+            Some(Duration::from_millis(2500)),
+            "cost falls back to timeout"
+        );
+        assert_eq!(jobs[2].algo, Verdict::Topological);
+        assert_eq!(jobs[2].sat_conflicts, Some(100));
+        assert_eq!(jobs[2].estimated_cost(), Some(Duration::from_millis(500)));
+    }
+
+    #[test]
+    fn rejects_bad_lines_with_line_numbers() {
+        for (text, needle) in [
+            ("a.bench algo=quantum", "line 1"),
+            ("a.bench req=x", "bad req"),
+            ("a.bench timeout=-1", "not a duration"),
+            ("a.bench nonsense", "not key=value"),
+            ("a.bench what=ever", "unknown option"),
+        ] {
+            let e = parse_manifest(text).unwrap_err();
+            assert!(e.contains(needle), "{text:?} -> {e}");
+        }
+    }
+}

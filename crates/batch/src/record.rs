@@ -1,0 +1,397 @@
+//! Journal records: the batch runner's single source of truth.
+//!
+//! Every record is one flat JSON object (no nesting), hand-encoded
+//! and hand-parsed so the journal needs no external dependencies and
+//! stays greppable. Time vectors are space-separated tick tokens
+//! (`INF`/`-INF` for the infinities); a set of points joins vectors
+//! with `|`.
+//!
+//! The journal carries **only deterministic fields** — no wall-clock
+//! durations, no timestamps — so a report rebuilt from a
+//! crash-interrupted journal plus its resumed tail is byte-identical
+//! to the report of an uninterrupted run.
+
+use xrta_core::Verdict;
+use xrta_timing::Time;
+
+use crate::classify::FailureClass;
+
+/// One journal record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// Run header: first record of every journal. Pins the manifest
+    /// (by CRC-32 of its bytes) and the run seed so a resume against
+    /// a different manifest or seed is refused.
+    Run {
+        /// Number of jobs in the manifest.
+        jobs: usize,
+        /// Run seed (drives per-attempt failpoint schedules and
+        /// backoff jitter).
+        seed: u64,
+        /// CRC-32 of the manifest bytes.
+        manifest_crc: u32,
+    },
+    /// An attempt began. A `Start` with no matching `Done`/`Fail` is
+    /// a *dangling* attempt — the process died mid-attempt — and the
+    /// resumed run re-runs it under the same attempt number.
+    Start {
+        /// Job index (manifest order).
+        job: usize,
+        /// Attempt number, counting completed failed attempts.
+        attempt: u64,
+    },
+    /// An attempt answered.
+    Done(DoneRecord),
+    /// An attempt failed cleanly.
+    Fail {
+        /// Job index.
+        job: usize,
+        /// Attempt number.
+        attempt: u64,
+        /// Stable error rendering (see [`crate::classify::JobError`]).
+        error: String,
+        /// Transient (retryable) or permanent.
+        class: FailureClass,
+        /// True when no retry follows: the job is terminally failed.
+        is_final: bool,
+    },
+    /// The job was skipped by admission control near the aggregate
+    /// deadline. Terminal.
+    Shed {
+        /// Job index.
+        job: usize,
+    },
+}
+
+/// Payload of a successful attempt: everything the report (and the
+/// chaos oracle) needs to validate the answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DoneRecord {
+    /// Job index.
+    pub job: usize,
+    /// Attempt number.
+    pub attempt: u64,
+    /// Rung requested by the manifest.
+    pub requested: Verdict,
+    /// Rung that answered (may be lower: degraded).
+    pub verdict: Verdict,
+    /// Whether the answer beats the topological requirement anywhere.
+    pub nontrivial: bool,
+    /// Output required-time vector the job was analysed against
+    /// (aligned with `net.outputs()`).
+    pub req: Vec<Time>,
+    /// Input-side witness points (aligned with `net.inputs()`):
+    /// approx2's maximal safe points, or the single topological
+    /// vector; empty for the relational rungs.
+    pub points: Vec<Vec<Time>>,
+}
+
+pub(crate) fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one `Time` as a journal token.
+pub fn time_token(t: Time) -> String {
+    if t.is_inf() {
+        "INF".to_string()
+    } else if t.is_neg_inf() {
+        "-INF".to_string()
+    } else {
+        t.ticks().to_string()
+    }
+}
+
+fn parse_time(tok: &str) -> Result<Time, String> {
+    match tok {
+        "INF" => Ok(Time::INF),
+        "-INF" => Ok(Time::NEG_INF),
+        n => n
+            .parse::<i64>()
+            .map(Time::new)
+            .map_err(|e| format!("bad time token {n:?}: {e}")),
+    }
+}
+
+/// Space-joins a time vector (empty vector → empty string).
+pub fn encode_times(v: &[Time]) -> String {
+    v.iter()
+        .map(|&t| time_token(t))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Inverse of [`encode_times`].
+pub fn parse_times(s: &str) -> Result<Vec<Time>, String> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(' ').map(parse_time).collect()
+}
+
+/// `|`-joins a set of time vectors.
+pub fn encode_points(ps: &[Vec<Time>]) -> String {
+    ps.iter()
+        .map(|v| encode_times(v))
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+/// Inverse of [`encode_points`].
+pub fn parse_points(s: &str) -> Result<Vec<Vec<Time>>, String> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split('|').map(parse_times).collect()
+}
+
+fn parse_verdict(s: &str) -> Result<Verdict, String> {
+    match s {
+        "exact" => Ok(Verdict::Exact),
+        "approx1" => Ok(Verdict::Approx1),
+        "approx2" => Ok(Verdict::Approx2),
+        "topological" => Ok(Verdict::Topological),
+        other => Err(format!("unknown verdict {other:?}")),
+    }
+}
+
+impl Event {
+    /// Encodes the record as one flat JSON object (no newline).
+    pub fn encode(&self) -> String {
+        match self {
+            Event::Run {
+                jobs,
+                seed,
+                manifest_crc,
+            } => format!(
+                "{{\"event\":\"run\",\"jobs\":{jobs},\"seed\":{seed},\"manifest_crc\":\"{manifest_crc:08x}\"}}"
+            ),
+            Event::Start { job, attempt } => {
+                format!("{{\"event\":\"start\",\"job\":{job},\"attempt\":{attempt}}}")
+            }
+            Event::Done(d) => format!(
+                "{{\"event\":\"done\",\"job\":{},\"attempt\":{},\"requested\":\"{}\",\"verdict\":\"{}\",\"nontrivial\":{},\"req\":\"{}\",\"points\":\"{}\"}}",
+                d.job,
+                d.attempt,
+                d.requested,
+                d.verdict,
+                d.nontrivial,
+                encode_times(&d.req),
+                encode_points(&d.points),
+            ),
+            Event::Fail {
+                job,
+                attempt,
+                error,
+                class,
+                is_final,
+            } => format!(
+                "{{\"event\":\"fail\",\"job\":{job},\"attempt\":{attempt},\"error\":\"{}\",\"class\":\"{class}\",\"final\":{is_final}}}",
+                escape(error),
+            ),
+            Event::Shed { job } => format!("{{\"event\":\"shed\",\"job\":{job}}}"),
+        }
+    }
+
+    /// Parses a record previously produced by [`Event::encode`].
+    pub fn parse(s: &str) -> Result<Event, String> {
+        let fields = parse_flat_object(s)?;
+        let get = |key: &str| -> Result<&str, String> {
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.as_str())
+                .ok_or_else(|| format!("record missing {key:?}: {s}"))
+        };
+        let get_num = |key: &str| -> Result<u64, String> {
+            get(key)?
+                .parse()
+                .map_err(|e| format!("bad {key} in record: {e}"))
+        };
+        match get("event")? {
+            "run" => Ok(Event::Run {
+                jobs: get_num("jobs")? as usize,
+                seed: get_num("seed")?,
+                manifest_crc: u32::from_str_radix(get("manifest_crc")?, 16)
+                    .map_err(|e| format!("bad manifest_crc: {e}"))?,
+            }),
+            "start" => Ok(Event::Start {
+                job: get_num("job")? as usize,
+                attempt: get_num("attempt")?,
+            }),
+            "done" => Ok(Event::Done(DoneRecord {
+                job: get_num("job")? as usize,
+                attempt: get_num("attempt")?,
+                requested: parse_verdict(get("requested")?)?,
+                verdict: parse_verdict(get("verdict")?)?,
+                nontrivial: get("nontrivial")? == "true",
+                req: parse_times(get("req")?)?,
+                points: parse_points(get("points")?)?,
+            })),
+            "fail" => Ok(Event::Fail {
+                job: get_num("job")? as usize,
+                attempt: get_num("attempt")?,
+                error: get("error")?.to_string(),
+                class: match get("class")? {
+                    "transient" => FailureClass::Transient,
+                    "permanent" => FailureClass::Permanent,
+                    other => return Err(format!("unknown failure class {other:?}")),
+                },
+                is_final: get("final")? == "true",
+            }),
+            "shed" => Ok(Event::Shed {
+                job: get_num("job")? as usize,
+            }),
+            other => Err(format!("unknown event {other:?}")),
+        }
+    }
+}
+
+/// Parses a single-level JSON object into key/value pairs. String
+/// values are unescaped; numbers and booleans are returned as their
+/// raw token text. No nested objects or arrays (the journal never
+/// emits them).
+fn parse_flat_object(s: &str) -> Result<Vec<(String, String)>, String> {
+    let mut chars = s.trim().chars().peekable();
+    let mut fields = Vec::new();
+    if chars.next() != Some('{') {
+        return Err(format!("record does not start with '{{': {s}"));
+    }
+    loop {
+        match chars.peek() {
+            Some('}') => break,
+            Some('"') => {}
+            other => return Err(format!("expected key, found {other:?} in {s}")),
+        }
+        let key = parse_string(&mut chars)?;
+        if chars.next() != Some(':') {
+            return Err(format!("missing ':' after {key:?} in {s}"));
+        }
+        let value = match chars.peek() {
+            Some('"') => parse_string(&mut chars)?,
+            Some(_) => {
+                let mut raw = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c == ',' || c == '}' {
+                        break;
+                    }
+                    raw.push(c);
+                    chars.next();
+                }
+                raw.trim().to_string()
+            }
+            None => return Err(format!("truncated record: {s}")),
+        };
+        fields.push((key, value));
+        match chars.next() {
+            Some(',') => continue,
+            Some('}') => return Ok(fields),
+            other => return Err(format!("expected ',' or '}}', found {other:?} in {s}")),
+        }
+    }
+    chars.next();
+    Ok(fields)
+}
+
+/// Parses a JSON string literal (cursor on the opening quote).
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars>) -> Result<String, String> {
+    assert_eq!(chars.next(), Some('"'));
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            None => return Err("unterminated string".to_string()),
+            Some('"') => return Ok(out),
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('/') => out.push('/'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('r') => out.push('\r'),
+                Some('u') => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let code = u32::from_str_radix(&hex, 16)
+                        .map_err(|e| format!("bad \\u escape {hex:?}: {e}"))?;
+                    out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                }
+                other => return Err(format!("unknown escape {other:?}")),
+            },
+            Some(c) => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(e: Event) {
+        let text = e.encode();
+        assert_eq!(Event::parse(&text).unwrap(), e, "{text}");
+    }
+
+    #[test]
+    fn all_events_round_trip() {
+        roundtrip(Event::Run {
+            jobs: 50,
+            seed: u64::MAX,
+            manifest_crc: 0x00ab_cdef,
+        });
+        roundtrip(Event::Start { job: 3, attempt: 2 });
+        roundtrip(Event::Done(DoneRecord {
+            job: 7,
+            attempt: 1,
+            requested: Verdict::Approx2,
+            verdict: Verdict::Topological,
+            nontrivial: true,
+            req: vec![Time::new(6), Time::INF],
+            points: vec![
+                vec![Time::new(2), Time::NEG_INF],
+                vec![Time::new(-3), Time::new(4)],
+            ],
+        }));
+        roundtrip(Event::Fail {
+            job: 0,
+            attempt: 0,
+            error: "load: parsing \"x.bench\" failed\nand more".to_string(),
+            class: FailureClass::Permanent,
+            is_final: true,
+        });
+        roundtrip(Event::Shed { job: 49 });
+    }
+
+    #[test]
+    fn empty_vectors_round_trip() {
+        roundtrip(Event::Done(DoneRecord {
+            job: 0,
+            attempt: 0,
+            requested: Verdict::Exact,
+            verdict: Verdict::Exact,
+            nontrivial: false,
+            req: vec![],
+            points: vec![],
+        }));
+    }
+
+    #[test]
+    fn rejects_malformed_records() {
+        for bad in [
+            "",
+            "{",
+            "{\"event\":\"nope\"}",
+            "{\"event\":\"start\",\"job\":1}",
+            "{\"event\":\"run\",\"jobs\":x,\"seed\":0,\"manifest_crc\":\"00\"}",
+            "not json at all",
+        ] {
+            assert!(Event::parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+}

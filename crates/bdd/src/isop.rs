@@ -44,6 +44,10 @@ impl Bdd {
     }
 
     fn isop_rec(&mut self, lower: Ref, upper: Ref) -> BddResult<(Vec<Cube>, Ref)> {
+        // Cache-hit-heavy recursion: the inner and/or/not calls may
+        // never reach `mk`'s poll, so poll (amortized) here too to
+        // keep deadlines binding within milliseconds.
+        self.poll_governor()?;
         if lower.is_false() {
             return Ok((Vec::new(), Ref::FALSE));
         }

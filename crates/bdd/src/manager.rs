@@ -174,9 +174,12 @@ impl Bdd {
         self.poll_countdown = 0;
     }
 
-    /// Amortized governor check, called on the node-creation path.
+    /// Amortized governor check, called on the node-creation path and
+    /// at the entry of the long cache-hit-heavy traversals
+    /// (`isop`/`quant`/reordering), which can run for a long time
+    /// without ever creating a node.
     #[inline]
-    fn poll_governor(&mut self) -> BddResult<()> {
+    pub(crate) fn poll_governor(&mut self) -> BddResult<()> {
         if self.poll_countdown > 0 {
             self.poll_countdown -= 1;
             return Ok(());
@@ -385,6 +388,18 @@ impl Bdd {
         let key = (var, lo.0, hi.0);
         if let Some(&idx) = self.unique.get(&key) {
             return Ok(Ref(idx));
+        }
+        // Fault-injection site on the allocation slow path: `exhaust`
+        // forges a capacity failure, `err` a deadline. No-op unless a
+        // failpoint schedule is armed (see xrta-robust).
+        match xrta_robust::failpoint::eval("bdd::mk") {
+            Some(xrta_robust::failpoint::Outcome::Exhausted) => {
+                return Err(BddError::Capacity {
+                    limit: self.node_limit,
+                })
+            }
+            Some(xrta_robust::failpoint::Outcome::ReturnError) => return Err(BddError::Deadline),
+            None => {}
         }
         self.poll_governor()?;
         if self.nodes.len() >= self.node_limit {

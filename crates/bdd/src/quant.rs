@@ -75,6 +75,9 @@ impl Bdd {
         existential: bool,
         cache: &mut FxHashMap<u32, u32>,
     ) -> BddResult<Ref> {
+        // Poll here as well as in `mk`: a cache-dominated traversal
+        // creates no nodes, so this is its only deadline check.
+        self.poll_governor()?;
         if f.is_const() {
             return Ok(f);
         }
@@ -126,6 +129,7 @@ impl Bdd {
         mask: &[bool],
         cache: &mut FxHashMap<(u32, u32), u32>,
     ) -> BddResult<Ref> {
+        self.poll_governor()?;
         if f.is_false() || g.is_false() {
             return Ok(Ref::FALSE);
         }

@@ -26,6 +26,10 @@ impl Bdd {
     /// Panics if `l + 1` is not a valid level.
     pub fn swap_adjacent_levels(&mut self, l: usize) -> BddResult<()> {
         assert!(l + 1 < self.var_count(), "level {l} has no successor");
+        // Sifting performs long runs of swaps whose `mk` calls mostly
+        // hit the unique table; poll here so a deadline interrupts a
+        // reorder pass promptly.
+        self.poll_governor()?;
         let x = self.level2var[l];
         let y = self.level2var[l + 1];
 

@@ -270,6 +270,8 @@ fn main() {
     );
 
     let json = render_json(budget, &records);
-    std::fs::write(&json_path, json).expect("write JSON report");
+    // Atomic: never leave a half-written report if the run is killed.
+    xrta_robust::fsio::atomic_write(std::path::Path::new(&json_path), json.as_bytes())
+        .expect("write JSON report");
     println!("\nwrote {json_path}");
 }

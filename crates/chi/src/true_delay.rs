@@ -103,6 +103,20 @@ impl<'n, D: DelayModel> FunctionalTiming<'n, D> {
         self
     }
 
+    /// Fault-injection site covering engine construction: every query
+    /// builds a fresh engine, so firing here models a construction
+    /// failure. `exhaust` forges a capacity error, `err` a deadline.
+    /// No-op unless a failpoint schedule is armed.
+    fn construction_failpoint(&self) -> BddResult<()> {
+        match xrta_robust::failpoint::eval("chi::construct") {
+            Some(xrta_robust::failpoint::Outcome::Exhausted) => Err(BddError::Capacity {
+                limit: self.node_limit.unwrap_or(usize::MAX),
+            }),
+            Some(xrta_robust::failpoint::Outcome::ReturnError) => Err(BddError::Deadline),
+            None => Ok(()),
+        }
+    }
+
     fn sat_engine(&self) -> ChiSatEngine {
         let mut eng = ChiSatEngine::new(self.net, self.model, self.arrivals.clone());
         eng.set_conflict_budget(self.conflict_budget);
@@ -151,6 +165,7 @@ impl<'n, D: DelayModel> FunctionalTiming<'n, D> {
 
     /// Budget-aware form of [`FunctionalTiming::stable_by`].
     pub fn try_stable_by(&self, node: NodeId, t: Time) -> BddResult<bool> {
+        self.construction_failpoint()?;
         match self.kind {
             EngineKind::Sat => {
                 let mut eng = self.sat_engine();
@@ -194,6 +209,7 @@ impl<'n, D: DelayModel> FunctionalTiming<'n, D> {
     /// meet"; deadline/cancel/node-limit interrupts return `Err`.
     pub fn try_meets(&self, required: &[Time]) -> BddResult<bool> {
         assert_eq!(required.len(), self.net.outputs().len());
+        self.construction_failpoint()?;
         match self.kind {
             EngineKind::Sat => {
                 let mut eng = self.sat_engine();

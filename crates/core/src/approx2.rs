@@ -323,6 +323,21 @@ impl<'n> Search<'n> {
     ) -> ConeVerdict {
         let cone = &cones[q.cone];
         let run = catch_unwind(AssertUnwindSafe(|| {
+            // Fault-injection site at the top of a cone worker: a
+            // `panic` schedule exercises the catch_unwind below the
+            // same way a real poisoned cone would; `err`/`exhaust`
+            // forge the corresponding oracle failures.
+            match xrta_robust::failpoint::eval("approx2::cone") {
+                Some(xrta_robust::failpoint::Outcome::Exhausted) => {
+                    return Err(BddError::Capacity {
+                        limit: gov.node_limit.unwrap_or(usize::MAX),
+                    })
+                }
+                Some(xrta_robust::failpoint::Outcome::ReturnError) => {
+                    return Err(BddError::Deadline)
+                }
+                None => {}
+            }
             let ft = FunctionalTiming::new(&cone.net, &cone.delays, q.proj.clone(), options.engine)
                 .with_conflict_budget(options.oracle_conflict_budget)
                 .with_propagation_budget(options.oracle_propagation_budget)

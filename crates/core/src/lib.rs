@@ -82,6 +82,9 @@ pub use flex::{
     ArrivalFlexOptions, CoupledClass, SubcircuitArrivals, SubcircuitRequired,
 };
 pub use governor::{AnalysisError, Budget};
+// Deterministic fault injection (named sites, seeded schedules) lives
+// in the leaf crate `xrta-robust` so the BDD/SAT layers can host
+// sites too; re-exported here as `core::failpoint` for discovery.
 pub use leaves::{LeafMode, LeafVarKey, ParamVarKey, PlannedLeaves};
 pub use macro_model::{macro_model, MacroModel};
 pub use plan::{plan_leaves, LeafPlan, LeafTimes};
@@ -90,3 +93,4 @@ pub use session::{
 };
 pub use slack::{true_slack, TrueSlack};
 pub use types::{RequiredTimeTuple, ValueTimes};
+pub use xrta_robust::failpoint;

@@ -186,31 +186,52 @@ pub fn run_with_fallback<D: DelayModel>(
             return Err(AnalysisError::Interrupted);
         }
         let t0 = Instant::now();
-        let outcome: Result<SessionAnswer, AnalysisError> = match rung {
-            Verdict::Exact => {
-                exact_required_times_governed(net, model, output_required, options.exact, &budget)
-                    .map(SessionAnswer::Exact)
+        // Fault-injection site on the rung transition: a fired
+        // schedule forges a budget exhaustion for this rung, driving
+        // the ordinary fallback machinery below. No-op unless armed.
+        let injected: Option<AnalysisError> = match xrta_robust::failpoint::eval("session::rung") {
+            Some(xrta_robust::failpoint::Outcome::Exhausted) => Some(AnalysisError::Capacity {
+                limit: budget.node_limit().unwrap_or(0),
+            }),
+            Some(xrta_robust::failpoint::Outcome::ReturnError) => {
+                Some(AnalysisError::DeadlineExceeded)
             }
-            Verdict::Approx1 => approx1_required_times_governed(
-                net,
-                model,
-                output_required,
-                options.approx1,
-                &budget,
-            )
-            .map(SessionAnswer::Approx1),
-            Verdict::Approx2 => approx2_required_times_governed(
-                net,
-                model,
-                output_required,
-                options.approx2,
-                &budget,
-            )
-            .map(SessionAnswer::Approx2),
-            Verdict::Topological => {
-                let req = required_times(net, model, output_required);
-                let at_inputs: Vec<Time> = net.inputs().iter().map(|i| req[i.index()]).collect();
-                Ok(SessionAnswer::Topological(at_inputs))
+            None => None,
+        };
+        let outcome: Result<SessionAnswer, AnalysisError> = if let Some(e) = injected {
+            Err(e)
+        } else {
+            match rung {
+                Verdict::Exact => exact_required_times_governed(
+                    net,
+                    model,
+                    output_required,
+                    options.exact,
+                    &budget,
+                )
+                .map(SessionAnswer::Exact),
+                Verdict::Approx1 => approx1_required_times_governed(
+                    net,
+                    model,
+                    output_required,
+                    options.approx1,
+                    &budget,
+                )
+                .map(SessionAnswer::Approx1),
+                Verdict::Approx2 => approx2_required_times_governed(
+                    net,
+                    model,
+                    output_required,
+                    options.approx2,
+                    &budget,
+                )
+                .map(SessionAnswer::Approx2),
+                Verdict::Topological => {
+                    let req = required_times(net, model, output_required);
+                    let at_inputs: Vec<Time> =
+                        net.inputs().iter().map(|i| req[i.index()]).collect();
+                    Ok(SessionAnswer::Topological(at_inputs))
+                }
             }
         };
         let wall = t0.elapsed();

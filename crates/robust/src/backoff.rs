@@ -1,0 +1,127 @@
+//! Capped exponential retry backoff with deterministic jitter.
+//!
+//! The batch runner retries *transient* failures (deadline blown on a
+//! loaded machine, a poisoned worker) but not *permanent* ones (a
+//! relation that genuinely exceeds the node budget). Between attempts
+//! it sleeps an exponentially growing, capped, jittered delay; the
+//! jitter is drawn from [`xrta_rng`], so a seeded run produces the
+//! same delays every time — which keeps chaos tests and resumed runs
+//! deterministic.
+
+use std::time::Duration;
+
+use xrta_rng::Rng;
+
+/// Retry/backoff policy: attempt `k` (0-based retry index) sleeps a
+/// jittered delay in `[d/2, d]` where `d = min(cap, base * 2^k)`.
+#[derive(Clone, Copy, Debug)]
+pub struct BackoffPolicy {
+    /// Delay before the first retry (pre-jitter).
+    pub base: Duration,
+    /// Upper bound on the pre-jitter delay.
+    pub cap: Duration,
+    /// Maximum number of retries (so up to `max_retries + 1` attempts
+    /// in total).
+    pub max_retries: u32,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            base: Duration::from_millis(100),
+            cap: Duration::from_secs(5),
+            max_retries: 2,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// A policy that never sleeps — for tests and chaos runs where
+    /// wall-clock delays would only slow the suite down.
+    pub fn immediate(max_retries: u32) -> Self {
+        BackoffPolicy {
+            base: Duration::ZERO,
+            cap: Duration::ZERO,
+            max_retries,
+        }
+    }
+
+    /// The capped, pre-jitter delay for retry `attempt` (0-based).
+    pub fn raw_delay(&self, attempt: u32) -> Duration {
+        let factor = 1u32.checked_shl(attempt).unwrap_or(u32::MAX);
+        self.base
+            .checked_mul(factor)
+            .unwrap_or(self.cap)
+            .min(self.cap)
+    }
+
+    /// The jittered delay for retry `attempt`: uniform in
+    /// `[raw/2, raw]` ("equal jitter" — keeps a floor so retries still
+    /// spread out, but never exceeds the cap).
+    pub fn delay(&self, attempt: u32, rng: &mut Rng) -> Duration {
+        let raw = self.raw_delay(attempt);
+        if raw.is_zero() {
+            return Duration::ZERO;
+        }
+        let raw_ns = raw.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let half = raw_ns / 2;
+        let jittered = half + rng.next_u64() % (raw_ns - half + 1);
+        Duration::from_nanos(jittered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_delay_grows_exponentially_then_caps() {
+        let p = BackoffPolicy {
+            base: Duration::from_millis(100),
+            cap: Duration::from_secs(1),
+            max_retries: 10,
+        };
+        assert_eq!(p.raw_delay(0), Duration::from_millis(100));
+        assert_eq!(p.raw_delay(1), Duration::from_millis(200));
+        assert_eq!(p.raw_delay(2), Duration::from_millis(400));
+        assert_eq!(p.raw_delay(3), Duration::from_millis(800));
+        assert_eq!(p.raw_delay(4), Duration::from_secs(1), "capped");
+        assert_eq!(p.raw_delay(31), Duration::from_secs(1));
+        assert_eq!(p.raw_delay(63), Duration::from_secs(1), "no shift overflow");
+    }
+
+    #[test]
+    fn jitter_stays_within_half_to_full_raw_delay() {
+        let p = BackoffPolicy::default();
+        let mut rng = Rng::seed_from_u64(42);
+        for attempt in 0..8 {
+            let raw = p.raw_delay(attempt);
+            for _ in 0..200 {
+                let d = p.delay(attempt, &mut rng);
+                assert!(d >= raw / 2, "jitter floor: {d:?} < {:?}", raw / 2);
+                assert!(d <= raw, "jitter ceiling: {d:?} > {raw:?}");
+                assert!(d <= p.cap, "cap respected");
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_jitter_is_deterministic() {
+        let p = BackoffPolicy::default();
+        let seq = |seed| {
+            let mut rng = Rng::seed_from_u64(seed);
+            (0..6).map(|a| p.delay(a, &mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(7), seq(7));
+        assert_ne!(seq(7), seq(8));
+    }
+
+    #[test]
+    fn immediate_policy_never_sleeps() {
+        let p = BackoffPolicy::immediate(3);
+        let mut rng = Rng::seed_from_u64(0);
+        assert_eq!(p.delay(0, &mut rng), Duration::ZERO);
+        assert_eq!(p.delay(5, &mut rng), Duration::ZERO);
+        assert_eq!(p.max_retries, 3);
+    }
+}

@@ -1,0 +1,135 @@
+//! Durable file io: atomic whole-file writes and CRC-32.
+//!
+//! [`atomic_write`] is the workspace's one way to publish an artifact
+//! (corpus entries, benchmark reports, batch reports): write a
+//! temporary file *in the same directory*, fsync it, then rename over
+//! the destination. A reader — or a process resuming after a kill —
+//! sees either the old contents or the new, never a truncated mix.
+
+use std::io::{self, Write as _};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Writes `bytes` to `path` atomically: temp file in the same
+/// directory, fsync, rename. The temp name includes the pid and a
+/// process-wide counter so concurrent writers never collide.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "atomic_write needs a file name",
+            )
+        })?
+        .to_string_lossy()
+        .into_owned();
+    let tmp_name = format!(
+        ".{file_name}.tmp.{}.{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    );
+    let tmp_path = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => Path::new(&tmp_name).to_path_buf(),
+    };
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp_path)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp_path, path)?;
+        // Make the rename itself durable. Directories can't be synced
+        // on every platform; failure here doesn't lose data, only the
+        // crash-durability of the *name*, so it is best-effort.
+        if let Some(d) = dir {
+            if let Ok(dirf) = std::fs::File::open(d) {
+                let _ = dirf.sync_all();
+            }
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp_path);
+    }
+    result
+}
+
+/// CRC-32 (IEEE 802.3, the zlib/gzip polynomial) over `bytes`.
+/// Used to checksum journal records; 8 hex digits in the record
+/// format ([`crate::journal`]).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    // Nibble-driven table: 16 entries, built at first use.
+    const POLY: u32 = 0xEDB88320;
+    static TABLE: std::sync::OnceLock<[u32; 16]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 16];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..4 {
+                c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        t
+    });
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = table[((crc ^ u32::from(b)) & 0xF) as usize] ^ (crc >> 4);
+        crc = table[((crc ^ u32::from(b >> 4)) & 0xF) as usize] ^ (crc >> 4);
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("xrta_fsio_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Reference values from the IEEE CRC-32 used by zlib/gzip.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_temp() {
+        let dir = temp_dir("aw");
+        let path = dir.join("out.json");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files cleaned up: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_write_without_parent_dir_writes_cwd_relative() {
+        // A bare file name has no parent; the temp file must still
+        // land next to it (the current directory), not in `/`.
+        let dir = temp_dir("cwd");
+        let path = dir.join("bare.txt");
+        atomic_write(&path, b"x").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"x");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

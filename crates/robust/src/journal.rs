@@ -1,0 +1,279 @@
+//! Append-only JSONL journal with per-record checksums.
+//!
+//! A journal records state transitions as they happen, one JSON
+//! object per line, each wrapped with a CRC-32 of its payload bytes:
+//!
+//! ```text
+//! {"crc":"8d3f2a10","data":{"event":"start","job":3,"attempt":0}}
+//! ```
+//!
+//! Appends are flushed and fsynced per record, so after a crash the
+//! file holds every transition that was acknowledged plus at most one
+//! torn final line. [`load`] re-validates every record's checksum and
+//! tolerates an invalid *tail* (the torn line), but refuses an invalid
+//! record followed by valid ones — that is real corruption, not a
+//! crash artifact, and resuming over it would silently lose state.
+
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+use crate::fsio::crc32;
+
+/// An open journal handle for appending records.
+pub struct Journal {
+    file: std::fs::File,
+    path: PathBuf,
+}
+
+/// Why a journal failed to load.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Underlying io failure.
+    Io(io::Error),
+    /// A record failed validation *before* the tail — the journal is
+    /// corrupt, not merely truncated.
+    Corrupt {
+        /// 1-based line number of the bad record.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal io: {e}"),
+            JournalError::Corrupt { line, reason } => {
+                write!(f, "journal corrupt at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<io::Error> for JournalError {
+    fn from(e: io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// A validated journal: the payloads of every good record, plus how
+/// many torn trailing lines were dropped.
+#[derive(Debug, Default)]
+pub struct LoadedJournal {
+    /// The `data` payload of each valid record, in append order.
+    pub records: Vec<String>,
+    /// Invalid lines dropped from the tail (0 on a clean shutdown,
+    /// usually 1 after a mid-append kill).
+    pub dropped_tail_lines: usize,
+    /// Byte length of the validated prefix — where a resuming writer
+    /// must truncate before appending.
+    valid_len: u64,
+}
+
+impl Journal {
+    /// Creates (truncating) a fresh journal at `path`.
+    pub fn create(path: &Path) -> io::Result<Journal> {
+        let file = std::fs::File::create(path)?;
+        Ok(Journal {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Re-opens an existing journal for a resumed run: validates it
+    /// with [`load`], truncates any torn tail, and returns the loaded
+    /// records together with a handle positioned for appending.
+    pub fn resume(path: &Path) -> Result<(LoadedJournal, Journal), JournalError> {
+        let loaded = load(path)?;
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(false) // keep the valid prefix; only the torn tail goes
+            .open(path)?;
+        file.set_len(loaded.valid_len)?;
+        file.sync_data()?;
+        let mut file = file;
+        use std::io::Seek as _;
+        file.seek(io::SeekFrom::End(0))?;
+        Ok((
+            loaded,
+            Journal {
+                file,
+                path: path.to_path_buf(),
+            },
+        ))
+    }
+
+    /// The journal's path on disk.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record. `data` must be a single line (a compact
+    /// JSON object by convention); the record is flushed and fsynced
+    /// before this returns, so an acknowledged append survives a kill.
+    pub fn append(&mut self, data: &str) -> io::Result<()> {
+        if data.contains('\n') || data.contains('\r') {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "journal records must be single-line",
+            ));
+        }
+        let line = format!(
+            "{{\"crc\":\"{:08x}\",\"data\":{data}}}\n",
+            crc32(data.as_bytes())
+        );
+        self.file.write_all(line.as_bytes())?;
+        self.file.sync_data()
+    }
+}
+
+/// Parses one journal line into its validated payload.
+fn parse_line(line: &str) -> Result<String, String> {
+    let rest = line
+        .strip_prefix("{\"crc\":\"")
+        .ok_or("missing crc header")?;
+    let (crc_hex, rest) = rest.split_at_checked(8).ok_or("truncated crc")?;
+    let want = u32::from_str_radix(crc_hex, 16).map_err(|_| "bad crc hex".to_string())?;
+    let data = rest
+        .strip_prefix("\",\"data\":")
+        .and_then(|r| r.strip_suffix('}'))
+        .ok_or("malformed record envelope")?;
+    if crc32(data.as_bytes()) != want {
+        return Err(format!("checksum mismatch (want {crc_hex})"));
+    }
+    Ok(data.to_string())
+}
+
+/// Loads and validates the journal at `path`. A missing file is an
+/// empty journal (nothing was ever durably recorded).
+pub fn load(path: &Path) -> Result<LoadedJournal, JournalError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(LoadedJournal::default()),
+        Err(e) => return Err(e.into()),
+    };
+    let mut records = Vec::new();
+    let mut bad: Option<(usize, String)> = None;
+    let mut dropped_tail_lines = 0;
+    let mut valid_len = 0u64;
+    let mut offset = 0u64;
+    for (k, raw) in text.split_inclusive('\n').enumerate() {
+        let line = raw.strip_suffix('\n');
+        let verdict = match line {
+            // No trailing newline: the append was torn mid-line.
+            None => Err("no trailing newline (torn append)".to_string()),
+            Some(l) => parse_line(l),
+        };
+        offset += raw.len() as u64;
+        match verdict {
+            Ok(data) => {
+                if let Some((bad_line, reason)) = bad {
+                    // A valid record after an invalid one: mid-file
+                    // corruption, not a torn tail.
+                    return Err(JournalError::Corrupt {
+                        line: bad_line,
+                        reason,
+                    });
+                }
+                records.push(data);
+                valid_len = offset;
+            }
+            Err(reason) => {
+                if bad.is_none() {
+                    bad = Some((k + 1, reason));
+                }
+                dropped_tail_lines += 1;
+            }
+        }
+    }
+    Ok(LoadedJournal {
+        records,
+        dropped_tail_lines,
+        valid_len,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("xrta_journal_{tag}_{}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn round_trips_records_in_order() {
+        let p = temp_path("rt");
+        let mut j = Journal::create(&p).unwrap();
+        j.append("{\"event\":\"a\"}").unwrap();
+        j.append("{\"event\":\"b\",\"n\":2}").unwrap();
+        let loaded = load(&p).unwrap();
+        assert_eq!(
+            loaded.records,
+            vec!["{\"event\":\"a\"}", "{\"event\":\"b\",\"n\":2}"]
+        );
+        assert_eq!(loaded.dropped_tail_lines, 0);
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_journal() {
+        let loaded = load(Path::new("/nonexistent/xrta/journal.jsonl")).unwrap();
+        assert!(loaded.records.is_empty());
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated_and_counted() {
+        let p = temp_path("tail");
+        let mut j = Journal::create(&p).unwrap();
+        j.append("{\"event\":\"a\"}").unwrap();
+        j.append("{\"event\":\"b\"}").unwrap();
+        // Simulate a kill mid-append: chop the file mid final record.
+        let text = std::fs::read_to_string(&p).unwrap();
+        std::fs::write(&p, &text[..text.len() - 7]).unwrap();
+        let loaded = load(&p).unwrap();
+        assert_eq!(loaded.records, vec!["{\"event\":\"a\"}"]);
+        assert_eq!(loaded.dropped_tail_lines, 1);
+        // A resumed writer truncates the torn tail, then appends; the
+        // journal must load cleanly afterwards.
+        let (resumed, mut j2) = Journal::resume(&p).unwrap();
+        assert_eq!(resumed.records, vec!["{\"event\":\"a\"}"]);
+        j2.append("{\"event\":\"c\"}").unwrap();
+        let reloaded = load(&p).unwrap();
+        assert_eq!(
+            reloaded.records,
+            vec!["{\"event\":\"a\"}", "{\"event\":\"c\"}"]
+        );
+        assert_eq!(reloaded.dropped_tail_lines, 0);
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn corruption_before_valid_records_is_refused() {
+        let p = temp_path("corrupt");
+        let mut j = Journal::create(&p).unwrap();
+        j.append("{\"event\":\"a\"}").unwrap();
+        j.append("{\"event\":\"b\"}").unwrap();
+        // Flip a payload byte in the *first* record.
+        let text = std::fs::read_to_string(&p).unwrap();
+        let mangled = text.replacen("\"a\"", "\"x\"", 1);
+        std::fs::write(&p, mangled).unwrap();
+        match load(&p) {
+            Err(JournalError::Corrupt { line: 1, .. }) => {}
+            other => panic!("want corrupt-at-line-1, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn multiline_records_are_rejected() {
+        let p = temp_path("ml");
+        let mut j = Journal::create(&p).unwrap();
+        assert!(j.append("{\n}").is_err());
+        let _ = std::fs::remove_file(&p);
+    }
+}

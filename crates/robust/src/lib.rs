@@ -1,0 +1,25 @@
+//! # xrta-robust — robustness primitives for the workspace
+//!
+//! Four small, dependency-free building blocks that the analysis
+//! crates and the batch runner share:
+//!
+//! * [`failpoint`] — deterministic fault injection behind named sites
+//!   (`bdd::mk`, `sat::conflict`, …). Zero-cost unless the
+//!   `failpoints` cargo feature is enabled *and* a schedule is armed.
+//! * [`fsio`] — durable file io: atomic temp+fsync+rename writes and a
+//!   table-driven CRC-32 used to checksum journal records.
+//! * [`journal`] — an append-only JSONL journal with a checksum per
+//!   record and truncated-tail tolerance on load, so a killed process
+//!   can reconstruct exactly what it had durably recorded.
+//! * [`backoff`] — capped exponential retry backoff with deterministic
+//!   jitter drawn from [`xrta_rng`].
+//!
+//! The crate sits below every analysis layer (its only dependency is
+//! the workspace RNG), so `xrta-bdd`/`xrta-sat` can host failpoint
+//! sites without dependency cycles; `xrta-core` re-exports
+//! [`failpoint`] as `core::failpoint` for discoverability.
+
+pub mod backoff;
+pub mod failpoint;
+pub mod fsio;
+pub mod journal;

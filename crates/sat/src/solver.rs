@@ -745,6 +745,23 @@ impl Solver {
             if let Some(confl) = confl {
                 self.stats.conflicts += 1;
                 conflicts_this_call += 1;
+                // Fault-injection site in the conflict loop: `exhaust`
+                // forges a spent conflict budget, `err` a deadline —
+                // both surface as a budgeted Unknown, the solver's
+                // native "stopped short" shape. No-op unless armed.
+                match xrta_robust::failpoint::eval("sat::conflict") {
+                    Some(xrta_robust::failpoint::Outcome::Exhausted) => {
+                        self.cancel_until(0);
+                        self.stop_reason = Some(StopReason::Conflicts);
+                        return SolveResult::Unknown;
+                    }
+                    Some(xrta_robust::failpoint::Outcome::ReturnError) => {
+                        self.cancel_until(0);
+                        self.stop_reason = Some(StopReason::Deadline);
+                        return SolveResult::Unknown;
+                    }
+                    None => {}
+                }
                 if self.decision_level() == 0 {
                     self.ok = false;
                     return SolveResult::Unsat;

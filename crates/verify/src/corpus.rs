@@ -153,7 +153,9 @@ pub fn save(dir: &Path, stem: &str, entry: &CorpusEntry) -> io::Result<PathBuf> 
         k += 1;
         path = dir.join(format!("{clean}-{k}.bench"));
     }
-    std::fs::write(&path, to_bench(entry))?;
+    // Atomic: a crash (or a chaos-test SIGKILL) mid-write must never
+    // leave a truncated reproducer that later replays as a parse error.
+    xrta_robust::fsio::atomic_write(&path, to_bench(entry).as_bytes())?;
     Ok(path)
 }
 

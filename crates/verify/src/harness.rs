@@ -553,6 +553,9 @@ pub struct FuzzOptions {
     pub corpus_dir: Option<PathBuf>,
     /// Per-case check options.
     pub check: CheckOptions,
+    /// Cooperative cancellation: checked between iterations; raising
+    /// it stops the run cleanly with the failures found so far.
+    pub cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
 }
 
 impl Default for FuzzOptions {
@@ -564,6 +567,7 @@ impl Default for FuzzOptions {
             time_cap: None,
             corpus_dir: None,
             check: CheckOptions::default(),
+            cancel: None,
         }
     }
 }
@@ -588,6 +592,8 @@ pub struct FuzzReport {
     pub seeds_run: usize,
     /// Whether the time cap cut the run short.
     pub time_capped: bool,
+    /// Whether the cancel flag cut the run short.
+    pub cancelled: bool,
     /// Every failure found.
     pub failures: Vec<FuzzFailure>,
 }
@@ -608,6 +614,18 @@ pub fn fuzz(opts: &FuzzOptions, mut progress: impl FnMut(&str)) -> FuzzReport {
                 ));
                 break;
             }
+        }
+        if opts
+            .cancel
+            .as_ref()
+            .is_some_and(|c| c.load(std::sync::atomic::Ordering::Relaxed))
+        {
+            report.cancelled = true;
+            progress(&format!(
+                "cancelled after {} of {} seeds",
+                report.seeds_run, opts.seeds
+            ));
+            break;
         }
         let case = case_for_seed(opts.base_seed, index, opts.max_inputs);
         let failures = check_case(&case, &opts.check);

@@ -45,4 +45,43 @@ echo "==> xrta fuzz smoke"
     --corpus /tmp/xrta-ci-corpus-$$
 rm -rf "/tmp/xrta-ci-corpus-$$"
 
+# Chaos smoke: the failpoints feature must build clean and the batch
+# runner must survive seeded faults, in-process kills, journal tail
+# loss and resume with a byte-stable report (tests/chaos.rs).
+echo "==> chaos tests (--features failpoints)"
+cargo clippy --workspace --all-targets --features failpoints -- -D warnings
+timeout 300 cargo test -q --features failpoints --test chaos
+
+# Kill-and-resume, out of process: SIGKILL a real batch run mid-flight,
+# then assert --resume completes it and the report matches a reference
+# uninterrupted run's byte for byte.
+echo "==> batch SIGKILL kill-and-resume"
+bdir="/tmp/xrta-ci-batch-$$"
+mkdir -p "$bdir"
+for i in $(seq 0 799); do
+    printf 'netlists/c17.bench algo=approx2\nnetlists/fig4.blif algo=exact\nnetlists/bypass.bench algo=approx1\n'
+done > "$bdir/sweep.manifest"
+./target/release/xrta batch "$bdir/sweep.manifest" \
+    --journal "$bdir/ref.journal" --report "$bdir/ref.report.json"
+# The kill window is a race against completion; retry from scratch if
+# the run finishes before the SIGKILL lands.
+resumed=0
+for attempt in 1 2 3; do
+    rm -f "$bdir/kill.journal" "$bdir/kill.report.json"
+    timeout -s KILL 0.4 ./target/release/xrta batch "$bdir/sweep.manifest" \
+        --journal "$bdir/kill.journal" --report "$bdir/kill.report.json" \
+        >/dev/null && continue
+    ./target/release/xrta batch "$bdir/sweep.manifest" --resume \
+        --journal "$bdir/kill.journal" --report "$bdir/kill.report.json"
+    resumed=1
+    break
+done
+if [ "$resumed" = 1 ]; then
+    cmp "$bdir/ref.report.json" "$bdir/kill.report.json"
+    echo "    resume report matches the uninterrupted run"
+else
+    echo "    batch finished before every SIGKILL; resume path covered in-process only"
+fi
+rm -rf "$bdir"
+
 echo "CI OK"

@@ -11,7 +11,17 @@
 //! xrta macro     <netlist> [--engine bdd|sat]  pin-to-pin macro-model
 //! xrta fuzz      [--seeds N] [--max-inputs K] [--time-cap S]
 //!                [--corpus DIR] [--base-seed B]
+//! xrta batch     <manifest> [--journal P] [--report P] [--resume]
+//!                [--seed S] [--max-retries N] [--backoff-base S]
+//!                [--backoff-cap S] [--aggregate-timeout S] [--threads N]
 //! ```
+//!
+//! Every command also accepts `--cancel-file PATH` (cooperative
+//! cancellation: the run stops cleanly as soon as the file appears;
+//! exit code `4`) and — in binaries built with `--features
+//! failpoints` — `--failpoints SPEC` / `--failpoints-seed N` for
+//! deterministic fault injection (the `XRTA_FAILPOINTS` /
+//! `XRTA_FAILPOINTS_SEED` environment variables work everywhere).
 //!
 //! Netlists are BLIF (`.blif`) or ISCAS bench (`.bench`) files; all
 //! analyses use the unit delay model, arrival 0 at every input, and a
@@ -31,17 +41,35 @@
 //! reproducers under `--corpus` (default `netlists/corpus`), and the
 //! run exits `1`. `--time-cap` bounds the wall clock for CI.
 //!
-//! Exit codes: `0` answered at the requested rung, `3` answered at a
-//! lower rung (a one-line notice goes to stderr), `1` analysis failed
-//! (budget exhausted with `--fallback off`, or cancelled) or the fuzzer
-//! found a failure, `2` usage or netlist-loading error.
+//! `batch` runs a whole manifest of jobs (one netlist per line, see
+//! `xrta::batch::manifest`) under a crash-resilient journal: every
+//! state transition is checkpointed to `--journal` before it takes
+//! effect, transient failures retry with capped jittered backoff,
+//! jobs that no longer fit `--aggregate-timeout` are shed, and after
+//! a crash or cancellation `--resume` completes the run — producing a
+//! report byte-identical to an uninterrupted one.
+//!
+//! Exit codes, uniform across commands:
+//!
+//! | code | meaning |
+//! |---|---|
+//! | `0` | full success: answered at the requested rung / all jobs done / no fuzz failures |
+//! | `1` | the analysis itself failed: budget exhausted with `--fallback off`, fuzz failure found, journal corruption, panic |
+//! | `2` | usage error: bad flags, unreadable netlist or manifest, journal exists without `--resume` |
+//! | `3` | partial success: answered at a lower rung (degraded), or a batch finished with failed/shed jobs |
+//! | `4` | cancelled cooperatively via `--cancel-file` (batch: the journal is resumable) |
 
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
-use xrta::core::{macro_model, report};
+use xrta::batch::{run_batch, BatchConfig, BatchError, BatchOptions};
+use xrta::core::{failpoint, macro_model, report};
 use xrta::network::{parse_bench, parse_blif, stats};
 use xrta::prelude::*;
+use xrta::robust::backoff::BackoffPolicy;
 use xrta::verify;
 
 enum Failure {
@@ -49,6 +77,8 @@ enum Failure {
     Usage(String),
     /// The analysis itself stopped short of an answer: exit 1.
     Analysis(AnalysisError),
+    /// Infrastructure failure (journal/report I/O, corruption): exit 1.
+    Fatal(String),
 }
 
 struct Args {
@@ -67,15 +97,43 @@ struct Args {
     time_cap: Option<Duration>,
     corpus: Option<String>,
     base_seed: u64,
+    // batch
+    journal: Option<String>,
+    report_path: Option<String>,
+    resume: bool,
+    seed: u64,
+    max_retries: u32,
+    backoff_base: Duration,
+    backoff_cap: Duration,
+    aggregate_timeout: Option<Duration>,
+    threads: usize,
+    // robustness (all commands)
+    cancel_file: Option<String>,
+    failpoints: Option<String>,
+    failpoints_seed: u64,
+}
+
+fn parse_secs(flag: &str, value: Option<String>) -> Result<Duration, String> {
+    let secs: f64 = value
+        .ok_or(format!("{flag} needs a value (seconds)"))?
+        .parse()
+        .map_err(|e| format!("bad {flag}: {e}"))?;
+    if !secs.is_finite() || secs < 0.0 {
+        return Err(format!("bad {flag}: {secs} is not a duration"));
+    }
+    Ok(Duration::from_secs_f64(secs))
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut it = std::env::args().skip(1);
     let command = it.next().ok_or("missing command")?;
-    // `fuzz` generates its own circuits; every other command analyses
-    // a netlist given as the second positional argument.
+    // `fuzz` generates its own circuits; `batch` takes a manifest;
+    // every other command analyses a netlist given as the second
+    // positional argument.
     let path = if command == "fuzz" {
         None
+    } else if command == "batch" {
+        Some(it.next().ok_or("missing manifest path")?)
     } else {
         Some(it.next().ok_or("missing netlist path")?)
     };
@@ -95,6 +153,18 @@ fn parse_args() -> Result<Args, String> {
         time_cap: None,
         corpus: None,
         base_seed: 0xF0CC,
+        journal: None,
+        report_path: None,
+        resume: false,
+        seed: 0x0BA7C4,
+        max_retries: 2,
+        backoff_base: Duration::from_millis(100),
+        backoff_cap: Duration::from_secs(5),
+        aggregate_timeout: None,
+        threads: 1,
+        cancel_file: None,
+        failpoints: None,
+        failpoints_seed: 0,
     };
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -115,17 +185,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--algo" => args.algo = it.next().ok_or("--algo needs a value")?,
             "--node" => args.node = Some(it.next().ok_or("--node needs a value")?),
-            "--timeout" => {
-                let secs: f64 = it
-                    .next()
-                    .ok_or("--timeout needs a value (seconds)")?
-                    .parse()
-                    .map_err(|e| format!("bad --timeout: {e}"))?;
-                if !secs.is_finite() || secs < 0.0 {
-                    return Err(format!("bad --timeout: {secs} is not a duration"));
-                }
-                args.timeout = Some(Duration::from_secs_f64(secs));
-            }
+            "--timeout" => args.timeout = Some(parse_secs("--timeout", it.next())?),
             "--node-limit" => {
                 args.node_limit = Some(
                     it.next()
@@ -170,17 +230,7 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.max_inputs = k;
             }
-            "--time-cap" => {
-                let secs: f64 = it
-                    .next()
-                    .ok_or("--time-cap needs a value (seconds)")?
-                    .parse()
-                    .map_err(|e| format!("bad --time-cap: {e}"))?;
-                if !secs.is_finite() || secs < 0.0 {
-                    return Err(format!("bad --time-cap: {secs} is not a duration"));
-                }
-                args.time_cap = Some(Duration::from_secs_f64(secs));
-            }
+            "--time-cap" => args.time_cap = Some(parse_secs("--time-cap", it.next())?),
             "--corpus" => args.corpus = Some(it.next().ok_or("--corpus needs a value")?),
             "--base-seed" => {
                 args.base_seed = it
@@ -188,6 +238,48 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or("--base-seed needs a value")?
                     .parse()
                     .map_err(|e| format!("bad --base-seed: {e}"))?
+            }
+            "--journal" => args.journal = Some(it.next().ok_or("--journal needs a value")?),
+            "--report" => args.report_path = Some(it.next().ok_or("--report needs a value")?),
+            "--resume" => args.resume = true,
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--max-retries" => {
+                args.max_retries = it
+                    .next()
+                    .ok_or("--max-retries needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-retries: {e}"))?
+            }
+            "--backoff-base" => args.backoff_base = parse_secs("--backoff-base", it.next())?,
+            "--backoff-cap" => args.backoff_cap = parse_secs("--backoff-cap", it.next())?,
+            "--aggregate-timeout" => {
+                args.aggregate_timeout = Some(parse_secs("--aggregate-timeout", it.next())?)
+            }
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?
+            }
+            "--cancel-file" => {
+                args.cancel_file = Some(it.next().ok_or("--cancel-file needs a value")?)
+            }
+            "--failpoints" => {
+                args.failpoints = Some(it.next().ok_or("--failpoints needs a value")?)
+            }
+            "--failpoints-seed" => {
+                args.failpoints_seed = it
+                    .next()
+                    .ok_or("--failpoints-seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --failpoints-seed: {e}"))?
             }
             other => return Err(format!("unknown argument {other:?}")),
         }
@@ -224,10 +316,40 @@ fn required_vector(net: &Network, req: Option<i64>) -> Vec<Time> {
     }
 }
 
+/// Watches for `path` to appear, raising the returned flag when it
+/// does. The poll loop is a detached daemon thread; it dies with the
+/// process.
+fn cancel_flag_for(path: &str) -> Arc<AtomicBool> {
+    let flag = Arc::new(AtomicBool::new(false));
+    let watched = PathBuf::from(path);
+    let raised = Arc::clone(&flag);
+    std::thread::spawn(move || loop {
+        if watched.exists() {
+            raised.store(true, Ordering::Relaxed);
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    });
+    flag
+}
+
 fn run() -> Result<ExitCode, Failure> {
     let args = parse_args().map_err(Failure::Usage)?;
+    // Deterministic fault injection: the environment arms first, an
+    // explicit flag wins. `batch` instead re-arms per attempt with
+    // per-(job, attempt) seeds, so its spec rides in BatchOptions.
+    failpoint::arm_from_env().map_err(Failure::Usage)?;
+    if args.command != "batch" {
+        if let Some(spec) = &args.failpoints {
+            failpoint::arm(spec, args.failpoints_seed).map_err(Failure::Usage)?;
+        }
+    }
+    let cancel = args.cancel_file.as_deref().map(cancel_flag_for);
     if args.command == "fuzz" {
-        return run_fuzz(&args);
+        return run_fuzz(&args, cancel);
+    }
+    if args.command == "batch" {
+        return run_batch_cmd(&args, cancel);
     }
     let net = load(args.path.as_deref().expect("non-fuzz commands have a path"))
         .map_err(Failure::Usage)?;
@@ -285,10 +407,14 @@ fn run() -> Result<ExitCode, Failure> {
                 "topological" | "topo" => Verdict::Topological,
                 other => return Err(Failure::Usage(format!("unknown --algo {other:?}"))),
             };
+            let mut budget = Budget::unlimited()
+                .with_node_limit(args.node_limit)
+                .with_sat_conflicts(args.sat_conflicts);
+            if let Some(cancel) = &cancel {
+                budget = budget.with_cancel_flag(Arc::clone(cancel));
+            }
             let opts = SessionOptions {
-                budget: Budget::unlimited()
-                    .with_node_limit(args.node_limit)
-                    .with_sat_conflicts(args.sat_conflicts),
+                budget,
                 timeout: args.timeout,
                 fallback: args.fallback,
                 approx2: Approx2Options {
@@ -378,7 +504,7 @@ fn run() -> Result<ExitCode, Failure> {
     Ok(ExitCode::SUCCESS)
 }
 
-fn run_fuzz(args: &Args) -> Result<ExitCode, Failure> {
+fn run_fuzz(args: &Args, cancel: Option<Arc<AtomicBool>>) -> Result<ExitCode, Failure> {
     let corpus_dir = args
         .corpus
         .clone()
@@ -390,6 +516,7 @@ fn run_fuzz(args: &Args) -> Result<ExitCode, Failure> {
         time_cap: args.time_cap,
         corpus_dir: Some(std::path::PathBuf::from(&corpus_dir)),
         check: verify::CheckOptions::default(),
+        cancel,
     };
     let report = verify::fuzz(&opts, |line| eprintln!("xrta: fuzz: {line}"));
     println!(
@@ -417,11 +544,72 @@ fn run_fuzz(args: &Args) -> Result<ExitCode, Failure> {
             }
         );
     }
-    if report.failures.is_empty() {
-        Ok(ExitCode::SUCCESS)
-    } else {
+    if !report.failures.is_empty() {
         Ok(ExitCode::from(1))
+    } else if report.cancelled {
+        eprintln!("xrta: fuzz cancelled via --cancel-file");
+        Ok(ExitCode::from(4))
+    } else {
+        Ok(ExitCode::SUCCESS)
     }
+}
+
+fn run_batch_cmd(args: &Args, cancel: Option<Arc<AtomicBool>>) -> Result<ExitCode, Failure> {
+    let manifest = PathBuf::from(args.path.as_deref().expect("batch has a manifest path"));
+    let journal = args
+        .journal
+        .clone()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| manifest.with_extension("journal"));
+    let report = args
+        .report_path
+        .clone()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| manifest.with_extension("report.json"));
+    let cfg = BatchConfig {
+        manifest,
+        journal,
+        report,
+        resume: args.resume,
+        options: BatchOptions {
+            seed: args.seed,
+            backoff: BackoffPolicy {
+                base: args.backoff_base,
+                cap: args.backoff_cap,
+                max_retries: args.max_retries,
+            },
+            aggregate_timeout: args.aggregate_timeout,
+            default_timeout: args.timeout,
+            fallback: args.fallback,
+            engine: args.engine,
+            threads: args.threads,
+            failpoints: args.failpoints.clone(),
+            cancel,
+            stop_after_jobs: None,
+        },
+    };
+    let summary = run_batch(&cfg).map_err(|e| match e {
+        BatchError::Setup(msg) => Failure::Usage(msg),
+        BatchError::Journal(msg) => Failure::Fatal(msg),
+    })?;
+    println!(
+        "batch: {} jobs | {} done | {} failed | {} shed | {} pending",
+        summary.jobs, summary.done, summary.failed, summary.shed, summary.pending
+    );
+    if let Some(p) = &summary.report_path {
+        println!("batch: report written to {}", p.display());
+    }
+    if summary.interrupted {
+        eprintln!(
+            "xrta: batch cancelled via --cancel-file; resume with: xrta batch {} --resume",
+            cfg.manifest.display()
+        );
+        return Ok(ExitCode::from(4));
+    }
+    if summary.failed > 0 || summary.shed > 0 {
+        return Ok(ExitCode::from(3));
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn main() -> ExitCode {
@@ -435,12 +623,24 @@ fn main() -> ExitCode {
                  [--node NAME] [--timeout SECS] [--node-limit N] [--sat-conflicts N] \
                  [--fallback on|off]\n       \
                  xrta fuzz [--seeds N] [--max-inputs K] [--time-cap S] [--corpus DIR] \
-                 [--base-seed B]"
+                 [--base-seed B]\n       \
+                 xrta batch <manifest> [--journal P] [--report P] [--resume] [--seed S] \
+                 [--max-retries N] [--backoff-base S] [--backoff-cap S] \
+                 [--aggregate-timeout S] [--threads N]\n       \
+                 (all commands: [--cancel-file PATH] [--failpoints SPEC] [--failpoints-seed N])"
             );
             ExitCode::from(2)
         }
+        Ok(Err(Failure::Analysis(AnalysisError::Interrupted))) => {
+            eprintln!("xrta: cancelled via --cancel-file");
+            ExitCode::from(4)
+        }
         Ok(Err(Failure::Analysis(e))) => {
             eprintln!("xrta: analysis failed: {e}");
+            ExitCode::from(1)
+        }
+        Ok(Err(Failure::Fatal(e))) => {
+            eprintln!("xrta: {e}");
             ExitCode::from(1)
         }
         Err(_) => {

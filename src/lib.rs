@@ -14,6 +14,8 @@
 //! | [`core`] | `xrta-core` | the paper's §4 algorithms and §5 subcircuit flexibility |
 //! | [`circuits`] | `xrta-circuits` | generators, worked examples, surrogate suite |
 //! | [`verify`] | `xrta-verify` | exhaustive oracle, differential fuzzing, shrinking, corpus |
+//! | [`robust`] | `xrta-robust` | failpoints, atomic writes, CRC'd journals, backoff |
+//! | [`batch`] | `xrta-batch` | crash-resilient batch runner with checkpoint/resume |
 //!
 //! ## Quickstart: the paper's Figure 4
 //!
@@ -29,11 +31,13 @@
 //! assert!(analysis.has_nontrivial_requirement());
 //! ```
 
+pub use xrta_batch as batch;
 pub use xrta_bdd as bdd;
 pub use xrta_chi as chi;
 pub use xrta_circuits as circuits;
 pub use xrta_core as core;
 pub use xrta_network as network;
+pub use xrta_robust as robust;
 pub use xrta_sat as sat;
 pub use xrta_timing as timing;
 pub use xrta_verify as verify;
