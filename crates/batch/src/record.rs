@@ -1,10 +1,10 @@
 //! Journal records: the batch runner's single source of truth.
 //!
-//! Every record is one flat JSON object (no nesting), hand-encoded
-//! and hand-parsed so the journal needs no external dependencies and
-//! stays greppable. Time vectors are space-separated tick tokens
-//! (`INF`/`-INF` for the infinities); a set of points joins vectors
-//! with `|`.
+//! Every record is one flat JSON object (no nesting) in the
+//! [`xrta_robust::jsonflat`] dialect, so the journal needs no external
+//! dependencies and stays greppable. Time vectors are space-separated
+//! tick tokens (`INF`/`-INF` for the infinities) per
+//! [`xrta_timing::tokens`]; a set of points joins vectors with `|`.
 //!
 //! The journal carries **only deterministic fields** — no wall-clock
 //! durations, no timestamps — so a report rebuilt from a
@@ -12,9 +12,14 @@
 //! to the report of an uninterrupted run.
 
 use xrta_core::Verdict;
+use xrta_robust::jsonflat::{escape as json_escape, parse_flat_object};
 use xrta_timing::Time;
 
 use crate::classify::FailureClass;
+
+// Re-exported for existing users of the journal/report encodings; the
+// implementations live with `Time` itself in `xrta-timing`.
+pub use xrta_timing::tokens::{encode_points, encode_times, parse_points, parse_times, time_token};
 
 /// One journal record.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -87,80 +92,11 @@ pub struct DoneRecord {
 }
 
 pub(crate) fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Renders one `Time` as a journal token.
-pub fn time_token(t: Time) -> String {
-    if t.is_inf() {
-        "INF".to_string()
-    } else if t.is_neg_inf() {
-        "-INF".to_string()
-    } else {
-        t.ticks().to_string()
-    }
-}
-
-fn parse_time(tok: &str) -> Result<Time, String> {
-    match tok {
-        "INF" => Ok(Time::INF),
-        "-INF" => Ok(Time::NEG_INF),
-        n => n
-            .parse::<i64>()
-            .map(Time::new)
-            .map_err(|e| format!("bad time token {n:?}: {e}")),
-    }
-}
-
-/// Space-joins a time vector (empty vector → empty string).
-pub fn encode_times(v: &[Time]) -> String {
-    v.iter()
-        .map(|&t| time_token(t))
-        .collect::<Vec<_>>()
-        .join(" ")
-}
-
-/// Inverse of [`encode_times`].
-pub fn parse_times(s: &str) -> Result<Vec<Time>, String> {
-    if s.is_empty() {
-        return Ok(Vec::new());
-    }
-    s.split(' ').map(parse_time).collect()
-}
-
-/// `|`-joins a set of time vectors.
-pub fn encode_points(ps: &[Vec<Time>]) -> String {
-    ps.iter()
-        .map(|v| encode_times(v))
-        .collect::<Vec<_>>()
-        .join("|")
-}
-
-/// Inverse of [`encode_points`].
-pub fn parse_points(s: &str) -> Result<Vec<Vec<Time>>, String> {
-    if s.is_empty() {
-        return Ok(Vec::new());
-    }
-    s.split('|').map(parse_times).collect()
+    json_escape(s)
 }
 
 fn parse_verdict(s: &str) -> Result<Verdict, String> {
-    match s {
-        "exact" => Ok(Verdict::Exact),
-        "approx1" => Ok(Verdict::Approx1),
-        "approx2" => Ok(Verdict::Approx2),
-        "topological" => Ok(Verdict::Topological),
-        other => Err(format!("unknown verdict {other:?}")),
-    }
+    s.parse()
 }
 
 impl Event {
@@ -251,80 +187,6 @@ impl Event {
                 job: get_num("job")? as usize,
             }),
             other => Err(format!("unknown event {other:?}")),
-        }
-    }
-}
-
-/// Parses a single-level JSON object into key/value pairs. String
-/// values are unescaped; numbers and booleans are returned as their
-/// raw token text. No nested objects or arrays (the journal never
-/// emits them).
-fn parse_flat_object(s: &str) -> Result<Vec<(String, String)>, String> {
-    let mut chars = s.trim().chars().peekable();
-    let mut fields = Vec::new();
-    if chars.next() != Some('{') {
-        return Err(format!("record does not start with '{{': {s}"));
-    }
-    loop {
-        match chars.peek() {
-            Some('}') => break,
-            Some('"') => {}
-            other => return Err(format!("expected key, found {other:?} in {s}")),
-        }
-        let key = parse_string(&mut chars)?;
-        if chars.next() != Some(':') {
-            return Err(format!("missing ':' after {key:?} in {s}"));
-        }
-        let value = match chars.peek() {
-            Some('"') => parse_string(&mut chars)?,
-            Some(_) => {
-                let mut raw = String::new();
-                while let Some(&c) = chars.peek() {
-                    if c == ',' || c == '}' {
-                        break;
-                    }
-                    raw.push(c);
-                    chars.next();
-                }
-                raw.trim().to_string()
-            }
-            None => return Err(format!("truncated record: {s}")),
-        };
-        fields.push((key, value));
-        match chars.next() {
-            Some(',') => continue,
-            Some('}') => return Ok(fields),
-            other => return Err(format!("expected ',' or '}}', found {other:?} in {s}")),
-        }
-    }
-    chars.next();
-    Ok(fields)
-}
-
-/// Parses a JSON string literal (cursor on the opening quote).
-fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars>) -> Result<String, String> {
-    assert_eq!(chars.next(), Some('"'));
-    let mut out = String::new();
-    loop {
-        match chars.next() {
-            None => return Err("unterminated string".to_string()),
-            Some('"') => return Ok(out),
-            Some('\\') => match chars.next() {
-                Some('"') => out.push('"'),
-                Some('\\') => out.push('\\'),
-                Some('/') => out.push('/'),
-                Some('n') => out.push('\n'),
-                Some('t') => out.push('\t'),
-                Some('r') => out.push('\r'),
-                Some('u') => {
-                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
-                    let code = u32::from_str_radix(&hex, 16)
-                        .map_err(|e| format!("bad \\u escape {hex:?}: {e}"))?;
-                    out.push(char::from_u32(code).ok_or("bad \\u code point")?);
-                }
-                other => return Err(format!("unknown escape {other:?}")),
-            },
-            Some(c) => out.push(c),
         }
     }
 }

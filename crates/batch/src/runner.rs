@@ -17,10 +17,9 @@ use std::time::{Duration, Instant};
 
 use xrta_chi::EngineKind;
 use xrta_core::{
-    failpoint, run_with_fallback, AnalysisError, Approx2Options, Budget, SessionAnswer,
-    SessionOptions,
+    failpoint, run_with_fallback, AnalysisError, Approx2Options, Budget, SessionOptions,
 };
-use xrta_network::{parse_bench, parse_blif, Network};
+use xrta_network::load_network_file;
 use xrta_rng::Rng;
 use xrta_robust::fsio::{atomic_write, crc32};
 use xrta_robust::journal::Journal;
@@ -194,14 +193,6 @@ fn mix(seed: u64, job: u64, attempt: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-fn load_network(path: &str) -> Result<Network, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    if path.ends_with(".blif") {
-        return parse_blif(&text).map_err(|e| format!("parsing {path} as blif: {e}"));
-    }
-    parse_bench(&text).map_err(|e| format!("parsing {path} as bench: {e}"))
-}
-
 /// How one attempt ended.
 enum AttemptOutcome {
     Answered(DoneRecord),
@@ -226,7 +217,7 @@ fn run_attempt(spec: &JobSpec, job: usize, attempt: u64, opts: &BatchOptions) ->
 }
 
 fn run_attempt_inner(spec: &JobSpec, opts: &BatchOptions) -> AttemptOutcome {
-    let net = match load_network(&spec.path) {
+    let net = match load_network_file(std::path::Path::new(&spec.path)) {
         Ok(net) => net,
         Err(e) => return AttemptOutcome::Failed(JobError::Load(e)),
     };
@@ -258,21 +249,16 @@ fn run_attempt_inner(spec: &JobSpec, opts: &BatchOptions) -> AttemptOutcome {
         Err(_) => AttemptOutcome::Failed(JobError::Panicked),
         Ok(Err(AnalysisError::Interrupted)) => AttemptOutcome::Interrupted,
         Ok(Err(e)) => AttemptOutcome::Failed(JobError::Analysis(e)),
-        Ok(Ok(report)) => {
-            let (nontrivial, points) = match report.answer {
-                SessionAnswer::Exact(mut a) => (a.has_nontrivial_requirement(), Vec::new()),
-                SessionAnswer::Approx1(a) => (a.has_nontrivial_requirement(), Vec::new()),
-                SessionAnswer::Approx2(r) => (r.has_nontrivial_requirement(), r.maximal),
-                SessionAnswer::Topological(v) => (false, vec![v]),
-            };
+        Ok(Ok(mut report)) => {
+            let digest = report.digest();
             AttemptOutcome::Answered(DoneRecord {
                 job: 0, // filled by the caller
                 attempt: 0,
                 requested: report.requested,
                 verdict: report.verdict,
-                nontrivial,
+                nontrivial: digest.nontrivial,
                 req,
-                points,
+                points: digest.points,
             })
         }
     }

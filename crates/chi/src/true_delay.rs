@@ -23,6 +23,27 @@ pub enum EngineKind {
     Sat,
 }
 
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineKind::Bdd => write!(f, "bdd"),
+            EngineKind::Sat => write!(f, "sat"),
+        }
+    }
+}
+
+impl std::str::FromStr for EngineKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<EngineKind, String> {
+        match s {
+            "bdd" => Ok(EngineKind::Bdd),
+            "sat" => Ok(EngineKind::Sat),
+            other => Err(format!("unknown engine {other:?} (want bdd|sat)")),
+        }
+    }
+}
+
 /// A functional-timing analyzer for one network, delay model and set of
 /// input arrival times.
 ///

@@ -89,7 +89,8 @@ pub use leaves::{LeafMode, LeafVarKey, ParamVarKey, PlannedLeaves};
 pub use macro_model::{macro_model, MacroModel};
 pub use plan::{plan_leaves, LeafPlan, LeafTimes};
 pub use session::{
-    run_with_fallback, RungAttempt, SessionAnswer, SessionOptions, SessionReport, Verdict,
+    run_with_fallback, AnswerDigest, RungAttempt, SessionAnswer, SessionOptions, SessionReport,
+    Verdict,
 };
 pub use slack::{true_slack, TrueSlack};
 pub use types::{RequiredTimeTuple, ValueTimes};

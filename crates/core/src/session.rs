@@ -63,6 +63,21 @@ impl std::fmt::Display for Verdict {
     }
 }
 
+impl std::str::FromStr for Verdict {
+    type Err = String;
+
+    /// Inverse of `Display`; `"topo"` is accepted as CLI shorthand.
+    fn from_str(s: &str) -> Result<Verdict, String> {
+        match s {
+            "exact" => Ok(Verdict::Exact),
+            "approx1" => Ok(Verdict::Approx1),
+            "approx2" => Ok(Verdict::Approx2),
+            "topological" | "topo" => Ok(Verdict::Topological),
+            other => Err(format!("unknown verdict {other:?}")),
+        }
+    }
+}
+
 /// Options for one analysis session.
 #[derive(Clone, Debug, Default)]
 pub struct SessionOptions {
@@ -135,10 +150,35 @@ pub struct SessionReport {
     pub attempts: Vec<RungAttempt>,
 }
 
+/// The serialisable essence of a session answer: the facts every
+/// machine consumer (batch journal, serve protocol) records, with the
+/// rung-specific analysis structures boiled away.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AnswerDigest {
+    /// Whether the answer beats the topological requirement anywhere.
+    pub nontrivial: bool,
+    /// Input-side witness points (aligned with `net.inputs()`):
+    /// approx2's maximal safe points, or the single topological
+    /// vector; empty for the relational rungs.
+    pub points: Vec<Vec<Time>>,
+}
+
 impl SessionReport {
     /// Did the session answer below the requested rung?
     pub fn degraded(&self) -> bool {
         self.verdict != self.requested
+    }
+
+    /// Collapses the answer into its [`AnswerDigest`]. Takes `&mut`
+    /// because the exact relation memoises its non-triviality check.
+    pub fn digest(&mut self) -> AnswerDigest {
+        let (nontrivial, points) = match &mut self.answer {
+            SessionAnswer::Exact(a) => (a.has_nontrivial_requirement(), Vec::new()),
+            SessionAnswer::Approx1(a) => (a.has_nontrivial_requirement(), Vec::new()),
+            SessionAnswer::Approx2(r) => (r.has_nontrivial_requirement(), r.maximal.clone()),
+            SessionAnswer::Topological(v) => (false, vec![v.clone()]),
+        };
+        AnswerDigest { nontrivial, points }
     }
 
     /// The budget-exhaustion reason that forced the first step down

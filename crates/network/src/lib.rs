@@ -29,6 +29,7 @@ mod blif;
 mod cnf_bridge;
 mod decompose;
 mod gate;
+mod load;
 mod network;
 mod transform;
 mod truth;
@@ -39,6 +40,7 @@ pub use blif::{parse_blif, write_blif, ParseBlifError};
 pub use cnf_bridge::NetworkCnf;
 pub use decompose::{check_equivalence, decompose_to_gates, Equivalence};
 pub use gate::GateKind;
+pub use load::{load_network_file, parse_netlist};
 pub use network::{Network, NetworkError, Node, NodeFunc, NodeId};
 pub use transform::{propagate_constants, stats, sweep, to_dot, NetworkStats};
 pub use truth::{Cube, TruthTable};

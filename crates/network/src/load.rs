@@ -1,0 +1,73 @@
+//! Loading networks from files and untyped text.
+//!
+//! One implementation of the "figure out what this netlist is" logic,
+//! shared by the CLI, the batch runner and the serve daemon so their
+//! diagnostics cannot drift apart: known extensions pick their parser
+//! directly; unknown ones are sniffed (BLIF starts with a dot
+//! directive), the likelier parser tried first, and when neither fits
+//! both diagnoses are reported.
+
+use std::path::Path;
+
+use crate::bench_fmt::parse_bench;
+use crate::blif::parse_blif;
+use crate::network::Network;
+
+/// Parses netlist `text` whose format is only hinted at by `name`
+/// (a path or any label ending in `.bench`/`.blif`, or neither).
+pub fn parse_netlist(name: &str, text: &str) -> Result<Network, String> {
+    if name.ends_with(".bench") {
+        return parse_bench(text).map_err(|e| format!("parsing {name} as bench: {e}"));
+    }
+    if name.ends_with(".blif") {
+        return parse_blif(text).map_err(|e| format!("parsing {name} as blif: {e}"));
+    }
+    let blif_first = text.lines().any(|l| l.trim_start().starts_with(".model"));
+    let as_blif = parse_blif(text).map_err(|e| format!("as blif: {e}"));
+    let as_bench = parse_bench(text).map_err(|e| format!("as bench: {e}"));
+    let (first, second) = if blif_first {
+        (as_blif, as_bench)
+    } else {
+        (as_bench, as_blif)
+    };
+    first.or_else(|e1| second.map_err(|e2| format!("parsing {name} failed {e1} and {e2}")))
+}
+
+/// Reads and parses the netlist file at `path`.
+pub fn load_network_file(path: &Path) -> Result<Network, String> {
+    let name = path.display().to_string();
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {name}: {e}"))?;
+    parse_netlist(&name, &text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BENCH: &str = "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = AND(a, b)\n";
+    const BLIF: &str = ".model t\n.inputs a b\n.outputs z\n.names a b z\n11 1\n.end\n";
+
+    #[test]
+    fn extension_picks_the_parser() {
+        assert!(parse_netlist("x.bench", BENCH).is_ok());
+        assert!(parse_netlist("x.blif", BLIF).is_ok());
+        // Wrong extension: no fallback, the named parser's error wins.
+        assert!(parse_netlist("x.bench", BLIF)
+            .unwrap_err()
+            .contains("as bench"));
+    }
+
+    #[test]
+    fn unknown_extension_sniffs_both_ways() {
+        assert!(parse_netlist("x.netlist", BENCH).is_ok());
+        assert!(parse_netlist("x.netlist", BLIF).is_ok());
+        let err = parse_netlist("x.netlist", "garbage =(\n").unwrap_err();
+        assert!(err.contains("as blif") && err.contains("as bench"), "{err}");
+    }
+
+    #[test]
+    fn missing_file_reports_the_read() {
+        let err = load_network_file(Path::new("/nonexistent/x.bench")).unwrap_err();
+        assert!(err.contains("reading"), "{err}");
+    }
+}

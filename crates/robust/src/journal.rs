@@ -122,17 +122,26 @@ impl Journal {
                 "journal records must be single-line",
             ));
         }
-        let line = format!(
-            "{{\"crc\":\"{:08x}\",\"data\":{data}}}\n",
-            crc32(data.as_bytes())
-        );
+        let mut line = encode_record(data);
+        line.push('\n');
         self.file.write_all(line.as_bytes())?;
         self.file.sync_data()
     }
 }
 
-/// Parses one journal line into its validated payload.
-fn parse_line(line: &str) -> Result<String, String> {
+/// Wraps `data` in the checksummed record envelope (no newline).
+/// Shared with the serve result cache, whose on-disk entries use the
+/// same envelope so a reader can validate them the same way.
+pub fn encode_record(data: &str) -> String {
+    format!(
+        "{{\"crc\":\"{:08x}\",\"data\":{data}}}",
+        crc32(data.as_bytes())
+    )
+}
+
+/// Validates one record envelope (a journal line without its newline,
+/// or a cache entry file) and returns its payload.
+pub fn parse_record(line: &str) -> Result<String, String> {
     let rest = line
         .strip_prefix("{\"crc\":\"")
         .ok_or("missing crc header")?;
@@ -166,7 +175,7 @@ pub fn load(path: &Path) -> Result<LoadedJournal, JournalError> {
         let verdict = match line {
             // No trailing newline: the append was torn mid-line.
             None => Err("no trailing newline (torn append)".to_string()),
-            Some(l) => parse_line(l),
+            Some(l) => parse_record(l),
         };
         offset += raw.len() as u64;
         match verdict {

@@ -1,7 +1,7 @@
 //! # xrta-robust — robustness primitives for the workspace
 //!
-//! Four small, dependency-free building blocks that the analysis
-//! crates and the batch runner share:
+//! Small, dependency-free building blocks that the analysis crates,
+//! the batch runner and the serve daemon share:
 //!
 //! * [`failpoint`] — deterministic fault injection behind named sites
 //!   (`bdd::mk`, `sat::conflict`, …). Zero-cost unless the
@@ -13,6 +13,9 @@
 //!   can reconstruct exactly what it had durably recorded.
 //! * [`backoff`] — capped exponential retry backoff with deterministic
 //!   jitter drawn from [`xrta_rng`].
+//! * [`jsonflat`] — the one-level JSON record dialect every wire and
+//!   disk format in the workspace speaks (journal records, batch
+//!   reports, the serve protocol).
 //!
 //! The crate sits below every analysis layer (its only dependency is
 //! the workspace RNG), so `xrta-bdd`/`xrta-sat` can host failpoint
@@ -23,3 +26,4 @@ pub mod backoff;
 pub mod failpoint;
 pub mod fsio;
 pub mod journal;
+pub mod jsonflat;

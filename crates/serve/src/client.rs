@@ -1,0 +1,42 @@
+//! A minimal blocking client: one connection, frame-per-request.
+
+use std::io;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::proto::{read_frame, write_frame, Request, Response};
+
+/// One connection to a server. Requests are strictly sequential:
+/// send a frame, read the one response frame.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` (anything `ToSocketAddrs` accepts).
+    pub fn connect(addr: impl std::net::ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream })
+    }
+
+    /// Bounds how long [`Client::request`] waits for the response.
+    pub fn set_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Sends one request and blocks for its response.
+    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        write_frame(&mut self.stream, request.encode().as_bytes())?;
+        let payload = read_frame(&mut self.stream)?;
+        let text = std::str::from_utf8(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        Response::parse(text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// One request over a fresh connection — the common case for the CLI
+/// and tests.
+pub fn roundtrip(addr: impl std::net::ToSocketAddrs, request: &Request) -> io::Result<Response> {
+    Client::connect(addr)?.request(request)
+}

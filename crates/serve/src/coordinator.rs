@@ -1,0 +1,142 @@
+//! Cache + single-flight coordinator.
+//!
+//! One mutex guards *both* the result cache and the in-flight table.
+//! That single lock is what makes the dedup guarantee exact: between
+//! "the key is not cached" and "I am now the leader for it" no other
+//! thread can observe the gap, so N concurrent identical requests do
+//! exactly one computation — the first becomes the leader, the rest
+//! subscribe as followers and receive the leader's bytes.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Mutex;
+
+use crate::cache::{CacheKey, HitTier, ResultCache};
+
+/// What [`Coordinator::dispatch`] decided for one request.
+pub enum Dispatch {
+    /// Already cached: serve these stored bytes verbatim.
+    Hit(Vec<u8>, HitTier),
+    /// Nobody is computing this key: the caller must compute it and
+    /// then call [`Coordinator::complete`].
+    Lead,
+    /// Another thread is computing this key: block on the receiver for
+    /// the leader's bytes.
+    Follow(Receiver<Vec<u8>>),
+}
+
+/// See module docs.
+pub struct Coordinator {
+    inner: Mutex<Inner>,
+}
+
+struct Inner {
+    cache: ResultCache,
+    flights: HashMap<CacheKey, Vec<Sender<Vec<u8>>>>,
+}
+
+impl Coordinator {
+    /// Wraps an opened cache.
+    pub fn new(cache: ResultCache) -> Coordinator {
+        Coordinator {
+            inner: Mutex::new(Inner {
+                cache,
+                flights: HashMap::new(),
+            }),
+        }
+    }
+
+    /// Routes one request for `key`: cache hit, new leader, or
+    /// follower of the current leader — decided atomically.
+    pub fn dispatch(&self, key: CacheKey) -> Dispatch {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some((bytes, tier)) = inner.cache.get(key) {
+            return Dispatch::Hit(bytes, tier);
+        }
+        if let Some(followers) = inner.flights.get_mut(&key) {
+            let (tx, rx) = channel();
+            followers.push(tx);
+            return Dispatch::Follow(rx);
+        }
+        inner.flights.insert(key, Vec::new());
+        Dispatch::Lead
+    }
+
+    /// Finishes a flight: caches the bytes (unless `cacheable` is
+    /// false — errors are answered but never stored) and hands them to
+    /// every follower. Returns the follower count.
+    pub fn complete(&self, key: CacheKey, bytes: &[u8], cacheable: bool) -> usize {
+        let followers = {
+            let mut inner = self.inner.lock().unwrap();
+            if cacheable {
+                inner.cache.insert(key, bytes.to_vec());
+            }
+            inner.flights.remove(&key).unwrap_or_default()
+        };
+        let count = followers.len();
+        for tx in followers {
+            // A follower that gave up (disconnected) is fine.
+            let _ = tx.send(bytes.to_vec());
+        }
+        count
+    }
+
+    /// Counters from the cache itself.
+    pub fn torn_discarded(&self) -> usize {
+        self.inner.lock().unwrap().cache.torn_discarded
+    }
+
+    /// Number of entries in the disk tier.
+    pub fn disk_entries(&self) -> usize {
+        self.inner.lock().unwrap().cache.disk_entries()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use xrta_chi::EngineKind;
+    use xrta_core::Verdict;
+
+    fn key() -> CacheKey {
+        CacheKey::compute("n", "unit", &[], Verdict::Exact, EngineKind::Bdd, "")
+    }
+
+    #[test]
+    fn one_leader_many_followers_one_computation() {
+        let coord = Arc::new(Coordinator::new(ResultCache::open(8, None).unwrap()));
+        assert!(matches!(coord.dispatch(key()), Dispatch::Lead));
+
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let coord = Arc::clone(&coord);
+            handles.push(std::thread::spawn(move || match coord.dispatch(key()) {
+                Dispatch::Follow(rx) => rx.recv().unwrap(),
+                Dispatch::Hit(bytes, _) => bytes,
+                Dispatch::Lead => panic!("second leader for one key"),
+            }));
+        }
+        // Let the spawned threads subscribe (those that lose the race
+        // with complete() will hit the cache instead — also correct).
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        coord.complete(key(), b"bytes", true);
+        for h in handles {
+            assert_eq!(h.join().unwrap(), b"bytes");
+        }
+        // After completion the key is a plain cache hit.
+        assert!(matches!(coord.dispatch(key()), Dispatch::Hit(_, _)));
+    }
+
+    #[test]
+    fn uncacheable_completion_answers_followers_but_stores_nothing() {
+        let coord = Coordinator::new(ResultCache::open(8, None).unwrap());
+        assert!(matches!(coord.dispatch(key()), Dispatch::Lead));
+        coord.complete(key(), b"error bytes", false);
+        assert!(
+            matches!(coord.dispatch(key()), Dispatch::Lead),
+            "not cached"
+        );
+        coord.complete(key(), b"x", false);
+    }
+}

@@ -1,0 +1,36 @@
+//! xrta-serve: the required-time analysis daemon.
+//!
+//! A std-only TCP server that answers the workspace's analysis
+//! queries over a length-prefixed flat-JSON protocol:
+//!
+//! * [`proto`] — frames, requests, responses;
+//! * [`cache`] — two-tier content-addressed result cache (memory LRU
+//!   spilled to checksummed on-disk entries);
+//! * [`coordinator`] — single-flight deduplication fused with the
+//!   cache under one lock;
+//! * [`stats`] — counters, gauges, percentiles, the final stats line;
+//! * [`server`] — accept loop, bounded admission queue, worker pool,
+//!   graceful drain;
+//! * [`client`] — the blocking client the `xrta request` subcommand
+//!   uses.
+//!
+//! The design constraints come from the rest of the workspace: every
+//! analysis runs under a [`xrta_core::Budget`] clamped by server
+//! policy and degrades down the ladder via
+//! [`xrta_core::session::run_with_fallback`]; disk entries reuse the
+//! journal record envelope, so a kill mid-write is detected by
+//! checksum and costs one cache entry, never the server.
+
+pub mod cache;
+pub mod client;
+pub mod coordinator;
+pub mod proto;
+pub mod server;
+pub mod stats;
+
+pub use cache::{CacheKey, HitTier, ResultCache};
+pub use client::{roundtrip, Client};
+pub use coordinator::{Coordinator, Dispatch};
+pub use proto::{read_frame, write_frame, AnalyzeRequest, Answer, Request, Response, MAX_FRAME};
+pub use server::{answer_exit_code, start, ServeOptions, ServerHandle};
+pub use stats::{ServeStats, StatsSnapshot};

@@ -1,0 +1,361 @@
+//! The wire protocol: length-prefixed flat-JSON frames.
+//!
+//! Every message — request or response — is one frame:
+//!
+//! ```text
+//! +----------------+----------------------------+
+//! | length: u32 BE | payload: flat JSON, length |
+//! +----------------+----------------------------+
+//! ```
+//!
+//! The payload is a single-level JSON object in the
+//! [`xrta_robust::jsonflat`] dialect; time vectors use the token
+//! encoding of [`xrta_timing::tokens`]. Frames above [`MAX_FRAME`]
+//! bytes are refused on read, so a malicious or confused peer cannot
+//! make either side allocate unboundedly.
+//!
+//! Requests (`"cmd"` selects the variant):
+//!
+//! ```text
+//! {"cmd":"analyze","name":"add8.bench","netlist":"...","algo":"approx2",
+//!  "engine":"sat","req":"12 12",...}          → answer | busy | shutting_down | error
+//! {"cmd":"stats"}                             → stats (handled out-of-band, never queued)
+//! {"cmd":"ping"}                              → pong
+//! {"cmd":"shutdown"}                          → shutting_down, then the server drains
+//! ```
+//!
+//! Responses (`"status"` selects the variant). An `answer` carries the
+//! session verdict, its degradation provenance and the witness points;
+//! cache hits return the stored bytes, so responses for one cache key
+//! are byte-identical no matter which client asks or when.
+
+use std::io::{self, Read, Write};
+
+use xrta_chi::EngineKind;
+use xrta_core::Verdict;
+use xrta_robust::jsonflat::{escape, Fields};
+use xrta_timing::tokens::{encode_points, encode_times, parse_points, parse_times};
+use xrta_timing::Time;
+
+use crate::stats::StatsSnapshot;
+
+/// Hard ceiling on one frame's payload size (requests carry whole
+/// netlists, so the bound is generous but finite).
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Writes one frame: `u32` big-endian length, then the payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame's payload. Errors on oversized lengths before
+/// allocating.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_be_bytes(len_bytes) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("peer announced a {len}-byte frame (max {MAX_FRAME})"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// One analysis query: a netlist by value plus the session parameters
+/// that shape the answer. Everything that influences the result is in
+/// here — which is exactly what the cache key hashes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AnalyzeRequest {
+    /// Label for the netlist (drives format detection by extension;
+    /// unknown extensions are sniffed).
+    pub name: String,
+    /// The netlist text itself (BLIF or bench).
+    pub netlist: String,
+    /// Requested rung of the ladder.
+    pub algo: Verdict,
+    /// χ engine for oracle queries.
+    pub engine: EngineKind,
+    /// Output required times (empty → the topological delays, the
+    /// paper's experimental protocol).
+    pub req: Vec<Time>,
+    /// Wall-clock wish per rung, milliseconds; the server clamps it to
+    /// its policy cap.
+    pub timeout_ms: Option<u64>,
+    /// BDD node budget wish; clamped by server policy.
+    pub node_limit: Option<u64>,
+    /// SAT conflict budget wish; clamped by server policy.
+    pub sat_conflicts: Option<u64>,
+    /// Artificial service-time floor in milliseconds, honoured only
+    /// when the server runs with `allow_hold` (a load-generation aid
+    /// for exercising admission control; never part of the cache key).
+    pub hold_ms: u64,
+}
+
+impl Default for AnalyzeRequest {
+    fn default() -> Self {
+        AnalyzeRequest {
+            name: "request.bench".to_string(),
+            netlist: String::new(),
+            algo: Verdict::Approx2,
+            engine: EngineKind::Sat,
+            req: Vec::new(),
+            timeout_ms: None,
+            node_limit: None,
+            sat_conflicts: None,
+            hold_ms: 0,
+        }
+    }
+}
+
+/// A client-to-server message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Run (or fetch from cache) one analysis.
+    Analyze(AnalyzeRequest),
+    /// Snapshot the server counters. Answered inline, never queued.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Begin graceful drain: stop accepting, finish in-flight work,
+    /// fail queued work with `shutting_down`.
+    Shutdown,
+}
+
+/// The analysis payload of an `answer` response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Answer {
+    /// Rung the client asked for.
+    pub requested: Verdict,
+    /// Rung that actually answered (lower when degraded).
+    pub verdict: Verdict,
+    /// Whether the answer beats the topological requirement anywhere.
+    pub nontrivial: bool,
+    /// Output required-time vector the analysis ran against.
+    pub req: Vec<Time>,
+    /// Input-side witness points (see [`xrta_core::AnswerDigest`]).
+    pub points: Vec<Vec<Time>>,
+    /// Budget-exhaustion reason behind a degraded verdict, empty
+    /// otherwise.
+    pub degraded_reason: String,
+}
+
+impl Answer {
+    /// Did the server answer below the requested rung?
+    pub fn degraded(&self) -> bool {
+        self.requested != self.verdict
+    }
+}
+
+/// A server-to-client message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// The analysis answered (possibly degraded, possibly from cache).
+    Answer(Answer),
+    /// Admission control shed the request: the queue is full. Retry
+    /// later; nothing was computed or cached.
+    Busy,
+    /// The server is draining; the request was not served.
+    ShuttingDown,
+    /// The request itself failed (unparsable netlist, bad fields,
+    /// analysis error with fallback off).
+    Error(String),
+    /// Counter snapshot.
+    Stats(StatsSnapshot),
+    /// Liveness answer.
+    Pong,
+}
+
+fn opt_field(out: &mut String, key: &str, v: Option<u64>) {
+    if let Some(v) = v {
+        out.push_str(&format!(",\"{key}\":{v}"));
+    }
+}
+
+impl Request {
+    /// Encodes the request as one flat-JSON payload.
+    pub fn encode(&self) -> String {
+        match self {
+            Request::Stats => "{\"cmd\":\"stats\"}".to_string(),
+            Request::Ping => "{\"cmd\":\"ping\"}".to_string(),
+            Request::Shutdown => "{\"cmd\":\"shutdown\"}".to_string(),
+            Request::Analyze(a) => {
+                let mut out = format!(
+                    "{{\"cmd\":\"analyze\",\"name\":\"{}\",\"algo\":\"{}\",\"engine\":\"{}\",\
+                     \"req\":\"{}\"",
+                    escape(&a.name),
+                    a.algo,
+                    a.engine,
+                    encode_times(&a.req),
+                );
+                opt_field(&mut out, "timeout_ms", a.timeout_ms);
+                opt_field(&mut out, "node_limit", a.node_limit);
+                opt_field(&mut out, "sat_conflicts", a.sat_conflicts);
+                if a.hold_ms > 0 {
+                    opt_field(&mut out, "hold_ms", Some(a.hold_ms));
+                }
+                // The netlist rides last: it is by far the largest
+                // field, which keeps the greppable header up front.
+                out.push_str(&format!(",\"netlist\":\"{}\"}}", escape(&a.netlist)));
+                out
+            }
+        }
+    }
+
+    /// Parses a request payload.
+    pub fn parse(payload: &str) -> Result<Request, String> {
+        let f = Fields::parse(payload)?;
+        match f.get("cmd")? {
+            "stats" => Ok(Request::Stats),
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            "analyze" => Ok(Request::Analyze(AnalyzeRequest {
+                name: f.get("name")?.to_string(),
+                netlist: f.get("netlist")?.to_string(),
+                algo: f.get("algo")?.parse()?,
+                engine: f.get("engine")?.parse()?,
+                req: parse_times(f.get("req")?)?,
+                timeout_ms: f.opt_u64("timeout_ms")?,
+                node_limit: f.opt_u64("node_limit")?,
+                sat_conflicts: f.opt_u64("sat_conflicts")?,
+                hold_ms: f.opt_u64("hold_ms")?.unwrap_or(0),
+            })),
+            other => Err(format!("unknown cmd {other:?}")),
+        }
+    }
+}
+
+impl Response {
+    /// Encodes the response as one flat-JSON payload.
+    pub fn encode(&self) -> String {
+        match self {
+            Response::Busy => "{\"status\":\"busy\"}".to_string(),
+            Response::ShuttingDown => "{\"status\":\"shutting_down\"}".to_string(),
+            Response::Pong => "{\"status\":\"pong\"}".to_string(),
+            Response::Error(e) => {
+                format!("{{\"status\":\"error\",\"error\":\"{}\"}}", escape(e))
+            }
+            Response::Stats(s) => s.encode(),
+            Response::Answer(a) => format!(
+                "{{\"status\":\"answer\",\"requested\":\"{}\",\"verdict\":\"{}\",\
+                 \"degraded\":{},\"nontrivial\":{},\"req\":\"{}\",\"points\":\"{}\",\
+                 \"degraded_reason\":\"{}\"}}",
+                a.requested,
+                a.verdict,
+                a.degraded(),
+                a.nontrivial,
+                encode_times(&a.req),
+                encode_points(&a.points),
+                escape(&a.degraded_reason),
+            ),
+        }
+    }
+
+    /// Parses a response payload.
+    pub fn parse(payload: &str) -> Result<Response, String> {
+        let f = Fields::parse(payload)?;
+        match f.get("status")? {
+            "busy" => Ok(Response::Busy),
+            "shutting_down" => Ok(Response::ShuttingDown),
+            "pong" => Ok(Response::Pong),
+            "error" => Ok(Response::Error(f.get("error")?.to_string())),
+            "stats" => Ok(Response::Stats(StatsSnapshot::parse_fields(&f)?)),
+            "answer" => Ok(Response::Answer(Answer {
+                requested: f.get("requested")?.parse()?,
+                verdict: f.get("verdict")?.parse()?,
+                nontrivial: f.get_bool("nontrivial")?,
+                req: parse_times(f.get("req")?)?,
+                points: parse_points(f.get("points")?)?,
+                degraded_reason: f.get("degraded_reason")?.to_string(),
+            })),
+            other => Err(format!("unknown status {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap(), b"");
+        assert!(read_frame(&mut r).is_err(), "eof");
+    }
+
+    #[test]
+    fn oversized_frame_is_refused_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        assert!(read_frame(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in [
+            Request::Stats,
+            Request::Ping,
+            Request::Shutdown,
+            Request::Analyze(AnalyzeRequest {
+                name: "weird \"name\".bench".to_string(),
+                netlist: "INPUT(a)\nOUTPUT(z)\nz = BUF(a)\n".to_string(),
+                algo: Verdict::Exact,
+                engine: EngineKind::Bdd,
+                req: vec![Time::new(3), Time::INF],
+                timeout_ms: Some(250),
+                node_limit: None,
+                sat_conflicts: Some(10_000),
+                hold_ms: 5,
+            }),
+            Request::Analyze(AnalyzeRequest::default()),
+        ] {
+            let text = req.encode();
+            assert_eq!(Request::parse(&text).unwrap(), req, "{text}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in [
+            Response::Busy,
+            Response::ShuttingDown,
+            Response::Pong,
+            Response::Error("netlist: parsing x failed\nbadly".to_string()),
+            Response::Answer(Answer {
+                requested: Verdict::Exact,
+                verdict: Verdict::Approx2,
+                nontrivial: true,
+                req: vec![Time::new(4)],
+                points: vec![vec![Time::new(1), Time::NEG_INF], vec![Time::new(0); 2]],
+                degraded_reason: "wall-clock deadline exceeded".to_string(),
+            }),
+        ] {
+            let text = resp.encode();
+            assert_eq!(Response::parse(&text).unwrap(), resp, "{text}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_payloads() {
+        for bad in ["{}", "{\"cmd\":\"nope\"}", "not json"] {
+            assert!(Request::parse(bad).is_err(), "{bad:?}");
+            assert!(Response::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+}

@@ -1,0 +1,672 @@
+//! The daemon: accept loop, bounded admission queue, worker pool,
+//! graceful drain.
+//!
+//! Thread layout:
+//!
+//! * the **listener thread** accepts connections until shutdown, then
+//!   runs the drain sequence and joins the workers;
+//! * one **connection thread** per client reads frames, answers
+//!   control commands (`stats`, `ping`, `shutdown`) inline — they are
+//!   never queued, so the server stays observable under full load —
+//!   and tries to enqueue analyze jobs, shedding `busy` when the
+//!   bounded queue is full;
+//! * **worker threads** pop jobs, consult the [`Coordinator`] (cache
+//!   hit / single-flight leader / follower), run leaders' analyses via
+//!   [`run_with_fallback`] under policy-clamped budgets, and reply.
+//!
+//! Shutdown — from a `shutdown` request, [`ServerHandle::shutdown`],
+//! or the external cancel flag (the CLI's `--cancel-file`) — drains:
+//! the listener closes, queued jobs are failed with `shutting_down`,
+//! in-flight analyses get [`ServeOptions::drain_deadline`] to finish
+//! before the shared abort flag interrupts them, and [`ServerHandle::join`]
+//! returns the final counter snapshot.
+
+use std::collections::VecDeque;
+use std::io::{self, Read};
+use std::net::{TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use xrta_core::session::{run_with_fallback, SessionOptions};
+use xrta_core::{Approx2Options, Budget};
+use xrta_robust::failpoint;
+use xrta_timing::{topological_delays, Time, UnitDelay};
+
+use crate::cache::{CacheKey, HitTier, ResultCache};
+use crate::coordinator::{Coordinator, Dispatch};
+use crate::proto::{write_frame, AnalyzeRequest, Answer, Request, Response};
+use crate::stats::{ServeStats, StatsSnapshot};
+
+/// Server configuration: socket, pool sizes, cache placement and the
+/// resource policy clamped onto every request.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Bind address; port `0` asks the OS for an ephemeral port.
+    pub addr: String,
+    /// Worker threads computing analyses.
+    pub workers: usize,
+    /// Admission queue bound; a full queue sheds with `busy`.
+    pub queue_cap: usize,
+    /// In-memory cache tier capacity (entries).
+    pub mem_cache_cap: usize,
+    /// Disk cache tier directory; `None` disables the disk tier.
+    pub cache_dir: Option<PathBuf>,
+    /// Ceiling on per-rung wall clock granted to any request.
+    pub max_timeout: Duration,
+    /// Ceiling on the BDD node budget granted to any request.
+    pub max_node_limit: u64,
+    /// Ceiling on the SAT conflict budget granted to any request.
+    pub max_sat_conflicts: u64,
+    /// Honour the `hold_ms` request field (a load-generation aid for
+    /// tests; off in production).
+    pub allow_hold: bool,
+    /// How long in-flight analyses may keep running after shutdown
+    /// begins before the shared abort flag interrupts them.
+    pub drain_deadline: Duration,
+    /// External shutdown trigger (the CLI wires `--cancel-file` here).
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_cap: 64,
+            mem_cache_cap: 256,
+            cache_dir: None,
+            max_timeout: Duration::from_secs(10),
+            max_node_limit: 1 << 22,
+            max_sat_conflicts: 1 << 20,
+            allow_hold: false,
+            drain_deadline: Duration::from_secs(5),
+            cancel: None,
+        }
+    }
+}
+
+/// One admitted analyze job, waiting for a worker.
+struct Job {
+    request: AnalyzeRequest,
+    reply: Sender<Vec<u8>>,
+    received: Instant,
+}
+
+/// The queue plus the flags every thread watches.
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    wake: Condvar,
+    /// Raised once: stop accepting, stop queueing, start draining.
+    shutdown: AtomicBool,
+    /// Raised when the drain deadline passes: interrupts in-flight
+    /// analyses via the session cancel flag.
+    abort: Arc<AtomicBool>,
+    stats: ServeStats,
+    coordinator: Coordinator,
+    options: ServeOptions,
+}
+
+/// A running server. Dropping the handle does not stop the server;
+/// call [`ServerHandle::shutdown`] and [`ServerHandle::join`].
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    shared: Arc<Shared>,
+    listener_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address actually bound (resolves ephemeral ports).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Triggers graceful drain, as if a `shutdown` request arrived.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Waits for the drain to finish and returns the final counters.
+    pub fn join(mut self) -> StatsSnapshot {
+        if let Some(t) = self.listener_thread.take() {
+            let _ = t.join();
+        }
+        self.shared.stats.snapshot()
+    }
+
+    /// Live counter snapshot (also available over the wire).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Entries discarded as torn during the cache's startup scan.
+    pub fn torn_discarded(&self) -> usize {
+        self.shared.coordinator.torn_discarded()
+    }
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.wake.notify_all();
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// Binds the socket, spawns the pool and returns once the server is
+/// accepting. Fails fast on bind or cache-directory errors.
+pub fn start(options: ServeOptions) -> io::Result<ServerHandle> {
+    let cache = ResultCache::open(options.mem_cache_cap, options.cache_dir.clone())?;
+    let listener = TcpListener::bind(&options.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        wake: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        abort: Arc::new(AtomicBool::new(false)),
+        stats: ServeStats::default(),
+        coordinator: Coordinator::new(cache),
+        options,
+    });
+
+    let mut workers = Vec::new();
+    for i in 0..shared.options.workers.max(1) {
+        let shared = Arc::clone(&shared);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("xrta-serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared))?,
+        );
+    }
+
+    let listener_thread = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("xrta-serve-listener".to_string())
+            .spawn(move || listen_loop(listener, &shared, workers))?
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        listener_thread: Some(listener_thread),
+    })
+}
+
+/// Accepts until shutdown, then runs the drain sequence.
+fn listen_loop(
+    listener: TcpListener,
+    shared: &Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+) {
+    while !shared.shutting_down() {
+        if let Some(cancel) = &shared.options.cancel {
+            if cancel.load(Ordering::Relaxed) {
+                shared.begin_shutdown();
+                break;
+            }
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                let _ = std::thread::Builder::new()
+                    .name("xrta-serve-conn".to_string())
+                    .spawn(move || connection_loop(stream, &shared));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    drop(listener);
+
+    // Fail everything still queued: those requests were admitted but
+    // will never run.
+    let orphans: Vec<Job> = {
+        let mut q = shared.queue.lock().unwrap();
+        q.drain(..).collect()
+    };
+    for job in orphans {
+        shared.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        shared.stats.shutdowns.fetch_add(1, Ordering::Relaxed);
+        let _ = job.reply.send(Response::ShuttingDown.encode().into_bytes());
+    }
+    shared.wake.notify_all();
+
+    // Give in-flight analyses the drain deadline, then interrupt them.
+    let drain_until = Instant::now() + shared.options.drain_deadline;
+    while shared.stats.in_flight.load(Ordering::Relaxed) > 0 {
+        if Instant::now() >= drain_until {
+            shared.abort.store(true, Ordering::SeqCst);
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+}
+
+/// Reads a frame, tolerating read timeouts (so shutdown is noticed on
+/// an idle connection) without ever losing frame sync: a timeout only
+/// counts as idle when zero bytes of the frame have arrived.
+enum FrameRead {
+    Frame(Vec<u8>),
+    Idle,
+    Closed,
+}
+
+fn read_frame_patient(stream: &mut TcpStream) -> FrameRead {
+    let mut len_bytes = [0u8; 4];
+    let mut got = 0usize;
+    while got < 4 {
+        match stream.read(&mut len_bytes[got..]) {
+            Ok(0) => return FrameRead::Closed,
+            Ok(n) => got += n,
+            Err(e)
+                if got == 0
+                    && matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+            {
+                return FrameRead::Idle;
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => return FrameRead::Closed,
+        }
+    }
+    let len = u32::from_be_bytes(len_bytes) as usize;
+    if len > crate::proto::MAX_FRAME {
+        return FrameRead::Closed;
+    }
+    let mut payload = vec![0u8; len];
+    let mut got = 0usize;
+    while got < len {
+        match stream.read(&mut payload[got..]) {
+            Ok(0) => return FrameRead::Closed,
+            Ok(n) => got += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => return FrameRead::Closed,
+        }
+    }
+    FrameRead::Frame(payload)
+}
+
+/// Serves one client: control commands inline, analyses via the queue.
+fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_nodelay(true);
+    loop {
+        let payload = match read_frame_patient(&mut stream) {
+            FrameRead::Frame(p) => p,
+            FrameRead::Idle => {
+                if shared.shutting_down() {
+                    return;
+                }
+                continue;
+            }
+            FrameRead::Closed => return,
+        };
+        let request = match std::str::from_utf8(&payload)
+            .map_err(|e| e.to_string())
+            .and_then(Request::parse)
+        {
+            Ok(r) => r,
+            Err(e) => {
+                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                let resp = Response::Error(format!("bad request: {e}")).encode();
+                if write_frame(&mut stream, resp.as_bytes()).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let response_bytes = match request {
+            Request::Ping => Response::Pong.encode().into_bytes(),
+            Request::Stats => Response::Stats(shared.stats.snapshot())
+                .encode()
+                .into_bytes(),
+            Request::Shutdown => {
+                shared.begin_shutdown();
+                Response::ShuttingDown.encode().into_bytes()
+            }
+            Request::Analyze(a) => {
+                shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+                match admit(shared, a) {
+                    Ok(rx) => match rx.recv() {
+                        Ok(bytes) => bytes,
+                        Err(_) => Response::Error("server dropped the request".to_string())
+                            .encode()
+                            .into_bytes(),
+                    },
+                    Err(resp) => resp.encode().into_bytes(),
+                }
+            }
+        };
+        if write_frame(&mut stream, &response_bytes).is_err() {
+            return;
+        }
+    }
+}
+
+/// Admission control: bounded queue or an immediate refusal.
+fn admit(
+    shared: &Arc<Shared>,
+    request: AnalyzeRequest,
+) -> Result<std::sync::mpsc::Receiver<Vec<u8>>, Response> {
+    if shared.shutting_down() {
+        shared.stats.shutdowns.fetch_add(1, Ordering::Relaxed);
+        return Err(Response::ShuttingDown);
+    }
+    let (tx, rx) = std::sync::mpsc::channel();
+    {
+        let mut q = shared.queue.lock().unwrap();
+        // Re-check under the lock: a drain that started between the
+        // check above and here must not strand the job in the queue.
+        if shared.shutting_down() {
+            shared.stats.shutdowns.fetch_add(1, Ordering::Relaxed);
+            return Err(Response::ShuttingDown);
+        }
+        if q.len() >= shared.options.queue_cap {
+            shared.stats.sheds.fetch_add(1, Ordering::Relaxed);
+            return Err(Response::Busy);
+        }
+        q.push_back(Job {
+            request,
+            reply: tx,
+            received: Instant::now(),
+        });
+        shared.stats.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+    shared.wake.notify_one();
+    Ok(rx)
+}
+
+/// Pops jobs until shutdown empties the queue.
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = q.pop_front() {
+                    shared.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                    break Some(job);
+                }
+                if shared.shutting_down() {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .wake
+                    .wait_timeout(q, Duration::from_millis(100))
+                    .unwrap();
+                q = guard;
+            }
+        };
+        let Some(job) = job else { return };
+        shared.stats.in_flight.fetch_add(1, Ordering::Relaxed);
+        serve_job(shared, job);
+        shared.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Handles one admitted job end-to-end: cache, single-flight, compute.
+fn serve_job(shared: &Arc<Shared>, job: Job) {
+    let a = &job.request;
+    let (timeout, node_limit, sat_conflicts) = clamp_budgets(&shared.options, a);
+    // Budgets shape the degradation rung, so the *effective* budgets
+    // are part of the identity of the answer.
+    let budget_tag = format!("{}/{}/{}", timeout.as_millis(), node_limit, sat_conflicts);
+    let key = CacheKey::compute(&a.netlist, "unit", &a.req, a.algo, a.engine, &budget_tag);
+
+    let bytes = match shared.coordinator.dispatch(key) {
+        Dispatch::Hit(bytes, tier) => {
+            match tier {
+                HitTier::Memory => shared.stats.hits_mem.fetch_add(1, Ordering::Relaxed),
+                HitTier::Disk => shared.stats.hits_disk.fetch_add(1, Ordering::Relaxed),
+            };
+            bytes
+        }
+        Dispatch::Follow(rx) => rx.recv().unwrap_or_else(|_| {
+            Response::Error("leader dropped the flight".to_string())
+                .encode()
+                .into_bytes()
+        }),
+        Dispatch::Lead => {
+            shared.stats.misses.fetch_add(1, Ordering::Relaxed);
+            let response = compute(shared, a, timeout, node_limit, sat_conflicts);
+            let cacheable = matches!(response, Response::Answer(_));
+            let bytes = response.encode().into_bytes();
+            shared.coordinator.complete(key, &bytes, cacheable);
+            bytes
+        }
+    };
+
+    if shared.options.allow_hold && a.hold_ms > 0 {
+        // Load-generation aid: pad the service time so tests can pile
+        // up concurrent requests deterministically. Cut short by the
+        // drain abort so held jobs cannot outlive the deadline.
+        let until = Instant::now() + Duration::from_millis(a.hold_ms);
+        while Instant::now() < until && !shared.abort.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    if bytes.starts_with(b"{\"status\":\"answer\"") {
+        shared.stats.answered.fetch_add(1, Ordering::Relaxed);
+    } else if bytes.starts_with(b"{\"status\":\"error\"") {
+        shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    shared.stats.record_service(job.received.elapsed());
+    let _ = job.reply.send(bytes);
+}
+
+/// Applies the server policy: a request may wish for less than the
+/// caps, never more; absent wishes get the caps.
+fn clamp_budgets(options: &ServeOptions, a: &AnalyzeRequest) -> (Duration, u64, u64) {
+    let timeout = a
+        .timeout_ms
+        .map(Duration::from_millis)
+        .unwrap_or(options.max_timeout)
+        .min(options.max_timeout);
+    let node_limit = a
+        .node_limit
+        .unwrap_or(options.max_node_limit)
+        .min(options.max_node_limit);
+    let sat_conflicts = a
+        .sat_conflicts
+        .unwrap_or(options.max_sat_conflicts)
+        .min(options.max_sat_conflicts);
+    (timeout, node_limit, sat_conflicts)
+}
+
+/// Runs one analysis (the single-flight leader's job): parse, budget,
+/// session, digest. Panics are contained and reported as errors.
+fn compute(
+    shared: &Arc<Shared>,
+    a: &AnalyzeRequest,
+    timeout: Duration,
+    node_limit: u64,
+    sat_conflicts: u64,
+) -> Response {
+    match failpoint::eval("serve::analyze") {
+        Some(failpoint::Outcome::ReturnError) => {
+            return Response::Error("failpoint serve::analyze: injected error".to_string());
+        }
+        Some(failpoint::Outcome::Exhausted) => {
+            return Response::Error("failpoint serve::analyze: injected exhaustion".to_string());
+        }
+        _ => {}
+    }
+    let net = match xrta_network::parse_netlist(&a.name, &a.netlist) {
+        Ok(net) => net,
+        Err(e) => return Response::Error(format!("netlist: {e}")),
+    };
+    let req: Vec<Time> = if a.req.is_empty() {
+        topological_delays(&net, &UnitDelay)
+    } else if a.req.len() == 1 {
+        vec![a.req[0]; net.outputs().len()]
+    } else if a.req.len() == net.outputs().len() {
+        a.req.clone()
+    } else {
+        return Response::Error(format!(
+            "req has {} times but the netlist has {} outputs",
+            a.req.len(),
+            net.outputs().len()
+        ));
+    };
+    let budget = Budget::unlimited()
+        .with_node_limit(Some(node_limit as usize))
+        .with_sat_conflicts(Some(sat_conflicts))
+        .with_cancel_flag(Arc::clone(&shared.abort));
+    let opts = SessionOptions {
+        budget,
+        timeout: Some(timeout),
+        fallback: true,
+        approx2: Approx2Options {
+            engine: a.engine,
+            ..Approx2Options::default()
+        },
+        ..SessionOptions::default()
+    };
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        run_with_fallback(&net, &UnitDelay, &req, a.algo, &opts)
+    }));
+    shared.stats.computations.fetch_add(1, Ordering::Relaxed);
+    match outcome {
+        Ok(Ok(mut report)) => {
+            let digest = report.digest();
+            Response::Answer(Answer {
+                requested: report.requested,
+                verdict: report.verdict,
+                nontrivial: digest.nontrivial,
+                req,
+                points: digest.points,
+                degraded_reason: report
+                    .exhaustion_reason()
+                    .map(|e| e.to_string())
+                    .unwrap_or_default(),
+            })
+        }
+        Ok(Err(e)) => Response::Error(format!("analysis failed: {e}")),
+        Err(_) => Response::Error("analysis panicked".to_string()),
+    }
+}
+
+/// A dedicated rendering of the verdict ladder position, used by the
+/// CLI to pick exit codes without re-parsing the answer.
+pub fn answer_exit_code(resp: &Response) -> u8 {
+    match resp {
+        Response::Answer(a) if a.degraded() => 3,
+        Response::Answer(_) | Response::Pong | Response::Stats(_) => 0,
+        Response::Busy | Response::ShuttingDown => 3,
+        Response::Error(_) => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::roundtrip;
+    use xrta_chi::EngineKind;
+    use xrta_core::Verdict;
+
+    fn tiny_request(req_time: i64) -> Request {
+        Request::Analyze(AnalyzeRequest {
+            name: "tiny.bench".to_string(),
+            netlist: "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = AND(a, b)\n".to_string(),
+            algo: Verdict::Approx2,
+            engine: EngineKind::Bdd,
+            req: vec![Time::new(req_time)],
+            ..AnalyzeRequest::default()
+        })
+    }
+
+    #[test]
+    fn ping_analyze_stats_shutdown_lifecycle() {
+        let handle = start(ServeOptions {
+            workers: 2,
+            ..ServeOptions::default()
+        })
+        .unwrap();
+        let addr = handle.addr();
+
+        assert_eq!(roundtrip(addr, &Request::Ping).unwrap(), Response::Pong);
+
+        let first = roundtrip(addr, &tiny_request(5)).unwrap();
+        let Response::Answer(answer) = &first else {
+            panic!("expected answer, got {first:?}");
+        };
+        assert_eq!(answer.verdict, Verdict::Approx2);
+        assert!(!answer.degraded());
+
+        // Same key again: must be a cache hit with identical bytes
+        // (checked at the protocol level by full equality).
+        let second = roundtrip(addr, &tiny_request(5)).unwrap();
+        assert_eq!(first, second);
+
+        let stats = roundtrip(addr, &Request::Stats).unwrap();
+        let Response::Stats(snap) = stats else {
+            panic!("expected stats, got {stats:?}");
+        };
+        assert_eq!(snap.requests, 2);
+        assert_eq!(snap.computations, 1);
+        assert_eq!(snap.hits_mem, 1);
+
+        assert_eq!(
+            roundtrip(addr, &Request::Shutdown).unwrap(),
+            Response::ShuttingDown
+        );
+        let final_stats = handle.join();
+        assert_eq!(final_stats.answered, 2);
+    }
+
+    #[test]
+    fn analyze_after_shutdown_is_refused() {
+        let handle = start(ServeOptions::default()).unwrap();
+        let addr = handle.addr();
+        handle.shutdown();
+        // The connection may race the listener closing; only assert on
+        // successful roundtrips.
+        if let Ok(resp) = roundtrip(addr, &tiny_request(3)) {
+            assert_eq!(resp, Response::ShuttingDown);
+        }
+        handle.join();
+    }
+
+    #[test]
+    fn bad_netlist_is_an_error_and_not_cached() {
+        let handle = start(ServeOptions::default()).unwrap();
+        let addr = handle.addr();
+        let req = Request::Analyze(AnalyzeRequest {
+            netlist: "this is not a netlist".to_string(),
+            ..AnalyzeRequest::default()
+        });
+        let resp = roundtrip(addr, &req).unwrap();
+        assert!(matches!(resp, Response::Error(_)), "{resp:?}");
+        let Response::Stats(snap) = roundtrip(addr, &Request::Stats).unwrap() else {
+            panic!();
+        };
+        assert_eq!(snap.errors, 1);
+        assert_eq!(snap.hits(), 0);
+        handle.shutdown();
+        handle.join();
+    }
+}

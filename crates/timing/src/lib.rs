@@ -27,6 +27,7 @@
 
 mod delay;
 mod time;
+pub mod tokens;
 mod topo;
 
 pub use delay::{DelayModel, FaninDelay, TableDelay, UnitDelay};

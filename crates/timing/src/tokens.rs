@@ -1,0 +1,93 @@
+//! Compact text tokens for [`Time`] values and vectors.
+//!
+//! The batch journal, the batch report and the serve protocol all
+//! carry time data inside flat-JSON string fields. The encoding is
+//! deliberately trivial and stable: one token per value (`7`, `-3`,
+//! `INF`, `-INF`), space-joined vectors, `|`-joined vector sets —
+//! greppable, diffable, and byte-deterministic for a given value.
+
+use crate::time::Time;
+
+/// Renders one [`Time`] as a token.
+pub fn time_token(t: Time) -> String {
+    if t.is_inf() {
+        "INF".to_string()
+    } else if t.is_neg_inf() {
+        "-INF".to_string()
+    } else {
+        t.ticks().to_string()
+    }
+}
+
+/// Inverse of [`time_token`].
+pub fn parse_time_token(tok: &str) -> Result<Time, String> {
+    match tok {
+        "INF" => Ok(Time::INF),
+        "-INF" => Ok(Time::NEG_INF),
+        n => n
+            .parse::<i64>()
+            .map(Time::new)
+            .map_err(|e| format!("bad time token {n:?}: {e}")),
+    }
+}
+
+/// Space-joins a time vector (empty vector → empty string).
+pub fn encode_times(v: &[Time]) -> String {
+    v.iter()
+        .map(|&t| time_token(t))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Inverse of [`encode_times`].
+pub fn parse_times(s: &str) -> Result<Vec<Time>, String> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(' ').map(parse_time_token).collect()
+}
+
+/// `|`-joins a set of time vectors.
+pub fn encode_points(ps: &[Vec<Time>]) -> String {
+    ps.iter()
+        .map(|v| encode_times(v))
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+/// Inverse of [`encode_points`].
+pub fn parse_points(s: &str) -> Result<Vec<Vec<Time>>, String> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split('|').map(parse_times).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_round_trip() {
+        for t in [
+            Time::new(0),
+            Time::new(-12),
+            Time::new(7),
+            Time::INF,
+            Time::NEG_INF,
+        ] {
+            assert_eq!(parse_time_token(&time_token(t)).unwrap(), t);
+        }
+        assert!(parse_time_token("seven").is_err());
+    }
+
+    #[test]
+    fn vectors_and_point_sets_round_trip() {
+        let v = vec![Time::new(2), Time::INF, Time::new(-1)];
+        assert_eq!(parse_times(&encode_times(&v)).unwrap(), v);
+        assert_eq!(parse_times("").unwrap(), Vec::<Time>::new());
+        let ps = vec![v.clone(), vec![Time::NEG_INF]];
+        assert_eq!(parse_points(&encode_points(&ps)).unwrap(), ps);
+        assert_eq!(parse_points("").unwrap(), Vec::<Vec<Time>>::new());
+    }
+}

@@ -84,4 +84,47 @@ else
 fi
 rm -rf "$bdir"
 
+# Serve smoke: boot the daemon on an ephemeral port with a disk cache,
+# replay the same request set twice, and require the second pass to be
+# served (almost) entirely from cache before draining gracefully.
+echo "==> serve smoke: replay cache hits + graceful drain"
+sdir="/tmp/xrta-ci-serve-$$"
+mkdir -p "$sdir/cache"
+./target/release/xrta serve --addr 127.0.0.1:0 --workers 2 \
+    --cache-dir "$sdir/cache" > "$sdir/serve.out" &
+serve_pid=$!
+addr=""
+for i in $(seq 1 100); do
+    addr=$(sed -n 's/^xrta: serving on //p' "$sdir/serve.out")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "serve daemon never announced an address"; exit 1; }
+serve_replay() {
+    for n in netlists/add8.bench netlists/c17.bench netlists/bypass.bench; do
+        for r in 9 11 19; do
+            ./target/release/xrta request --addr "$addr" "$n" --req "$r" \
+                >/dev/null
+        done
+    done
+}
+serve_hits() {
+    ./target/release/xrta request --addr "$addr" --stats \
+        | sed -n 's/^serve: [0-9]* requests | \([0-9]*\) hits.*/\1/p'
+}
+serve_replay
+hits_before=$(serve_hits)
+serve_replay
+hits_after=$(serve_hits)
+replayed=9
+gained=$((hits_after - hits_before))
+if [ "$gained" -lt $((replayed * 9 / 10)) ]; then
+    echo "replay pass only hit the cache $gained/$replayed times"
+    exit 1
+fi
+echo "    replay pass: $gained/$replayed cache hits"
+./target/release/xrta request --addr "$addr" --shutdown
+wait "$serve_pid"
+rm -rf "$sdir"
+
 echo "CI OK"

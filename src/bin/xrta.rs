@@ -1,27 +1,8 @@
 //! `xrta` — command-line front end for the required-time analyses.
 //!
-//! ```text
-//! xrta stats     <netlist>                     structural statistics
-//! xrta topo      <netlist> [--req T]           topological arrival/required/slack
-//! xrta truedelay <netlist> [--engine bdd|sat]  functional (false-path) delays
-//! xrta reqtime   <netlist> --algo exact|approx1|approx2|topological [--req T]
-//!                [--timeout SECS] [--node-limit N] [--sat-conflicts N]
-//!                [--fallback on|off]
-//! xrta slack     <netlist> --node NAME [--req T]
-//! xrta macro     <netlist> [--engine bdd|sat]  pin-to-pin macro-model
-//! xrta fuzz      [--seeds N] [--max-inputs K] [--time-cap S]
-//!                [--corpus DIR] [--base-seed B]
-//! xrta batch     <manifest> [--journal P] [--report P] [--resume]
-//!                [--seed S] [--max-retries N] [--backoff-base S]
-//!                [--backoff-cap S] [--aggregate-timeout S] [--threads N]
-//! ```
-//!
-//! Every command also accepts `--cancel-file PATH` (cooperative
-//! cancellation: the run stops cleanly as soon as the file appears;
-//! exit code `4`) and — in binaries built with `--features
-//! failpoints` — `--failpoints SPEC` / `--failpoints-seed N` for
-//! deterministic fault injection (the `XRTA_FAILPOINTS` /
-//! `XRTA_FAILPOINTS_SEED` environment variables work everywhere).
+//! The subcommand/flag surface is declared in one table in
+//! [`xrta::cli`]; the usage text printed on a usage error is generated
+//! from it. Run any bad flag to see the full synopsis.
 //!
 //! Netlists are BLIF (`.blif`) or ISCAS bench (`.bench`) files; all
 //! analyses use the unit delay model, arrival 0 at every input, and a
@@ -49,27 +30,35 @@
 //! a crash or cancellation `--resume` completes the run — producing a
 //! report byte-identical to an uninterrupted one.
 //!
+//! `serve` runs the analysis daemon (`xrta-serve`): a bounded worker
+//! pool behind a bounded admission queue, a two-tier content-addressed
+//! result cache (`--cache-dir` adds the disk tier), single-flight
+//! deduplication, and graceful drain on `shutdown` requests or
+//! `--cancel-file`. `request` is the matching client: it ships a
+//! netlist to the daemon (or probes it with `--ping`, `--stats`,
+//! `--shutdown`) and prints the answer.
+//!
 //! Exit codes, uniform across commands:
 //!
 //! | code | meaning |
 //! |---|---|
-//! | `0` | full success: answered at the requested rung / all jobs done / no fuzz failures |
+//! | `0` | full success: answered at the requested rung / all jobs done / no fuzz failures / clean drain |
 //! | `1` | the analysis itself failed: budget exhausted with `--fallback off`, fuzz failure found, journal corruption, panic |
 //! | `2` | usage error: bad flags, unreadable netlist or manifest, journal exists without `--resume` |
-//! | `3` | partial success: answered at a lower rung (degraded), or a batch finished with failed/shed jobs |
+//! | `3` | partial success: answered at a lower rung (degraded), a batch finished with failed/shed jobs, or a request was shed |
 //! | `4` | cancelled cooperatively via `--cancel-file` (batch: the journal is resumable) |
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
 
 use xrta::batch::{run_batch, BatchConfig, BatchError, BatchOptions};
+use xrta::cli::{cancel_flag_for, parse_args, render_usage, required_vector, Args};
 use xrta::core::{failpoint, macro_model, report};
-use xrta::network::{parse_bench, parse_blif, stats};
+use xrta::network::{load_network_file, stats};
 use xrta::prelude::*;
 use xrta::robust::backoff::BackoffPolicy;
+use xrta::serve;
 use xrta::verify;
 
 enum Failure {
@@ -81,260 +70,9 @@ enum Failure {
     Fatal(String),
 }
 
-struct Args {
-    command: String,
-    path: Option<String>,
-    req: Option<i64>,
-    engine: EngineKind,
-    algo: String,
-    node: Option<String>,
-    timeout: Option<Duration>,
-    node_limit: Option<usize>,
-    sat_conflicts: Option<u64>,
-    fallback: bool,
-    seeds: usize,
-    max_inputs: usize,
-    time_cap: Option<Duration>,
-    corpus: Option<String>,
-    base_seed: u64,
-    // batch
-    journal: Option<String>,
-    report_path: Option<String>,
-    resume: bool,
-    seed: u64,
-    max_retries: u32,
-    backoff_base: Duration,
-    backoff_cap: Duration,
-    aggregate_timeout: Option<Duration>,
-    threads: usize,
-    // robustness (all commands)
-    cancel_file: Option<String>,
-    failpoints: Option<String>,
-    failpoints_seed: u64,
-}
-
-fn parse_secs(flag: &str, value: Option<String>) -> Result<Duration, String> {
-    let secs: f64 = value
-        .ok_or(format!("{flag} needs a value (seconds)"))?
-        .parse()
-        .map_err(|e| format!("bad {flag}: {e}"))?;
-    if !secs.is_finite() || secs < 0.0 {
-        return Err(format!("bad {flag}: {secs} is not a duration"));
-    }
-    Ok(Duration::from_secs_f64(secs))
-}
-
-fn parse_args() -> Result<Args, String> {
-    let mut it = std::env::args().skip(1);
-    let command = it.next().ok_or("missing command")?;
-    // `fuzz` generates its own circuits; `batch` takes a manifest;
-    // every other command analyses a netlist given as the second
-    // positional argument.
-    let path = if command == "fuzz" {
-        None
-    } else if command == "batch" {
-        Some(it.next().ok_or("missing manifest path")?)
-    } else {
-        Some(it.next().ok_or("missing netlist path")?)
-    };
-    let mut args = Args {
-        command,
-        path,
-        req: None,
-        engine: EngineKind::Sat,
-        algo: "approx2".to_string(),
-        node: None,
-        timeout: None,
-        node_limit: None,
-        sat_conflicts: None,
-        fallback: true,
-        seeds: 100,
-        max_inputs: 8,
-        time_cap: None,
-        corpus: None,
-        base_seed: 0xF0CC,
-        journal: None,
-        report_path: None,
-        resume: false,
-        seed: 0x0BA7C4,
-        max_retries: 2,
-        backoff_base: Duration::from_millis(100),
-        backoff_cap: Duration::from_secs(5),
-        aggregate_timeout: None,
-        threads: 1,
-        cancel_file: None,
-        failpoints: None,
-        failpoints_seed: 0,
-    };
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--req" => {
-                args.req = Some(
-                    it.next()
-                        .ok_or("--req needs a value")?
-                        .parse()
-                        .map_err(|e| format!("bad --req: {e}"))?,
-                )
-            }
-            "--engine" => {
-                args.engine = match it.next().as_deref() {
-                    Some("bdd") => EngineKind::Bdd,
-                    Some("sat") => EngineKind::Sat,
-                    other => return Err(format!("bad --engine {other:?}")),
-                }
-            }
-            "--algo" => args.algo = it.next().ok_or("--algo needs a value")?,
-            "--node" => args.node = Some(it.next().ok_or("--node needs a value")?),
-            "--timeout" => args.timeout = Some(parse_secs("--timeout", it.next())?),
-            "--node-limit" => {
-                args.node_limit = Some(
-                    it.next()
-                        .ok_or("--node-limit needs a value")?
-                        .parse()
-                        .map_err(|e| format!("bad --node-limit: {e}"))?,
-                )
-            }
-            "--sat-conflicts" => {
-                args.sat_conflicts = Some(
-                    it.next()
-                        .ok_or("--sat-conflicts needs a value")?
-                        .parse()
-                        .map_err(|e| format!("bad --sat-conflicts: {e}"))?,
-                )
-            }
-            "--fallback" => {
-                args.fallback = match it.next().as_deref() {
-                    Some("on") => true,
-                    Some("off") => false,
-                    other => return Err(format!("bad --fallback {other:?} (want on|off)")),
-                }
-            }
-            "--seeds" => {
-                args.seeds = it
-                    .next()
-                    .ok_or("--seeds needs a value")?
-                    .parse()
-                    .map_err(|e| format!("bad --seeds: {e}"))?
-            }
-            "--max-inputs" => {
-                let k: usize = it
-                    .next()
-                    .ok_or("--max-inputs needs a value")?
-                    .parse()
-                    .map_err(|e| format!("bad --max-inputs: {e}"))?;
-                if !(2..=xrta::verify::MAX_ORACLE_INPUTS).contains(&k) {
-                    return Err(format!(
-                        "bad --max-inputs: {k} not in 2..={}",
-                        xrta::verify::MAX_ORACLE_INPUTS
-                    ));
-                }
-                args.max_inputs = k;
-            }
-            "--time-cap" => args.time_cap = Some(parse_secs("--time-cap", it.next())?),
-            "--corpus" => args.corpus = Some(it.next().ok_or("--corpus needs a value")?),
-            "--base-seed" => {
-                args.base_seed = it
-                    .next()
-                    .ok_or("--base-seed needs a value")?
-                    .parse()
-                    .map_err(|e| format!("bad --base-seed: {e}"))?
-            }
-            "--journal" => args.journal = Some(it.next().ok_or("--journal needs a value")?),
-            "--report" => args.report_path = Some(it.next().ok_or("--report needs a value")?),
-            "--resume" => args.resume = true,
-            "--seed" => {
-                args.seed = it
-                    .next()
-                    .ok_or("--seed needs a value")?
-                    .parse()
-                    .map_err(|e| format!("bad --seed: {e}"))?
-            }
-            "--max-retries" => {
-                args.max_retries = it
-                    .next()
-                    .ok_or("--max-retries needs a value")?
-                    .parse()
-                    .map_err(|e| format!("bad --max-retries: {e}"))?
-            }
-            "--backoff-base" => args.backoff_base = parse_secs("--backoff-base", it.next())?,
-            "--backoff-cap" => args.backoff_cap = parse_secs("--backoff-cap", it.next())?,
-            "--aggregate-timeout" => {
-                args.aggregate_timeout = Some(parse_secs("--aggregate-timeout", it.next())?)
-            }
-            "--threads" => {
-                args.threads = it
-                    .next()
-                    .ok_or("--threads needs a value")?
-                    .parse()
-                    .map_err(|e| format!("bad --threads: {e}"))?
-            }
-            "--cancel-file" => {
-                args.cancel_file = Some(it.next().ok_or("--cancel-file needs a value")?)
-            }
-            "--failpoints" => {
-                args.failpoints = Some(it.next().ok_or("--failpoints needs a value")?)
-            }
-            "--failpoints-seed" => {
-                args.failpoints_seed = it
-                    .next()
-                    .ok_or("--failpoints-seed needs a value")?
-                    .parse()
-                    .map_err(|e| format!("bad --failpoints-seed: {e}"))?
-            }
-            other => return Err(format!("unknown argument {other:?}")),
-        }
-    }
-    Ok(args)
-}
-
-fn load(path: &str) -> Result<Network, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    if path.ends_with(".bench") {
-        return parse_bench(&text).map_err(|e| format!("parsing {path} as bench: {e}"));
-    }
-    if path.ends_with(".blif") {
-        return parse_blif(&text).map_err(|e| format!("parsing {path} as blif: {e}"));
-    }
-    // Unknown extension: sniff (BLIF starts with a dot directive), try
-    // the likelier parser first, fall back to the other, and report
-    // both diagnoses when neither fits.
-    let blif_first = text.lines().any(|l| l.trim_start().starts_with(".model"));
-    let as_blif = parse_blif(&text).map_err(|e| format!("as blif: {e}"));
-    let as_bench = parse_bench(&text).map_err(|e| format!("as bench: {e}"));
-    let (first, second) = if blif_first {
-        (as_blif, as_bench)
-    } else {
-        (as_bench, as_blif)
-    };
-    first.or_else(|e1| second.map_err(|e2| format!("parsing {path} failed {e1} and {e2}")))
-}
-
-fn required_vector(net: &Network, req: Option<i64>) -> Vec<Time> {
-    match req {
-        Some(t) => vec![Time::new(t); net.outputs().len()],
-        None => topological_delays(net, &UnitDelay),
-    }
-}
-
-/// Watches for `path` to appear, raising the returned flag when it
-/// does. The poll loop is a detached daemon thread; it dies with the
-/// process.
-fn cancel_flag_for(path: &str) -> Arc<AtomicBool> {
-    let flag = Arc::new(AtomicBool::new(false));
-    let watched = PathBuf::from(path);
-    let raised = Arc::clone(&flag);
-    std::thread::spawn(move || loop {
-        if watched.exists() {
-            raised.store(true, Ordering::Relaxed);
-            return;
-        }
-        std::thread::sleep(Duration::from_millis(50));
-    });
-    flag
-}
-
 fn run() -> Result<ExitCode, Failure> {
-    let args = parse_args().map_err(Failure::Usage)?;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(&argv).map_err(Failure::Usage)?;
     // Deterministic fault injection: the environment arms first, an
     // explicit flag wins. `batch` instead re-arms per attempt with
     // per-(job, attempt) seeds, so its spec rides in BatchOptions.
@@ -345,14 +83,17 @@ fn run() -> Result<ExitCode, Failure> {
         }
     }
     let cancel = args.cancel_file.as_deref().map(cancel_flag_for);
-    if args.command == "fuzz" {
-        return run_fuzz(&args, cancel);
+    match args.command.as_str() {
+        "fuzz" => return run_fuzz(&args, cancel),
+        "batch" => return run_batch_cmd(&args, cancel),
+        "serve" => return run_serve(&args, cancel),
+        "request" => return run_request(&args),
+        _ => {}
     }
-    if args.command == "batch" {
-        return run_batch_cmd(&args, cancel);
-    }
-    let net = load(args.path.as_deref().expect("non-fuzz commands have a path"))
-        .map_err(Failure::Usage)?;
+    let net = load_network_file(Path::new(
+        args.path.as_deref().expect("netlist commands have a path"),
+    ))
+    .map_err(Failure::Usage)?;
     let zeros = vec![Time::ZERO; net.inputs().len()];
     match args.command.as_str() {
         "stats" => {
@@ -400,13 +141,10 @@ fn run() -> Result<ExitCode, Failure> {
         }
         "reqtime" => {
             let req = required_vector(&net, args.req);
-            let requested = match args.algo.as_str() {
-                "exact" => Verdict::Exact,
-                "approx1" => Verdict::Approx1,
-                "approx2" => Verdict::Approx2,
-                "topological" | "topo" => Verdict::Topological,
-                other => return Err(Failure::Usage(format!("unknown --algo {other:?}"))),
-            };
+            let requested: Verdict = args
+                .algo
+                .parse()
+                .map_err(|_| Failure::Usage(format!("unknown --algo {:?}", args.algo)))?;
             let mut budget = Budget::unlimited()
                 .with_node_limit(args.node_limit)
                 .with_sat_conflicts(args.sat_conflicts);
@@ -504,7 +242,10 @@ fn run() -> Result<ExitCode, Failure> {
     Ok(ExitCode::SUCCESS)
 }
 
-fn run_fuzz(args: &Args, cancel: Option<Arc<AtomicBool>>) -> Result<ExitCode, Failure> {
+fn run_fuzz(
+    args: &Args,
+    cancel: Option<Arc<std::sync::atomic::AtomicBool>>,
+) -> Result<ExitCode, Failure> {
     let corpus_dir = args
         .corpus
         .clone()
@@ -554,7 +295,10 @@ fn run_fuzz(args: &Args, cancel: Option<Arc<AtomicBool>>) -> Result<ExitCode, Fa
     }
 }
 
-fn run_batch_cmd(args: &Args, cancel: Option<Arc<AtomicBool>>) -> Result<ExitCode, Failure> {
+fn run_batch_cmd(
+    args: &Args,
+    cancel: Option<Arc<std::sync::atomic::AtomicBool>>,
+) -> Result<ExitCode, Failure> {
     let manifest = PathBuf::from(args.path.as_deref().expect("batch has a manifest path"));
     let journal = args
         .journal
@@ -612,23 +356,134 @@ fn run_batch_cmd(args: &Args, cancel: Option<Arc<AtomicBool>>) -> Result<ExitCod
     Ok(ExitCode::SUCCESS)
 }
 
+/// `xrta serve`: run the daemon until a `shutdown` request or the
+/// cancel file drains it, then print the final stats line.
+fn run_serve(
+    args: &Args,
+    cancel: Option<Arc<std::sync::atomic::AtomicBool>>,
+) -> Result<ExitCode, Failure> {
+    let options = serve::ServeOptions {
+        addr: args.addr.clone(),
+        workers: args.workers,
+        queue_cap: args.queue_cap,
+        mem_cache_cap: args.mem_cache,
+        cache_dir: args.cache_dir.clone().map(PathBuf::from),
+        max_timeout: args.max_timeout,
+        max_node_limit: args.node_limit.map(|n| n as u64).unwrap_or(1 << 22),
+        max_sat_conflicts: args.sat_conflicts.unwrap_or(1 << 20),
+        allow_hold: args.allow_hold,
+        drain_deadline: args.drain_deadline,
+        cancel,
+    };
+    let handle = serve::start(options).map_err(|e| Failure::Fatal(format!("serve: {e}")))?;
+    // Scripts parse this line for the ephemeral port; flush so they
+    // see it before the first request.
+    println!("xrta: serving on {}", handle.addr());
+    if handle.torn_discarded() > 0 {
+        eprintln!(
+            "xrta: serve: discarded {} torn cache entr{} on startup",
+            handle.torn_discarded(),
+            if handle.torn_discarded() == 1 {
+                "y"
+            } else {
+                "ies"
+            }
+        );
+    }
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let final_stats = handle.join();
+    println!("{}", final_stats.render_line());
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `xrta request`: one query (or probe) against a running daemon.
+fn run_request(args: &Args) -> Result<ExitCode, Failure> {
+    let request = if args.ping_probe {
+        serve::Request::Ping
+    } else if args.stats_probe {
+        serve::Request::Stats
+    } else if args.shutdown_probe {
+        serve::Request::Shutdown
+    } else {
+        let path = args
+            .path
+            .as_deref()
+            .ok_or_else(|| Failure::Usage("request needs a netlist (or a probe flag)".into()))?;
+        let netlist = std::fs::read_to_string(path)
+            .map_err(|e| Failure::Usage(format!("reading {path}: {e}")))?;
+        let name = Path::new(path)
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.to_string());
+        let algo: Verdict = args
+            .algo
+            .parse()
+            .map_err(|_| Failure::Usage(format!("unknown --algo {:?}", args.algo)))?;
+        serve::Request::Analyze(serve::AnalyzeRequest {
+            name,
+            netlist,
+            algo,
+            engine: args.engine,
+            req: args.req.map(|t| vec![Time::new(t)]).unwrap_or_default(),
+            timeout_ms: args.timeout.map(|t| t.as_millis() as u64),
+            node_limit: args.node_limit.map(|n| n as u64),
+            sat_conflicts: args.sat_conflicts,
+            hold_ms: args.hold_ms,
+        })
+    };
+    let response = serve::roundtrip(args.addr.as_str(), &request)
+        .map_err(|e| Failure::Fatal(format!("request to {}: {e}", args.addr)))?;
+    match &response {
+        serve::Response::Pong => println!("pong"),
+        serve::Response::Busy => eprintln!("xrta: server busy (queue full); retry later"),
+        serve::Response::ShuttingDown => println!("server shutting down"),
+        serve::Response::Error(e) => eprintln!("xrta: server error: {e}"),
+        serve::Response::Stats(s) => {
+            println!("{}", s.render_line());
+            println!(
+                "cache: {} mem hits | {} disk hits | {} misses | {} computations",
+                s.hits_mem, s.hits_disk, s.misses, s.computations
+            );
+            println!(
+                "load : {} in flight | {} queued | {} answered",
+                s.in_flight, s.queue_depth, s.answered
+            );
+        }
+        serve::Response::Answer(a) => {
+            println!(
+                "verdict    : {}{}",
+                a.verdict,
+                if a.degraded() {
+                    format!(" (requested {})", a.requested)
+                } else {
+                    String::new()
+                }
+            );
+            println!("nontrivial : {}", a.nontrivial);
+            if !a.degraded_reason.is_empty() {
+                println!("degraded   : {}", a.degraded_reason);
+            }
+            for point in &a.points {
+                let rendered: Vec<String> = point.iter().map(|t| t.to_string()).collect();
+                println!("point      : {}", rendered.join(" "));
+            }
+        }
+    }
+    // A `shutting_down` ack is the *expected* outcome of the
+    // shutdown probe, not a shed request.
+    if args.shutdown_probe && response == serve::Response::ShuttingDown {
+        return Ok(ExitCode::SUCCESS);
+    }
+    Ok(ExitCode::from(serve::answer_exit_code(&response)))
+}
+
 fn main() -> ExitCode {
     match std::panic::catch_unwind(run) {
         Ok(Ok(code)) => code,
         Ok(Err(Failure::Usage(e))) => {
             eprintln!("xrta: {e}");
-            eprintln!(
-                "usage: xrta <stats|topo|truedelay|reqtime|slack|macro> <netlist> \
-                 [--req T] [--engine bdd|sat] [--algo exact|approx1|approx2|topological] \
-                 [--node NAME] [--timeout SECS] [--node-limit N] [--sat-conflicts N] \
-                 [--fallback on|off]\n       \
-                 xrta fuzz [--seeds N] [--max-inputs K] [--time-cap S] [--corpus DIR] \
-                 [--base-seed B]\n       \
-                 xrta batch <manifest> [--journal P] [--report P] [--resume] [--seed S] \
-                 [--max-retries N] [--backoff-base S] [--backoff-cap S] \
-                 [--aggregate-timeout S] [--threads N]\n       \
-                 (all commands: [--cancel-file PATH] [--failpoints SPEC] [--failpoints-seed N])"
-            );
+            eprint!("{}", render_usage());
             ExitCode::from(2)
         }
         Ok(Err(Failure::Analysis(AnalysisError::Interrupted))) => {

@@ -16,6 +16,7 @@
 //! | [`verify`] | `xrta-verify` | exhaustive oracle, differential fuzzing, shrinking, corpus |
 //! | [`robust`] | `xrta-robust` | failpoints, atomic writes, CRC'd journals, backoff |
 //! | [`batch`] | `xrta-batch` | crash-resilient batch runner with checkpoint/resume |
+//! | [`serve`] | `xrta-serve` | analysis daemon: result cache, single-flight, admission control |
 //!
 //! ## Quickstart: the paper's Figure 4
 //!
@@ -31,6 +32,8 @@
 //! assert!(analysis.has_nontrivial_requirement());
 //! ```
 
+pub mod cli;
+
 pub use xrta_batch as batch;
 pub use xrta_bdd as bdd;
 pub use xrta_chi as chi;
@@ -39,6 +42,7 @@ pub use xrta_core as core;
 pub use xrta_network as network;
 pub use xrta_robust as robust;
 pub use xrta_sat as sat;
+pub use xrta_serve as serve;
 pub use xrta_timing as timing;
 pub use xrta_verify as verify;
 

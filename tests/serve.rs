@@ -1,0 +1,399 @@
+//! Serving-mode integration tests: single-flight deduplication,
+//! byte-identical cached responses, admission control, graceful
+//! drain, and crash-survival of the disk cache tier.
+//!
+//! The concurrency tests run the server in-process (so they can read
+//! its counters without parsing stdout); the crash test runs the real
+//! binary and SIGKILLs it mid-life to prove the on-disk cache tier
+//! tolerates torn state.
+
+use std::io::{BufRead, BufReader};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use xrta::chi::EngineKind;
+use xrta::prelude::*;
+use xrta::serve::{self, read_frame, write_frame, AnalyzeRequest, Request, Response, ServeOptions};
+
+fn netlist_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("netlists")
+        .join(name)
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xrta-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A raw roundtrip that returns the exact response bytes, so tests
+/// can assert byte-identity — `Response::parse` would paper over
+/// encoding differences.
+fn raw_roundtrip(addr: std::net::SocketAddr, request: &Request) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write_frame(&mut stream, request.encode().as_bytes()).unwrap();
+    read_frame(&mut stream).unwrap()
+}
+
+fn analyze(netlist: &str, req_time: i64, hold_ms: u64) -> Request {
+    Request::Analyze(AnalyzeRequest {
+        name: "test.bench".to_string(),
+        netlist: netlist.to_string(),
+        algo: Verdict::Approx2,
+        engine: EngineKind::Sat,
+        req: vec![Time::new(req_time)],
+        hold_ms,
+        ..AnalyzeRequest::default()
+    })
+}
+
+const TINY: &str = "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = AND(a, b)\n";
+
+/// 32 concurrent clients over 4 distinct keys: the computation count
+/// must equal the number of distinct keys (single-flight + cache),
+/// and all responses for one key must be byte-identical.
+#[test]
+fn single_flight_dedupes_and_responses_are_byte_identical() {
+    let handle = serve::start(ServeOptions {
+        workers: 4,
+        queue_cap: 64,
+        allow_hold: true,
+        ..ServeOptions::default()
+    })
+    .unwrap();
+    let addr = handle.addr();
+
+    const CLIENTS: usize = 32;
+    const KEYS: usize = 4;
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let mut threads = Vec::new();
+    for i in 0..CLIENTS {
+        let barrier = Arc::clone(&barrier);
+        threads.push(std::thread::spawn(move || {
+            // Distinct keys differ in their required time; the hold
+            // pads service time so requests genuinely overlap.
+            let req = analyze(TINY, (i % KEYS) as i64 + 2, 30);
+            barrier.wait();
+            (i % KEYS, raw_roundtrip(addr, &req))
+        }));
+    }
+    let mut by_key: Vec<Vec<Vec<u8>>> = vec![Vec::new(); KEYS];
+    for t in threads {
+        let (key, bytes) = t.join().unwrap();
+        by_key[key].push(bytes);
+    }
+    for (key, responses) in by_key.iter().enumerate() {
+        assert_eq!(responses.len(), CLIENTS / KEYS);
+        for r in responses {
+            assert_eq!(r, &responses[0], "responses for key {key} differ byte-wise");
+            assert!(r.starts_with(b"{\"status\":\"answer\""), "key {key}");
+        }
+    }
+
+    let stats = handle.stats();
+    assert_eq!(
+        stats.computations, KEYS as u64,
+        "N concurrent identical requests must run exactly one analysis per distinct key"
+    );
+    assert_eq!(stats.requests, CLIENTS as u64);
+    assert_eq!(stats.answered, CLIENTS as u64);
+    assert_eq!(stats.misses, KEYS as u64);
+    handle.shutdown();
+    handle.join();
+}
+
+/// With one worker and a one-slot queue, a third overlapping request
+/// must be shed with `busy` — and nothing about it is cached.
+#[test]
+fn full_queue_sheds_busy() {
+    let handle = serve::start(ServeOptions {
+        workers: 1,
+        queue_cap: 1,
+        allow_hold: true,
+        ..ServeOptions::default()
+    })
+    .unwrap();
+    let addr = handle.addr();
+
+    // Occupy the worker with a held request, then fill the queue.
+    let t1 = std::thread::spawn(move || raw_roundtrip(addr, &analyze(TINY, 2, 400)));
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while handle.stats().in_flight == 0 {
+        assert!(Instant::now() < deadline, "first request never started");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let t2 = std::thread::spawn(move || raw_roundtrip(addr, &analyze(TINY, 3, 0)));
+    while handle.stats().queue_depth == 0 {
+        assert!(Instant::now() < deadline, "second request never queued");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Worker busy + queue full: this one must be refused immediately.
+    let shed = serve::roundtrip(addr, &analyze(TINY, 4, 0)).unwrap();
+    assert_eq!(shed, Response::Busy);
+
+    assert!(t1.join().unwrap().starts_with(b"{\"status\":\"answer\""));
+    assert!(t2.join().unwrap().starts_with(b"{\"status\":\"answer\""));
+    let stats = handle.stats();
+    assert_eq!(stats.sheds, 1);
+    assert_eq!(stats.answered, 2);
+    handle.shutdown();
+    handle.join();
+}
+
+/// Graceful drain: the in-flight request finishes, the queued one is
+/// refused with `shutting_down`, and join returns coherent counters.
+#[test]
+fn drain_finishes_in_flight_and_fails_queued() {
+    let handle = serve::start(ServeOptions {
+        workers: 1,
+        queue_cap: 4,
+        allow_hold: true,
+        drain_deadline: Duration::from_secs(10),
+        ..ServeOptions::default()
+    })
+    .unwrap();
+    let addr = handle.addr();
+
+    let in_flight = std::thread::spawn(move || raw_roundtrip(addr, &analyze(TINY, 2, 300)));
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while handle.stats().in_flight == 0 {
+        assert!(Instant::now() < deadline, "request never started");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // Distinct key, so it cannot ride the first request's flight.
+    let queued = std::thread::spawn(move || raw_roundtrip(addr, &analyze(TINY, 5, 0)));
+    while handle.stats().queue_depth == 0 {
+        assert!(Instant::now() < deadline, "request never queued");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    assert_eq!(
+        serve::roundtrip(addr, &Request::Shutdown).unwrap(),
+        Response::ShuttingDown
+    );
+
+    let held = in_flight.join().unwrap();
+    assert!(
+        held.starts_with(b"{\"status\":\"answer\""),
+        "in-flight work finishes under the drain deadline: {}",
+        String::from_utf8_lossy(&held)
+    );
+    let refused = queued.join().unwrap();
+    assert!(
+        refused.starts_with(b"{\"status\":\"shutting_down\""),
+        "queued work is failed, not silently dropped: {}",
+        String::from_utf8_lossy(&refused)
+    );
+
+    let stats = handle.join();
+    assert_eq!(stats.answered, 1);
+    assert_eq!(stats.shutdowns, 1);
+}
+
+/// Once a server has shut down, new analyze requests are refused.
+#[test]
+fn requests_after_drain_are_refused() {
+    let handle = serve::start(ServeOptions::default()).unwrap();
+    let addr = handle.addr();
+    assert_eq!(
+        serve::roundtrip(addr, &Request::Shutdown).unwrap(),
+        Response::ShuttingDown
+    );
+    handle.join();
+    // The listener is gone: connecting fails outright.
+    assert!(
+        TcpStream::connect(addr).is_err() || {
+            // Tolerate a connect that wins a TIME_WAIT race: the request
+            // itself must still fail.
+            serve::roundtrip(addr, &analyze(TINY, 2, 0)).is_err()
+        }
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Binary-level lifecycle: ephemeral port, disk cache, SIGKILL, restart.
+// ---------------------------------------------------------------------------
+
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+fn spawn_daemon(cache_dir: &Path) -> Daemon {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_xrta"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--cache-dir",
+        ])
+        .arg(cache_dir)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let stdout = child.stdout.take().unwrap();
+    let mut lines = BufReader::new(stdout).lines();
+    let banner = lines.next().expect("daemon prints its address").unwrap();
+    let addr = banner
+        .strip_prefix("xrta: serving on ")
+        .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+        .to_string();
+    // Keep draining stdout so the daemon never blocks on a full pipe.
+    std::thread::spawn(move || while let Some(Ok(_)) = lines.next() {});
+    Daemon { child, addr }
+}
+
+fn request_cmd(addr: &str, extra: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_xrta"))
+        .args(["request", "--addr", addr])
+        .args(extra)
+        .output()
+        .unwrap()
+}
+
+#[test]
+fn disk_cache_survives_sigkill_and_tolerates_torn_entries() {
+    let dir = scratch_dir("crash");
+    let add8 = netlist_path("add8.bench");
+    let add8_str = add8.to_str().unwrap();
+
+    // First life: compute two answers into the disk cache, then die
+    // without any shutdown handshake.
+    let mut daemon = spawn_daemon(&dir);
+    let out = request_cmd(&daemon.addr, &[add8_str, "--req", "11"]);
+    assert!(
+        out.status.success(),
+        "request failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("verdict"));
+    let out = request_cmd(&daemon.addr, &[add8_str, "--req", "19"]);
+    assert!(out.status.success());
+    daemon.child.kill().unwrap();
+    daemon.child.wait().unwrap();
+
+    // Every entry the dead server left behind must be whole — the
+    // atomic write discipline means a kill can lose an entry, never
+    // tear one.
+    let mut entries = 0;
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        assert!(
+            !name.contains(".tmp."),
+            "temp file {name} survived the kill"
+        );
+        if name.ends_with(".entry") {
+            let text = std::fs::read_to_string(&path).unwrap();
+            xrta::robust::journal::parse_record(text.trim_end())
+                .unwrap_or_else(|e| panic!("torn cache entry {name}: {e}"));
+            entries += 1;
+        }
+    }
+    assert_eq!(entries, 2, "both answers were persisted");
+
+    // Plant a genuinely torn entry, as if the kill had raced a
+    // non-atomic writer.
+    std::fs::write(
+        dir.join("00000000000000000000000000000000.entry"),
+        b"{\"crc\":\"dead",
+    )
+    .unwrap();
+
+    // Second life: the torn entry is discarded on scan, the good
+    // entries serve as disk hits.
+    let mut daemon = spawn_daemon(&dir);
+    let out = request_cmd(&daemon.addr, &[add8_str, "--req", "11"]);
+    assert!(out.status.success());
+    let stats = request_cmd(&daemon.addr, &["--stats"]);
+    let stats_text = String::from_utf8_lossy(&stats.stdout).into_owned();
+    assert!(
+        stats_text.contains("1 disk hits"),
+        "expected a disk hit after restart, got:\n{stats_text}"
+    );
+    assert!(
+        !dir.join("00000000000000000000000000000000.entry").exists(),
+        "torn entry should be deleted by the startup scan"
+    );
+
+    // Clean drain: the shutdown probe succeeds and the daemon exits 0.
+    let out = request_cmd(&daemon.addr, &["--shutdown"]);
+    assert!(out.status.success(), "shutdown probe acks the drain");
+    let status = daemon.child.wait().unwrap();
+    assert!(status.success(), "daemon exits 0 after graceful drain");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The cross-process protocol agrees with the in-process one: a raw
+/// socket client against the real binary.
+#[test]
+fn binary_speaks_the_protocol() {
+    let dir = scratch_dir("proto");
+    let mut daemon = spawn_daemon(&dir);
+    let addr: std::net::SocketAddr = daemon.addr.parse().unwrap();
+
+    let resp = serve::roundtrip(addr, &Request::Ping).unwrap();
+    assert_eq!(resp, Response::Pong);
+
+    let resp = serve::roundtrip(addr, &analyze(TINY, 2, 0)).unwrap();
+    let Response::Answer(answer) = resp else {
+        panic!("expected an answer, got {resp:?}");
+    };
+    assert_eq!(answer.verdict, Verdict::Approx2);
+
+    // Malformed frames get an error response, not a hangup.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write_frame(&mut stream, b"definitely not json").unwrap();
+    let reply = read_frame(&mut stream).unwrap();
+    assert!(reply.starts_with(b"{\"status\":\"error\""));
+
+    serve::roundtrip(addr, &Request::Shutdown).unwrap();
+    assert!(daemon.child.wait().unwrap().success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Fault injection at the serve::analyze site: the injected failure
+/// surfaces as an error response and is *not* cached, so the next
+/// request computes cleanly.
+#[cfg(feature = "failpoints")]
+#[test]
+fn injected_analyze_failure_is_answered_and_not_cached() {
+    use xrta::robust::failpoint::FailScenario;
+
+    let _scenario = FailScenario::setup("serve::analyze=err@1", 0);
+    let handle = serve::start(ServeOptions {
+        workers: 1,
+        ..ServeOptions::default()
+    })
+    .unwrap();
+    let addr = handle.addr();
+
+    let first = serve::roundtrip(addr, &analyze(TINY, 2, 0)).unwrap();
+    let Response::Error(e) = &first else {
+        panic!("expected the injected error, got {first:?}");
+    };
+    assert!(e.contains("injected"), "{e}");
+
+    // The failure must not have poisoned the cache: the retry leads a
+    // fresh flight and succeeds.
+    let second = serve::roundtrip(addr, &analyze(TINY, 2, 0)).unwrap();
+    assert!(
+        matches!(second, Response::Answer(_)),
+        "retry after injected failure: {second:?}"
+    );
+    let stats = handle.stats();
+    assert_eq!(stats.errors, 1);
+    assert_eq!(stats.computations, 1);
+    handle.shutdown();
+    handle.join();
+}
