@@ -15,11 +15,18 @@
 //! oracle rework added. Every run is appended to a machine-readable
 //! JSON report (`--json`, default `BENCH_reqtime.json`).
 //!
+//! With `--compare`, each `dominance@N` row also reports
+//! `speedup_vs_serial` (dominance@1 wall / dominance@N wall) and
+//! `oracle_call_ratio` (dominance@N calls / dominance@1 calls) — the
+//! two scaling invariants of the parallel oracle. `--baseline OLD.json`
+//! diffs the fresh run against a previous report and prints per-circuit
+//! wall/call regressions.
+//!
 //! Usage:
 //!
 //! ```text
 //! table2 [--budget-secs S] [--rows C432,C6288,...] [--jobs J]
-//!        [--threads T] [--compare] [--json PATH]
+//!        [--threads T] [--compare] [--json PATH] [--baseline OLD.json]
 //! ```
 
 use std::fmt::Write as _;
@@ -42,6 +49,16 @@ struct Record {
     oracle_calls: usize,
     cache_hits: usize,
     cache_hit_rate: f64,
+    steals: usize,
+    shard_contention: usize,
+    batches: usize,
+    batched_probes: usize,
+    spec_probes: usize,
+    /// dominance@1 wall / this wall, for `dominance@N` rows when the
+    /// serial twin ran in the same invocation (`--compare`).
+    speedup_vs_serial: Option<f64>,
+    /// This run's oracle calls / dominance@1 calls, same conditions.
+    oracle_call_ratio: Option<f64>,
 }
 
 fn json_escape(s: &str) -> String {
@@ -73,12 +90,19 @@ fn render_json(budget: Duration, records: &[Record]) -> String {
             .first_s
             .map(|s| format!("{s:.4}"))
             .unwrap_or_else(|| "null".to_string());
+        let opt = |v: Option<f64>| {
+            v.map(|x| format!("{x:.4}"))
+                .unwrap_or_else(|| "null".to_string())
+        };
         let _ = writeln!(
             out,
             "    {{\"circuit\": \"{}\", \"config\": \"{}\", \"cache\": \"{}\", \
              \"threads\": {}, \"nontrivial\": {}, \"completed\": {}, \
              \"first_nontrivial_secs\": {}, \"wall_secs\": {:.4}, \
-             \"oracle_calls\": {}, \"cache_hits\": {}, \"cache_hit_rate\": {:.4}}}{}",
+             \"oracle_calls\": {}, \"cache_hits\": {}, \"cache_hit_rate\": {:.4}, \
+             \"steals\": {}, \"shard_contention\": {}, \"batches\": {}, \
+             \"batched_probes\": {}, \"spec_probes\": {}, \
+             \"speedup_vs_serial\": {}, \"oracle_call_ratio\": {}}}{}",
             json_escape(&r.circuit),
             r.config,
             match r.cache {
@@ -93,12 +117,112 @@ fn render_json(budget: Duration, records: &[Record]) -> String {
             r.oracle_calls,
             r.cache_hits,
             r.cache_hit_rate,
+            r.steals,
+            r.shard_contention,
+            r.batches,
+            r.batched_probes,
+            r.spec_probes,
+            opt(r.speedup_vs_serial),
+            opt(r.oracle_call_ratio),
             if k + 1 == records.len() { "" } else { "," }
         );
     }
     let _ = writeln!(out, "  ]");
     let _ = writeln!(out, "}}");
     out
+}
+
+/// One row of a previous report: `(circuit, config, wall_secs,
+/// oracle_calls)`.
+type BaselineRow = (String, String, f64, usize);
+
+/// Extracts the rows of a report this binary wrote earlier. The format
+/// is our own (one row object per line), so a line-oriented field
+/// scraper is enough — no JSON dependency in the offline workspace.
+fn parse_baseline(text: &str) -> Vec<BaselineRow> {
+    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let pat = format!("\"{key}\": ");
+        let at = line.find(&pat)? + pat.len();
+        let rest = &line[at..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim().trim_matches('"'))
+    }
+    text.lines()
+        .filter(|l| l.contains("\"circuit\""))
+        .filter_map(|l| {
+            Some((
+                field(l, "circuit")?.to_string(),
+                field(l, "config")?.to_string(),
+                field(l, "wall_secs")?.parse().ok()?,
+                field(l, "oracle_calls")?.parse().ok()?,
+            ))
+        })
+        .collect()
+}
+
+/// Prints per-circuit wall/call deltas of `records` against a previous
+/// report, flagging regressions beyond the noise floor.
+fn print_baseline_diff(baseline: &[BaselineRow], records: &[Record]) {
+    const WALL_NOISE: f64 = 1.15; // 1-core containers jitter ±15%
+    const WALL_FLOOR_S: f64 = 0.05; // don't flag microsecond rows
+    println!(
+        "\nBaseline diff (wall regression flagged above {:.0}%):",
+        (WALL_NOISE - 1.0) * 100.0
+    );
+    let mut rows = Vec::new();
+    let mut regressions = 0;
+    for r in records {
+        let Some((_, _, old_wall, old_calls)) = baseline
+            .iter()
+            .find(|(c, cfg, _, _)| *c == r.circuit && *cfg == r.config)
+        else {
+            continue;
+        };
+        let wall_delta = if *old_wall > 0.0 {
+            r.wall_s / old_wall
+        } else {
+            1.0
+        };
+        let call_delta = if *old_calls > 0 {
+            r.oracle_calls as f64 / *old_calls as f64
+        } else {
+            1.0
+        };
+        let regressed = (wall_delta > WALL_NOISE && r.wall_s > WALL_FLOOR_S) || call_delta > 1.1;
+        if regressed {
+            regressions += 1;
+        }
+        rows.push(vec![
+            r.circuit.clone(),
+            r.config.to_string(),
+            format!("{old_wall:.2}"),
+            format!("{:.2}", r.wall_s),
+            format!("{:+.0}%", (wall_delta - 1.0) * 100.0),
+            old_calls.to_string(),
+            r.oracle_calls.to_string(),
+            format!("{:+.0}%", (call_delta - 1.0) * 100.0),
+            if regressed { "REGRESSED" } else { "ok" }.to_string(),
+        ]);
+    }
+    print_table(
+        &[
+            "circuit",
+            "config",
+            "wall old",
+            "wall new",
+            "wall Δ",
+            "calls old",
+            "calls new",
+            "calls Δ",
+            "verdict",
+        ],
+        &rows,
+    );
+    if regressions > 0 {
+        println!("{regressions} regression(s) vs baseline");
+    } else {
+        println!("no regressions vs baseline");
+    }
 }
 
 fn main() {
@@ -111,6 +235,7 @@ fn main() {
     let mut threads = host;
     let mut compare = false;
     let mut json_path = "BENCH_reqtime.json".to_string();
+    let mut baseline_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -145,6 +270,9 @@ fn main() {
             "--compare" => compare = true,
             "--json" => {
                 json_path = args.next().expect("--json needs a path");
+            }
+            "--baseline" => {
+                baseline_path = Some(args.next().expect("--baseline needs a path"));
             }
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -221,6 +349,13 @@ fn main() {
                                 oracle_calls: rep.oracle_calls,
                                 cache_hits: rep.cache_hits,
                                 cache_hit_rate: rep.cache_hit_rate,
+                                steals: rep.steals,
+                                shard_contention: rep.shard_contention,
+                                batches: rep.batches,
+                                batched_probes: rep.batched_probes,
+                                spec_probes: rep.spec_probes,
+                                speedup_vs_serial: None,
+                                oracle_call_ratio: None,
                             },
                         ));
                     }
@@ -234,7 +369,28 @@ fn main() {
             }
         }
     });
-    let records: Vec<Record> = records.into_iter().flatten().collect();
+    let mut records: Vec<Record> = records.into_iter().flatten().collect();
+
+    // Scaling invariants: relate every `dominance@N` row to its serial
+    // twin from the same invocation.
+    let serial: Vec<(String, f64, usize)> = records
+        .iter()
+        .filter(|r| r.config == "dominance@1")
+        .map(|r| (r.circuit.clone(), r.wall_s, r.oracle_calls))
+        .collect();
+    for r in &mut records {
+        if r.config != "dominance@N" {
+            continue;
+        }
+        if let Some((_, w1, c1)) = serial.iter().find(|(c, _, _)| *c == r.circuit) {
+            if r.wall_s > 0.0 {
+                r.speedup_vs_serial = Some(w1 / r.wall_s);
+            }
+            if *c1 > 0 {
+                r.oracle_call_ratio = Some(r.oracle_calls as f64 / *c1 as f64);
+            }
+        }
+    }
 
     let rows: Vec<Vec<String>> = records
         .iter()
@@ -253,6 +409,12 @@ fn main() {
                 },
                 r.oracle_calls.to_string(),
                 format!("{} ({:.0}%)", r.cache_hits, 100.0 * r.cache_hit_rate),
+                r.speedup_vs_serial
+                    .map(|s| format!("{s:.2}x"))
+                    .unwrap_or_else(|| "-".to_string()),
+                r.oracle_call_ratio
+                    .map(|s| format!("{s:.2}"))
+                    .unwrap_or_else(|| "-".to_string()),
             ]
         })
         .collect();
@@ -265,9 +427,17 @@ fn main() {
             "CPU time r_max (s)",
             "oracle calls",
             "cache hits",
+            "speedup",
+            "call ratio",
         ],
         &rows,
     );
+
+    if let Some(path) = &baseline_path {
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("--baseline {path}: {e}"));
+        print_baseline_diff(&parse_baseline(&text), &records);
+    }
 
     let json = render_json(budget, &records);
     // Atomic: never leave a half-written report if the run is killed.

@@ -17,7 +17,10 @@ use xrta_sat::{Lit, SolveResult, Solver, StopReason};
 use xrta_timing::{DelayModel, Time};
 
 /// Incremental SAT-based stability checker for one network under fixed
-/// input arrival times.
+/// input arrival times — optionally with **one input's arrival varying**
+/// over a set of candidate values (see [`ChiSatEngine::new_varying`]),
+/// which lets a batch of lattice-climb probes share a single CNF and
+/// its learnt clauses instead of rebuilding the χ network per probe.
 pub struct ChiSatEngine {
     solver: Solver,
     /// One free variable per primary input (the input vector).
@@ -26,7 +29,19 @@ pub struct ChiSatEngine {
     delays: Vec<i64>,
     input_pos: Vec<Option<usize>>,
     chi_lit: FxHashMap<(u32, bool, Time), Lit>,
+    /// Memoized "settled by t" literals, keyed by `(node, t)`.
+    settled: FxHashMap<(u32, Time), Lit>,
     const_true: Lit,
+    varying: Option<Varying>,
+}
+
+/// Batch configuration: input `pos`'s arrival time takes `values[k]`
+/// under variant `k`, selected by assuming `selectors[k]` (and the
+/// negation of every other selector).
+struct Varying {
+    pos: usize,
+    values: Vec<Time>,
+    selectors: Vec<Lit>,
 }
 
 /// Outcome of a budgeted stability query.
@@ -78,8 +93,47 @@ impl ChiSatEngine {
             delays,
             input_pos,
             chi_lit: FxHashMap::default(),
+            settled: FxHashMap::default(),
             const_true,
+            varying: None,
         }
+    }
+
+    /// Creates a **batch** engine: like [`ChiSatEngine::new`], but input
+    /// position `pos`'s arrival time is left open over `values` — one
+    /// selector literal per candidate value guards the leaf clauses, so
+    /// variant `k` (arrival = `values[k]`) is chosen per query by
+    /// assumptions in [`ChiSatEngine::check_stable_variant`]. The
+    /// `arrivals[pos]` entry is ignored. Everything the solver encodes
+    /// or learns is shared across all variants: guarded clauses are
+    /// satisfied outright when their selector is negated, so learnt
+    /// clauses remain implied by the CNF and stay sound for every
+    /// variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrivals.len() != net.inputs().len()`, `pos` is out of
+    /// range, or `values` is empty.
+    pub fn new_varying<D: DelayModel>(
+        net: &Network,
+        model: &D,
+        arrivals: Vec<Time>,
+        pos: usize,
+        values: Vec<Time>,
+    ) -> Self {
+        assert!(pos < net.inputs().len(), "varying input out of range");
+        assert!(!values.is_empty(), "need at least one arrival variant");
+        let mut eng = ChiSatEngine::new(net, model, arrivals);
+        let selectors = values
+            .iter()
+            .map(|_| eng.solver.new_var().positive())
+            .collect();
+        eng.varying = Some(Varying {
+            pos,
+            values,
+            selectors,
+        });
+        eng
     }
 
     /// The literal encoding `χ_{node,value}^t`, building clauses on
@@ -90,7 +144,9 @@ impl ChiSatEngine {
             return l;
         }
         let lit = if let Some(pos) = self.input_pos[node.index()] {
-            if t >= self.arrivals[pos] {
+            if self.varying.as_ref().is_some_and(|v| v.pos == pos) {
+                self.varying_leaf(pos, value, t)
+            } else if t >= self.arrivals[pos] {
                 if value {
                     self.input_lits[pos]
                 } else {
@@ -125,6 +181,42 @@ impl ChiSatEngine {
         };
         self.chi_lit.insert(key, lit);
         lit
+    }
+
+    /// The leaf literal for the varying input under selector guards:
+    /// under variant `k`, if `t ≥ values[k]` the leaf equals the input
+    /// variable (with `value`'s sign), otherwise it is forced false
+    /// ("not yet arrived"). Each clause carries `¬selectorₖ`, so a
+    /// variant's clauses are inert unless that variant is assumed.
+    fn varying_leaf(&mut self, pos: usize, value: bool, t: Time) -> Lit {
+        let v = self.varying.as_ref().expect("varying engine");
+        let selectors = v.selectors.clone();
+        let values = v.values.clone();
+        let base = self.input_lits[pos];
+        let signal = if value { base } else { !base };
+        let leaf = self.solver.new_var().positive();
+        for (&sel, &arrival) in selectors.iter().zip(&values) {
+            if t >= arrival {
+                self.solver.add_clause([!sel, !leaf, signal]);
+                self.solver.add_clause([!sel, leaf, !signal]);
+            } else {
+                self.solver.add_clause([!sel, !leaf]);
+            }
+        }
+        leaf
+    }
+
+    /// The memoized "`node` settled by `t`" literal (`χ¹ ∨ χ⁰`).
+    fn settled_lit(&mut self, net: &Network, node: NodeId, t: Time) -> Lit {
+        let key = (node.index() as u32, t);
+        if let Some(&l) = self.settled.get(&key) {
+            return l;
+        }
+        let one = self.chi_lit(net, node, true, t);
+        let zero = self.chi_lit(net, node, false, t);
+        let l = self.or_lit(&[one, zero]);
+        self.settled.insert(key, l);
+        l
     }
 
     fn and_lit(&mut self, lits: &[Lit]) -> Lit {
@@ -202,10 +294,46 @@ impl ChiSatEngine {
 
     /// Budget-aware form of [`ChiSatEngine::stable_by`].
     pub fn check_stable(&mut self, net: &Network, node: NodeId, t: Time) -> Stability {
-        let one = self.chi_lit(net, node, true, t);
-        let zero = self.chi_lit(net, node, false, t);
-        let settled = self.or_lit(&[one, zero]);
+        let settled = self.settled_lit(net, node, t);
         match self.solver.solve_with_assumptions(&[!settled]) {
+            SolveResult::Unsat => Stability::Stable,
+            SolveResult::Sat => Stability::Unstable,
+            SolveResult::Unknown => Stability::Unknown,
+        }
+    }
+
+    /// Stability of `node` by `t` under arrival variant `k` of a
+    /// [`ChiSatEngine::new_varying`] engine. The query assumes `k`'s
+    /// selector **and the negation of every other selector** — leaving
+    /// a foreign selector free would let the solver activate another
+    /// variant's clauses and wrongly prove instability unsatisfiable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine was not built with
+    /// [`ChiSatEngine::new_varying`] or `k` is out of range.
+    pub fn check_stable_variant(
+        &mut self,
+        net: &Network,
+        node: NodeId,
+        t: Time,
+        k: usize,
+    ) -> Stability {
+        let settled = self.settled_lit(net, node, t);
+        let selectors = self
+            .varying
+            .as_ref()
+            .expect("engine built with new_varying")
+            .selectors
+            .clone();
+        assert!(k < selectors.len(), "variant out of range");
+        let mut assumptions: Vec<Lit> = selectors
+            .iter()
+            .enumerate()
+            .map(|(j, &s)| if j == k { s } else { !s })
+            .collect();
+        assumptions.push(!settled);
+        match self.solver.solve_with_assumptions(&assumptions) {
             SolveResult::Unsat => Stability::Stable,
             SolveResult::Sat => Stability::Unstable,
             SolveResult::Unknown => Stability::Unknown,
@@ -222,9 +350,7 @@ impl ChiSatEngine {
         node: NodeId,
         t: Time,
     ) -> Result<Option<Vec<bool>>, StopReason> {
-        let one = self.chi_lit(net, node, true, t);
-        let zero = self.chi_lit(net, node, false, t);
-        let settled = self.or_lit(&[one, zero]);
+        let settled = self.settled_lit(net, node, t);
         match self.solver.solve_with_assumptions(&[!settled]) {
             SolveResult::Unsat => Ok(None),
             SolveResult::Sat => Ok(Some(
@@ -307,6 +433,48 @@ mod tests {
         eng.set_propagation_budget(Some(0));
         let r = eng.instability_witness(&net, acc, Time::new(3));
         assert_eq!(r, Err(xrta_sat::StopReason::Propagations));
+    }
+
+    #[test]
+    fn varying_variants_match_fresh_engines() {
+        // OR(a, b) with b's arrival varying: the engine must reproduce,
+        // per variant, exactly what a fresh fixed-arrival engine says.
+        let mut net = Network::new("t");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let g = net.add_gate("g", GateKind::Or, &[a, b]).unwrap();
+        net.mark_output(g);
+        let values: Vec<Time> = [0i64, 3, 5].into_iter().map(Time::new).collect();
+        let mut batch =
+            ChiSatEngine::new_varying(&net, &UnitDelay, vec![Time::ZERO; 2], 1, values.clone());
+        // Interleave variants and times so learnt clauses from one
+        // variant's queries are live during every other variant's — the
+        // selector guards must keep them from leaking verdicts.
+        for t in 0..8i64 {
+            for (k, &arr) in values.iter().enumerate() {
+                let mut fresh = ChiSatEngine::new(&net, &UnitDelay, vec![Time::ZERO, arr]);
+                let want = fresh.check_stable(&net, g, Time::new(t));
+                let got = batch.check_stable_variant(&net, g, Time::new(t), k);
+                assert_eq!(got, want, "variant {k} (arrival {arr}) at t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn varying_engine_repeated_queries_are_stable() {
+        // Re-asking the same variant must not be perturbed by solver
+        // state accumulated in between (idempotence of verdicts).
+        let mut net = Network::new("t");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let x = net.add_gate("x", GateKind::Xor, &[a, b]).unwrap();
+        net.mark_output(x);
+        let values: Vec<Time> = [0i64, 2].into_iter().map(Time::new).collect();
+        let mut eng = ChiSatEngine::new_varying(&net, &UnitDelay, vec![Time::ZERO; 2], 0, values);
+        let first = eng.check_stable_variant(&net, x, Time::new(1), 0);
+        let _ = eng.check_stable_variant(&net, x, Time::new(1), 1);
+        let _ = eng.check_stable_variant(&net, x, Time::new(3), 1);
+        assert_eq!(eng.check_stable_variant(&net, x, Time::new(1), 0), first);
     }
 
     #[test]

@@ -12,39 +12,93 @@
 //!
 //! The safety oracle is decomposed per output cone: each primary output
 //! gets its own standalone cone network ([`Network::extract_cone`]) with
-//! its own delay table, so each stability check builds a private χ
-//! engine over just that cone. This buys three things:
+//! its own delay table, so each stability check runs a private χ engine
+//! over just that cone. Validation is organised as **rounds** over a
+//! work-stealing pool:
 //!
-//! - **Parallel validation** — cone checks are independent pure
-//!   functions of `(cone, projected arrivals)`, so they fan out across
-//!   [`std::thread::scope`] threads ([`Approx2Options::threads`]).
-//!   Verdicts do not depend on evaluation order, so the search result is
-//!   identical for every thread count (when no per-query conflict or
-//!   propagation budget can truncate a verdict).
-//! - **Incremental re-checks** — raising coordinate `i` only re-runs
-//!   cones whose transitive input support contains `i` (precomputed
-//!   [`Network::output_support_masks`]); every other cone inherits its
-//!   verdict from the current safe point.
-//! - **Dominance pruning** — safety is monotone decreasing in the
-//!   pointwise order, so verdict caches can answer by dominance instead
-//!   of exact key ([`CacheStrategy::Dominance`], the default), and the
-//!   per-coordinate climb can gallop: probe the next rung, then the top
-//!   rung, then binary-search the frontier in between instead of
-//!   walking every rung.
+//! - **Batched probes** — every pending `(cone, rung)` probe of a round
+//!   is grouped by cone into one [`Batch`]. A batch's SAT probes share
+//!   one selector-guarded χ engine ([`ChiSatEngine::new_varying`]):
+//!   the CNF is built once with the raised coordinate varying over the
+//!   batch's rung values, so learned clauses and the clause database
+//!   carry across the rungs of a batch instead of being rebuilt per
+//!   probe.
+//! - **Work stealing** — batches are seeded round-robin into per-worker
+//!   deques ([`StealQueues`]); an idle worker steals the oldest batch
+//!   of a loaded sibling instead of waiting at a static split, and the
+//!   coordinator participates in every round. Helper threads spawn
+//!   lazily: a search that never accumulates enough oracle work
+//!   ([`WARMUP_ORACLE_CALLS`]) runs entirely on the calling thread and
+//!   pays zero spawn latency.
+//! - **Shared striped cache** — cone verdicts are pure facts about
+//!   `(cone, projected arrivals)`, stored in a lock-striped cache
+//!   ([`StripedVerdictCache`]) keyed by support-mask fingerprint. A
+//!   verdict proven by one worker immediately prunes every other
+//!   worker's pending probes, which keeps the parallel oracle-call
+//!   count at the sequential level instead of multiplying it.
+//! - **Speculative climb pipelining** — the greedy climb is inherently
+//!   sequential (each raise depends on the last verdict), so round
+//!   batches alone cannot keep helpers busy. While the coordinator
+//!   walks one coordinate, workers pre-solve the *step-1 probes of the
+//!   next few coordinates* ([`SPEC_WINDOW`]) at the current base,
+//!   landing verdicts in the striped cache where the climb's own
+//!   probes find them. Speculative probes ride the injector at lower
+//!   priority than round batches, carry the base version they were
+//!   planned against (stale probes are dropped unexecuted), and
+//!   **single-flight claims** ([`StripedVerdictCache::claim`]) ensure a
+//!   probe in flight on one thread is awaited — never re-solved — by
+//!   every other.
+//! - **Deterministic merge** — the probe schedule is thread-count
+//!   independent (fixed ladder width [`LADDER_PROBES`], batches formed
+//!   in cone-index order, verdicts landed by rung slot, duplicate
+//!   maxima dropped min-attempt-index first), so the reported analysis
+//!   is byte-identical for every thread count. Parallelism and cache
+//!   sharing change how *many* oracle calls run, never what the search
+//!   concludes.
+//!
+//! Raising coordinate `i` only re-validates cones whose transitive
+//! input support contains `i` (precomputed
+//! [`Network::output_support_masks`]); every other cone inherits its
+//! verdict from the current safe point. Safety is monotone decreasing
+//! in the pointwise order, so verdict caches answer by dominance
+//! ([`CacheStrategy::Dominance`], the default) and the per-coordinate
+//! climb gallops: next rung, top rung, then bisect the frontier.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::AtomicBool;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use xrta_bdd::{BddError, FxHashMap};
-use xrta_chi::{EngineKind, FunctionalTiming};
+use xrta_chi::{ChiSatEngine, EngineKind, FunctionalTiming, Stability};
 use xrta_network::{Network, NodeId};
+use xrta_sat::StopReason;
 use xrta_timing::{required_times, DelayModel, TableDelay, Time};
 
 use crate::dominance::{CacheStrategy, DominanceCache};
 use crate::governor::{AnalysisError, Budget};
+use crate::oracle_pool::StealQueues;
 use crate::plan::plan_leaves;
+use crate::stripes::{support_fingerprint, Claim, StripedVerdictCache};
+
+/// Rungs probed per bisection round of the galloping ascent. Fixed (not
+/// derived from the thread count) so the probe schedule — and with it
+/// the whole search transcript — is identical for every thread count.
+/// Two trisection probes per round also give every cone batch two rungs
+/// to amortise its χ engine over.
+const LADDER_PROBES: usize = 2;
+
+/// Oracle calls a search must accumulate before helper threads spawn.
+/// Trivial circuits finish their whole climb under this threshold and
+/// never pay thread-spawn or hand-off latency.
+const WARMUP_ORACLE_CALLS: usize = 48;
+
+/// How many upcoming coordinates the climb speculates ahead of itself.
+/// Each speculated coordinate is one step-1 probe (the "can it move at
+/// all?" query that dominates the call profile), so the window bounds
+/// wasted work when a raise succeeds and invalidates the base.
+const SPEC_WINDOW: usize = 8;
 
 /// Options for the lattice-climbing analysis.
 #[derive(Clone, Copy, Debug)]
@@ -58,7 +112,9 @@ pub struct Approx2Options {
     pub max_solutions: usize,
     /// Stop after this many oracle invocations.
     pub max_oracle_calls: usize,
-    /// Wall-clock budget (the paper's 12-hour cap, scaled down).
+    /// Wall-clock budget (the paper's 12-hour cap, scaled down). Also
+    /// enforced *inside* long-running oracle probes, as an engine
+    /// deadline.
     pub time_budget: Option<Duration>,
     /// SAT-conflict budget per oracle query; inconclusive queries count
     /// as unsafe (sound: a candidate is only accepted when provably
@@ -75,10 +131,11 @@ pub struct Approx2Options {
     /// every `k`-th candidate per input (always keeping the bottom and,
     /// when enabled, the ∞ top). 1 = no clustering.
     pub cluster_stride: usize,
-    /// Worker threads for cone validation (and, with
-    /// [`CacheStrategy::Dominance`], speculative ladder probes).
-    /// `0` = use [`std::thread::available_parallelism`]; `1` = fully
-    /// sequential. Any value produces the same maximal points.
+    /// Worker threads for cone validation. `0` = use
+    /// [`std::thread::available_parallelism`]; `1` = fully sequential.
+    /// Helpers spawn lazily once enough oracle work has accumulated and
+    /// steal batches from each other; any value produces the same
+    /// analysis.
     pub threads: usize,
     /// Verdict-cache strategy; see [`CacheStrategy`].
     pub cache: CacheStrategy,
@@ -113,6 +170,25 @@ impl Approx2Options {
             self.threads
         }
     }
+
+    /// Worker slots the oracle pool actually provisions: the configured
+    /// thread count clamped to the machine's parallelism. Cone probes
+    /// are CPU-bound SAT/BDD solves, so oversubscribing cores only adds
+    /// context switching and hand-off latency — a request for 4 threads
+    /// on a 1-core box must run exactly like a request for 1 (and does:
+    /// the probe schedule is thread-count independent). Setting
+    /// `XRTA_OVERSUBSCRIBE` lifts the clamp — the analysis stays
+    /// correct under any interleaving, so this exists to exercise and
+    /// debug the multi-worker paths on small machines.
+    fn worker_slots(&self) -> usize {
+        if std::env::var_os("XRTA_OVERSUBSCRIBE").is_some() {
+            return self.effective_threads();
+        }
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.effective_threads().min(cores)
+    }
 }
 
 /// Result of the lattice-climbing analysis.
@@ -136,8 +212,22 @@ pub struct Approx2Result {
     /// Safety queries answered from the verdict caches (whole-vector
     /// and per-cone combined) without running a χ engine.
     pub cache_hits: usize,
-    /// Worker threads the search actually used.
+    /// Worker threads the search was configured to use.
     pub threads_used: usize,
+    /// Batches an idle worker stole from a loaded sibling's deque.
+    pub steals: usize,
+    /// Striped-cache lock acquisitions that found the stripe held by
+    /// another thread.
+    pub shard_contention: usize,
+    /// Oracle batches executed (each shares one χ engine across its
+    /// probes).
+    pub batches: usize,
+    /// Probes that rode in a multi-rung batch (engine state reused).
+    pub batched_probes: usize,
+    /// Cone probes solved speculatively (ahead of the climb) by helper
+    /// workers; their verdicts were served to the climb from the
+    /// striped cache.
+    pub spec_probes: usize,
     /// False when a budget cap stopped the enumeration early; the
     /// `maximal` found so far are still valid safe points.
     pub completed: bool,
@@ -202,13 +292,6 @@ impl Cone {
     }
 }
 
-/// One pending oracle query: validate cone `cone` under the projected
-/// arrivals `proj`.
-struct ConeQuery {
-    cone: usize,
-    proj: Vec<Time>,
-}
-
 /// Governor state shared with every cone validation.
 #[derive(Clone, Default)]
 struct OracleGovernor {
@@ -217,120 +300,232 @@ struct OracleGovernor {
     node_limit: Option<usize>,
 }
 
-/// Outcome of one cone validation.
-#[derive(Clone, Copy)]
-struct ConeVerdict {
-    /// Provably safe? Conservative `false` on any inconclusive run.
-    safe: bool,
-    /// Governor interrupt that must stop the whole search, if any.
-    stop: Option<AnalysisError>,
-    /// Did the validation panic (poisoned cone)?
-    panicked: bool,
-}
-
-struct Search<'n> {
-    candidates: Vec<Vec<Time>>,
-    options: Approx2Options,
-    cones: &'n [Cone],
-    r_bottom: Vec<Time>,
-    /// Exact-key caches ([`CacheStrategy::Exact`]).
-    exact_full: FxHashMap<Vec<Time>, bool>,
-    exact_out: FxHashMap<(usize, Vec<Time>), bool>,
-    /// Dominance caches ([`CacheStrategy::Dominance`]): whole-vector
-    /// plus one per cone over its projections.
-    dom_full: DominanceCache,
-    dom_out: Vec<DominanceCache>,
-    oracle_calls: usize,
-    cache_hits: usize,
-    started: Instant,
-    first_nontrivial: Option<Duration>,
-    out_of_budget: bool,
-    gov: OracleGovernor,
-    interrupted: Option<AnalysisError>,
-    worker_panics: usize,
-}
-
-impl<'n> Search<'n> {
-    fn time_exhausted(&self) -> bool {
-        self.options
-            .time_budget
-            .is_some_and(|b| self.started.elapsed() >= b)
-    }
-
-    /// Budget interrupt pending? Polled between validation batches.
-    fn governor_stop(&self) -> Option<AnalysisError> {
-        if let Some(flag) = &self.gov.cancel {
-            if flag.load(std::sync::atomic::Ordering::Relaxed) {
+impl OracleGovernor {
+    /// Budget interrupt pending? Polled between rounds and at batch
+    /// entry.
+    fn stop(&self) -> Option<AnalysisError> {
+        if let Some(flag) = &self.cancel {
+            if flag.load(Ordering::Relaxed) {
                 return Some(AnalysisError::Interrupted);
             }
         }
-        if let Some(d) = self.gov.deadline {
+        if let Some(d) = self.deadline {
             if Instant::now() >= d {
                 return Some(AnalysisError::DeadlineExceeded);
             }
         }
         None
     }
+}
 
-    fn project(&self, cone: usize, r: &[Time]) -> Vec<Time> {
-        self.cones[cone].input_pos.iter().map(|&p| r[p]).collect()
-    }
+/// One unit of stealable oracle work: validate `rungs.len()` raises of
+/// one coordinate against one cone, sharing a single χ engine.
+struct Batch {
+    /// Index into [`OracleShared::cones`].
+    cone: usize,
+    /// Position of the raised coordinate within the cone's projection.
+    vary: usize,
+    /// The cone's projected arrivals at the base point (the `vary`
+    /// coordinate is overridden per rung).
+    proj: Vec<Time>,
+    /// `(rung slot, rung value)` pairs, slots indexing the caller's
+    /// rung list.
+    rungs: Vec<(usize, Time)>,
+}
 
-    fn query_full(&mut self, r: &[Time]) -> Option<bool> {
-        match self.options.cache {
-            CacheStrategy::Exact => self.exact_full.get(r).copied(),
-            CacheStrategy::Dominance => self.dom_full.query(r),
+/// What one batch reports back. `verdicts` lands by rung slot;
+/// `None` marks probes skipped because the rung was already disproved
+/// by another cone, or cut off by a stop/budget condition.
+struct BatchOut {
+    verdicts: Vec<(usize, Option<bool>)>,
+    /// Governor interrupt that must stop the whole search, if any.
+    stop: Option<AnalysisError>,
+    /// Did an options-level cap (oracle calls / wall clock) cut this
+    /// batch short?
+    truncated: bool,
+    /// Probes that panicked inside this batch.
+    panics: usize,
+}
+
+impl BatchOut {
+    /// The conservative result of a batch whose worker died outside the
+    /// per-probe containment: every probe reads "unsafe".
+    fn poisoned(batch: &Batch) -> Self {
+        BatchOut {
+            verdicts: batch.rungs.iter().map(|&(k, _)| (k, Some(false))).collect(),
+            stop: None,
+            truncated: false,
+            panics: batch.rungs.len(),
         }
     }
+}
 
-    fn record_full(&mut self, r: &[Time], safe: bool) {
-        match self.options.cache {
-            CacheStrategy::Exact => {
-                self.exact_full.insert(r.to_vec(), safe);
+/// A speculative probe: the step-1 raise of an upcoming coordinate,
+/// decomposed into the projections of every cone whose support contains
+/// it. Executed at injector priority (below round batches); verdicts
+/// land in the shared striped cache where the climb's own probes find
+/// them. Speculation changes *when* a verdict is proven, never what it
+/// says — every verdict is a pure fact about `(cone, projection)`.
+struct SpecProbe {
+    /// `(cone index, projected arrivals)` per relevant cone.
+    cones: Vec<(usize, Vec<Time>)>,
+    /// The base version this probe was planned against
+    /// ([`OracleShared::spec_version`]); stale probes are dropped.
+    version: u64,
+}
+
+/// What flows through the work-stealing queues: a round's cone batch
+/// (coordinator awaits it at a barrier) or a speculative probe (fire
+/// and forget into the cache).
+enum Task {
+    Round(Batch),
+    Spec(SpecProbe),
+}
+
+/// Everything a worker needs, shared by `Arc`: the cones, the striped
+/// verdict cache, the work queues and the global counters.
+struct OracleShared {
+    cones: Vec<Cone>,
+    options: Approx2Options,
+    gov: OracleGovernor,
+    /// Earliest of the governor deadline and the options' own
+    /// wall-clock budget; installed into every χ engine so a single
+    /// long probe cannot blow through [`Approx2Options::time_budget`].
+    engine_deadline: Option<Instant>,
+    started: Instant,
+    cache: StripedVerdictCache,
+    oracle_calls: AtomicUsize,
+    batches: AtomicUsize,
+    batched_probes: AtomicUsize,
+    /// Per-round bitmask of rung slots already proven unsafe by some
+    /// cone; lets every other cone skip its probes for that rung
+    /// (cross-cone short-circuit — the verdict is `false` either way).
+    round_failed: AtomicU64,
+    /// Bumped whenever the climb's base point changes; speculative
+    /// probes planned against an older version are dropped unexecuted.
+    spec_version: AtomicU64,
+    /// Speculative cone probes actually solved (vs dropped stale).
+    spec_solved: AtomicUsize,
+    /// Panics inside speculative probes (folded into `worker_panics`).
+    spec_panics: AtomicUsize,
+    queues: StealQueues<Task>,
+}
+
+impl OracleShared {
+    fn time_exhausted(&self) -> bool {
+        self.options
+            .time_budget
+            .is_some_and(|b| self.started.elapsed() >= b)
+    }
+
+    /// Builds the batch's shared selector-guarded SAT engine, with the
+    /// same fault-injection site the per-probe engines of the BDD path
+    /// evaluate during construction.
+    fn build_engine(&self, batch: &Batch, values: &[Time]) -> Result<ChiSatEngine, BddError> {
+        match xrta_robust::failpoint::eval("chi::construct") {
+            Some(xrta_robust::failpoint::Outcome::Exhausted) => {
+                return Err(BddError::Capacity {
+                    limit: self.gov.node_limit.unwrap_or(usize::MAX),
+                })
             }
-            CacheStrategy::Dominance => self.dom_full.insert(r, safe),
+            Some(xrta_robust::failpoint::Outcome::ReturnError) => return Err(BddError::Deadline),
+            None => {}
         }
-        if safe && self.first_nontrivial.is_none() && r != self.r_bottom.as_slice() {
-            self.first_nontrivial = Some(self.started.elapsed());
-        }
+        let cone = &self.cones[batch.cone];
+        let mut eng = ChiSatEngine::new_varying(
+            &cone.net,
+            &cone.delays,
+            batch.proj.clone(),
+            batch.vary,
+            values.to_vec(),
+        );
+        eng.set_conflict_budget(self.options.oracle_conflict_budget);
+        eng.set_propagation_budget(self.options.oracle_propagation_budget);
+        eng.set_deadline(self.engine_deadline);
+        eng.set_cancel_flag(self.gov.cancel.clone());
+        Ok(eng)
     }
+}
 
-    fn query_out(&mut self, cone: usize, proj: &[Time]) -> Option<bool> {
-        match self.options.cache {
-            CacheStrategy::Exact => self.exact_out.get(&(cone, proj.to_vec())).copied(),
-            CacheStrategy::Dominance => self.dom_out[cone].query(proj),
-        }
+/// Runs one batch on the calling thread. Every probe is individually
+/// contained (`catch_unwind`); verdicts are pure functions of
+/// `(cone, projection)` plus the per-query budgets, so any thread may
+/// execute any batch without affecting what the search concludes.
+fn execute_batch(shared: &OracleShared, batch: &Batch) -> BatchOut {
+    let cone = &shared.cones[batch.cone];
+    let values: Vec<Time> = batch.rungs.iter().map(|&(_, v)| v).collect();
+    let mut out = BatchOut {
+        verdicts: Vec::with_capacity(batch.rungs.len()),
+        stop: None,
+        truncated: false,
+        panics: 0,
+    };
+    shared.batches.fetch_add(1, Ordering::Relaxed);
+    if batch.rungs.len() > 1 {
+        shared
+            .batched_probes
+            .fetch_add(batch.rungs.len(), Ordering::Relaxed);
     }
-
-    fn record_out(&mut self, cone: usize, proj: &[Time], safe: bool) {
-        match self.options.cache {
-            CacheStrategy::Exact => {
-                self.exact_out.insert((cone, proj.to_vec()), safe);
+    out.stop = shared.gov.stop();
+    let mut engine: Option<ChiSatEngine> = None;
+    for (variant, &(k, value)) in batch.rungs.iter().enumerate() {
+        if out.stop.is_some() || out.truncated {
+            out.verdicts.push((k, None));
+            continue;
+        }
+        if shared.round_failed.load(Ordering::Relaxed) >> k & 1 == 1 {
+            // Another cone already disproved this rung; its verdict is
+            // settled, skip the solve.
+            out.verdicts.push((k, None));
+            continue;
+        }
+        let mut proj = batch.proj.clone();
+        proj[batch.vary] = value;
+        // Single-flight claim: a hit may have been resolved by another
+        // worker mid-round (including a speculative probe we waited
+        // for); `Owner` obliges this probe to insert or abandon on
+        // every exit path below so no waiter stalls.
+        let owned = match shared.cache.claim(batch.cone, &proj) {
+            Claim::Hit(v) => {
+                if !v {
+                    shared.round_failed.fetch_or(1 << k, Ordering::Relaxed);
+                }
+                out.verdicts.push((k, Some(v)));
+                continue;
             }
-            CacheStrategy::Dominance => self.dom_out[cone].insert(proj, safe),
+            Claim::Owner => true,
+            Claim::TimedOut => false,
+        };
+        let release = |shared: &OracleShared| {
+            if owned {
+                shared.cache.abandon(batch.cone, &proj);
+            }
+        };
+        if shared.time_exhausted() {
+            release(shared);
+            out.truncated = true;
+            out.verdicts.push((k, None));
+            continue;
         }
-    }
-
-    /// Runs one χ engine on one cone. Pure: the verdict depends only on
-    /// the query (plus the per-query budgets), never on search state.
-    /// Panics are caught (one poisoned cone must not take down the
-    /// session) and read conservatively as "unsafe".
-    fn eval_one(
-        cones: &[Cone],
-        options: &Approx2Options,
-        gov: &OracleGovernor,
-        q: &ConeQuery,
-    ) -> ConeVerdict {
-        let cone = &cones[q.cone];
-        let run = catch_unwind(AssertUnwindSafe(|| {
-            // Fault-injection site at the top of a cone worker: a
-            // `panic` schedule exercises the catch_unwind below the
-            // same way a real poisoned cone would; `err`/`exhaust`
-            // forge the corresponding oracle failures.
+        // Reserve one oracle call; undo on overshoot so the final count
+        // never exceeds the cap even under concurrent reservation.
+        let prior = shared.oracle_calls.fetch_add(1, Ordering::Relaxed);
+        if prior >= shared.options.max_oracle_calls {
+            shared.oracle_calls.fetch_sub(1, Ordering::Relaxed);
+            release(shared);
+            out.truncated = true;
+            out.verdicts.push((k, None));
+            continue;
+        }
+        let run = catch_unwind(AssertUnwindSafe(|| -> Result<bool, BddError> {
+            // Fault-injection site at the top of a cone probe: a
+            // `panic` schedule exercises the catch_unwind the same way
+            // a real poisoned cone would; `err`/`exhaust` forge the
+            // corresponding oracle failures.
             match xrta_robust::failpoint::eval("approx2::cone") {
                 Some(xrta_robust::failpoint::Outcome::Exhausted) => {
                     return Err(BddError::Capacity {
-                        limit: gov.node_limit.unwrap_or(usize::MAX),
+                        limit: shared.gov.node_limit.unwrap_or(usize::MAX),
                     })
                 }
                 Some(xrta_robust::failpoint::Outcome::ReturnError) => {
@@ -338,138 +533,445 @@ impl<'n> Search<'n> {
                 }
                 None => {}
             }
-            let ft = FunctionalTiming::new(&cone.net, &cone.delays, q.proj.clone(), options.engine)
-                .with_conflict_budget(options.oracle_conflict_budget)
-                .with_propagation_budget(options.oracle_propagation_budget)
-                .with_node_limit(gov.node_limit)
-                .with_deadline(gov.deadline)
-                .with_cancel_flag(gov.cancel.clone());
+            match shared.options.engine {
+                EngineKind::Sat => {
+                    if engine.is_none() {
+                        engine = Some(shared.build_engine(batch, &values)?);
+                    }
+                    let eng = engine.as_mut().expect("engine just built");
+                    match eng.check_stable_variant(&cone.net, cone.out, cone.required, variant) {
+                        Stability::Stable => Ok(true),
+                        Stability::Unstable => Ok(false),
+                        Stability::Unknown => match eng.last_stop_reason() {
+                            Some(StopReason::Deadline) => Err(BddError::Deadline),
+                            Some(StopReason::Cancelled) => Err(BddError::Cancelled),
+                            // Conflict/propagation budget exhausted:
+                            // conservatively not provably safe.
+                            _ => Ok(false),
+                        },
+                    }
+                }
+                EngineKind::Bdd => {
+                    let ft = FunctionalTiming::new(
+                        &cone.net,
+                        &cone.delays,
+                        proj.clone(),
+                        EngineKind::Bdd,
+                    )
+                    .with_conflict_budget(shared.options.oracle_conflict_budget)
+                    .with_propagation_budget(shared.options.oracle_propagation_budget)
+                    .with_node_limit(shared.gov.node_limit)
+                    .with_deadline(shared.engine_deadline)
+                    .with_cancel_flag(shared.gov.cancel.clone());
+                    ft.try_stable_by(cone.out, cone.required)
+                }
+            }
+        }));
+        match run {
+            Ok(Ok(safe)) => {
+                shared.cache.insert(batch.cone, &proj, safe);
+                if !safe {
+                    shared.round_failed.fetch_or(1 << k, Ordering::Relaxed);
+                }
+                out.verdicts.push((k, Some(safe)));
+            }
+            // Node budget: this cone alone is too big for its oracle —
+            // conservatively unsafe, but keep searching (other cones
+            // may still answer). Deterministic, hence cacheable.
+            Ok(Err(BddError::Capacity { .. })) => {
+                shared.cache.insert(batch.cone, &proj, false);
+                shared.round_failed.fetch_or(1 << k, Ordering::Relaxed);
+                out.verdicts.push((k, Some(false)));
+            }
+            Ok(Err(BddError::Deadline)) => {
+                // The engine deadline is the tighter of the governor's
+                // deadline and the options' own wall-clock budget —
+                // attribute accordingly. Interrupt artifacts are not
+                // cached (they are not facts about the cone).
+                release(shared);
+                if shared.gov.deadline.is_some_and(|d| Instant::now() >= d) {
+                    out.stop = Some(AnalysisError::DeadlineExceeded);
+                } else {
+                    out.truncated = true;
+                }
+                out.verdicts.push((k, None));
+            }
+            Ok(Err(e)) => {
+                release(shared);
+                out.stop = Some(e.into());
+                out.verdicts.push((k, None));
+            }
+            Err(_) => {
+                // Poisoned cone: conservative "unsafe", drop the shared
+                // engine (its solver state is suspect) and keep going.
+                out.panics += 1;
+                engine = None;
+                shared.cache.insert(batch.cone, &proj, false);
+                shared.round_failed.fetch_or(1 << k, Ordering::Relaxed);
+                out.verdicts.push((k, Some(false)));
+            }
+        }
+    }
+    out
+}
+
+/// Runs one speculative probe on the calling thread. The verdicts it
+/// proves are the same pure facts the round path would compute —
+/// speculation changes *when* they are proven, never what they say.
+/// Every single-flight claim is resolved (`insert`) or released
+/// (`abandon`) on every exit path, so no waiter can stall on this
+/// probe.
+fn execute_spec(shared: &OracleShared, spec: &SpecProbe) {
+    for (c, proj) in &spec.cones {
+        if shared.spec_version.load(Ordering::Acquire) != spec.version {
+            return; // Stale: the climb has moved its base since.
+        }
+        if shared.gov.stop().is_some() || shared.time_exhausted() {
+            return;
+        }
+        let owned = match shared.cache.claim(*c, proj) {
+            Claim::Hit(true) => continue,
+            // One unsafe cone settles the whole vector; the remaining
+            // cones' verdicts are not worth oracle budget.
+            Claim::Hit(false) => return,
+            Claim::Owner => true,
+            Claim::TimedOut => false,
+        };
+        // Speculative probes draw from the same oracle-call budget as
+        // the climb's own (the cap is a cap, not a per-path quota).
+        let prior = shared.oracle_calls.fetch_add(1, Ordering::Relaxed);
+        if prior >= shared.options.max_oracle_calls {
+            shared.oracle_calls.fetch_sub(1, Ordering::Relaxed);
+            if owned {
+                shared.cache.abandon(*c, proj);
+            }
+            return;
+        }
+        let cone = &shared.cones[*c];
+        let run = catch_unwind(AssertUnwindSafe(|| -> Result<bool, BddError> {
+            // Same fault-injection site as a round probe — a schedule
+            // that poisons cone validations hits speculation too.
+            match xrta_robust::failpoint::eval("approx2::cone") {
+                Some(xrta_robust::failpoint::Outcome::Exhausted) => {
+                    return Err(BddError::Capacity {
+                        limit: shared.gov.node_limit.unwrap_or(usize::MAX),
+                    })
+                }
+                Some(xrta_robust::failpoint::Outcome::ReturnError) => {
+                    return Err(BddError::Deadline)
+                }
+                None => {}
+            }
+            // A fresh per-probe engine: speculation has no rung batch
+            // to amortise a varying engine over, and `FunctionalTiming`
+            // applies the identical verdict mapping (budget-exhausted
+            // reads conservatively unsafe) for both engine kinds.
+            let ft =
+                FunctionalTiming::new(&cone.net, &cone.delays, proj.clone(), shared.options.engine)
+                    .with_conflict_budget(shared.options.oracle_conflict_budget)
+                    .with_propagation_budget(shared.options.oracle_propagation_budget)
+                    .with_node_limit(shared.gov.node_limit)
+                    .with_deadline(shared.engine_deadline)
+                    .with_cancel_flag(shared.gov.cancel.clone());
             ft.try_stable_by(cone.out, cone.required)
         }));
         match run {
-            Ok(Ok(safe)) => ConeVerdict {
-                safe,
-                stop: None,
-                panicked: false,
-            },
-            // Node budget: this cone alone is too big for the BDD
-            // oracle — conservatively unsafe, but keep searching (other
-            // cones may still answer).
-            Ok(Err(BddError::Capacity { .. })) => ConeVerdict {
-                safe: false,
-                stop: None,
-                panicked: false,
-            },
-            Ok(Err(e)) => ConeVerdict {
-                safe: false,
-                stop: Some(e.into()),
-                panicked: false,
-            },
-            Err(_) => ConeVerdict {
-                safe: false,
-                stop: None,
-                panicked: true,
-            },
+            Ok(Ok(safe)) => {
+                shared.spec_solved.fetch_add(1, Ordering::Relaxed);
+                shared.cache.insert(*c, proj, safe);
+                if !safe {
+                    return;
+                }
+            }
+            // Deterministic budget verdict: cacheable, conservatively
+            // unsafe (same as the round path).
+            Ok(Err(BddError::Capacity { .. })) => {
+                shared.spec_solved.fetch_add(1, Ordering::Relaxed);
+                shared.cache.insert(*c, proj, false);
+                return;
+            }
+            // Deadline/cancellation artifacts are not facts about the
+            // cone; release the claim and let the coordinator attribute
+            // the interrupt on its own probes.
+            Ok(Err(_)) => {
+                if owned {
+                    shared.cache.abandon(*c, proj);
+                }
+                return;
+            }
+            Err(_) => {
+                shared.spec_panics.fetch_add(1, Ordering::Relaxed);
+                shared.cache.insert(*c, proj, false);
+                return;
+            }
+        }
+    }
+}
+
+/// Helper-thread main loop: pop (stealing when idle), execute, report.
+/// Round batches answer back over the channel; speculative probes
+/// resolve silently into the cache. Exits when the queues close.
+fn worker_loop(shared: &OracleShared, w: usize, tx: mpsc::Sender<BatchOut>) {
+    loop {
+        let epoch = shared.queues.epoch();
+        match shared.queues.pop(w) {
+            Some(Task::Round(batch)) => {
+                // `execute_batch` contains probe panics itself; this
+                // outer net only exists so a worker that dies anyway
+                // still sends a (conservative) result and cannot wedge
+                // the round.
+                let out = catch_unwind(AssertUnwindSafe(|| execute_batch(shared, &batch)))
+                    .unwrap_or_else(|_| BatchOut::poisoned(&batch));
+                if tx.send(out).is_err() {
+                    return;
+                }
+            }
+            Some(Task::Spec(spec)) => {
+                // Contained like a batch; a panic that escapes the
+                // per-probe net may leave one claim pending, which
+                // waiters shed via the claim timeout.
+                let _ = catch_unwind(AssertUnwindSafe(|| execute_spec(shared, &spec)));
+            }
+            None => {
+                if !shared.queues.wait(epoch) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+struct Search {
+    shared: Arc<OracleShared>,
+    candidates: Vec<Vec<Time>>,
+    r_bottom: Vec<Time>,
+    /// Whole-vector verdict caches (coordinator-only; per-cone verdicts
+    /// live in the shared striped cache).
+    exact_full: FxHashMap<Vec<Time>, bool>,
+    dom_full: DominanceCache,
+    full_hits: usize,
+    first_nontrivial: Option<Duration>,
+    out_of_budget: bool,
+    interrupted: Option<AnalysisError>,
+    worker_panics: usize,
+    /// Last [`OracleShared::spec_version`] speculation was planned
+    /// against; a mismatch resets the window.
+    spec_version_seen: u64,
+    /// Rotation index (within the current climb pass) up to which
+    /// step-1 speculation has been enqueued for the current base.
+    spec_upto: usize,
+    /// Lazily spawned helper threads (slots `1..` of the queues).
+    helpers: Vec<JoinHandle<()>>,
+    tx: mpsc::Sender<BatchOut>,
+    rx: mpsc::Receiver<BatchOut>,
+}
+
+impl Search {
+    fn options(&self) -> &Approx2Options {
+        &self.shared.options
+    }
+
+    fn project(&self, cone: usize, r: &[Time]) -> Vec<Time> {
+        self.shared.cones[cone]
+            .input_pos
+            .iter()
+            .map(|&p| r[p])
+            .collect()
+    }
+
+    fn query_full(&mut self, r: &[Time]) -> Option<bool> {
+        match self.options().cache {
+            CacheStrategy::Exact => self.exact_full.get(r).copied(),
+            CacheStrategy::Dominance => self.dom_full.query(r),
         }
     }
 
-    /// Evaluates a batch of cone queries, fanning across worker threads
-    /// when more than one query is pending. Returns `None` (after
-    /// evaluating and caching what the budget still allowed) when an
-    /// oracle-call, wall-clock or governor budget cuts the batch short.
-    fn evaluate_queries(&mut self, queries: &[ConeQuery]) -> Option<Vec<bool>> {
-        if queries.is_empty() {
-            return Some(Vec::new());
+    /// Non-counting [`Search::query_full`] — speculation planning must
+    /// not inflate the reported hit counters.
+    fn peek_full(&self, r: &[Time]) -> Option<bool> {
+        match self.options().cache {
+            CacheStrategy::Exact => self.exact_full.get(r).copied(),
+            CacheStrategy::Dominance => self.dom_full.peek(r),
         }
-        if let Some(e) = self.governor_stop() {
-            self.interrupted.get_or_insert(e);
-            self.out_of_budget = true;
-            return None;
+    }
+
+    fn record_full(&mut self, r: &[Time], safe: bool) {
+        match self.options().cache {
+            CacheStrategy::Exact => {
+                self.exact_full.insert(r.to_vec(), safe);
+            }
+            CacheStrategy::Dominance => self.dom_full.insert(r, safe),
         }
-        if self.time_exhausted() {
-            self.out_of_budget = true;
-            return None;
+        if safe && self.first_nontrivial.is_none() && r != self.r_bottom.as_slice() {
+            self.first_nontrivial = Some(self.shared.started.elapsed());
         }
-        let remaining = self
-            .options
-            .max_oracle_calls
-            .saturating_sub(self.oracle_calls);
-        let truncated = queries.len() > remaining;
-        let run = if truncated {
-            &queries[..remaining]
-        } else {
-            queries
-        };
-        self.oracle_calls += run.len();
-        let threads = self.options.effective_threads().min(run.len());
-        let verdicts: Vec<ConeVerdict> = if threads <= 1 {
-            run.iter()
-                .map(|q| Self::eval_one(self.cones, &self.options, &self.gov, q))
-                .collect()
-        } else {
-            let cones = self.cones;
-            let options = &self.options;
-            let gov = &self.gov;
-            std::thread::scope(|s| {
-                // Round-robin assignment keeps chunks balanced without
-                // reordering; verdicts land by index.
-                let handles: Vec<_> = (0..threads)
-                    .map(|w| {
-                        let work: Vec<(usize, &ConeQuery)> = run
-                            .iter()
-                            .enumerate()
-                            .filter(|(k, _)| k % threads == w)
-                            .collect();
-                        s.spawn(move || {
-                            work.into_iter()
-                                .map(|(k, q)| (k, Self::eval_one(cones, options, gov, q)))
-                                .collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                // Slots left untouched by a worker that died outside
-                // eval_one's catch_unwind stay at the conservative
-                // panicked/unsafe default.
-                let mut out = vec![
-                    ConeVerdict {
-                        safe: false,
-                        stop: None,
-                        panicked: true,
-                    };
-                    run.len()
-                ];
-                for h in handles {
-                    if let Ok(items) = h.join() {
-                        for (k, v) in items {
-                            out[k] = v;
-                        }
-                    }
+    }
+
+    /// Spawns the helper threads (slots `1..` of the queues), once.
+    fn spawn_helpers(&mut self) {
+        let slots = self.shared.queues.workers();
+        for w in 1..slots {
+            let shared = Arc::clone(&self.shared);
+            let tx = self.tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("xrta-oracle-{w}"))
+                .spawn(move || worker_loop(&shared, w, tx))
+                .expect("spawn oracle worker");
+            self.helpers.push(handle);
+        }
+    }
+
+    /// Closes the queues and joins the helpers. Round batches are
+    /// always drained between rounds; the version bump makes any
+    /// still-queued speculative probes drop on dequeue, so join waits
+    /// for at most one in-flight probe per helper.
+    fn shutdown(&mut self) {
+        self.bump_spec_version();
+        self.shared.queues.close();
+        for h in self.helpers.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Executes one round of batches and collects every result (a
+    /// barrier: the queues are empty again when this returns). Inline
+    /// on the calling thread while the frontier is trivial; otherwise
+    /// batches are seeded round-robin across the worker deques and the
+    /// coordinator participates, with idle workers stealing.
+    fn run_round(&mut self, batches: Vec<Batch>) -> Vec<BatchOut> {
+        self.shared.round_failed.store(0, Ordering::Relaxed);
+        let n = batches.len();
+        let slots = self.shared.queues.workers();
+        let warm = self.shared.oracle_calls.load(Ordering::Relaxed) >= WARMUP_ORACLE_CALLS;
+        let engage = slots > 1 && n > 1 && (warm || !self.helpers.is_empty());
+        if !engage {
+            // Single batch, single thread, or a still-cold search:
+            // execute in cone order on this thread (the cross-cone
+            // short-circuit still applies via `round_failed`).
+            return batches
+                .iter()
+                .map(|b| execute_batch(&self.shared, b))
+                .collect();
+        }
+        if self.helpers.is_empty() {
+            self.spawn_helpers();
+        }
+        for (j, b) in batches.into_iter().enumerate() {
+            self.shared.queues.push_local(j % slots, Task::Round(b));
+        }
+        let mut outs = Vec::with_capacity(n);
+        while outs.len() < n {
+            // `pop_round`, not `pop`: the coordinator is awaiting this
+            // round's barrier and must not pick up a long speculative
+            // probe from the injector while batches are outstanding.
+            if let Some(task) = self.shared.queues.pop_round(0) {
+                match task {
+                    Task::Round(batch) => outs.push(execute_batch(&self.shared, &batch)),
+                    // Specs never land in worker deques, but stay total.
+                    Task::Spec(spec) => execute_spec(&self.shared, &spec),
                 }
-                out
-            })
-        };
-        for (q, v) in run.iter().zip(&verdicts) {
-            if v.panicked {
-                self.worker_panics += 1;
-            }
-            if let Some(e) = v.stop {
-                // A deadline/cancel interrupt inside an engine: its
-                // verdict is an artifact of the interrupt, not a fact
-                // about the cone — do not cache it.
-                self.interrupted.get_or_insert(e);
-                self.out_of_budget = true;
             } else {
-                self.record_out(q.cone, &q.proj, v.safe);
+                match self.rx.recv_timeout(Duration::from_millis(50)) {
+                    Ok(out) => outs.push(out),
+                    Err(mpsc::RecvTimeoutError::Timeout) => {}
+                    // Unreachable (we hold a sender), but never hang.
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                }
             }
         }
-        if self.interrupted.is_some() {
-            return None;
+        outs
+    }
+
+    /// Plans speculative step-1 probes for the next [`SPEC_WINDOW`]
+    /// coordinates of the rotation at the current base `r`, pushing
+    /// them to the injector for idle workers. No-op until the search is
+    /// warm (trivial circuits stay single-threaded). `k` is the
+    /// rotation index about to be climbed.
+    ///
+    /// **Waste-freedom.** A speculated probe for coordinate `j` is only
+    /// planned for cones whose support is *disjoint* from every
+    /// coordinate the climb may raise before it reaches `j` (rotation
+    /// positions `k..j`). Raising any of those coordinates cannot
+    /// change such a cone's projection, and `r[j]` itself only moves
+    /// when the climb ascends `j` — so the planned `(cone, projection)`
+    /// is exactly the probe the climb's own step-1 round will need.
+    /// Speculation therefore shifts oracle calls earlier in time but
+    /// adds none: the parallel call count tracks the sequential one by
+    /// construction, instead of gambling on a base that dense circuits
+    /// invalidate constantly.
+    fn maybe_speculate(&mut self, r: &[Time], start: usize, k: usize) {
+        let slots = self.shared.queues.workers();
+        if slots <= 1
+            || self.shared.oracle_calls.load(Ordering::Relaxed) < WARMUP_ORACLE_CALLS
+            || self.out_of_budget
+        {
+            return;
         }
-        if truncated {
-            self.out_of_budget = true;
-            return None;
+        if self.helpers.is_empty() {
+            self.spawn_helpers();
         }
-        Some(verdicts.into_iter().map(|v| v.safe).collect())
+        let version = self.shared.spec_version.load(Ordering::Acquire);
+        if version != self.spec_version_seen {
+            // Base moved: whatever was enqueued before is stale (the
+            // workers drop it); re-plan the window at the new base.
+            self.spec_version_seen = version;
+            self.spec_upto = 0;
+        }
+        let n = r.len();
+        let from = self.spec_upto.max(k + 1);
+        let to = (k + 1 + SPEC_WINDOW).min(n);
+        if from >= to {
+            return;
+        }
+        // Union of the supports that may move before the climb reaches
+        // each speculated coordinate: positions k..j in rotation order.
+        let words = self.shared.cones.first().map_or(0, |c| c.mask.len());
+        let mut blocked = vec![0u64; words.max(1)];
+        let mark = |blocked: &mut [u64], pos: usize| {
+            blocked[pos / 64] |= 1 << (pos % 64);
+        };
+        // Positions before `k` were already climbed this pass and stay
+        // put until after `j` is probed; only `k..from` may still move.
+        for j in k..from {
+            mark(&mut blocked, (start + j) % n);
+        }
+        for j in from..to {
+            mark(&mut blocked, (start + j - 1) % n);
+            let i = (start + j) % n;
+            let cands = &self.candidates[i];
+            let Some(pos) = cands.iter().position(|&c| c == r[i]) else {
+                continue;
+            };
+            if pos + 1 >= cands.len() {
+                continue; // already at the top
+            }
+            let mut v = r.to_vec();
+            v[i] = cands[pos + 1];
+            if self.peek_full(&v).is_some() {
+                continue; // the climb will answer this from the caches
+            }
+            let cones: Vec<(usize, Vec<Time>)> = (0..self.shared.cones.len())
+                .filter(|&c| {
+                    let cone = &self.shared.cones[c];
+                    cone.supports(i) && cone.mask.iter().zip(&blocked).all(|(m, b)| m & b == 0)
+                })
+                .map(|c| (c, self.project(c, &v)))
+                .collect();
+            if cones.is_empty() {
+                continue;
+            }
+            self.shared
+                .queues
+                .push(Task::Spec(SpecProbe { cones, version }));
+        }
+        self.spec_upto = self.spec_upto.max(to);
+    }
+
+    /// Declares the climb's base point changed: in-flight and queued
+    /// speculative probes against the old base are dropped, and the
+    /// next [`Search::maybe_speculate`] re-plans its window.
+    fn bump_spec_version(&self) {
+        self.shared.spec_version.fetch_add(1, Ordering::Release);
     }
 
     /// Safety verdicts for raising coordinate `i` of the **safe** point
@@ -478,84 +980,111 @@ impl<'n> Search<'n> {
     /// verdict from `base` (the incremental re-check). Returns `None`
     /// when a budget stops evaluation.
     fn probe_rungs(&mut self, base: &[Time], i: usize, rungs: &[Time]) -> Option<Vec<bool>> {
-        let relevant: Vec<usize> = (0..self.cones.len())
-            .filter(|&c| self.cones[c].supports(i))
+        assert!(rungs.len() <= 64, "round bitmask width");
+        if let Some(e) = self.shared.gov.stop() {
+            self.interrupted.get_or_insert(e);
+            self.out_of_budget = true;
+            return None;
+        }
+        if self.shared.time_exhausted() {
+            self.out_of_budget = true;
+            return None;
+        }
+        let relevant: Vec<usize> = (0..self.shared.cones.len())
+            .filter(|&c| self.shared.cones[c].supports(i))
             .collect();
         // Per rung: Some(verdict) once known, else the cones still
         // needing an oracle run.
         let mut verdicts: Vec<Option<bool>> = Vec::with_capacity(rungs.len());
-        let mut pending: Vec<(usize, ConeQuery)> = Vec::new();
-        for (k, &rung) in rungs.iter().enumerate() {
+        let mut unresolved: Vec<Vec<usize>> = Vec::with_capacity(rungs.len());
+        for &rung in rungs {
             let mut v = base.to_vec();
             v[i] = rung;
             if let Some(known) = self.query_full(&v) {
-                self.cache_hits += 1;
+                self.full_hits += 1;
                 verdicts.push(Some(known));
+                unresolved.push(Vec::new());
                 continue;
             }
-            let mut unresolved = Vec::new();
+            let mut todo = Vec::new();
             let mut known_unsafe = false;
             for &c in &relevant {
                 let proj = self.project(c, &v);
-                match self.query_out(c, &proj) {
-                    Some(true) => self.cache_hits += 1,
+                match self.shared.cache.query(c, &proj) {
+                    Some(true) => {}
                     Some(false) => {
-                        self.cache_hits += 1;
                         known_unsafe = true;
                         break;
                     }
-                    None => unresolved.push((c, proj)),
+                    None => todo.push(c),
                 }
             }
             if known_unsafe {
                 verdicts.push(Some(false));
                 self.record_full(&v, false);
-            } else if unresolved.is_empty() {
+                unresolved.push(Vec::new());
+            } else if todo.is_empty() {
                 verdicts.push(Some(true));
                 self.record_full(&v, true);
+                unresolved.push(Vec::new());
             } else {
                 verdicts.push(None);
-                pending.extend(
-                    unresolved
-                        .into_iter()
-                        .map(|(cone, proj)| (k, ConeQuery { cone, proj })),
-                );
+                unresolved.push(todo);
             }
         }
-        if !pending.is_empty() {
-            let parallel = self.options.effective_threads() > 1 && pending.len() > 1;
-            let mut failed: Vec<bool> = vec![false; rungs.len()];
-            if parallel {
-                // Speculative: evaluate everything at once.
-                let queries: Vec<ConeQuery> = pending
-                    .iter()
-                    .map(|(_, q)| ConeQuery {
-                        cone: q.cone,
-                        proj: q.proj.clone(),
-                    })
+        if unresolved.iter().any(|u| !u.is_empty()) {
+            // One batch per cone, in cone-index order, carrying every
+            // rung that still needs this cone's verdict.
+            let mut batches: Vec<Batch> = Vec::new();
+            for &c in &relevant {
+                let pending: Vec<(usize, Time)> = (0..rungs.len())
+                    .filter(|&k| unresolved[k].contains(&c))
+                    .map(|k| (k, rungs[k]))
                     .collect();
-                let res = self.evaluate_queries(&queries)?;
-                for ((k, _), v) in pending.iter().zip(res) {
-                    if !v {
-                        failed[*k] = true;
-                    }
+                if pending.is_empty() {
+                    continue;
                 }
-            } else {
-                // Sequential: evaluate in rung order, skipping the rest
-                // of a rung's cones after its first unsafe verdict.
-                for (k, q) in &pending {
-                    if failed[*k] {
-                        continue;
-                    }
-                    let res = self.evaluate_queries(std::slice::from_ref(q))?;
-                    if !res[0] {
-                        failed[*k] = true;
-                    }
-                }
+                let vary = self.shared.cones[c]
+                    .input_pos
+                    .iter()
+                    .position(|&p| p == i)
+                    .expect("cone supports the raised coordinate");
+                batches.push(Batch {
+                    cone: c,
+                    vary,
+                    proj: self.project(c, base),
+                    rungs: pending,
+                });
             }
+            let outs = self.run_round(batches);
+            let mut rung_unsafe = vec![false; rungs.len()];
+            let mut stop: Option<AnalysisError> = None;
+            let mut truncated = false;
+            for out in outs {
+                self.worker_panics += out.panics;
+                for (k, v) in out.verdicts {
+                    if v == Some(false) {
+                        rung_unsafe[k] = true;
+                    }
+                }
+                if let Some(e) = out.stop {
+                    stop.get_or_insert(e);
+                }
+                truncated |= out.truncated;
+            }
+            if let Some(e) = stop {
+                self.interrupted.get_or_insert(e);
+                self.out_of_budget = true;
+                return None;
+            }
+            if truncated {
+                self.out_of_budget = true;
+                return None;
+            }
+            let failed_mask = self.shared.round_failed.load(Ordering::Relaxed);
             for (k, verdict) in verdicts.iter_mut().enumerate() {
                 if verdict.is_none() {
-                    let safe = !failed[k];
+                    let safe = !rung_unsafe[k] && failed_mask >> k & 1 == 0;
                     let mut v = base.to_vec();
                     v[i] = rungs[k];
                     self.record_full(&v, safe);
@@ -574,7 +1103,7 @@ impl<'n> Search<'n> {
         if pos + 1 >= cands.len() {
             return false;
         }
-        match self.options.cache {
+        match self.options().cache {
             CacheStrategy::Exact => self.ascend_linear(r, i, &cands, pos),
             CacheStrategy::Dominance => self.ascend_ladder(r, i, &cands, pos),
         }
@@ -596,10 +1125,11 @@ impl<'n> Search<'n> {
     }
 
     /// Galloping ascent exploiting monotonicity: next rung, then top
-    /// rung, then a binary search of the frontier in between. With
-    /// multiple worker threads each bisection round probes several
-    /// evenly spaced rungs speculatively; verdicts are pure, so the
-    /// frontier found is the same as sequential bisection.
+    /// rung, then a binary search of the frontier in between, probing
+    /// [`LADDER_PROBES`] evenly spaced rungs per round. The probe width
+    /// is fixed — never derived from the thread count — so the search
+    /// transcript is identical for every thread count; parallelism only
+    /// spreads a round's cone batches across workers.
     fn ascend_ladder(&mut self, r: &mut [Time], i: usize, cands: &[Time], pos: usize) -> bool {
         // Step 1: the immediate next rung (cheap "cannot move" exit —
         // the common case on tight coordinates).
@@ -626,10 +1156,10 @@ impl<'n> Search<'n> {
             }
         }
         let mut hi = top; // lowest rung verified unsafe
-                          // Step 3: bisect (lo, hi); with t threads probe up to t rungs
-                          // per round.
+                          // Step 3: bisect (lo, hi) with a fixed number
+                          // of probes per round.
         while hi - lo > 1 {
-            let k = self.options.effective_threads().min(hi - lo - 1).max(1);
+            let k = LADDER_PROBES.min(hi - lo - 1).max(1);
             let mut picks: Vec<usize> = (1..=k)
                 .map(|j| (lo + j * (hi - lo) / (k + 1)).clamp(lo + 1, hi - 1))
                 .collect();
@@ -663,17 +1193,19 @@ impl<'n> Search<'n> {
     /// Bounded enumeration of maximal safe points (§4.3's backtracking
     /// refinement, capped): up to `max_solutions` greedy climbs, each
     /// visiting the coordinates in a different rotation so incomparable
-    /// maxima are found when the raise order matters. Exhaustive DFS over
-    /// the lattice is avoided — on wide circuits the number of
-    /// intermediate safe points is combinatorial.
+    /// maxima are found when the raise order matters. Duplicates merge
+    /// min-attempt-index first, so the reported order is deterministic.
+    /// Exhaustive DFS over the lattice is avoided — on wide circuits
+    /// the number of intermediate safe points is combinatorial.
     fn enumerate(&mut self, bottom: Vec<Time>) -> Vec<Vec<Time>> {
         let n = bottom.len().max(1);
         let mut maximal: Vec<Vec<Time>> = Vec::new();
-        for attempt in 0..self.options.max_solutions {
+        let max_solutions = self.options().max_solutions;
+        for attempt in 0..max_solutions {
             if self.out_of_budget {
                 break;
             }
-            let start = (attempt * n) / self.options.max_solutions.max(1);
+            let start = (attempt * n) / max_solutions.max(1);
             let m = self.climb_rotated(bottom.clone(), start);
             if !maximal.contains(&m) {
                 maximal.push(m);
@@ -683,14 +1215,22 @@ impl<'n> Search<'n> {
     }
 
     /// Greedy ascent visiting coordinates starting from index `start`.
+    /// The climb itself is sequential (each raise depends on the last
+    /// verdict); speculation keeps the helpers busy pre-solving the
+    /// step-1 probes of the coordinates just ahead, and every base
+    /// change invalidates what they haven't started yet.
     fn climb_rotated(&mut self, mut r: Vec<Time>, start: usize) -> Vec<Time> {
         let n = r.len();
+        self.bump_spec_version();
         loop {
             let mut progressed = false;
+            self.spec_upto = 0;
             for k in 0..n {
                 let i = (start + k) % n;
+                self.maybe_speculate(&r, start, k);
                 if self.ascend(&mut r, i) {
                     progressed = true;
+                    self.bump_spec_version();
                 }
                 if self.out_of_budget {
                     return r;
@@ -709,8 +1249,8 @@ impl<'n> Search<'n> {
 /// planning pass (the times at which χ leaves are referenced), whose
 /// minimum is the topological required time; `∞` is appended when
 /// [`Approx2Options::allow_never`] is set. See the module docs for the
-/// oracle architecture (per-cone engines, worker threads, dominance
-/// cache).
+/// oracle architecture (per-cone engines, work-stealing workers, shared
+/// striped dominance cache).
 ///
 /// # Panics
 ///
@@ -726,7 +1266,7 @@ pub fn approx2_required_times<D: DelayModel>(
 }
 
 /// Budget-governed form of [`approx2_required_times`]. The budget's
-/// deadline and cancel flag are polled between validation batches *and*
+/// deadline and cancel flag are polled between validation rounds *and*
 /// inside the per-cone engines; its SAT conflict budget tightens
 /// [`Approx2Options::oracle_conflict_budget`] and its node limit bounds
 /// the BDD oracle. A deadline yields `Ok` with the sound partial result
@@ -831,27 +1371,54 @@ pub fn approx2_required_times_governed<D: DelayModel>(
         .collect();
 
     let n_cones = cones.len();
-    let mut search = Search {
-        candidates,
+    let fingerprints: Vec<u64> = cones
+        .iter()
+        .enumerate()
+        .map(|(c, cone)| support_fingerprint(c, &cone.mask))
+        .collect();
+    let gov = OracleGovernor {
+        deadline: budget.deadline(),
+        cancel: Some(budget.cancel_flag()),
+        node_limit: budget.node_limit(),
+    };
+    let time_cap = options.time_budget.map(|b| started + b);
+    let engine_deadline = match (gov.deadline, time_cap) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    };
+    let shared = Arc::new(OracleShared {
+        cones,
         options,
-        cones: &cones,
+        gov,
+        engine_deadline,
+        started,
+        cache: StripedVerdictCache::new(options.cache, &fingerprints),
+        oracle_calls: AtomicUsize::new(0),
+        batches: AtomicUsize::new(0),
+        batched_probes: AtomicUsize::new(0),
+        round_failed: AtomicU64::new(0),
+        spec_version: AtomicU64::new(0),
+        spec_solved: AtomicUsize::new(0),
+        spec_panics: AtomicUsize::new(0),
+        queues: StealQueues::new(options.worker_slots()),
+    });
+    let (tx, rx) = mpsc::channel();
+    let mut search = Search {
+        shared: Arc::clone(&shared),
+        candidates,
         r_bottom: r_bottom.clone(),
         exact_full: FxHashMap::default(),
-        exact_out: FxHashMap::default(),
         dom_full: DominanceCache::new(),
-        dom_out: (0..n_cones).map(|_| DominanceCache::new()).collect(),
-        oracle_calls: 0,
-        cache_hits: 0,
-        started,
+        full_hits: 0,
         first_nontrivial: None,
         out_of_budget: false,
-        gov: OracleGovernor {
-            deadline: budget.deadline(),
-            cancel: Some(budget.cancel_flag()),
-            node_limit: budget.node_limit(),
-        },
         interrupted: None,
         worker_panics: 0,
+        spec_version_seen: 0,
+        spec_upto: 0,
+        helpers: Vec::new(),
+        tx,
+        rx,
     };
 
     // The bottom is safe by construction (topological analysis is
@@ -860,7 +1427,7 @@ pub fn approx2_required_times_governed<D: DelayModel>(
     search.record_full(&r_bottom, true);
     for c in 0..n_cones {
         let proj = search.project(c, &r_bottom);
-        search.record_out(c, &proj, true);
+        shared.cache.insert(c, &proj, true);
     }
 
     let maximal = if options.max_solutions <= 1 {
@@ -872,6 +1439,8 @@ pub fn approx2_required_times_governed<D: DelayModel>(
         }
         m
     };
+
+    search.shutdown();
 
     if search.interrupted == Some(AnalysisError::Interrupted) {
         // Cancellation means "stop, the caller no longer wants an
@@ -886,12 +1455,17 @@ pub fn approx2_required_times_governed<D: DelayModel>(
         candidates: search.candidates,
         first_nontrivial: search.first_nontrivial,
         total_time: started.elapsed(),
-        oracle_calls: search.oracle_calls,
-        cache_hits: search.cache_hits,
+        oracle_calls: shared.oracle_calls.load(Ordering::Relaxed),
+        cache_hits: search.full_hits + shared.cache.hits(),
         threads_used: options.effective_threads(),
+        steals: shared.queues.steals(),
+        shard_contention: shared.cache.contention(),
+        batches: shared.batches.load(Ordering::Relaxed),
+        batched_probes: shared.batched_probes.load(Ordering::Relaxed),
+        spec_probes: shared.spec_solved.load(Ordering::Relaxed),
         completed: !search.out_of_budget,
         stopped_by: search.interrupted,
-        worker_panics: search.worker_panics,
+        worker_panics: search.worker_panics + shared.spec_panics.load(Ordering::Relaxed),
     })
 }
 
@@ -1176,5 +1750,92 @@ mod tests {
         // maximal point — the dominance cache must absorb some of it.
         assert!(r.cache_hits > 0);
         assert!(r.cache_hit_rate() > 0.0 && r.cache_hit_rate() < 1.0);
+    }
+
+    /// `width` parallel mux-bypass slices sharing a select line and
+    /// chaining data inputs — enough cones and rungs to push the
+    /// oracle past its warm-up threshold.
+    fn wide_bypass(width: usize) -> Network {
+        let mut net = Network::new("wide");
+        let s = net.add_input("s").unwrap();
+        let xs: Vec<NodeId> = (0..=width)
+            .map(|i| net.add_input(format!("x{i}").as_str()).unwrap())
+            .collect();
+        for i in 0..width {
+            let b1 = net
+                .add_gate(format!("b1_{i}").as_str(), GateKind::Buf, &[xs[i]])
+                .unwrap();
+            let b2 = net
+                .add_gate(format!("b2_{i}").as_str(), GateKind::Buf, &[b1])
+                .unwrap();
+            let m1 = net
+                .add_gate(format!("m1_{i}").as_str(), GateKind::Mux, &[s, xs[i], b2])
+                .unwrap();
+            let z = net
+                .add_gate(format!("z{i}").as_str(), GateKind::Mux, &[s, m1, xs[i + 1]])
+                .unwrap();
+            net.mark_output(z);
+        }
+        net
+    }
+
+    #[test]
+    fn oversubscribed_multiworker_agrees_with_serial() {
+        // The worker-slot clamp keeps multi-worker paths dormant on
+        // small machines; lift it so helpers, stealing, speculation and
+        // single-flight claims all run even on one core. Any
+        // interleaving must produce the serial analysis, and the
+        // disjoint-support speculation filter must keep the parallel
+        // call count at the sequential level.
+        std::env::set_var("XRTA_OVERSUBSCRIBE", "1");
+        let net = wide_bypass(6);
+        let req = vec![Time::new(4); 6];
+        let run = |threads| {
+            approx2_required_times(
+                &net,
+                &UnitDelay,
+                &req,
+                Approx2Options {
+                    threads,
+                    ..Approx2Options::default()
+                },
+            )
+        };
+        let seq = run(1);
+        let par = run(4);
+        std::env::remove_var("XRTA_OVERSUBSCRIBE");
+        assert!(
+            seq.oracle_calls >= WARMUP_ORACLE_CALLS,
+            "circuit too small to engage helpers ({} calls)",
+            seq.oracle_calls
+        );
+        assert_eq!(seq.maximal, par.maximal);
+        assert_eq!(seq.candidates, par.candidates);
+        assert_eq!(seq.r_bottom, par.r_bottom);
+        assert!(
+            par.oracle_calls <= seq.oracle_calls + seq.oracle_calls / 10,
+            "parallel oracle calls {} exceed sequential {} by more than 10%",
+            par.oracle_calls,
+            seq.oracle_calls
+        );
+    }
+
+    #[test]
+    fn trivial_circuit_never_spawns_helpers() {
+        // The whole climb on this circuit needs far fewer oracle calls
+        // than the warm-up threshold, so the search must run entirely
+        // on the calling thread: no steals, no batched hand-offs.
+        let net = mux_false_path();
+        let r = approx2_required_times(
+            &net,
+            &UnitDelay,
+            &[Time::new(4)],
+            Approx2Options {
+                threads: 4,
+                ..Approx2Options::default()
+            },
+        );
+        assert!(r.oracle_calls < WARMUP_ORACLE_CALLS);
+        assert_eq!(r.steals, 0, "cold search must not engage the pool");
     }
 }

@@ -1,0 +1,259 @@
+//! Work-stealing task queues for the §4.3 oracle workers.
+//!
+//! The old oracle split each validation batch statically
+//! (`k % threads == w`) and re-spawned `std::thread::scope` workers per
+//! batch, so one slow cone serialized the whole round and trivial
+//! circuits paid thread-spawn latency hundreds of times. This module
+//! provides the queue half of the replacement: a **global injector**
+//! plus **per-worker stealable deques**. The coordinator seeds a
+//! round's batches round-robin into the worker deques; each worker
+//! drains its own deque LIFO and, when empty, steals FIFO from its
+//! siblings (oldest first — the classic split that keeps stolen work
+//! coarse), falling back to the injector, which holds lower-priority
+//! speculative probes. Idle workers park on a condvar and are woken by
+//! pushes; `close` wakes everyone for shutdown.
+//!
+//! The queues are deliberately std-only (`Mutex<VecDeque>` per deque —
+//! the workspace builds offline, so no crossbeam): oracle tasks are
+//! milliseconds-to-seconds of SAT solving, so queue overhead is noise,
+//! and a mutex per deque keeps the memory model trivially sound.
+//! Poisoning is tolerated everywhere — a panicking worker must not
+//! wedge the pool.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Poison-tolerant lock (see the module docs).
+fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// A global injector plus `n` stealable worker deques. Slot `0` is, by
+/// convention, the coordinating thread — it participates in every
+/// round, so helpers only ever add parallelism, never replace it.
+pub struct StealQueues<T> {
+    injector: Mutex<VecDeque<T>>,
+    locals: Vec<Mutex<VecDeque<T>>>,
+    steals: AtomicUsize,
+    open: AtomicBool,
+    /// Epoch bumped on every push/close; parked workers compare it to
+    /// decide whether a wakeup is stale.
+    gate: Mutex<u64>,
+    bell: Condvar,
+}
+
+impl<T> StealQueues<T> {
+    /// Creates queues for `workers` slots (≥ 1; slot 0 included).
+    pub fn new(workers: usize) -> Self {
+        StealQueues {
+            injector: Mutex::new(VecDeque::new()),
+            locals: (0..workers.max(1))
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            steals: AtomicUsize::new(0),
+            open: AtomicBool::new(true),
+            gate: Mutex::new(0),
+            bell: Condvar::new(),
+        }
+    }
+
+    /// Number of worker slots.
+    pub fn workers(&self) -> usize {
+        self.locals.len()
+    }
+
+    /// Pushes one task to the global injector and wakes workers. The
+    /// coordinator seeds round batches via [`StealQueues::push_local`];
+    /// the injector holds speculative probes, which every worker
+    /// deprioritizes below round work.
+    pub fn push(&self, task: T) {
+        plock(&self.injector).push_back(task);
+        self.ring();
+    }
+
+    /// Pushes one task to worker `w`'s own deque (stealable by others)
+    /// and wakes workers.
+    pub fn push_local(&self, w: usize, task: T) {
+        plock(&self.locals[w]).push_back(task);
+        self.ring();
+    }
+
+    /// Takes one task for worker `w`: own deque first (newest first —
+    /// best cache locality), then steal the oldest task of a sibling,
+    /// then the injector. Round batches live in the worker deques and
+    /// speculative work in the injector, so this order finishes the
+    /// round barrier before burning time on speculation.
+    pub fn pop(&self, w: usize) -> Option<T> {
+        if let Some(t) = self.pop_round(w) {
+            return Some(t);
+        }
+        plock(&self.injector).pop_front()
+    }
+
+    /// Like [`StealQueues::pop`] but never touches the injector: worker
+    /// deques only. The coordinator uses this while it waits on a round
+    /// barrier — picking up a long speculative task there would stall
+    /// the whole round behind it.
+    pub fn pop_round(&self, w: usize) -> Option<T> {
+        if let Some(t) = plock(&self.locals[w]).pop_back() {
+            return Some(t);
+        }
+        let n = self.locals.len();
+        for step in 1..n {
+            let victim = (w + step) % n;
+            if let Some(t) = plock(&self.locals[victim]).pop_front() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// The current push epoch; snapshot it *before* a failed
+    /// [`StealQueues::pop`] so [`StealQueues::wait`] cannot miss a push
+    /// that raced in between.
+    pub fn epoch(&self) -> u64 {
+        *plock(&self.gate)
+    }
+
+    /// Parks until the epoch moves past `seen` or the pool closes.
+    /// Returns `false` when closed (the worker should exit).
+    pub fn wait(&self, seen: u64) -> bool {
+        let mut g = plock(&self.gate);
+        loop {
+            if !self.open.load(Ordering::Acquire) {
+                return false;
+            }
+            if *g != seen {
+                return true;
+            }
+            g = self
+                .bell
+                .wait(g)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// Closes the pool: wakes every parked worker to exit. Queued tasks
+    /// may remain; callers only close between rounds, when the queues
+    /// are drained.
+    pub fn close(&self) {
+        self.open.store(false, Ordering::Release);
+        self.ring();
+    }
+
+    /// Tasks taken from a sibling's deque rather than one's own or the
+    /// injector.
+    pub fn steals(&self) -> usize {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    fn ring(&self) {
+        *plock(&self.gate) += 1;
+        self.bell.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn single_slot_is_a_fifo_through_the_injector() {
+        let q = StealQueues::new(1);
+        q.push(1);
+        q.push(2);
+        q.push_local(0, 3);
+        // Own deque beats the injector; within the injector, FIFO.
+        assert_eq!(q.pop(0), Some(3));
+        assert_eq!(q.pop(0), Some(1));
+        assert_eq!(q.pop(0), Some(2));
+        assert_eq!(q.pop(0), None);
+    }
+
+    #[test]
+    fn pop_round_skips_the_injector() {
+        let q = StealQueues::new(2);
+        q.push(10);
+        q.push_local(1, 20);
+        // Round pops see worker deques (own or stolen) but never the
+        // injector's speculative work.
+        assert_eq!(q.pop_round(0), Some(20));
+        assert_eq!(q.pop_round(0), None);
+        assert_eq!(q.pop(0), Some(10));
+    }
+
+    #[test]
+    fn idle_workers_steal_from_a_loaded_sibling() {
+        let q = StealQueues::new(3);
+        for i in 0..6 {
+            q.push_local(0, i);
+        }
+        // Worker 1 has nothing of its own: it must steal the *oldest*
+        // items of worker 0.
+        assert_eq!(q.pop(1), Some(0));
+        assert_eq!(q.pop(2), Some(1));
+        assert_eq!(q.steals(), 2);
+        // Worker 0 still drains its own deque newest-first.
+        assert_eq!(q.pop(0), Some(5));
+    }
+
+    #[test]
+    fn close_wakes_parked_workers() {
+        let q = StealQueues::<usize>::new(2);
+        std::thread::scope(|s| {
+            let h = s.spawn(|| {
+                let e = q.epoch();
+                assert!(q.pop(1).is_none());
+                q.wait(e)
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            q.close();
+            assert!(!h.join().unwrap(), "close must report not-open");
+        });
+    }
+
+    #[test]
+    fn concurrent_workers_drain_everything_exactly_once() {
+        const TASKS: usize = 400;
+        const WORKERS: usize = 4;
+        let q = StealQueues::new(WORKERS);
+        let done = AtomicUsize::new(0);
+        let sum = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for w in 1..WORKERS {
+                let (q, done, sum) = (&q, &done, &sum);
+                s.spawn(move || loop {
+                    let e = q.epoch();
+                    if let Some(t) = q.pop(w) {
+                        sum.fetch_add(t, Ordering::Relaxed);
+                        done.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    if !q.wait(e) {
+                        break;
+                    }
+                });
+            }
+            // Skewed seeding: everything lands on slot 1, so slots 2..
+            // can only make progress by stealing.
+            for t in 0..TASKS {
+                q.push_local(1, t);
+            }
+            // Coordinator (slot 0) participates too.
+            while done.load(Ordering::Relaxed) < TASKS {
+                if let Some(t) = q.pop(0) {
+                    sum.fetch_add(t, Ordering::Relaxed);
+                    done.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            q.close();
+        });
+        assert_eq!(done.load(Ordering::Relaxed), TASKS);
+        assert_eq!(sum.load(Ordering::Relaxed), TASKS * (TASKS - 1) / 2);
+    }
+}

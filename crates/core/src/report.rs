@@ -82,6 +82,16 @@ pub fn render_approx2(net: &Network, result: &Approx2Result) -> String {
         result.threads_used,
         result.completed
     );
+    let _ = writeln!(
+        out,
+        "oracle: {} steal(s), {} contended stripe(s), {} batch(es) \
+         ({} batched probe(s)), {} speculative probe(s)",
+        result.steals,
+        result.shard_contention,
+        result.batches,
+        result.batched_probes,
+        result.spec_probes
+    );
     let _ = writeln!(out, "input | topological | maximal points");
     for (pos, &pi) in net.inputs().iter().enumerate() {
         let points: Vec<String> = result.maximal.iter().map(|m| m[pos].to_string()).collect();

@@ -1,0 +1,375 @@
+//! Lock-striped verdict cache shared by every §4.3 oracle worker.
+//!
+//! The per-cone verdict caches used to live on the coordinating thread:
+//! workers computed verdicts, the coordinator cached them, and a fact
+//! proven by one worker only became visible to the others at the next
+//! round boundary. This wrapper shards the same two cache strategies
+//! ([`CacheStrategy`]) across `N` mutex-striped shards keyed by a
+//! fingerprint of each cone's input-support mask, so any worker can
+//! consult and extend the cache mid-round:
+//!
+//! - different cones hash to different stripes, so workers validating
+//!   different cones never contend;
+//! - a dominance verdict inserted by one worker immediately prunes
+//!   every other worker's pending probes for that cone (the
+//!   `oracle_calls@N ≈ oracle_calls@1` property);
+//! - all stored verdicts are pure facts about `(cone, projection)`, so
+//!   sharing them across threads can change *how many* oracle calls a
+//!   search makes, never *what* it concludes.
+//!
+//! Locking is poison-tolerant: a panicking worker (already contained by
+//! `catch_unwind` in the oracle) must not wedge the cache for everyone
+//! else, and every stored verdict is individually sound, so recovering
+//! the inner value of a poisoned mutex is safe.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, TryLockError};
+use std::time::Duration;
+
+use xrta_bdd::{FxHashMap, FxHashSet};
+use xrta_timing::Time;
+
+use crate::dominance::{CacheStrategy, DominanceCache};
+
+/// Number of lock stripes. More than any realistic worker count, so
+/// contention is dominated by genuine same-cone sharing, not by hash
+/// collisions between unrelated cones.
+const STRIPES: usize = 16;
+
+/// FNV-1a over a cone's support-mask words plus its index; used to pick
+/// the cone's stripe. The index is mixed in so cones with identical
+/// supports (common in replicated output blocks) still spread out.
+pub fn support_fingerprint(cone: usize, mask: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |word: u64| {
+        for b in word.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    };
+    mix(cone as u64);
+    for &w in mask {
+        mix(w);
+    }
+    h
+}
+
+/// One stripe's storage: both strategies are kept so the cache can back
+/// whichever [`CacheStrategy`] the search selected.
+#[derive(Default)]
+struct Shard {
+    /// Exact-key verdicts, `(cone, projection) → safe`.
+    exact: FxHashMap<(usize, Vec<Time>), bool>,
+    /// Dominance frontiers per cone.
+    dom: FxHashMap<usize, DominanceCache>,
+    /// Keys some thread is currently solving (single-flight dedup):
+    /// a second thread asking for the same verdict waits for the
+    /// owner's [`StripedVerdictCache::insert`] / `abandon` instead of
+    /// running a duplicate χ engine.
+    pending: FxHashSet<(usize, Vec<Time>)>,
+}
+
+/// Outcome of [`StripedVerdictCache::claim`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Claim {
+    /// The verdict was already cached (possibly after waiting for
+    /// another thread's in-flight solve).
+    Hit(bool),
+    /// The caller owns this key: it must solve and then either
+    /// [`StripedVerdictCache::insert`] the verdict or
+    /// [`StripedVerdictCache::abandon`] the claim — every exit path,
+    /// or waiters stall until their timeout.
+    Owner,
+    /// Another thread has held the key longer than the patience cap;
+    /// the caller may solve redundantly (sound — verdicts are pure).
+    TimedOut,
+}
+
+/// A striped, thread-shared wrapper over the per-cone verdict caches of
+/// the §4.3 oracle. See the module docs.
+pub struct StripedVerdictCache {
+    strategy: CacheStrategy,
+    shards: Vec<Mutex<Shard>>,
+    /// One condvar per stripe, signalled whenever an in-flight key
+    /// resolves (insert) or is abandoned.
+    resolved: Vec<Condvar>,
+    /// Precomputed stripe per cone (`support_fingerprint % STRIPES`).
+    stripe_of: Vec<usize>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    /// Lock acquisitions that found the stripe held by another thread
+    /// (`try_lock` failed and the caller had to wait).
+    contention: AtomicUsize,
+}
+
+/// Poison-tolerant lock: a worker panic is already contained and its
+/// partial verdicts are individually sound, so keep serving.
+fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl StripedVerdictCache {
+    /// Creates a cache for `fingerprints.len()` cones; `fingerprints`
+    /// come from [`support_fingerprint`].
+    pub fn new(strategy: CacheStrategy, fingerprints: &[u64]) -> Self {
+        StripedVerdictCache {
+            strategy,
+            shards: (0..STRIPES).map(|_| Mutex::new(Shard::default())).collect(),
+            resolved: (0..STRIPES).map(|_| Condvar::new()).collect(),
+            stripe_of: fingerprints
+                .iter()
+                .map(|&f| (f % STRIPES as u64) as usize)
+                .collect(),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            contention: AtomicUsize::new(0),
+        }
+    }
+
+    fn lock_stripe(&self, cone: usize) -> MutexGuard<'_, Shard> {
+        let m = &self.shards[self.stripe_of[cone]];
+        match m.try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::WouldBlock) => {
+                self.contention.fetch_add(1, Ordering::Relaxed);
+                plock(m)
+            }
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+        }
+    }
+
+    /// Answers `(cone, proj)` from the cache, if it can. Counts one hit
+    /// or miss.
+    pub fn query(&self, cone: usize, proj: &[Time]) -> Option<bool> {
+        let shard = self.lock_stripe(cone);
+        let verdict = match self.strategy {
+            CacheStrategy::Exact => shard.exact.get(&(cone, proj.to_vec())).copied(),
+            CacheStrategy::Dominance => shard.dom.get(&cone).and_then(|c| c.peek(proj)),
+        };
+        drop(shard);
+        match verdict {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        verdict
+    }
+
+    /// Records an oracle verdict for `(cone, proj)`, releasing any
+    /// single-flight claim on the key and waking its waiters.
+    pub fn insert(&self, cone: usize, proj: &[Time], safe: bool) {
+        let stripe = self.stripe_of[cone];
+        let mut shard = self.lock_stripe(cone);
+        match self.strategy {
+            CacheStrategy::Exact => {
+                shard.exact.insert((cone, proj.to_vec()), safe);
+            }
+            CacheStrategy::Dominance => shard.dom.entry(cone).or_default().insert(proj, safe),
+        }
+        if shard.pending.remove(&(cone, proj.to_vec())) {
+            drop(shard);
+            self.resolved[stripe].notify_all();
+        }
+    }
+
+    /// Single-flight lookup: a cached verdict answers immediately; an
+    /// unclaimed key makes the caller the owner (it must solve, then
+    /// [`StripedVerdictCache::insert`] or
+    /// [`StripedVerdictCache::abandon`]); a key claimed by another
+    /// thread blocks until that thread resolves it. Counts one hit or
+    /// miss, like [`StripedVerdictCache::query`].
+    pub fn claim(&self, cone: usize, proj: &[Time]) -> Claim {
+        let stripe = self.stripe_of[cone];
+        let mut shard = self.lock_stripe(cone);
+        // Patience cap: claims are only held across one bounded solve
+        // and every exit path resolves them, so this is a belt against
+        // bugs, not an expected path.
+        for _ in 0..40 {
+            let verdict = match self.strategy {
+                CacheStrategy::Exact => shard.exact.get(&(cone, proj.to_vec())).copied(),
+                CacheStrategy::Dominance => shard.dom.get(&cone).and_then(|c| c.peek(proj)),
+            };
+            if let Some(v) = verdict {
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Claim::Hit(v);
+            }
+            if shard.pending.insert((cone, proj.to_vec())) {
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return Claim::Owner;
+            }
+            let (guard, _) = self.resolved[stripe]
+                .wait_timeout(shard, Duration::from_millis(50))
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            shard = guard;
+        }
+        drop(shard);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Claim::TimedOut
+    }
+
+    /// Releases a [`Claim::Owner`] without a verdict (interrupt, budget
+    /// cut): wakes waiters so one of them claims ownership instead.
+    pub fn abandon(&self, cone: usize, proj: &[Time]) {
+        let stripe = self.stripe_of[cone];
+        let mut shard = self.lock_stripe(cone);
+        if shard.pending.remove(&(cone, proj.to_vec())) {
+            drop(shard);
+            self.resolved[stripe].notify_all();
+        }
+    }
+
+    /// Queries answered from the cache.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Queries that fell through to the oracle.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Lock acquisitions that had to wait for another thread.
+    pub fn contention(&self) -> usize {
+        self.contention.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[i64]) -> Vec<Time> {
+        v.iter().map(|&x| Time::new(x)).collect()
+    }
+
+    #[test]
+    fn exact_strategy_round_trips_per_cone() {
+        let fps: Vec<u64> = (0..4)
+            .map(|c| support_fingerprint(c, &[c as u64]))
+            .collect();
+        let cache = StripedVerdictCache::new(CacheStrategy::Exact, &fps);
+        cache.insert(0, &t(&[1, 2]), true);
+        cache.insert(1, &t(&[1, 2]), false);
+        assert_eq!(cache.query(0, &t(&[1, 2])), Some(true));
+        assert_eq!(cache.query(1, &t(&[1, 2])), Some(false));
+        // Exact keys do not generalize.
+        assert_eq!(cache.query(0, &t(&[0, 0])), None);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn dominance_strategy_generalizes_within_a_cone_only() {
+        let fps: Vec<u64> = (0..2).map(|c| support_fingerprint(c, &[0b11])).collect();
+        let cache = StripedVerdictCache::new(CacheStrategy::Dominance, &fps);
+        cache.insert(0, &t(&[3, 3]), true);
+        assert_eq!(cache.query(0, &t(&[1, 2])), Some(true));
+        assert_eq!(cache.query(1, &t(&[1, 2])), None, "cones are independent");
+        cache.insert(0, &t(&[5, 5]), false);
+        assert_eq!(cache.query(0, &t(&[9, 5])), Some(false));
+    }
+
+    #[test]
+    fn identical_supports_still_spread_by_cone_index() {
+        let mask = [0xdead_beefu64, 0x1234];
+        let a = support_fingerprint(0, &mask);
+        let b = support_fingerprint(1, &mask);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn single_flight_waiter_gets_owners_verdict() {
+        let fps = [support_fingerprint(0, &[0b1])];
+        let cache = StripedVerdictCache::new(CacheStrategy::Exact, &fps);
+        assert_eq!(cache.claim(0, &t(&[7])), Claim::Owner);
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| cache.claim(0, &t(&[7])));
+            // Give the waiter time to park, then resolve.
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            cache.insert(0, &t(&[7]), true);
+            assert_eq!(waiter.join().unwrap(), Claim::Hit(true));
+        });
+        // The key is resolved: later claims hit immediately.
+        assert_eq!(cache.claim(0, &t(&[7])), Claim::Hit(true));
+    }
+
+    #[test]
+    fn abandon_promotes_a_waiter_to_owner() {
+        let fps = [support_fingerprint(0, &[0b1])];
+        let cache = StripedVerdictCache::new(CacheStrategy::Dominance, &fps);
+        assert_eq!(cache.claim(0, &t(&[3])), Claim::Owner);
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| cache.claim(0, &t(&[3])));
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            cache.abandon(0, &t(&[3]));
+            // The waiter inherits ownership (no verdict was stored).
+            assert_eq!(waiter.join().unwrap(), Claim::Owner);
+        });
+    }
+
+    /// Seeded thread fuzz against a ground-truth monotone predicate:
+    /// concurrent inserts and lookups must lose no verdict and must
+    /// never answer against the ground truth (no false dominance hits).
+    #[test]
+    fn concurrent_stress_no_lost_or_false_verdicts() {
+        const THREADS: usize = 8;
+        const POINTS: usize = 120;
+        const CONES: usize = 5;
+        // Ground truth: a point is "safe" iff its coordinate sum stays
+        // under the cone's threshold — monotone decreasing, like the
+        // real oracle.
+        let threshold = |cone: usize| 10 + 3 * cone as i64;
+        let safe =
+            |cone: usize, p: &[Time]| p.iter().map(|x| x.ticks()).sum::<i64>() <= threshold(cone);
+        for strategy in [CacheStrategy::Exact, CacheStrategy::Dominance] {
+            let fps: Vec<u64> = (0..CONES)
+                .map(|c| support_fingerprint(c, &[0b111]))
+                .collect();
+            let cache = StripedVerdictCache::new(strategy, &fps);
+            // Deterministic per-thread point streams (xorshift).
+            let points_for = |seed: u64| -> Vec<(usize, Vec<Time>)> {
+                let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+                let mut next = || {
+                    s ^= s << 13;
+                    s ^= s >> 7;
+                    s ^= s << 17;
+                    s
+                };
+                (0..POINTS)
+                    .map(|_| {
+                        let cone = (next() % CONES as u64) as usize;
+                        let p: Vec<Time> = (0..3).map(|_| Time::new((next() % 8) as i64)).collect();
+                        (cone, p)
+                    })
+                    .collect()
+            };
+            std::thread::scope(|scope| {
+                for w in 0..THREADS {
+                    let cache = &cache;
+                    scope.spawn(move || {
+                        for (cone, p) in points_for(w as u64 + 1) {
+                            let truth = safe(cone, &p);
+                            if let Some(v) = cache.query(cone, &p) {
+                                assert_eq!(v, truth, "false hit for cone {cone} at {p:?}");
+                            }
+                            cache.insert(cone, &p, truth);
+                        }
+                    });
+                }
+            });
+            // No lost verdicts: every point any thread inserted must now
+            // answer, and answer the ground truth.
+            for w in 0..THREADS {
+                for (cone, p) in points_for(w as u64 + 1) {
+                    assert_eq!(
+                        cache.query(cone, &p),
+                        Some(safe(cone, &p)),
+                        "lost or wrong verdict for cone {cone} at {p:?} ({strategy:?})"
+                    );
+                }
+            }
+            assert!(cache.hits() > 0);
+        }
+    }
+}

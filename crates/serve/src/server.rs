@@ -26,12 +26,12 @@ use std::io::{self, Read};
 use std::net::{TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use xrta_core::session::{run_with_fallback, SessionOptions};
+use xrta_core::session::{run_with_fallback, SessionAnswer, SessionOptions};
 use xrta_core::{Approx2Options, Budget};
 use xrta_robust::failpoint;
 use xrta_timing::{topological_delays, Time, UnitDelay};
@@ -368,6 +368,10 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
 }
 
 /// Admission control: bounded queue or an immediate refusal.
+// A refusal is a terminal `Response` sent straight back to the client;
+// its size (a `StatsSnapshot`-bearing enum) is irrelevant off the
+// admission hot path.
+#[allow(clippy::result_large_err)]
 fn admit(
     shared: &Arc<Shared>,
     request: AnalyzeRequest,
@@ -552,6 +556,14 @@ fn compute(
     shared.stats.computations.fetch_add(1, Ordering::Relaxed);
     match outcome {
         Ok(Ok(mut report)) => {
+            if let SessionAnswer::Approx2(r) = &report.answer {
+                let add = |c: &AtomicU64, v: usize| {
+                    c.fetch_add(v as u64, Ordering::Relaxed);
+                };
+                add(&shared.stats.oracle_steals, r.steals);
+                add(&shared.stats.oracle_contention, r.shard_contention);
+                add(&shared.stats.oracle_batches, r.batches);
+            }
             let digest = report.digest();
             Response::Answer(Answer {
                 requested: report.requested,

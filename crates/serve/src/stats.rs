@@ -39,6 +39,15 @@ pub struct ServeStats {
     pub in_flight: AtomicU64,
     /// Analyze requests currently waiting in the bounded queue.
     pub queue_depth: AtomicU64,
+    /// §4.3 oracle batches stolen by idle workers, summed over every
+    /// approx-2 analysis this server ran.
+    pub oracle_steals: AtomicU64,
+    /// Striped verdict-cache lock acquisitions that hit a held stripe,
+    /// summed over every approx-2 analysis.
+    pub oracle_contention: AtomicU64,
+    /// Oracle batches executed (multi-rung, shared χ engine), summed
+    /// over every approx-2 analysis.
+    pub oracle_batches: AtomicU64,
     /// Completed analyze service times, microseconds.
     service_us: Mutex<Vec<u64>>,
 }
@@ -75,6 +84,9 @@ impl ServeStats {
             errors: self.errors.load(Ordering::Relaxed),
             in_flight: self.in_flight.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            oracle_steals: self.oracle_steals.load(Ordering::Relaxed),
+            oracle_contention: self.oracle_contention.load(Ordering::Relaxed),
+            oracle_batches: self.oracle_batches.load(Ordering::Relaxed),
             p50_us: pct(0.50),
             p99_us: pct(0.99),
         }
@@ -107,6 +119,12 @@ pub struct StatsSnapshot {
     pub in_flight: u64,
     /// See [`ServeStats::queue_depth`].
     pub queue_depth: u64,
+    /// See [`ServeStats::oracle_steals`].
+    pub oracle_steals: u64,
+    /// See [`ServeStats::oracle_contention`].
+    pub oracle_contention: u64,
+    /// See [`ServeStats::oracle_batches`].
+    pub oracle_batches: u64,
     /// Median analyze service time, microseconds.
     pub p50_us: u64,
     /// 99th-percentile analyze service time, microseconds.
@@ -125,6 +143,7 @@ impl StatsSnapshot {
             "{{\"status\":\"stats\",\"requests\":{},\"answered\":{},\"hits_mem\":{},\
              \"hits_disk\":{},\"misses\":{},\"computations\":{},\"sheds\":{},\
              \"shutdowns\":{},\"errors\":{},\"in_flight\":{},\"queue_depth\":{},\
+             \"oracle_steals\":{},\"oracle_contention\":{},\"oracle_batches\":{},\
              \"p50_us\":{},\"p99_us\":{}}}",
             self.requests,
             self.answered,
@@ -137,6 +156,9 @@ impl StatsSnapshot {
             self.errors,
             self.in_flight,
             self.queue_depth,
+            self.oracle_steals,
+            self.oracle_contention,
+            self.oracle_batches,
             self.p50_us,
             self.p99_us,
         )
@@ -157,6 +179,9 @@ impl StatsSnapshot {
             errors: f.get_u64("errors")?,
             in_flight: f.get_u64("in_flight")?,
             queue_depth: f.get_u64("queue_depth")?,
+            oracle_steals: f.get_u64("oracle_steals")?,
+            oracle_contention: f.get_u64("oracle_contention")?,
+            oracle_batches: f.get_u64("oracle_batches")?,
             p50_us: f.get_u64("p50_us")?,
             p99_us: f.get_u64("p99_us")?,
         })
@@ -166,7 +191,8 @@ impl StatsSnapshot {
     pub fn render_line(&self) -> String {
         format!(
             "serve: {} requests | {} hits ({} mem, {} disk) | {} misses | \
-             {} sheds | {} errors | p50 {:.1}ms p99 {:.1}ms",
+             {} sheds | {} errors | p50 {:.1}ms p99 {:.1}ms | \
+             oracle {} steals {} contended {} batches",
             self.requests,
             self.hits(),
             self.hits_mem,
@@ -176,6 +202,9 @@ impl StatsSnapshot {
             self.errors,
             self.p50_us as f64 / 1000.0,
             self.p99_us as f64 / 1000.0,
+            self.oracle_steals,
+            self.oracle_contention,
+            self.oracle_batches,
         )
     }
 }
@@ -216,6 +245,9 @@ mod tests {
             errors: 0,
             in_flight: 1,
             queue_depth: 4,
+            oracle_steals: 5,
+            oracle_contention: 6,
+            oracle_batches: 7,
             p50_us: 1500,
             p99_us: 90_000,
         };

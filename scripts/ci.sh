@@ -127,4 +127,31 @@ echo "    replay pass: $gained/$replayed cache hits"
 wait "$serve_pid"
 rm -rf "$sdir"
 
+# Scaling gate: the work-stealing oracle must never make threads a
+# regression. Run table2's C3540 row at 1 and 4 oracle threads and fail
+# if the 4-thread wall exceeds the 1-thread wall beyond container noise
+# (worker slots clamp to the host's cores, so on a single-core runner
+# the two schedules are identical and this checks pure overhead).
+echo "==> scaling gate: C3540 @4 threads must not lose to @1"
+gdir="/tmp/xrta-ci-scale-$$"
+mkdir -p "$gdir"
+./target/release/table2 --rows C3540 --budget-secs 60 --threads 1 \
+    --json "$gdir/t1.json" > /dev/null
+./target/release/table2 --rows C3540 --budget-secs 60 --threads 4 \
+    --json "$gdir/t4.json" > /dev/null
+wall1=$(sed -n 's/.*"wall_secs": \([0-9.]*\).*/\1/p' "$gdir/t1.json")
+wall4=$(sed -n 's/.*"wall_secs": \([0-9.]*\).*/\1/p' "$gdir/t4.json")
+[ -n "$wall1" ] && [ -n "$wall4" ] || {
+    echo "scaling gate: missing wall_secs in table2 JSON"; exit 1; }
+echo "    C3540 wall: @1 ${wall1}s, @4 ${wall4}s"
+awk -v a="$wall1" -v b="$wall4" 'BEGIN {
+    # 1.25x noise tolerance plus a 0.2s floor so millisecond-scale
+    # jitter on fast runs cannot trip the gate.
+    exit !(b <= a * 1.25 + 0.2)
+}' || {
+    echo "scaling gate: @4 threads ($wall4 s) lost to @1 ($wall1 s)"
+    exit 1
+}
+rm -rf "$gdir"
+
 echo "CI OK"

@@ -75,6 +75,39 @@ fn dominance_and_exact_caches_find_identical_maximal_sets() {
     }
 }
 
+/// Thread count must not leak into the *analysis content* at all: the
+/// rendered latest conditions — the user-visible report — must be
+/// byte-identical at 1, 2, 4 and 8 threads. `XRTA_OVERSUBSCRIBE` lifts
+/// the worker-slot clamp so helper threads genuinely run even on a
+/// single-core machine (other tests in this binary tolerate the flag:
+/// their equalities hold for any worker count).
+#[test]
+fn rendered_report_is_byte_identical_across_thread_counts() {
+    std::env::set_var("XRTA_OVERSUBSCRIBE", "1");
+    for seed in seeds().take(4) {
+        let net = random_circuit(spec(seed)).expect("valid spec");
+        let req = vec![Time::ZERO; net.outputs().len()];
+        let render = |threads: usize| {
+            let r = approx2_required_times(
+                &net,
+                &UnitDelay,
+                &req,
+                opts(threads, CacheStrategy::Dominance),
+            );
+            xrta::core::report::render_conditions(&net, &r.maximal_conditions())
+        };
+        let baseline = render(1);
+        for threads in [2usize, 4, 8] {
+            assert_eq!(
+                baseline,
+                render(threads),
+                "report diverged at {threads} threads (seed {seed})"
+            );
+        }
+    }
+    std::env::remove_var("XRTA_OVERSUBSCRIBE");
+}
+
 #[test]
 fn parallel_maximal_points_are_safe_and_unraisable() {
     for seed in seeds() {
