@@ -58,6 +58,11 @@ pub enum JobError {
     Analysis(AnalysisError),
     /// The attempt panicked and was caught at the job boundary.
     Panicked,
+    /// A remote attempt (`--route`) failed. Connect errors and `busy`
+    /// sheds are transient — a shard restart or a drained queue fixes
+    /// them; a server-reported analysis error is permanent, it would
+    /// recur on an identical resubmission.
+    Remote { msg: String, transient: bool },
 }
 
 impl JobError {
@@ -67,6 +72,10 @@ impl JobError {
             JobError::Load(_) => FailureClass::Permanent,
             JobError::Analysis(e) => classify(e),
             JobError::Panicked => FailureClass::Transient,
+            JobError::Remote {
+                transient: true, ..
+            } => FailureClass::Transient,
+            JobError::Remote { .. } => FailureClass::Permanent,
         }
     }
 }
@@ -84,6 +93,7 @@ impl std::fmt::Display for JobError {
             JobError::Analysis(AnalysisError::WorkerPanic) => write!(f, "worker-panic"),
             JobError::Analysis(AnalysisError::Interrupted) => write!(f, "interrupted"),
             JobError::Panicked => write!(f, "panic"),
+            JobError::Remote { msg, .. } => write!(f, "remote: {msg}"),
         }
     }
 }
@@ -136,5 +146,18 @@ mod tests {
         let dl = JobError::Analysis(AnalysisError::DeadlineExceeded);
         assert_eq!(dl.class(), FailureClass::Transient);
         assert_eq!(dl.to_string(), "deadline");
+
+        let refused = JobError::Remote {
+            msg: "connection refused".to_string(),
+            transient: true,
+        };
+        assert_eq!(refused.class(), FailureClass::Transient);
+        assert_eq!(refused.to_string(), "remote: connection refused");
+
+        let server_err = JobError::Remote {
+            msg: "unknown --algo".to_string(),
+            transient: false,
+        };
+        assert_eq!(server_err.class(), FailureClass::Permanent);
     }
 }

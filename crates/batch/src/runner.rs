@@ -53,6 +53,11 @@ pub struct BatchOptions {
     /// Failpoint schedule, re-armed per attempt with a seed derived
     /// from `(seed, job, attempt)`. Requires the `failpoints` feature.
     pub failpoints: Option<String>,
+    /// Offload every analysis to this `xrta serve` or `xrta route`
+    /// address instead of computing locally. One network round-trip
+    /// per attempt; connect errors and `busy` sheds classify as
+    /// transient, so the journaled backoff machinery retries them.
+    pub route: Option<String>,
     /// Cooperative cancel flag (e.g. fed by `--cancel-file`): raising
     /// it stops the run between oracle steps, leaving the journal
     /// resumable.
@@ -74,6 +79,7 @@ impl Default for BatchOptions {
             engine: EngineKind::Sat,
             threads: 1,
             failpoints: None,
+            route: None,
             cancel: None,
             stop_after_jobs: None,
         }
@@ -216,7 +222,72 @@ fn run_attempt(spec: &JobSpec, job: usize, attempt: u64, opts: &BatchOptions) ->
     outcome
 }
 
+/// One remote attempt: ship the netlist to the configured serve/route
+/// address and translate the wire response into an attempt outcome.
+/// A single round-trip per attempt — the runner's own journaled
+/// backoff is the retry loop, so resumed runs replay identically.
+fn run_attempt_remote(spec: &JobSpec, addr: &str, opts: &BatchOptions) -> AttemptOutcome {
+    let netlist = match std::fs::read_to_string(&spec.path) {
+        Ok(text) => text,
+        Err(e) => {
+            return AttemptOutcome::Failed(JobError::Load(format!("reading {}: {e}", spec.path)))
+        }
+    };
+    let name = std::path::Path::new(&spec.path)
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| spec.path.clone());
+    let request = xrta_serve::Request::Analyze(xrta_serve::AnalyzeRequest {
+        name,
+        netlist,
+        algo: spec.algo,
+        engine: opts.engine,
+        req: spec.req.map(|t| vec![Time::new(t)]).unwrap_or_default(),
+        timeout_ms: spec
+            .timeout
+            .or(opts.default_timeout)
+            .map(|t| t.as_millis() as u64),
+        node_limit: spec.node_limit.map(|n| n as u64),
+        sat_conflicts: spec.sat_conflicts,
+        ..xrta_serve::AnalyzeRequest::default()
+    });
+    match xrta_serve::roundtrip(addr, &request) {
+        Err(e) => AttemptOutcome::Failed(JobError::Remote {
+            msg: e.to_string(),
+            transient: true,
+        }),
+        Ok(xrta_serve::Response::Busy) => AttemptOutcome::Failed(JobError::Remote {
+            msg: "server busy".to_string(),
+            transient: true,
+        }),
+        Ok(xrta_serve::Response::ShuttingDown) => AttemptOutcome::Failed(JobError::Remote {
+            msg: "server shutting down".to_string(),
+            transient: true,
+        }),
+        Ok(xrta_serve::Response::Error(msg)) => AttemptOutcome::Failed(JobError::Remote {
+            msg,
+            transient: false,
+        }),
+        Ok(xrta_serve::Response::Answer(a)) => AttemptOutcome::Answered(DoneRecord {
+            job: 0, // filled by the caller
+            attempt: 0,
+            requested: a.requested,
+            verdict: a.verdict,
+            nontrivial: a.nontrivial,
+            req: a.req,
+            points: a.points,
+        }),
+        Ok(other) => AttemptOutcome::Failed(JobError::Remote {
+            msg: format!("unexpected response {other:?}"),
+            transient: false,
+        }),
+    }
+}
+
 fn run_attempt_inner(spec: &JobSpec, opts: &BatchOptions) -> AttemptOutcome {
+    if let Some(addr) = &opts.route {
+        return run_attempt_remote(spec, addr, opts);
+    }
     let net = match load_network_file(std::path::Path::new(&spec.path)) {
         Ok(net) => net,
         Err(e) => return AttemptOutcome::Failed(JobError::Load(e)),

@@ -236,3 +236,50 @@ fn cancel_stops_the_run_resumably() {
     assert_eq!(summary.done, 2);
     assert!(summary.report_path.is_some());
 }
+
+#[test]
+fn remote_mode_offloads_jobs_to_a_daemon() {
+    let dir = Scratch::new("remote");
+    let manifest = write_suite(&dir, |d| {
+        format!(
+            "{0}/c17.bench algo=approx2\n{0}/fig4.bench algo=exact\n",
+            d.display()
+        )
+    });
+    let server = xrta_serve::start(xrta_serve::ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        ..xrta_serve::ServeOptions::default()
+    })
+    .unwrap();
+    let mut cfg = config(&dir, manifest);
+    cfg.options.route = Some(server.addr().to_string());
+    let summary = run_batch(&cfg).unwrap();
+    assert_eq!(summary.done, 2, "{summary:?}");
+    assert_eq!(summary.failed, 0);
+    let report = std::fs::read_to_string(&cfg.report).unwrap();
+    // fig4's exact analysis finds the false-path requirement remotely
+    // just as it does locally.
+    assert!(report.contains("\"nontrivial\":true"), "{report}");
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn remote_mode_classifies_a_dead_daemon_as_transient() {
+    let dir = Scratch::new("remote_dead");
+    let manifest = write_suite(&dir, |d| format!("{}/c17.bench\n", d.display()));
+    // Bind-then-drop yields an address where connects are refused.
+    let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = probe.local_addr().unwrap().to_string();
+    drop(probe);
+    let mut cfg = config(&dir, manifest);
+    cfg.options.route = Some(addr);
+    cfg.options.backoff = BackoffPolicy::immediate(1);
+    let summary = run_batch(&cfg).unwrap();
+    assert_eq!(summary.failed, 1);
+    let journal = std::fs::read_to_string(&cfg.journal).unwrap();
+    // Each attempt journals a transient remote failure; the retry cap
+    // (1 retry) makes the second one final.
+    assert!(journal.contains("remote: "), "{journal}");
+    assert!(journal.contains("transient"), "{journal}");
+}

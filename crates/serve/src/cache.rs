@@ -67,6 +67,13 @@ impl CacheKey {
     pub fn hex(&self) -> String {
         format!("{:032x}", self.0)
     }
+
+    /// Folds the 128-bit key to the 64-bit point the router hashes
+    /// onto its ring. XOR-folding keeps every input bit influential,
+    /// so shard placement is as uniform as the key itself.
+    pub fn route_point(&self) -> u64 {
+        (self.0 ^ (self.0 >> 64)) as u64
+    }
 }
 
 /// The in-memory LRU tier: a capacity-bounded map with an access clock.

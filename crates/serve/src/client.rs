@@ -1,8 +1,19 @@
 //! A minimal blocking client: one connection, frame-per-request.
+//!
+//! [`roundtrip_retry`] layers resilience on top: transient failures —
+//! connection refused while a daemon restarts, a dropped socket, a
+//! `busy` shed from admission control — are retried with the seeded
+//! equal-jitter backoff from [`xrta_robust::backoff`], bounded by both
+//! an attempt count and a wall-clock budget. Everything deterministic
+//! (an `error` response, `shutting_down`, a parse failure) is returned
+//! immediately: retrying cannot change those answers.
 
 use std::io;
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use xrta_rng::Rng;
+use xrta_robust::backoff::BackoffPolicy;
 
 use crate::proto::{read_frame, write_frame, Request, Response};
 
@@ -39,4 +50,148 @@ impl Client {
 /// and tests.
 pub fn roundtrip(addr: impl std::net::ToSocketAddrs, request: &Request) -> io::Result<Response> {
     Client::connect(addr)?.request(request)
+}
+
+/// Retry shape for [`roundtrip_retry`]: how many attempts, how they
+/// back off, and a wall-clock cap across all of them.
+#[derive(Clone, Debug)]
+pub struct RetryOptions {
+    /// Delay schedule between attempts (equal-jitter, capped).
+    pub policy: BackoffPolicy,
+    /// Total wall-clock budget across every attempt and sleep; `None`
+    /// leaves only the attempt count as the bound.
+    pub budget: Option<Duration>,
+    /// Seed for the jitter, so test schedules replay exactly.
+    pub seed: u64,
+}
+
+impl Default for RetryOptions {
+    fn default() -> Self {
+        RetryOptions {
+            policy: BackoffPolicy {
+                max_retries: 3,
+                ..BackoffPolicy::default()
+            },
+            budget: Some(Duration::from_millis(2_000)),
+            seed: 0,
+        }
+    }
+}
+
+/// Is this response worth retrying on a fresh connection? `busy` is an
+/// explicit shed — the queue was full *now*, not forever. Everything
+/// else is deterministic or a policy statement (`shutting_down`).
+fn transient_response(resp: &Response) -> bool {
+    matches!(resp, Response::Busy)
+}
+
+/// One request, retried over fresh connections on transient failures:
+/// io errors (refused/reset/timeout) and `busy` sheds. Returns the
+/// first non-transient response, or the last failure once attempts or
+/// the budget run out — a final `busy` is returned as `Ok(Busy)` so
+/// callers keep the exit-code mapping they had without retries.
+pub fn roundtrip_retry(
+    addr: impl std::net::ToSocketAddrs + Copy,
+    request: &Request,
+    retry: &RetryOptions,
+) -> io::Result<Response> {
+    let started = Instant::now();
+    let mut rng = Rng::seed_from_u64(retry.seed);
+    let mut attempt = 0u32;
+    loop {
+        let outcome = roundtrip(addr, request);
+        let transient = match &outcome {
+            Ok(resp) => transient_response(resp),
+            Err(_) => true,
+        };
+        if !transient || attempt >= retry.policy.max_retries {
+            return outcome;
+        }
+        let delay = retry.policy.delay(attempt, &mut rng);
+        if let Some(budget) = retry.budget {
+            if started.elapsed() + delay >= budget {
+                return outcome;
+            }
+        }
+        std::thread::sleep(delay);
+        attempt += 1;
+    }
+}
+
+#[cfg(test)]
+mod retry_tests {
+    use std::net::TcpListener;
+
+    use super::*;
+    use crate::proto::write_frame;
+
+    #[test]
+    fn refused_then_served_is_retried_to_success() {
+        // Reserve an address, then drop the listener so the first
+        // attempt is refused; re-bind before the retry lands.
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+        let server = std::thread::spawn(move || {
+            // Give the first attempt time to fail.
+            std::thread::sleep(Duration::from_millis(30));
+            let listener = TcpListener::bind(addr).unwrap();
+            let (mut s, _) = listener.accept().unwrap();
+            let _ = crate::proto::read_frame(&mut s).unwrap();
+            write_frame(&mut s, Response::Pong.encode().as_bytes()).unwrap();
+        });
+        let retry = RetryOptions {
+            policy: BackoffPolicy {
+                base: Duration::from_millis(40),
+                cap: Duration::from_millis(200),
+                max_retries: 5,
+            },
+            budget: Some(Duration::from_secs(10)),
+            seed: 7,
+        };
+        let resp = roundtrip_retry(addr, &Request::Ping, &retry).unwrap();
+        assert_eq!(resp, Response::Pong);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn persistent_busy_is_returned_after_the_attempts_run_out() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            for _ in 0..3 {
+                let (mut s, _) = listener.accept().unwrap();
+                let _ = crate::proto::read_frame(&mut s).unwrap();
+                write_frame(&mut s, Response::Busy.encode().as_bytes()).unwrap();
+            }
+        });
+        let retry = RetryOptions {
+            policy: BackoffPolicy {
+                base: Duration::from_millis(5),
+                cap: Duration::from_millis(10),
+                max_retries: 2,
+            },
+            budget: Some(Duration::from_secs(10)),
+            seed: 1,
+        };
+        let resp = roundtrip_retry(addr, &Request::Ping, &retry).unwrap();
+        assert_eq!(resp, Response::Busy);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn exhausted_budget_stops_retrying_immediately() {
+        // Nothing listens here; every attempt is refused. A zero
+        // budget means the first failure is final.
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+        let retry = RetryOptions {
+            budget: Some(Duration::ZERO),
+            ..RetryOptions::default()
+        };
+        let t0 = Instant::now();
+        assert!(roundtrip_retry(addr, &Request::Ping, &retry).is_err());
+        assert!(t0.elapsed() < Duration::from_secs(2), "no backoff sleeps");
+    }
 }

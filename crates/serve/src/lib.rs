@@ -29,8 +29,10 @@ pub mod server;
 pub mod stats;
 
 pub use cache::{CacheKey, HitTier, ResultCache};
-pub use client::{roundtrip, Client};
+pub use client::{roundtrip, roundtrip_retry, Client, RetryOptions};
 pub use coordinator::{Coordinator, Dispatch};
 pub use proto::{read_frame, write_frame, AnalyzeRequest, Answer, Request, Response, MAX_FRAME};
-pub use server::{answer_exit_code, start, ServeOptions, ServerHandle};
+pub use server::{
+    answer_exit_code, read_frame_patient, start, FrameRead, ServeOptions, ServerHandle,
+};
 pub use stats::{ServeStats, StatsSnapshot};

@@ -22,6 +22,8 @@
 //! {"cmd":"stats"}                             → stats (handled out-of-band, never queued)
 //! {"cmd":"ping"}                              → pong
 //! {"cmd":"shutdown"}                          → shutting_down, then the server drains
+//! {"cmd":"drain","shard":"host:port"}         → drained (router: quiesce that shard;
+//!                                               serve: graceful self-drain)
 //! ```
 //!
 //! Responses (`"status"` selects the variant). An `answer` carries the
@@ -131,6 +133,14 @@ pub enum Request {
     /// Begin graceful drain: stop accepting, finish in-flight work,
     /// fail queued work with `shutting_down`.
     Shutdown,
+    /// Quiesce one backend for a zero-downtime restart. A router stops
+    /// routing to `shard`, waits for its in-flight work, shuts it down
+    /// and answers `drained`; a plain `xrta serve` treats it as a
+    /// graceful self-drain (the `shard` label is echoed back).
+    Drain {
+        /// The backend address being quiesced, `host:port`.
+        shard: String,
+    },
 }
 
 /// The analysis payload of an `answer` response.
@@ -175,6 +185,11 @@ pub enum Response {
     Stats(StatsSnapshot),
     /// Liveness answer.
     Pong,
+    /// Acknowledgement that `shard` has been quiesced and shut down.
+    Drained {
+        /// The backend address that was quiesced, echoed back.
+        shard: String,
+    },
 }
 
 fn opt_field(out: &mut String, key: &str, v: Option<u64>) {
@@ -190,6 +205,9 @@ impl Request {
             Request::Stats => "{\"cmd\":\"stats\"}".to_string(),
             Request::Ping => "{\"cmd\":\"ping\"}".to_string(),
             Request::Shutdown => "{\"cmd\":\"shutdown\"}".to_string(),
+            Request::Drain { shard } => {
+                format!("{{\"cmd\":\"drain\",\"shard\":\"{}\"}}", escape(shard))
+            }
             Request::Analyze(a) => {
                 let mut out = format!(
                     "{{\"cmd\":\"analyze\",\"name\":\"{}\",\"algo\":\"{}\",\"engine\":\"{}\",\
@@ -220,6 +238,9 @@ impl Request {
             "stats" => Ok(Request::Stats),
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
+            "drain" => Ok(Request::Drain {
+                shard: f.get("shard")?.to_string(),
+            }),
             "analyze" => Ok(Request::Analyze(AnalyzeRequest {
                 name: f.get("name")?.to_string(),
                 netlist: f.get("netlist")?.to_string(),
@@ -243,6 +264,9 @@ impl Response {
             Response::Busy => "{\"status\":\"busy\"}".to_string(),
             Response::ShuttingDown => "{\"status\":\"shutting_down\"}".to_string(),
             Response::Pong => "{\"status\":\"pong\"}".to_string(),
+            Response::Drained { shard } => {
+                format!("{{\"status\":\"drained\",\"shard\":\"{}\"}}", escape(shard))
+            }
             Response::Error(e) => {
                 format!("{{\"status\":\"error\",\"error\":\"{}\"}}", escape(e))
             }
@@ -269,6 +293,9 @@ impl Response {
             "busy" => Ok(Response::Busy),
             "shutting_down" => Ok(Response::ShuttingDown),
             "pong" => Ok(Response::Pong),
+            "drained" => Ok(Response::Drained {
+                shard: f.get("shard")?.to_string(),
+            }),
             "error" => Ok(Response::Error(f.get("error")?.to_string())),
             "stats" => Ok(Response::Stats(StatsSnapshot::parse_fields(&f)?)),
             "answer" => Ok(Response::Answer(Answer {
@@ -312,6 +339,9 @@ mod tests {
             Request::Stats,
             Request::Ping,
             Request::Shutdown,
+            Request::Drain {
+                shard: "127.0.0.1:9001".to_string(),
+            },
             Request::Analyze(AnalyzeRequest {
                 name: "weird \"name\".bench".to_string(),
                 netlist: "INPUT(a)\nOUTPUT(z)\nz = BUF(a)\n".to_string(),
@@ -336,6 +366,9 @@ mod tests {
             Response::Busy,
             Response::ShuttingDown,
             Response::Pong,
+            Response::Drained {
+                shard: "127.0.0.1:9001".to_string(),
+            },
             Response::Error("netlist: parsing x failed\nbadly".to_string()),
             Response::Answer(Answer {
                 requested: Verdict::Exact,

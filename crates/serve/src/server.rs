@@ -67,6 +67,11 @@ pub struct ServeOptions {
     /// How long in-flight analyses may keep running after shutdown
     /// begins before the shared abort flag interrupts them.
     pub drain_deadline: Duration,
+    /// Slowloris guard: once the first byte of a frame has arrived,
+    /// the rest must follow within this window or the connection is
+    /// dropped — a stalled client cannot pin a connection thread on a
+    /// half-sent frame. Also the write timeout on accepted sockets.
+    pub frame_deadline: Duration,
     /// External shutdown trigger (the CLI wires `--cancel-file` here).
     pub cancel: Option<Arc<AtomicBool>>,
 }
@@ -84,6 +89,7 @@ impl Default for ServeOptions {
             max_sat_conflicts: 1 << 20,
             allow_hold: false,
             drain_deadline: Duration::from_secs(5),
+            frame_deadline: Duration::from_secs(10),
             cancel: None,
         }
     }
@@ -216,6 +222,13 @@ fn listen_loop(
         }
         match listener.accept() {
             Ok((stream, _)) => {
+                // Injectable accept fault: the connection is dropped on
+                // the floor before a thread is spawned, as if the
+                // kernel reset it. Clients see an immediate EOF.
+                if failpoint::eval("serve::accept").is_some() {
+                    drop(stream);
+                    continue;
+                }
                 let shared = Arc::clone(shared);
                 let _ = std::thread::Builder::new()
                     .name("xrta-serve-conn".to_string())
@@ -258,20 +271,40 @@ fn listen_loop(
 
 /// Reads a frame, tolerating read timeouts (so shutdown is noticed on
 /// an idle connection) without ever losing frame sync: a timeout only
-/// counts as idle when zero bytes of the frame have arrived.
-enum FrameRead {
+/// counts as idle when zero bytes of the frame have arrived. Shared
+/// with the router's connection loop.
+pub enum FrameRead {
+    /// A complete frame arrived.
     Frame(Vec<u8>),
+    /// A read timeout fired before the first byte: the peer is idle,
+    /// not stalled.
     Idle,
+    /// EOF, a hard error, a protocol violation, or a half-sent frame
+    /// that overstayed `frame_deadline` (the slowloris guard).
     Closed,
 }
 
-fn read_frame_patient(stream: &mut TcpStream) -> FrameRead {
+/// Reads one frame off a socket whose read timeout is short (so idle
+/// polls return). Once the first byte of a frame arrives, the rest
+/// must land within `frame_deadline`: a peer that trickles a frame —
+/// deliberately or because it died mid-write — gets `Closed`, never an
+/// indefinitely pinned thread.
+pub fn read_frame_patient(stream: &mut TcpStream, frame_deadline: Duration) -> FrameRead {
+    if failpoint::eval("serve::frame_read").is_some() {
+        return FrameRead::Closed;
+    }
+    let mut started: Option<Instant> = None;
+    let stalled =
+        |started: &Option<Instant>| started.map(|t0| t0.elapsed() > frame_deadline) == Some(true);
     let mut len_bytes = [0u8; 4];
     let mut got = 0usize;
     while got < 4 {
         match stream.read(&mut len_bytes[got..]) {
             Ok(0) => return FrameRead::Closed,
-            Ok(n) => got += n,
+            Ok(n) => {
+                got += n;
+                started.get_or_insert_with(Instant::now);
+            }
             Err(e)
                 if got == 0
                     && matches!(
@@ -285,7 +318,12 @@ fn read_frame_patient(stream: &mut TcpStream) -> FrameRead {
                 if matches!(
                     e.kind(),
                     io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) => {}
+                ) =>
+            {
+                if stalled(&started) {
+                    return FrameRead::Closed;
+                }
+            }
             Err(_) => return FrameRead::Closed,
         }
     }
@@ -303,19 +341,38 @@ fn read_frame_patient(stream: &mut TcpStream) -> FrameRead {
                 if matches!(
                     e.kind(),
                     io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) => {}
+                ) =>
+            {
+                if stalled(&started) {
+                    return FrameRead::Closed;
+                }
+            }
             Err(_) => return FrameRead::Closed,
         }
     }
     FrameRead::Frame(payload)
 }
 
+/// Frame write with an injectable fault site. The fault fires *before*
+/// any bytes leave, so an injected failure never tears a frame — the
+/// peer sees a clean close, exactly like a crash between responses.
+fn write_frame_faulty(stream: &mut TcpStream, payload: &[u8]) -> io::Result<()> {
+    if failpoint::eval("serve::frame_write").is_some() {
+        return Err(io::Error::new(
+            io::ErrorKind::BrokenPipe,
+            "failpoint serve::frame_write: injected write failure",
+        ));
+    }
+    write_frame(stream, payload)
+}
+
 /// Serves one client: control commands inline, analyses via the queue.
 fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_write_timeout(Some(shared.options.frame_deadline));
     let _ = stream.set_nodelay(true);
     loop {
-        let payload = match read_frame_patient(&mut stream) {
+        let payload = match read_frame_patient(&mut stream, shared.options.frame_deadline) {
             FrameRead::Frame(p) => p,
             FrameRead::Idle => {
                 if shared.shutting_down() {
@@ -333,7 +390,7 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
             Err(e) => {
                 shared.stats.errors.fetch_add(1, Ordering::Relaxed);
                 let resp = Response::Error(format!("bad request: {e}")).encode();
-                if write_frame(&mut stream, resp.as_bytes()).is_err() {
+                if write_frame_faulty(&mut stream, resp.as_bytes()).is_err() {
                     return;
                 }
                 continue;
@@ -348,6 +405,14 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
                 shared.begin_shutdown();
                 Response::ShuttingDown.encode().into_bytes()
             }
+            // A backend receiving `drain` treats it as a graceful
+            // self-drain and acks with `drained` — so operators can
+            // quiesce one shard directly, and the router's drain
+            // sequence gets a positive acknowledgement.
+            Request::Drain { shard } => {
+                shared.begin_shutdown();
+                Response::Drained { shard }.encode().into_bytes()
+            }
             Request::Analyze(a) => {
                 shared.stats.requests.fetch_add(1, Ordering::Relaxed);
                 match admit(shared, a) {
@@ -361,7 +426,7 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
                 }
             }
         };
-        if write_frame(&mut stream, &response_bytes).is_err() {
+        if write_frame_faulty(&mut stream, &response_bytes).is_err() {
             return;
         }
     }
@@ -587,7 +652,7 @@ fn compute(
 pub fn answer_exit_code(resp: &Response) -> u8 {
     match resp {
         Response::Answer(a) if a.degraded() => 3,
-        Response::Answer(_) | Response::Pong | Response::Stats(_) => 0,
+        Response::Answer(_) | Response::Pong | Response::Stats(_) | Response::Drained { .. } => 0,
         Response::Busy | Response::ShuttingDown => 3,
         Response::Error(_) => 1,
     }
@@ -648,6 +713,54 @@ mod tests {
         );
         let final_stats = handle.join();
         assert_eq!(final_stats.answered, 2);
+    }
+
+    #[test]
+    fn drain_verb_quiesces_like_shutdown() {
+        let handle = start(ServeOptions::default()).unwrap();
+        let addr = handle.addr();
+        let resp = roundtrip(
+            addr,
+            &Request::Drain {
+                shard: "self".to_string(),
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            resp,
+            Response::Drained {
+                shard: "self".to_string()
+            }
+        );
+        handle.join();
+    }
+
+    #[test]
+    fn half_sent_frame_is_dropped_at_the_frame_deadline() {
+        use std::io::Write as _;
+        let handle = start(ServeOptions {
+            frame_deadline: Duration::from_millis(200),
+            ..ServeOptions::default()
+        })
+        .unwrap();
+        let addr = handle.addr();
+        let mut stalled = TcpStream::connect(addr).unwrap();
+        // Half a length prefix, then silence: the classic slowloris.
+        stalled.write_all(&[0, 0]).unwrap();
+        // Healthy clients keep being served while the stall runs out.
+        assert_eq!(roundtrip(addr, &Request::Ping).unwrap(), Response::Pong);
+        stalled
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut buf = [0u8; 1];
+        match stalled.read(&mut buf) {
+            Ok(0) => {}                                                // clean close
+            Err(e) if e.kind() == io::ErrorKind::ConnectionReset => {} // also a close
+            Ok(n) => panic!("server sent {n} unexpected bytes to a stalled client"),
+            Err(e) => panic!("stalled connection was never dropped: {e}"),
+        }
+        handle.shutdown();
+        handle.join();
     }
 
     #[test]

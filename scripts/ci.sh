@@ -51,6 +51,7 @@ rm -rf "/tmp/xrta-ci-corpus-$$"
 echo "==> chaos tests (--features failpoints)"
 cargo clippy --workspace --all-targets --features failpoints -- -D warnings
 timeout 300 cargo test -q --features failpoints --test chaos
+timeout 300 cargo test -q --features failpoints --test cluster
 
 # Kill-and-resume, out of process: SIGKILL a real batch run mid-flight,
 # then assert --resume completes it and the report matches a reference
@@ -126,6 +127,73 @@ echo "    replay pass: $gained/$replayed cache hits"
 ./target/release/xrta request --addr "$addr" --shutdown
 wait "$serve_pid"
 rm -rf "$sdir"
+
+# Cluster smoke: a router over two shards. Replay the corpus twice and
+# require the second pass cached (the consistent-hash routing keeps each
+# key's shard stable); SIGKILL one shard and replay again expecting
+# zero failures (failover + client retries); finally roll both shards
+# out with `route drain`.
+echo "==> cluster smoke: routed cache hits + shard kill + rolling drain"
+cdir="/tmp/xrta-ci-cluster-$$"
+mkdir -p "$cdir"
+./target/release/xrta serve --addr 127.0.0.1:0 --workers 2 \
+    > "$cdir/shard1.out" &
+shard1_pid=$!
+./target/release/xrta serve --addr 127.0.0.1:0 --workers 2 \
+    > "$cdir/shard2.out" &
+shard2_pid=$!
+shard1=""; shard2=""
+for i in $(seq 1 100); do
+    shard1=$(sed -n 's/^xrta: serving on //p' "$cdir/shard1.out")
+    shard2=$(sed -n 's/^xrta: serving on //p' "$cdir/shard2.out")
+    [ -n "$shard1" ] && [ -n "$shard2" ] && break
+    sleep 0.1
+done
+[ -n "$shard1" ] && [ -n "$shard2" ] || {
+    echo "cluster shards never announced addresses"; exit 1; }
+./target/release/xrta route --addr 127.0.0.1:0 \
+    --shards "$shard1,$shard2" --probe-interval 0.1 --cooldown 0.3 \
+    > "$cdir/route.out" &
+route_pid=$!
+raddr=""
+for i in $(seq 1 100); do
+    raddr=$(sed -n 's/^xrta: routing on \([^ ]*\).*/\1/p' "$cdir/route.out")
+    [ -n "$raddr" ] && break
+    sleep 0.1
+done
+[ -n "$raddr" ] || { echo "router never announced an address"; exit 1; }
+cluster_replay() {
+    for n in netlists/add8.bench netlists/c17.bench netlists/bypass.bench; do
+        for r in 9 11 19; do
+            ./target/release/xrta request --addr "$raddr" "$n" --req "$r" \
+                >/dev/null
+        done
+    done
+}
+cluster_hits() {
+    ./target/release/xrta request --addr "$raddr" --stats \
+        | sed -n 's/^serve: [0-9]* requests | \([0-9]*\) hits.*/\1/p'
+}
+cluster_replay
+chits_before=$(cluster_hits)
+cluster_replay
+chits_after=$(cluster_hits)
+cgained=$((chits_after - chits_before))
+if [ "$cgained" -lt $((replayed * 9 / 10)) ]; then
+    echo "routed replay only hit the shard caches $cgained/$replayed times"
+    exit 1
+fi
+echo "    routed replay: $cgained/$replayed cache hits"
+kill -9 "$shard1_pid"
+cluster_replay
+echo "    replay survived a shard SIGKILL with zero failures"
+./target/release/xrta route drain "$shard2" --addr "$raddr"
+wait "$shard2_pid"
+./target/release/xrta route drain "$shard1" --addr "$raddr" || true
+./target/release/xrta request --addr "$raddr" --shutdown
+wait "$route_pid"
+wait "$shard1_pid" || true
+rm -rf "$cdir"
 
 # Scaling gate: the work-stealing oracle must never make threads a
 # regression. Run table2's C3540 row at 1 and 4 oracle threads and fail

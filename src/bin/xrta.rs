@@ -36,13 +36,25 @@
 //! deduplication, and graceful drain on `shutdown` requests or
 //! `--cancel-file`. `request` is the matching client: it ships a
 //! netlist to the daemon (or probes it with `--ping`, `--stats`,
-//! `--shutdown`) and prints the answer.
+//! `--shutdown`) and prints the answer; transient failures (connect
+//! refused, `busy`) retry with jittered backoff under `--retries`
+//! and `--retry-budget-ms`.
+//!
+//! `route` runs the cluster front-end (`xrta-router`): it
+//! consistent-hashes requests across the `--shards` backends, health
+//! checks them (ping probes, consecutive-failure ejection, half-open
+//! reinstatement), fails over along the ring with seeded backoff,
+//! hedges slow attempts after `--hedge-ms`, warms hot cache entries
+//! onto the next replica, and answers `stats` probes with
+//! cluster-aggregated counters. `xrta route drain HOST:PORT --addr
+//! ROUTER` takes one shard out of rotation, waits out its in-flight
+//! work, and shuts it down — the rolling-restart primitive.
 //!
 //! Exit codes, uniform across commands:
 //!
 //! | code | meaning |
 //! |---|---|
-//! | `0` | full success: answered at the requested rung / all jobs done / no fuzz failures / clean drain |
+//! | `0` | full success: answered at the requested rung / all jobs done / no fuzz failures / clean drain / shard drained |
 //! | `1` | the analysis itself failed: budget exhausted with `--fallback off`, fuzz failure found, journal corruption, panic |
 //! | `2` | usage error: bad flags, unreadable netlist or manifest, journal exists without `--resume` |
 //! | `3` | partial success: answered at a lower rung (degraded), a batch finished with failed/shed jobs, or a request was shed |
@@ -58,6 +70,7 @@ use xrta::core::{failpoint, macro_model, report};
 use xrta::network::{load_network_file, stats};
 use xrta::prelude::*;
 use xrta::robust::backoff::BackoffPolicy;
+use xrta::router;
 use xrta::serve;
 use xrta::verify;
 
@@ -88,6 +101,7 @@ fn run() -> Result<ExitCode, Failure> {
         "batch" => return run_batch_cmd(&args, cancel),
         "serve" => return run_serve(&args, cancel),
         "request" => return run_request(&args),
+        "route" => return run_route(&args, cancel),
         _ => {}
     }
     let net = load_network_file(Path::new(
@@ -328,6 +342,7 @@ fn run_batch_cmd(
             engine: args.engine,
             threads: args.threads,
             failpoints: args.failpoints.clone(),
+            route: args.route.clone(),
             cancel,
             stop_after_jobs: None,
         },
@@ -374,6 +389,7 @@ fn run_serve(
         allow_hold: args.allow_hold,
         drain_deadline: args.drain_deadline,
         cancel,
+        ..serve::ServeOptions::default()
     };
     let handle = serve::start(options).map_err(|e| Failure::Fatal(format!("serve: {e}")))?;
     // Scripts parse this line for the ephemeral port; flush so they
@@ -432,12 +448,24 @@ fn run_request(args: &Args) -> Result<ExitCode, Failure> {
             hold_ms: args.hold_ms,
         })
     };
-    let response = serve::roundtrip(args.addr.as_str(), &request)
+    // Connect-refused and `busy` are transient when shards restart or
+    // shed load; retry them under a jittered-backoff budget so scripts
+    // survive a rolling drain without their own retry loops.
+    let retry = serve::RetryOptions {
+        policy: BackoffPolicy {
+            max_retries: args.retries,
+            ..serve::RetryOptions::default().policy
+        },
+        budget: Some(std::time::Duration::from_millis(args.retry_budget_ms)),
+        seed: args.seed,
+    };
+    let response = serve::roundtrip_retry(args.addr.as_str(), &request, &retry)
         .map_err(|e| Failure::Fatal(format!("request to {}: {e}", args.addr)))?;
     match &response {
         serve::Response::Pong => println!("pong"),
         serve::Response::Busy => eprintln!("xrta: server busy (queue full); retry later"),
         serve::Response::ShuttingDown => println!("server shutting down"),
+        serve::Response::Drained { shard } => println!("drained {shard}"),
         serve::Response::Error(e) => eprintln!("xrta: server error: {e}"),
         serve::Response::Stats(s) => {
             println!("{}", s.render_line());
@@ -476,6 +504,102 @@ fn run_request(args: &Args) -> Result<ExitCode, Failure> {
         return Ok(ExitCode::SUCCESS);
     }
     Ok(ExitCode::from(serve::answer_exit_code(&response)))
+}
+
+/// `xrta route`: run the consistent-hash router over `--shards`, or —
+/// with the `drain` verb — ask a running router to take one shard out
+/// of rotation, wait out its in-flight work and shut it down.
+fn run_route(
+    args: &Args,
+    cancel: Option<Arc<std::sync::atomic::AtomicBool>>,
+) -> Result<ExitCode, Failure> {
+    match args.path.as_deref() {
+        Some("drain") => {
+            let shard = args.path2.clone().ok_or_else(|| {
+                Failure::Usage(
+                    "route drain needs the shard address: xrta route drain HOST:PORT --addr ROUTER"
+                        .into(),
+                )
+            })?;
+            let retry = serve::RetryOptions {
+                policy: BackoffPolicy {
+                    max_retries: args.retries,
+                    ..serve::RetryOptions::default().policy
+                },
+                budget: Some(std::time::Duration::from_millis(args.retry_budget_ms)),
+                seed: args.seed,
+            };
+            let request = serve::Request::Drain {
+                shard: shard.clone(),
+            };
+            let response = serve::roundtrip_retry(args.addr.as_str(), &request, &retry)
+                .map_err(|e| Failure::Fatal(format!("drain via {}: {e}", args.addr)))?;
+            match &response {
+                serve::Response::Drained { shard } => {
+                    println!("drained {shard}");
+                    Ok(ExitCode::SUCCESS)
+                }
+                serve::Response::Error(e) => {
+                    eprintln!("xrta: drain failed: {e}");
+                    Ok(ExitCode::from(1))
+                }
+                other => {
+                    eprintln!("xrta: drain got an unexpected response: {other:?}");
+                    Ok(ExitCode::from(1))
+                }
+            }
+        }
+        Some(other) => Err(Failure::Usage(format!(
+            "unknown route verb {other:?} (expected: drain)"
+        ))),
+        None => {
+            let shards: Vec<String> = args
+                .shards
+                .as_deref()
+                .ok_or_else(|| {
+                    Failure::Usage("route needs --shards HOST:PORT,HOST:PORT,...".into())
+                })?
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            let options = router::RouterOptions {
+                addr: args.addr.clone(),
+                shards,
+                probe_interval: args.probe_interval,
+                health: router::HealthPolicy {
+                    eject_after: args.eject_after,
+                    cooldown: args.cooldown,
+                    ..router::HealthPolicy::default()
+                },
+                hedge_after: std::time::Duration::from_millis(args.hedge_ms),
+                warm_hits: args.warm_hits,
+                retry: BackoffPolicy {
+                    max_retries: args.retries,
+                    ..router::RouterOptions::default().retry
+                },
+                retry_budget: Some(std::time::Duration::from_millis(args.retry_budget_ms)),
+                seed: args.seed,
+                drain_deadline: args.drain_deadline,
+                cancel,
+                ..router::RouterOptions::default()
+            };
+            let handle =
+                router::start(options).map_err(|e| Failure::Fatal(format!("route: {e}")))?;
+            // Scripts parse this line for the ephemeral port; flush so
+            // they see it before the first request.
+            println!(
+                "xrta: routing on {} ({} shards)",
+                handle.addr(),
+                handle.shard_count()
+            );
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+            let snapshot = handle.join();
+            println!("{}", snapshot.render_line());
+            Ok(ExitCode::SUCCESS)
+        }
+    }
 }
 
 fn main() -> ExitCode {

@@ -27,6 +27,9 @@ pub struct CommandSpec {
     /// Placeholder for the positional argument; `None` when the
     /// command takes none. Brackets mark it optional.
     pub arg: Option<&'static str>,
+    /// Placeholder for a second positional argument (only ever
+    /// optional; `xrta route drain <shard>` is the one user).
+    pub arg2: Option<&'static str>,
     /// Flags this command accepts (beyond the common ones).
     pub flags: &'static [&'static str],
     /// One-line description for the usage text.
@@ -52,24 +55,28 @@ pub const COMMANDS: &[CommandSpec] = &[
     CommandSpec {
         name: "stats",
         arg: Some("<netlist>"),
+        arg2: None,
         flags: &[],
         summary: "structural statistics",
     },
     CommandSpec {
         name: "topo",
         arg: Some("<netlist>"),
+        arg2: None,
         flags: &["--req"],
         summary: "topological arrival/required/slack",
     },
     CommandSpec {
         name: "truedelay",
         arg: Some("<netlist>"),
+        arg2: None,
         flags: &["--engine"],
         summary: "functional (false-path) delays",
     },
     CommandSpec {
         name: "reqtime",
         arg: Some("<netlist>"),
+        arg2: None,
         flags: &[
             "--algo",
             "--engine",
@@ -84,18 +91,21 @@ pub const COMMANDS: &[CommandSpec] = &[
     CommandSpec {
         name: "slack",
         arg: Some("<netlist>"),
+        arg2: None,
         flags: &["--node", "--req", "--engine"],
         summary: "false-path-aware slack at one node",
     },
     CommandSpec {
         name: "macro",
         arg: Some("<netlist>"),
+        arg2: None,
         flags: &["--engine"],
         summary: "pin-to-pin macro-model",
     },
     CommandSpec {
         name: "fuzz",
         arg: None,
+        arg2: None,
         flags: &[
             "--seeds",
             "--max-inputs",
@@ -108,6 +118,7 @@ pub const COMMANDS: &[CommandSpec] = &[
     CommandSpec {
         name: "batch",
         arg: Some("<manifest>"),
+        arg2: None,
         flags: &[
             "--journal",
             "--report",
@@ -121,12 +132,14 @@ pub const COMMANDS: &[CommandSpec] = &[
             "--timeout",
             "--fallback",
             "--engine",
+            "--route",
         ],
         summary: "crash-resilient batch runner",
     },
     CommandSpec {
         name: "serve",
         arg: None,
+        arg2: None,
         flags: &[
             "--addr",
             "--workers",
@@ -144,6 +157,7 @@ pub const COMMANDS: &[CommandSpec] = &[
     CommandSpec {
         name: "request",
         arg: Some("[netlist]"),
+        arg2: None,
         flags: &[
             "--addr",
             "--req",
@@ -156,8 +170,28 @@ pub const COMMANDS: &[CommandSpec] = &[
             "--stats",
             "--ping",
             "--shutdown",
+            "--retries",
+            "--retry-budget-ms",
         ],
         summary: "query a running serve daemon",
+    },
+    CommandSpec {
+        name: "route",
+        arg: Some("[drain]"),
+        arg2: Some("[shard]"),
+        flags: &[
+            "--addr",
+            "--shards",
+            "--probe-interval",
+            "--eject-after",
+            "--cooldown",
+            "--hedge-ms",
+            "--warm-hits",
+            "--retries",
+            "--retry-budget-ms",
+            "--drain-deadline",
+        ],
+        summary: "consistent-hash router over serve shards (or: drain one shard)",
     },
 ];
 
@@ -334,6 +368,51 @@ pub const FLAGS: &[FlagSpec] = &[
         help: "ask the server to drain and exit",
     },
     FlagSpec {
+        flag: "--shards",
+        value: Some("HOSTS"),
+        help: "comma-separated backend serve addresses to route across",
+    },
+    FlagSpec {
+        flag: "--probe-interval",
+        value: Some("SECS"),
+        help: "health-check ping period per shard",
+    },
+    FlagSpec {
+        flag: "--eject-after",
+        value: Some("N"),
+        help: "consecutive failures before a shard is ejected",
+    },
+    FlagSpec {
+        flag: "--cooldown",
+        value: Some("SECS"),
+        help: "rest before an ejected shard gets a half-open probe",
+    },
+    FlagSpec {
+        flag: "--hedge-ms",
+        value: Some("MS"),
+        help: "latency threshold for a hedged try on the next replica",
+    },
+    FlagSpec {
+        flag: "--warm-hits",
+        value: Some("N"),
+        help: "requests per key before warming the next replica (0 = off)",
+    },
+    FlagSpec {
+        flag: "--retries",
+        value: Some("N"),
+        help: "retry attempts on busy/connect failures",
+    },
+    FlagSpec {
+        flag: "--retry-budget-ms",
+        value: Some("MS"),
+        help: "wall-clock cap across all retry attempts",
+    },
+    FlagSpec {
+        flag: "--route",
+        value: Some("HOST:PORT"),
+        help: "send batch jobs through a running route/serve tier",
+    },
+    FlagSpec {
         flag: "--cancel-file",
         value: Some("PATH"),
         help: "stop cleanly when this file appears (exit 4)",
@@ -357,6 +436,8 @@ pub struct Args {
     pub command: String,
     /// The positional argument (netlist or manifest), when given.
     pub path: Option<String>,
+    /// The second positional argument (`route drain <shard>`).
+    pub path2: Option<String>,
     /// `--req`.
     pub req: Option<i64>,
     /// `--engine`.
@@ -419,6 +500,24 @@ pub struct Args {
     pub allow_hold: bool,
     /// `--hold-ms`.
     pub hold_ms: u64,
+    /// `--shards` (comma-separated backend addresses).
+    pub shards: Option<String>,
+    /// `--probe-interval`.
+    pub probe_interval: Duration,
+    /// `--eject-after`.
+    pub eject_after: u32,
+    /// `--cooldown`.
+    pub cooldown: Duration,
+    /// `--hedge-ms`.
+    pub hedge_ms: u64,
+    /// `--warm-hits`.
+    pub warm_hits: u64,
+    /// `--retries`.
+    pub retries: u32,
+    /// `--retry-budget-ms`.
+    pub retry_budget_ms: u64,
+    /// `--route`.
+    pub route: Option<String>,
     /// `--stats`.
     pub stats_probe: bool,
     /// `--ping`.
@@ -480,9 +579,22 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
         }
     };
+    // The optional second positional (route's `drain <shard>`).
+    let path2 = match spec.arg2 {
+        Some(_) if path.is_some() => {
+            let next_is_flag = it.peek().is_some_and(|a| a.starts_with("--"));
+            if next_is_flag {
+                None
+            } else {
+                it.next()
+            }
+        }
+        _ => None,
+    };
     let mut args = Args {
         command,
         path,
+        path2,
         req: None,
         engine: EngineKind::Sat,
         algo: "approx2".to_string(),
@@ -514,6 +626,15 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
         drain_deadline: Duration::from_secs(5),
         allow_hold: false,
         hold_ms: 0,
+        shards: None,
+        probe_interval: Duration::from_millis(200),
+        eject_after: 3,
+        cooldown: Duration::from_secs(1),
+        hedge_ms: 150,
+        warm_hits: 3,
+        retries: 3,
+        retry_budget_ms: 2_000,
+        route: None,
         stats_probe: false,
         ping_probe: false,
         shutdown_probe: false,
@@ -526,6 +647,10 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
         // (so `xrta request --addr H:P netlist.bench` also works).
         if !a.starts_with("--") && args.path.is_none() && spec.arg.is_some() {
             args.path = Some(a);
+            continue;
+        }
+        if !a.starts_with("--") && args.path2.is_none() && spec.arg2.is_some() {
+            args.path2 = Some(a);
             continue;
         }
         let fspec = flag_spec(&a).ok_or_else(|| format!("unknown argument {a:?}"))?;
@@ -596,6 +721,17 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--allow-hold" => args.allow_hold = true,
             "--hold-ms" => args.hold_ms = num("--hold-ms", value()?)?,
+            "--shards" => args.shards = Some(value()?),
+            "--probe-interval" => {
+                args.probe_interval = parse_secs("--probe-interval", Some(value()?))?
+            }
+            "--eject-after" => args.eject_after = num("--eject-after", value()?)?,
+            "--cooldown" => args.cooldown = parse_secs("--cooldown", Some(value()?))?,
+            "--hedge-ms" => args.hedge_ms = num("--hedge-ms", value()?)?,
+            "--warm-hits" => args.warm_hits = num("--warm-hits", value()?)?,
+            "--retries" => args.retries = num("--retries", value()?)?,
+            "--retry-budget-ms" => args.retry_budget_ms = num("--retry-budget-ms", value()?)?,
+            "--route" => args.route = Some(value()?),
             "--stats" => args.stats_probe = true,
             "--ping" => args.ping_probe = true,
             "--shutdown" => args.shutdown_probe = true,
@@ -616,6 +752,10 @@ pub fn render_usage() -> String {
         if let Some(arg) = c.arg {
             line.push(' ');
             line.push_str(arg);
+        }
+        if let Some(arg2) = c.arg2 {
+            line.push(' ');
+            line.push_str(arg2);
         }
         for flag in c.flags {
             let f = flag_spec(flag).expect("command table references a declared flag");
@@ -684,7 +824,9 @@ mod tests {
             "SECS" => "1.5",
             "K" => "4",
             "N" => "7",
+            "MS" => "150",
             "HOST:PORT" => "127.0.0.1:0",
+            "HOSTS" => "127.0.0.1:7101,127.0.0.1:7102",
             "NAME" | "PATH" | "DIR" | "SPEC" => "x",
             other => panic!("no sample for value hint {other:?}"),
         }
@@ -771,6 +913,65 @@ mod tests {
         let q = parse_args(&argv(&["request", "add.bench", "--req", "9"])).unwrap();
         assert_eq!(q.path.as_deref(), Some("add.bench"));
         assert_eq!(q.req, Some(9));
+    }
+
+    #[test]
+    fn route_takes_two_optional_positionals() {
+        // Plain router start: both positionals absent.
+        let r = parse_args(&argv(&[
+            "route",
+            "--addr",
+            "127.0.0.1:0",
+            "--shards",
+            "127.0.0.1:7101,127.0.0.1:7102",
+            "--hedge-ms",
+            "80",
+            "--warm-hits",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(r.path, None);
+        assert_eq!(r.path2, None);
+        assert_eq!(r.shards.as_deref(), Some("127.0.0.1:7101,127.0.0.1:7102"));
+        assert_eq!(r.hedge_ms, 80);
+        assert_eq!(r.warm_hits, 2);
+        // Rolling drain: both positionals present.
+        let d = parse_args(&argv(&[
+            "route",
+            "drain",
+            "127.0.0.1:7101",
+            "--addr",
+            "127.0.0.1:7100",
+        ]))
+        .unwrap();
+        assert_eq!(d.path.as_deref(), Some("drain"));
+        assert_eq!(d.path2.as_deref(), Some("127.0.0.1:7101"));
+        // Flags may also come first.
+        let d2 = parse_args(&argv(&[
+            "route",
+            "--addr",
+            "127.0.0.1:7100",
+            "drain",
+            "127.0.0.1:7101",
+        ]))
+        .unwrap();
+        assert_eq!(d2.path.as_deref(), Some("drain"));
+        assert_eq!(d2.path2.as_deref(), Some("127.0.0.1:7101"));
+    }
+
+    #[test]
+    fn request_accepts_client_retry_flags() {
+        let a = parse_args(&argv(&[
+            "request",
+            "x.bench",
+            "--retries",
+            "5",
+            "--retry-budget-ms",
+            "900",
+        ]))
+        .unwrap();
+        assert_eq!(a.retries, 5);
+        assert_eq!(a.retry_budget_ms, 900);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! | [`robust`] | `xrta-robust` | failpoints, atomic writes, CRC'd journals, backoff |
 //! | [`batch`] | `xrta-batch` | crash-resilient batch runner with checkpoint/resume |
 //! | [`serve`] | `xrta-serve` | analysis daemon: result cache, single-flight, admission control |
+//! | [`router`] | `xrta-router` | sharded serving: consistent-hash routing, health checks, hedging, drain |
 //!
 //! ## Quickstart: the paper's Figure 4
 //!
@@ -41,6 +42,7 @@ pub use xrta_circuits as circuits;
 pub use xrta_core as core;
 pub use xrta_network as network;
 pub use xrta_robust as robust;
+pub use xrta_router as router;
 pub use xrta_sat as sat;
 pub use xrta_serve as serve;
 pub use xrta_timing as timing;
