@@ -32,9 +32,10 @@
 use std::fmt::Write as _;
 use std::time::Duration;
 
-use xrta_bench::{print_table, run_approx2_with, RunOutcome};
+use xrta_bench::{print_table, run_approx2_with, zero_required, RunOutcome};
 use xrta_circuits::iscas_rows;
-use xrta_core::CacheStrategy;
+use xrta_core::{slice_cones, CacheStrategy};
+use xrta_timing::UnitDelay;
 
 /// One (circuit, configuration) run for the table and the JSON report.
 struct Record {
@@ -54,6 +55,16 @@ struct Record {
     batches: usize,
     batched_probes: usize,
     spec_probes: usize,
+    /// Output cones the incremental (delta) path would slice this
+    /// circuit into.
+    cones: usize,
+    /// Distinct cone fingerprints among them. The difference is the
+    /// isomorphic-cone reuse a warm cone cache gets for free even on a
+    /// cold netlist.
+    cone_distinct: usize,
+    /// Cones answered from an earlier cone's verdict within one pass:
+    /// `cones - cone_distinct`, the intra-netlist cone-hit floor.
+    cone_dup_hits: usize,
     /// dominance@1 wall / this wall, for `dominance@N` rows when the
     /// serial twin ran in the same invocation (`--compare`).
     speedup_vs_serial: Option<f64>,
@@ -102,6 +113,7 @@ fn render_json(budget: Duration, records: &[Record]) -> String {
              \"oracle_calls\": {}, \"cache_hits\": {}, \"cache_hit_rate\": {:.4}, \
              \"steals\": {}, \"shard_contention\": {}, \"batches\": {}, \
              \"batched_probes\": {}, \"spec_probes\": {}, \
+             \"cones\": {}, \"cone_distinct\": {}, \"cone_dup_hits\": {}, \
              \"speedup_vs_serial\": {}, \"oracle_call_ratio\": {}}}{}",
             json_escape(&r.circuit),
             r.config,
@@ -122,6 +134,9 @@ fn render_json(budget: Duration, records: &[Record]) -> String {
             r.batches,
             r.batched_probes,
             r.spec_probes,
+            r.cones,
+            r.cone_distinct,
+            r.cone_dup_hits,
             opt(r.speedup_vs_serial),
             opt(r.oracle_call_ratio),
             if k + 1 == records.len() { "" } else { "," }
@@ -334,6 +349,13 @@ fn main() {
                             .find(|r| r.name == name)
                             .expect("known row");
                         let net = row.build();
+                        let slices = slice_cones(&net, &UnitDelay, &zero_required(&net));
+                        let mut seen = std::collections::HashSet::new();
+                        for s in &slices {
+                            seen.insert(s.fingerprint);
+                        }
+                        let (cones, cone_distinct) = (slices.len(), seen.len());
+                        drop(slices);
                         let rep = run_approx2_with(&net, budget, *t, *cache);
                         done.push((
                             k,
@@ -354,6 +376,9 @@ fn main() {
                                 batches: rep.batches,
                                 batched_probes: rep.batched_probes,
                                 spec_probes: rep.spec_probes,
+                                cones,
+                                cone_distinct,
+                                cone_dup_hits: cones - cone_distinct,
                                 speedup_vs_serial: None,
                                 oracle_call_ratio: None,
                             },
@@ -409,6 +434,7 @@ fn main() {
                 },
                 r.oracle_calls.to_string(),
                 format!("{} ({:.0}%)", r.cache_hits, 100.0 * r.cache_hit_rate),
+                format!("{} ({})", r.cones, r.cone_distinct),
                 r.speedup_vs_serial
                     .map(|s| format!("{s:.2}x"))
                     .unwrap_or_else(|| "-".to_string()),
@@ -427,6 +453,7 @@ fn main() {
             "CPU time r_max (s)",
             "oracle calls",
             "cache hits",
+            "cones (distinct)",
             "speedup",
             "call ratio",
         ],

@@ -57,6 +57,7 @@
 
 mod approx1;
 mod approx2;
+pub mod cone;
 pub mod dominance;
 mod exact;
 mod flex;
@@ -77,6 +78,7 @@ pub use approx1::{
 pub use approx2::{
     approx2_required_times, approx2_required_times_governed, Approx2Options, Approx2Result,
 };
+pub use cone::{analyze_cone, slice_cones, splice, ConeSlice, ConeVerdict, SpliceReport};
 pub use dominance::{CacheStrategy, DominanceCache};
 pub use exact::{exact_required_times, exact_required_times_governed, ExactAnalysis, ExactOptions};
 pub use flex::{

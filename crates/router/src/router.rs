@@ -435,7 +435,13 @@ fn connection_loop(mut stream: TcpStream, inner: &Arc<Inner>) {
                 Response::ShuttingDown.encode().into_bytes()
             }
             Request::Drain { shard } => drain_shard(inner, &shard).encode().into_bytes(),
-            Request::Analyze(a) => route_analyze(inner, &a, &payload),
+            // Delta routes exactly like analyze: the full-content key
+            // keeps the router's single-flight dedup sound, and its
+            // route point pins a netlist's deltas (hence their cone
+            // cache) to one shard — consistent-hash compatible with
+            // the analyze traffic for the same content.
+            Request::Analyze(a) => route_analyze(inner, &a, &payload, "unit"),
+            Request::Delta(a) => route_analyze(inner, &a, &payload, "delta"),
         };
         if write_frame(&mut stream, &response_bytes).is_err() {
             return;
@@ -443,14 +449,20 @@ fn connection_loop(mut stream: TcpStream, inner: &Arc<Inner>) {
     }
 }
 
-/// Routes one analyze request end-to-end: key, dedup, forward, warm.
-/// `payload` is the client's frame, forwarded verbatim.
-fn route_analyze(inner: &Arc<Inner>, a: &AnalyzeRequest, payload: &[u8]) -> Vec<u8> {
+/// Routes one analyze/delta request end-to-end: key, dedup, forward,
+/// warm. `payload` is the client's frame, forwarded verbatim; `domain`
+/// keeps analyze and delta flights for the same content from sharing a
+/// dedup key (their responses differ, so a follower must never get the
+/// other verb's bytes). Delta requests route like analyze — the
+/// full-content key keeps a netlist's deltas (hence their cone cache)
+/// pinned to one shard, consistent-hash compatible with the rest of
+/// the traffic.
+fn route_analyze(inner: &Arc<Inner>, a: &AnalyzeRequest, payload: &[u8], domain: &str) -> Vec<u8> {
     inner.stats.requests.fetch_add(1, Ordering::Relaxed);
     // Budgets are excluded from the routing key (shards clamp and tag
     // budgets themselves); the "route" tag keeps these keys disjoint
     // from any real cache namespace.
-    let key = CacheKey::compute(&a.netlist, "unit", &a.req, a.algo, a.engine, "route");
+    let key = CacheKey::compute(&a.netlist, domain, &a.req, a.algo, a.engine, "route");
     let point = key.route_point();
     let bytes = match inner.dedup.dispatch(key) {
         // Unreachable with a zero-capacity cache, but correct anyway.
@@ -766,6 +778,9 @@ fn aggregate_stats(inner: &Arc<Inner>) -> Response {
         total.oracle_steals += s.oracle_steals;
         total.oracle_contention += s.oracle_contention;
         total.oracle_batches += s.oracle_batches;
+        total.cone_hits += s.cone_hits;
+        total.cone_misses += s.cone_misses;
+        total.cone_splices += s.cone_splices;
         total.p50_us = total.p50_us.max(s.p50_us);
         total.p99_us = total.p99_us.max(s.p99_us);
     }

@@ -19,6 +19,8 @@
 //! ```text
 //! {"cmd":"analyze","name":"add8.bench","netlist":"...","algo":"approx2",
 //!  "engine":"sat","req":"12 12",...}          → answer | busy | shutting_down | error
+//! {"cmd":"delta", ...same fields...}          → answer composed from per-cone verdicts,
+//!                                               reusing every cached cone
 //! {"cmd":"stats"}                             → stats (handled out-of-band, never queued)
 //! {"cmd":"ping"}                              → pong
 //! {"cmd":"shutdown"}                          → shutting_down, then the server drains
@@ -126,6 +128,13 @@ impl Default for AnalyzeRequest {
 pub enum Request {
     /// Run (or fetch from cache) one analysis.
     Analyze(AnalyzeRequest),
+    /// Run one analysis cone-incrementally: the server slices the
+    /// netlist into per-output fanin cones, reuses every cone verdict
+    /// it has already stored (from *any* prior request), analyses only
+    /// the dirty cones, and splices. Same fields as `analyze`; the
+    /// answer composes per-cone reports, so it is byte-identical to a
+    /// cold `delta` of the same netlist, not to a whole-net `analyze`.
+    Delta(AnalyzeRequest),
     /// Snapshot the server counters. Answered inline, never queued.
     Stats,
     /// Liveness probe.
@@ -198,6 +207,40 @@ fn opt_field(out: &mut String, key: &str, v: Option<u64>) {
     }
 }
 
+fn encode_analyze(cmd: &str, a: &AnalyzeRequest) -> String {
+    let mut out = format!(
+        "{{\"cmd\":\"{cmd}\",\"name\":\"{}\",\"algo\":\"{}\",\"engine\":\"{}\",\"req\":\"{}\"",
+        escape(&a.name),
+        a.algo,
+        a.engine,
+        encode_times(&a.req),
+    );
+    opt_field(&mut out, "timeout_ms", a.timeout_ms);
+    opt_field(&mut out, "node_limit", a.node_limit);
+    opt_field(&mut out, "sat_conflicts", a.sat_conflicts);
+    if a.hold_ms > 0 {
+        opt_field(&mut out, "hold_ms", Some(a.hold_ms));
+    }
+    // The netlist rides last: it is by far the largest field, which
+    // keeps the greppable header up front.
+    out.push_str(&format!(",\"netlist\":\"{}\"}}", escape(&a.netlist)));
+    out
+}
+
+fn parse_analyze(f: &Fields) -> Result<AnalyzeRequest, String> {
+    Ok(AnalyzeRequest {
+        name: f.get("name")?.to_string(),
+        netlist: f.get("netlist")?.to_string(),
+        algo: f.get("algo")?.parse()?,
+        engine: f.get("engine")?.parse()?,
+        req: parse_times(f.get("req")?)?,
+        timeout_ms: f.opt_u64("timeout_ms")?,
+        node_limit: f.opt_u64("node_limit")?,
+        sat_conflicts: f.opt_u64("sat_conflicts")?,
+        hold_ms: f.opt_u64("hold_ms")?.unwrap_or(0),
+    })
+}
+
 impl Request {
     /// Encodes the request as one flat-JSON payload.
     pub fn encode(&self) -> String {
@@ -208,26 +251,8 @@ impl Request {
             Request::Drain { shard } => {
                 format!("{{\"cmd\":\"drain\",\"shard\":\"{}\"}}", escape(shard))
             }
-            Request::Analyze(a) => {
-                let mut out = format!(
-                    "{{\"cmd\":\"analyze\",\"name\":\"{}\",\"algo\":\"{}\",\"engine\":\"{}\",\
-                     \"req\":\"{}\"",
-                    escape(&a.name),
-                    a.algo,
-                    a.engine,
-                    encode_times(&a.req),
-                );
-                opt_field(&mut out, "timeout_ms", a.timeout_ms);
-                opt_field(&mut out, "node_limit", a.node_limit);
-                opt_field(&mut out, "sat_conflicts", a.sat_conflicts);
-                if a.hold_ms > 0 {
-                    opt_field(&mut out, "hold_ms", Some(a.hold_ms));
-                }
-                // The netlist rides last: it is by far the largest
-                // field, which keeps the greppable header up front.
-                out.push_str(&format!(",\"netlist\":\"{}\"}}", escape(&a.netlist)));
-                out
-            }
+            Request::Analyze(a) => encode_analyze("analyze", a),
+            Request::Delta(a) => encode_analyze("delta", a),
         }
     }
 
@@ -241,17 +266,8 @@ impl Request {
             "drain" => Ok(Request::Drain {
                 shard: f.get("shard")?.to_string(),
             }),
-            "analyze" => Ok(Request::Analyze(AnalyzeRequest {
-                name: f.get("name")?.to_string(),
-                netlist: f.get("netlist")?.to_string(),
-                algo: f.get("algo")?.parse()?,
-                engine: f.get("engine")?.parse()?,
-                req: parse_times(f.get("req")?)?,
-                timeout_ms: f.opt_u64("timeout_ms")?,
-                node_limit: f.opt_u64("node_limit")?,
-                sat_conflicts: f.opt_u64("sat_conflicts")?,
-                hold_ms: f.opt_u64("hold_ms")?.unwrap_or(0),
-            })),
+            "analyze" => Ok(Request::Analyze(parse_analyze(&f)?)),
+            "delta" => Ok(Request::Delta(parse_analyze(&f)?)),
             other => Err(format!("unknown cmd {other:?}")),
         }
     }
@@ -354,6 +370,11 @@ mod tests {
                 hold_ms: 5,
             }),
             Request::Analyze(AnalyzeRequest::default()),
+            Request::Delta(AnalyzeRequest {
+                name: "eco.bench".to_string(),
+                netlist: "INPUT(a)\nOUTPUT(z)\nz = BUF(a)\n".to_string(),
+                ..AnalyzeRequest::default()
+            }),
         ] {
             let text = req.encode();
             assert_eq!(Request::parse(&text).unwrap(), req, "{text}");

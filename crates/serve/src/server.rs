@@ -31,9 +31,13 @@ use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use xrta_core::cone::{analyze_cone, slice_cones, splice, ConeVerdict};
 use xrta_core::session::{run_with_fallback, SessionAnswer, SessionOptions};
-use xrta_core::{Approx2Options, Budget};
+use xrta_core::{Approx2Options, Budget, Verdict};
+use xrta_network::Network;
 use xrta_robust::failpoint;
+use xrta_robust::jsonflat::{escape, Fields};
+use xrta_timing::tokens::{encode_points, parse_points};
 use xrta_timing::{topological_delays, Time, UnitDelay};
 
 use crate::cache::{CacheKey, HitTier, ResultCache};
@@ -98,6 +102,8 @@ impl Default for ServeOptions {
 /// One admitted analyze job, waiting for a worker.
 struct Job {
     request: AnalyzeRequest,
+    /// `true` for a `delta` request: serve cone-incrementally.
+    delta: bool,
     reply: Sender<Vec<u8>>,
     received: Instant,
 }
@@ -413,22 +419,26 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
                 shared.begin_shutdown();
                 Response::Drained { shard }.encode().into_bytes()
             }
-            Request::Analyze(a) => {
-                shared.stats.requests.fetch_add(1, Ordering::Relaxed);
-                match admit(shared, a) {
-                    Ok(rx) => match rx.recv() {
-                        Ok(bytes) => bytes,
-                        Err(_) => Response::Error("server dropped the request".to_string())
-                            .encode()
-                            .into_bytes(),
-                    },
-                    Err(resp) => resp.encode().into_bytes(),
-                }
-            }
+            Request::Analyze(a) => analyze_inline(shared, a, false),
+            Request::Delta(a) => analyze_inline(shared, a, true),
         };
         if write_frame_faulty(&mut stream, &response_bytes).is_err() {
             return;
         }
+    }
+}
+
+/// Queues one analyze/delta request and blocks for its response bytes.
+fn analyze_inline(shared: &Arc<Shared>, request: AnalyzeRequest, delta: bool) -> Vec<u8> {
+    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+    match admit(shared, request, delta) {
+        Ok(rx) => match rx.recv() {
+            Ok(bytes) => bytes,
+            Err(_) => Response::Error("server dropped the request".to_string())
+                .encode()
+                .into_bytes(),
+        },
+        Err(resp) => resp.encode().into_bytes(),
     }
 }
 
@@ -440,6 +450,7 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
 fn admit(
     shared: &Arc<Shared>,
     request: AnalyzeRequest,
+    delta: bool,
 ) -> Result<std::sync::mpsc::Receiver<Vec<u8>>, Response> {
     if shared.shutting_down() {
         shared.stats.shutdowns.fetch_add(1, Ordering::Relaxed);
@@ -460,6 +471,7 @@ fn admit(
         }
         q.push_back(Job {
             request,
+            delta,
             reply: tx,
             received: Instant::now(),
         });
@@ -503,7 +515,11 @@ fn serve_job(shared: &Arc<Shared>, job: Job) {
     // Budgets shape the degradation rung, so the *effective* budgets
     // are part of the identity of the answer.
     let budget_tag = format!("{}/{}/{}", timeout.as_millis(), node_limit, sat_conflicts);
-    let key = CacheKey::compute(&a.netlist, "unit", &a.req, a.algo, a.engine, &budget_tag);
+    // Delta requests live in their own key domain: the whole-request
+    // flight is deduplicated but never stored — reuse happens at cone
+    // granularity inside `compute_delta`.
+    let domain = if job.delta { "delta" } else { "unit" };
+    let key = CacheKey::compute(&a.netlist, domain, &a.req, a.algo, a.engine, &budget_tag);
 
     let bytes = match shared.coordinator.dispatch(key) {
         Dispatch::Hit(bytes, tier) => {
@@ -518,6 +534,14 @@ fn serve_job(shared: &Arc<Shared>, job: Job) {
                 .encode()
                 .into_bytes()
         }),
+        Dispatch::Lead if job.delta => {
+            // Cone hit/miss counters tell the delta story; the
+            // whole-request miss counter stays an analyze-cache fact.
+            let response = compute_delta(shared, a, timeout, node_limit, sat_conflicts);
+            let bytes = response.encode().into_bytes();
+            shared.coordinator.complete(key, &bytes, false);
+            bytes
+        }
         Dispatch::Lead => {
             shared.stats.misses.fetch_add(1, Ordering::Relaxed);
             let response = compute(shared, a, timeout, node_limit, sat_conflicts);
@@ -588,18 +612,9 @@ fn compute(
         Ok(net) => net,
         Err(e) => return Response::Error(format!("netlist: {e}")),
     };
-    let req: Vec<Time> = if a.req.is_empty() {
-        topological_delays(&net, &UnitDelay)
-    } else if a.req.len() == 1 {
-        vec![a.req[0]; net.outputs().len()]
-    } else if a.req.len() == net.outputs().len() {
-        a.req.clone()
-    } else {
-        return Response::Error(format!(
-            "req has {} times but the netlist has {} outputs",
-            a.req.len(),
-            net.outputs().len()
-        ));
+    let req = match widen_req(&net, &a.req) {
+        Ok(req) => req,
+        Err(resp) => return resp,
     };
     let budget = Budget::unlimited()
         .with_node_limit(Some(node_limit as usize))
@@ -645,6 +660,169 @@ fn compute(
         Ok(Err(e)) => Response::Error(format!("analysis failed: {e}")),
         Err(_) => Response::Error("analysis panicked".to_string()),
     }
+}
+
+/// Stretches a request's `req` vector onto the netlist's outputs:
+/// empty → the topological delays (the paper's protocol), one value →
+/// broadcast, exact width → as-is.
+#[allow(clippy::result_large_err)]
+fn widen_req(net: &Network, req: &[Time]) -> Result<Vec<Time>, Response> {
+    if req.is_empty() {
+        Ok(topological_delays(net, &UnitDelay))
+    } else if req.len() == 1 {
+        Ok(vec![req[0]; net.outputs().len()])
+    } else if req.len() == net.outputs().len() {
+        Ok(req.to_vec())
+    } else {
+        Err(Response::Error(format!(
+            "req has {} times but the netlist has {} outputs",
+            req.len(),
+            net.outputs().len()
+        )))
+    }
+}
+
+/// Wire form of one cached cone verdict (a flat-JSON payload in the
+/// same dialect as the protocol, stored in the two-tier cache under
+/// the cone's fingerprint-derived key).
+fn encode_cone(v: &ConeVerdict) -> Vec<u8> {
+    format!(
+        "{{\"cone\":\"ok\",\"verdict\":\"{}\",\"nontrivial\":{},\"points\":\"{}\",\
+         \"reason\":\"{}\"}}",
+        v.verdict,
+        v.nontrivial,
+        encode_points(&v.points),
+        escape(&v.degraded_reason),
+    )
+    .into_bytes()
+}
+
+/// Wire form of a failed cone analysis — completed to followers so a
+/// failing leader never strands a flight, but never cached.
+fn encode_cone_error(e: &str) -> Vec<u8> {
+    format!("{{\"cone\":\"error\",\"error\":\"{}\"}}", escape(e)).into_bytes()
+}
+
+fn decode_cone(bytes: &[u8]) -> Result<ConeVerdict, String> {
+    let text = std::str::from_utf8(bytes).map_err(|e| e.to_string())?;
+    let f = Fields::parse(text)?;
+    match f.get("cone")? {
+        "ok" => Ok(ConeVerdict {
+            verdict: f.get("verdict")?.parse::<Verdict>()?,
+            nontrivial: f.get_bool("nontrivial")?,
+            points: parse_points(f.get("points")?)?,
+            degraded_reason: f.get("reason")?.to_string(),
+        }),
+        "error" => Err(f.get("error")?.to_string()),
+        other => Err(format!("unknown cone payload {other:?}")),
+    }
+}
+
+/// Serves one `delta` request cone-incrementally: slice the netlist
+/// into per-output fanin cones, fetch every cone verdict the cache
+/// already holds (from *any* prior request — the fingerprint is stable
+/// under renaming and PI reordering, so an edited netlist re-keys only
+/// its dirty cones), analyse the misses through the governed ladder,
+/// and splice. Cone computations ride the same single-flight
+/// coordinator, so concurrent deltas over shared cones deduplicate.
+fn compute_delta(
+    shared: &Arc<Shared>,
+    a: &AnalyzeRequest,
+    timeout: Duration,
+    node_limit: u64,
+    sat_conflicts: u64,
+) -> Response {
+    let net = match xrta_network::parse_netlist(&a.name, &a.netlist) {
+        Ok(net) => net,
+        Err(e) => return Response::Error(format!("netlist: {e}")),
+    };
+    let req = match widen_req(&net, &a.req) {
+        Ok(req) => req,
+        Err(resp) => return resp,
+    };
+    let budget_tag = format!("{}/{}/{}", timeout.as_millis(), node_limit, sat_conflicts);
+    let slices = slice_cones(&net, &UnitDelay, &req);
+    let mut verdicts = Vec::with_capacity(slices.len());
+    let mut reused = 0u64;
+    for slice in &slices {
+        // The descriptor *is* the canonical content of the cone; the
+        // budgets shape the degradation rung, so they key too.
+        let key = CacheKey::compute(
+            &slice.descriptor,
+            "cone",
+            &[slice.req],
+            a.algo,
+            a.engine,
+            &budget_tag,
+        );
+        let outcome = match shared.coordinator.dispatch(key) {
+            Dispatch::Hit(bytes, _) => {
+                shared.stats.cone_hits.fetch_add(1, Ordering::Relaxed);
+                reused += 1;
+                decode_cone(&bytes)
+            }
+            Dispatch::Follow(rx) => {
+                shared.stats.cone_hits.fetch_add(1, Ordering::Relaxed);
+                reused += 1;
+                match rx.recv() {
+                    Ok(bytes) => decode_cone(&bytes),
+                    Err(_) => Err("leader dropped the cone flight".to_string()),
+                }
+            }
+            Dispatch::Lead => {
+                shared.stats.cone_misses.fetch_add(1, Ordering::Relaxed);
+                let budget = Budget::unlimited()
+                    .with_node_limit(Some(node_limit as usize))
+                    .with_sat_conflicts(Some(sat_conflicts))
+                    .with_cancel_flag(Arc::clone(&shared.abort));
+                let opts = SessionOptions {
+                    budget,
+                    timeout: Some(timeout),
+                    fallback: true,
+                    approx2: Approx2Options {
+                        engine: a.engine,
+                        ..Approx2Options::default()
+                    },
+                    ..SessionOptions::default()
+                };
+                let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    analyze_cone(slice, a.algo, &opts)
+                }));
+                shared.stats.computations.fetch_add(1, Ordering::Relaxed);
+                let result = match outcome {
+                    Ok(Ok(v)) => Ok(v),
+                    Ok(Err(e)) => Err(format!("analysis failed: {e}")),
+                    Err(_) => Err("analysis panicked".to_string()),
+                };
+                match &result {
+                    Ok(v) => shared.coordinator.complete(key, &encode_cone(v), true),
+                    Err(e) => shared
+                        .coordinator
+                        .complete(key, &encode_cone_error(e), false),
+                };
+                result
+            }
+        };
+        match outcome {
+            Ok(v) => verdicts.push(v),
+            Err(e) => return Response::Error(e),
+        }
+    }
+    // Splices count only reused cones that actually landed in a
+    // response — an errored request above never reaches this line.
+    shared
+        .stats
+        .cone_splices
+        .fetch_add(reused, Ordering::Relaxed);
+    let report = splice(&net, &UnitDelay, &req, a.algo, &slices, &verdicts);
+    Response::Answer(Answer {
+        requested: report.requested,
+        verdict: report.verdict,
+        nontrivial: report.nontrivial,
+        req,
+        points: report.points,
+        degraded_reason: report.degraded_reason,
+    })
 }
 
 /// A dedicated rendering of the verdict ladder position, used by the
@@ -713,6 +891,53 @@ mod tests {
         );
         let final_stats = handle.join();
         assert_eq!(final_stats.answered, 2);
+    }
+
+    #[test]
+    fn delta_reuses_cones_and_repeats_byte_identically() {
+        let handle = start(ServeOptions {
+            workers: 2,
+            ..ServeOptions::default()
+        })
+        .unwrap();
+        let addr = handle.addr();
+        let delta = |netlist: &str| {
+            Request::Delta(AnalyzeRequest {
+                name: "eco.bench".to_string(),
+                netlist: netlist.to_string(),
+                algo: Verdict::Approx2,
+                engine: EngineKind::Bdd,
+                req: vec![Time::new(9)],
+                ..AnalyzeRequest::default()
+            })
+        };
+        // Two independent outputs; edit only z2's cone.
+        let base = "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(z1)\nOUTPUT(z2)\n\
+                    z1 = AND(a, b)\nz2 = OR(b, c)\n";
+        let edited = "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(z1)\nOUTPUT(z2)\n\
+                      z1 = AND(a, b)\nt = BUF(c)\nz2 = OR(b, t)\n";
+
+        let cold = roundtrip(addr, &delta(base)).unwrap();
+        assert!(matches!(cold, Response::Answer(_)), "{cold:?}");
+        let snap = handle.stats();
+        assert_eq!((snap.cone_hits, snap.cone_misses), (0, 2));
+
+        // Same netlist again: every cone is a hit, and the composed
+        // response is byte-identical to the cold one.
+        let warm = roundtrip(addr, &delta(base)).unwrap();
+        assert_eq!(cold, warm);
+        let snap = handle.stats();
+        assert_eq!((snap.cone_hits, snap.cone_misses), (2, 2));
+        assert_eq!(snap.cone_splices, 2);
+
+        // One-cone edit: z1's cone is reused, z2's is recomputed.
+        let resp = roundtrip(addr, &delta(edited)).unwrap();
+        assert!(matches!(resp, Response::Answer(_)), "{resp:?}");
+        let snap = handle.stats();
+        assert_eq!((snap.cone_hits, snap.cone_misses), (3, 3));
+
+        handle.shutdown();
+        handle.join();
     }
 
     #[test]

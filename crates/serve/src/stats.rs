@@ -48,6 +48,14 @@ pub struct ServeStats {
     /// Oracle batches executed (multi-rung, shared χ engine), summed
     /// over every approx-2 analysis.
     pub oracle_batches: AtomicU64,
+    /// Delta-request cones answered from the cone cache (either tier)
+    /// or deduplicated against an in-flight cone computation.
+    pub cone_hits: AtomicU64,
+    /// Delta-request cones that had to be analysed fresh.
+    pub cone_misses: AtomicU64,
+    /// Cached cone verdicts spliced into delta responses. Equal to
+    /// `cone_hits` unless a splice was abandoned mid-flight.
+    pub cone_splices: AtomicU64,
     /// Completed analyze service times, microseconds.
     service_us: Mutex<Vec<u64>>,
 }
@@ -89,6 +97,9 @@ impl ServeStats {
             oracle_batches: self.oracle_batches.load(Ordering::Relaxed),
             p50_us: pct(0.50),
             p99_us: pct(0.99),
+            cone_hits: self.cone_hits.load(Ordering::Relaxed),
+            cone_misses: self.cone_misses.load(Ordering::Relaxed),
+            cone_splices: self.cone_splices.load(Ordering::Relaxed),
         }
     }
 }
@@ -129,6 +140,12 @@ pub struct StatsSnapshot {
     pub p50_us: u64,
     /// 99th-percentile analyze service time, microseconds.
     pub p99_us: u64,
+    /// See [`ServeStats::cone_hits`].
+    pub cone_hits: u64,
+    /// See [`ServeStats::cone_misses`].
+    pub cone_misses: u64,
+    /// See [`ServeStats::cone_splices`].
+    pub cone_splices: u64,
 }
 
 impl StatsSnapshot {
@@ -144,7 +161,8 @@ impl StatsSnapshot {
              \"hits_disk\":{},\"misses\":{},\"computations\":{},\"sheds\":{},\
              \"shutdowns\":{},\"errors\":{},\"in_flight\":{},\"queue_depth\":{},\
              \"oracle_steals\":{},\"oracle_contention\":{},\"oracle_batches\":{},\
-             \"p50_us\":{},\"p99_us\":{}}}",
+             \"p50_us\":{},\"p99_us\":{},\
+             \"cone_hits\":{},\"cone_misses\":{},\"cone_splices\":{}}}",
             self.requests,
             self.answered,
             self.hits_mem,
@@ -161,6 +179,9 @@ impl StatsSnapshot {
             self.oracle_batches,
             self.p50_us,
             self.p99_us,
+            self.cone_hits,
+            self.cone_misses,
+            self.cone_splices,
         )
     }
 
@@ -184,6 +205,9 @@ impl StatsSnapshot {
             oracle_batches: f.get_u64("oracle_batches")?,
             p50_us: f.get_u64("p50_us")?,
             p99_us: f.get_u64("p99_us")?,
+            cone_hits: f.get_u64("cone_hits")?,
+            cone_misses: f.get_u64("cone_misses")?,
+            cone_splices: f.get_u64("cone_splices")?,
         })
     }
 
@@ -192,7 +216,8 @@ impl StatsSnapshot {
         format!(
             "serve: {} requests | {} hits ({} mem, {} disk) | {} misses | \
              {} sheds | {} errors | p50 {:.1}ms p99 {:.1}ms | \
-             oracle {} steals {} contended {} batches",
+             oracle {} steals {} contended {} batches | \
+             cones: {} hit, {} miss, {} spliced",
             self.requests,
             self.hits(),
             self.hits_mem,
@@ -205,6 +230,9 @@ impl StatsSnapshot {
             self.oracle_steals,
             self.oracle_contention,
             self.oracle_batches,
+            self.cone_hits,
+            self.cone_misses,
+            self.cone_splices,
         )
     }
 }
@@ -250,12 +278,21 @@ mod tests {
             oracle_batches: 7,
             p50_us: 1500,
             p99_us: 90_000,
+            cone_hits: 21,
+            cone_misses: 2,
+            cone_splices: 21,
         };
         let f = Fields::parse(&snap.encode()).unwrap();
         assert_eq!(StatsSnapshot::parse_fields(&f).unwrap(), snap);
         assert_eq!(snap.hits(), 4);
         assert!(
             snap.render_line().contains("10 requests"),
+            "{}",
+            snap.render_line()
+        );
+        assert!(
+            snap.render_line()
+                .ends_with("cones: 21 hit, 2 miss, 21 spliced"),
             "{}",
             snap.render_line()
         );

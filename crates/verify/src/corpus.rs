@@ -7,6 +7,7 @@
 //! ```text
 //! # xrta-corpus: v1
 //! # xrta-corpus: req 2 3 INF
+//! # xrta-corpus: delays g1=2 g5=3
 //! # xrta-corpus: origin fuzz seed 42 (approx2-soundness)
 //! INPUT(x0)
 //! ...
@@ -15,13 +16,17 @@
 //! `parse_bench` already ignores `#` comments, so the files load in any
 //! bench-aware tool; the directives are parsed separately here. Missing
 //! `req` defaults to the topological delays (the experimental protocol
-//! everywhere else in the workspace).
+//! everywhere else in the workspace). The optional `delays` directive
+//! carries sparse per-gate delay overrides by node name (everything
+//! else stays at the unit default) — the ECO fuzzer's delay-resize
+//! edits need them to survive a round trip through disk.
 
+use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
 
 use xrta_network::{parse_bench, write_bench};
-use xrta_timing::{topological_delays, Time, UnitDelay};
+use xrta_timing::{topological_delays, TableDelay, Time, UnitDelay};
 
 use crate::shrink::TestCase;
 
@@ -30,8 +35,25 @@ use crate::shrink::TestCase;
 pub struct CorpusEntry {
     /// The reduced test case.
     pub case: TestCase,
+    /// Sparse per-gate delay overrides by node name; absent nodes keep
+    /// the unit default. Ordered so serialisation is deterministic.
+    pub delays: BTreeMap<String, i64>,
     /// Where the failure came from (seed, violated check).
     pub origin: String,
+}
+
+impl CorpusEntry {
+    /// The delay model this entry replays under: unit delays with the
+    /// entry's sparse overrides applied.
+    pub fn delay_model(&self) -> TableDelay {
+        let mut model = TableDelay::with_default(&self.case.net, 1);
+        for id in self.case.net.node_ids() {
+            if let Some(&t) = self.delays.get(&self.case.net.node(id).name) {
+                model.set(id, t);
+            }
+        }
+        model
+    }
 }
 
 fn time_token(t: Time) -> String {
@@ -65,6 +87,13 @@ pub fn to_bench(entry: &CorpusEntry) -> String {
         out.push_str(&time_token(t));
     }
     out.push('\n');
+    if !entry.delays.is_empty() {
+        out.push_str("# xrta-corpus: delays");
+        for (name, ticks) in &entry.delays {
+            out.push_str(&format!(" {name}={ticks}"));
+        }
+        out.push('\n');
+    }
     out.push_str(&format!(
         "# xrta-corpus: origin {}\n",
         entry.origin.replace('\n', " ")
@@ -78,6 +107,7 @@ pub fn to_bench(entry: &CorpusEntry) -> String {
 pub fn parse_entry(text: &str) -> Result<CorpusEntry, String> {
     let net = parse_bench(text).map_err(|e| format!("bench: {e}"))?;
     let mut req: Option<Vec<Time>> = None;
+    let mut delays = BTreeMap::new();
     let mut origin = String::new();
     for line in text.lines() {
         let Some(rest) = line.trim().strip_prefix("# xrta-corpus:") else {
@@ -88,8 +118,23 @@ pub fn parse_entry(text: &str) -> Result<CorpusEntry, String> {
             let parsed: Result<Vec<Time>, String> =
                 times.split_whitespace().map(parse_time_token).collect();
             req = Some(parsed?);
+        } else if let Some(pairs) = rest.strip_prefix("delays") {
+            for pair in pairs.split_whitespace() {
+                let (name, ticks) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad delays token {pair:?}"))?;
+                let ticks: i64 = ticks
+                    .parse()
+                    .map_err(|e| format!("bad delay for {name:?}: {e}"))?;
+                delays.insert(name.to_string(), ticks);
+            }
         } else if let Some(o) = rest.strip_prefix("origin") {
             origin = o.trim().to_string();
+        }
+    }
+    for name in delays.keys() {
+        if !net.node_ids().any(|id| &net.node(id).name == name) {
+            return Err(format!("delays directive names unknown node {name:?}"));
         }
     }
     let req = match req {
@@ -107,6 +152,7 @@ pub fn parse_entry(text: &str) -> Result<CorpusEntry, String> {
     };
     Ok(CorpusEntry {
         case: TestCase { net, req },
+        delays,
         origin,
     })
 }
@@ -174,11 +220,13 @@ mod tests {
                 net,
                 req: req.clone(),
             },
+            delays: BTreeMap::from([("G10".to_string(), 3), ("G22".to_string(), 2)]),
             origin: "unit test".to_string(),
         };
         let text = to_bench(&entry);
         let back = parse_entry(&text).unwrap();
         assert_eq!(back.case.req, req);
+        assert_eq!(back.delays, entry.delays);
         assert_eq!(back.origin, "unit test");
         assert_eq!(back.case.net.inputs().len(), entry.case.net.inputs().len());
         let ones = vec![true; entry.case.net.inputs().len()];
@@ -205,6 +253,27 @@ mod tests {
     }
 
     #[test]
+    fn delays_directive_builds_the_model_and_rejects_unknown_nodes() {
+        let net = c17();
+        let mut text = String::from("# xrta-corpus: delays G10=4\n");
+        text.push_str(&write_bench(&net));
+        let entry = parse_entry(&text).unwrap();
+        let model = entry.delay_model();
+        use xrta_timing::DelayModel;
+        let g10 = entry
+            .case
+            .net
+            .node_ids()
+            .find(|&id| entry.case.net.node(id).name == "G10")
+            .unwrap();
+        assert_eq!(model.delay(&entry.case.net, g10), 4);
+
+        let mut bad = String::from("# xrta-corpus: delays nosuch=4\n");
+        bad.push_str(&write_bench(&c17()));
+        assert!(parse_entry(&bad).is_err());
+    }
+
+    #[test]
     fn save_and_load_dir() {
         let dir = std::env::temp_dir().join(format!("xrta_corpus_test_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
@@ -212,6 +281,7 @@ mod tests {
         let req = topological_delays(&net, &UnitDelay);
         let entry = CorpusEntry {
             case: TestCase { net, req },
+            delays: BTreeMap::new(),
             origin: "save/load".to_string(),
         };
         let p1 = save(&dir, "seed 1: bad/check", &entry).unwrap();

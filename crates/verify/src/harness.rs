@@ -648,6 +648,7 @@ pub fn fuzz(opts: &FuzzOptions, mut progress: impl FnMut(&str)) -> FuzzReport {
         let corpus_path = opts.corpus_dir.as_ref().and_then(|dir| {
             let entry = CorpusEntry {
                 case: shrunk.clone(),
+                delays: Default::default(),
                 origin: format!(
                     "fuzz seed {index} base {:#x} ({})",
                     opts.base_seed, failures[0].check

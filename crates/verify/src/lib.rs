@@ -21,13 +21,25 @@
 //!   readable reproducer.
 //! * [`corpus`] — `.bench`-based persistence for shrunk failures in
 //!   `netlists/corpus/`, replayed by the integration tests.
+//! * [`edits`] — the ECO differential: seeded edit scripts (delay
+//!   resizes, gate swaps, rewires, PO duplication, buffer insertion,
+//!   gate deletion) applied to base netlists, checking after every
+//!   edit that a warm fingerprint-keyed cone cache splices the
+//!   byte-identical report a cold from-scratch analysis produces.
+//!   Failures shrink to a minimal edit script and land in the corpus
+//!   as `_before`/`_after` pairs.
 
 pub mod corpus;
+pub mod edits;
 pub mod harness;
 pub mod oracle;
 pub mod shrink;
 
 pub use corpus::{load_dir, parse_entry, save, to_bench, CorpusEntry};
+pub use edits::{
+    apply_edit, apply_sequence, eco_fuzz, first_disagreement, random_edit, replay_pair,
+    shrink_edits, EcoFailure, EcoFuzzOptions, EcoReport, EditOp,
+};
 pub use harness::{
     check_case, check_network, fuzz, CheckOptions, Failure, Fault, FuzzOptions, FuzzReport,
 };

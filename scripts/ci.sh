@@ -20,8 +20,10 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release --workspace"
+# --workspace: the scaling gate below runs crates/bench's table2
+# binary, which a root-package build would leave stale.
+cargo build --release --workspace
 
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
@@ -44,6 +46,15 @@ echo "==> xrta fuzz smoke"
 ./target/release/xrta fuzz --seeds 64 --max-inputs 6 --time-cap 120 \
     --corpus /tmp/xrta-ci-corpus-$$
 rm -rf "/tmp/xrta-ci-corpus-$$"
+
+# ECO smoke: seeded edit sequences through the incremental-vs-scratch
+# differential — after every edit, a warm fingerprint-keyed cone cache
+# must compose the byte-identical report a cold analysis produces. The
+# exit code is 1 on any divergence (shrunk pairs land in the corpus dir).
+echo "==> xrta fuzz --edits smoke (ECO differential)"
+./target/release/xrta fuzz --edits 64 --max-inputs 6 --time-cap 120 \
+    --corpus /tmp/xrta-ci-eco-$$
+rm -rf "/tmp/xrta-ci-eco-$$"
 
 # Chaos smoke: the failpoints feature must build clean and the batch
 # runner must survive seeded faults, in-process kills, journal tail
@@ -124,6 +135,22 @@ if [ "$gained" -lt $((replayed * 9 / 10)) ]; then
     exit 1
 fi
 echo "    replay pass: $gained/$replayed cache hits"
+# Incremental replay: a delta request populates the cone cache; its
+# replay must answer (almost) entirely from cached cone verdicts.
+./target/release/xrta request --addr "$addr" netlists/add8.bench --delta \
+    >/dev/null
+./target/release/xrta request --addr "$addr" netlists/add8.bench --delta \
+    >/dev/null
+cone_line=$(./target/release/xrta request --addr "$addr" --stats \
+    | sed -n 's/.*cones: \([0-9]*\) hit, \([0-9]*\) miss.*/\1 \2/p')
+cone_hits=${cone_line% *}
+cone_misses=${cone_line#* }
+if [ -z "$cone_hits" ] || [ "$cone_hits" -lt 1 ] \
+    || [ "$cone_hits" -lt $((cone_misses * 9 / 10)) ]; then
+    echo "delta replay reused too few cones: $cone_hits hit / $cone_misses miss"
+    exit 1
+fi
+echo "    delta replay: $cone_hits cone hits, $cone_misses misses"
 ./target/release/xrta request --addr "$addr" --shutdown
 wait "$serve_pid"
 rm -rf "$sdir"
@@ -184,6 +211,20 @@ if [ "$cgained" -lt $((replayed * 9 / 10)) ]; then
     exit 1
 fi
 echo "    routed replay: $cgained/$replayed cache hits"
+# Routed delta replay: the full-content dedup key pins a netlist's
+# deltas to one shard, so the replay hits that shard's cone cache; the
+# router's stats answer aggregates the cone counters across shards.
+./target/release/xrta request --addr "$raddr" netlists/c17.bench --delta \
+    >/dev/null
+./target/release/xrta request --addr "$raddr" netlists/c17.bench --delta \
+    >/dev/null
+ccone_hits=$(./target/release/xrta request --addr "$raddr" --stats \
+    | sed -n 's/.*cones: \([0-9]*\) hit.*/\1/p')
+if [ -z "$ccone_hits" ] || [ "$ccone_hits" -lt 2 ]; then
+    echo "routed delta replay reused too few cones: ${ccone_hits:-none}"
+    exit 1
+fi
+echo "    routed delta replay: $ccone_hits cone hits"
 kill -9 "$shard1_pid"
 cluster_replay
 echo "    replay survived a shard SIGKILL with zero failures"

@@ -264,6 +264,9 @@ fn run_fuzz(
         .corpus
         .clone()
         .unwrap_or_else(|| "netlists/corpus".to_string());
+    if let Some(sequences) = args.edits {
+        return run_eco_fuzz(args, sequences, &corpus_dir, cancel);
+    }
     let opts = verify::FuzzOptions {
         seeds: args.seeds,
         base_seed: args.base_seed,
@@ -295,6 +298,65 @@ fn run_fuzz(
             f.shrunk.net.gate_count(),
             match &f.corpus_path {
                 Some(p) => format!(" | filed {}", p.display()),
+                None => String::new(),
+            }
+        );
+    }
+    if !report.failures.is_empty() {
+        Ok(ExitCode::from(1))
+    } else if report.cancelled {
+        eprintln!("xrta: fuzz cancelled via --cancel-file");
+        Ok(ExitCode::from(4))
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+/// `xrta fuzz --edits N`: the ECO differential — seeded edit scripts
+/// over corpus and random bases, checking after every edit that a warm
+/// fingerprint-keyed cone cache splices the byte-identical report a
+/// cold from-scratch analysis produces.
+fn run_eco_fuzz(
+    args: &Args,
+    sequences: usize,
+    corpus_dir: &str,
+    cancel: Option<Arc<std::sync::atomic::AtomicBool>>,
+) -> Result<ExitCode, Failure> {
+    let opts = verify::EcoFuzzOptions {
+        sequences,
+        base_seed: args.base_seed,
+        max_inputs: args.max_inputs,
+        time_cap: args.time_cap,
+        corpus_dir: Some(std::path::PathBuf::from(corpus_dir)),
+        cancel,
+    };
+    let report = verify::eco_fuzz(&opts, |line| eprintln!("xrta: fuzz: {line}"));
+    println!(
+        "fuzz: {} of {} edit sequences run{} | {} edits applied | base seed {:#x} | {} failure(s)",
+        report.sequences_run,
+        sequences,
+        if report.time_capped {
+            " (time-capped)"
+        } else {
+            ""
+        },
+        report.edits_applied,
+        args.base_seed,
+        report.failures.len()
+    );
+    for f in &report.failures {
+        println!(
+            "failure at sequence {}: diverged at step {} | {} edit(s): {}{}",
+            f.index,
+            f.step,
+            f.edits.len(),
+            f.edits
+                .iter()
+                .map(|e| e.to_string())
+                .collect::<Vec<_>>()
+                .join("; "),
+            match &f.corpus_paths {
+                Some((b, a)) => format!(" | filed {} + {}", b.display(), a.display()),
                 None => String::new(),
             }
         );
@@ -436,7 +498,7 @@ fn run_request(args: &Args) -> Result<ExitCode, Failure> {
             .algo
             .parse()
             .map_err(|_| Failure::Usage(format!("unknown --algo {:?}", args.algo)))?;
-        serve::Request::Analyze(serve::AnalyzeRequest {
+        let analyze = serve::AnalyzeRequest {
             name,
             netlist,
             algo,
@@ -446,7 +508,12 @@ fn run_request(args: &Args) -> Result<ExitCode, Failure> {
             node_limit: args.node_limit.map(|n| n as u64),
             sat_conflicts: args.sat_conflicts,
             hold_ms: args.hold_ms,
-        })
+        };
+        if args.delta {
+            serve::Request::Delta(analyze)
+        } else {
+            serve::Request::Analyze(analyze)
+        }
     };
     // Connect-refused and `busy` are transient when shards restart or
     // shed load; retry them under a jittered-backoff budget so scripts

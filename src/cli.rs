@@ -112,6 +112,7 @@ pub const COMMANDS: &[CommandSpec] = &[
             "--time-cap",
             "--corpus",
             "--base-seed",
+            "--edits",
         ],
         summary: "differential fuzzing against the exhaustive oracle",
     },
@@ -172,6 +173,7 @@ pub const COMMANDS: &[CommandSpec] = &[
             "--shutdown",
             "--retries",
             "--retry-budget-ms",
+            "--delta",
         ],
         summary: "query a running serve daemon",
     },
@@ -261,6 +263,16 @@ pub const FLAGS: &[FlagSpec] = &[
         flag: "--base-seed",
         value: Some("N"),
         help: "first fuzz seed",
+    },
+    FlagSpec {
+        flag: "--edits",
+        value: Some("N"),
+        help: "run N ECO edit sequences (incremental-vs-scratch differential)",
+    },
+    FlagSpec {
+        flag: "--delta",
+        value: None,
+        help: "send a delta request: reuse cached cone verdicts server-side",
     },
     FlagSpec {
         flag: "--journal",
@@ -464,6 +476,11 @@ pub struct Args {
     pub corpus: Option<String>,
     /// `--base-seed`.
     pub base_seed: u64,
+    /// `--edits` (`Some`: run the ECO differential instead of the
+    /// oracle matrix).
+    pub edits: Option<usize>,
+    /// `--delta`.
+    pub delta: bool,
     /// `--journal`.
     pub journal: Option<String>,
     /// `--report`.
@@ -608,6 +625,8 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
         time_cap: None,
         corpus: None,
         base_seed: 0xF0CC,
+        edits: None,
+        delta: false,
         journal: None,
         report_path: None,
         resume: false,
@@ -699,6 +718,8 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--time-cap" => args.time_cap = Some(parse_secs("--time-cap", Some(value()?))?),
             "--corpus" => args.corpus = Some(value()?),
             "--base-seed" => args.base_seed = num("--base-seed", value()?)?,
+            "--edits" => args.edits = Some(num("--edits", value()?)?),
+            "--delta" => args.delta = true,
             "--journal" => args.journal = Some(value()?),
             "--report" => args.report_path = Some(value()?),
             "--resume" => args.resume = true,

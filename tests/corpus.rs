@@ -4,7 +4,7 @@
 
 use std::path::Path;
 
-use xrta::verify::{check_case, load_dir, CheckOptions};
+use xrta::verify::{check_case, load_dir, replay_pair, CheckOptions};
 
 fn corpus_dir() -> std::path::PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("netlists/corpus")
@@ -17,6 +17,37 @@ fn corpus_is_seeded() {
         entries.len() >= 3,
         "netlists/corpus/ ships at least the fig4, bypass and c17 seeds"
     );
+}
+
+/// Every `*_before.bench` entry pairs with an `*_after.bench` entry;
+/// replaying the pair with a warm cone cache must compose the
+/// byte-identical report a cold analysis produces. A failure here
+/// means a previously found incremental-analysis bug has come back.
+#[test]
+fn eco_pairs_replay_with_a_warm_cone_cache() {
+    let entries = load_dir(&corpus_dir()).expect("corpus loads");
+    let mut pairs = 0;
+    for (path, before) in &entries {
+        let stem = path.file_stem().unwrap().to_string_lossy().into_owned();
+        let Some(base) = stem.strip_suffix("_before") else {
+            continue;
+        };
+        let after_path = path.with_file_name(format!("{base}_after.bench"));
+        let (_, after) = entries
+            .iter()
+            .find(|(p, _)| p == &after_path)
+            .unwrap_or_else(|| panic!("{} has no paired {}", path.display(), after_path.display()));
+        replay_pair(before, after).unwrap_or_else(|e| {
+            panic!(
+                "{} -> {} ({}) regressed: {e}",
+                path.display(),
+                after_path.display(),
+                before.origin
+            )
+        });
+        pairs += 1;
+    }
+    assert!(pairs >= 1, "netlists/corpus/ ships at least one ECO pair");
 }
 
 #[test]

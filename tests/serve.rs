@@ -54,6 +54,138 @@ fn analyze(netlist: &str, req_time: i64, hold_ms: u64) -> Request {
 
 const TINY: &str = "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = AND(a, b)\n";
 
+/// A C3540-shaped surrogate: 22 output cones over 10 shared inputs.
+/// Each block gets a k-long inverter tail so every cone is
+/// structurally unique (equal-fingerprint cones would share cache
+/// entries and blur the hit accounting this test asserts).
+fn c3540_surrogate() -> String {
+    const BLOCKS: usize = 22;
+    const INPUTS: usize = 10;
+    let kinds = ["AND", "OR", "NAND", "NOR", "XOR", "XNOR"];
+    let mut s = String::new();
+    for i in 0..INPUTS {
+        s += &format!("INPUT(i{i})\n");
+    }
+    for k in 0..BLOCKS {
+        s += &format!("OUTPUT(z{k})\n");
+    }
+    // Depth of the reconvergent mixing chain inside each block. Deep
+    // enough that per-cone analysis dominates the fixed per-request
+    // overhead (parse + slice + fingerprint + transport) — that ratio
+    // is what the release-mode >=5x wall-clock assertion measures.
+    const DEPTH: usize = 14;
+    for k in 0..BLOCKS {
+        let pin = |j: usize| format!("i{}", (k + j) % INPUTS);
+        let g = |j: usize| kinds[(k + j) % kinds.len()];
+        s += &format!("b{k}_p = {}({}, {})\n", g(0), pin(0), pin(1));
+        s += &format!("b{k}_q = {}({}, {})\n", g(1), pin(2), pin(3));
+        s += &format!("b{k}_m0 = XOR(b{k}_p, b{k}_q)\n");
+        for j in 1..=DEPTH {
+            // Every primary input re-enters the chain several times,
+            // so the cone is reconvergent and false-path analysis has
+            // real work per timing point.
+            s += &format!("b{k}_m{j} = {}(b{k}_m{}, {})\n", g(j), j - 1, pin(j));
+        }
+        s += &format!("b{k}_r = {}(b{k}_m{DEPTH}, {})\n", g(2), pin(4));
+        s += &format!("b{k}_s = AND(b{k}_q, {})\n", pin(5));
+        s += &format!("b{k}_t0 = OR(b{k}_r, b{k}_s)\n");
+        for step in 0..k {
+            s += &format!("b{k}_t{} = NOT(b{k}_t{step})\n", step + 1);
+        }
+        s += &format!("z{k} = BUF(b{k}_t{k})\n");
+    }
+    s
+}
+
+fn delta(netlist: &str) -> Request {
+    let Request::Analyze(a) = analyze(netlist, 0, 0) else {
+        unreachable!()
+    };
+    // Empty req: the server widens to the per-output topological
+    // delays, which vary with each block's inverter-tail length.
+    Request::Delta(AnalyzeRequest {
+        req: Vec::new(),
+        ..a
+    })
+}
+
+/// The tentpole acceptance test: a one-gate ECO edit on a 22-cone
+/// netlist recomputes only the dirty cone (≥ 90% cone-hit rate), the
+/// delta response is byte-identical to what a cold server computes
+/// from scratch, and (release builds) the warm replay beats the cold
+/// one by ≥ 5× wall clock.
+#[test]
+fn delta_requests_reuse_cones_across_an_eco_edit() {
+    let base = c3540_surrogate();
+    // The ECO edit: swap one gate kind deep inside block 7. Only the
+    // z7 cone's fingerprint changes.
+    let edited = base.replace("b7_s = AND(b7_q, i2)", "b7_s = NOR(b7_q, i2)");
+    assert_ne!(base, edited, "the edit target must exist");
+
+    let warm = serve::start(ServeOptions {
+        workers: 2,
+        ..ServeOptions::default()
+    })
+    .unwrap();
+    let addr = warm.addr();
+
+    // Cold delta: every cone is a miss.
+    let t0 = Instant::now();
+    let cold_bytes = raw_roundtrip(addr, &delta(&base));
+    let cold_wall = t0.elapsed();
+    assert!(
+        cold_bytes.starts_with(b"{\"status\":\"answer\""),
+        "{}",
+        String::from_utf8_lossy(&cold_bytes)
+    );
+    let s = warm.stats();
+    assert_eq!(s.cone_misses, 22, "22 structurally distinct cones");
+    assert_eq!(s.cone_hits, 0);
+
+    // Identical replay: pure cache traffic, byte-identical answer.
+    let replay_bytes = raw_roundtrip(addr, &delta(&base));
+    assert_eq!(replay_bytes, cold_bytes, "replayed delta differs");
+    let s = warm.stats();
+    assert_eq!(s.cone_misses, 22);
+    assert_eq!(s.cone_hits, 22);
+    assert_eq!(s.cone_splices, 22);
+
+    // The edit: only the dirty cone recomputes — 21/22 ≈ 95% hits.
+    let t1 = Instant::now();
+    let edited_bytes = raw_roundtrip(addr, &delta(&edited));
+    let edit_wall = t1.elapsed();
+    assert!(edited_bytes.starts_with(b"{\"status\":\"answer\""));
+    let s = warm.stats();
+    assert_eq!(s.cone_misses, 23, "exactly one dirty cone recomputes");
+    assert_eq!(s.cone_hits, 43);
+    assert_eq!(s.cone_splices, 43);
+
+    // Splice soundness: a cold server analyzing the edited netlist
+    // from scratch must produce the byte-identical response.
+    let cold = serve::start(ServeOptions {
+        workers: 2,
+        ..ServeOptions::default()
+    })
+    .unwrap();
+    let scratch_bytes = raw_roundtrip(cold.addr(), &delta(&edited));
+    assert_eq!(
+        scratch_bytes, edited_bytes,
+        "warm splice diverged from a from-scratch analysis"
+    );
+    cold.shutdown();
+    cold.join();
+    warm.shutdown();
+    warm.join();
+
+    // Wall-clock claim, meaningful only without debug overhead.
+    if !cfg!(debug_assertions) {
+        assert!(
+            cold_wall >= edit_wall * 5,
+            "expected >=5x win from cone reuse: cold {cold_wall:?} vs warm-edit {edit_wall:?}"
+        );
+    }
+}
+
 /// 32 concurrent clients over 4 distinct keys: the computation count
 /// must equal the number of distinct keys (single-flight + cache),
 /// and all responses for one key must be byte-identical.
