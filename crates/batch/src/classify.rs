@@ -43,6 +43,9 @@ pub fn classify(e: &AnalysisError) -> FailureClass {
         AnalysisError::SatBudget => FailureClass::Permanent,
         AnalysisError::DeadlineExceeded => FailureClass::Transient,
         AnalysisError::WorkerPanic => FailureClass::Transient,
+        // The runner retries with a tighter memory budget, so a retry
+        // genuinely behaves differently from the failed attempt.
+        AnalysisError::MemoryOut => FailureClass::Transient,
         // Interpreted as a run-level stop by the runner; conservative
         // retryable mapping for anyone else.
         AnalysisError::Interrupted => FailureClass::Transient,
@@ -91,6 +94,7 @@ impl std::fmt::Display for JobError {
             JobError::Analysis(AnalysisError::DeadlineExceeded) => write!(f, "deadline"),
             JobError::Analysis(AnalysisError::SatBudget) => write!(f, "sat-budget"),
             JobError::Analysis(AnalysisError::WorkerPanic) => write!(f, "worker-panic"),
+            JobError::Analysis(AnalysisError::MemoryOut) => write!(f, "memory-out"),
             JobError::Analysis(AnalysisError::Interrupted) => write!(f, "interrupted"),
             JobError::Panicked => write!(f, "panic"),
             JobError::Remote { msg, .. } => write!(f, "remote: {msg}"),
@@ -128,6 +132,11 @@ mod tests {
             classify(&AnalysisError::Interrupted),
             FailureClass::Transient
         );
+        assert_eq!(
+            classify(&AnalysisError::MemoryOut),
+            FailureClass::Transient,
+            "a retry runs under a tighter budget, not an identical one"
+        );
     }
 
     #[test]
@@ -146,6 +155,10 @@ mod tests {
         let dl = JobError::Analysis(AnalysisError::DeadlineExceeded);
         assert_eq!(dl.class(), FailureClass::Transient);
         assert_eq!(dl.to_string(), "deadline");
+
+        let mem = JobError::Analysis(AnalysisError::MemoryOut);
+        assert_eq!(mem.class(), FailureClass::Transient);
+        assert_eq!(mem.to_string(), "memory-out");
 
         let refused = JobError::Remote {
             msg: "connection refused".to_string(),

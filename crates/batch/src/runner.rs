@@ -66,6 +66,13 @@ pub struct BatchOptions {
     /// after this many *terminal* records have been journaled by this
     /// process.
     pub stop_after_jobs: Option<usize>,
+    /// Memory budget per attempt. A `memory-out` classifies as
+    /// transient, and each retry *tightens* this base limit
+    /// (`base >> min(attempt, 2)`, floored at 1 MiB) so the job is
+    /// steered down the degradation ladder instead of repeating the
+    /// same blow-up. The schedule is a pure function of the journaled
+    /// attempt number, so resumed runs replay identically.
+    pub mem_limit: Option<u64>,
 }
 
 impl Default for BatchOptions {
@@ -82,6 +89,7 @@ impl Default for BatchOptions {
             route: None,
             cancel: None,
             stop_after_jobs: None,
+            mem_limit: None,
         }
     }
 }
@@ -215,18 +223,30 @@ fn run_attempt(spec: &JobSpec, job: usize, attempt: u64, opts: &BatchOptions) ->
         failpoint::arm(fp, mix(opts.seed, job as u64, attempt))
             .expect("failpoint spec was validated at startup");
     }
-    let outcome = run_attempt_inner(spec, opts);
+    let outcome = run_attempt_inner(spec, attempt, opts);
     if opts.failpoints.is_some() {
         failpoint::disarm();
     }
     outcome
 }
 
+/// The retry-tightening schedule: each failed attempt halves the
+/// memory budget (twice at most), floored at 1 MiB. Depending only on
+/// the journaled attempt number keeps resumed runs byte-identical.
+fn effective_mem_limit(base: Option<u64>, attempt: u64) -> Option<u64> {
+    base.map(|b| (b >> attempt.min(2)).max(1 << 20))
+}
+
 /// One remote attempt: ship the netlist to the configured serve/route
 /// address and translate the wire response into an attempt outcome.
 /// A single round-trip per attempt — the runner's own journaled
 /// backoff is the retry loop, so resumed runs replay identically.
-fn run_attempt_remote(spec: &JobSpec, addr: &str, opts: &BatchOptions) -> AttemptOutcome {
+fn run_attempt_remote(
+    spec: &JobSpec,
+    addr: &str,
+    attempt: u64,
+    opts: &BatchOptions,
+) -> AttemptOutcome {
     let netlist = match std::fs::read_to_string(&spec.path) {
         Ok(text) => text,
         Err(e) => {
@@ -249,6 +269,7 @@ fn run_attempt_remote(spec: &JobSpec, addr: &str, opts: &BatchOptions) -> Attemp
             .map(|t| t.as_millis() as u64),
         node_limit: spec.node_limit.map(|n| n as u64),
         sat_conflicts: spec.sat_conflicts,
+        mem_limit: effective_mem_limit(opts.mem_limit, attempt),
         ..xrta_serve::AnalyzeRequest::default()
     });
     match xrta_serve::roundtrip(addr, &request) {
@@ -256,8 +277,8 @@ fn run_attempt_remote(spec: &JobSpec, addr: &str, opts: &BatchOptions) -> Attemp
             msg: e.to_string(),
             transient: true,
         }),
-        Ok(xrta_serve::Response::Busy) => AttemptOutcome::Failed(JobError::Remote {
-            msg: "server busy".to_string(),
+        Ok(xrta_serve::Response::Busy { reason }) => AttemptOutcome::Failed(JobError::Remote {
+            msg: format!("server busy ({reason})"),
             transient: true,
         }),
         Ok(xrta_serve::Response::ShuttingDown) => AttemptOutcome::Failed(JobError::Remote {
@@ -284,9 +305,9 @@ fn run_attempt_remote(spec: &JobSpec, addr: &str, opts: &BatchOptions) -> Attemp
     }
 }
 
-fn run_attempt_inner(spec: &JobSpec, opts: &BatchOptions) -> AttemptOutcome {
+fn run_attempt_inner(spec: &JobSpec, attempt: u64, opts: &BatchOptions) -> AttemptOutcome {
     if let Some(addr) = &opts.route {
-        return run_attempt_remote(spec, addr, opts);
+        return run_attempt_remote(spec, addr, attempt, opts);
     }
     let net = match load_network_file(std::path::Path::new(&spec.path)) {
         Ok(net) => net,
@@ -298,7 +319,8 @@ fn run_attempt_inner(spec: &JobSpec, opts: &BatchOptions) -> AttemptOutcome {
     };
     let mut budget = Budget::unlimited()
         .with_node_limit(spec.node_limit)
-        .with_sat_conflicts(spec.sat_conflicts);
+        .with_sat_conflicts(spec.sat_conflicts)
+        .with_mem_limit(effective_mem_limit(opts.mem_limit, attempt));
     if let Some(cancel) = &opts.cancel {
         budget = budget.with_cancel_flag(Arc::clone(cancel));
     }

@@ -28,6 +28,9 @@ pub enum BddError {
     Deadline,
     /// The shared cancel flag was raised during construction.
     Cancelled,
+    /// The byte-accurate memory budget ([`Bdd::set_mem_limit`]) hit its
+    /// hard watermark after in-place reclamation.
+    MemoryOut,
 }
 
 impl fmt::Display for BddError {
@@ -38,6 +41,7 @@ impl fmt::Display for BddError {
             }
             BddError::Deadline => write!(f, "bdd construction deadline exceeded"),
             BddError::Cancelled => write!(f, "bdd construction cancelled"),
+            BddError::MemoryOut => write!(f, "memory budget exhausted"),
         }
     }
 }
@@ -100,6 +104,11 @@ pub struct Bdd {
     /// Shared cooperative cancel flag; when raised, node creation fails
     /// with [`BddError::Cancelled`].
     cancel: Option<Arc<AtomicBool>>,
+    /// Byte budget against the process-wide memory meter; `None`
+    /// disables pressure checks (accounting still runs).
+    mem_limit: Option<u64>,
+    /// Bytes this manager last reported to the meter.
+    mem_charged: u64,
     /// Countdown to the next governor poll (see
     /// [`GOVERNOR_POLL_INTERVAL`]).
     poll_countdown: u32,
@@ -142,6 +151,8 @@ impl Bdd {
             node_limit,
             deadline: None,
             cancel: None,
+            mem_limit: None,
+            mem_charged: 0,
             poll_countdown: GOVERNOR_POLL_INTERVAL,
         }
     }
@@ -174,6 +185,72 @@ impl Bdd {
         self.poll_countdown = 0;
     }
 
+    /// Arms (or disarms, with `None`) a byte budget against the
+    /// process-wide memory meter. At the soft watermark (7/8 of the
+    /// limit) the apply/op caches are dropped in place; at the hard
+    /// watermark construction fails with [`BddError::MemoryOut`].
+    /// Polled on the same amortized schedule as [`Bdd::set_deadline`].
+    pub fn set_mem_limit(&mut self, limit: Option<u64>) {
+        self.mem_limit = limit;
+        self.poll_countdown = 0;
+    }
+
+    /// Estimated bytes behind this manager: arena, unique table and the
+    /// two operation caches (capacity-based, so a shrink is visible).
+    fn mem_bytes_estimate(&self) -> u64 {
+        // Hash-map slots carry the key/value pair plus control bytes.
+        const MAP_ENTRY: usize = 12 + 4 + 8;
+        let nodes = self.nodes.capacity() * std::mem::size_of::<Node>();
+        let maps = (self.unique.capacity() + self.ite_cache.capacity() + self.op_cache.capacity())
+            * MAP_ENTRY;
+        let var_lists: usize = self
+            .var_nodes
+            .iter()
+            .map(|l| l.capacity() * std::mem::size_of::<u32>())
+            .sum();
+        (nodes + maps + var_lists) as u64
+    }
+
+    /// Re-states this manager's footprint on the meter and reacts to
+    /// pressure when a limit is armed: soft → shrink the apply caches
+    /// in place (the unique table stays — it holds the diagram itself),
+    /// hard → cooperative [`BddError::MemoryOut`].
+    fn poll_memory(&mut self) -> BddResult<()> {
+        let meter = xrta_robust::mem::global();
+        let mut charged = self.mem_charged;
+        meter.restate(
+            xrta_robust::mem::Subsystem::Bdd,
+            &mut charged,
+            self.mem_bytes_estimate(),
+        );
+        self.mem_charged = charged;
+        let Some(limit) = self.mem_limit else {
+            return Ok(());
+        };
+        match meter.pressure(limit) {
+            xrta_robust::mem::Pressure::None => Ok(()),
+            xrta_robust::mem::Pressure::Soft => {
+                // Reclaim only when the caches are worth dropping, so
+                // sustained soft pressure from *other* subsystems does
+                // not thrash freshly rebuilt tables.
+                if self.ite_cache.len() + self.op_cache.len() >= 1 << 12 {
+                    self.clear_caches();
+                    self.ite_cache.shrink_to_fit();
+                    self.op_cache.shrink_to_fit();
+                    let mut charged = self.mem_charged;
+                    meter.restate(
+                        xrta_robust::mem::Subsystem::Bdd,
+                        &mut charged,
+                        self.mem_bytes_estimate(),
+                    );
+                    self.mem_charged = charged;
+                }
+                Ok(())
+            }
+            xrta_robust::mem::Pressure::Hard => Err(BddError::MemoryOut),
+        }
+    }
+
     /// Amortized governor check, called on the node-creation path and
     /// at the entry of the long cache-hit-heavy traversals
     /// (`isop`/`quant`/reordering), which can run for a long time
@@ -195,7 +272,7 @@ impl Bdd {
                 return Err(BddError::Deadline);
             }
         }
-        Ok(())
+        self.poll_memory()
     }
 
     /// Number of nodes in the arena, including the two terminals and any
@@ -726,6 +803,12 @@ impl Bdd {
     }
 }
 
+impl Drop for Bdd {
+    fn drop(&mut self) {
+        xrta_robust::mem::global().release(xrta_robust::mem::Subsystem::Bdd, self.mem_charged);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -943,5 +1026,31 @@ mod tests {
     fn foreign_var_panics() {
         let mut bdd = Bdd::new();
         let _ = bdd.var(Var::from_index(3));
+    }
+
+    #[test]
+    fn governor_mem_limit_stops_construction() {
+        let mut bdd = Bdd::new();
+        let vars = bdd.fresh_vars(24);
+        // One byte: the first accounting poll is already past the hard
+        // watermark, whatever the rest of the process has charged.
+        bdd.set_mem_limit(Some(1));
+        let mut err = None;
+        let mut acc = Ref::TRUE;
+        for v in vars {
+            let step = bdd.try_var(v).and_then(|l| bdd.try_xor(acc, l));
+            match step {
+                Ok(r) => acc = r,
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        assert_eq!(err, Some(BddError::MemoryOut));
+        // Disarming the limit makes the manager usable again.
+        bdd.set_mem_limit(None);
+        let v = bdd.fresh_var();
+        assert!(bdd.try_var(v).is_ok());
     }
 }

@@ -70,6 +70,11 @@ struct Record {
     speedup_vs_serial: Option<f64>,
     /// This run's oracle calls / dominance@1 calls, same conditions.
     oracle_call_ratio: Option<f64>,
+    /// High-water mark of the process-global memory meter over this
+    /// row's run, bytes. Rows share one meter, so with `--jobs > 1`
+    /// concurrent rows inflate each other's peaks — compare across
+    /// reports only at equal job counts (ci uses `--jobs 1`).
+    peak_mem: u64,
 }
 
 fn json_escape(s: &str) -> String {
@@ -114,7 +119,8 @@ fn render_json(budget: Duration, records: &[Record]) -> String {
              \"steals\": {}, \"shard_contention\": {}, \"batches\": {}, \
              \"batched_probes\": {}, \"spec_probes\": {}, \
              \"cones\": {}, \"cone_distinct\": {}, \"cone_dup_hits\": {}, \
-             \"speedup_vs_serial\": {}, \"oracle_call_ratio\": {}}}{}",
+             \"speedup_vs_serial\": {}, \"oracle_call_ratio\": {}, \
+             \"peak_mem\": {}}}{}",
             json_escape(&r.circuit),
             r.config,
             match r.cache {
@@ -139,6 +145,7 @@ fn render_json(budget: Duration, records: &[Record]) -> String {
             r.cone_dup_hits,
             opt(r.speedup_vs_serial),
             opt(r.oracle_call_ratio),
+            r.peak_mem,
             if k + 1 == records.len() { "" } else { "," }
         );
     }
@@ -148,8 +155,9 @@ fn render_json(budget: Duration, records: &[Record]) -> String {
 }
 
 /// One row of a previous report: `(circuit, config, wall_secs,
-/// oracle_calls)`.
-type BaselineRow = (String, String, f64, usize);
+/// oracle_calls, peak_mem)`. `peak_mem` is 0 for reports written
+/// before the column existed.
+type BaselineRow = (String, String, f64, usize, u64);
 
 /// Extracts the rows of a report this binary wrote earlier. The format
 /// is our own (one row object per line), so a line-oriented field
@@ -170,6 +178,9 @@ fn parse_baseline(text: &str) -> Vec<BaselineRow> {
                 field(l, "config")?.to_string(),
                 field(l, "wall_secs")?.parse().ok()?,
                 field(l, "oracle_calls")?.parse().ok()?,
+                field(l, "peak_mem")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0),
             ))
         })
         .collect()
@@ -184,12 +195,16 @@ fn print_baseline_diff(baseline: &[BaselineRow], records: &[Record]) {
         "\nBaseline diff (wall regression flagged above {:.0}%):",
         (WALL_NOISE - 1.0) * 100.0
     );
+    // Memory regressions only count above real footprints: tiny rows
+    // round off in the estimator.
+    const MEM_NOISE: f64 = 1.5;
+    const MEM_FLOOR: u64 = 32 << 20;
     let mut rows = Vec::new();
     let mut regressions = 0;
     for r in records {
-        let Some((_, _, old_wall, old_calls)) = baseline
+        let Some((_, _, old_wall, old_calls, old_mem)) = baseline
             .iter()
-            .find(|(c, cfg, _, _)| *c == r.circuit && *cfg == r.config)
+            .find(|(c, cfg, _, _, _)| *c == r.circuit && *cfg == r.config)
         else {
             continue;
         };
@@ -203,7 +218,14 @@ fn print_baseline_diff(baseline: &[BaselineRow], records: &[Record]) {
         } else {
             1.0
         };
-        let regressed = (wall_delta > WALL_NOISE && r.wall_s > WALL_FLOOR_S) || call_delta > 1.1;
+        let mem_delta = if *old_mem > 0 {
+            r.peak_mem as f64 / *old_mem as f64
+        } else {
+            1.0
+        };
+        let regressed = (wall_delta > WALL_NOISE && r.wall_s > WALL_FLOOR_S)
+            || call_delta > 1.1
+            || (mem_delta > MEM_NOISE && r.peak_mem > MEM_FLOOR);
         if regressed {
             regressions += 1;
         }
@@ -216,6 +238,8 @@ fn print_baseline_diff(baseline: &[BaselineRow], records: &[Record]) {
             old_calls.to_string(),
             r.oracle_calls.to_string(),
             format!("{:+.0}%", (call_delta - 1.0) * 100.0),
+            format!("{:.1}M", *old_mem as f64 / (1 << 20) as f64),
+            format!("{:.1}M", r.peak_mem as f64 / (1 << 20) as f64),
             if regressed { "REGRESSED" } else { "ok" }.to_string(),
         ]);
     }
@@ -229,6 +253,8 @@ fn print_baseline_diff(baseline: &[BaselineRow], records: &[Record]) {
             "calls old",
             "calls new",
             "calls Δ",
+            "mem old",
+            "mem new",
             "verdict",
         ],
         &rows,
@@ -356,7 +382,10 @@ fn main() {
                         }
                         let (cones, cone_distinct) = (slices.len(), seen.len());
                         drop(slices);
+                        let meter = xrta_robust::mem::global();
+                        meter.reset_peaks();
                         let rep = run_approx2_with(&net, budget, *t, *cache);
+                        let peak_mem = meter.total_peak();
                         done.push((
                             k,
                             Record {
@@ -381,6 +410,7 @@ fn main() {
                                 cone_dup_hits: cones - cone_distinct,
                                 speedup_vs_serial: None,
                                 oracle_call_ratio: None,
+                                peak_mem,
                             },
                         ));
                     }
@@ -441,6 +471,7 @@ fn main() {
                 r.oracle_call_ratio
                     .map(|s| format!("{s:.2}"))
                     .unwrap_or_else(|| "-".to_string()),
+                format!("{:.1}M", r.peak_mem as f64 / (1 << 20) as f64),
             ]
         })
         .collect();
@@ -456,6 +487,7 @@ fn main() {
             "cones (distinct)",
             "speedup",
             "call ratio",
+            "peak mem",
         ],
         &rows,
     );

@@ -77,8 +77,30 @@ pub struct ChiBddEngine<L> {
     delays: Vec<i64>,
     input_pos: Vec<Option<usize>>,
     cache: FxHashMap<(u32, bool, Time), Ref>,
+    /// Bytes currently restated on the process meter's `ChiMemo`
+    /// account for this engine's memo table. A dedicated RAII field —
+    /// not a `Drop` on the engine itself — so callers can still move
+    /// `leaves` out of a finished engine.
+    charge: MemoCharge,
     /// The pluggable terminal-case provider.
     pub leaves: L,
+}
+
+/// Estimated bytes per memo-table slot: key/value payload plus one
+/// hashbrown control byte.
+const MEMO_ENTRY_BYTES: usize = std::mem::size_of::<((u32, bool, Time), Ref)>() + 1;
+
+/// Releases the engine's `ChiMemo` account charge when the memo table
+/// goes away.
+#[derive(Default)]
+struct MemoCharge {
+    charged: u64,
+}
+
+impl Drop for MemoCharge {
+    fn drop(&mut self) {
+        xrta_robust::mem::global().release(xrta_robust::mem::Subsystem::ChiMemo, self.charged);
+    }
 }
 
 impl<L: LeafChi> ChiBddEngine<L> {
@@ -102,6 +124,7 @@ impl<L: LeafChi> ChiBddEngine<L> {
             delays,
             input_pos,
             cache: FxHashMap::default(),
+            charge: MemoCharge::default(),
             leaves,
         }
     }
@@ -110,6 +133,19 @@ impl<L: LeafChi> ChiBddEngine<L> {
     /// change, e.g. new arrival times).
     pub fn clear_cache(&mut self) {
         self.cache.clear();
+        self.cache.shrink_to_fit();
+        self.restate_memo();
+    }
+
+    /// Restates the memo table's capacity-based footprint on the
+    /// process-wide meter's `ChiMemo` account.
+    fn restate_memo(&mut self) {
+        let now = (self.cache.capacity() * MEMO_ENTRY_BYTES) as u64;
+        xrta_robust::mem::global().restate(
+            xrta_robust::mem::Subsystem::ChiMemo,
+            &mut self.charge.charged,
+            now,
+        );
     }
 
     /// `χ_{node,value}^t` as a BDD over the leaf provider's variables.
@@ -163,6 +199,11 @@ impl<L: LeafChi> ChiBddEngine<L> {
             acc
         };
         self.cache.insert(key, r);
+        // Amortized accounting: the footprint only moves when the table
+        // grows a power-of-two bucket, so poll on round counts.
+        if self.cache.len().is_multiple_of(1024) {
+            self.restate_memo();
+        }
         Ok(r)
     }
 

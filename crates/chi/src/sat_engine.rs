@@ -31,6 +31,10 @@ pub struct ChiSatEngine {
     chi_lit: FxHashMap<(u32, bool, Time), Lit>,
     /// Memoized "settled by t" literals, keyed by `(node, t)`.
     settled: FxHashMap<(u32, Time), Lit>,
+    /// Bytes currently restated on the process meter's `ChiMemo`
+    /// account for the two memo tables (the CNF itself is accounted by
+    /// the solver).
+    mem_charged: u64,
     const_true: Lit,
     varying: Option<Varying>,
 }
@@ -94,9 +98,25 @@ impl ChiSatEngine {
             input_pos,
             chi_lit: FxHashMap::default(),
             settled: FxHashMap::default(),
+            mem_charged: 0,
             const_true,
             varying: None,
         }
+    }
+
+    /// Restates the memo tables' capacity-based footprint on the
+    /// process-wide meter's `ChiMemo` account; called amortized from
+    /// the insert paths.
+    fn restate_memo(&mut self) {
+        const CHI_ENTRY: usize = std::mem::size_of::<((u32, bool, Time), Lit)>() + 1;
+        const SETTLED_ENTRY: usize = std::mem::size_of::<((u32, Time), Lit)>() + 1;
+        let now =
+            (self.chi_lit.capacity() * CHI_ENTRY + self.settled.capacity() * SETTLED_ENTRY) as u64;
+        xrta_robust::mem::global().restate(
+            xrta_robust::mem::Subsystem::ChiMemo,
+            &mut self.mem_charged,
+            now,
+        );
     }
 
     /// Creates a **batch** engine: like [`ChiSatEngine::new`], but input
@@ -180,6 +200,9 @@ impl ChiSatEngine {
             self.or_lit(&terms)
         };
         self.chi_lit.insert(key, lit);
+        if self.chi_lit.len().is_multiple_of(1024) {
+            self.restate_memo();
+        }
         lit
     }
 
@@ -216,6 +239,9 @@ impl ChiSatEngine {
         let zero = self.chi_lit(net, node, false, t);
         let l = self.or_lit(&[one, zero]);
         self.settled.insert(key, l);
+        if self.settled.len().is_multiple_of(1024) {
+            self.restate_memo();
+        }
         l
     }
 
@@ -278,6 +304,13 @@ impl ChiSatEngine {
     /// [`StopReason::Cancelled`].
     pub fn set_cancel_flag(&mut self, cancel: Option<Arc<AtomicBool>>) {
         self.solver.set_cancel_flag(cancel);
+    }
+
+    /// Arms a byte-accurate memory limit on the underlying solver
+    /// (`None` to disarm); hard pressure mid-query reads as
+    /// [`Stability::Unknown`] with [`xrta_sat::StopReason::MemoryOut`].
+    pub fn set_mem_limit(&mut self, limit: Option<u64>) {
+        self.solver.set_mem_limit(limit);
     }
 
     /// Why the most recent query reported [`Stability::Unknown`];
@@ -369,6 +402,12 @@ impl ChiSatEngine {
     /// Accumulated solver statistics.
     pub fn stats(&self) -> xrta_sat::SolverStats {
         self.solver.stats()
+    }
+}
+
+impl Drop for ChiSatEngine {
+    fn drop(&mut self) {
+        xrta_robust::mem::global().release(xrta_robust::mem::Subsystem::ChiMemo, self.mem_charged);
     }
 }
 

@@ -58,6 +58,7 @@ pub struct FunctionalTiming<'n, D> {
     conflict_budget: Option<u64>,
     propagation_budget: Option<u64>,
     node_limit: Option<usize>,
+    mem_limit: Option<u64>,
     deadline: Option<Instant>,
     cancel: Option<Arc<AtomicBool>>,
 }
@@ -78,6 +79,7 @@ impl<'n, D: DelayModel> FunctionalTiming<'n, D> {
             conflict_budget: None,
             propagation_budget: None,
             node_limit: None,
+            mem_limit: None,
             deadline: None,
             cancel: None,
         }
@@ -105,6 +107,15 @@ impl<'n, D: DelayModel> FunctionalTiming<'n, D> {
     /// the `try_*` queries return [`BddError::Capacity`].
     pub fn with_node_limit(mut self, limit: Option<usize>) -> Self {
         self.node_limit = limit;
+        self
+    }
+
+    /// Arms a byte-accurate memory limit for queries (`None` for
+    /// unlimited), enforced against the process-wide meter by whichever
+    /// engine is active; hard pressure makes the `try_*` queries return
+    /// [`BddError::MemoryOut`].
+    pub fn with_mem_limit(mut self, limit: Option<u64>) -> Self {
+        self.mem_limit = limit;
         self
     }
 
@@ -144,6 +155,7 @@ impl<'n, D: DelayModel> FunctionalTiming<'n, D> {
         eng.set_propagation_budget(self.propagation_budget);
         eng.set_deadline(self.deadline);
         eng.set_cancel_flag(self.cancel.clone());
+        eng.set_mem_limit(self.mem_limit);
         eng
     }
 
@@ -154,6 +166,7 @@ impl<'n, D: DelayModel> FunctionalTiming<'n, D> {
         };
         bdd.set_deadline(self.deadline);
         bdd.set_cancel_flag(self.cancel.clone());
+        bdd.set_mem_limit(self.mem_limit);
         bdd
     }
 
@@ -168,6 +181,7 @@ impl<'n, D: DelayModel> FunctionalTiming<'n, D> {
             Stability::Unknown => match eng.last_stop_reason() {
                 Some(StopReason::Deadline) => Err(BddError::Deadline),
                 Some(StopReason::Cancelled) => Err(BddError::Cancelled),
+                Some(StopReason::MemoryOut) => Err(BddError::MemoryOut),
                 _ => Ok(false),
             },
         }

@@ -104,6 +104,7 @@ pub fn approx1_required_times_governed<D: DelayModel>(
     let mut bdd = Bdd::with_node_limit(budget.effective_node_limit(options.node_limit));
     bdd.set_deadline(budget.deadline());
     bdd.set_cancel_flag(Some(budget.cancel_flag()));
+    bdd.set_mem_limit(budget.mem_limit());
     let plan = plan_leaves(net, model, output_required, |_| true);
     let mode = LeafMode::Parametric {
         value_independent: options.value_independent,
@@ -144,6 +145,7 @@ pub fn approx1_required_times_governed<D: DelayModel>(
     // tripping over a deadline that passes after the hard work is done.
     bdd.set_deadline(None);
     bdd.set_cancel_flag(None);
+    bdd.set_mem_limit(None);
 
     let params = leaves.param_var_list();
     let mut primes = bdd.monotone_primes(f, &params);

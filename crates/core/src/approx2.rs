@@ -298,6 +298,7 @@ struct OracleGovernor {
     deadline: Option<Instant>,
     cancel: Option<Arc<AtomicBool>>,
     node_limit: Option<usize>,
+    mem_limit: Option<u64>,
 }
 
 impl OracleGovernor {
@@ -314,7 +315,21 @@ impl OracleGovernor {
                 return Some(AnalysisError::DeadlineExceeded);
             }
         }
+        if let Some(limit) = self.mem_limit {
+            if xrta_robust::mem::global().pressure(limit) == xrta_robust::mem::Pressure::Hard {
+                return Some(AnalysisError::MemoryOut);
+            }
+        }
         None
+    }
+
+    /// Soft-pressure poll: true when the meter sits between the soft
+    /// and hard watermarks, i.e. reclamation should run now so the
+    /// search never has to be abandoned.
+    fn soft_pressure(&self) -> bool {
+        self.mem_limit.is_some_and(|limit| {
+            xrta_robust::mem::global().pressure(limit) == xrta_robust::mem::Pressure::Soft
+        })
     }
 }
 
@@ -443,6 +458,7 @@ impl OracleShared {
         eng.set_propagation_budget(self.options.oracle_propagation_budget);
         eng.set_deadline(self.engine_deadline);
         eng.set_cancel_flag(self.gov.cancel.clone());
+        eng.set_mem_limit(self.gov.mem_limit);
         Ok(eng)
     }
 }
@@ -545,6 +561,7 @@ fn execute_batch(shared: &OracleShared, batch: &Batch) -> BatchOut {
                         Stability::Unknown => match eng.last_stop_reason() {
                             Some(StopReason::Deadline) => Err(BddError::Deadline),
                             Some(StopReason::Cancelled) => Err(BddError::Cancelled),
+                            Some(StopReason::MemoryOut) => Err(BddError::MemoryOut),
                             // Conflict/propagation budget exhausted:
                             // conservatively not provably safe.
                             _ => Ok(false),
@@ -561,6 +578,7 @@ fn execute_batch(shared: &OracleShared, batch: &Batch) -> BatchOut {
                     .with_conflict_budget(shared.options.oracle_conflict_budget)
                     .with_propagation_budget(shared.options.oracle_propagation_budget)
                     .with_node_limit(shared.gov.node_limit)
+                    .with_mem_limit(shared.gov.mem_limit)
                     .with_deadline(shared.engine_deadline)
                     .with_cancel_flag(shared.gov.cancel.clone());
                     ft.try_stable_by(cone.out, cone.required)
@@ -671,6 +689,7 @@ fn execute_spec(shared: &OracleShared, spec: &SpecProbe) {
                     .with_conflict_budget(shared.options.oracle_conflict_budget)
                     .with_propagation_budget(shared.options.oracle_propagation_budget)
                     .with_node_limit(shared.gov.node_limit)
+                    .with_mem_limit(shared.gov.mem_limit)
                     .with_deadline(shared.engine_deadline)
                     .with_cancel_flag(shared.gov.cancel.clone());
             ft.try_stable_by(cone.out, cone.required)
@@ -989,6 +1008,12 @@ impl Search {
         if self.shared.time_exhausted() {
             self.out_of_budget = true;
             return None;
+        }
+        // Soft memory pressure: shed the verdict cache in place before
+        // this round rather than letting the hard watermark end the
+        // search. Verdicts are re-derivable, so this only costs refills.
+        if self.shared.gov.soft_pressure() {
+            self.shared.cache.reclaim();
         }
         let relevant: Vec<usize> = (0..self.shared.cones.len())
             .filter(|&c| self.shared.cones[c].supports(i))
@@ -1380,6 +1405,7 @@ pub fn approx2_required_times_governed<D: DelayModel>(
         deadline: budget.deadline(),
         cancel: Some(budget.cancel_flag()),
         node_limit: budget.node_limit(),
+        mem_limit: budget.mem_limit(),
     };
     let time_cap = options.time_budget.map(|b| started + b);
     let engine_deadline = match (gov.deadline, time_cap) {

@@ -63,6 +63,22 @@ pub struct ConeSlice {
     pub req: Time,
 }
 
+impl ConeSlice {
+    /// Estimated heap bytes this slice holds: the canonical descriptor
+    /// string plus the per-node and per-input payloads. Used by serve's
+    /// delta path to charge sliced cones on the process meter's `Cone`
+    /// account while they are alive.
+    pub fn footprint(&self) -> u64 {
+        // Per canonical node: the `Network` node record (name string,
+        // kind, fanin list) is ~96 bytes for typical gate arities, plus
+        // the 8-byte tick entry.
+        const PER_NODE: usize = 104;
+        (self.descriptor.capacity()
+            + self.net.node_count() * PER_NODE
+            + self.inputs.len() * std::mem::size_of::<usize>()) as u64
+    }
+}
+
 /// The cached essence of one cone's governed analysis.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ConeVerdict {
@@ -389,6 +405,20 @@ mod tests {
         let a = slice_cones(&net, &UnitDelay, &[Time::new(2)]);
         let b = slice_cones(&net, &UnitDelay, &[Time::new(3)]);
         assert_ne!(a[0].fingerprint, b[0].fingerprint);
+    }
+
+    #[test]
+    fn footprint_tracks_cone_size() {
+        let small = slice_cones(&fig4(), &UnitDelay, &[Time::new(2)]);
+        let c17 = c17();
+        let req = vec![Time::new(10); c17.outputs().len()];
+        let big = slice_cones(&c17, &UnitDelay, &req);
+        for s in small.iter().chain(&big) {
+            assert!(s.footprint() > 0);
+        }
+        // A c17 output cone strictly contains more nodes than the fig4
+        // cone, so its estimate must be larger.
+        assert!(big[0].footprint() > small[0].footprint());
     }
 
     #[test]

@@ -98,6 +98,7 @@ pub fn exact_required_times_governed<D: DelayModel>(
     let mut bdd = Bdd::with_node_limit(budget.effective_node_limit(options.node_limit));
     bdd.set_deadline(budget.deadline());
     bdd.set_cancel_flag(Some(budget.cancel_flag()));
+    bdd.set_mem_limit(budget.mem_limit());
     let plan = plan_leaves(net, model, output_required, |_| true);
     let leaves = PlannedLeaves::new(&mut bdd, plan, vec![LeafMode::Unknown; net.inputs().len()]);
     let x_vars = leaves.x_vars.clone();
@@ -147,6 +148,7 @@ pub fn exact_required_times_governed<D: DelayModel>(
     // deadline that passes after the answer already exists.
     bdd.set_deadline(None);
     bdd.set_cancel_flag(None);
+    bdd.set_mem_limit(None);
 
     Ok(ExactAnalysis {
         x_vars,

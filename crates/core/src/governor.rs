@@ -31,6 +31,9 @@ pub enum AnalysisError {
     /// A worker thread panicked (poisoned cone); the rest of the
     /// session survived.
     WorkerPanic,
+    /// The byte-accurate memory budget hit its hard watermark after
+    /// in-place reclamation (the paper's "mem-out", but governed).
+    MemoryOut,
     /// The cooperative cancel flag was raised.
     Interrupted,
 }
@@ -44,6 +47,7 @@ impl std::fmt::Display for AnalysisError {
             AnalysisError::DeadlineExceeded => write!(f, "wall-clock deadline exceeded"),
             AnalysisError::SatBudget => write!(f, "sat conflict budget exhausted"),
             AnalysisError::WorkerPanic => write!(f, "analysis worker panicked"),
+            AnalysisError::MemoryOut => write!(f, "memory budget exhausted"),
             AnalysisError::Interrupted => write!(f, "analysis cancelled"),
         }
     }
@@ -56,6 +60,7 @@ impl From<BddError> for AnalysisError {
         match e {
             BddError::Capacity { limit } => AnalysisError::Capacity { limit },
             BddError::Deadline => AnalysisError::DeadlineExceeded,
+            BddError::MemoryOut => AnalysisError::MemoryOut,
             BddError::Cancelled => AnalysisError::Interrupted,
         }
     }
@@ -68,6 +73,7 @@ impl From<xrta_sat::StopReason> for AnalysisError {
                 AnalysisError::SatBudget
             }
             xrta_sat::StopReason::Deadline => AnalysisError::DeadlineExceeded,
+            xrta_sat::StopReason::MemoryOut => AnalysisError::MemoryOut,
             xrta_sat::StopReason::Cancelled => AnalysisError::Interrupted,
         }
     }
@@ -83,6 +89,7 @@ pub struct Budget {
     deadline: Option<Instant>,
     node_limit: Option<usize>,
     sat_conflicts: Option<u64>,
+    mem_limit: Option<u64>,
     cancel: Arc<AtomicBool>,
 }
 
@@ -99,6 +106,7 @@ impl Budget {
             deadline: None,
             node_limit: None,
             sat_conflicts: None,
+            mem_limit: None,
             cancel: Arc::new(AtomicBool::new(false)),
         }
     }
@@ -127,6 +135,14 @@ impl Budget {
         self
     }
 
+    /// Sets (or clears) the byte-accurate memory limit, enforced
+    /// against the process-wide [`xrta_robust::mem`] meter by every
+    /// instrumented engine this budget is handed to.
+    pub fn with_mem_limit(mut self, limit: Option<u64>) -> Self {
+        self.mem_limit = limit;
+        self
+    }
+
     /// Shares an existing cancel flag (e.g. one hooked to a signal
     /// handler) instead of this budget's own.
     pub fn with_cancel_flag(mut self, cancel: Arc<AtomicBool>) -> Self {
@@ -147,6 +163,11 @@ impl Budget {
     /// The SAT conflict budget, if any.
     pub fn sat_conflicts(&self) -> Option<u64> {
         self.sat_conflicts
+    }
+
+    /// The byte-accurate memory limit, if any.
+    pub fn mem_limit(&self) -> Option<u64> {
+        self.mem_limit
     }
 
     /// The shared cancel flag, for handing to engines and workers.
@@ -181,6 +202,11 @@ impl Budget {
         if let Some(d) = self.deadline {
             if Instant::now() >= d {
                 return Err(AnalysisError::DeadlineExceeded);
+            }
+        }
+        if let Some(limit) = self.mem_limit {
+            if xrta_robust::mem::global().pressure(limit) == xrta_robust::mem::Pressure::Hard {
+                return Err(AnalysisError::MemoryOut);
             }
         }
         Ok(())
@@ -244,6 +270,27 @@ mod tests {
         assert_eq!(
             AnalysisError::from(BddError::Cancelled),
             AnalysisError::Interrupted
+        );
+        assert_eq!(
+            AnalysisError::from(BddError::MemoryOut),
+            AnalysisError::MemoryOut
+        );
+        assert_eq!(
+            AnalysisError::from(xrta_sat::StopReason::MemoryOut),
+            AnalysisError::MemoryOut
+        );
+    }
+
+    #[test]
+    fn mem_limit_is_carried_and_checked() {
+        let b = Budget::unlimited().with_mem_limit(Some(64 << 20));
+        assert_eq!(b.mem_limit(), Some(64 << 20));
+        // The global meter sits far below 64M in tests, so the
+        // backstop check passes.
+        assert!(b.check().is_ok());
+        assert_eq!(
+            AnalysisError::MemoryOut.to_string(),
+            "memory budget exhausted"
         );
     }
 }

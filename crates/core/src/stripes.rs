@@ -22,7 +22,7 @@
 //! else, and every stored verdict is individually sound, so recovering
 //! the inner value of a poisoned mutex is safe.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, TryLockError};
 use std::time::Duration;
 
@@ -100,7 +100,19 @@ pub struct StripedVerdictCache {
     /// Lock acquisitions that found the stripe held by another thread
     /// (`try_lock` failed and the caller had to wait).
     contention: AtomicUsize,
+    /// Bytes charged to the process meter's `Stripes` account for the
+    /// verdicts currently cached (estimate: per-entry base plus the
+    /// projection payload).
+    mem_bytes: AtomicU64,
 }
+
+/// Estimated per-verdict overhead beyond the projection payload: map
+/// entry header, key tuple and hashbrown slot bookkeeping.
+const ENTRY_BASE_BYTES: u64 = 64;
+
+/// Reclamation is skipped while the cache holds less than this — a
+/// soft-pressure sweep that frees a few kilobytes only costs refills.
+const RECLAIM_FLOOR_BYTES: u64 = 1 << 20;
 
 /// Poison-tolerant lock: a worker panic is already contained and its
 /// partial verdicts are individually sound, so keep serving.
@@ -123,6 +135,7 @@ impl StripedVerdictCache {
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
             contention: AtomicUsize::new(0),
+            mem_bytes: AtomicU64::new(0),
         }
     }
 
@@ -157,6 +170,9 @@ impl StripedVerdictCache {
     /// Records an oracle verdict for `(cone, proj)`, releasing any
     /// single-flight claim on the key and waking its waiters.
     pub fn insert(&self, cone: usize, proj: &[Time], safe: bool) {
+        let entry_bytes = ENTRY_BASE_BYTES + std::mem::size_of_val(proj) as u64;
+        xrta_robust::mem::global().charge(xrta_robust::mem::Subsystem::Stripes, entry_bytes);
+        self.mem_bytes.fetch_add(entry_bytes, Ordering::Relaxed);
         let stripe = self.stripe_of[cone];
         let mut shard = self.lock_stripe(cone);
         match self.strategy {
@@ -233,6 +249,35 @@ impl StripedVerdictCache {
     pub fn contention(&self) -> usize {
         self.contention.load(Ordering::Relaxed)
     }
+
+    /// Drops every cached verdict and releases its meter charge,
+    /// returning the bytes freed. Sound under memory pressure: verdicts
+    /// are pure facts the oracle can re-derive, and in-flight
+    /// single-flight claims (`pending`) are left untouched so no waiter
+    /// stalls. A sweep below [`RECLAIM_FLOOR_BYTES`] is skipped — it
+    /// would trade refill work for negligible relief.
+    pub fn reclaim(&self) -> u64 {
+        if self.mem_bytes.load(Ordering::Relaxed) < RECLAIM_FLOOR_BYTES {
+            return 0;
+        }
+        for shard in &self.shards {
+            let mut s = plock(shard);
+            s.exact.clear();
+            s.exact.shrink_to_fit();
+            s.dom.clear();
+            s.dom.shrink_to_fit();
+        }
+        let freed = self.mem_bytes.swap(0, Ordering::Relaxed);
+        xrta_robust::mem::global().release(xrta_robust::mem::Subsystem::Stripes, freed);
+        freed
+    }
+}
+
+impl Drop for StripedVerdictCache {
+    fn drop(&mut self) {
+        let charged = self.mem_bytes.swap(0, Ordering::Relaxed);
+        xrta_robust::mem::global().release(xrta_robust::mem::Subsystem::Stripes, charged);
+    }
 }
 
 #[cfg(test)]
@@ -306,6 +351,25 @@ mod tests {
             // The waiter inherits ownership (no verdict was stored).
             assert_eq!(waiter.join().unwrap(), Claim::Owner);
         });
+    }
+
+    #[test]
+    fn reclaim_frees_verdicts_but_respects_the_floor() {
+        let fps: Vec<u64> = (0..4)
+            .map(|c| support_fingerprint(c, &[c as u64]))
+            .collect();
+        let cache = StripedVerdictCache::new(CacheStrategy::Exact, &fps);
+        cache.insert(0, &t(&[1, 2]), true);
+        // Below the floor: the sweep is a no-op and verdicts survive.
+        assert_eq!(cache.reclaim(), 0);
+        assert_eq!(cache.query(0, &t(&[1, 2])), Some(true));
+        // Push past the floor, then the sweep really clears.
+        let needed = (RECLAIM_FLOOR_BYTES / ENTRY_BASE_BYTES) as i64 + 1;
+        for i in 0..needed {
+            cache.insert((i % 4) as usize, &t(&[i, i + 1]), true);
+        }
+        assert!(cache.reclaim() >= RECLAIM_FLOOR_BYTES);
+        assert_eq!(cache.query(0, &t(&[1, 2])), None, "verdicts were swept");
     }
 
     /// Seeded thread fuzz against a ground-truth monotone predicate:

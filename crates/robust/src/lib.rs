@@ -16,6 +16,9 @@
 //! * [`jsonflat`] — the one-level JSON record dialect every wire and
 //!   disk format in the workspace speaks (journal records, batch
 //!   reports, the serve protocol).
+//! * [`mem`] — byte-accurate memory accounting: per-subsystem atomic
+//!   accounts on a process-wide [`mem::MemoryMeter`], soft/hard
+//!   watermark pressure, human-unit parsing for `--mem-limit`.
 //!
 //! The crate sits below every analysis layer (its only dependency is
 //! the workspace RNG), so `xrta-bdd`/`xrta-sat` can host failpoint
@@ -27,3 +30,4 @@ pub mod failpoint;
 pub mod fsio;
 pub mod journal;
 pub mod jsonflat;
+pub mod mem;

@@ -781,8 +781,13 @@ fn aggregate_stats(inner: &Arc<Inner>) -> Response {
         total.cone_hits += s.cone_hits;
         total.cone_misses += s.cone_misses;
         total.cone_splices += s.cone_splices;
+        total.sheds_memory += s.sheds_memory;
+        total.mem_bytes += s.mem_bytes;
         total.p50_us = total.p50_us.max(s.p50_us);
         total.p99_us = total.p99_us.max(s.p99_us);
+        // The peak is a per-process high-water mark, not additive:
+        // the cluster-level figure is the worst shard.
+        total.mem_peak = total.mem_peak.max(s.mem_peak);
     }
     Response::Stats(total)
 }

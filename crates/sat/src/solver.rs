@@ -31,6 +31,9 @@ pub enum StopReason {
     Deadline,
     /// The cooperative cancel flag was raised mid-search.
     Cancelled,
+    /// The byte-accurate memory budget hit its hard watermark after
+    /// learned-clause reduction failed to relieve the pressure.
+    MemoryOut,
 }
 
 /// Deadline/cancel checks happen once per this many search-loop
@@ -103,6 +106,14 @@ pub struct Solver {
     cancel: Option<Arc<AtomicBool>>,
     stop_reason: Option<StopReason>,
     num_original: usize,
+    /// Byte-accurate memory governor: hard limit consulted at the
+    /// governor poll, and the bytes currently restated on the
+    /// process-wide meter's `Sat` account.
+    mem_limit: Option<u64>,
+    mem_charged: u64,
+    /// Running total of clause-literal storage (capacities, in bytes),
+    /// maintained incrementally so the poll-time estimate is O(1).
+    lits_bytes: usize,
 }
 
 const VAR_DECAY: f64 = 1.0 / 0.95;
@@ -144,6 +155,9 @@ impl Solver {
             cancel: None,
             stop_reason: None,
             num_original: 0,
+            mem_limit: None,
+            mem_charged: 0,
+            lits_bytes: 0,
         }
     }
 
@@ -211,6 +225,17 @@ impl Solver {
     /// [`SolveResult::Unknown`] with [`StopReason::Cancelled`].
     pub fn set_cancel_flag(&mut self, cancel: Option<Arc<AtomicBool>>) {
         self.cancel = cancel;
+    }
+
+    /// Arms a byte-accurate memory limit for subsequent solves (`None`
+    /// to disarm). The limit is checked against the *process-wide*
+    /// [`xrta_robust::mem`] total at the governor poll: soft pressure
+    /// triggers learned-clause reduction in place, hard pressure makes
+    /// the solve return [`SolveResult::Unknown`] with
+    /// [`StopReason::MemoryOut`]. Accounting itself is always on;
+    /// without a limit behaviour is unchanged.
+    pub fn set_mem_limit(&mut self, limit: Option<u64>) {
+        self.mem_limit = limit;
     }
 
     /// Why the most recent solve returned [`SolveResult::Unknown`];
@@ -287,12 +312,25 @@ impl Solver {
         } else {
             self.stats.learnts += 1;
         }
+        self.lits_bytes += lits.capacity() * std::mem::size_of::<Lit>();
         self.clauses.push(Clause {
             lits,
             learnt,
             activity: 0.0,
         });
         idx
+    }
+
+    /// Estimated heap footprint of the clause database plus per-variable
+    /// arrays, in bytes. Capacity-based so it tracks what the allocator
+    /// actually holds, not just live length.
+    fn mem_bytes_estimate(&self) -> u64 {
+        // assign/level/reason/activity/phase/seen/heap_pos slots plus
+        // two watch-list headers per variable.
+        const PER_VAR: usize = 72;
+        let clause_headers = self.clauses.capacity() * std::mem::size_of::<Clause>();
+        let watch_entries: usize = self.watches.iter().map(|w| w.capacity() * 4).sum();
+        (clause_headers + self.lits_bytes + watch_entries + self.assign.len() * PER_VAR) as u64
     }
 
     #[inline]
@@ -655,6 +693,11 @@ impl Solver {
             }
         }
         self.clauses = kept;
+        self.lits_bytes = self
+            .clauses
+            .iter()
+            .map(|c| c.lits.capacity() * std::mem::size_of::<Lit>())
+            .sum();
         for (i, c) in self.clauses.iter().enumerate() {
             self.watches[(!c.lits[0]).code()].push(i as u32);
             self.watches[(!c.lits[1]).code()].push(i as u32);
@@ -731,6 +774,39 @@ impl Solver {
                         self.cancel_until(0);
                         self.stop_reason = Some(StopReason::Deadline);
                         return SolveResult::Unknown;
+                    }
+                }
+                // Byte-accurate memory governor: restate this solver's
+                // share on the process-wide meter, then react to
+                // pressure when a limit is armed. Soft pressure sheds
+                // learnt clauses in place; hard pressure stops the
+                // search cooperatively.
+                let meter = xrta_robust::mem::global();
+                let now_bytes = self.mem_bytes_estimate();
+                meter.restate(
+                    xrta_robust::mem::Subsystem::Sat,
+                    &mut self.mem_charged,
+                    now_bytes,
+                );
+                if let Some(limit) = self.mem_limit {
+                    match meter.pressure(limit) {
+                        xrta_robust::mem::Pressure::None => {}
+                        xrta_robust::mem::Pressure::Soft => {
+                            if self.stats.learnts >= 100 {
+                                self.reduce_db();
+                                let now_bytes = self.mem_bytes_estimate();
+                                meter.restate(
+                                    xrta_robust::mem::Subsystem::Sat,
+                                    &mut self.mem_charged,
+                                    now_bytes,
+                                );
+                            }
+                        }
+                        xrta_robust::mem::Pressure::Hard => {
+                            self.cancel_until(0);
+                            self.stop_reason = Some(StopReason::MemoryOut);
+                            return SolveResult::Unknown;
+                        }
                     }
                 }
             } else {
@@ -848,6 +924,12 @@ impl Solver {
                 }
             }
         }
+    }
+}
+
+impl Drop for Solver {
+    fn drop(&mut self) {
+        xrta_robust::mem::global().release(xrta_robust::mem::Subsystem::Sat, self.mem_charged);
     }
 }
 
@@ -1035,5 +1117,22 @@ mod tests {
         s.add_clause([a.negative()]);
         assert_eq!(s.solve(), SolveResult::Unsat);
         assert!(!s.add_clause([a.positive()]));
+    }
+
+    #[test]
+    fn mem_limit_stops_search_with_memory_out() {
+        let mut s = Solver::new();
+        let vs = s.new_vars(8);
+        for w in vs.windows(2) {
+            s.add_clause([w[0].positive(), w[1].positive()]);
+        }
+        // 1 byte: the very first governor poll sees hard pressure.
+        s.set_mem_limit(Some(1));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(s.last_stop_reason(), Some(StopReason::MemoryOut));
+        // Disarming the limit restores normal behaviour on the same
+        // solver instance.
+        s.set_mem_limit(None);
+        assert_eq!(s.solve(), SolveResult::Sat);
     }
 }

@@ -18,6 +18,7 @@ use std::path::{Path, PathBuf};
 use xrta_chi::EngineKind;
 use xrta_core::Verdict;
 use xrta_robust::journal::{encode_record, parse_record};
+use xrta_robust::mem::{self, Subsystem};
 use xrta_timing::tokens::encode_times;
 use xrta_timing::Time;
 
@@ -83,6 +84,16 @@ struct MemTier {
     capacity: usize,
     clock: u64,
     entries: HashMap<CacheKey, (u64, Vec<u8>)>,
+    /// Bytes charged to [`Subsystem::ServeCache`] on the global meter.
+    charged: u64,
+}
+
+/// Per-entry accounting: payload capacity plus the key, stamp and
+/// hash-table slot overhead.
+const CACHE_ENTRY_OVERHEAD: u64 = 64;
+
+fn entry_cost(bytes: &[u8]) -> u64 {
+    CACHE_ENTRY_OVERHEAD + bytes.len() as u64
 }
 
 impl MemTier {
@@ -100,7 +111,12 @@ impl MemTier {
             return;
         }
         self.clock += 1;
-        self.entries.insert(key, (self.clock, bytes));
+        let cost = entry_cost(&bytes);
+        mem::global().charge(Subsystem::ServeCache, cost);
+        self.charged += cost;
+        if let Some((_, old)) = self.entries.insert(key, (self.clock, bytes)) {
+            self.uncharge(entry_cost(&old));
+        }
         while self.entries.len() > self.capacity {
             let oldest = self
                 .entries
@@ -108,8 +124,45 @@ impl MemTier {
                 .min_by_key(|(_, (stamp, _))| *stamp)
                 .map(|(k, _)| *k)
                 .expect("non-empty map has a minimum");
-            self.entries.remove(&oldest);
+            if let Some((_, old)) = self.entries.remove(&oldest) {
+                self.uncharge(entry_cost(&old));
+            }
         }
+    }
+
+    fn uncharge(&mut self, cost: u64) {
+        let cost = cost.min(self.charged);
+        mem::global().release(Subsystem::ServeCache, cost);
+        self.charged -= cost;
+    }
+
+    /// Evicts the least-recently-used half of the tier (memory
+    /// pressure response). Disk entries are untouched — a later hit
+    /// re-promotes — so this trades latency for bytes, never answers.
+    fn evict_half(&mut self) -> usize {
+        let target = self.entries.len() / 2;
+        let mut stamps: Vec<(u64, CacheKey)> = self
+            .entries
+            .iter()
+            .map(|(k, (stamp, _))| (*stamp, *k))
+            .collect();
+        stamps.sort_unstable();
+        let mut evicted = 0;
+        for (_, key) in stamps.into_iter().take(target) {
+            if let Some((_, old)) = self.entries.remove(&key) {
+                self.uncharge(entry_cost(&old));
+                evicted += 1;
+            }
+        }
+        self.entries.shrink_to_fit();
+        evicted
+    }
+}
+
+impl Drop for MemTier {
+    fn drop(&mut self) {
+        let charged = self.charged;
+        self.uncharge(charged);
     }
 }
 
@@ -146,6 +199,7 @@ impl ResultCache {
                 capacity: mem_capacity,
                 clock: 0,
                 entries: HashMap::new(),
+                charged: 0,
             },
             disk_dir,
             disk_index: HashMap::new(),
@@ -214,6 +268,13 @@ impl ResultCache {
         self.disk_index.len()
     }
 
+    /// Memory-pressure response: evicts the LRU half of the memory
+    /// tier and returns how many entries went. Answers stay reachable
+    /// through the disk tier where one exists.
+    pub fn reclaim_mem(&mut self) -> usize {
+        self.mem.evict_half()
+    }
+
     fn entry_path(&self, key: CacheKey) -> Option<PathBuf> {
         self.disk_dir
             .as_ref()
@@ -273,6 +334,30 @@ mod tests {
         assert!(cache.get(key(2)).is_none(), "2 was evicted");
         assert_eq!(cache.get(key(1)).unwrap().0, b"one");
         assert_eq!(cache.get(key(3)).unwrap().0, b"three");
+    }
+
+    #[test]
+    fn memory_tier_charges_and_reclaims_meter_bytes() {
+        let meter = mem::global();
+        let before = meter.current(Subsystem::ServeCache);
+        let mut cache = ResultCache::open(8, None).unwrap();
+        for n in 0..8u8 {
+            cache.insert(key(n), vec![n; 100]);
+        }
+        let loaded = meter.current(Subsystem::ServeCache);
+        assert!(
+            loaded >= before + 8 * 100,
+            "8 entries of 100 bytes charged, got {loaded} from {before}"
+        );
+        let evicted = cache.reclaim_mem();
+        assert_eq!(evicted, 4);
+        let after = meter.current(Subsystem::ServeCache);
+        assert!(after < loaded, "reclaim released bytes");
+        drop(cache);
+        assert!(
+            meter.current(Subsystem::ServeCache) <= before + loaded - after,
+            "drop released the remaining charge"
+        );
     }
 
     #[test]

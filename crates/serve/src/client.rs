@@ -79,10 +79,11 @@ impl Default for RetryOptions {
 }
 
 /// Is this response worth retrying on a fresh connection? `busy` is an
-/// explicit shed — the queue was full *now*, not forever. Everything
-/// else is deterministic or a policy statement (`shutting_down`).
+/// explicit shed — the queue was full or memory was tight *now*, not
+/// forever, whichever the reason field says. Everything else is
+/// deterministic or a policy statement (`shutting_down`).
 fn transient_response(resp: &Response) -> bool {
-    matches!(resp, Response::Busy)
+    matches!(resp, Response::Busy { .. })
 }
 
 /// One request, retried over fresh connections on transient failures:
@@ -159,10 +160,16 @@ mod retry_tests {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let server = std::thread::spawn(move || {
-            for _ in 0..3 {
+            for i in 0..3 {
                 let (mut s, _) = listener.accept().unwrap();
                 let _ = crate::proto::read_frame(&mut s).unwrap();
-                write_frame(&mut s, Response::Busy.encode().as_bytes()).unwrap();
+                // Alternate shed reasons: both flavours must retry.
+                let reason = if i % 2 == 0 {
+                    crate::proto::BusyReason::Queue
+                } else {
+                    crate::proto::BusyReason::Memory
+                };
+                write_frame(&mut s, Response::Busy { reason }.encode().as_bytes()).unwrap();
             }
         });
         let retry = RetryOptions {
@@ -175,7 +182,12 @@ mod retry_tests {
             seed: 1,
         };
         let resp = roundtrip_retry(addr, &Request::Ping, &retry).unwrap();
-        assert_eq!(resp, Response::Busy);
+        assert_eq!(
+            resp,
+            Response::Busy {
+                reason: crate::proto::BusyReason::Queue
+            }
+        );
         server.join().unwrap();
     }
 

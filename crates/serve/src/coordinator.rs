@@ -90,6 +90,12 @@ impl Coordinator {
     pub fn disk_entries(&self) -> usize {
         self.inner.lock().unwrap().cache.disk_entries()
     }
+
+    /// Memory-pressure response: evicts the LRU half of the in-memory
+    /// result tier. Returns the evicted entry count.
+    pub fn reclaim_cache(&self) -> usize {
+        self.inner.lock().unwrap().cache.reclaim_mem()
+    }
 }
 
 #[cfg(test)]

@@ -31,7 +31,9 @@ pub mod stats;
 pub use cache::{CacheKey, HitTier, ResultCache};
 pub use client::{roundtrip, roundtrip_retry, Client, RetryOptions};
 pub use coordinator::{Coordinator, Dispatch};
-pub use proto::{read_frame, write_frame, AnalyzeRequest, Answer, Request, Response, MAX_FRAME};
+pub use proto::{
+    read_frame, write_frame, AnalyzeRequest, Answer, BusyReason, Request, Response, MAX_FRAME,
+};
 pub use server::{
     answer_exit_code, read_frame_patient, start, FrameRead, ServeOptions, ServerHandle,
 };

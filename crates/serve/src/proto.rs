@@ -101,6 +101,10 @@ pub struct AnalyzeRequest {
     pub node_limit: Option<u64>,
     /// SAT conflict budget wish; clamped by server policy.
     pub sat_conflicts: Option<u64>,
+    /// Byte-accurate memory budget wish; clamped by server policy and
+    /// (like every clamped budget) folded into the budget clamp, never
+    /// the cache key.
+    pub mem_limit: Option<u64>,
     /// Artificial service-time floor in milliseconds, honoured only
     /// when the server runs with `allow_hold` (a load-generation aid
     /// for exercising admission control; never part of the cache key).
@@ -118,6 +122,7 @@ impl Default for AnalyzeRequest {
             timeout_ms: None,
             node_limit: None,
             sat_conflicts: None,
+            mem_limit: None,
             hold_ms: 0,
         }
     }
@@ -177,14 +182,40 @@ impl Answer {
     }
 }
 
+/// Why admission control shed a request.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BusyReason {
+    /// The queue is full. The legacy shed reason: encoded as the bare
+    /// `{"status":"busy"}` frame older peers already understand.
+    #[default]
+    Queue,
+    /// The process sits above its memory watermark; accepting more
+    /// work would risk the OOM killer.
+    Memory,
+}
+
+impl std::fmt::Display for BusyReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BusyReason::Queue => write!(f, "queue"),
+            BusyReason::Memory => write!(f, "memory"),
+        }
+    }
+}
+
 /// A server-to-client message.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Response {
     /// The analysis answered (possibly degraded, possibly from cache).
     Answer(Answer),
-    /// Admission control shed the request: the queue is full. Retry
-    /// later; nothing was computed or cached.
-    Busy,
+    /// Admission control shed the request. Retry later; nothing was
+    /// computed or cached. The reason distinguishes a full queue from
+    /// memory pressure — both transient, both byte-forwarded unchanged
+    /// by the router.
+    Busy {
+        /// What tripped the shed.
+        reason: BusyReason,
+    },
     /// The server is draining; the request was not served.
     ShuttingDown,
     /// The request itself failed (unparsable netlist, bad fields,
@@ -218,6 +249,7 @@ fn encode_analyze(cmd: &str, a: &AnalyzeRequest) -> String {
     opt_field(&mut out, "timeout_ms", a.timeout_ms);
     opt_field(&mut out, "node_limit", a.node_limit);
     opt_field(&mut out, "sat_conflicts", a.sat_conflicts);
+    opt_field(&mut out, "mem_limit", a.mem_limit);
     if a.hold_ms > 0 {
         opt_field(&mut out, "hold_ms", Some(a.hold_ms));
     }
@@ -237,6 +269,7 @@ fn parse_analyze(f: &Fields) -> Result<AnalyzeRequest, String> {
         timeout_ms: f.opt_u64("timeout_ms")?,
         node_limit: f.opt_u64("node_limit")?,
         sat_conflicts: f.opt_u64("sat_conflicts")?,
+        mem_limit: f.opt_u64("mem_limit")?,
         hold_ms: f.opt_u64("hold_ms")?.unwrap_or(0),
     })
 }
@@ -277,7 +310,14 @@ impl Response {
     /// Encodes the response as one flat-JSON payload.
     pub fn encode(&self) -> String {
         match self {
-            Response::Busy => "{\"status\":\"busy\"}".to_string(),
+            // Queue sheds keep the legacy bare form so the frame bytes
+            // (and the router's prefix classifier) are unchanged.
+            Response::Busy {
+                reason: BusyReason::Queue,
+            } => "{\"status\":\"busy\"}".to_string(),
+            Response::Busy {
+                reason: BusyReason::Memory,
+            } => "{\"status\":\"busy\",\"reason\":\"memory\"}".to_string(),
             Response::ShuttingDown => "{\"status\":\"shutting_down\"}".to_string(),
             Response::Pong => "{\"status\":\"pong\"}".to_string(),
             Response::Drained { shard } => {
@@ -306,7 +346,13 @@ impl Response {
     pub fn parse(payload: &str) -> Result<Response, String> {
         let f = Fields::parse(payload)?;
         match f.get("status")? {
-            "busy" => Ok(Response::Busy),
+            "busy" => Ok(Response::Busy {
+                reason: match f.opt("reason") {
+                    None => BusyReason::Queue,
+                    Some("memory") => BusyReason::Memory,
+                    Some(other) => return Err(format!("unknown busy reason {other:?}")),
+                },
+            }),
             "shutting_down" => Ok(Response::ShuttingDown),
             "pong" => Ok(Response::Pong),
             "drained" => Ok(Response::Drained {
@@ -367,6 +413,7 @@ mod tests {
                 timeout_ms: Some(250),
                 node_limit: None,
                 sat_conflicts: Some(10_000),
+                mem_limit: Some(64 << 20),
                 hold_ms: 5,
             }),
             Request::Analyze(AnalyzeRequest::default()),
@@ -384,7 +431,12 @@ mod tests {
     #[test]
     fn responses_round_trip() {
         for resp in [
-            Response::Busy,
+            Response::Busy {
+                reason: BusyReason::Queue,
+            },
+            Response::Busy {
+                reason: BusyReason::Memory,
+            },
             Response::ShuttingDown,
             Response::Pong,
             Response::Drained {
@@ -403,6 +455,23 @@ mod tests {
             let text = resp.encode();
             assert_eq!(Response::parse(&text).unwrap(), resp, "{text}");
         }
+    }
+
+    #[test]
+    fn busy_encodings_stay_prefix_compatible() {
+        // Queue sheds must keep the legacy bytes (old peers, and the
+        // router's prefix classifier, depend on them); memory sheds
+        // extend the same prefix.
+        let queue = Response::Busy {
+            reason: BusyReason::Queue,
+        }
+        .encode();
+        assert_eq!(queue, "{\"status\":\"busy\"}");
+        let memory = Response::Busy {
+            reason: BusyReason::Memory,
+        }
+        .encode();
+        assert!(memory.starts_with("{\"status\":\"busy\""));
     }
 
     #[test]

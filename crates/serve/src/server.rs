@@ -40,9 +40,11 @@ use xrta_robust::jsonflat::{escape, Fields};
 use xrta_timing::tokens::{encode_points, parse_points};
 use xrta_timing::{topological_delays, Time, UnitDelay};
 
+use xrta_robust::mem::{self, Pressure, ScopedCharge, Subsystem};
+
 use crate::cache::{CacheKey, HitTier, ResultCache};
 use crate::coordinator::{Coordinator, Dispatch};
-use crate::proto::{write_frame, AnalyzeRequest, Answer, Request, Response};
+use crate::proto::{write_frame, AnalyzeRequest, Answer, BusyReason, Request, Response};
 use crate::stats::{ServeStats, StatsSnapshot};
 
 /// Server configuration: socket, pool sizes, cache placement and the
@@ -65,6 +67,11 @@ pub struct ServeOptions {
     pub max_node_limit: u64,
     /// Ceiling on the SAT conflict budget granted to any request.
     pub max_sat_conflicts: u64,
+    /// Process-wide memory policy. When set, every request runs under
+    /// a memory budget clamped to this ceiling, and admission sheds
+    /// `busy(memory)` while the process sits above the hard watermark.
+    /// `None` leaves memory ungoverned (the seed behaviour).
+    pub mem_limit: Option<u64>,
     /// Honour the `hold_ms` request field (a load-generation aid for
     /// tests; off in production).
     pub allow_hold: bool,
@@ -91,6 +98,7 @@ impl Default for ServeOptions {
             max_timeout: Duration::from_secs(10),
             max_node_limit: 1 << 22,
             max_sat_conflicts: 1 << 20,
+            mem_limit: None,
             allow_hold: false,
             drain_deadline: Duration::from_secs(5),
             frame_deadline: Duration::from_secs(10),
@@ -456,6 +464,27 @@ fn admit(
         shared.stats.shutdowns.fetch_add(1, Ordering::Relaxed);
         return Err(Response::ShuttingDown);
     }
+    // Memory shed: while the process sits above the hard watermark,
+    // admitting more work can only deepen the hole — refuse with
+    // `busy(memory)` so clients back off (retry handles it like a
+    // queue shed). In-flight jobs keep running and reclaim/degrade
+    // their way back under the watermark.
+    if let Some(limit) = shared.options.mem_limit {
+        match mem::global().pressure(limit) {
+            Pressure::None => {}
+            // Above the soft watermark: give back the cheapest bytes
+            // first (cached answers are re-derivable) and keep serving.
+            Pressure::Soft => {
+                shared.coordinator.reclaim_cache();
+            }
+            Pressure::Hard => {
+                shared.stats.sheds_memory.fetch_add(1, Ordering::Relaxed);
+                return Err(Response::Busy {
+                    reason: BusyReason::Memory,
+                });
+            }
+        }
+    }
     let (tx, rx) = std::sync::mpsc::channel();
     {
         let mut q = shared.queue.lock().unwrap();
@@ -467,7 +496,9 @@ fn admit(
         }
         if q.len() >= shared.options.queue_cap {
             shared.stats.sheds.fetch_add(1, Ordering::Relaxed);
-            return Err(Response::Busy);
+            return Err(Response::Busy {
+                reason: BusyReason::Queue,
+            });
         }
         q.push_back(Job {
             request,
@@ -511,7 +542,7 @@ fn worker_loop(shared: &Arc<Shared>) {
 /// Handles one admitted job end-to-end: cache, single-flight, compute.
 fn serve_job(shared: &Arc<Shared>, job: Job) {
     let a = &job.request;
-    let (timeout, node_limit, sat_conflicts) = clamp_budgets(&shared.options, a);
+    let (timeout, node_limit, sat_conflicts, mem_limit) = clamp_budgets(&shared.options, a);
     // Budgets shape the degradation rung, so the *effective* budgets
     // are part of the identity of the answer.
     let budget_tag = format!("{}/{}/{}", timeout.as_millis(), node_limit, sat_conflicts);
@@ -537,14 +568,14 @@ fn serve_job(shared: &Arc<Shared>, job: Job) {
         Dispatch::Lead if job.delta => {
             // Cone hit/miss counters tell the delta story; the
             // whole-request miss counter stays an analyze-cache fact.
-            let response = compute_delta(shared, a, timeout, node_limit, sat_conflicts);
+            let response = compute_delta(shared, a, timeout, node_limit, sat_conflicts, mem_limit);
             let bytes = response.encode().into_bytes();
             shared.coordinator.complete(key, &bytes, false);
             bytes
         }
         Dispatch::Lead => {
             shared.stats.misses.fetch_add(1, Ordering::Relaxed);
-            let response = compute(shared, a, timeout, node_limit, sat_conflicts);
+            let response = compute(shared, a, timeout, node_limit, sat_conflicts, mem_limit);
             let cacheable = matches!(response, Response::Answer(_));
             let bytes = response.encode().into_bytes();
             shared.coordinator.complete(key, &bytes, cacheable);
@@ -573,7 +604,11 @@ fn serve_job(shared: &Arc<Shared>, job: Job) {
 
 /// Applies the server policy: a request may wish for less than the
 /// caps, never more; absent wishes get the caps.
-fn clamp_budgets(options: &ServeOptions, a: &AnalyzeRequest) -> (Duration, u64, u64) {
+///
+/// The memory clamp folds into the budget but *not* the cache key:
+/// a memory budget changes when an analysis degrades, never what the
+/// exact verdict is, and verdict provenance already records the rung.
+fn clamp_budgets(options: &ServeOptions, a: &AnalyzeRequest) -> (Duration, u64, u64, Option<u64>) {
     let timeout = a
         .timeout_ms
         .map(Duration::from_millis)
@@ -587,7 +622,11 @@ fn clamp_budgets(options: &ServeOptions, a: &AnalyzeRequest) -> (Duration, u64, 
         .sat_conflicts
         .unwrap_or(options.max_sat_conflicts)
         .min(options.max_sat_conflicts);
-    (timeout, node_limit, sat_conflicts)
+    let mem_limit = match (a.mem_limit, options.mem_limit) {
+        (Some(wish), Some(cap)) => Some(wish.min(cap)),
+        (wish, cap) => wish.or(cap),
+    };
+    (timeout, node_limit, sat_conflicts, mem_limit)
 }
 
 /// Runs one analysis (the single-flight leader's job): parse, budget,
@@ -598,6 +637,7 @@ fn compute(
     timeout: Duration,
     node_limit: u64,
     sat_conflicts: u64,
+    mem_limit: Option<u64>,
 ) -> Response {
     match failpoint::eval("serve::analyze") {
         Some(failpoint::Outcome::ReturnError) => {
@@ -619,6 +659,7 @@ fn compute(
     let budget = Budget::unlimited()
         .with_node_limit(Some(node_limit as usize))
         .with_sat_conflicts(Some(sat_conflicts))
+        .with_mem_limit(mem_limit)
         .with_cancel_flag(Arc::clone(&shared.abort));
     let opts = SessionOptions {
         budget,
@@ -731,6 +772,7 @@ fn compute_delta(
     timeout: Duration,
     node_limit: u64,
     sat_conflicts: u64,
+    mem_limit: Option<u64>,
 ) -> Response {
     let net = match xrta_network::parse_netlist(&a.name, &a.netlist) {
         Ok(net) => net,
@@ -742,6 +784,13 @@ fn compute_delta(
     };
     let budget_tag = format!("{}/{}/{}", timeout.as_millis(), node_limit, sat_conflicts);
     let slices = slice_cones(&net, &UnitDelay, &req);
+    // The sliced cones are this request's dominant transient
+    // allocation; charging their footprint up front lets the meter
+    // shed concurrent deltas before the per-cone analyses pile on.
+    let _cone_charge = ScopedCharge::new(
+        Subsystem::Cone,
+        slices.iter().map(|s| s.footprint()).sum::<u64>(),
+    );
     let mut verdicts = Vec::with_capacity(slices.len());
     let mut reused = 0u64;
     for slice in &slices {
@@ -774,6 +823,7 @@ fn compute_delta(
                 let budget = Budget::unlimited()
                     .with_node_limit(Some(node_limit as usize))
                     .with_sat_conflicts(Some(sat_conflicts))
+                    .with_mem_limit(mem_limit)
                     .with_cancel_flag(Arc::clone(&shared.abort));
                 let opts = SessionOptions {
                     budget,
@@ -831,7 +881,7 @@ pub fn answer_exit_code(resp: &Response) -> u8 {
     match resp {
         Response::Answer(a) if a.degraded() => 3,
         Response::Answer(_) | Response::Pong | Response::Stats(_) | Response::Drained { .. } => 0,
-        Response::Busy | Response::ShuttingDown => 3,
+        Response::Busy { .. } | Response::ShuttingDown => 3,
         Response::Error(_) => 1,
     }
 }

@@ -29,8 +29,11 @@ pub struct ServeStats {
     /// cached; `computations` counts sessions executed — equal unless
     /// a leader crashed and a follower re-led.
     pub computations: AtomicU64,
-    /// Requests shed with `busy` by admission control.
+    /// Requests shed with `busy` (queue full) by admission control.
     pub sheds: AtomicU64,
+    /// Requests shed with `busy(memory)` while the process sat above
+    /// its hard memory watermark.
+    pub sheds_memory: AtomicU64,
     /// Requests refused with `shutting_down` during drain.
     pub shutdowns: AtomicU64,
     /// Requests that ended in an `error` response.
@@ -100,6 +103,12 @@ impl ServeStats {
             cone_hits: self.cone_hits.load(Ordering::Relaxed),
             cone_misses: self.cone_misses.load(Ordering::Relaxed),
             cone_splices: self.cone_splices.load(Ordering::Relaxed),
+            sheds_memory: self.sheds_memory.load(Ordering::Relaxed),
+            // Memory gauges read the process-global meter rather than
+            // a per-server counter: the meter is the source of truth
+            // for what the accounted subsystems hold right now.
+            mem_bytes: xrta_robust::mem::global().total(),
+            mem_peak: xrta_robust::mem::global().total_peak(),
         }
     }
 }
@@ -146,6 +155,12 @@ pub struct StatsSnapshot {
     pub cone_misses: u64,
     /// See [`ServeStats::cone_splices`].
     pub cone_splices: u64,
+    /// See [`ServeStats::sheds_memory`].
+    pub sheds_memory: u64,
+    /// Bytes currently charged to the process-global memory meter.
+    pub mem_bytes: u64,
+    /// High-water mark of the process-global memory meter.
+    pub mem_peak: u64,
 }
 
 impl StatsSnapshot {
@@ -162,7 +177,8 @@ impl StatsSnapshot {
              \"shutdowns\":{},\"errors\":{},\"in_flight\":{},\"queue_depth\":{},\
              \"oracle_steals\":{},\"oracle_contention\":{},\"oracle_batches\":{},\
              \"p50_us\":{},\"p99_us\":{},\
-             \"cone_hits\":{},\"cone_misses\":{},\"cone_splices\":{}}}",
+             \"cone_hits\":{},\"cone_misses\":{},\"cone_splices\":{},\
+             \"sheds_memory\":{},\"mem_bytes\":{},\"mem_peak\":{}}}",
             self.requests,
             self.answered,
             self.hits_mem,
@@ -182,6 +198,9 @@ impl StatsSnapshot {
             self.cone_hits,
             self.cone_misses,
             self.cone_splices,
+            self.sheds_memory,
+            self.mem_bytes,
+            self.mem_peak,
         )
     }
 
@@ -208,6 +227,11 @@ impl StatsSnapshot {
             cone_hits: f.get_u64("cone_hits")?,
             cone_misses: f.get_u64("cone_misses")?,
             cone_splices: f.get_u64("cone_splices")?,
+            // Absent on pre-memory-governance shards: default to zero
+            // so a rolling cluster upgrade keeps aggregating.
+            sheds_memory: f.opt_u64("sheds_memory")?.unwrap_or(0),
+            mem_bytes: f.opt_u64("mem_bytes")?.unwrap_or(0),
+            mem_peak: f.opt_u64("mem_peak")?.unwrap_or(0),
         })
     }
 
@@ -217,13 +241,14 @@ impl StatsSnapshot {
             "serve: {} requests | {} hits ({} mem, {} disk) | {} misses | \
              {} sheds | {} errors | p50 {:.1}ms p99 {:.1}ms | \
              oracle {} steals {} contended {} batches | \
-             cones: {} hit, {} miss, {} spliced",
+             cones: {} hit, {} miss, {} spliced | \
+             mem_bytes {} mem_peak {}",
             self.requests,
             self.hits(),
             self.hits_mem,
             self.hits_disk,
             self.misses,
-            self.sheds,
+            self.sheds + self.sheds_memory,
             self.errors,
             self.p50_us as f64 / 1000.0,
             self.p99_us as f64 / 1000.0,
@@ -233,6 +258,8 @@ impl StatsSnapshot {
             self.cone_hits,
             self.cone_misses,
             self.cone_splices,
+            self.mem_bytes,
+            self.mem_peak,
         )
     }
 }
@@ -281,6 +308,9 @@ mod tests {
             cone_hits: 21,
             cone_misses: 2,
             cone_splices: 21,
+            sheds_memory: 1,
+            mem_bytes: 123_456,
+            mem_peak: 654_321,
         };
         let f = Fields::parse(&snap.encode()).unwrap();
         assert_eq!(StatsSnapshot::parse_fields(&f).unwrap(), snap);
@@ -290,11 +320,37 @@ mod tests {
             "{}",
             snap.render_line()
         );
+        // Queue and memory sheds fold into one operator column.
         assert!(
-            snap.render_line()
-                .ends_with("cones: 21 hit, 2 miss, 21 spliced"),
+            snap.render_line().contains("3 sheds"),
             "{}",
             snap.render_line()
         );
+        assert!(
+            snap.render_line()
+                .ends_with("mem_bytes 123456 mem_peak 654321"),
+            "{}",
+            snap.render_line()
+        );
+    }
+
+    #[test]
+    fn legacy_stats_payload_without_memory_fields_still_parses() {
+        let mut snap = StatsSnapshot {
+            requests: 3,
+            sheds_memory: 9,
+            mem_bytes: 9,
+            mem_peak: 9,
+            ..StatsSnapshot::default()
+        };
+        // A pre-memory-governance shard never sends the trailing trio;
+        // strip it from the encoding and re-parse.
+        let encoded = snap.encode();
+        let (head, _) = encoded.split_once(",\"sheds_memory\"").unwrap();
+        let f = Fields::parse(&format!("{head}}}")).unwrap();
+        snap.sheds_memory = 0;
+        snap.mem_bytes = 0;
+        snap.mem_peak = 0;
+        assert_eq!(StatsSnapshot::parse_fields(&f).unwrap(), snap);
     }
 }

@@ -69,6 +69,11 @@ pub struct CheckOptions {
     pub probes: usize,
     /// Seed for the probe vectors.
     pub probe_seed: u64,
+    /// Memory budget applied to the governed matrix config. A generous
+    /// limit exercises the meter plumbing without changing answers; a
+    /// tight one steers the governed run into `MemoryOut`, which the
+    /// harness reports as a run failure, not a soundness bug.
+    pub mem_limit: Option<u64>,
     /// Injected defect, if any.
     pub fault: Option<Fault>,
 }
@@ -82,6 +87,7 @@ impl Default for CheckOptions {
             grid_limit: 2048,
             probes: 2,
             probe_seed: 0x5EED,
+            mem_limit: None,
             fault: None,
         }
     }
@@ -234,6 +240,7 @@ fn check_approx2(
             Budget::unlimited()
                 .with_node_limit(Some(1 << 22))
                 .with_sat_conflicts(Some(1 << 30))
+                .with_mem_limit(opts.mem_limit)
                 .with_timeout(Duration::from_secs(600)),
         ));
     }

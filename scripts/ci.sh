@@ -56,6 +56,27 @@ echo "==> xrta fuzz --edits smoke (ECO differential)"
     --corpus /tmp/xrta-ci-eco-$$
 rm -rf "/tmp/xrta-ci-eco-$$"
 
+# Memory governance smoke: a tight byte budget must step the exact
+# rung down with memory-out provenance (exit 3) — never an allocator
+# abort or the OOM killer.
+echo "==> memory governance smoke: mult4 exact under 64M degrades"
+set +e
+mem_out=$(./target/release/xrta reqtime netlists/mult4.bench \
+    --algo exact --mem-limit 64M --timeout 10 2>&1)
+mem_rc=$?
+set -e
+if [ "$mem_rc" != 3 ]; then
+    echo "memory smoke: expected exit 3 (degraded), got $mem_rc"
+    echo "$mem_out"
+    exit 1
+fi
+echo "$mem_out" | grep -q "memory budget exhausted" || {
+    echo "memory smoke: provenance does not name the memory budget"
+    echo "$mem_out"
+    exit 1
+}
+echo "    degraded with memory-out provenance"
+
 # Chaos smoke: the failpoints feature must build clean and the batch
 # runner must survive seeded faults, in-process kills, journal tail
 # loss and resume with a byte-stable report (tests/chaos.rs).
@@ -103,7 +124,7 @@ echo "==> serve smoke: replay cache hits + graceful drain"
 sdir="/tmp/xrta-ci-serve-$$"
 mkdir -p "$sdir/cache"
 ./target/release/xrta serve --addr 127.0.0.1:0 --workers 2 \
-    --cache-dir "$sdir/cache" > "$sdir/serve.out" &
+    --mem-limit 256M --cache-dir "$sdir/cache" > "$sdir/serve.out" &
 serve_pid=$!
 addr=""
 for i in $(seq 1 100); do
@@ -151,6 +172,21 @@ if [ -z "$cone_hits" ] || [ "$cone_hits" -lt 1 ] \
     exit 1
 fi
 echo "    delta replay: $cone_hits cone hits, $cone_misses misses"
+# The stats tail carries the byte meter: a nonzero high-water mark
+# after the cache-churning replays above, and the daemon's 256M policy
+# limit was never breached.
+mem_peak=$(./target/release/xrta request --addr "$addr" --stats \
+    | sed -n 's/.*mem_bytes [0-9]* mem_peak \([0-9]*\).*/\1/p')
+if [ -z "$mem_peak" ] || [ "$mem_peak" -lt 1 ]; then
+    echo "serve stats line lacks a nonzero memory meter tail"
+    ./target/release/xrta request --addr "$addr" --stats
+    exit 1
+fi
+if [ "$mem_peak" -gt $((256 * 1024 * 1024)) ]; then
+    echo "serve mem_peak $mem_peak breached the 256M policy limit"
+    exit 1
+fi
+echo "    serve stats report mem_peak $mem_peak (under the 256M limit)"
 ./target/release/xrta request --addr "$addr" --shutdown
 wait "$serve_pid"
 rm -rf "$sdir"

@@ -161,7 +161,8 @@ fn run() -> Result<ExitCode, Failure> {
                 .map_err(|_| Failure::Usage(format!("unknown --algo {:?}", args.algo)))?;
             let mut budget = Budget::unlimited()
                 .with_node_limit(args.node_limit)
-                .with_sat_conflicts(args.sat_conflicts);
+                .with_sat_conflicts(args.sat_conflicts)
+                .with_mem_limit(args.mem_limit);
             if let Some(cancel) = &cancel {
                 budget = budget.with_cancel_flag(Arc::clone(cancel));
             }
@@ -273,7 +274,10 @@ fn run_fuzz(
         max_inputs: args.max_inputs,
         time_cap: args.time_cap,
         corpus_dir: Some(std::path::PathBuf::from(&corpus_dir)),
-        check: verify::CheckOptions::default(),
+        check: verify::CheckOptions {
+            mem_limit: args.mem_limit,
+            ..verify::CheckOptions::default()
+        },
         cancel,
     };
     let report = verify::fuzz(&opts, |line| eprintln!("xrta: fuzz: {line}"));
@@ -407,6 +411,7 @@ fn run_batch_cmd(
             route: args.route.clone(),
             cancel,
             stop_after_jobs: None,
+            mem_limit: args.mem_limit,
         },
     };
     let summary = run_batch(&cfg).map_err(|e| match e {
@@ -448,6 +453,7 @@ fn run_serve(
         max_timeout: args.max_timeout,
         max_node_limit: args.node_limit.map(|n| n as u64).unwrap_or(1 << 22),
         max_sat_conflicts: args.sat_conflicts.unwrap_or(1 << 20),
+        mem_limit: args.mem_limit,
         allow_hold: args.allow_hold,
         drain_deadline: args.drain_deadline,
         cancel,
@@ -507,6 +513,7 @@ fn run_request(args: &Args) -> Result<ExitCode, Failure> {
             timeout_ms: args.timeout.map(|t| t.as_millis() as u64),
             node_limit: args.node_limit.map(|n| n as u64),
             sat_conflicts: args.sat_conflicts,
+            mem_limit: args.mem_limit,
             hold_ms: args.hold_ms,
         };
         if args.delta {
@@ -530,7 +537,14 @@ fn run_request(args: &Args) -> Result<ExitCode, Failure> {
         .map_err(|e| Failure::Fatal(format!("request to {}: {e}", args.addr)))?;
     match &response {
         serve::Response::Pong => println!("pong"),
-        serve::Response::Busy => eprintln!("xrta: server busy (queue full); retry later"),
+        serve::Response::Busy { reason } => match reason {
+            serve::BusyReason::Queue => {
+                eprintln!("xrta: server busy (queue full); retry later")
+            }
+            serve::BusyReason::Memory => {
+                eprintln!("xrta: server busy (memory pressure); retry later")
+            }
+        },
         serve::Response::ShuttingDown => println!("server shutting down"),
         serve::Response::Drained { shard } => println!("drained {shard}"),
         serve::Response::Error(e) => eprintln!("xrta: server error: {e}"),

@@ -84,6 +84,7 @@ pub const COMMANDS: &[CommandSpec] = &[
             "--timeout",
             "--node-limit",
             "--sat-conflicts",
+            "--mem-limit",
             "--fallback",
         ],
         summary: "required times via the governed session ladder",
@@ -113,6 +114,7 @@ pub const COMMANDS: &[CommandSpec] = &[
             "--corpus",
             "--base-seed",
             "--edits",
+            "--mem-limit",
         ],
         summary: "differential fuzzing against the exhaustive oracle",
     },
@@ -134,6 +136,7 @@ pub const COMMANDS: &[CommandSpec] = &[
             "--fallback",
             "--engine",
             "--route",
+            "--mem-limit",
         ],
         summary: "crash-resilient batch runner",
     },
@@ -150,6 +153,7 @@ pub const COMMANDS: &[CommandSpec] = &[
             "--max-timeout",
             "--node-limit",
             "--sat-conflicts",
+            "--mem-limit",
             "--drain-deadline",
             "--allow-hold",
         ],
@@ -167,6 +171,7 @@ pub const COMMANDS: &[CommandSpec] = &[
             "--timeout",
             "--node-limit",
             "--sat-conflicts",
+            "--mem-limit",
             "--hold-ms",
             "--stats",
             "--ping",
@@ -233,6 +238,11 @@ pub const FLAGS: &[FlagSpec] = &[
         flag: "--sat-conflicts",
         value: Some("N"),
         help: "SAT conflict budget per oracle query",
+    },
+    FlagSpec {
+        flag: "--mem-limit",
+        value: Some("BYTES"),
+        help: "memory budget with K/M/G suffixes (e.g. 64M); serve: policy cap",
     },
     FlagSpec {
         flag: "--fallback",
@@ -464,6 +474,8 @@ pub struct Args {
     pub node_limit: Option<usize>,
     /// `--sat-conflicts`.
     pub sat_conflicts: Option<u64>,
+    /// `--mem-limit`, parsed to bytes.
+    pub mem_limit: Option<u64>,
     /// `--fallback`.
     pub fallback: bool,
     /// `--seeds`.
@@ -619,6 +631,7 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
         timeout: None,
         node_limit: None,
         sat_conflicts: None,
+        mem_limit: None,
         fallback: true,
         seeds: 100,
         max_inputs: 8,
@@ -697,6 +710,12 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--timeout" => args.timeout = Some(parse_secs("--timeout", Some(value()?))?),
             "--node-limit" => args.node_limit = Some(num("--node-limit", value()?)?),
             "--sat-conflicts" => args.sat_conflicts = Some(num("--sat-conflicts", value()?)?),
+            "--mem-limit" => {
+                args.mem_limit = Some(
+                    xrta_robust::mem::parse_bytes(&value()?)
+                        .map_err(|e| format!("bad --mem-limit: {e}"))?,
+                )
+            }
             "--fallback" => {
                 args.fallback = match value()?.as_str() {
                     "on" => true,
@@ -846,6 +865,7 @@ mod tests {
             "K" => "4",
             "N" => "7",
             "MS" => "150",
+            "BYTES" => "64M",
             "HOST:PORT" => "127.0.0.1:0",
             "HOSTS" => "127.0.0.1:7101,127.0.0.1:7102",
             "NAME" | "PATH" | "DIR" | "SPEC" => "x",
@@ -884,6 +904,16 @@ mod tests {
             let parsed = parse_args(&argv(&parts));
             assert!(parsed.is_ok(), "{} rejected: {:?}", f.flag, parsed.err());
         }
+    }
+
+    #[test]
+    fn mem_limit_parses_units_and_rejects_garbage() {
+        let ok = parse_args(&argv(&["reqtime", "x.bench", "--mem-limit", "64M"])).unwrap();
+        assert_eq!(ok.mem_limit, Some(64 << 20));
+        let ok = parse_args(&argv(&["serve", "--mem-limit", "1G"])).unwrap();
+        assert_eq!(ok.mem_limit, Some(1 << 30));
+        let err = parse_args(&argv(&["reqtime", "x.bench", "--mem-limit", "lots"]));
+        assert!(err.is_err(), "malformed byte count must be a usage error");
     }
 
     #[test]

@@ -283,6 +283,115 @@ fn chaos_batch_survives_faults_kills_and_tail_loss() {
     );
 }
 
+/// Memory chaos: every governed allocation site reports pressure
+/// through the same meter, so forging pressure at the meter exercises
+/// the whole degradation ladder at once. `exhaust` forges the hard
+/// watermark (cooperative memory-out), `err` the soft one (in-place
+/// reclamation that must never change answers).
+const MEM_SCHEDULE: &str = "mem::pressure=exhaust%2,err%2";
+
+#[test]
+fn chaos_memory_pressure_degrades_soundly_and_resumes_byte_identical() {
+    let _guard = chaos_lock();
+    quiet_injected_panics();
+    let scratch = Scratch::new("mem");
+    let dir = &scratch.0;
+    let (manifest, _nets) = build_suite(dir);
+
+    let mem_options = || BatchOptions {
+        seed: RUN_SEED ^ 0x3e30,
+        backoff: BackoffPolicy::immediate(2),
+        failpoints: Some(MEM_SCHEDULE.to_string()),
+        threads: 1,
+        // A tiny hard budget arms every pressure check; the failpoint
+        // then decides deterministically (per attempt seed) when the
+        // watermarks "trip".
+        mem_limit: Some(32 << 20),
+        // No rung ladder: a memory-out must surface as a journaled
+        // transient failure and be retried under a tighter budget,
+        // rather than silently degrading to the topological rung.
+        fallback: false,
+        ..BatchOptions::default()
+    };
+
+    // Reference: the same seeded pressure schedule, uninterrupted.
+    let reference_cfg = BatchConfig {
+        manifest: manifest.clone(),
+        journal: dir.join("memref.journal"),
+        report: dir.join("memref.report.json"),
+        resume: false,
+        options: mem_options(),
+    };
+    let summary = run_batch(&reference_cfg).unwrap();
+    assert_eq!(summary.pending, 0);
+    assert!(
+        summary.done > 0,
+        "pressure must not starve the whole batch; got {summary:?}"
+    );
+    let reference_report = std::fs::read_to_string(&reference_cfg.report).unwrap();
+
+    // MemoryOut provenance reaches the journal: attempts that die at
+    // the hard watermark are journaled with the budget named, classed
+    // transient, and retried under a tighter budget.
+    let loaded = journal::load(&reference_cfg.journal).unwrap();
+    let events: Vec<Event> = loaded
+        .records
+        .iter()
+        .map(|r| Event::parse(r).unwrap())
+        .collect();
+    let mem_fail_jobs: Vec<usize> = events
+        .iter()
+        .filter_map(|ev| match ev {
+            Event::Fail { job, error, .. } if error.contains("memory-out") => Some(*job),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        !mem_fail_jobs.is_empty(),
+        "the pressure schedule must journal memory-out provenance"
+    );
+    let recovered = mem_fail_jobs.iter().any(|&job| {
+        events
+            .iter()
+            .any(|ev| matches!(ev, Event::Done(d) if d.job == job))
+    });
+    assert!(
+        recovered,
+        "some job should succeed on a tighter-budget retry after a memory-out"
+    );
+
+    // The same batch killed every few jobs — with the journal tail
+    // torn between lives — must resume to a byte-identical report.
+    let mut crash_cfg = BatchConfig {
+        manifest,
+        journal: dir.join("memcrash.journal"),
+        report: dir.join("memcrash.report.json"),
+        resume: false,
+        options: BatchOptions {
+            stop_after_jobs: Some(9),
+            ..mem_options()
+        },
+    };
+    let mut tear_rng = Rng::seed_from_u64(RUN_SEED ^ 0x3e31);
+    let mut rounds = 0;
+    loop {
+        let summary = run_batch(&crash_cfg).unwrap();
+        rounds += 1;
+        assert!(rounds <= 40, "crash loop did not converge: {summary:?}");
+        if summary.pending == 0 && !summary.stopped_early {
+            break;
+        }
+        tear_journal_tail(&crash_cfg.journal, &mut tear_rng, 8);
+        crash_cfg.resume = true;
+    }
+    assert!(rounds >= 3, "stop_after_jobs=9 over 50 jobs must crash");
+    let crash_report = std::fs::read_to_string(&crash_cfg.report).unwrap();
+    assert_eq!(
+        crash_report, reference_report,
+        "memory chaos + kill/tear/resume must reproduce the report byte for byte"
+    );
+}
+
 #[test]
 fn injected_rung_failures_drive_graceful_degradation() {
     let _guard = chaos_lock();

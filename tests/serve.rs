@@ -267,7 +267,12 @@ fn full_queue_sheds_busy() {
 
     // Worker busy + queue full: this one must be refused immediately.
     let shed = serve::roundtrip(addr, &analyze(TINY, 4, 0)).unwrap();
-    assert_eq!(shed, Response::Busy);
+    assert_eq!(
+        shed,
+        Response::Busy {
+            reason: serve::BusyReason::Queue
+        }
+    );
 
     assert!(t1.join().unwrap().starts_with(b"{\"status\":\"answer\""));
     assert!(t2.join().unwrap().starts_with(b"{\"status\":\"answer\""));
@@ -526,6 +531,46 @@ fn injected_analyze_failure_is_answered_and_not_cached() {
     let stats = handle.stats();
     assert_eq!(stats.errors, 1);
     assert_eq!(stats.computations, 1);
+    handle.shutdown();
+    handle.join();
+}
+
+/// Forged memory pressure at admission: the hard watermark sheds with
+/// `busy(memory)` (a distinct counter and a legacy-compatible wire
+/// form), the soft watermark reclaims cache in place and still
+/// answers.
+#[cfg(feature = "failpoints")]
+#[test]
+fn memory_pressure_sheds_busy_memory_and_soft_pressure_still_answers() {
+    use xrta::robust::failpoint::FailScenario;
+
+    // Eval #1 (first admission) forges the hard watermark; eval #2
+    // (second admission) the soft one; later checks see the truth.
+    let _scenario = FailScenario::setup("mem::pressure=exhaust@1,err@2", 0);
+    let handle = serve::start(ServeOptions {
+        workers: 1,
+        mem_limit: Some(64 << 20),
+        ..ServeOptions::default()
+    })
+    .unwrap();
+    let addr = handle.addr();
+
+    let shed = raw_roundtrip(addr, &analyze(TINY, 2, 0));
+    assert_eq!(
+        shed, b"{\"status\":\"busy\",\"reason\":\"memory\"}",
+        "memory sheds must name their reason on the wire"
+    );
+
+    let answered = serve::roundtrip(addr, &analyze(TINY, 2, 0)).unwrap();
+    assert!(
+        matches!(answered, Response::Answer(_)),
+        "soft pressure reclaims and keeps serving: {answered:?}"
+    );
+
+    let stats = handle.stats();
+    assert_eq!(stats.sheds_memory, 1);
+    assert_eq!(stats.sheds, 0, "a memory shed is not a queue shed");
+    assert_eq!(stats.answered, 1);
     handle.shutdown();
     handle.join();
 }
