@@ -33,8 +33,10 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 use xrta_bench::{print_table, run_approx2_with, zero_required, RunOutcome};
-use xrta_circuits::iscas_rows;
+use xrta_circuits::{carry_skip_adder, iscas_rows, ripple_carry_adder};
 use xrta_core::{slice_cones, CacheStrategy};
+use xrta_network::Network;
+use xrta_resynth::{resynthesize, DelaySpec, ResynthOptions};
 use xrta_timing::UnitDelay;
 
 /// One (circuit, configuration) run for the table and the JSON report.
@@ -77,6 +79,61 @@ struct Record {
     peak_mem: u64,
 }
 
+/// One adder-family resynthesis run: the worst-true-delay gain table
+/// of the required-time-driven restructuring pass.
+struct ResynthRecord {
+    netlist: String,
+    worst_before: i64,
+    worst_after: i64,
+    gain: i64,
+    chains_improved: usize,
+    verified: usize,
+    wall_s: f64,
+}
+
+/// The adder family the resynthesis bench runs over: ripple-carry
+/// chains (long critical carry spines, big gains) and carry-skip
+/// variants (the skip muxes already shorten the true path; the pass
+/// must still find what is left without regressing anything).
+fn adder_family() -> Vec<(String, Network)> {
+    let mut fam = Vec::new();
+    for bits in [8usize, 12, 16] {
+        fam.push((
+            format!("rca{bits}"),
+            ripple_carry_adder(bits).expect("valid adder"),
+        ));
+    }
+    for (bits, block) in [(8usize, 4usize), (16, 4), (24, 6)] {
+        fam.push((
+            format!("csk{bits}x{block}"),
+            carry_skip_adder(bits, block).expect("valid adder"),
+        ));
+    }
+    fam
+}
+
+fn run_resynth_rows() -> Vec<ResynthRecord> {
+    adder_family()
+        .into_iter()
+        .map(|(name, net)| {
+            eprintln!("resynthesizing {name} ...");
+            let started = std::time::Instant::now();
+            let rep = resynthesize(&net, &DelaySpec::unit(), &ResynthOptions::default());
+            let wall_s = started.elapsed().as_secs_f64();
+            let (before, after) = (rep.worst_before.ticks(), rep.worst_after.ticks());
+            ResynthRecord {
+                netlist: name,
+                worst_before: before,
+                worst_after: after,
+                gain: before - after,
+                chains_improved: rep.improved(),
+                verified: rep.equivalence_checks,
+                wall_s,
+            }
+        })
+        .collect()
+}
+
 fn json_escape(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
@@ -88,7 +145,7 @@ fn json_escape(s: &str) -> String {
         .collect()
 }
 
-fn render_json(budget: Duration, records: &[Record]) -> String {
+fn render_json(budget: Duration, records: &[Record], resynth: &[ResynthRecord]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"bench\": \"reqtime_table2\",");
@@ -147,6 +204,24 @@ fn render_json(budget: Duration, records: &[Record]) -> String {
             opt(r.oracle_call_ratio),
             r.peak_mem,
             if k + 1 == records.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"resynth\": [");
+    for (k, r) in resynth.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"netlist\": \"{}\", \"worst_before\": {}, \"worst_after\": {}, \
+             \"gain\": {}, \"chains_improved\": {}, \"verified\": {}, \
+             \"wall_secs\": {:.4}}}{}",
+            json_escape(&r.netlist),
+            r.worst_before,
+            r.worst_after,
+            r.gain,
+            r.chains_improved,
+            r.verified,
+            r.wall_s,
+            if k + 1 == resynth.len() { "" } else { "," }
         );
     }
     let _ = writeln!(out, "  ]");
@@ -263,6 +338,76 @@ fn print_baseline_diff(baseline: &[BaselineRow], records: &[Record]) {
         println!("{regressions} regression(s) vs baseline");
     } else {
         println!("no regressions vs baseline");
+    }
+}
+
+/// One resynth row of a previous report: `(netlist, worst_after,
+/// gain)`. Empty for reports written before the resynthesis bench
+/// existed.
+fn parse_baseline_resynth(text: &str) -> Vec<(String, i64, i64)> {
+    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let pat = format!("\"{key}\": ");
+        let at = line.find(&pat)? + pat.len();
+        let rest = &line[at..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim().trim_matches('"'))
+    }
+    text.lines()
+        .filter(|l| l.contains("\"netlist\""))
+        .filter_map(|l| {
+            Some((
+                field(l, "netlist")?.to_string(),
+                field(l, "worst_after")?.parse().ok()?,
+                field(l, "gain")?.parse().ok()?,
+            ))
+        })
+        .collect()
+}
+
+/// Flags resynthesis-quality regressions against a previous report: a
+/// netlist whose restructured worst true delay got slower, or whose
+/// gain shrank, means the pass stopped finding rewrites it used to.
+fn print_resynth_baseline_diff(baseline: &[(String, i64, i64)], records: &[ResynthRecord]) {
+    if baseline.is_empty() {
+        println!("\n(baseline has no resynth rows; gain diff skipped)");
+        return;
+    }
+    println!("\nResynthesis gain diff:");
+    let mut rows = Vec::new();
+    let mut regressions = 0;
+    for r in records {
+        let Some((_, old_after, old_gain)) = baseline.iter().find(|(n, _, _)| *n == r.netlist)
+        else {
+            continue;
+        };
+        let regressed = r.worst_after > *old_after || r.gain < *old_gain;
+        if regressed {
+            regressions += 1;
+        }
+        rows.push(vec![
+            r.netlist.clone(),
+            old_after.to_string(),
+            r.worst_after.to_string(),
+            old_gain.to_string(),
+            r.gain.to_string(),
+            if regressed { "REGRESSED" } else { "ok" }.to_string(),
+        ]);
+    }
+    print_table(
+        &[
+            "netlist",
+            "after old",
+            "after new",
+            "gain old",
+            "gain new",
+            "verdict",
+        ],
+        &rows,
+    );
+    if regressions > 0 {
+        println!("{regressions} resynthesis regression(s) vs baseline");
+    } else {
+        println!("no resynthesis regressions vs baseline");
     }
 }
 
@@ -492,13 +637,45 @@ fn main() {
         &rows,
     );
 
+    // Resynthesis gain rows: the required-time-driven restructuring
+    // pass over the adder family, every kept rewrite proof-verified.
+    let resynth = run_resynth_rows();
+    let resynth_rows: Vec<Vec<String>> = resynth
+        .iter()
+        .map(|r| {
+            vec![
+                r.netlist.clone(),
+                r.worst_before.to_string(),
+                r.worst_after.to_string(),
+                r.gain.to_string(),
+                r.chains_improved.to_string(),
+                r.verified.to_string(),
+                format!("{:.2}", r.wall_s),
+            ]
+        })
+        .collect();
+    println!("\nResynthesis gains (unit delay, adder family):");
+    print_table(
+        &[
+            "netlist",
+            "worst before",
+            "worst after",
+            "gain",
+            "chains improved",
+            "proofs",
+            "wall (s)",
+        ],
+        &resynth_rows,
+    );
+
     if let Some(path) = &baseline_path {
         let text =
             std::fs::read_to_string(path).unwrap_or_else(|e| panic!("--baseline {path}: {e}"));
         print_baseline_diff(&parse_baseline(&text), &records);
+        print_resynth_baseline_diff(&parse_baseline_resynth(&text), &resynth);
     }
 
-    let json = render_json(budget, &records);
+    let json = render_json(budget, &records, &resynth);
     // Atomic: never leave a half-written report if the run is killed.
     xrta_robust::fsio::atomic_write(std::path::Path::new(&json_path), json.as_bytes())
         .expect("write JSON report");

@@ -112,6 +112,52 @@ pub enum Equivalence {
 ///
 /// Panics if the interface sizes differ.
 pub fn check_equivalence(a: &Network, b: &Network) -> Equivalence {
+    match check_equivalence_governed(a, b, &MiterBudget::default()) {
+        GovernedEquivalence::Equivalent => Equivalence::Equivalent,
+        GovernedEquivalence::Differs(x) => Equivalence::Differs(x),
+        GovernedEquivalence::Unknown(_) => unreachable!("no budget configured"),
+    }
+}
+
+/// Resource limits for a governed miter run. The default is unlimited,
+/// under which [`check_equivalence_governed`] never answers `Unknown`.
+#[derive(Clone, Default)]
+pub struct MiterBudget {
+    /// SAT conflict budget for the miter query.
+    pub conflicts: Option<u64>,
+    /// Wall-clock deadline.
+    pub deadline: Option<std::time::Instant>,
+    /// Byte-accurate memory budget for the solver.
+    pub mem_limit: Option<u64>,
+    /// Cooperative cancellation flag.
+    pub cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+}
+
+/// Outcome of a governed equivalence check.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum GovernedEquivalence {
+    /// The networks compute identical functions input-for-input.
+    Equivalent,
+    /// A counterexample input assignment (aligned with `a.inputs()`).
+    Differs(Vec<bool>),
+    /// The budget ran out before the miter resolved; the reason is the
+    /// solver's stop reason. Callers must treat this as *unproven*.
+    Unknown(xrta_sat::StopReason),
+}
+
+/// SAT-based combinational equivalence check under a resource budget.
+/// Interface and encoding are identical to [`check_equivalence`]; an
+/// exhausted budget yields [`GovernedEquivalence::Unknown`] instead of
+/// panicking.
+///
+/// # Panics
+///
+/// Panics if the interface sizes differ.
+pub fn check_equivalence_governed(
+    a: &Network,
+    b: &Network,
+    budget: &MiterBudget,
+) -> GovernedEquivalence {
     assert_eq!(a.inputs().len(), b.inputs().len(), "input count mismatch");
     assert_eq!(
         a.outputs().len(),
@@ -124,25 +170,33 @@ pub fn check_equivalence(a: &Network, b: &Network) -> Equivalence {
     for (&ia, &ib) in a.inputs().iter().zip(b.inputs()) {
         cnf.assert_equal(ea.of(ia), eb.of(ib));
     }
-    let diffs: Vec<_> = a
-        .outputs()
-        .iter()
-        .zip(b.outputs())
-        .map(|(&oa, &ob)| cnf.xor(ea.of(oa), eb.of(ob)))
-        .collect();
-    let any = cnf.or(diffs);
+    let any = cnf.miter(
+        a.outputs()
+            .iter()
+            .zip(b.outputs())
+            .map(|(&oa, &ob)| (ea.of(oa), eb.of(ob)))
+            .collect::<Vec<_>>(),
+    );
     cnf.assert_lit(any);
     let input_lits: Vec<_> = a.inputs().iter().map(|&i| ea.of(i)).collect();
     let mut solver = cnf.into_solver();
+    solver.set_conflict_budget(budget.conflicts);
+    solver.set_deadline(budget.deadline);
+    solver.set_mem_limit(budget.mem_limit);
+    solver.set_cancel_flag(budget.cancel.clone());
     match solver.solve() {
-        SolveResult::Unsat => Equivalence::Equivalent,
-        SolveResult::Sat => Equivalence::Differs(
+        SolveResult::Unsat => GovernedEquivalence::Equivalent,
+        SolveResult::Sat => GovernedEquivalence::Differs(
             input_lits
                 .iter()
                 .map(|&l| solver.model_lit(l).unwrap_or(false))
                 .collect(),
         ),
-        SolveResult::Unknown => unreachable!("no budget configured"),
+        SolveResult::Unknown => GovernedEquivalence::Unknown(
+            solver
+                .last_stop_reason()
+                .unwrap_or(xrta_sat::StopReason::Conflicts),
+        ),
     }
 }
 

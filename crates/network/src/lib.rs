@@ -38,7 +38,10 @@ pub use bdd_bridge::GlobalBdds;
 pub use bench_fmt::{parse_bench, write_bench, ParseBenchError};
 pub use blif::{parse_blif, write_blif, ParseBlifError};
 pub use cnf_bridge::NetworkCnf;
-pub use decompose::{check_equivalence, decompose_to_gates, Equivalence};
+pub use decompose::{
+    check_equivalence, check_equivalence_governed, decompose_to_gates, Equivalence,
+    GovernedEquivalence, MiterBudget,
+};
 pub use gate::GateKind;
 pub use load::{load_network_file, parse_netlist};
 pub use network::{Network, NetworkError, Node, NodeFunc, NodeId};

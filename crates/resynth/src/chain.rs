@@ -1,0 +1,217 @@
+//! Critical AND-OR chain extraction.
+//!
+//! A *chain* is the alternating AND/OR spine found by walking from a
+//! root gate down its latest-arriving fanin, collecting the other
+//! fanins as side leaves. The spine of a ripple-carry adder's carry
+//! logic `c₈ = cg₇ ∨ (p₇ ∧ (cg₆ ∨ (p₆ ∧ …)))` is the canonical
+//! example: a long, skewed AND-OR path the Brenner–Hermann dynamic
+//! program can rebalance against prescribed leaf arrival times.
+
+use xrta_network::{GateKind, Network, NodeFunc, NodeId};
+use xrta_timing::Time;
+
+/// One alternation level of the chain: `seg(x) = ⋁g ∨ (⋀p ∧ x)`.
+///
+/// An empty `g` set reads as constant false (the OR layer is absent),
+/// an empty `p` set as constant true (the AND layer is absent).
+#[derive(Clone, Debug, Default)]
+pub struct Segment {
+    /// OR-side leaves.
+    pub g: Vec<NodeId>,
+    /// AND-side leaves.
+    pub p: Vec<NodeId>,
+}
+
+/// An extracted chain rooted at `root`:
+/// `f(root) = seg₁(seg₂(… segₘ(tail)))`.
+#[derive(Clone, Debug)]
+pub struct Chain {
+    /// The gate whose definition the chain collapses.
+    pub root: NodeId,
+    /// Alternation levels, outermost first.
+    pub segments: Vec<Segment>,
+    /// The leaf the innermost segment conjoins with.
+    pub tail: NodeId,
+    /// Number of spine gates the chain collapsed.
+    pub interior: usize,
+}
+
+impl Chain {
+    /// All distinct leaves (side inputs plus the tail).
+    pub fn leaves(&self) -> Vec<NodeId> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for seg in &self.segments {
+            for &l in seg.g.iter().chain(&seg.p) {
+                if seen.insert(l) {
+                    out.push(l);
+                }
+            }
+        }
+        if seen.insert(self.tail) {
+            out.push(self.tail);
+        }
+        out
+    }
+}
+
+/// The node's library kind when it is a chain-spine gate (AND/OR).
+pub fn chain_kind(net: &Network, id: NodeId) -> Option<GateKind> {
+    match &net.node(id).func {
+        NodeFunc::Gate {
+            kind: Some(k @ (GateKind::And | GateKind::Or)),
+            ..
+        } => Some(*k),
+        _ => None,
+    }
+}
+
+/// Walks from `from` toward the primary inputs along the
+/// latest-arriving fanin until an AND/OR gate is found — the chain
+/// root. Returns `None` when the critical path reaches a primary input
+/// without crossing one.
+pub fn find_root(net: &Network, from: NodeId, arrival: &[Time]) -> Option<NodeId> {
+    let mut cur = from;
+    loop {
+        if net.node(cur).is_input() {
+            return None;
+        }
+        if chain_kind(net, cur).is_some() {
+            return Some(cur);
+        }
+        cur = *net
+            .node(cur)
+            .fanins
+            .iter()
+            .max_by_key(|f| arrival[f.index()])?;
+    }
+}
+
+/// Extracts the AND-OR chain rooted at `root`, following the
+/// latest-arriving fanin (per `arrival`, indexed by node id) at every
+/// spine gate. Stops when the continuation is not an AND/OR gate or
+/// when `max_len` spine gates have been collapsed.
+///
+/// Returns `None` if `root` is not an AND/OR gate.
+pub fn extract(net: &Network, root: NodeId, arrival: &[Time], max_len: usize) -> Option<Chain> {
+    chain_kind(net, root)?;
+    let mut segments: Vec<Segment> = Vec::new();
+    let mut cur = root;
+    let mut prev: Option<GateKind> = None;
+    let mut interior = 0usize;
+    loop {
+        let kind = chain_kind(net, cur).expect("spine gates are AND/OR");
+        let node = net.node(cur);
+        interior += 1;
+        // Continuation: the latest-arriving fanin; everything else is a
+        // side leaf of this alternation level.
+        let cont = *node
+            .fanins
+            .iter()
+            .max_by_key(|f| arrival[f.index()])
+            .expect("AND/OR gates have fanins");
+        let sides: Vec<NodeId> = node.fanins.iter().copied().filter(|&f| f != cont).collect();
+        match kind {
+            GateKind::Or => segments.push(Segment {
+                g: sides,
+                p: Vec::new(),
+            }),
+            GateKind::And => match (&prev, segments.last_mut()) {
+                (Some(_), Some(seg)) => seg.p.extend(sides),
+                _ => segments.push(Segment {
+                    g: Vec::new(),
+                    p: sides,
+                }),
+            },
+            _ => unreachable!("chain_kind admits only And/Or"),
+        }
+        let continue_spine =
+            interior < max_len && !net.node(cont).is_input() && chain_kind(net, cont).is_some();
+        if !continue_spine {
+            return Some(Chain {
+                root,
+                segments,
+                tail: cont,
+                interior,
+            });
+        }
+        prev = Some(kind);
+        cur = cont;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrta_timing::{arrival_times, UnitDelay};
+
+    fn arrivals(net: &Network) -> Vec<Time> {
+        arrival_times(net, &UnitDelay, &vec![Time::ZERO; net.inputs().len()])
+    }
+
+    #[test]
+    fn carry_chain_collapses_to_alternating_segments() {
+        // c3 = cg2 | (p2 & (cg1 | (p1 & cin)))
+        let mut net = Network::new("carry");
+        let cin = net.add_input("cin").unwrap();
+        let p1 = net.add_input("p1").unwrap();
+        let p2 = net.add_input("p2").unwrap();
+        let cg1 = net.add_input("cg1").unwrap();
+        let cg2 = net.add_input("cg2").unwrap();
+        let a1 = net.add_gate("a1", GateKind::And, &[p1, cin]).unwrap();
+        let c2 = net.add_gate("c2", GateKind::Or, &[cg1, a1]).unwrap();
+        let a2 = net.add_gate("a2", GateKind::And, &[p2, c2]).unwrap();
+        let c3 = net.add_gate("c3", GateKind::Or, &[cg2, a2]).unwrap();
+        net.mark_output(c3);
+        let arr = arrivals(&net);
+        let chain = extract(&net, c3, &arr, 64).unwrap();
+        assert_eq!(chain.root, c3);
+        assert_eq!(chain.interior, 4);
+        assert_eq!(chain.segments.len(), 2);
+        assert_eq!(chain.segments[0].g, vec![cg2]);
+        assert_eq!(chain.segments[0].p, vec![p2]);
+        assert_eq!(chain.segments[1].g, vec![cg1]);
+        assert_eq!(chain.segments[1].p, vec![p1]);
+        assert_eq!(chain.tail, cin);
+    }
+
+    #[test]
+    fn same_op_runs_flatten_into_one_level() {
+        // f = a | (b | (x & y & tailish)) — consecutive ORs open
+        // separate segments with empty p; consecutive ANDs share one.
+        let mut net = Network::new("runs");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let x = net.add_input("x").unwrap();
+        let y = net.add_input("y").unwrap();
+        let t = net.add_input("t").unwrap();
+        let bt = net.add_gate("bt", GateKind::Buf, &[t]).unwrap();
+        let i1 = net.add_gate("i1", GateKind::And, &[y, bt]).unwrap();
+        let i2 = net.add_gate("i2", GateKind::And, &[x, i1]).unwrap();
+        let o1 = net.add_gate("o1", GateKind::Or, &[b, i2]).unwrap();
+        let f = net.add_gate("f", GateKind::Or, &[a, o1]).unwrap();
+        net.mark_output(f);
+        let arr = arrivals(&net);
+        let chain = extract(&net, f, &arr, 64).unwrap();
+        assert_eq!(chain.segments.len(), 2);
+        assert_eq!(chain.segments[0].g, vec![a]);
+        assert!(chain.segments[0].p.is_empty());
+        assert_eq!(chain.segments[1].g, vec![b]);
+        assert_eq!(chain.segments[1].p, vec![x, y]);
+        assert_eq!(chain.tail, bt);
+    }
+
+    #[test]
+    fn find_root_skips_through_xor() {
+        let mut net = Network::new("sum");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let c = net.add_input("c").unwrap();
+        let g = net.add_gate("g", GateKind::And, &[a, b]).unwrap();
+        let h = net.add_gate("h", GateKind::Or, &[g, c]).unwrap();
+        let s = net.add_gate("s", GateKind::Xor, &[a, h]).unwrap();
+        net.mark_output(s);
+        let arr = arrivals(&net);
+        assert_eq!(find_root(&net, s, &arr), Some(h));
+    }
+}

@@ -1,0 +1,385 @@
+//! The Brenner–Hermann dynamic program: rebuild an extracted AND-OR
+//! chain against *prescribed* leaf arrival times.
+//!
+//! Each chain segment contributes a generate/propagate pair
+//! `(G, P)` — `seg(x) = G ∨ (P ∧ x)` — and consecutive pairs combine
+//! with the associative prefix operator
+//! `(Gₐ,Pₐ)∘(G_b,P_b) = (Gₐ ∨ (Pₐ ∧ G_b), Pₐ ∧ P_b)`.
+//! Because the operator is associative, the combination *tree* is
+//! free: an interval DP over the segment sequence keeps the Pareto
+//! frontier of achievable `(arrival(G), arrival(P))` pairs per
+//! interval and picks the bracketing that minimizes the arrival of the
+//! final `f = G ∨ (P ∧ tail)`. Leaf sets inside a segment are merged
+//! earliest-two-first (Huffman on arrival), which is optimal for a
+//! single AND/OR tree under additive gate delays.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use xrta_network::NodeId;
+
+/// Binary operation of a rebuilt gate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BuildOp {
+    /// Conjunction.
+    And,
+    /// Disjunction.
+    Or,
+}
+
+/// The rebuilt expression over original-network leaves.
+#[derive(Clone, Debug)]
+pub enum Expr {
+    /// A reference into the host network.
+    Leaf(NodeId),
+    /// A fresh two-input gate.
+    Node {
+        /// Gate operation.
+        op: BuildOp,
+        /// Left operand.
+        a: Box<Expr>,
+        /// Right operand.
+        b: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Number of fresh gates the expression will introduce.
+    pub fn gate_count(&self) -> usize {
+        match self {
+            Expr::Leaf(_) => 0,
+            Expr::Node { a, b, .. } => 1 + a.gate_count() + b.gate_count(),
+        }
+    }
+}
+
+/// A chain segment with prescribed leaf arrivals (ticks).
+#[derive(Clone, Debug)]
+pub struct SegmentLeaves {
+    /// OR-side leaves with arrivals; empty reads as constant false.
+    pub g: Vec<(NodeId, i64)>,
+    /// AND-side leaves with arrivals; empty reads as constant true.
+    pub p: Vec<(NodeId, i64)>,
+}
+
+/// Result of restructuring: the expression and its estimated arrival
+/// under the prescribed leaf times.
+#[derive(Clone, Debug)]
+pub struct Rebuilt {
+    /// Replacement definition for the chain root.
+    pub expr: Expr,
+    /// Estimated arrival of `expr` (topological over prescribed times).
+    pub est_arrival: i64,
+}
+
+/// Earliest-two-first merge of a leaf set into one `op` tree.
+/// Returns `None` for an empty set.
+fn leaf_tree(op: BuildOp, leaves: &[(NodeId, i64)], d: i64) -> Option<(Expr, i64)> {
+    let mut heap: BinaryHeap<Reverse<(i64, usize)>> = BinaryHeap::new();
+    let mut pool: Vec<Expr> = Vec::with_capacity(leaves.len());
+    for &(id, t) in leaves {
+        heap.push(Reverse((t, pool.len())));
+        pool.push(Expr::Leaf(id));
+    }
+    while heap.len() > 1 {
+        let Reverse((ta, ia)) = heap.pop().unwrap();
+        let Reverse((tb, ib)) = heap.pop().unwrap();
+        let expr = Expr::Node {
+            op,
+            a: Box::new(pool[ia].clone()),
+            b: Box::new(pool[ib].clone()),
+        };
+        heap.push(Reverse((ta.max(tb) + d, pool.len())));
+        pool.push(expr);
+    }
+    let Reverse((t, i)) = heap.pop()?;
+    Some((pool.swap_remove(i), t))
+}
+
+/// One Pareto-frontier candidate for an interval: the arrivals of its
+/// G and P components (`None` = the component is a constant and costs
+/// no gate) plus the provenance needed to rebuild the expression.
+#[derive(Clone, Copy, Debug)]
+struct Cand {
+    /// Arrival of G; `None` = constant false.
+    g: Option<i64>,
+    /// Arrival of P; `None` = constant true.
+    p: Option<i64>,
+    /// `Some((k, ia, ib))`: combined from `dp[i][k][ia] ∘ dp[k][j][ib]`.
+    split: Option<(usize, usize, usize)>,
+}
+
+fn key(v: Option<i64>) -> i64 {
+    v.unwrap_or(i64::MIN)
+}
+
+/// Inserts `c` into the frontier unless dominated; evicts candidates
+/// `c` dominates. Dominance is componentwise ≤ on (g, p) arrivals with
+/// absent components best.
+fn insert_pareto(frontier: &mut Vec<Cand>, c: Cand) {
+    for f in frontier.iter() {
+        if key(f.g) <= key(c.g) && key(f.p) <= key(c.p) {
+            return;
+        }
+    }
+    frontier.retain(|f| !(key(c.g) <= key(f.g) && key(c.p) <= key(f.p)));
+    frontier.push(c);
+}
+
+/// Arrival of `x op y` where either side may be absent (identity).
+fn join(a: Option<i64>, b: Option<i64>, d: i64) -> Option<i64> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.max(y) + d),
+        (Some(x), None) | (None, Some(x)) => Some(x),
+        (None, None) => None,
+    }
+}
+
+/// Combines two (G, P) candidates with the prefix operator, tracking
+/// arrivals only.
+fn combine(a: &Cand, b: &Cand, d: i64) -> (Option<i64>, Option<i64>) {
+    // and(Pa, Gb): Pa None = true (identity); Gb None = false
+    // (annihilates the term).
+    let pa_gb = match (a.p, b.g) {
+        (_, None) => None,
+        (None, Some(gb)) => Some(gb),
+        (Some(pa), Some(gb)) => Some(pa.max(gb) + d),
+    };
+    let g = join(a.g, pa_gb, d);
+    // `Pa ∧ Pb` with `None` = constant true as identity.
+    let p = join(a.p, b.p, d);
+    (g, p)
+}
+
+/// Expression-level combination mirroring [`combine`]'s arrival cases.
+fn combine_expr(
+    a: (Option<Expr>, Option<Expr>),
+    b: (Option<Expr>, Option<Expr>),
+) -> (Option<Expr>, Option<Expr>) {
+    let (ga, pa) = a;
+    let (gb, pb) = b;
+    let pa_gb = match (&pa, gb) {
+        (_, None) => None,
+        (None, Some(gb)) => Some(gb),
+        (Some(pa), Some(gb)) => Some(Expr::Node {
+            op: BuildOp::And,
+            a: Box::new(pa.clone()),
+            b: Box::new(gb),
+        }),
+    };
+    let g = match (ga, pa_gb) {
+        (Some(x), Some(y)) => Some(Expr::Node {
+            op: BuildOp::Or,
+            a: Box::new(x),
+            b: Box::new(y),
+        }),
+        (Some(x), None) | (None, Some(x)) => Some(x),
+        (None, None) => None,
+    };
+    let p = match (pa, pb) {
+        (Some(x), Some(y)) => Some(Expr::Node {
+            op: BuildOp::And,
+            a: Box::new(x),
+            b: Box::new(y),
+        }),
+        (Some(x), None) | (None, Some(x)) => Some(x),
+        (None, None) => None,
+    };
+    (g, p)
+}
+
+/// A segment's base (g-tree, p-tree) pair: each side is the Huffman
+/// leaf tree and its arrival, or `None` when the side has no leaves.
+type BaseTrees = (Option<(Expr, i64)>, Option<(Expr, i64)>);
+
+/// Rebuilds a segment chain against prescribed leaf arrivals with
+/// per-fresh-gate delay `d`, minimizing the arrival of
+/// `f = G ∨ (P ∧ tail)`. Returns `None` for an empty chain.
+pub fn restructure(segments: &[SegmentLeaves], tail: (NodeId, i64), d: i64) -> Option<Rebuilt> {
+    let m = segments.len();
+    if m == 0 {
+        return Some(Rebuilt {
+            expr: Expr::Leaf(tail.0),
+            est_arrival: tail.1,
+        });
+    }
+    // dp[i][j] (stored at [j - i - 1][i]) = Pareto frontier for the
+    // segment interval [i, j).
+    let mut dp: Vec<Vec<Vec<Cand>>> = Vec::with_capacity(m);
+    let mut base_trees: Vec<BaseTrees> = Vec::with_capacity(m);
+    let mut row0 = Vec::with_capacity(m);
+    for seg in segments {
+        let g = leaf_tree(BuildOp::Or, &seg.g, d);
+        let p = leaf_tree(BuildOp::And, &seg.p, d);
+        row0.push(vec![Cand {
+            g: g.as_ref().map(|x| x.1),
+            p: p.as_ref().map(|x| x.1),
+            split: None,
+        }]);
+        base_trees.push((g, p));
+    }
+    dp.push(row0);
+    for len in 2..=m {
+        let mut row = Vec::with_capacity(m - len + 1);
+        for i in 0..=(m - len) {
+            let j = i + len;
+            let mut frontier: Vec<Cand> = Vec::new();
+            for k in (i + 1)..j {
+                let left = &dp[k - i - 1][i];
+                let right = &dp[j - k - 1][k];
+                for (ia, a) in left.iter().enumerate() {
+                    for (ib, b) in right.iter().enumerate() {
+                        let (g, p) = combine(a, b, d);
+                        insert_pareto(
+                            &mut frontier,
+                            Cand {
+                                g,
+                                p,
+                                split: Some((k, ia, ib)),
+                            },
+                        );
+                    }
+                }
+            }
+            row.push(frontier);
+        }
+        dp.push(row);
+    }
+    // Choose the full-interval candidate minimizing the final arrival.
+    let full = &dp[m - 1][0];
+    let mut best: Option<(i64, usize)> = None;
+    for (idx, c) in full.iter().enumerate() {
+        let p_tail = match c.p {
+            Some(p) => p.max(tail.1) + d,
+            None => tail.1,
+        };
+        let f = match c.g {
+            Some(g) => g.max(p_tail) + d,
+            None => p_tail,
+        };
+        if best.is_none_or(|(b, _)| f < b) {
+            best = Some((f, idx));
+        }
+    }
+    let (est, best_idx) = best?;
+    // Reconstruct the expression for the chosen candidate.
+    fn rebuild(
+        dp: &[Vec<Vec<Cand>>],
+        base: &[BaseTrees],
+        i: usize,
+        j: usize,
+        idx: usize,
+    ) -> (Option<Expr>, Option<Expr>) {
+        let c = &dp[j - i - 1][i][idx];
+        match c.split {
+            None => {
+                let (g, p) = &base[i];
+                (
+                    g.as_ref().map(|x| x.0.clone()),
+                    p.as_ref().map(|x| x.0.clone()),
+                )
+            }
+            Some((k, ia, ib)) => {
+                let a = rebuild(dp, base, i, k, ia);
+                let b = rebuild(dp, base, k, j, ib);
+                combine_expr(a, b)
+            }
+        }
+    }
+    let (g, p) = rebuild(&dp, &base_trees, 0, m, best_idx);
+    let p_tail = match p {
+        Some(p) => Expr::Node {
+            op: BuildOp::And,
+            a: Box::new(p),
+            b: Box::new(Expr::Leaf(tail.0)),
+        },
+        None => Expr::Leaf(tail.0),
+    };
+    let expr = match g {
+        Some(g) => Expr::Node {
+            op: BuildOp::Or,
+            a: Box::new(g),
+            b: Box::new(p_tail),
+        },
+        None => p_tail,
+    };
+    Some(Rebuilt {
+        expr,
+        est_arrival: est,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nid(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    /// Topological arrival of an expression under leaf times, to check
+    /// the DP's estimate against the structure it actually built.
+    fn arrival(e: &Expr, times: &dyn Fn(NodeId) -> i64, d: i64) -> i64 {
+        match e {
+            Expr::Leaf(l) => times(*l),
+            Expr::Node { a, b, .. } => arrival(a, times, d).max(arrival(b, times, d)) + d,
+        }
+    }
+
+    #[test]
+    fn uniform_chain_becomes_logarithmic() {
+        // 8 segments, all leaves at t=0: the skewed chain would take
+        // 2·8 levels; the balanced bracketing should be ~2·log₂8.
+        let segs: Vec<SegmentLeaves> = (0..8)
+            .map(|i| SegmentLeaves {
+                g: vec![(nid(2 * i), 0)],
+                p: vec![(nid(2 * i + 1), 0)],
+            })
+            .collect();
+        let r = restructure(&segs, (nid(100), 0), 1).unwrap();
+        assert!(r.est_arrival <= 8, "est {}", r.est_arrival);
+        assert_eq!(arrival(&r.expr, &|_| 0, 1), r.est_arrival);
+    }
+
+    #[test]
+    fn late_tail_sits_near_the_root() {
+        // The tail arrives very late; the DP must give it a short path
+        // (2 gates: one AND, one OR), not bury it under the chain.
+        let segs: Vec<SegmentLeaves> = (0..6)
+            .map(|i| SegmentLeaves {
+                g: vec![(nid(2 * i), 0)],
+                p: vec![(nid(2 * i + 1), 0)],
+            })
+            .collect();
+        let r = restructure(&segs, (nid(50), 40), 1).unwrap();
+        assert!(r.est_arrival <= 42, "est {}", r.est_arrival);
+    }
+
+    #[test]
+    fn estimate_matches_built_structure() {
+        let segs = vec![
+            SegmentLeaves {
+                g: vec![(nid(0), 3), (nid(1), 0)],
+                p: vec![(nid(2), 1)],
+            },
+            SegmentLeaves {
+                g: vec![(nid(3), 0)],
+                p: vec![],
+            },
+            SegmentLeaves {
+                g: vec![],
+                p: vec![(nid(4), 2), (nid(5), 5)],
+            },
+        ];
+        let times = |n: NodeId| [3, 0, 1, 0, 2, 5, 7][n.index().min(6)];
+        let r = restructure(&segs, (nid(6), 7), 1).unwrap();
+        assert_eq!(arrival(&r.expr, &times, 1), r.est_arrival);
+    }
+
+    #[test]
+    fn empty_chain_is_the_tail() {
+        let r = restructure(&[], (nid(9), 4), 1).unwrap();
+        assert!(matches!(r.expr, Expr::Leaf(l) if l == nid(9)));
+        assert_eq!(r.est_arrival, 4);
+    }
+}

@@ -1,0 +1,132 @@
+//! Splicing a rebuilt definition back into the host network.
+//!
+//! The network is append-only, so a rewrite is a rebuild: every node
+//! is copied in topological order, and at the chain root the rebuilt
+//! expression is emitted instead of the original gate — fresh interior
+//! gates first, then the top gate under the root's own name, so every
+//! fanout (and the primary-output marking) follows the new logic
+//! without any renaming. A final sweep drops whatever part of the old
+//! chain became unreachable.
+
+use std::collections::HashMap;
+
+use xrta_network::{sweep, GateKind, Network, NodeFunc, NodeId};
+
+use crate::restructure::{BuildOp, Expr};
+
+fn gate_kind(op: BuildOp) -> GateKind {
+    match op {
+        BuildOp::And => GateKind::And,
+        BuildOp::Or => GateKind::Or,
+    }
+}
+
+/// Emits `expr` into `out`, returning the id of its top node. Interior
+/// gates get fresh `{root}_rs{n}` names; the caller names the top gate.
+fn emit(
+    out: &mut Network,
+    host: &Network,
+    map: &HashMap<NodeId, NodeId>,
+    expr: &Expr,
+    root_name: &str,
+    fresh: &mut usize,
+) -> NodeId {
+    match expr {
+        Expr::Leaf(l) => map[l],
+        Expr::Node { op, a, b } => {
+            let ia = emit(out, host, map, a, root_name, fresh);
+            let ib = emit(out, host, map, b, root_name, fresh);
+            let name = loop {
+                *fresh += 1;
+                let candidate = format!("{root_name}_rs{fresh}");
+                if host.find(&candidate).is_none() && out.find(&candidate).is_none() {
+                    break candidate;
+                }
+            };
+            out.add_gate(name, gate_kind(*op), &[ia, ib])
+                .expect("fresh name, mapped fanins")
+        }
+    }
+}
+
+/// Rebuilds `net` with the definition of `root` replaced by `expr`
+/// (whose leaves reference `net` nodes in `root`'s transitive fanin).
+/// The root keeps its name, so fanouts and output markings are
+/// untouched; dead remnants of the old chain are swept away.
+pub fn splice_root(net: &Network, root: NodeId, expr: &Expr) -> Network {
+    let mut out = Network::new(net.name().to_string());
+    let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut fresh = 0usize;
+    for id in net.node_ids() {
+        let n = net.node(id);
+        let new_id = if id == root {
+            match expr {
+                // A degenerate rebuild collapses the root to a single
+                // existing node; keep the interface stable with a Buf.
+                Expr::Leaf(l) => out
+                    .add_gate(n.name.clone(), GateKind::Buf, &[map[l]])
+                    .expect("root name is free"),
+                Expr::Node { op, a, b } => {
+                    let ia = emit(&mut out, net, &map, a, &n.name, &mut fresh);
+                    let ib = emit(&mut out, net, &map, b, &n.name, &mut fresh);
+                    out.add_gate(n.name.clone(), gate_kind(*op), &[ia, ib])
+                        .expect("root name is free")
+                }
+            }
+        } else {
+            let fanins: Vec<NodeId> = n.fanins.iter().map(|f| map[f]).collect();
+            match &n.func {
+                NodeFunc::Input => out.add_input(n.name.clone()).expect("unique names"),
+                NodeFunc::Gate { kind: Some(k), .. } => out
+                    .add_gate(n.name.clone(), *k, &fanins)
+                    .expect("copied gate is valid"),
+                NodeFunc::Gate { kind: None, table } => out
+                    .add_table(n.name.clone(), table.clone(), &fanins)
+                    .expect("copied table is valid"),
+            }
+        };
+        map.insert(id, new_id);
+    }
+    for o in net.outputs() {
+        out.mark_output(map[o]);
+    }
+    sweep(&out).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrta_network::{check_equivalence, Equivalence};
+
+    #[test]
+    fn splice_preserves_interface_and_function() {
+        // f = a | (p & cin): replace with the (equivalent) p&cin | a.
+        let mut net = Network::new("t");
+        let a = net.add_input("a").unwrap();
+        let p = net.add_input("p").unwrap();
+        let cin = net.add_input("cin").unwrap();
+        let inner = net.add_gate("inner", GateKind::And, &[p, cin]).unwrap();
+        let f = net.add_gate("f", GateKind::Or, &[a, inner]).unwrap();
+        net.mark_output(f);
+        let expr = Expr::Node {
+            op: BuildOp::Or,
+            a: Box::new(Expr::Node {
+                op: BuildOp::And,
+                a: Box::new(Expr::Leaf(p)),
+                b: Box::new(Expr::Leaf(cin)),
+            }),
+            b: Box::new(Expr::Leaf(a)),
+        };
+        let spliced = splice_root(&net, f, &expr);
+        assert_eq!(spliced.inputs().len(), 3);
+        assert_eq!(spliced.outputs().len(), 1);
+        assert_eq!(
+            spliced.node(spliced.outputs()[0]).name,
+            "f",
+            "root keeps its name"
+        );
+        assert_eq!(check_equivalence(&net, &spliced), Equivalence::Equivalent);
+        // The old `inner` gate became dead and is swept.
+        assert!(spliced.find("inner").is_none());
+    }
+}

@@ -1,0 +1,118 @@
+//! Proof obligations for a rewrite: functional equivalence and true
+//! (false-path-aware) delay non-regression, both under the session
+//! [`Budget`].
+
+use xrta_chi::{EngineKind, FunctionalTiming};
+use xrta_core::{AnalysisError, Budget};
+use xrta_network::{check_equivalence_governed, GovernedEquivalence, MiterBudget, Network};
+use xrta_timing::{DelayModel, Time};
+
+/// Primary-input count up to which equivalence is proven by exhaustive
+/// simulation rather than a SAT miter.
+pub const MAX_EXHAUSTIVE_INPUTS: usize = 16;
+
+/// Outcome of an equivalence proof attempt.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EquivOutcome {
+    /// Equivalence proven; names the method used.
+    Proven(&'static str),
+    /// A concrete differing input assignment exists.
+    Refuted,
+    /// The budget ran out before a verdict — the rewrite is unproven.
+    Unknown(AnalysisError),
+}
+
+/// Proves `a ≡ b` (same input/output interface, positional): by
+/// exhaustive simulation over all minterms up to
+/// [`MAX_EXHAUSTIVE_INPUTS`] inputs, by a governed SAT miter beyond.
+pub fn prove_equivalent(a: &Network, b: &Network, budget: &Budget) -> EquivOutcome {
+    assert_eq!(a.inputs().len(), b.inputs().len(), "input count mismatch");
+    assert_eq!(
+        a.outputs().len(),
+        b.outputs().len(),
+        "output count mismatch"
+    );
+    let n = a.inputs().len();
+    if n <= MAX_EXHAUSTIVE_INPUTS {
+        for m in 0..(1u64 << n) {
+            if m % 1024 == 0 {
+                if let Err(e) = budget.check() {
+                    return EquivOutcome::Unknown(e);
+                }
+            }
+            let x: Vec<bool> = (0..n).map(|i| (m >> i) & 1 == 1).collect();
+            if a.eval(&x) != b.eval(&x) {
+                return EquivOutcome::Refuted;
+            }
+        }
+        return EquivOutcome::Proven("exhaustive");
+    }
+    let limits = MiterBudget {
+        conflicts: budget.sat_conflicts(),
+        deadline: budget.deadline(),
+        mem_limit: budget.mem_limit(),
+        cancel: Some(budget.cancel_flag()),
+    };
+    match check_equivalence_governed(a, b, &limits) {
+        GovernedEquivalence::Equivalent => EquivOutcome::Proven("sat-miter"),
+        GovernedEquivalence::Differs(_) => EquivOutcome::Refuted,
+        GovernedEquivalence::Unknown(stop) => EquivOutcome::Unknown(stop.into()),
+    }
+}
+
+/// Per-output true arrival times under the budget. An exhausted budget
+/// surfaces as the corresponding [`AnalysisError`].
+pub fn true_output_arrivals<D: DelayModel>(
+    net: &Network,
+    model: &D,
+    engine: EngineKind,
+    budget: &Budget,
+) -> Result<Vec<Time>, AnalysisError> {
+    budget.check()?;
+    let zeros = vec![Time::ZERO; net.inputs().len()];
+    let ft = FunctionalTiming::new(net, model, zeros, engine)
+        .with_conflict_budget(budget.sat_conflicts())
+        .with_node_limit(budget.node_limit())
+        .with_mem_limit(budget.mem_limit())
+        .with_deadline(budget.deadline())
+        .with_cancel_flag(Some(budget.cancel_flag()));
+    ft.try_true_arrivals().map_err(AnalysisError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrta_network::GateKind;
+
+    #[test]
+    fn exhaustive_refutes_a_real_difference() {
+        let mut a = Network::new("a");
+        let x = a.add_input("x").unwrap();
+        let y = a.add_input("y").unwrap();
+        let f = a.add_gate("f", GateKind::And, &[x, y]).unwrap();
+        a.mark_output(f);
+        let mut b = Network::new("b");
+        let x = b.add_input("x").unwrap();
+        let y = b.add_input("y").unwrap();
+        let f = b.add_gate("f", GateKind::Or, &[x, y]).unwrap();
+        b.mark_output(f);
+        assert_eq!(
+            prove_equivalent(&a, &b, &Budget::unlimited()),
+            EquivOutcome::Refuted
+        );
+    }
+
+    #[test]
+    fn cancelled_budget_yields_unknown() {
+        let mut a = Network::new("a");
+        let x = a.add_input("x").unwrap();
+        let f = a.add_gate("f", GateKind::Buf, &[x]).unwrap();
+        a.mark_output(f);
+        let budget = Budget::unlimited();
+        budget.cancel();
+        assert!(matches!(
+            prove_equivalent(&a, &a.clone(), &budget),
+            EquivOutcome::Unknown(AnalysisError::Interrupted)
+        ));
+    }
+}

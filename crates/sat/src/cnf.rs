@@ -133,6 +133,15 @@ impl Cnf {
         self.add_clause([a, !b]);
     }
 
+    /// Fresh literal constrained to "some pair differs": the miter
+    /// spine `⋁ᵢ (aᵢ ⊕ bᵢ)`. Asserting the returned literal turns
+    /// satisfiability into an equivalence refutation — UNSAT means
+    /// every pair agrees under all assignments.
+    pub fn miter<I: IntoIterator<Item = (Lit, Lit)>>(&mut self, pairs: I) -> Lit {
+        let diffs: Vec<Lit> = pairs.into_iter().map(|(a, b)| self.xor(a, b)).collect();
+        self.or(diffs)
+    }
+
     /// Moves the formula into a ready-to-solve [`Solver`].
     pub fn into_solver(self) -> Solver {
         let mut solver = Solver::new();

@@ -33,6 +33,7 @@ pub mod corpus;
 pub mod edits;
 pub mod harness;
 pub mod oracle;
+pub mod resynth_fuzz;
 pub mod shrink;
 
 pub use corpus::{load_dir, parse_entry, save, to_bench, CorpusEntry};
@@ -46,5 +47,8 @@ pub use harness::{
 pub use oracle::{
     condition_safe, condition_safe_at, exhaustive_true_arrivals, point_safe, settle_times,
     settle_times_cond, MAX_ORACLE_INPUTS,
+};
+pub use resynth_fuzz::{
+    replay_resynth_pair, resynth_fuzz, ResynthFailure, ResynthFuzzOptions, ResynthFuzzReport,
 };
 pub use shrink::{shrink, TestCase};

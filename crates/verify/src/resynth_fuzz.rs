@@ -1,0 +1,413 @@
+//! Differential fuzzing for required-time-driven resynthesis.
+//!
+//! `xrta-resynth` promises two things about every run: the output
+//! network computes the *same function* as the input, and no primary
+//! output's *true* (false-path-aware) arrival time gets worse. This
+//! module attacks both promises with seeded netlists and seeded delay
+//! perturbations, re-checking them *independently* — equivalence by
+//! the exhaustive oracle (never the SAT miter the resynthesizer itself
+//! leans on), delay by a fresh functional-timing run per output — plus
+//! the reporting invariant that an unchanged run leaves the netlist
+//! byte-identical.
+//!
+//! Failures shrink through the structural shrinker (delay overrides
+//! follow the surviving node names) and are filed as paired
+//! `resynth_seed_NNNN_pre`/`_post` corpus entries, replayable via
+//! [`replay_resynth_pair`].
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use xrta_chi::{EngineKind, FunctionalTiming};
+use xrta_circuits::random_circuit;
+use xrta_network::{write_bench, Network};
+use xrta_resynth::{resynthesize, DelaySpec, ResynthOptions};
+use xrta_rng::Rng;
+use xrta_timing::{Time, UnitDelay};
+
+use crate::corpus::{load_dir, save, CorpusEntry};
+use crate::harness::{mix64, spec_for_seed};
+use crate::shrink::{shrink, TestCase};
+
+/// Options for the resynthesis differential.
+#[derive(Clone)]
+pub struct ResynthFuzzOptions {
+    /// Number of seeds to run.
+    pub seeds: usize,
+    /// Base seed; each case derives its own via [`mix64`].
+    pub base_seed: u64,
+    /// Primary-input ceiling for generated base circuits (≤ 16, so
+    /// the exhaustive oracle stays the independent judge).
+    pub max_inputs: usize,
+    /// Stop early after this much wall clock.
+    pub time_cap: Option<Duration>,
+    /// Corpus directory: small existing entries serve as extra bases,
+    /// and failures are filed here as pre/post pairs (`None`: random
+    /// bases only, don't write).
+    pub corpus_dir: Option<PathBuf>,
+    /// Cooperative cancellation, checked between seeds.
+    pub cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+}
+
+impl Default for ResynthFuzzOptions {
+    fn default() -> Self {
+        ResynthFuzzOptions {
+            seeds: 100,
+            base_seed: 0x5E51,
+            max_inputs: 8,
+            time_cap: None,
+            corpus_dir: None,
+            cancel: None,
+        }
+    }
+}
+
+/// One resynthesis differential failure, after shrinking.
+#[derive(Debug)]
+pub struct ResynthFailure {
+    /// The failing seed index.
+    pub index: u64,
+    /// Every violated check, human-readable.
+    pub checks: Vec<String>,
+    /// Gate count of the shrunk reproducer.
+    pub shrunk_gates: usize,
+    /// Corpus paths of the filed pre/post pair, if written.
+    pub corpus_paths: Option<(PathBuf, PathBuf)>,
+}
+
+/// Summary of a resynthesis fuzz run.
+#[derive(Debug, Default)]
+pub struct ResynthFuzzReport {
+    /// Seeds actually run.
+    pub seeds_run: usize,
+    /// Cases where the resynthesizer kept at least one rewrite.
+    pub changed: usize,
+    /// Whether the time cap cut the run short.
+    pub time_capped: bool,
+    /// Whether the cancel flag cut the run short.
+    pub cancelled: bool,
+    /// Every failure found.
+    pub failures: Vec<ResynthFailure>,
+}
+
+/// Seeded sparse delay perturbation: a few nodes get 2–4 ticks.
+fn perturb_delays(rng: &mut Rng, net: &Network) -> BTreeMap<String, i64> {
+    let mut overrides = BTreeMap::new();
+    let nodes: Vec<String> = net.node_ids().map(|id| net.node(id).name.clone()).collect();
+    let count = rng.range(0, nodes.len().min(4) + 1);
+    for _ in 0..count {
+        let pick = rng.range(0, nodes.len());
+        overrides.insert(nodes[pick].clone(), rng.range_i64(2, 5));
+    }
+    overrides
+}
+
+/// The independent checks: everything the resynthesizer must never
+/// break, judged without reusing its own proof machinery.
+fn violated_checks(entry: &CorpusEntry) -> Vec<String> {
+    let spec = DelaySpec {
+        default: 1,
+        overrides: entry.delays.clone(),
+    };
+    let opts = ResynthOptions::default();
+    let report = resynthesize(&entry.case.net, &spec, &opts);
+    let mut bad = Vec::new();
+    if let Some(e) = &report.degraded {
+        bad.push(format!("degraded under an unlimited budget: {e}"));
+        return bad;
+    }
+    if !report.changed && write_bench(&report.net) != write_bench(&entry.case.net) {
+        bad.push("unchanged run did not preserve the netlist bytes".to_string());
+    }
+    // Equivalence, by the exhaustive oracle (positional outputs).
+    let n = entry.case.net.inputs().len();
+    for m in 0..(1u64 << n) {
+        let x: Vec<bool> = (0..n).map(|i| (m >> i) & 1 == 1).collect();
+        if entry.case.net.eval(&x) != report.net.eval(&x) {
+            bad.push(format!("not equivalent at minterm {m:#b}"));
+            break;
+        }
+    }
+    // True delay, by a fresh functional-timing run on each side.
+    let before = true_arrivals(&entry.case.net, &spec);
+    let after = true_arrivals(&report.net, &spec);
+    for (i, (b, a)) in before.iter().zip(&after).enumerate() {
+        if a > b {
+            bad.push(format!("output {i} true arrival regressed: {b} -> {a}"));
+        }
+    }
+    bad
+}
+
+fn true_arrivals(net: &Network, spec: &DelaySpec) -> Vec<Time> {
+    let model = spec.model_for(net);
+    let zeros = vec![Time::ZERO; net.inputs().len()];
+    FunctionalTiming::new(net, &model, zeros, EngineKind::Sat).true_arrivals()
+}
+
+/// Runs the resynthesis differential over `opts.seeds` cases. Bases
+/// alternate between small snapshotted corpus entries and fresh random
+/// circuits; each case gets a seeded sparse delay perturbation.
+pub fn resynth_fuzz(
+    opts: &ResynthFuzzOptions,
+    mut progress: impl FnMut(&str),
+) -> ResynthFuzzReport {
+    let t0 = Instant::now();
+    let mut report = ResynthFuzzReport::default();
+    // Snapshot the corpus up front (failures filed during this run must
+    // not become bases), keeping only entries the exhaustive oracle can
+    // judge quickly.
+    let corpus_bases: Vec<CorpusEntry> = opts
+        .corpus_dir
+        .as_ref()
+        .and_then(|d| load_dir(d).ok())
+        .unwrap_or_default()
+        .into_iter()
+        .map(|(_, e)| e)
+        .filter(|e| e.case.net.inputs().len() <= opts.max_inputs)
+        .collect();
+    for index in 0..opts.seeds as u64 {
+        if let Some(cap) = opts.time_cap {
+            if t0.elapsed() >= cap {
+                report.time_capped = true;
+                progress(&format!(
+                    "time cap reached after {} of {} seeds",
+                    report.seeds_run, opts.seeds
+                ));
+                break;
+            }
+        }
+        if opts
+            .cancel
+            .as_ref()
+            .is_some_and(|c| c.load(std::sync::atomic::Ordering::Relaxed))
+        {
+            report.cancelled = true;
+            progress(&format!(
+                "cancelled after {} of {} seeds",
+                report.seeds_run, opts.seeds
+            ));
+            break;
+        }
+        let mut rng = Rng::seed_from_u64(mix64(opts.base_seed ^ mix64(index ^ 0x5E51)));
+        let mut entry = if !corpus_bases.is_empty() && index % 2 == 0 {
+            let pick = (index as usize / 2) % corpus_bases.len();
+            corpus_bases[pick].clone()
+        } else {
+            let spec = spec_for_seed(opts.base_seed ^ 0x5E51, index, opts.max_inputs);
+            let net = random_circuit(spec).expect("spec is non-degenerate");
+            let req = xrta_timing::topological_delays(&net, &UnitDelay);
+            CorpusEntry {
+                case: TestCase { net, req },
+                delays: BTreeMap::new(),
+                origin: format!("resynth base seed {index}"),
+            }
+        };
+        entry
+            .delays
+            .extend(perturb_delays(&mut rng, &entry.case.net));
+        report.seeds_run += 1;
+        let checks = violated_checks(&entry);
+        if checks.is_empty() {
+            let spec = DelaySpec {
+                default: 1,
+                overrides: entry.delays.clone(),
+            };
+            let r = resynthesize(&entry.case.net, &spec, &ResynthOptions::default());
+            if r.changed {
+                report.changed += 1;
+            }
+            continue;
+        }
+        progress(&format!("seed {index}: {}", checks.join("; ")));
+        // Shrink structurally; overrides follow the surviving names.
+        let delays = entry.delays.clone();
+        let shrunk_case = shrink(&entry.case, |cand| {
+            let cand_entry = CorpusEntry {
+                case: cand.clone(),
+                delays: delays
+                    .iter()
+                    .filter(|(name, _)| cand.net.find(name).is_some())
+                    .map(|(n, &t)| (n.clone(), t))
+                    .collect(),
+                origin: String::new(),
+            };
+            !violated_checks(&cand_entry).is_empty()
+        });
+        let shrunk = CorpusEntry {
+            delays: delays
+                .iter()
+                .filter(|(name, _)| shrunk_case.net.find(name).is_some())
+                .map(|(n, &t)| (n.clone(), t))
+                .collect(),
+            case: shrunk_case,
+            origin: format!(
+                "resynth fuzz seed {index} base {:#x} ({})",
+                opts.base_seed,
+                checks.join("; ")
+            ),
+        };
+        progress(&format!(
+            "seed {index}: shrunk to {} gate(s)",
+            shrunk.case.net.gate_count()
+        ));
+        let corpus_paths = opts.corpus_dir.as_ref().and_then(|dir| {
+            let spec = DelaySpec {
+                default: 1,
+                overrides: shrunk.delays.clone(),
+            };
+            let r = resynthesize(&shrunk.case.net, &spec, &ResynthOptions::default());
+            let post = CorpusEntry {
+                case: TestCase {
+                    net: r.net,
+                    req: shrunk.case.req.clone(),
+                },
+                delays: shrunk.delays.clone(),
+                origin: shrunk.origin.clone(),
+            };
+            let pp = save(dir, &format!("resynth_seed_{index:04}_pre"), &shrunk);
+            let pq = save(dir, &format!("resynth_seed_{index:04}_post"), &post);
+            match (pp, pq) {
+                (Ok(pp), Ok(pq)) => {
+                    progress(&format!(
+                        "seed {index}: filed {} + {}",
+                        pp.display(),
+                        pq.display()
+                    ));
+                    Some((pp, pq))
+                }
+                (p, q) => {
+                    progress(&format!(
+                        "seed {index}: corpus write failed: {:?} / {:?}",
+                        p.err(),
+                        q.err()
+                    ));
+                    None
+                }
+            }
+        });
+        report.failures.push(ResynthFailure {
+            index,
+            checks,
+            shrunk_gates: shrunk.case.net.gate_count(),
+            corpus_paths,
+        });
+    }
+    report
+}
+
+/// Replays one filed pre/post resynthesis pair: the pair must be
+/// oracle-equivalent and the post side must not regress any output's
+/// true arrival under the pre side's delay overrides. Used by the
+/// corpus regression test.
+pub fn replay_resynth_pair(pre: &CorpusEntry, post: &CorpusEntry) -> Result<(), String> {
+    let a = &pre.case.net;
+    let b = &post.case.net;
+    if a.inputs().len() != b.inputs().len() || a.outputs().len() != b.outputs().len() {
+        return Err(format!(
+            "interface mismatch: {}x{} vs {}x{}",
+            a.inputs().len(),
+            a.outputs().len(),
+            b.inputs().len(),
+            b.outputs().len()
+        ));
+    }
+    let n = a.inputs().len();
+    if n <= crate::oracle::MAX_ORACLE_INPUTS {
+        for m in 0..(1u64 << n) {
+            let x: Vec<bool> = (0..n).map(|i| (m >> i) & 1 == 1).collect();
+            if a.eval(&x) != b.eval(&x) {
+                return Err(format!("pre/post differ at minterm {m:#b}"));
+            }
+        }
+    } else {
+        // Beyond the exhaustive oracle: the SAT miter decides.
+        match xrta_network::check_equivalence(a, b) {
+            xrta_network::Equivalence::Equivalent => {}
+            xrta_network::Equivalence::Differs(x) => {
+                return Err(format!("pre/post differ at {x:?}"));
+            }
+        }
+    }
+    let spec = DelaySpec {
+        default: 1,
+        overrides: pre.delays.clone(),
+    };
+    let before = true_arrivals(a, &spec);
+    let after = true_arrivals(b, &spec);
+    for (i, (b_t, a_t)) in before.iter().zip(&after).enumerate() {
+        if a_t > b_t {
+            return Err(format!("output {i} true arrival regressed: {b_t} -> {a_t}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrta_circuits::ripple_carry_adder;
+    use xrta_timing::topological_delays;
+
+    #[test]
+    fn a_short_run_is_clean_and_finds_improvements() {
+        let opts = ResynthFuzzOptions {
+            seeds: 6,
+            max_inputs: 6,
+            ..ResynthFuzzOptions::default()
+        };
+        let report = resynth_fuzz(&opts, |_| {});
+        assert_eq!(report.seeds_run, 6);
+        assert!(
+            report.failures.is_empty(),
+            "clean seeds must stay clean: {:?}",
+            report.failures
+        );
+    }
+
+    #[test]
+    fn replay_accepts_a_genuine_resynthesis_pair() {
+        let net = ripple_carry_adder(4).unwrap();
+        let req = topological_delays(&net, &UnitDelay);
+        let pre = CorpusEntry {
+            case: TestCase {
+                net: net.clone(),
+                req: req.clone(),
+            },
+            delays: BTreeMap::new(),
+            origin: "test".to_string(),
+        };
+        let r = resynthesize(&net, &DelaySpec::unit(), &ResynthOptions::default());
+        let post = CorpusEntry {
+            case: TestCase { net: r.net, req },
+            delays: BTreeMap::new(),
+            origin: "test".to_string(),
+        };
+        assert_eq!(replay_resynth_pair(&pre, &post), Ok(()));
+    }
+
+    #[test]
+    fn replay_rejects_a_function_change() {
+        let net = ripple_carry_adder(4).unwrap();
+        let other = ripple_carry_adder(4).unwrap();
+        let req = topological_delays(&net, &UnitDelay);
+        let pre = CorpusEntry {
+            case: TestCase {
+                net: net.clone(),
+                req: req.clone(),
+            },
+            delays: BTreeMap::new(),
+            origin: String::new(),
+        };
+        // Same interface, different function: flip every AND to NAND.
+        let text = write_bench(&other).replace("AND", "NAND");
+        let broken = xrta_network::parse_bench(&text).unwrap();
+        let post = CorpusEntry {
+            case: TestCase { net: broken, req },
+            delays: BTreeMap::new(),
+            origin: String::new(),
+        };
+        assert!(replay_resynth_pair(&pre, &post).is_err());
+    }
+}

@@ -56,6 +56,37 @@ echo "==> xrta fuzz --edits smoke (ECO differential)"
     --corpus /tmp/xrta-ci-eco-$$
 rm -rf "/tmp/xrta-ci-eco-$$"
 
+# Resynthesis smoke: generate the adder family, restructure add8, and
+# require verified improvement plus a byte-stable second run (the pass
+# loop is a fixpoint: resynthesizing its own output changes nothing).
+# A small differential fuzz pass guards the rewrite engine itself.
+echo "==> resynthesis smoke: adder family, verified gain, fixpoint"
+rdir="/tmp/xrta-ci-resynth-$$"
+mkdir -p "$rdir"
+for spec in "8 0" "12 0" "16 0" "8 4" "16 4" "24 6"; do
+    bits=${spec% *}
+    bypass=${spec#* }
+    ./target/release/xrta gen adder --bits "$bits" --bypass "$bypass" \
+        --out "$rdir/add${bits}_${bypass}.bench"
+done
+fam_count=$(ls "$rdir"/*.bench | wc -l)
+[ "$fam_count" -ge 6 ] || {
+    echo "adder family generation produced only $fam_count netlists"; exit 1; }
+resynth_out=$(./target/release/xrta resynth "$rdir/add8_0.bench" \
+    --out "$rdir/add8_0.resynth.bench")
+echo "$resynth_out" | grep -q "improved" || {
+    echo "resynth found no improvement on add8:"; echo "$resynth_out"; exit 1; }
+echo "$resynth_out" | grep -q "equivalence proof(s)" || {
+    echo "resynth kept rewrites without proofs:"; echo "$resynth_out"; exit 1; }
+./target/release/xrta resynth "$rdir/add8_0.resynth.bench" \
+    --out "$rdir/add8_0.resynth2.bench" > /dev/null
+cmp "$rdir/add8_0.resynth.bench" "$rdir/add8_0.resynth2.bench" || {
+    echo "resynth is not a fixpoint: second run changed the netlist"; exit 1; }
+echo "    add8 improved with proofs; second run byte-stable"
+./target/release/xrta fuzz --resynth 32 --max-inputs 6 --time-cap 120 \
+    --corpus "$rdir/corpus"
+rm -rf "$rdir"
+
 # Memory governance smoke: a tight byte budget must step the exact
 # rung down with memory-out provenance (exit 3) — never an allocator
 # abort or the OOM killer.
@@ -284,8 +315,11 @@ mkdir -p "$gdir"
     --json "$gdir/t1.json" > /dev/null
 ./target/release/table2 --rows C3540 --budget-secs 60 --threads 4 \
     --json "$gdir/t4.json" > /dev/null
-wall1=$(sed -n 's/.*"wall_secs": \([0-9.]*\).*/\1/p' "$gdir/t1.json")
-wall4=$(sed -n 's/.*"wall_secs": \([0-9.]*\).*/\1/p' "$gdir/t4.json")
+# Match the circuit row only: resynth rows also carry a wall_secs.
+wall1=$(grep '"circuit"' "$gdir/t1.json" \
+    | sed -n 's/.*"wall_secs": \([0-9.]*\).*/\1/p' | head -1)
+wall4=$(grep '"circuit"' "$gdir/t4.json" \
+    | sed -n 's/.*"wall_secs": \([0-9.]*\).*/\1/p' | head -1)
 [ -n "$wall1" ] && [ -n "$wall4" ] || {
     echo "scaling gate: missing wall_secs in table2 JSON"; exit 1; }
 echo "    C3540 wall: @1 ${wall1}s, @4 ${wall4}s"

@@ -65,10 +65,11 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use xrta::batch::{run_batch, BatchConfig, BatchError, BatchOptions};
-use xrta::cli::{cancel_flag_for, parse_args, render_usage, required_vector, Args};
+use xrta::cli::{cancel_flag_for, parse_args, render_usage, required_vector, Args, DEFAULT_SEED};
 use xrta::core::{failpoint, macro_model, report};
 use xrta::network::{load_network_file, stats};
 use xrta::prelude::*;
+use xrta::resynth;
 use xrta::robust::backoff::BackoffPolicy;
 use xrta::router;
 use xrta::serve;
@@ -98,6 +99,7 @@ fn run() -> Result<ExitCode, Failure> {
     let cancel = args.cancel_file.as_deref().map(cancel_flag_for);
     match args.command.as_str() {
         "fuzz" => return run_fuzz(&args, cancel),
+        "gen" => return run_gen(&args),
         "batch" => return run_batch_cmd(&args, cancel),
         "serve" => return run_serve(&args, cancel),
         "request" => return run_request(&args),
@@ -178,34 +180,19 @@ fn run() -> Result<ExitCode, Failure> {
             };
             let mut session = run_with_fallback(&net, &UnitDelay, &req, requested, &opts)
                 .map_err(Failure::Analysis)?;
-            match &mut session.answer {
-                SessionAnswer::Exact(a) => {
-                    println!(
-                        "exact relation over {} leaf variables; non-trivial: {}",
-                        a.leaf_count(),
-                        a.has_nontrivial_requirement()
-                    );
-                    if net.inputs().len() <= 6 {
-                        for m in 0..(1usize << net.inputs().len()) {
-                            let x: Vec<bool> =
-                                (0..net.inputs().len()).map(|i| (m >> i) & 1 == 1).collect();
-                            print!("{}", report::render_exact_minterm(&net, a, &x));
-                        }
-                    } else {
-                        println!("(per-minterm tables suppressed beyond 6 inputs)");
-                    }
-                }
-                SessionAnswer::Approx1(a) => print!("{}", report::render_approx1(&net, a)),
-                SessionAnswer::Approx2(r) => print!("{}", report::render_approx2(&net, r)),
-                SessionAnswer::Topological(at_inputs) => {
-                    println!("input | topological required");
-                    for (&pi, t) in net.inputs().iter().zip(at_inputs.iter()) {
-                        println!("{:<12} | {}", net.node(pi).name, t);
-                    }
-                }
+            // `--report slack`: machine-readable per-PI/per-node slack
+            // instead of the human rendering (degradation still exits 3,
+            // with the reason on stderr so stdout stays valid JSON).
+            let slack_json = args.report_path.as_deref() == Some("slack");
+            if slack_json {
+                print!("{}", render_slack_json(&net, &req, &session, args.engine));
+            } else {
+                render_session_human(&net, &mut session);
             }
             if session.degraded() {
-                print!("{}", report::render_session_provenance(&session));
+                if !slack_json {
+                    print!("{}", report::render_session_provenance(&session));
+                }
                 let reason = session
                     .exhaustion_reason()
                     .map(|e| e.to_string())
@@ -216,6 +203,14 @@ fn run() -> Result<ExitCode, Failure> {
                 );
                 return Ok(ExitCode::from(3));
             }
+        }
+        "resynth" => {
+            return run_resynth(
+                &net,
+                &args,
+                cancel,
+                Path::new(args.path.as_deref().expect("resynth has a path")),
+            );
         }
         "slack" => {
             let name = args
@@ -257,6 +252,295 @@ fn run() -> Result<ExitCode, Failure> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// The classic human rendering of a session answer (everything but
+/// `--report slack`).
+fn render_session_human(net: &Network, session: &mut SessionReport) {
+    match &mut session.answer {
+        SessionAnswer::Exact(a) => {
+            println!(
+                "exact relation over {} leaf variables; non-trivial: {}",
+                a.leaf_count(),
+                a.has_nontrivial_requirement()
+            );
+            if net.inputs().len() <= 6 {
+                for m in 0..(1usize << net.inputs().len()) {
+                    let x: Vec<bool> = (0..net.inputs().len()).map(|i| (m >> i) & 1 == 1).collect();
+                    print!("{}", report::render_exact_minterm(net, a, &x));
+                }
+            } else {
+                println!("(per-minterm tables suppressed beyond 6 inputs)");
+            }
+        }
+        SessionAnswer::Approx1(a) => print!("{}", report::render_approx1(net, a)),
+        SessionAnswer::Approx2(r) => print!("{}", report::render_approx2(net, r)),
+        SessionAnswer::Topological(at_inputs) => {
+            println!("input | topological required");
+            for (&pi, t) in net.inputs().iter().zip(at_inputs.iter()) {
+                println!("{:<12} | {}", net.node(pi).name, t);
+            }
+        }
+    }
+}
+
+/// A [`Time`] as a JSON value: finite ticks as a number, the infinities
+/// as the corpus string tokens.
+fn json_time(t: Time) -> String {
+    if t.is_inf() {
+        "\"INF\"".to_string()
+    } else if t.is_neg_inf() {
+        "\"-INF\"".to_string()
+    } else {
+        t.ticks().to_string()
+    }
+}
+
+/// `reqtime --report slack`: the whole slack picture as JSON — the
+/// session verdict, per-input required-time points, per-node
+/// topological arrival/required/slack, and per-output true
+/// (false-path-aware) arrival and slack.
+fn render_slack_json(
+    net: &Network,
+    req: &[Time],
+    session: &SessionReport,
+    engine: EngineKind,
+) -> String {
+    use std::fmt::Write as _;
+    let esc = xrta::robust::jsonflat::escape;
+    let zeros = vec![Time::ZERO; net.inputs().len()];
+    let topo = analyze(net, &UnitDelay, &zeros, req);
+    let ft = FunctionalTiming::new(net, &UnitDelay, zeros.clone(), engine);
+    let true_arr = ft.true_arrivals();
+    let points: Vec<Vec<Time>> = match &session.answer {
+        SessionAnswer::Approx2(r) => r.maximal.clone(),
+        SessionAnswer::Topological(v) => vec![v.clone()],
+        _ => Vec::new(),
+    };
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"netlist\": \"{}\",", esc(net.name()));
+    let _ = writeln!(out, "  \"requested\": \"{}\",", session.requested);
+    let _ = writeln!(out, "  \"verdict\": \"{}\",", session.verdict);
+    let _ = writeln!(out, "  \"degraded\": {},", session.degraded());
+    let _ = writeln!(
+        out,
+        "  \"required\": [{}],",
+        req.iter()
+            .map(|&t| json_time(t))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let inputs: Vec<String> = net
+        .inputs()
+        .iter()
+        .enumerate()
+        .map(|(pos, &pi)| {
+            let pts: Vec<String> = points.iter().map(|p| json_time(p[pos])).collect();
+            format!(
+                "    {{\"name\": \"{}\", \"topological_required\": {}, \"points\": [{}]}}",
+                esc(&net.node(pi).name),
+                json_time(topo.required[pi.index()]),
+                pts.join(", ")
+            )
+        })
+        .collect();
+    let _ = writeln!(out, "  \"inputs\": [\n{}\n  ],", inputs.join(",\n"));
+    let outputs: Vec<String> = net
+        .outputs()
+        .iter()
+        .enumerate()
+        .map(|(i, &o)| {
+            let slack = if req[i].is_finite() && true_arr[i].is_finite() {
+                Time::new(req[i].ticks() - true_arr[i].ticks())
+            } else if true_arr[i].is_neg_inf() || req[i].is_inf() {
+                Time::INF
+            } else {
+                Time::NEG_INF
+            };
+            format!(
+                "    {{\"name\": \"{}\", \"true_arrival\": {}, \"true_slack\": {}}}",
+                esc(&net.node(o).name),
+                json_time(true_arr[i]),
+                json_time(slack)
+            )
+        })
+        .collect();
+    let _ = writeln!(out, "  \"outputs\": [\n{}\n  ],", outputs.join(",\n"));
+    let nodes: Vec<String> = net
+        .node_ids()
+        .map(|id| {
+            format!(
+                "    {{\"name\": \"{}\", \"arrival\": {}, \"required\": {}, \"slack\": {}}}",
+                esc(&net.node(id).name),
+                json_time(topo.arrival[id.index()]),
+                json_time(topo.required[id.index()]),
+                json_time(topo.slack(id))
+            )
+        })
+        .collect();
+    let _ = writeln!(out, "  \"nodes\": [\n{}\n  ]", nodes.join(",\n"));
+    out.push_str("}\n");
+    out
+}
+
+/// `xrta resynth`: run the slack-guided restructuring pipeline, print
+/// the provenance table, and (with `--out`) write the resulting
+/// netlist — the *original bytes* whenever nothing improved or the
+/// budget degraded the run, so re-runs are byte-stable.
+fn run_resynth(
+    net: &Network,
+    args: &Args,
+    cancel: Option<Arc<std::sync::atomic::AtomicBool>>,
+    input: &Path,
+) -> Result<ExitCode, Failure> {
+    let mut budget = Budget::unlimited()
+        .with_node_limit(args.node_limit)
+        .with_sat_conflicts(args.sat_conflicts)
+        .with_mem_limit(args.mem_limit);
+    if let Some(t) = args.timeout {
+        budget = budget.with_timeout(t);
+    }
+    if let Some(cancel) = &cancel {
+        budget = budget.with_cancel_flag(Arc::clone(cancel));
+    }
+    let opts = resynth::ResynthOptions {
+        engine: args.engine,
+        budget,
+        required: args.req.map(|t| vec![Time::new(t); net.outputs().len()]),
+        slack_margin: Time::new(args.slack_margin),
+        max_chains: args.max_chains,
+        ..resynth::ResynthOptions::default()
+    };
+    let report = resynth::resynthesize(net, &resynth::DelaySpec::unit(), &opts);
+    print!("{}", report.render());
+    if let Some(out) = &args.out {
+        if report.changed && report.degraded.is_none() {
+            std::fs::write(out, xrta::network::write_bench(&report.net))
+                .map_err(|e| Failure::Fatal(format!("writing {out}: {e}")))?;
+        } else {
+            // No accepted rewrite (or a degraded run): emit the input
+            // bytes verbatim so a re-run is byte-identical.
+            let bytes = std::fs::read(input)
+                .map_err(|e| Failure::Fatal(format!("re-reading {}: {e}", input.display())))?;
+            std::fs::write(out, bytes)
+                .map_err(|e| Failure::Fatal(format!("writing {out}: {e}")))?;
+        }
+        println!("resynth: wrote {out}");
+    }
+    if let Some(e) = &report.degraded {
+        eprintln!("xrta: resynth degraded: {e}; original netlist preserved");
+        if matches!(e, AnalysisError::Interrupted) {
+            return Ok(ExitCode::from(4));
+        }
+        return Ok(ExitCode::from(3));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `xrta gen`: emit a generated netlist family member. With `--seed`
+/// the header carries corpus-style seeded delay-override directives so
+/// the file doubles as a fuzz/corpus base.
+fn run_gen(args: &Args) -> Result<ExitCode, Failure> {
+    let family = args.path.as_deref().expect("gen has a family argument");
+    let net = match family {
+        "adder" => if args.bypass > 0 {
+            xrta::circuits::carry_skip_adder(args.bits, args.bypass)
+        } else {
+            xrta::circuits::ripple_carry_adder(args.bits)
+        }
+        .map_err(|e| Failure::Usage(format!("gen adder: {e}")))?,
+        other => {
+            return Err(Failure::Usage(format!(
+                "unknown gen family {other:?} (expected: adder)"
+            )))
+        }
+    };
+    let text = match args.seed {
+        None => xrta::network::write_bench(&net),
+        Some(seed) => {
+            // Seeded sparse delay overrides, filed as a corpus entry so
+            // replay tools agree on the model.
+            let mut rng = xrta_rng::Rng::seed_from_u64(seed);
+            let names: Vec<String> = net.node_ids().map(|id| net.node(id).name.clone()).collect();
+            let mut delays = std::collections::BTreeMap::new();
+            for _ in 0..names.len().min(6) {
+                let pick = rng.range(0, names.len());
+                delays.insert(names[pick].clone(), rng.range_i64(2, 5));
+            }
+            let req = topological_delays(&net, &UnitDelay);
+            let entry = verify::CorpusEntry {
+                case: verify::TestCase { net, req },
+                delays,
+                origin: format!(
+                    "gen {family} bits {} bypass {} seed {seed}",
+                    args.bits, args.bypass
+                ),
+            };
+            verify::to_bench(&entry)
+        }
+    };
+    match &args.out {
+        Some(out) => {
+            std::fs::write(out, &text)
+                .map_err(|e| Failure::Fatal(format!("writing {out}: {e}")))?;
+            eprintln!("gen: wrote {out}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `xrta fuzz --resynth N`: the resynthesis differential — seeded
+/// netlists and delay perturbations, equivalence re-judged by the
+/// exhaustive oracle and true delay by fresh per-output timing runs.
+fn run_resynth_fuzz(
+    args: &Args,
+    seeds: usize,
+    corpus_dir: &str,
+    cancel: Option<Arc<std::sync::atomic::AtomicBool>>,
+) -> Result<ExitCode, Failure> {
+    let opts = verify::ResynthFuzzOptions {
+        seeds,
+        base_seed: args.base_seed,
+        max_inputs: args.max_inputs,
+        time_cap: args.time_cap,
+        corpus_dir: Some(std::path::PathBuf::from(corpus_dir)),
+        cancel,
+    };
+    let report = verify::resynth_fuzz(&opts, |line| eprintln!("xrta: fuzz: {line}"));
+    println!(
+        "fuzz: {} of {} resynth seeds run{} | {} changed | base seed {:#x} | {} failure(s)",
+        report.seeds_run,
+        seeds,
+        if report.time_capped {
+            " (time-capped)"
+        } else {
+            ""
+        },
+        report.changed,
+        args.base_seed,
+        report.failures.len()
+    );
+    for f in &report.failures {
+        println!(
+            "failure at seed {}: {} | shrunk to {} gates{}",
+            f.index,
+            f.checks.join("; "),
+            f.shrunk_gates,
+            match &f.corpus_paths {
+                Some((p, q)) => format!(" | filed {} + {}", p.display(), q.display()),
+                None => String::new(),
+            }
+        );
+    }
+    if !report.failures.is_empty() {
+        Ok(ExitCode::from(1))
+    } else if report.cancelled {
+        eprintln!("xrta: fuzz cancelled via --cancel-file");
+        Ok(ExitCode::from(4))
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
 fn run_fuzz(
     args: &Args,
     cancel: Option<Arc<std::sync::atomic::AtomicBool>>,
@@ -267,6 +551,9 @@ fn run_fuzz(
         .unwrap_or_else(|| "netlists/corpus".to_string());
     if let Some(sequences) = args.edits {
         return run_eco_fuzz(args, sequences, &corpus_dir, cancel);
+    }
+    if let Some(seeds) = args.resynth {
+        return run_resynth_fuzz(args, seeds, &corpus_dir, cancel);
     }
     let opts = verify::FuzzOptions {
         seeds: args.seeds,
@@ -396,7 +683,7 @@ fn run_batch_cmd(
         report,
         resume: args.resume,
         options: BatchOptions {
-            seed: args.seed,
+            seed: args.seed.unwrap_or(DEFAULT_SEED),
             backoff: BackoffPolicy {
                 base: args.backoff_base,
                 cap: args.backoff_cap,
@@ -531,7 +818,7 @@ fn run_request(args: &Args) -> Result<ExitCode, Failure> {
             ..serve::RetryOptions::default().policy
         },
         budget: Some(std::time::Duration::from_millis(args.retry_budget_ms)),
-        seed: args.seed,
+        seed: args.seed.unwrap_or(DEFAULT_SEED),
     };
     let response = serve::roundtrip_retry(args.addr.as_str(), &request, &retry)
         .map_err(|e| Failure::Fatal(format!("request to {}: {e}", args.addr)))?;
@@ -608,7 +895,7 @@ fn run_route(
                     ..serve::RetryOptions::default().policy
                 },
                 budget: Some(std::time::Duration::from_millis(args.retry_budget_ms)),
-                seed: args.seed,
+                seed: args.seed.unwrap_or(DEFAULT_SEED),
             };
             let request = serve::Request::Drain {
                 shard: shard.clone(),
@@ -660,7 +947,7 @@ fn run_route(
                     ..router::RouterOptions::default().retry
                 },
                 retry_budget: Some(std::time::Duration::from_millis(args.retry_budget_ms)),
-                seed: args.seed,
+                seed: args.seed.unwrap_or(DEFAULT_SEED),
                 drain_deadline: args.drain_deadline,
                 cancel,
                 ..router::RouterOptions::default()

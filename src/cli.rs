@@ -86,8 +86,33 @@ pub const COMMANDS: &[CommandSpec] = &[
             "--sat-conflicts",
             "--mem-limit",
             "--fallback",
+            "--report",
         ],
         summary: "required times via the governed session ladder",
+    },
+    CommandSpec {
+        name: "resynth",
+        arg: Some("<netlist>"),
+        arg2: None,
+        flags: &[
+            "--engine",
+            "--req",
+            "--timeout",
+            "--node-limit",
+            "--sat-conflicts",
+            "--mem-limit",
+            "--out",
+            "--max-chains",
+            "--slack-margin",
+        ],
+        summary: "slack-guided AND-OR restructuring with verified equivalence",
+    },
+    CommandSpec {
+        name: "gen",
+        arg: Some("<family>"),
+        arg2: None,
+        flags: &["--bits", "--bypass", "--seed", "--out"],
+        summary: "emit a generated netlist (family: adder)",
     },
     CommandSpec {
         name: "slack",
@@ -114,6 +139,7 @@ pub const COMMANDS: &[CommandSpec] = &[
             "--corpus",
             "--base-seed",
             "--edits",
+            "--resynth",
             "--mem-limit",
         ],
         summary: "differential fuzzing against the exhaustive oracle",
@@ -280,6 +306,36 @@ pub const FLAGS: &[FlagSpec] = &[
         help: "run N ECO edit sequences (incremental-vs-scratch differential)",
     },
     FlagSpec {
+        flag: "--resynth",
+        value: Some("N"),
+        help: "run N resynthesis differentials (equivalence + delay non-regression)",
+    },
+    FlagSpec {
+        flag: "--out",
+        value: Some("PATH"),
+        help: "write the resulting netlist here (resynth: original bytes when no gain)",
+    },
+    FlagSpec {
+        flag: "--max-chains",
+        value: Some("N"),
+        help: "candidate chains examined per resynthesis pass",
+    },
+    FlagSpec {
+        flag: "--slack-margin",
+        value: Some("T"),
+        help: "treat outputs within T ticks of the worst slack as critical",
+    },
+    FlagSpec {
+        flag: "--bits",
+        value: Some("N"),
+        help: "adder width for `gen adder`",
+    },
+    FlagSpec {
+        flag: "--bypass",
+        value: Some("K"),
+        help: "carry-bypass block size for `gen adder` (0 = plain ripple)",
+    },
+    FlagSpec {
         flag: "--delta",
         value: None,
         help: "send a delta request: reuse cached cone verdicts server-side",
@@ -292,7 +348,7 @@ pub const FLAGS: &[FlagSpec] = &[
     FlagSpec {
         flag: "--report",
         value: Some("PATH"),
-        help: "batch report path",
+        help: "batch report path; reqtime: the literal `slack` emits per-node slack JSON",
     },
     FlagSpec {
         flag: "--resume",
@@ -302,7 +358,7 @@ pub const FLAGS: &[FlagSpec] = &[
     FlagSpec {
         flag: "--seed",
         value: Some("N"),
-        help: "batch scheduling seed",
+        help: "batch scheduling seed; gen: seed delay-override directives",
     },
     FlagSpec {
         flag: "--max-retries",
@@ -491,6 +547,19 @@ pub struct Args {
     /// `--edits` (`Some`: run the ECO differential instead of the
     /// oracle matrix).
     pub edits: Option<usize>,
+    /// `--resynth` (`Some`: run the resynthesis differential instead
+    /// of the oracle matrix).
+    pub resynth: Option<usize>,
+    /// `--out`.
+    pub out: Option<String>,
+    /// `--max-chains`.
+    pub max_chains: usize,
+    /// `--slack-margin`, in ticks.
+    pub slack_margin: i64,
+    /// `--bits`.
+    pub bits: usize,
+    /// `--bypass` (0 = plain ripple carry).
+    pub bypass: usize,
     /// `--delta`.
     pub delta: bool,
     /// `--journal`.
@@ -499,8 +568,9 @@ pub struct Args {
     pub report_path: Option<String>,
     /// `--resume`.
     pub resume: bool,
-    /// `--seed`.
-    pub seed: u64,
+    /// `--seed` (`None` when the flag was not given; consumers that
+    /// need a value default it themselves).
+    pub seed: Option<u64>,
     /// `--max-retries`.
     pub max_retries: u32,
     /// `--backoff-base`.
@@ -639,11 +709,17 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
         corpus: None,
         base_seed: 0xF0CC,
         edits: None,
+        resynth: None,
+        out: None,
+        max_chains: 64,
+        slack_margin: 0,
+        bits: 8,
+        bypass: 0,
         delta: false,
         journal: None,
         report_path: None,
         resume: false,
-        seed: 0x0BA7C4,
+        seed: None,
         max_retries: 2,
         backoff_base: Duration::from_millis(100),
         backoff_cap: Duration::from_secs(5),
@@ -738,11 +814,23 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--corpus" => args.corpus = Some(value()?),
             "--base-seed" => args.base_seed = num("--base-seed", value()?)?,
             "--edits" => args.edits = Some(num("--edits", value()?)?),
+            "--resynth" => args.resynth = Some(num("--resynth", value()?)?),
+            "--out" => args.out = Some(value()?),
+            "--max-chains" => args.max_chains = num("--max-chains", value()?)?,
+            "--slack-margin" => args.slack_margin = num("--slack-margin", value()?)?,
+            "--bits" => {
+                let n: usize = num("--bits", value()?)?;
+                if !(1..=64).contains(&n) {
+                    return Err(format!("bad --bits: {n} not in 1..=64"));
+                }
+                args.bits = n;
+            }
+            "--bypass" => args.bypass = num("--bypass", value()?)?,
             "--delta" => args.delta = true,
             "--journal" => args.journal = Some(value()?),
             "--report" => args.report_path = Some(value()?),
             "--resume" => args.resume = true,
-            "--seed" => args.seed = num("--seed", value()?)?,
+            "--seed" => args.seed = Some(num("--seed", value()?)?),
             "--max-retries" => args.max_retries = num("--max-retries", value()?)?,
             "--backoff-base" => args.backoff_base = parse_secs("--backoff-base", Some(value()?))?,
             "--backoff-cap" => args.backoff_cap = parse_secs("--backoff-cap", Some(value()?))?,
@@ -818,6 +906,10 @@ pub fn render_usage() -> String {
     out.push('\n');
     out
 }
+
+/// Scheduling seed applied when `--seed` is absent (batch, request,
+/// route; `gen` instead reads absence as "no delay overrides").
+pub const DEFAULT_SEED: u64 = 0x0BA7C4;
 
 /// The shared-required-time vector: `--req T` at every output, or the
 /// topological delays (the paper's experimental protocol).
@@ -1008,6 +1100,35 @@ mod tests {
         .unwrap();
         assert_eq!(d2.path.as_deref(), Some("drain"));
         assert_eq!(d2.path2.as_deref(), Some("127.0.0.1:7101"));
+    }
+
+    #[test]
+    fn gen_and_resynth_parse_their_flags() {
+        let g = parse_args(&argv(&[
+            "gen", "adder", "--bits", "16", "--bypass", "4", "--seed", "9",
+        ]))
+        .unwrap();
+        assert_eq!(g.path.as_deref(), Some("adder"));
+        assert_eq!(g.bits, 16);
+        assert_eq!(g.bypass, 4);
+        assert_eq!(g.seed, Some(9));
+        assert!(parse_args(&argv(&["gen", "adder", "--bits", "0"])).is_err());
+        let r = parse_args(&argv(&[
+            "resynth",
+            "x.bench",
+            "--out",
+            "y.bench",
+            "--max-chains",
+            "5",
+            "--slack-margin",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(r.out.as_deref(), Some("y.bench"));
+        assert_eq!(r.max_chains, 5);
+        assert_eq!(r.slack_margin, 2);
+        // --seed stays None when absent so gen can tell.
+        assert_eq!(parse_args(&argv(&["gen", "adder"])).unwrap().seed, None);
     }
 
     #[test]

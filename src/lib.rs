@@ -18,6 +18,7 @@
 //! | [`batch`] | `xrta-batch` | crash-resilient batch runner with checkpoint/resume |
 //! | [`serve`] | `xrta-serve` | analysis daemon: result cache, single-flight, admission control |
 //! | [`router`] | `xrta-router` | sharded serving: consistent-hash routing, health checks, hedging, drain |
+//! | [`resynth`] | `xrta-resynth` | slack-guided AND-OR restructuring with verified equivalence |
 //!
 //! ## Quickstart: the paper's Figure 4
 //!
@@ -41,6 +42,7 @@ pub use xrta_chi as chi;
 pub use xrta_circuits as circuits;
 pub use xrta_core as core;
 pub use xrta_network as network;
+pub use xrta_resynth as resynth;
 pub use xrta_robust as robust;
 pub use xrta_router as router;
 pub use xrta_sat as sat;

@@ -229,3 +229,86 @@ fn reqtime_topological_rung_directly() {
     assert_eq!(code, Some(0), "{text}");
     assert!(text.contains("topological required"), "{text}");
 }
+
+#[test]
+fn gen_adder_writes_a_parsable_netlist() {
+    let path = std::env::temp_dir().join(format!("xrta_cli_gen_{}.bench", std::process::id()));
+    let (code, text) = xrta_code(&[
+        "gen",
+        "adder",
+        "--bits",
+        "4",
+        "--out",
+        path.to_str().expect("utf8 path"),
+    ]);
+    assert_eq!(code, Some(0), "{text}");
+    let (ok, stats) = xrta(&["stats", path.to_str().expect("utf8 path")]);
+    let _ = std::fs::remove_file(&path);
+    assert!(ok, "{stats}");
+    assert!(stats.contains("inputs      : 9"), "{stats}");
+}
+
+#[test]
+fn gen_rejects_unknown_family() {
+    let (code, text) = xrta_code(&["gen", "divider"]);
+    assert_eq!(code, Some(2), "{text}");
+    assert!(text.contains("family"), "{text}");
+}
+
+#[test]
+fn resynth_improves_the_shipped_add8() {
+    let (code, text) = xrta_code(&["resynth", &netlist("add8.bench")]);
+    assert_eq!(code, Some(0), "{text}");
+    assert!(text.contains("improved"), "{text}");
+    assert!(text.contains("rewrite(s) kept"), "{text}");
+    assert!(text.contains("equivalence proof(s)"), "{text}");
+}
+
+#[test]
+fn resynth_timeout_degrades_and_preserves_the_netlist() {
+    let out = std::env::temp_dir().join(format!("xrta_cli_resynth_{}.bench", std::process::id()));
+    let (code, text) = xrta_code(&[
+        "resynth",
+        &netlist("add8.bench"),
+        "--timeout",
+        "0",
+        "--out",
+        out.to_str().expect("utf8 path"),
+    ]);
+    let written = std::fs::read(&out).expect("degraded run still writes --out");
+    let _ = std::fs::remove_file(&out);
+    assert_eq!(code, Some(3), "{text}");
+    assert!(text.contains("degraded"), "{text}");
+    assert!(text.contains("original network preserved"), "{text}");
+    let original = std::fs::read(netlist("add8.bench")).expect("shipped netlist");
+    assert_eq!(written, original, "degraded --out must be byte-identical");
+}
+
+#[test]
+fn reqtime_slack_report_emits_json() {
+    let (code, text) = xrta_code(&["reqtime", &netlist("bypass.bench"), "--report", "slack"]);
+    assert_eq!(code, Some(0), "{text}");
+    assert!(text.starts_with('{'), "{text}");
+    assert!(text.contains("\"true_slack\""), "{text}");
+    assert!(text.contains("\"verdict\""), "{text}");
+    assert!(text.contains("\"nodes\""), "{text}");
+}
+
+#[test]
+fn resynth_fuzz_smoke_exits_cleanly() {
+    let dir = std::env::temp_dir().join(format!("xrta_cli_rfuzz_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (code, text) = xrta_code(&[
+        "fuzz",
+        "--resynth",
+        "2",
+        "--max-inputs",
+        "5",
+        "--corpus",
+        dir.to_str().expect("utf8 path"),
+    ]);
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(code, Some(0), "{text}");
+    assert!(text.contains("2 of 2 resynth seeds run"), "{text}");
+    assert!(text.contains("0 failure(s)"), "{text}");
+}

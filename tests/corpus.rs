@@ -4,7 +4,7 @@
 
 use std::path::Path;
 
-use xrta::verify::{check_case, load_dir, replay_pair, CheckOptions};
+use xrta::verify::{check_case, load_dir, replay_pair, replay_resynth_pair, CheckOptions};
 
 fn corpus_dir() -> std::path::PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("netlists/corpus")
@@ -48,6 +48,58 @@ fn eco_pairs_replay_with_a_warm_cone_cache() {
         pairs += 1;
     }
     assert!(pairs >= 1, "netlists/corpus/ ships at least one ECO pair");
+}
+
+/// Every `*_pre.bench` entry pairs with a `*_post.bench` entry from a
+/// resynthesis run: same interface, same function (exhaustive oracle
+/// or SAT miter), and no output's true arrival regresses under the
+/// pre entry's delay model. A failure here means a previously kept
+/// rewrite was not actually an improvement.
+#[test]
+fn resynth_pairs_replay_verified() {
+    let entries = load_dir(&corpus_dir()).expect("corpus loads");
+    let mut pairs = 0;
+    for (path, pre) in &entries {
+        let stem = path.file_stem().unwrap().to_string_lossy().into_owned();
+        let Some(base) = stem.strip_suffix("_pre") else {
+            continue;
+        };
+        let post_path = path.with_file_name(format!("{base}_post.bench"));
+        let (_, post) = entries
+            .iter()
+            .find(|(p, _)| p == &post_path)
+            .unwrap_or_else(|| panic!("{} has no paired {}", path.display(), post_path.display()));
+        replay_resynth_pair(pre, post).unwrap_or_else(|e| {
+            panic!(
+                "{} -> {} ({}) regressed: {e}",
+                path.display(),
+                post_path.display(),
+                pre.origin
+            )
+        });
+        pairs += 1;
+    }
+    assert!(
+        pairs >= 1,
+        "netlists/corpus/ ships at least one resynth pair"
+    );
+}
+
+/// The generated carry-skip adder checked in by `xrta gen` loads with
+/// its seeded delay overrides and required-time directives intact.
+#[test]
+fn generated_adder_entry_is_seeded() {
+    let entries = load_dir(&corpus_dir()).expect("corpus loads");
+    let (_, entry) = entries
+        .iter()
+        .find(|(p, _)| p.file_name().unwrap() == "add16_bypass.bench")
+        .expect("netlists/corpus/add16_bypass.bench ships");
+    assert_eq!(entry.case.net.inputs().len(), 33);
+    assert!(
+        !entry.delays.is_empty(),
+        "the generated entry carries seeded delay overrides"
+    );
+    assert!(entry.origin.starts_with("gen adder"));
 }
 
 #[test]

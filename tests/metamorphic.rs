@@ -4,10 +4,15 @@
 //! output duplication.
 
 use std::collections::HashMap;
+use std::time::Duration;
 
-use xrta::circuits::{c17, fig4, random_circuit, two_mux_bypass, RandomCircuitSpec};
-use xrta::network::NodeFunc;
+use xrta::circuits::{
+    c17, carry_skip_adder, fig4, random_circuit, ripple_carry_adder, two_mux_bypass,
+    RandomCircuitSpec,
+};
+use xrta::network::{write_bench, NodeFunc};
 use xrta::prelude::*;
+use xrta::resynth::{resynthesize, DelaySpec, ResynthOptions};
 use xrta::timing::TableDelay;
 
 fn scale_time(t: Time, k: i64) -> Time {
@@ -179,6 +184,89 @@ fn with_duplicated_output(net: &Network, which: usize) -> (Network, NodeId) {
     }
     out.mark_output(dup);
     (out, dup)
+}
+
+fn resynth_subjects() -> Vec<Network> {
+    vec![
+        ripple_carry_adder(6).unwrap(),
+        ripple_carry_adder(8).unwrap(),
+        carry_skip_adder(8, 4).unwrap(),
+        carry_skip_adder(12, 4).unwrap(),
+    ]
+}
+
+/// Resynthesis is idempotent: once the slack-guided pass loop reaches
+/// a fixpoint, running it again on its own output accepts no further
+/// rewrite and reproduces the netlist byte for byte.
+#[test]
+fn resynthesis_is_idempotent() {
+    for net in resynth_subjects() {
+        let delays = DelaySpec::unit();
+        let opts = ResynthOptions::default();
+        let once = resynthesize(&net, &delays, &opts);
+        let twice = resynthesize(&once.net, &delays, &opts);
+        assert!(!twice.changed, "second run of {} found work", net.name());
+        assert_eq!(
+            write_bench(&twice.net),
+            write_bench(&once.net),
+            "second run of {} is not byte-stable",
+            net.name()
+        );
+        assert_eq!(twice.worst_before, once.worst_after, "{}", net.name());
+    }
+}
+
+/// Scaling every gate delay by `k` scales all arrival times, slacks
+/// and restructuring estimates linearly, so resynthesis makes the
+/// same structural decisions and the improved worst delay scales
+/// by exactly `k`.
+#[test]
+fn resynthesis_commutes_with_uniform_delay_scaling() {
+    const K: i64 = 5;
+    for net in resynth_subjects() {
+        let opts = ResynthOptions::default();
+        let unit = resynthesize(&net, &DelaySpec::unit(), &opts);
+        let scaled_spec = DelaySpec {
+            default: K,
+            overrides: std::collections::BTreeMap::new(),
+        };
+        let scaled = resynthesize(&net, &scaled_spec, &opts);
+        assert_eq!(
+            write_bench(&scaled.net),
+            write_bench(&unit.net),
+            "structural decisions diverge on {}",
+            net.name()
+        );
+        assert_eq!(
+            scaled.worst_after,
+            scale_time(unit.worst_after, K),
+            "worst delay of {}",
+            net.name()
+        );
+    }
+}
+
+/// A run whose budget is already exhausted must revert wholesale: the
+/// returned network is the input byte for byte, no rewrite is kept,
+/// and the degradation is reported rather than swallowed.
+#[test]
+fn resynthesis_exhausted_budget_reverts_wholesale() {
+    for net in resynth_subjects() {
+        let opts = ResynthOptions {
+            budget: Budget::unlimited().with_timeout(Duration::ZERO),
+            ..ResynthOptions::default()
+        };
+        let report = resynthesize(&net, &DelaySpec::unit(), &opts);
+        assert!(report.degraded.is_some(), "{} did not degrade", net.name());
+        assert!(!report.changed, "{}", net.name());
+        assert_eq!(
+            write_bench(&report.net),
+            write_bench(&net),
+            "degraded run of {} altered the netlist",
+            net.name()
+        );
+        assert_eq!(report.worst_after, report.worst_before, "{}", net.name());
+    }
 }
 
 /// Duplicating a primary output through a zero-delay buffer (with the
